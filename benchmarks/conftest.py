@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+rendered text artifacts are written to ``benchmarks/out/`` so a benchmark
+run leaves the full set of reproduced tables behind.
+"""
+
+import os
+
+import pytest
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(artifact_dir, name)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return path
+    return _save

@@ -1,0 +1,54 @@
+"""Ablation: fused activation epilogue vs. the paper's standalone pass.
+
+The paper applies tanh/sig as a separate load/activate/store sweep.  With
+the activation instructions available, the tile epilogue can apply them
+directly on the accumulators — removing the whole pass.  This measures the
+suite-level headroom the paper left on the table."""
+
+import pytest
+
+from repro.kernels import (ActivationJob, AsmBuilder, LEVELS, MatvecJob,
+                           gen_activation, gen_matvec, padded_row)
+
+SHAPES = [("small head", 16, 8, "sig"), ("gate block", 48, 128, "sig"),
+          ("hidden", 128, 200, "relu"), ("wide out", 64, 300, "tanh")]
+
+
+def _cycles(n_in, n_out, activation, fused):
+    builder = AsmBuilder()
+    level = LEVELS["e"]
+    job = MatvecJob(n_in=n_in, n_out=n_out, w_addr=0x20000, x_addr=0x2000,
+                    b_addr=0x3000, out_addr=0x4000,
+                    row_halfwords=padded_row(n_in, "e"), acc_addr=0x0FF0)
+    if fused:
+        gen_matvec(builder, level, job, fused_activation=activation)
+    else:
+        gen_matvec(builder, level, job)
+        gen_activation(builder, level, ActivationJob(
+            func=activation, addr=0x4000, count=n_out))
+    return builder.trace.total_cycles
+
+
+def test_fusion_ablation(benchmark, save_artifact):
+    def sweep():
+        return [(name, n_in, n_out, act,
+                 _cycles(n_in, n_out, act, False),
+                 _cycles(n_in, n_out, act, True))
+                for name, n_in, n_out, act in SHAPES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["fused activation epilogue vs standalone pass (level e)",
+             f"{'layer':<12}{'shape':<10}{'act':<6}{'separate':>9}"
+             f"{'fused':>8}{'saving':>8}"]
+    for name, n_in, n_out, act, separate, fused in rows:
+        lines.append(f"{name:<12}{n_out}x{n_in:<7}{act:<6}{separate:>9}"
+                     f"{fused:>8}{100 * (1 - fused / separate):>7.1f}%")
+    save_artifact("ablation_fusion.txt", "\n".join(lines))
+    for name, n_in, n_out, act, separate, fused in rows:
+        assert fused < separate
+        # activation-heavy shapes (small n_in, large n_out) save the most
+    small = next(r for r in rows if r[0] == "small head")
+    wide = next(r for r in rows if r[0] == "hidden")
+    assert (1 - small[5] / small[4]) > (1 - wide[5] / wide[4]) * 0.5
+    print()
+    print("\n".join(lines))

@@ -1,0 +1,56 @@
+"""Ablation: per-pixel patch gather vs. full im2col materialization.
+
+The paper cites im2col for CNNs but "focuses mainly on LSTMs and MLPs";
+our production conv gathers per pixel.  This ablation maps out where each
+formulation wins as the output-channel count grows (the gather amortizes
+over cout; im2col's copy cost is cout-independent)."""
+
+import pytest
+
+from repro.kernels import AsmBuilder, ConvJob, LEVELS, padded_row
+from repro.kernels.conv import gen_conv
+from repro.kernels.im2col import gen_conv_im2col
+
+
+def _job(cout):
+    cin, h, w, k = 4, 10, 10, 3
+    return ConvJob(cin=cin, cout=cout, h=h, w=w, k=k, w_addr=0x40000,
+                   x_addr=0x2000, b_addr=0x4000, out_addr=0x5000,
+                   patch_addr=0x1800,
+                   patch_row_halfwords=padded_row(cin * k * k, "d"),
+                   acc_addr=0x0FF0)
+
+
+def _cycles(kind, cout):
+    builder = AsmBuilder()
+    if kind == "gather":
+        gen_conv(builder, LEVELS["d"], _job(cout))
+    else:
+        gen_conv_im2col(builder, LEVELS["d"], _job(cout), 0x60000)
+    return builder.trace.total_cycles
+
+
+def test_im2col_ablation(benchmark, save_artifact):
+    couts = (2, 4, 8, 16)
+
+    def sweep():
+        return {c: (_cycles("gather", c), _cycles("im2col", c))
+                for c in couts}
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["conv formulation ablation (4x10x10 input, 3x3 kernels, "
+             "level d)",
+             f"{'cout':>5} {'per-pixel gather':>18} {'full im2col':>13}"]
+    for cout, (gather, im2col) in table.items():
+        lines.append(f"{cout:>5} {gather:>18} {im2col:>13}")
+    lines.append("")
+    lines.append("finding: both copy each patch exactly once, so cycle "
+                 "counts are equal to within pointer setup; the gather "
+                 "needs O(patch) scratch vs O(n_pix*patch) for im2col — "
+                 "which is why the production conv kernel gathers.")
+    save_artifact("ablation_im2col.txt", "\n".join(lines))
+    # both formulations copy each patch once: cycles match within noise
+    for cout, (gather, im2col) in table.items():
+        assert abs(gather - im2col) / gather < 0.02
+    print()
+    print("\n".join(lines))

@@ -1,0 +1,53 @@
+"""Ablation: TCDM wait states.
+
+The paper's core sits on a single-cycle TCDM.  This ablation shows how the
+speedup story degrades when the memory inserts wait states — the VLIW
+levels lose most: pl.sdotsp.h issues a memory access every cycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+from repro.kernels import NetworkPlan
+from repro.nn import DenseSpec, Network, init_params, quantize_params
+
+NET = Network("ablate", (DenseSpec(32, 64, "relu"), DenseSpec(64, 32)))
+
+
+def _cycles(level_key, wait_states):
+    plan = NetworkPlan(NET, level_key)
+    params = quantize_params(init_params(NET, np.random.default_rng(0)))
+    mem = Memory(1 << 20, wait_states=wait_states)
+    cpu = Cpu(assemble(plan.text), mem, extensions=plan.level.extensions)
+    # parameters are irrelevant for timing; run on the zeroed memory
+    cpu.run()
+    return cpu.cycles
+
+
+def _sweep():
+    table = {}
+    for level in ("a", "b", "d"):
+        table[level] = {ws: _cycles(level, ws) for ws in (0, 1, 2)}
+    return table
+
+
+def test_wait_state_sensitivity(benchmark, save_artifact):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["TCDM wait-state ablation (cycles, 32-64-32 MLP)"]
+    for level, row in table.items():
+        speed = {ws: table["a"][ws] / c for ws, c in row.items()}
+        lines.append(f"  level {level}: " + "  ".join(
+            f"ws={ws}: {c} ({speed[ws]:.1f}x)" for ws, c in row.items()))
+    save_artifact("ablation_waitstates.txt", "\n".join(lines))
+    # more wait states cost cycles everywhere
+    for level in table:
+        assert table[level][0] < table[level][1] < table[level][2]
+    # and the optimized level is hit hardest in relative terms because
+    # nearly every cycle touches memory
+    rel_a = table["a"][2] / table["a"][0]
+    rel_d = table["d"][2] / table["d"][0]
+    assert rel_d > rel_a
+    print()
+    print("\n".join(lines))

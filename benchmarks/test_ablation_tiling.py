@@ -1,0 +1,58 @@
+"""Ablation: output-FM tile size sweep (the register-allocation decision).
+
+DESIGN.md calls out the tile size as the main free parameter of stages
+c-e: Table Ic's load counts imply N ~ 10 while Table II illustrates N = 4.
+This ablation regenerates the cycles-vs-tile curve and checks the
+diminishing-returns shape that justifies stopping at the register limit.
+"""
+
+import pytest
+
+from repro.kernels import AsmBuilder, LEVELS, MatvecJob, gen_matvec, padded_row
+
+TILES = (1, 2, 4, 6, 8, 10)
+
+
+def _cycles(level_key, tile, n_in=128, n_out=120):
+    builder = AsmBuilder()
+    job = MatvecJob(n_in=n_in, n_out=n_out, w_addr=0x10000, x_addr=0x4000,
+                    b_addr=0x5000, out_addr=0x6000,
+                    row_halfwords=padded_row(n_in, level_key),
+                    acc_addr=0x0FF0, max_tile=tile)
+    gen_matvec(builder, LEVELS[level_key], job)
+    return builder.trace.total_cycles
+
+
+def _sweep(level_key):
+    return {tile: _cycles(level_key, tile) for tile in TILES}
+
+
+@pytest.mark.parametrize("level", ("c", "d", "e"))
+def test_tile_sweep(benchmark, level, save_artifact):
+    curve = benchmark.pedantic(lambda: _sweep(level), rounds=1,
+                               iterations=1)
+    lines = [f"tile-size ablation, level {level} (128x120 matvec)"]
+    for tile, cycles in curve.items():
+        lines.append(f"  N={tile:<3d} {cycles:>8d} cycles "
+                     f"({curve[1] / cycles:.2f}x vs N=1)")
+    save_artifact(f"ablation_tiling_{level}.txt", "\n".join(lines))
+    # monotone improvement with diminishing returns
+    values = [curve[t] for t in TILES]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    gain_small = curve[1] / curve[4]
+    gain_large = curve[4] / curve[10]
+    assert gain_small > gain_large
+    print()
+    print("\n".join(lines))
+
+
+def test_tiling_gain_matches_paper_at_level_c():
+    """Paper: OFM tiling gives ~1.9x on regular layers (stage b -> c)."""
+    builder = AsmBuilder()
+    job = MatvecJob(n_in=128, n_out=120, w_addr=0x10000, x_addr=0x4000,
+                    b_addr=0x5000, out_addr=0x6000, row_halfwords=128,
+                    acc_addr=0x0FF0)
+    gen_matvec(builder, LEVELS["b"], job)
+    level_b = builder.trace.total_cycles
+    level_c = _cycles("c", 10)
+    assert level_b / level_c == pytest.approx(1.9, rel=0.08)

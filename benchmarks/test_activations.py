@@ -1,0 +1,23 @@
+"""Benchmark: Sec. III-D activation-extension numbers on the LSTM nets."""
+
+import pytest
+
+from repro.eval.activations import (compute_activation_stats,
+                                    format_activations)
+
+
+def test_activation_extension(benchmark, save_artifact):
+    stats = benchmark.pedantic(compute_activation_stats, rounds=1,
+                               iterations=1)
+    text = format_activations(stats)
+    save_artifact("sec3d_activations.txt", text)
+    # paper: tanh/sig is 10.3% of [13]'s and 33.6% of [14]'s SW cycles
+    assert stats["sw_share"]["challita2017"] == pytest.approx(0.103,
+                                                              abs=0.03)
+    assert stats["sw_share"]["naparstek2019"] == pytest.approx(0.336,
+                                                               abs=0.06)
+    # paper: 51.2 -> 44.5 kcycles on the LSTM networks
+    assert stats["total_without_k"] == pytest.approx(51.2, rel=0.15)
+    assert stats["total_with_k"] == pytest.approx(44.5, rel=0.15)
+    print()
+    print(text)

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 2 (tanh PLA error surface under Q3.12)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.fig2 import format_fig2, point_design, sweep
+
+
+def test_fig2(benchmark, save_artifact):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact("fig2.txt", format_fig2())
+    # shape: MSE falls with interval count at fixed range, and collapses
+    # by orders of magnitude across the sweep (the paper's z-axis spans
+    # log10(MSE) from ~0 to ~-8)
+    mses = [m for _, _, m, _ in rows]
+    assert max(mses) / min(mses) > 1e3
+    point = point_design()
+    assert point["mse"] < 9.81e-7      # at or better than the paper's MSE
+    assert point["max_err"] < 2e-3
+    print()
+    print(format_fig2())
+
+
+def test_fig2_range_tradeoff():
+    """Fixed LUT budget: too small a range saturates too early, too wide
+    wastes resolution — the bowl the paper's surface shows."""
+    errors = {}
+    for shift in (7, 8, 9, 10, 11):
+        rng = 32 * 2 ** (shift - 12)
+        if rng > 8:
+            continue
+        from repro.fixedpoint import evaluate_error, make_table
+        errors[rng] = evaluate_error(make_table("tanh", 32, shift))["mse"]
+    best = min(errors, key=errors.get)
+    assert best in (4.0, 8.0)  # the paper picks range 4 at 32 intervals
+    assert errors[1.0] > errors[best] * 50

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 3 (per-network speedups per stage)."""
+
+import pytest
+
+from repro.eval.fig3 import compute_fig3, format_fig3
+
+
+def test_fig3(benchmark, save_artifact):
+    result = benchmark.pedantic(compute_fig3, rounds=1, iterations=1)
+    text = format_fig3(result)
+    save_artifact("fig3.txt", text)
+    per = result["per_network"]
+    # who wins: every network improves monotonically through stages b-d
+    for name, speeds in per.items():
+        assert speeds["b"] > 1.5
+        assert speeds["c"] > speeds["b"]
+        assert speeds["d"] > speeds["c"]
+    # by what factor: the big FC nets reach ~14-15x, small-FM nets stay
+    # well below (the paper's [33]/[14]-style gap)
+    assert per["ye2018"]["e"] > 14
+    assert per["eisen2019"]["e"] < 9
+    assert per["naparstek2019"]["e"] < 10
+    # crossover: input-FM tiling helps the big nets but can hurt the small
+    # ones (paper: "few networks even need more cycles")
+    assert per["ye2018"]["e"] > per["ye2018"]["d"]
+    assert per["naparstek2019"]["e"] <= per["naparstek2019"]["d"] * 1.01
+    print()
+    print(text)

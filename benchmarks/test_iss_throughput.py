@@ -1,0 +1,30 @@
+"""Benchmark: raw ISS simulation throughput (simulator health metric)."""
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+
+
+def test_iss_instructions_per_second(benchmark):
+    src = """
+        li a0, 0
+        li a1, 0x1000
+        lp.setupi 0, 500, end
+        p.lw t0, 4(a1!)
+        pv.sdotsp.h a0, t0, t0
+        addi a2, a2, 1
+        sub a3, a2, a0
+        xor a4, a3, a2
+        and a5, a4, a3
+    end:
+        addi a1, a1, -2000
+        ebreak
+    """
+    program = assemble(src)
+
+    def run():
+        cpu = Cpu(program, Memory(1 << 16))
+        cpu.run()
+        return cpu.instret
+
+    instret = benchmark(run)
+    assert instret > 3000

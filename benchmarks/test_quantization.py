@@ -1,0 +1,19 @@
+"""Benchmark: Sec. III-D end-to-end quantization robustness claim."""
+
+import pytest
+
+from repro.eval.quantization import compute_quantization, format_quantization
+
+
+def test_quantization_robustness(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: compute_quantization(n_pairs=4, n_eval=30),
+        rounds=1, iterations=1)
+    text = format_quantization(result)
+    save_artifact("quantization.txt", text)
+    # the paper's claim: no deterioration of end-to-end behaviour
+    assert abs(result["rate_loss_pct"]) < 1.0
+    assert result["max_output_err"] < 0.02
+    assert result["lstm_divergence"] < 0.02
+    print()
+    print(text)

@@ -1,0 +1,21 @@
+"""Benchmark: Sec. IV derived area/power/throughput/efficiency numbers."""
+
+import pytest
+
+from repro.eval.section4 import compute_section4, format_section4
+
+
+def test_section4(benchmark, save_artifact):
+    result = benchmark.pedantic(compute_section4, rounds=1, iterations=1)
+    text = format_section4(result)
+    save_artifact("section4.txt", text)
+    # who wins and by what factor
+    assert result["speedup"] == pytest.approx(15.0, rel=0.12)
+    assert result["efficiency_gain"] == pytest.approx(10.0, rel=0.12)
+    assert result["ext"].mmacs == pytest.approx(566.0, rel=0.12)
+    assert result["ext"].gmacs_per_w == pytest.approx(218.0, rel=0.12)
+    # the extended core draws more power but wins on energy per MAC
+    assert result["ext"].power_mw > result["base"].power_mw
+    assert result["ext"].gmacs_per_w > 5 * result["base"].gmacs_per_w
+    print()
+    print(text)

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table I.
+
+Two parts:
+
+* the paper-scale table from the exact static model (fast), and
+* an ISS execution of the reduced-scale suite at every level, bit-checked
+  against the golden models, asserting the model equals the ISS exactly —
+  the evidence that the paper-scale numbers are simulation-faithful.
+"""
+
+import pytest
+
+from repro.eval.table1 import PAPER_IMPROVEMENT, compute_table1, format_table1
+from repro.rrm.suite import LEVEL_KEYS, SuiteRunner, network_trace
+
+
+def test_table1_model(benchmark, save_artifact):
+    result = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    text = format_table1(result)
+    save_artifact("table1.txt", text)
+    imp = result["improvement"]
+    for key in LEVEL_KEYS:
+        assert imp[key] == pytest.approx(PAPER_IMPROVEMENT[key], rel=0.18)
+    print()
+    print(text)
+
+
+@pytest.mark.parametrize("level", LEVEL_KEYS)
+def test_table1_iss_validation(benchmark, level):
+    """Execute the scaled suite on the ISS; assert golden bit-exactness
+    and exact model/ISS agreement per network."""
+    runner = SuiteRunner(check=True)
+
+    def run():
+        traces = {}
+        for network in runner.networks:
+            traces[network.name] = runner.run_network(network, level)
+        return traces
+
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+    for network in runner.networks:
+        iss = traces[network.name]
+        model = network_trace(network, level)
+        for trace in (iss, model):
+            trace.instrs.pop("ebreak", None)
+            trace.cycles.pop("ebreak", None)
+        assert iss == model, f"{network.name} diverges at level {level}"

@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Table II (assembly comparison) and verify both
+loops execute to identical results with the predicted cycle advantage."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.eval.table2 import format_table2, generate_listings
+from repro.isa import assemble
+from repro.kernels import AsmBuilder, LEVELS, MatvecJob, gen_matvec
+from repro.nn import dense_fixed
+
+
+def test_table2_listings(benchmark, save_artifact):
+    listings = benchmark.pedantic(generate_listings, rounds=1, iterations=1)
+    text = format_table2(listings)
+    save_artifact("table2.txt", text)
+    vliw_sdots = [l for l in listings["vliw"] if l.startswith("pl.sdotsp")]
+    # preloads target a0/a1; the loop body rotates a2, a3, a0, a1
+    assert [l.split(",")[1].strip() for l in vliw_sdots] == \
+        ["a0", "a1", "a2", "a3", "a0", "a1"]
+    print()
+    print(text)
+
+
+def _run(level_key, n_in=64, n_out=4):
+    rng = np.random.default_rng(0)
+    w = rng.integers(-1500, 1500, (n_out, n_in))
+    x = rng.integers(-1500, 1500, n_in)
+    bias = rng.integers(-800, 800, n_out)
+    builder = AsmBuilder()
+    job = MatvecJob(n_in=n_in, n_out=n_out, w_addr=0x2000, x_addr=0x1000,
+                    b_addr=0x3000, out_addr=0x3800, row_halfwords=n_in,
+                    acc_addr=0x0FF0, max_tile=4)
+    gen_matvec(builder, LEVELS[level_key], job)
+    builder.emit("ebreak")
+    mem = Memory(1 << 16)
+    mem.store_halfwords(0x2000, w)
+    mem.store_halfwords(0x1000, x)
+    mem.store_halfwords(0x3000, bias)
+    cpu = Cpu(assemble(builder.text()), mem,
+              extensions=LEVELS[level_key].extensions)
+    trace = cpu.run()
+    out = mem.load_halfwords(0x3800, n_out)
+    assert np.array_equal(out, dense_fixed(w, x, bias))
+    return trace
+
+
+def test_table2_cycle_advantage(benchmark):
+    """The pl.sdotsp.h loop runs the same tile-of-4 matvec ~1.5-1.8x
+    faster than the pv.sdotsp.h loop (paper: 1.7x at suite level)."""
+    traces = benchmark.pedantic(
+        lambda: (_run("c"), _run("d")), rounds=1, iterations=1)
+    tiled, vliw = traces
+    ratio = tiled.total_cycles / vliw.total_cycles
+    assert 1.4 <= ratio <= 1.9

@@ -1,0 +1,54 @@
+"""End-to-end base-station TTI loop with the policy network on the core.
+
+Every 1 ms TTI: the channel fades, features go to the Q3.12 policy network
+executing on the simulated extended RISC-V core, the allocation is
+applied, and the sum rate + core budget are accounted.  Compares the
+neural policy (thresholded, the usual deployment form) against WMMSE and
+full power, and reports how little of the TTI the core actually needs —
+the paper's "fully programmable and efficient IP for 5G RRM SoCs" claim
+made concrete.
+
+    python examples/basestation.py
+"""
+
+import numpy as np
+
+from repro.fixedpoint import Q3_12
+from repro.kernels import NetworkProgram
+from repro.nn import quantize_params
+from repro.rrm import train_power_allocator
+from repro.rrm.basestation import BaseStationSim
+
+N_PAIRS = 4
+AREA_M = 60.0
+
+
+def main():
+    print("training the power-control policy (WMMSE imitation)...")
+    trainer, _ = train_power_allocator(
+        n_pairs=N_PAIRS, hidden=(64, 32), n_samples=512, epochs=100,
+        seed=11, area_m=AREA_M)
+    program = NetworkProgram(trainer.network,
+                             quantize_params(trainer.params), "e")
+
+    def core_policy(feats):
+        out = program.step(Q3_12.from_float(feats))
+        return (Q3_12.to_float(out) > 0.5).astype(float)
+
+    sim = BaseStationSim(N_PAIRS, area_m=AREA_M, tti_us=1000.0, seed=42)
+    report = sim.run(core_policy, n_slots=40,
+                     cycles_per_slot=program.plan.cycles_per_step)
+
+    print(f"\n{report.slots} TTIs of 1 ms, {N_PAIRS} links, dense cell:")
+    print(f"  neural policy (on core) : {report.mean_rate:6.3f} bit/s/Hz")
+    print(f"  WMMSE (iterative)       : {report.mean_rate_wmmse:6.3f}")
+    print(f"  full power              : {report.mean_rate_full:6.3f}")
+    print(f"  policy vs WMMSE         : {report.rate_vs_wmmse:6.1%}")
+    print(f"\n  core inference per TTI  : {report.cycles_per_slot:.0f} "
+          f"cycles = {report.core_utilization:.2%} of the TTI @ 380 MHz")
+    print("  -> the extended core schedules the cell and stays "
+          f"{1 - report.core_utilization:.1%} idle for other RRM tasks.")
+
+
+if __name__ == "__main__":
+    main()

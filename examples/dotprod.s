@@ -1,0 +1,23 @@
+# Standalone assembly demo for `python -m repro run examples/dotprod.s`:
+# a Q3.12 dot product with the paper's pl.sdotsp.h load-and-compute
+# instruction, data carried in a .data section, cycle count self-measured
+# through the mcycle CSR (result lands in a2, cycle cost in a7).
+
+.data
+weights: .half 4096, 2048, -1024, 512, 4096, -4096, 100, -100
+inputs:  .half 4096, 4096, 2048, 2048, -4096, 4096, 3000, 3000
+
+.text
+    la a0, weights
+    la t1, inputs
+    li a2, 0
+    csrr a6, mcycle
+    pl.sdotsp.h.0 x0, a0, x0      # preload SPR0
+    lp.setupi 0, 4, done
+    p.lw t0, 4(t1!)
+    pl.sdotsp.h.0 a2, a0, t0
+done:
+    csrr a7, mcycle
+    sub a7, a7, a6
+    srai a2, a2, 12               # requantize back to Q3.12
+    ebreak

@@ -1,0 +1,109 @@
+"""A tour of the ISA extensions: what the paper's instructions actually do.
+
+Walks through:
+
+1. the Table II assembly listings straight from the kernel generators,
+2. a cycle-accurate execution trace of the VLIW inner loop,
+3. the pl.tanh / pl.sig piecewise-linear approximation accuracy,
+4. encode/decode of the new instructions into the custom opcode space.
+
+    python examples/isa_tour.py
+"""
+
+import numpy as np
+
+from repro.core import Cpu, Memory
+from repro.eval.table2 import format_table2
+from repro.fixedpoint import Q3_12, TANH_TABLE, evaluate_error
+from repro.isa import assemble, disassemble_word, encode
+
+
+def show_table2():
+    print(format_table2())
+    print()
+
+
+def show_vliw_trace():
+    print("=" * 70)
+    print("cycle trace of the pl.sdotsp.h inner loop (2 rows x 4 pairs)")
+    print("=" * 70)
+    rng = np.random.default_rng(0)
+    w = rng.integers(-1000, 1000, (2, 8))
+    x = rng.integers(-1000, 1000, 8)
+    mem = Memory(1 << 16)
+    mem.store_halfwords(0x1000, w[0])
+    mem.store_halfwords(0x1100, w[1])
+    mem.store_halfwords(0x2000, x)
+    src = """
+        li a0, 0x1000
+        li a1, 0x1100
+        li t1, 0x2000
+        pl.sdotsp.h.0 x0, a0, x0     # preload SPR0 <- w0 stream
+        pl.sdotsp.h.1 x0, a1, x0     # preload SPR1 <- w1 stream
+        lp.setupi 0, 4, end
+        p.lw t0, 4(t1!)              # x pair (1 bubble: next op reads t0)
+        pl.sdotsp.h.0 s0, a0, t0     # row0 += SPR0 . x, SPR0 <- next w0
+        pl.sdotsp.h.1 s1, a1, t0     # row1 += SPR1 . x, SPR1 <- next w1
+    end:
+        ebreak
+    """
+    cpu = Cpu(assemble(src), mem)
+    trace = cpu.run()
+    print(f"result row0 = {cpu.reg_s(8)}  (numpy: {np.dot(w[0], x)})")
+    print(f"result row1 = {cpu.reg_s(9)}  (numpy: {np.dot(w[1], x)})")
+    print(f"\nper-mnemonic cycles: 16 MACs in {trace.total_cycles} cycles")
+    for name, cyc, cnt in trace.top(8):
+        print(f"  {name:<12s} {cyc:>4d} cycles / {cnt:>3d} instrs")
+    print()
+
+
+def show_pla_accuracy():
+    print("=" * 70)
+    print("pl.tanh: 32-interval PLA over [-4, 4] in Q3.12 (Alg. 2)")
+    print("=" * 70)
+    err = evaluate_error(TANH_TABLE)
+    print(f"MSE {err['mse']:.2e}, max error {err['max_err']:.2e} over "
+          f"{err['n_points']} representable points")
+    cpu = Cpu(assemble("pl.tanh a1, a0\nebreak\n"))
+    print(f"{'x':>8s} {'pl.tanh':>10s} {'math.tanh':>10s} {'err':>10s}")
+    for x in (-5.0, -2.0, -0.5, 0.0, 0.5, 1.0, 2.0, 3.9, 4.1):
+        cpu.reset()
+        cpu.set_reg(10, Q3_12.from_float(x) & 0xFFFFFFFF)
+        cpu.run()
+        approx = Q3_12.to_float(cpu.reg_s(11))
+        exact = float(np.tanh(x))
+        print(f"{x:>8.2f} {approx:>10.5f} {exact:>10.5f} "
+              f"{approx - exact:>10.1e}")
+    print()
+
+
+def show_encodings():
+    print("=" * 70)
+    print("custom-opcode encodings of the new instructions")
+    print("=" * 70)
+    prog = assemble("""
+        pl.tanh a1, a0
+        pl.sig a2, a0
+        pl.sdotsp.h.0 s0, a0, t0
+        pl.sdotsp.h.1 s1, a1, t0
+        p.lw t0, 4(t1!)
+        lp.setupi 0, 16, end
+        pv.sdotsp.h s0, t0, t1
+    end:
+        ebreak
+    """)
+    for instr in prog:
+        word = encode(instr)
+        print(f"  0x{word:08x}  {disassemble_word(word)}")
+    print()
+
+
+def main():
+    show_table2()
+    show_vliw_trace()
+    show_pla_accuracy()
+    show_encodings()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Learning-to-optimize power allocation on the extended core.
+
+The scenario of benchmark [2] (Sun et al. 2017), end to end:
+
+1. generate a dense multi-cell interference scenario (the paper's
+   ultra-dense 5G motivation),
+2. run classical WMMSE as the teacher,
+3. train a small MLP to imitate it (numpy SGD),
+4. quantize the MLP to Q3.12 and execute it *on the simulated RISC-V
+   core with the RNN extensions*,
+5. compare achieved sum rates and report the core-level latency and
+   energy per allocation decision.
+
+    python examples/power_allocation.py
+"""
+
+import numpy as np
+
+from repro.energy import EnergyModel, FREQ_HZ
+from repro.fixedpoint import Q3_12
+from repro.kernels import NetworkProgram
+from repro.nn import quantize_params
+from repro.rrm import (InterferenceChannel, sum_rate, train_power_allocator,
+                       suite_trace)
+
+N_PAIRS = 4
+AREA_M = 50.0   # dense deployment: interference actually matters
+
+
+def main():
+    print("training the WMMSE imitator (numpy SGD)...")
+    trainer, _ = train_power_allocator(
+        n_pairs=N_PAIRS, hidden=(64, 32), n_samples=768, epochs=120, seed=3,
+        area_m=AREA_M)
+    network = trainer.network
+    params_q = quantize_params(trainer.params)
+
+    print("lowering to the extended core (level e kernels)...")
+    program = NetworkProgram(network, params_q, "e")
+    program_base = NetworkProgram(network, params_q, "a")
+
+    scenario = InterferenceChannel(N_PAIRS, area_m=AREA_M, seed=99)
+    rates = {"core (Q3.12)": [], "core, on/off": [], "wmmse": [],
+             "full power": [], "random": []}
+    rng = np.random.default_rng(7)
+    n_eval = 25
+    for _ in range(n_eval):
+        gains = scenario.gain_matrix()
+        feats = scenario.features(gains, N_PAIRS * N_PAIRS)
+        out = program.step(Q3_12.from_float(feats))
+        p_core = np.clip(Q3_12.to_float(out), 0.0, 1.0)
+        from repro.rrm import wmmse_power_allocation
+        rates["core (Q3.12)"].append(sum_rate(gains, p_core))
+        # WMMSE solutions are near-binary: thresholding the network output
+        # (the usual deployment policy) recovers most of the teacher
+        rates["core, on/off"].append(
+            sum_rate(gains, (p_core > 0.5).astype(float)))
+        rates["wmmse"].append(sum_rate(gains,
+                                       wmmse_power_allocation(gains)))
+        rates["full power"].append(sum_rate(gains, np.ones(N_PAIRS)))
+        rates["random"].append(sum_rate(gains, rng.uniform(0, 1, N_PAIRS)))
+
+    print(f"\naverage sum rate over {n_eval} dense-cell realizations "
+          "(bit/s/Hz):")
+    for name, values in rates.items():
+        print(f"  {name:<14s} {np.mean(values):6.3f}")
+
+    cycles_ext = program.plan.cycles_per_step
+    cycles_base = program_base.plan.cycles_per_step
+    model = EnergyModel(suite_trace("a"), suite_trace("e"))
+    power_mw = model.power_mw(program.plan.trace)
+    latency_us = cycles_ext / FREQ_HZ * 1e6
+    energy_nj = power_mw * 1e-3 * latency_us * 1e3
+    print(f"\ncore-level cost per allocation decision "
+          f"({network.macs_per_step} MACs):")
+    print(f"  extended core : {cycles_ext:6d} cycles = {latency_us:6.2f} us "
+          f"@ 380 MHz, ~{energy_nj:.1f} nJ")
+    print(f"  baseline core : {cycles_base:6d} cycles "
+          f"({cycles_base / cycles_ext:.1f}x slower)")
+    print("\nRRM loops run at millisecond granularity: the extended core "
+          "leaves >99% of each slot free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: run one fully-connected layer at all five optimization
+levels of the paper and watch the speedup build up.
+
+    python examples/quickstart.py
+
+The script builds a 64x48 Q3.12 matvec, lowers it to RISC-V assembly at
+each of Table I's optimization stages, executes it on the simulated
+RI5CY-style core, checks the outputs bit-exactly against the golden
+fixed-point model, and prints the per-stage cycle counts.
+"""
+
+import numpy as np
+
+from repro.core import Cpu, Memory
+from repro.fixedpoint import Q3_12
+from repro.isa import assemble
+from repro.kernels import (AsmBuilder, LEVELS, MatvecJob, gen_matvec,
+                           padded_row)
+from repro.nn import dense_fixed
+
+N_IN, N_OUT = 64, 48
+
+
+def run_level(level_key, w, x, bias):
+    level = LEVELS[level_key]
+    row_hw = padded_row(N_IN, level_key)
+    builder = AsmBuilder()
+    job = MatvecJob(n_in=N_IN, n_out=N_OUT, w_addr=0x8000, x_addr=0x2000,
+                    b_addr=0x3000, out_addr=0x4000, row_halfwords=row_hw,
+                    acc_addr=0x0FF0)
+    gen_matvec(builder, level, job)
+    builder.emit("ebreak")
+
+    mem = Memory(1 << 17)
+    padded = np.zeros((N_OUT, row_hw), dtype=np.int64)
+    padded[:, :N_IN] = w
+    mem.store_halfwords(0x8000, padded)
+    xp = np.zeros(row_hw, dtype=np.int64)
+    xp[:N_IN] = x
+    mem.store_halfwords(0x2000, xp)
+    mem.store_halfwords(0x3000, bias)
+
+    cpu = Cpu(assemble(builder.text()), mem, extensions=level.extensions)
+    trace = cpu.run()
+    out = mem.load_halfwords(0x4000, N_OUT)
+    assert np.array_equal(out, dense_fixed(w, x, bias)), "golden mismatch!"
+    return trace
+
+
+def main():
+    rng = np.random.default_rng(2020)
+    w = Q3_12.from_float(rng.uniform(-0.4, 0.4, (N_OUT, N_IN)))
+    x = Q3_12.from_float(rng.uniform(-1.0, 1.0, N_IN))
+    bias = Q3_12.from_float(rng.uniform(-0.1, 0.1, N_OUT))
+
+    print(f"{N_OUT}x{N_IN} fixed-point (Q3.12) fully-connected layer, "
+          f"{N_OUT * N_IN} MACs\n")
+    print(f"{'stage':<30s}{'cycles':>8s}{'instrs':>8s}{'speedup':>9s}"
+          f"{'MAC/cyc':>9s}")
+    baseline = None
+    for key in "abcde":
+        trace = run_level(key, w, x, bias)
+        cycles = trace.total_cycles
+        baseline = baseline or cycles
+        print(f"{LEVELS[key].column:<30s}{cycles:>8d}"
+              f"{trace.total_instrs:>8d}{baseline / cycles:>8.1f}x"
+              f"{N_OUT * N_IN / cycles:>9.2f}")
+    print("\nAll five stages produced bit-identical outputs "
+          "(checked against the golden fixed-point model).")
+
+
+if __name__ == "__main__":
+    main()

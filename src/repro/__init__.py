@@ -1,0 +1,19 @@
+"""repro: reproduction of "Extending the RISC-V ISA for Efficient RNN-based
+5G Radio Resource Management" (Andri, Henriksson, Benini - DAC 2020).
+
+Subpackages:
+    fixedpoint  Q-format arithmetic, PLA activation tables (Alg. 2 / Fig. 2)
+    isa         instruction set, assembler, encoder/decoder
+    core        RI5CY-style instruction-set simulator with cycle model
+    kernels     NN kernel code generators at the paper's 5 optimization levels
+    perfmodel   closed-form instruction/cycle count model (validated vs. ISS)
+    nn          golden float/fixed-point layer models
+    rrm         the 10-network RRM benchmark suite and workload generators
+    energy      power/area/throughput model (Sec. IV)
+    eval        drivers regenerating every table and figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["fixedpoint", "isa", "core", "kernels", "perfmodel", "nn",
+           "rrm", "energy", "eval"]

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+    table1 | table2 | fig2 | fig3 | activations | section4 | quantization
+    codesize | int8 | energy | isa-ref
+        regenerate one experiment/reference and print it
+
+    all [--out DIR]
+        regenerate every experiment; optionally write artifacts to DIR
+
+    suite [--level X] [--scale N]
+        execute the (scaled) benchmark suite on the ISS with golden
+        checking and print the per-network cycle table
+
+    run FILE.s
+        assemble and execute a RISC-V assembly file on the extended core,
+        then print the register file and execution histogram
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+__all__ = ["main"]
+
+_DRIVERS = {
+    "table1": "repro.eval.table1",
+    "table2": "repro.eval.table2",
+    "fig2": "repro.eval.fig2",
+    "fig3": "repro.eval.fig3",
+    "activations": "repro.eval.activations",
+    "section4": "repro.eval.section4",
+    "quantization": "repro.eval.quantization",
+    "codesize": "repro.eval.codesize",
+    "int8": "repro.eval.int8_study",
+    "energy": "repro.eval.energy_table",
+    "bitwidth": "repro.eval.bitwidth",
+    "beyond": "repro.eval.beyond",
+    "isa-ref": "repro.isa.reference",
+}
+
+
+def _run_driver(name: str) -> str:
+    import importlib
+    module = importlib.import_module(_DRIVERS[name])
+    return module.main()
+
+
+def _cmd_all(args) -> int:
+    for name in _DRIVERS:
+        text = _run_driver(name)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{name}.txt")
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+            print(f"[written {path}]")
+        print()
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    import numpy as np
+    from .rrm.suite import LEVEL_KEYS, SuiteRunner, network_trace
+    levels = [args.level] if args.level else list(LEVEL_KEYS)
+    runner = SuiteRunner(scale=args.scale, check=not args.no_check)
+    print(f"executing the suite on the ISS (scale {args.scale or 'env'}, "
+          f"golden checking {'off' if args.no_check else 'on'})")
+    for level in levels:
+        print(f"\nlevel {level}:")
+        total = 0
+        for network in runner.networks:
+            trace = runner.run_network(network, level)
+            total += trace.total_cycles
+            print(f"  {network.name:<15s} {trace.total_cycles:>9d} cycles"
+                  f"  ({trace.total_instrs} instrs)")
+        print(f"  {'TOTAL':<15s} {total:>9d} cycles")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .core import Cpu, Memory
+    from .isa import assemble, reg_name
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source)
+    memory = Memory(args.memory)
+    program.load_data(memory)
+    cpu = Cpu(program, memory)
+    trace = cpu.run()
+    print(f"halted after {cpu.instret} instructions, "
+          f"{cpu.cycles} cycles\n")
+    for i in range(0, 32, 4):
+        print("  ".join(f"{reg_name(r):>5s}={cpu.reg(r):08x}"
+                        for r in range(i, i + 4)))
+    print()
+    print(trace.table(top_n=10))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Extending the RISC-V ISA for "
+                    "Efficient RNN-based 5G Radio Resource Management' "
+                    "(DAC 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _DRIVERS:
+        sub.add_parser(name, help=f"regenerate {name}")
+
+    p_all = sub.add_parser("all", help="regenerate every experiment")
+    p_all.add_argument("--out", help="directory for text artifacts")
+
+    p_suite = sub.add_parser("suite", help="run the suite on the ISS")
+    p_suite.add_argument("--level", choices=list("abcde"))
+    p_suite.add_argument("--scale", type=int, default=None,
+                         help="suite down-scale factor (default: "
+                              "REPRO_SCALE or 4)")
+    p_suite.add_argument("--no-check", action="store_true",
+                         help="skip golden-model verification")
+
+    p_run = sub.add_parser("run", help="assemble + execute a .s file")
+    p_run.add_argument("file")
+    p_run.add_argument("--memory", type=int, default=1 << 20,
+                       help="memory size in bytes")
+
+    args = parser.parse_args(argv)
+    if args.command in _DRIVERS:
+        _run_driver(args.command)
+        return 0
+    if args.command == "all":
+        return _cmd_all(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

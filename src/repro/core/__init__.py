@@ -1,0 +1,12 @@
+"""RI5CY-style instruction-set simulator (functional + cycle model)."""
+
+from .cpu import BASELINE_EXTENSIONS, Cpu, DEFAULT_EXTENSIONS, XPULP_EXTENSIONS
+from .exceptions import ExecutionLimitExceeded, MemoryError32, SimError
+from .memory import Memory
+from .tracer import Trace
+
+__all__ = [
+    "Cpu", "Memory", "Trace",
+    "DEFAULT_EXTENSIONS", "BASELINE_EXTENSIONS", "XPULP_EXTENSIONS",
+    "SimError", "MemoryError32", "ExecutionLimitExceeded",
+]

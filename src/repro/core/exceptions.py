@@ -1,0 +1,17 @@
+"""Simulator error types."""
+
+from __future__ import annotations
+
+__all__ = ["SimError", "MemoryError32", "ExecutionLimitExceeded"]
+
+
+class SimError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class MemoryError32(SimError):
+    """Out-of-range or misaligned memory access."""
+
+
+class ExecutionLimitExceeded(SimError):
+    """The instruction budget was exhausted before the program halted."""

@@ -1,0 +1,173 @@
+"""Tightly-coupled data memory (TCDM) model.
+
+The RI5CY core in the paper sits on a single-cycle TCDM through a logarithmic
+interconnect.  We model a flat word-array memory with optional wait states
+(0 by default = single-cycle grant, as in the paper's measurements).
+
+The word array (``words``) is deliberately a plain Python list of unsigned
+32-bit ints: the CPU's compiled instruction closures capture it directly for
+speed.  The checked accessor methods are for program setup and readback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import MemoryError32
+
+__all__ = ["Memory"]
+
+_M32 = 0xFFFFFFFF
+
+
+class Memory:
+    """Word-addressed RAM with halfword/byte access helpers."""
+
+    def __init__(self, size_bytes: int = 1 << 20, wait_states: int = 0):
+        if size_bytes % 4:
+            raise ValueError("memory size must be word-aligned")
+        if wait_states < 0:
+            raise ValueError("wait_states must be >= 0")
+        self.size_bytes = size_bytes
+        self.wait_states = wait_states
+        self.words: list[int] = [0] * (size_bytes // 4)
+
+    # ------------------------------------------------------------------
+    # Checked scalar access
+    # ------------------------------------------------------------------
+    def _check(self, addr: int, align: int) -> None:
+        if addr % align:
+            raise MemoryError32(f"misaligned {align}-byte access at "
+                                f"0x{addr:08x}")
+        if not 0 <= addr < self.size_bytes:
+            raise MemoryError32(f"access at 0x{addr:08x} outside "
+                                f"{self.size_bytes}-byte memory")
+
+    def load_word(self, addr: int, signed: bool = False) -> int:
+        self._check(addr, 4)
+        value = self.words[addr >> 2]
+        if signed:
+            return value - ((value & 0x80000000) << 1)
+        return value
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self.words[addr >> 2] = value & _M32
+
+    def load_half(self, addr: int, signed: bool = True) -> int:
+        self._check(addr, 2)
+        word = self.words[addr >> 2]
+        half = (word >> ((addr & 2) << 3)) & 0xFFFF
+        if signed:
+            return half - ((half & 0x8000) << 1)
+        return half
+
+    def store_half(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        shift = (addr & 2) << 3
+        index = addr >> 2
+        word = self.words[index] & ~(0xFFFF << shift)
+        self.words[index] = word | ((value & 0xFFFF) << shift)
+
+    def load_byte(self, addr: int, signed: bool = True) -> int:
+        self._check(addr, 1)
+        word = self.words[addr >> 2]
+        byte = (word >> ((addr & 3) << 3)) & 0xFF
+        if signed:
+            return byte - ((byte & 0x80) << 1)
+        return byte
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        shift = (addr & 3) << 3
+        index = addr >> 2
+        word = self.words[index] & ~(0xFF << shift)
+        self.words[index] = word | ((value & 0xFF) << shift)
+
+    # ------------------------------------------------------------------
+    # Bulk array access (program setup / result readback)
+    # ------------------------------------------------------------------
+    def store_halfwords(self, addr: int, values) -> None:
+        """Store a sequence of signed 16-bit values contiguously.
+
+        Word-aligned spans take a vectorized path (network weight images
+        are hundreds of kilobytes; a scalar loop would dominate test time).
+        """
+        flat = np.asarray(values, dtype=np.int64).reshape(-1)
+        if flat.size == 0:
+            return
+        if addr % 2:
+            raise MemoryError32(f"misaligned halfword store at 0x{addr:08x}")
+        start = addr
+        if start % 4:
+            self.store_half(start, int(flat[0]))
+            flat = flat[1:]
+            start += 2
+        pairs = flat.size // 2
+        if pairs:
+            self._check(start, 4)
+            self._check(start + 4 * pairs - 4, 4)
+            body = flat[:2 * pairs].astype(np.uint64) & 0xFFFF
+            words = (body[0::2] | (body[1::2] << 16)).astype(np.int64)
+            base = start >> 2
+            self.words[base:base + pairs] = [int(w) for w in words]
+        if flat.size % 2:
+            self.store_half(start + 4 * pairs, int(flat[-1]))
+
+    def load_halfwords(self, addr: int, count: int,
+                       signed: bool = True) -> np.ndarray:
+        """Load ``count`` contiguous 16-bit values as an int64 array."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if addr % 2:
+            raise MemoryError32(f"misaligned halfword load at 0x{addr:08x}")
+        out = np.empty(count, dtype=np.int64)
+        index = 0
+        start = addr
+        if start % 4:
+            out[0] = self.load_half(start, signed=signed)
+            index, start = 1, start + 2
+        pairs = (count - index) // 2
+        if pairs:
+            self._check(start, 4)
+            self._check(start + 4 * pairs - 4, 4)
+            base = start >> 2
+            words = np.asarray(self.words[base:base + pairs],
+                               dtype=np.uint64)
+            lo = (words & 0xFFFF).astype(np.int64)
+            hi = ((words >> 16) & 0xFFFF).astype(np.int64)
+            if signed:
+                lo -= (lo & 0x8000) << 1
+                hi -= (hi & 0x8000) << 1
+            out[index:index + 2 * pairs:2] = lo
+            out[index + 1:index + 2 * pairs:2] = hi
+            index += 2 * pairs
+        while index < count:
+            out[index] = self.load_half(addr + 2 * index, signed=signed)
+            index += 1
+        return out
+
+    def store_bytes(self, addr: int, values) -> None:
+        """Store a sequence of signed 8-bit values contiguously."""
+        for offset, value in enumerate(np.asarray(values).reshape(-1)):
+            self.store_byte(addr + offset, int(value))
+
+    def load_bytes(self, addr: int, count: int,
+                   signed: bool = True) -> np.ndarray:
+        """Load ``count`` contiguous 8-bit values as an int64 array."""
+        out = np.empty(count, dtype=np.int64)
+        for offset in range(count):
+            out[offset] = self.load_byte(addr + offset, signed=signed)
+        return out
+
+    def store_words_array(self, addr: int, values) -> None:
+        """Store a sequence of 32-bit values contiguously."""
+        for offset, value in enumerate(np.asarray(values).reshape(-1)):
+            self.store_word(addr + 4 * offset, int(value) & _M32)
+
+    def load_words_array(self, addr: int, count: int,
+                         signed: bool = True) -> np.ndarray:
+        out = np.empty(count, dtype=np.int64)
+        for offset in range(count):
+            out[offset] = self.load_word(addr + 4 * offset, signed=signed)
+        return out

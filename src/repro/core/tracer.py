@@ -1,0 +1,90 @@
+"""Execution statistics: per-mnemonic instruction and cycle histograms.
+
+This is the data structure behind Table I.  Counts are keyed by the
+*display* name of each instruction (``p.lw`` shows as ``lw!``,
+``pl.sdotsp.h.0/1`` collapse onto ``pl.sdot``, ``pl.tanh``/``pl.sig`` onto
+``tanh,sig``), matching the paper's row labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """Instruction/cycle histogram for one or more program runs."""
+
+    instrs: dict = field(default_factory=dict)
+    cycles: dict = field(default_factory=dict)
+
+    def add(self, name: str, instrs: int, cycles: int) -> None:
+        self.instrs[name] = self.instrs.get(name, 0) + instrs
+        self.cycles[name] = self.cycles.get(name, 0) + cycles
+
+    def merge(self, other: "Trace") -> "Trace":
+        for name, count in other.instrs.items():
+            self.instrs[name] = self.instrs.get(name, 0) + count
+        for name, count in other.cycles.items():
+            self.cycles[name] = self.cycles.get(name, 0) + count
+        return self
+
+    def scaled(self, factor: float) -> "Trace":
+        """A copy with all counts multiplied by ``factor`` (rounded)."""
+        out = Trace()
+        out.instrs = {k: int(round(v * factor)) for k, v in self.instrs.items()}
+        out.cycles = {k: int(round(v * factor)) for k, v in self.cycles.items()}
+        return out
+
+    @property
+    def total_instrs(self) -> int:
+        return sum(self.instrs.values())
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles.values())
+
+    def stall_summary(self) -> dict:
+        """Extra cycles beyond 1/instruction, by mnemonic.
+
+        For loads this is the load-use stall count; for branches the
+        taken-branch penalties; for ``pl.sdot`` any SPR-timing stalls and
+        wait states.  The total quantifies how far the code sits from the
+        1-instruction-per-cycle ideal.
+        """
+        extras = {}
+        for name, cyc in self.cycles.items():
+            extra = cyc - self.instrs.get(name, 0)
+            if extra:
+                extras[name] = extra
+        return extras
+
+    def top(self, n: int = 6) -> list:
+        """The ``n`` largest rows by cycle count: (name, cycles, instrs)."""
+        rows = sorted(self.cycles.items(), key=lambda kv: -kv[1])
+        return [(name, cyc, self.instrs.get(name, 0))
+                for name, cyc in rows[:n]]
+
+    def table(self, top_n: int = 6, unit: float = 1.0) -> str:
+        """Render a Table-I-style column: top rows, an 'oth.' row, totals."""
+        rows = self.top(top_n)
+        named = {name for name, _, _ in rows}
+        other_cycles = sum(v for k, v in self.cycles.items() if k not in named)
+        other_instrs = sum(v for k, v in self.instrs.items() if k not in named)
+        lines = [f"{'Instr.':<12}{'cycles':>12}{'instrs':>12}"]
+        for name, cyc, cnt in rows:
+            lines.append(f"{name:<12}{cyc / unit:>12.1f}{cnt / unit:>12.1f}")
+        lines.append(f"{'oth.':<12}{other_cycles / unit:>12.1f}"
+                     f"{other_instrs / unit:>12.1f}")
+        lines.append(f"{'total':<12}{self.total_cycles / unit:>12.1f}"
+                     f"{self.total_instrs / unit:>12.1f}")
+        return "\n".join(lines)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        strip = lambda d: {k: v for k, v in d.items() if v}
+        return (strip(self.instrs) == strip(other.instrs)
+                and strip(self.cycles) == strip(other.cycles))

@@ -1,0 +1,7 @@
+"""Power / area / throughput model for Sec. IV of the paper."""
+
+from .model import (AREA_BASE_KGE, AREA_EXT_KGE, AREA_OVERHEAD_KGE,
+                    CoreReport, EnergyModel, FREQ_HZ, VOLTAGE)
+
+__all__ = ["EnergyModel", "CoreReport", "FREQ_HZ", "VOLTAGE",
+           "AREA_BASE_KGE", "AREA_EXT_KGE", "AREA_OVERHEAD_KGE"]

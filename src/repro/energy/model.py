@@ -1,0 +1,132 @@
+"""Power / throughput / energy-efficiency model (paper Sec. IV).
+
+The paper measures two operating points on the placed-and-routed core in
+GF 22FDX at 0.65 V / 380 MHz:
+
+* 1.73 mW while executing the RV32-IMC baseline code, and
+* 2.61 mW while executing the extended kernels, the increase dominated by
+  the higher utilization of the compute units (ALU/MAC), then the GPR,
+  then the LSU, with the decoder contributing ~5 uW.
+
+We model per-cycle power as ``base + compute_weighted_activity`` and
+calibrate the two coefficients on those two published points using the
+activity profiles of our own suite traces.  Everything downstream
+(MMAC/s, GMAC/s/W, the 10x efficiency claim) is then *derived*, not
+asserted.  Area numbers are carried as published constants: the paper's
+contribution there is the 2.3 kGE / 3.4% overhead with an unchanged
+critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tracer import Trace
+
+__all__ = ["EnergyModel", "CoreReport", "FREQ_HZ", "VOLTAGE",
+           "AREA_BASE_KGE", "AREA_EXT_KGE", "AREA_OVERHEAD_KGE"]
+
+#: Operating point (paper Sec. IV): 380 MHz at 0.65 V, typical corner.
+FREQ_HZ = 380e6
+VOLTAGE = 0.65
+
+#: 2.3 kGE extension overhead = 3.4% of the core => 67.6 kGE baseline core.
+AREA_OVERHEAD_KGE = 2.3
+AREA_BASE_KGE = round(AREA_OVERHEAD_KGE / 0.034, 1)
+AREA_EXT_KGE = AREA_BASE_KGE + AREA_OVERHEAD_KGE
+
+#: Published calibration powers (mW).
+_P_BASELINE_MW = 1.73
+_P_EXTENDED_MW = 2.61
+
+#: Instruction classes by Table-I display name.  "compute" covers the
+#: multiplier/MAC datapath; "mem" the LSU; everything else is simple ALU /
+#: control handled by the base term.
+_COMPUTE = {"mac", "pv.sdot", "pl.sdot", "tanh,sig", "mul", "mulh",
+            "mulhu", "mulhsu"}
+_MEM = {"lw", "lh", "lb", "lbu", "lhu", "sw", "sh", "sb",
+        "lw!", "lh!", "lb!", "lbu!", "lhu!", "sw!", "sh!", "sb!",
+        "pl.sdot"}
+
+
+def _activity(trace: Trace) -> tuple[float, float]:
+    """(compute, mem) active fractions per cycle for a trace."""
+    total = trace.total_cycles
+    if total == 0:
+        raise ValueError("empty trace")
+    compute = sum(c for name, c in trace.cycles.items() if name in _COMPUTE)
+    mem = sum(c for name, c in trace.cycles.items() if name in _MEM)
+    return compute / total, mem / total
+
+
+@dataclass
+class CoreReport:
+    """Derived Sec.-IV numbers for one configuration."""
+
+    level: str
+    cycles: int
+    macs: int
+    power_mw: float
+    mmacs: float
+    gmacs_per_w: float
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles
+
+
+class EnergyModel:
+    """Two-point-calibrated activity power model.
+
+    Args:
+        baseline_trace: suite histogram at level a.
+        extended_trace: suite histogram at the full-extension level (e).
+
+    The per-cycle power is ``p0 + p1 * (compute + 0.5 * mem)`` with p0/p1
+    solved so the two calibration traces land exactly on the published
+    1.73 / 2.61 mW.  The 0.5 encodes the paper's ordering of contributors
+    (ALU/MAC > GPR > LSU); results are insensitive to it because all
+    ratios are anchored at the calibration points.
+    """
+
+    MEM_WEIGHT = 0.5
+
+    def __init__(self, baseline_trace: Trace, extended_trace: Trace):
+        a_act = self._blend(baseline_trace)
+        e_act = self._blend(extended_trace)
+        if abs(e_act - a_act) < 1e-9:
+            raise ValueError("calibration traces have identical activity")
+        self.p1 = (_P_EXTENDED_MW - _P_BASELINE_MW) / (e_act - a_act)
+        self.p0 = _P_BASELINE_MW - self.p1 * a_act
+        if self.p0 <= 0 or self.p1 <= 0:
+            raise ValueError(
+                f"implausible calibration (p0={self.p0}, p1={self.p1}); "
+                "check the activity profiles")
+
+    def _blend(self, trace: Trace) -> float:
+        compute, mem = _activity(trace)
+        return compute + self.MEM_WEIGHT * mem
+
+    # ------------------------------------------------------------------
+    def power_mw(self, trace: Trace) -> float:
+        """Average core power while executing ``trace``'s mix."""
+        return self.p0 + self.p1 * self._blend(trace)
+
+    def report(self, level: str, trace: Trace, macs: int) -> CoreReport:
+        """Full derived report for one level."""
+        cycles = trace.total_cycles
+        power = self.power_mw(trace)
+        mmacs = macs / cycles * FREQ_HZ / 1e6
+        gmacs_per_w = mmacs / power
+        return CoreReport(level=level, cycles=cycles, macs=macs,
+                          power_mw=power, mmacs=mmacs,
+                          gmacs_per_w=gmacs_per_w)
+
+    def breakdown_mw(self, trace: Trace) -> dict:
+        """Per-contributor power split, mirroring the paper's narrative."""
+        compute, mem = _activity(trace)
+        return {
+            "base (clock/fetch/decode)": self.p0,
+            "compute (ALU/MAC/act)": self.p1 * compute,
+            "load-store unit": self.p1 * self.MEM_WEIGHT * mem,
+        }

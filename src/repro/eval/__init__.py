@@ -1,0 +1,30 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``compute_*`` (structured results), ``format_*``
+(text rendering) and ``main()`` and can be run with ``python -m``:
+
+==================================  =====================================
+``repro.eval.table1``               Table I cycle/instruction histograms
+``repro.eval.table2``               Table II assembly comparison
+``repro.eval.fig2``                 Fig. 2 tanh PLA error surface
+``repro.eval.fig3``                 Fig. 3 per-network speedups
+``repro.eval.activations``          Sec. III-D tanh/sig numbers
+``repro.eval.section4``             Sec. IV area/power/efficiency
+``repro.eval.quantization``         Sec. III-D robustness claim
+==================================  =====================================
+
+Submodules are imported lazily so ``python -m repro.eval.<x>`` does not
+re-import the module it is executing.
+"""
+
+import importlib
+
+__all__ = ["table1", "table2", "fig2", "fig3", "activations", "section4",
+           "quantization", "codesize", "int8_study", "energy_table",
+           "bitwidth", "beyond", "report"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,104 @@
+"""Sec. III-D numbers: the tanh/sig story.
+
+* share of LSTM-network cycles spent in software tanh/sig (paper: 10.3%
+  for [13], 33.6% for [14]);
+* LSTM-network cycle reduction from the single-cycle ``pl.tanh``/
+  ``pl.sig`` instructions (paper: 51.2 -> 44.5 kcycles, 13.0%);
+* the end-to-end error of the chosen interpolation (see fig2).
+
+The with/without-extension comparison is run at stage c by re-planning the
+LSTM networks with hardware activations disabled (an ablation level "c-"
+that keeps tiling but evaluates the PLA in software).
+
+Run as ``python -m repro.eval.activations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..kernels.common import LEVELS, OptLevel
+from ..kernels.runner import NetworkPlan
+from ..rrm.networks import FULL_SUITE
+from ..rrm.suite import network_trace, plan_for
+from .report import banner, render_kv
+
+__all__ = ["compute_activation_stats", "format_activations", "main"]
+
+#: Stage c with the tanh/sig extension removed (tiling kept).
+LEVEL_C_NO_ACT: OptLevel = replace(
+    LEVELS["c"], key="c", column="c-) OFM tiling, SW activations",
+    hw_activations=False,
+    extensions=LEVELS["c"].extensions)
+
+#: Stage b with the tanh/sig extension added (isolates the SW activation
+#: share of the pre-tiling kernels, the basis of the paper's 10.3%/33.6%).
+LEVEL_B_HW_ACT: OptLevel = replace(
+    LEVELS["b"], key="b", column="b+) Xpulp + pl.tanh/pl.sig",
+    hw_activations=True,
+    extensions=LEVELS["b"].extensions | {"Xrnn"})
+
+_LSTM_NETS = ("challita2017", "naparstek2019")
+
+
+def _plan_without_hw_act(network) -> NetworkPlan:
+    """Stage-c plan with software PLA (ablation)."""
+    return NetworkPlan(network, LEVEL_C_NO_ACT)
+
+
+def compute_activation_stats() -> dict:
+    nets = [n for n in FULL_SUITE if n.name in _LSTM_NETS]
+    with_ext = {n.name: network_trace(n, "c").total_cycles for n in nets}
+    without = {n.name: _plan_without_hw_act(n).trace.total_cycles
+               * n.timesteps for n in nets}
+    # Software tanh/sig share of the overall cycles at stage b (the
+    # paper's 10.3% / 33.6% quote): cycles removed when the activation
+    # instructions are added to the stage-b kernels.
+    share = {}
+    for net in nets:
+        sw_b = NetworkPlan(net, "b").trace.total_cycles
+        hw_b = NetworkPlan(net, LEVEL_B_HW_ACT).trace.total_cycles
+        share[net.name] = (sw_b - hw_b) / sw_b
+    total_sw = sum(without.values())
+    total_hw = sum(with_ext.values())
+    return {
+        "with_ext_cycles": with_ext,
+        "without_ext_cycles": without,
+        "sw_share": share,
+        "total_without_k": total_sw / 1e3,
+        "total_with_k": total_hw / 1e3,
+        "improvement_pct": 100.0 * (total_sw - total_hw) / total_sw,
+    }
+
+
+def format_activations(stats: dict | None = None) -> str:
+    if stats is None:
+        stats = compute_activation_stats()
+    lines = [banner("Sec. III-D - tanh/sig extension on the LSTM networks")]
+    pairs = []
+    for name in _LSTM_NETS:
+        pairs.append((f"{name} cycles at stage c (SW act)",
+                      f"{stats['without_ext_cycles'][name] / 1e3:.1f} k"))
+        pairs.append((f"{name} cycles at stage c (pl.tanh/pl.sig)",
+                      f"{stats['with_ext_cycles'][name] / 1e3:.1f} k"))
+        pairs.append((f"{name} SW tanh/sig share at stage b",
+                      f"{100 * stats['sw_share'][name]:.1f} % "
+                      "(paper: 10.3% [13], 33.6% [14])"))
+    pairs.append(("LSTM nets total without ext",
+                  f"{stats['total_without_k']:.1f} kcycles (paper: 51.2)"))
+    pairs.append(("LSTM nets total with ext",
+                  f"{stats['total_with_k']:.1f} kcycles (paper: 44.5)"))
+    pairs.append(("improvement",
+                  f"{stats['improvement_pct']:.1f} % (paper: 13.0 %)"))
+    lines.append(render_kv(pairs))
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_activations()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

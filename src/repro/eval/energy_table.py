@@ -1,0 +1,73 @@
+"""Per-network latency and energy on the two cores.
+
+An operational view of Sec. IV: for every RRM benchmark network, the
+inference latency and energy on the baseline core vs. the extended core at
+380 MHz — the numbers a base-station integrator actually budgets against
+(the paper's intro: RRM must run "in the frame of milliseconds").
+
+Run as ``python -m repro.eval.energy_table``.
+"""
+
+from __future__ import annotations
+
+from ..energy.model import EnergyModel, FREQ_HZ
+from ..rrm.networks import FULL_SUITE
+from ..rrm.suite import network_trace, suite_trace
+from .report import banner, render_table
+
+__all__ = ["compute_energy_table", "format_energy_table", "main"]
+
+
+def compute_energy_table(networks=FULL_SUITE) -> dict:
+    model = EnergyModel(suite_trace("a", networks),
+                        suite_trace("e", networks))
+    rows = []
+    for network in networks:
+        trace_a = network_trace(network, "a")
+        trace_e = network_trace(network, "e")
+        lat_a = trace_a.total_cycles / FREQ_HZ
+        lat_e = trace_e.total_cycles / FREQ_HZ
+        energy_a = model.power_mw(trace_a) * 1e-3 * lat_a
+        energy_e = model.power_mw(trace_e) * 1e-3 * lat_e
+        rows.append({
+            "name": network.name,
+            "macs": network.macs_per_inference,
+            "latency_us_a": lat_a * 1e6,
+            "latency_us_e": lat_e * 1e6,
+            "energy_uj_a": energy_a * 1e6,
+            "energy_uj_e": energy_e * 1e6,
+            "energy_gain": energy_a / energy_e,
+        })
+    return {"rows": rows, "model": model}
+
+
+def format_energy_table(result: dict | None = None) -> str:
+    if result is None:
+        result = compute_energy_table()
+    lines = [banner("Per-network inference latency and energy "
+                    "(380 MHz @ 0.65 V)")]
+    table_rows = []
+    for row in result["rows"]:
+        table_rows.append([
+            row["name"], f"{row['macs'] / 1000:.1f}k",
+            f"{row['latency_us_a']:.1f}", f"{row['latency_us_e']:.1f}",
+            f"{row['energy_uj_a']:.3f}", f"{row['energy_uj_e']:.3f}",
+            f"{row['energy_gain']:.1f}x"])
+    lines.append(render_table(
+        ["network", "MACs", "lat a (us)", "lat e (us)",
+         "E a (uJ)", "E e (uJ)", "E gain"], table_rows))
+    worst = max(row["latency_us_e"] for row in result["rows"])
+    lines.append("")
+    lines.append(f"worst-case extended-core inference: {worst:.0f} us — "
+                 "well inside the millisecond RRM scheduling frame.")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_energy_table()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Fig. 2: tanh mean-square error vs. interpolation range and number of
+intervals under Q3.12 quantization.
+
+Run as ``python -m repro.eval.fig2``.  The hardware indexes intervals with
+a shift, so interval widths are powers of two in raw LSBs: the sweep walks
+(shift, interval-count) pairs and reports the resulting interpolation
+range ``M * 2**(N-12)``, exactly the axes of the paper's surface plot.
+
+The paper quotes MSE 9.81e-7 and max error 3.8e-4 at range [-4, 4] with
+2**5 = 32 intervals.  (Those two numbers are mutually inconsistent —
+MSE can never exceed max_err**2 = 1.44e-7 — so we report our measured
+values for all three fit strategies; see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fixedpoint.activations import (POINT_DESIGN_INTERVALS,
+                                      POINT_DESIGN_SHIFT)
+from ..fixedpoint.lut import evaluate_error, make_table
+from .report import banner, render_table
+
+__all__ = ["sweep", "point_design", "format_fig2", "main"]
+
+#: Sweep grid: interval counts and shifts (interval width 2**(shift-12)).
+INTERVAL_COUNTS = (4, 8, 16, 32, 64, 128)
+SHIFTS = (7, 8, 9, 10, 11)
+
+
+def sweep(func: str = "tanh", fit: str = "lsq") -> list:
+    """Error surface rows: (range, n_intervals, mse, max_err)."""
+    rows = []
+    for shift in SHIFTS:
+        for count in INTERVAL_COUNTS:
+            rng = count * 2 ** (shift - 12)
+            if rng > 8.0:   # beyond the Q3.12 representable range
+                continue
+            table = make_table(func, count, shift, fit=fit)
+            err = evaluate_error(table)
+            rows.append((rng, count, err["mse"], err["max_err"]))
+    return rows
+
+
+def point_design(fit: str = "lsq") -> dict:
+    """Errors of the selected operating point (range 4, 32 intervals)."""
+    table = make_table("tanh", POINT_DESIGN_INTERVALS, POINT_DESIGN_SHIFT,
+                       fit=fit)
+    result = evaluate_error(table)
+    result["range"] = table.range_limit
+    result["n_intervals"] = table.n_intervals
+    result["fit"] = fit
+    return result
+
+
+def format_fig2() -> str:
+    lines = [banner("Fig. 2 - tanh MSE vs interpolation range and number "
+                    "of intervals (Q3.12)")]
+    rows = [(f"[{-r:g},{r:g}]", n, f"{mse:.3e}", f"{mx:.3e}",
+             f"{np.log10(mse):.2f}")
+            for r, n, mse, mx in sweep()]
+    lines.append(render_table(
+        ["range", "#intervals", "MSE", "max err", "log10(MSE)"], rows))
+    lines.append("")
+    lines.append("Operating point (range [-4,4], 32 intervals), by fit:")
+    for fit in ("endpoint", "lsq", "minimax"):
+        p = point_design(fit)
+        lines.append(f"  {fit:<9s} MSE {p['mse']:.3e}   "
+                     f"max err {p['max_err']:.3e}")
+    lines.append("  paper     MSE 9.810e-07   max err 3.800e-04 "
+                 "(internally inconsistent; see module docstring)")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_fig2()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

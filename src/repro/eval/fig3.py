@@ -1,0 +1,64 @@
+"""Fig. 3: per-network speedup vs. the RV32IMC baseline at every
+optimization stage.
+
+Run as ``python -m repro.eval.fig3``.
+"""
+
+from __future__ import annotations
+
+from ..rrm.networks import FULL_SUITE
+from ..rrm.suite import LEVEL_KEYS, network_speedups, suite_speedups
+from .report import banner, render_table
+
+__all__ = ["compute_fig3", "format_fig3", "main"]
+
+#: The paper's headline observations for this figure.
+PAPER_AVERAGES = {"b": 4.4, "c": 8.4, "d": 14.3, "e": 15.0}
+PAPER_NOTES = ("OFM tiling gains 1.79-1.87x on regular networks but only "
+               "1.07x [33] / 1.30x [14] on the small-FM ones")
+
+
+def compute_fig3(networks=FULL_SUITE) -> dict:
+    per_network = {net.name: network_speedups(net) for net in networks}
+    average = suite_speedups(networks)
+    return {"per_network": per_network, "average": average}
+
+
+def format_fig3(result: dict | None = None) -> str:
+    if result is None:
+        result = compute_fig3()
+    lines = [banner("Fig. 3 - speedup vs RV32IMC baseline per network")]
+    rows = [["Average"] + [f"{result['average'][k]:.1f}"
+                           for k in LEVEL_KEYS]]
+    for name, speeds in result["per_network"].items():
+        rows.append([name] + [f"{speeds[k]:.1f}" for k in LEVEL_KEYS])
+    lines.append(render_table(
+        ["network", "a", "b (+Xpulp)", "c (+OFM/act)", "d (+VLIW)",
+         "e (+IFM)"], rows))
+    lines.append("")
+    lines.append(f"paper averages: " + ", ".join(
+        f"{k}={v}" for k, v in PAPER_AVERAGES.items()))
+    lines.append(f"paper notes:    {PAPER_NOTES}")
+    bar = _ascii_bars(result)
+    lines.append("")
+    lines.append(bar)
+    return "\n".join(lines)
+
+
+def _ascii_bars(result: dict) -> str:
+    """A small ASCII rendition of the grouped bar chart."""
+    lines = ["final-stage (e) speedups:"]
+    for name, speeds in result["per_network"].items():
+        bar = "#" * int(round(speeds["e"]))
+        lines.append(f"  {name:<15s} {bar} {speeds['e']:.1f}x")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_fig3()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

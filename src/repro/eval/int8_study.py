@@ -1,0 +1,141 @@
+"""INT8 future-work study: throughput vs. accuracy without retraining.
+
+The paper's Sec. III-A chooses 16-bit Q3.12 because it "does not require
+fixed-point aware retraining that would be necessary for smaller
+bit-widths".  This study quantifies both sides of that decision:
+
+* throughput: the ``pl.sdotsp.b`` kernel executes four MACs per issued
+  sum-dot-product, roughly halving matvec cycles vs. the 16-bit kernel;
+* accuracy: quantizing the trained WMMSE imitator straight to Q3.4
+  (same range, 8 fewer fraction bits, no retraining) and measuring the
+  achieved sum rate.
+
+Run as ``python -m repro.eval.int8_study``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fixedpoint.qformat import Q3_12, Q3_4
+from ..kernels.common import AsmBuilder, LEVELS
+from ..kernels.jobs import MatvecJob, padded_row
+from ..kernels.matvec import gen_matvec
+from ..kernels.matvec8 import Int8MatvecJob, gen_matvec_int8, padded_row8
+from ..nn.layers import apply_activation_float, dense_fixed8, dense_fixed
+from ..rrm.scenarios import InterferenceChannel
+from ..rrm.trainer import train_power_allocator
+from ..rrm.wmmse import sum_rate
+from .report import banner, render_kv
+
+__all__ = ["matvec_cycles_16_vs_8", "accuracy_study", "compute_int8_study",
+           "format_int8_study", "main"]
+
+
+def matvec_cycles_16_vs_8(n_in: int = 128, n_out: int = 120) -> dict:
+    """Static cycle counts of the same logical matvec at both widths."""
+    b16 = AsmBuilder()
+    gen_matvec(b16, LEVELS["d"], MatvecJob(
+        n_in=n_in, n_out=n_out, w_addr=0x10000, x_addr=0x4000,
+        b_addr=0x5000, out_addr=0x6000,
+        row_halfwords=padded_row(n_in, "d"), acc_addr=0x0FF0))
+    b8 = AsmBuilder()
+    gen_matvec_int8(b8, Int8MatvecJob(
+        n_in=n_in, n_out=n_out, w_addr=0x10000, x_addr=0x4000,
+        b_addr=0x5000, out_addr=0x6000, row_bytes=padded_row8(n_in)))
+    return {
+        "cycles_16": b16.trace.total_cycles,
+        "cycles_8": b8.trace.total_cycles,
+        "speedup": b16.trace.total_cycles / b8.trace.total_cycles,
+        "macs": n_in * n_out,
+    }
+
+
+def _forward_quantized(params_raw, specs, x_raw, fmt, dense_fn):
+    """Dense-chain forward in the given fixed-point format."""
+    value = x_raw
+    for spec, layer in zip(specs, params_raw):
+        value = dense_fn(layer["w"], value, layer["b"])
+        if spec.activation == "relu":
+            value = np.maximum(value, 0)
+        elif spec.activation == "sig":
+            # evaluate sig in float on the requantized value: isolates the
+            # matvec precision effect (the PLA effect is studied in fig2)
+            real = apply_activation_float(value / fmt.scale, "sig")
+            value = np.clip(np.round(real * fmt.scale), fmt.min_raw,
+                            fmt.max_raw).astype(np.int64)
+    return value
+
+
+def accuracy_study(n_pairs: int = 4, n_eval: int = 40, seed: int = 5) -> dict:
+    trainer, _ = train_power_allocator(
+        n_pairs=n_pairs, hidden=(48, 24), n_samples=192, epochs=60,
+        seed=seed, area_m=60.0)
+    specs = trainer.network.layers
+    params16 = [{k: Q3_12.from_float(v) for k, v in p.items()}
+                for p in trainer.params]
+    params8 = [{k: Q3_4.from_float(v) for k, v in p.items()}
+               for p in trainer.params]
+    scenario = InterferenceChannel(n_pairs, area_m=60.0, seed=seed + 1)
+    rates = {"float": [], "q3_12": [], "q3_4": []}
+    for _ in range(n_eval):
+        gains = scenario.gain_matrix()
+        feats = scenario.features(gains, n_pairs * n_pairs)
+        p_float, _ = trainer.forward(feats[None])
+        rates["float"].append(sum_rate(gains,
+                                       np.clip(p_float[0], 0, 1)))
+        out16 = _forward_quantized(params16, specs,
+                                   Q3_12.from_float(feats), Q3_12,
+                                   dense_fixed)
+        rates["q3_12"].append(
+            sum_rate(gains, np.clip(Q3_12.to_float(out16), 0, 1)))
+        out8 = _forward_quantized(params8, specs, Q3_4.from_float(feats),
+                                  Q3_4, dense_fixed8)
+        rates["q3_4"].append(
+            sum_rate(gains, np.clip(Q3_4.to_float(out8), 0, 1)))
+    mean = {k: float(np.mean(v)) for k, v in rates.items()}
+    return {
+        "rates": mean,
+        "loss_q3_12_pct": 100 * (1 - mean["q3_12"] / mean["float"]),
+        "loss_q3_4_pct": 100 * (1 - mean["q3_4"] / mean["float"]),
+    }
+
+
+def compute_int8_study() -> dict:
+    return {"cycles": matvec_cycles_16_vs_8(),
+            "accuracy": accuracy_study()}
+
+
+def format_int8_study(result: dict | None = None) -> str:
+    if result is None:
+        result = compute_int8_study()
+    cyc, acc = result["cycles"], result["accuracy"]
+    lines = [banner("INT8 study - why the paper stays at 16 bits")]
+    pairs = [
+        ("matvec cycles, Q3.12 (pl.sdotsp.h)", cyc["cycles_16"]),
+        ("matvec cycles, Q3.4 (pl.sdotsp.b)", cyc["cycles_8"]),
+        ("throughput gain", f"{cyc['speedup']:.2f}x"),
+        ("sum rate, float", f"{acc['rates']['float']:.3f} bit/s/Hz"),
+        ("sum rate, Q3.12 (no retraining)",
+         f"{acc['rates']['q3_12']:.3f}  "
+         f"(loss {acc['loss_q3_12_pct']:.2f}%)"),
+        ("sum rate, Q3.4 (no retraining)",
+         f"{acc['rates']['q3_4']:.3f}  "
+         f"(loss {acc['loss_q3_4_pct']:.2f}%)"),
+    ]
+    lines.append(render_kv(pairs))
+    lines.append("")
+    lines.append("Q3.12 is transparent without retraining; Q3.4 buys "
+                 "~2x cycles but visibly degrades the allocation — the "
+                 "paper's stated reason for choosing 16-bit.")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_int8_study()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Shared text-rendering helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_kv", "HEADER_WIDTH", "banner"]
+
+HEADER_WIDTH = 78
+
+
+def banner(title: str) -> str:
+    bar = "=" * HEADER_WIDTH
+    return f"{bar}\n{title}\n{bar}"
+
+
+def render_table(headers: list, rows: list, fmt: str = "{}") -> str:
+    """Render rows of cells into an aligned text table.
+
+    Cells may be strings or numbers; numbers are formatted with ``fmt``.
+    """
+    def cell(value):
+        if isinstance(value, str):
+            return value
+        return fmt.format(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [max(len(str(h)), *(len(r[i]) for r in text_rows))
+              if text_rows else len(str(h))
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(v.rjust(w) if i else v.ljust(w)
+                               for i, (v, w) in enumerate(zip(row, widths))))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: list) -> str:
+    """Render (key, value) pairs aligned on the colon."""
+    width = max(len(str(k)) for k, _ in pairs)
+    return "\n".join(f"{str(k).ljust(width)} : {v}" for k, v in pairs)

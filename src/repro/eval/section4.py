@@ -1,0 +1,98 @@
+"""Sec. IV: core implementation results — area, power, throughput, and
+energy efficiency of the baseline vs. extended core.
+
+Run as ``python -m repro.eval.section4``.
+
+Throughput and efficiency are *derived* from the suite cycle counts, the
+published 380 MHz operating point and the two published power figures (the
+activity model is calibrated on exactly those, see
+:mod:`repro.energy.model`).  The paper quotes 21 -> 566 MMAC/s; note that
+21 MMAC/s is inconsistent with the paper's own Table Ia (1.62 MMAC in
+14.68 Mcycles at 380 MHz gives 42 MMAC/s): both derivations are printed.
+"""
+
+from __future__ import annotations
+
+from ..energy.model import (AREA_BASE_KGE, AREA_EXT_KGE, AREA_OVERHEAD_KGE,
+                            EnergyModel, FREQ_HZ, VOLTAGE)
+from ..rrm.networks import FULL_SUITE
+from ..rrm.suite import suite_trace
+from .report import banner, render_kv
+
+__all__ = ["compute_section4", "format_section4", "main"]
+
+PAPER = {
+    "mmacs_base": 21.0, "mmacs_ext": 566.0,
+    "gmacsw_ext": 218.0, "power_base_mw": 1.73, "power_ext_mw": 2.61,
+    "speedup": 15.0, "efficiency_gain": 10.0,
+}
+
+
+def compute_section4(networks=FULL_SUITE) -> dict:
+    macs = sum(net.macs_per_inference for net in networks)
+    trace_a = suite_trace("a", networks)
+    trace_e = suite_trace("e", networks)
+    model = EnergyModel(trace_a, trace_e)
+    base = model.report("a", trace_a, macs)
+    ext = model.report("e", trace_e, macs)
+    return {
+        "model": model,
+        "base": base,
+        "ext": ext,
+        "speedup": base.cycles / ext.cycles,
+        "efficiency_gain": ext.gmacs_per_w / base.gmacs_per_w,
+        "breakdown_ext": model.breakdown_mw(trace_e),
+    }
+
+
+def format_section4(result: dict | None = None) -> str:
+    if result is None:
+        result = compute_section4()
+    base, ext = result["base"], result["ext"]
+    lines = [banner("Sec. IV - core implementation results "
+                    f"(GF 22FDX model, {FREQ_HZ / 1e6:.0f} MHz @ "
+                    f"{VOLTAGE} V)")]
+    pairs = [
+        ("core area (baseline RI5CY)", f"{AREA_BASE_KGE:.1f} kGE"),
+        ("extension overhead",
+         f"{AREA_OVERHEAD_KGE:.1f} kGE "
+         f"({100 * AREA_OVERHEAD_KGE / AREA_BASE_KGE:.1f} %, paper 3.4 %)"),
+        ("core area (extended)", f"{AREA_EXT_KGE:.1f} kGE"),
+        ("critical path", "unchanged (LSU -> memory, WB stage) "
+                          "[published result, carried]"),
+        ("power, baseline code",
+         f"{base.power_mw:.2f} mW (paper {PAPER['power_base_mw']} mW, "
+         "calibration point)"),
+        ("power, extended kernels",
+         f"{ext.power_mw:.2f} mW (paper {PAPER['power_ext_mw']} mW, "
+         "calibration point)"),
+        ("throughput, baseline",
+         f"{base.mmacs:.1f} MMAC/s (paper quotes 21; its own Table Ia "
+         "implies 42)"),
+        ("throughput, extended",
+         f"{ext.mmacs:.1f} MMAC/s (paper {PAPER['mmacs_ext']:.0f})"),
+        ("efficiency, baseline", f"{base.gmacs_per_w:.1f} GMAC/s/W"),
+        ("efficiency, extended",
+         f"{ext.gmacs_per_w:.1f} GMAC/s/W (paper {PAPER['gmacsw_ext']:.0f})"),
+        ("speedup",
+         f"{result['speedup']:.1f}x (paper {PAPER['speedup']:.0f}x)"),
+        ("energy-efficiency gain",
+         f"{result['efficiency_gain']:.1f}x "
+         f"(paper {PAPER['efficiency_gain']:.0f}x)"),
+    ]
+    lines.append(render_kv(pairs))
+    lines.append("")
+    lines.append("extended-core power breakdown (model):")
+    for name, value in result["breakdown_ext"].items():
+        lines.append(f"  {name:<28s} {value:.2f} mW")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_section4()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

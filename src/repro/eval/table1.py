@@ -1,0 +1,67 @@
+"""Table I: per-mnemonic cycle/instruction counts at the five optimization
+levels for the whole RRM suite, with cumulative improvement factors.
+
+Run as ``python -m repro.eval.table1``.  The numbers come from the exact
+static model at paper scale (ISS-validated; see tests/benchmarks).
+"""
+
+from __future__ import annotations
+
+from ..core.tracer import Trace
+from ..kernels.common import LEVELS
+from ..rrm.networks import FULL_SUITE
+from ..rrm.suite import LEVEL_KEYS, suite_trace
+from .report import banner, render_table
+
+__all__ = ["compute_table1", "format_table1", "main"]
+
+#: Paper values for the bottom rows (kcycles totals and improvements).
+PAPER_TOTALS_KCYC = {"a": 14683, "b": 3323, "c": 1756, "d": 1028, "e": 980}
+PAPER_IMPROVEMENT = {"a": 1.0, "b": 4.4, "c": 8.4, "d": 14.3, "e": 15.0}
+
+
+def compute_table1(networks=FULL_SUITE) -> dict:
+    """Per-level traces, totals, and improvements for the suite."""
+    traces = {key: suite_trace(key, networks) for key in LEVEL_KEYS}
+    base = traces["a"].total_cycles
+    return {
+        "traces": traces,
+        "improvement": {key: base / traces[key].total_cycles
+                        for key in LEVEL_KEYS},
+    }
+
+
+def format_table1(result: dict, top_n: int = 6) -> str:
+    lines = [banner("Table I - cycle and instruction count optimizations "
+                    "(whole RRM suite, kcycles/kinstr)")]
+    for key in LEVEL_KEYS:
+        trace: Trace = result["traces"][key]
+        rows = [(name, cyc / 1e3, cnt / 1e3)
+                for name, cyc, cnt in trace.top(top_n)]
+        named = {name for name, _, _ in rows}
+        rows.append(("oth.",
+                     sum(v for k, v in trace.cycles.items()
+                         if k not in named) / 1e3,
+                     sum(v for k, v in trace.instrs.items()
+                         if k not in named) / 1e3))
+        rows.append(("total", trace.total_cycles / 1e3,
+                     trace.total_instrs / 1e3))
+        lines.append("")
+        lines.append(LEVELS[key].column)
+        lines.append(render_table(["Instr.", "kcycles", "kinstr"], rows,
+                                  fmt="{:.1f}"))
+        lines.append(
+            f"improvement: {result['improvement'][key]:.2f}x "
+            f"(paper: {PAPER_IMPROVEMENT[key]:.1f}x; paper total "
+            f"{PAPER_TOTALS_KCYC[key]} kcycles)")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_table1(compute_table1())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Table II: assembly comparison of the OFM-tiled inner loop with and
+without the ``pl.sdotsp.h`` load-and-compute instruction (tile of four).
+
+Run as ``python -m repro.eval.table2``.  Both listings are produced by the
+actual kernel generators over a tile-of-4 matvec, then trimmed to the
+setup + inner loop the paper shows.
+"""
+
+from __future__ import annotations
+
+from ..kernels.common import AsmBuilder, LEVELS
+from ..kernels.jobs import MatvecJob
+from ..kernels.matvec import gen_matvec
+from .report import banner
+
+__all__ = ["generate_listings", "format_table2", "main"]
+
+
+def _listing(level_key: str, n_in: int = 64, n_out: int = 4) -> list:
+    job = MatvecJob(
+        n_in=n_in, n_out=n_out, w_addr=0x2000, x_addr=0x1000,
+        b_addr=0x3000, out_addr=0x3800,
+        row_halfwords=n_in, acc_addr=0x0FF0, max_tile=4)
+    builder = AsmBuilder()
+    gen_matvec(builder, LEVELS[level_key], job)
+    return [line.strip() for line in builder.lines]
+
+
+def _inner_loop_window(lines: list) -> list:
+    """Slice from the VLIW preloads / loop setup through the loop body."""
+    start = 0
+    for i, line in enumerate(lines):
+        if line.startswith("pl.sdotsp") or line.startswith("lp.setupi"):
+            start = i
+            break
+    end = len(lines)
+    for i in range(start, len(lines)):
+        if lines[i].startswith(".hwend") or lines[i].endswith(":"):
+            end = i + 1
+            break
+    return lines[start:end]
+
+
+def generate_listings() -> dict:
+    """Returns {"tiled": [...], "vliw": [...]} inner-loop listings."""
+    return {
+        "tiled": _inner_loop_window(_listing("c")),
+        "vliw": _inner_loop_window(_listing("d")),
+    }
+
+
+def format_table2(listings: dict | None = None) -> str:
+    if listings is None:
+        listings = generate_listings()
+    left, right = listings["tiled"], listings["vliw"]
+    width = max(len(line) for line in left) + 4
+    height = max(len(left), len(right))
+    lines = [banner("Table II - output-FM tile of 4: pv.sdotsp.h (left) "
+                    "vs. pl.sdotsp.h load-and-compute (right)")]
+    lines.append(f"{'with FM tiling only':<{width}}with pl.sdotsp.h")
+    lines.append("-" * (width + 30))
+    for i in range(height):
+        l = left[i] if i < len(left) else ""
+        r = right[i] if i < len(right) else ""
+        lines.append(f"{i + 1:>2}: {l:<{width - 4}}{r}")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_table2()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Fixed-point arithmetic substrate (Q-formats, saturating ops, PLA LUTs)."""
+
+from .qformat import ACC32, Q1_14, Q3_12, Q3_4, Q7_8, QFormat
+from .ops import (
+    dotp2,
+    hadamard,
+    matvec,
+    pack2,
+    requantize,
+    sat_add,
+    sat_mul,
+    sat_sub,
+    unpack2,
+    vec_add,
+)
+from .lut import PlaTable, evaluate_error, make_table, pla_apply, pla_apply_float
+from .activations import (
+    POINT_DESIGN_INTERVALS,
+    POINT_DESIGN_SHIFT,
+    SIG_TABLE,
+    TANH_TABLE,
+    sig_float,
+    sig_q,
+    sw_pla_cycles,
+    tanh_float,
+    tanh_q,
+)
+
+__all__ = [
+    "QFormat", "Q3_12", "ACC32", "Q7_8", "Q1_14", "Q3_4",
+    "sat_add", "sat_sub", "sat_mul", "requantize", "dotp2", "matvec",
+    "hadamard", "vec_add", "pack2", "unpack2",
+    "PlaTable", "make_table", "pla_apply", "pla_apply_float", "evaluate_error",
+    "TANH_TABLE", "SIG_TABLE", "tanh_q", "sig_q", "tanh_float", "sig_float",
+    "sw_pla_cycles", "POINT_DESIGN_INTERVALS", "POINT_DESIGN_SHIFT",
+]

@@ -1,0 +1,218 @@
+"""Piecewise-linear approximation (PLA) tables for tanh and sigmoid.
+
+This implements the paper's Algorithm 2 and its design-space evaluation
+(Fig. 2).  The hardware instruction ``pl.tanh``/``pl.sig`` evaluates
+
+    y = m[|x| >> N] * |x| + q[|x| >> N]
+
+over the positive half-range only, exploiting the symmetries
+``tanh(-x) = -tanh(x)`` and ``sig(-x) = 1 - sig(x)``, and returns the
+saturation value (+1 / -1 / 0) beyond the last interval.
+
+Tables can be fitted three ways (the paper is not explicit about the fit;
+the Fig. 2 driver reports all three and EXPERIMENTS.md records which one
+matches the paper's operating point best):
+
+* ``endpoint``:  straight line through the interval endpoints.
+* ``lsq``:       least-squares fit over the Q3.12 grid points of the interval.
+* ``minimax``:   equioscillating (Chebyshev) linear fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .qformat import Q1_14, Q3_12, QFormat
+
+__all__ = [
+    "PlaTable",
+    "make_table",
+    "pla_apply",
+    "pla_apply_float",
+    "evaluate_error",
+    "FUNCTIONS",
+]
+
+FUNCTIONS = {
+    "tanh": np.tanh,
+    "sig": lambda x: 1.0 / (1.0 + np.exp(-np.asarray(x, dtype=np.float64))),
+}
+
+#: Saturation value returned beyond the interpolated range, in *real* units,
+#: for positive arguments (negative arguments are derived by symmetry).
+_POSITIVE_LIMIT = {"tanh": 1.0, "sig": 1.0}
+
+
+@dataclass(frozen=True)
+class PlaTable:
+    """A fitted PLA table for one activation function.
+
+    Attributes:
+        func: ``"tanh"`` or ``"sig"``.
+        n_intervals: number of intervals M covering the positive half-range.
+        shift: N such that the raw interval width is ``2**shift`` LSBs.
+        fmt: operand format (Q3.12 in the paper).
+        slope_fmt: format of the slope entries (Q1.14: |tanh'| <= 1).
+        slopes: raw slope LUT, length M.
+        offsets: raw offset LUT, length M.
+        fit: the fit strategy used.
+    """
+
+    func: str
+    n_intervals: int
+    shift: int
+    fmt: QFormat
+    slope_fmt: QFormat
+    slopes: np.ndarray
+    offsets: np.ndarray
+    fit: str
+
+    @property
+    def interval_width_raw(self) -> int:
+        """Interval width in raw LSBs."""
+        return 1 << self.shift
+
+    @property
+    def interval_width(self) -> float:
+        """Interval width in real units."""
+        return self.interval_width_raw / self.fmt.scale
+
+    @property
+    def range_limit(self) -> float:
+        """Positive edge of the interpolated range, in real units."""
+        return self.n_intervals * self.interval_width
+
+    @property
+    def storage_bits(self) -> int:
+        """Total LUT storage cost in bits (two tables of M entries)."""
+        return self.n_intervals * (self.slope_fmt.total_bits
+                                   + self.fmt.total_bits)
+
+
+def _fit_interval(fn, lo: float, hi: float, grid_step: float,
+                  fit: str) -> tuple[float, float]:
+    """Fit ``y = m*x + q`` to ``fn`` over ``[lo, hi)``; returns (m, q)."""
+    if fit == "endpoint":
+        y_lo, y_hi = float(fn(lo)), float(fn(hi))
+        m = (y_hi - y_lo) / (hi - lo)
+        return m, y_lo - m * lo
+    if fit == "lsq":
+        xs = np.arange(lo, hi, grid_step)
+        if xs.size < 2:
+            xs = np.array([lo, hi])
+        ys = fn(xs)
+        m, q = np.polyfit(xs, ys, 1)
+        return float(m), float(q)
+    if fit == "minimax":
+        # Linear minimax fit of a convex/concave smooth function on [lo, hi]:
+        # slope is the secant slope; the offset centres the error so the
+        # extremes equioscillate.  Exact for functions of one curvature sign
+        # per interval, which holds for tanh/sig away from 0 and is a very
+        # close approximation across 0.
+        y_lo, y_hi = float(fn(lo)), float(fn(hi))
+        m = (y_hi - y_lo) / (hi - lo)
+        xs = np.linspace(lo, hi, 65)
+        residual = fn(xs) - (m * xs)
+        q = (residual.max() + residual.min()) / 2.0
+        return m, float(q)
+    raise ValueError(f"unknown fit strategy {fit!r}")
+
+
+def make_table(func: str, n_intervals: int, shift: int,
+               fmt: QFormat = Q3_12, slope_fmt: QFormat = Q1_14,
+               fit: str = "lsq") -> PlaTable:
+    """Build a quantized PLA table.
+
+    Args:
+        func: ``"tanh"`` or ``"sig"``.
+        n_intervals: M, number of intervals on the positive half-range.
+        shift: N, the index shift; interval width is ``2**shift`` LSBs.
+        fmt: operand/offset format.
+        slope_fmt: slope storage format.
+        fit: per-interval fit strategy.
+
+    The paper's point design is ``make_table("tanh", 32, 9)``: 32 intervals
+    of width 512 LSB = 0.125, covering [0, 4].
+    """
+    if func not in FUNCTIONS:
+        raise ValueError(f"unknown function {func!r}")
+    if n_intervals < 1:
+        raise ValueError("need at least one interval")
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    fn = FUNCTIONS[func]
+    width = (1 << shift) / fmt.scale
+    slopes = np.empty(n_intervals, dtype=np.int64)
+    offsets = np.empty(n_intervals, dtype=np.int64)
+    for idx in range(n_intervals):
+        lo = idx * width
+        hi = lo + width
+        m, q = _fit_interval(fn, lo, hi, fmt.resolution, fit)
+        slopes[idx] = slope_fmt.from_float(m)
+        offsets[idx] = fmt.from_float(q)
+    return PlaTable(func=func, n_intervals=n_intervals, shift=shift,
+                    fmt=fmt, slope_fmt=slope_fmt,
+                    slopes=slopes, offsets=offsets, fit=fit)
+
+
+def pla_apply(table: PlaTable, x_raw):
+    """Evaluate the PLA on raw fixed-point input(s) — Algorithm 2, bit-exact.
+
+    This is the golden model of the ``pl.tanh``/``pl.sig`` datapath; the
+    instruction-set simulator calls it for scalars and the vectorized
+    golden network models call it on arrays.
+    """
+    scalar = np.isscalar(x_raw) or np.ndim(x_raw) == 0
+    x = np.asarray(x_raw, dtype=np.int64).reshape(-1)
+    one = table.fmt.from_float(1.0)  # 4096 in Q3.12
+
+    negative = x < 0
+    mag = np.where(negative, -x, x)
+    idx = mag >> table.shift
+    inside = idx < table.n_intervals
+    safe_idx = np.where(inside, idx, 0)
+
+    m = table.slopes[safe_idx]
+    q = table.offsets[safe_idx]
+    y = ((m * mag) >> table.slope_fmt.frac_bits) + q
+    # Beyond the range: tanh -> +/-1 (before sign flip, +1); sig -> 1.
+    y = np.where(inside, y, one)
+    y = np.where(negative, -y, y)
+    if table.func == "sig":
+        y = np.where(negative, one + y, y)  # sig(-x) = 1 - sig(x)
+    y = table.fmt.saturate(y)
+    if scalar:
+        return int(y[0])
+    return y
+
+
+def pla_apply_float(table: PlaTable, x):
+    """Convenience wrapper: float in, float out, through the PLA datapath."""
+    raw = table.fmt.from_float(x)
+    out = pla_apply(table, raw)
+    return table.fmt.to_float(out)
+
+
+def evaluate_error(table: PlaTable, x_min: float = -8.0, x_max: float = 8.0,
+                   step: float | None = None) -> dict:
+    """Compute MSE and max error of the PLA vs. the float reference.
+
+    The evaluation grid is every representable Q-format point in
+    ``[x_min, x_max)`` by default — "taking into account fixed-point
+    quantization" as the paper puts it (Fig. 2's z-axis).
+    """
+    if step is None:
+        step = table.fmt.resolution
+    xs = np.arange(x_min, x_max, step)
+    raw = table.fmt.from_float(xs)
+    approx = table.fmt.to_float(pla_apply(table, raw))
+    exact = FUNCTIONS[table.func](xs)
+    err = approx - exact
+    return {
+        "mse": float(np.mean(err ** 2)),
+        "max_err": float(np.max(np.abs(err))),
+        "rmse": float(np.sqrt(np.mean(err ** 2))),
+        "n_points": int(xs.size),
+    }

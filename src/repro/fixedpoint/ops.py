@@ -1,0 +1,129 @@
+"""Bit-accurate fixed-point arithmetic primitives.
+
+These model the arithmetic the RI5CY datapath performs: 16-bit operands,
+32-bit accumulation, arithmetic-shift requantization, and saturation on the
+final 16-bit store.  The vectorized variants are the golden reference the
+instruction-set simulator's results are checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qformat import Q3_12, QFormat
+
+__all__ = [
+    "sat_add",
+    "sat_sub",
+    "sat_mul",
+    "requantize",
+    "dotp2",
+    "matvec",
+    "hadamard",
+    "vec_add",
+    "pack2",
+    "unpack2",
+]
+
+_INT16 = QFormat(int_bits=3, frac_bits=12)  # structural 16-bit bounds
+
+
+def sat_add(a: int, b: int, fmt: QFormat = Q3_12) -> int:
+    """Saturating addition of two raw fixed-point integers."""
+    return fmt.saturate(int(a) + int(b))
+
+
+def sat_sub(a: int, b: int, fmt: QFormat = Q3_12) -> int:
+    """Saturating subtraction of two raw fixed-point integers."""
+    return fmt.saturate(int(a) - int(b))
+
+
+def sat_mul(a: int, b: int, fmt: QFormat = Q3_12) -> int:
+    """Fixed-point multiply with requantization back to ``fmt``.
+
+    ``a * b`` of two Q3.12 numbers is Q6.24; shifting right by ``frac_bits``
+    returns to Q3.12, then the result is saturated.  The shift is an
+    arithmetic shift (floor), matching the hardware ``srai``.
+    """
+    product = int(a) * int(b)
+    return fmt.saturate(product >> fmt.frac_bits)
+
+
+def requantize(acc: int, fmt: QFormat = Q3_12, shift: int | None = None) -> int:
+    """Requantize a 32-bit accumulator to a 16-bit result.
+
+    Mirrors the kernel epilogue ``srai acc, acc, 12`` followed by a saturated
+    halfword store (the paper stores with ``sh``, i.e. plain truncation of
+    the upper bits; we saturate, which is what the Xpulp ``p.clip`` idiom
+    produces and what the golden numpy models assume).
+    """
+    if shift is None:
+        shift = fmt.frac_bits
+    return fmt.saturate(int(acc) >> shift)
+
+
+def dotp2(a_pair, b_pair, acc: int = 0) -> int:
+    """Sum-dot-product of two 2-element 16-bit vectors into a 32-bit acc.
+
+    This is the semantics of ``pv.sdotsp.h rD, rA, rB``:
+    ``rD += rA[31:16]*rB[31:16] + rA[15:0]*rB[15:0]`` with 32-bit wraparound.
+    """
+    a0, a1 = int(a_pair[0]), int(a_pair[1])
+    b0, b1 = int(b_pair[0]), int(b_pair[1])
+    result = acc + a0 * b0 + a1 * b1
+    # 32-bit two's-complement wrap, as the register file is 32 bits wide.
+    result &= 0xFFFFFFFF
+    return result - ((result & 0x80000000) << 1)
+
+
+def matvec(weights: np.ndarray, x: np.ndarray, bias: np.ndarray,
+           fmt: QFormat = Q3_12) -> np.ndarray:
+    """Golden fixed-point matrix-vector product: ``sat16((b<<12 + W@x) >> 12)``.
+
+    Args:
+        weights: ``(n_out, n_in)`` int array of raw Q values.
+        x: ``(n_in,)`` int array of raw Q values.
+        bias: ``(n_out,)`` int array of raw Q values.
+
+    Returns:
+        ``(n_out,)`` int64 array of raw Q values.
+
+    The bias is pre-shifted into the accumulator format (Q3.12 bias becomes
+    a Q19.12-scaled 32-bit partial sum), matching the kernel prologue.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    v = np.asarray(x, dtype=np.int64)
+    b = np.asarray(bias, dtype=np.int64)
+    if w.ndim != 2 or v.ndim != 1 or b.ndim != 1:
+        raise ValueError("matvec expects W(n_out,n_in), x(n_in,), b(n_out,)")
+    if w.shape[1] != v.shape[0] or w.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"shape mismatch: W{w.shape}, x{v.shape}, b{b.shape}")
+    acc = (b << fmt.frac_bits) + w @ v
+    return fmt.saturate(acc >> fmt.frac_bits)
+
+
+def hadamard(a: np.ndarray, b: np.ndarray, fmt: QFormat = Q3_12) -> np.ndarray:
+    """Element-wise fixed-point product with requantization (``a ∘ b``)."""
+    prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    return fmt.saturate(prod >> fmt.frac_bits)
+
+
+def vec_add(a: np.ndarray, b: np.ndarray, fmt: QFormat = Q3_12) -> np.ndarray:
+    """Element-wise saturating fixed-point addition."""
+    total = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return fmt.saturate(total)
+
+
+def pack2(lo: int, hi: int) -> int:
+    """Pack two raw 16-bit values into one 32-bit SIMD word (v2s layout)."""
+    return ((int(hi) & 0xFFFF) << 16) | (int(lo) & 0xFFFF)
+
+
+def unpack2(word: int) -> tuple[int, int]:
+    """Unpack a 32-bit SIMD word into two signed 16-bit values (lo, hi)."""
+    lo = word & 0xFFFF
+    hi = (word >> 16) & 0xFFFF
+    lo -= (lo & 0x8000) << 1
+    hi -= (hi & 0x8000) << 1
+    return lo, hi

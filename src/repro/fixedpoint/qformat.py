@@ -1,0 +1,143 @@
+"""Q-format fixed-point number descriptions.
+
+The paper encodes all weights and activations in 16-bit Q3.12 (1 sign bit,
+3 integer bits, 12 fractional bits, range [-8, 8)) and accumulates partial
+sums in 32-bit registers.  This module is the single source of truth for
+those formats: conversion to/from float, saturation limits and raw-integer
+reinterpretation live here, and everything else in :mod:`repro` builds on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QFormat", "Q3_12", "ACC32", "Q7_8", "Q1_14", "Q3_4"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed two's-complement fixed-point format.
+
+    Attributes:
+        int_bits: number of integer bits, excluding the sign bit.
+        frac_bits: number of fractional bits.
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ValueError("bit counts must be non-negative")
+        if self.total_bits > 64:
+            raise ValueError("formats wider than 64 bits are not supported")
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total storage width including the sign bit."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """Value of one integer LSB step as ``2**frac_bits`` denominator."""
+        return 1 << self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """Real value of one LSB."""
+        return 1.0 / self.scale
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest (most negative) representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def from_float(self, value, rounding: str = "nearest"):
+        """Quantize float(s) to raw integer(s), saturating at the rails.
+
+        Args:
+            value: scalar or numpy array of floats.
+            rounding: ``"nearest"`` (round half away from zero, what the
+                hardware's round-and-saturate unit does) or ``"floor"``.
+
+        Returns:
+            ``int`` for scalar input, ``np.ndarray[int64]`` otherwise.
+        """
+        arr = np.asarray(value, dtype=np.float64) * self.scale
+        if rounding == "nearest":
+            raw = np.where(arr >= 0, np.floor(arr + 0.5), np.ceil(arr - 0.5))
+        elif rounding == "floor":
+            raw = np.floor(arr)
+        else:
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+        raw = np.clip(raw, self.min_raw, self.max_raw).astype(np.int64)
+        if np.isscalar(value) or np.ndim(value) == 0:
+            return int(raw)
+        return raw
+
+    def to_float(self, raw):
+        """Convert raw integer(s) back to float(s)."""
+        arr = np.asarray(raw, dtype=np.float64) / self.scale
+        if np.isscalar(raw) or np.ndim(raw) == 0:
+            return float(arr)
+        return arr
+
+    def saturate(self, raw):
+        """Clamp raw integer(s) into the representable range."""
+        if np.isscalar(raw) or np.ndim(raw) == 0:
+            return int(min(max(int(raw), self.min_raw), self.max_raw))
+        return np.clip(np.asarray(raw, dtype=np.int64), self.min_raw, self.max_raw)
+
+    def wrap(self, raw):
+        """Two's-complement wrap-around of raw integer(s) (no saturation)."""
+        mask = (1 << self.total_bits) - 1
+        sign = 1 << (self.total_bits - 1)
+        if np.isscalar(raw) or np.ndim(raw) == 0:
+            value = int(raw) & mask
+            return value - (value & sign) * 2
+        arr = np.asarray(raw, dtype=np.int64) & mask
+        return arr - (arr & sign) * 2
+
+    def contains_raw(self, raw: int) -> bool:
+        """Whether a raw integer fits this format without wrapping."""
+        return self.min_raw <= raw <= self.max_raw
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+
+#: The paper's operand format: 16-bit, 12 fractional bits, range [-8, 8).
+Q3_12 = QFormat(int_bits=3, frac_bits=12)
+
+#: 32-bit accumulator format used by the MAC datapath (Q19.12 semantics).
+ACC32 = QFormat(int_bits=19, frac_bits=12)
+
+#: Alternative 16-bit formats used by the quantization sweep tests.
+Q7_8 = QFormat(int_bits=7, frac_bits=8)
+Q1_14 = QFormat(int_bits=1, frac_bits=14)
+
+#: 8-bit format with the same range as Q3.12 (the INT8 study).
+Q3_4 = QFormat(int_bits=3, frac_bits=4)

@@ -1,0 +1,342 @@
+"""Two-pass textual assembler.
+
+Grammar (one instruction or label per line, ``#`` or ``//`` comments)::
+
+    loop:                       # label
+        addi  a0, a0, 4
+        lw    t0, 0(a1)
+        p.lw  t0, 4(a1!)        # post-increment load (Xpulp)
+        beq   a0, t0, loop
+        lp.setupi 0, 16, end    # hw loop 0, 16 iterations, body ends at end
+        ...
+    end:
+        ebreak
+
+Pseudo-instructions: ``nop``, ``mv``, ``li`` (expands to ``addi`` or
+``lui+addi``), ``j``, ``ret``, ``call``, ``halt`` (alias for ``ebreak``),
+``la rd, symbol`` (always ``lui+addi``, resolves data labels).
+
+Branch/jump label operands resolve to byte offsets relative to the
+instruction.  ``lp.setup``/``lp.setupi`` label operands mark the first
+instruction *after* the loop body; the stored ``imm2`` is the byte distance
+from the setup instruction to the last body instruction.
+
+Data directives build an initialized data image placed at ``data_base``
+(default 0x10000)::
+
+    .data
+    coeffs:  .half 1, -2, 0x30
+    table:   .word 123456
+    scratch: .space 64          # zeroed bytes
+             .align 4
+    .text
+        la a0, coeffs
+        lh t0, 0(a0)
+
+The image is returned on the :class:`Program` (``data_image``); load it
+with ``program.load_data(memory)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .csr import csr_number
+from .instructions import Fmt, Instr, spec_for
+from .program import Program
+from .registers import reg_num
+
+__all__ = ["assemble", "AsmError"]
+
+
+class AsmError(ValueError):
+    """Raised on any assembly syntax or resolution error."""
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str = ""):
+        self.line_no = line_no
+        self.line = line
+        if line_no is not None:
+            message = f"line {line_no}: {message} [{line.strip()}]"
+        super().__init__(message)
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*([\w$]+)\s*(!?)\s*\)$")
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+
+
+def _parse_int(token: str, line_no: int, line: str) -> int:
+    token = token.strip()
+    if not _INT_RE.match(token):
+        raise AsmError(f"expected integer, got {token!r}", line_no, line)
+    return int(token, 0)
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [op.strip() for op in rest.split(",")] if rest.strip() else []
+
+
+class _PendingLabel:
+    """Placeholder for a label operand resolved in pass two."""
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind  # "branch" | "jump" | "loop_end"
+
+
+def _expand_pseudo(mnemonic, ops, line_no, line):
+    """Expand pseudo-instructions into (mnemonic, ops) tuples."""
+    if mnemonic == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if mnemonic == "halt":
+        return [("ebreak", [])]
+    if mnemonic == "mv":
+        if len(ops) != 2:
+            raise AsmError("mv needs 2 operands", line_no, line)
+        return [("addi", [ops[0], ops[1], "0"])]
+    if mnemonic == "li":
+        if len(ops) != 2:
+            raise AsmError("li needs 2 operands", line_no, line)
+        value = _parse_int(ops[1], line_no, line)
+        value &= 0xFFFFFFFF
+        signed = value - ((value & 0x80000000) << 1)
+        if -2048 <= signed <= 2047:
+            return [("addi", [ops[0], "x0", str(signed)])]
+        lower = value & 0xFFF
+        if lower >= 0x800:
+            lower -= 0x1000
+        upper = ((value - lower) >> 12) & 0xFFFFF
+        out = [("lui", [ops[0], str(upper)])]
+        if lower:
+            out.append(("addi", [ops[0], ops[0], str(lower)]))
+        return out
+    if mnemonic == "j":
+        if len(ops) != 1:
+            raise AsmError("j needs 1 operand", line_no, line)
+        return [("jal", ["x0", ops[0]])]
+    if mnemonic == "call":
+        if len(ops) != 1:
+            raise AsmError("call needs 1 operand", line_no, line)
+        return [("jal", ["ra", ops[0]])]
+    if mnemonic == "ret":
+        return [("jalr", ["x0", "ra", "0"])]
+    if mnemonic == "csrr":
+        if len(ops) != 2:
+            raise AsmError("csrr needs 2 operands", line_no, line)
+        return [("csrrs", [ops[0], ops[1], "x0"])]
+    return [(mnemonic, ops)]
+
+
+def _build_instr(mnemonic, ops, line_no, line):
+    """Build a (possibly label-pending) Instr from parsed operands."""
+    spec = spec_for(mnemonic)
+    instr = Instr(mnemonic)
+    fmt = spec.fmt
+    pending = None
+
+    def need(n):
+        if len(ops) != n:
+            raise AsmError(f"{mnemonic} expects {n} operands, got {len(ops)}",
+                           line_no, line)
+
+    if fmt == Fmt.R:
+        need(3)
+        instr.rd = reg_num(ops[0])
+        instr.rs1 = reg_num(ops[1])
+        instr.rs2 = reg_num(ops[2])
+    elif fmt == Fmt.R2:
+        need(2)
+        instr.rd = reg_num(ops[0])
+        instr.rs1 = reg_num(ops[1])
+    elif fmt in (Fmt.I, Fmt.JALR, Fmt.SHIFT):
+        need(3)
+        instr.rd = reg_num(ops[0])
+        instr.rs1 = reg_num(ops[1])
+        instr.imm = _parse_int(ops[2], line_no, line)
+    elif fmt in (Fmt.LOAD, Fmt.STORE):
+        need(2)
+        reg_op = ops[0]
+        match = _MEM_RE.match(ops[1])
+        if not match:
+            raise AsmError(f"bad memory operand {ops[1]!r}", line_no, line)
+        offset, base, bang = match.groups()
+        if bool(bang) != spec.postinc:
+            raise AsmError(
+                "post-increment '!' marker mismatch for "
+                f"{mnemonic} (use p.* mnemonics for '!')", line_no, line)
+        instr.imm = _parse_int(offset, line_no, line)
+        instr.rs1 = reg_num(base)
+        if fmt == Fmt.LOAD:
+            instr.rd = reg_num(reg_op)
+        else:
+            instr.rs2 = reg_num(reg_op)
+    elif fmt == Fmt.BRANCH:
+        need(3)
+        instr.rs1 = reg_num(ops[0])
+        instr.rs2 = reg_num(ops[1])
+        pending = _PendingLabel(ops[2], "branch")
+    elif fmt == Fmt.U:
+        need(2)
+        instr.rd = reg_num(ops[0])
+        instr.imm = _parse_int(ops[1], line_no, line)
+    elif fmt == Fmt.JAL:
+        need(2)
+        instr.rd = reg_num(ops[0])
+        if _INT_RE.match(ops[1]):
+            instr.imm = _parse_int(ops[1], line_no, line)
+        else:
+            pending = _PendingLabel(ops[1], "jump")
+    elif fmt == Fmt.HWLOOP:
+        need(3)
+        instr.loop = _parse_int(ops[0], line_no, line)
+        instr.rs1 = reg_num(ops[1])
+        pending = _PendingLabel(ops[2], "loop_end")
+    elif fmt == Fmt.HWLOOPI:
+        need(3)
+        instr.loop = _parse_int(ops[0], line_no, line)
+        instr.imm = _parse_int(ops[1], line_no, line)
+        pending = _PendingLabel(ops[2], "loop_end")
+    elif fmt == Fmt.CSR:
+        need(3)
+        instr.rd = reg_num(ops[0])
+        try:
+            instr.imm = csr_number(ops[1])
+        except ValueError as exc:
+            raise AsmError(str(exc), line_no, line) from None
+        instr.rs1 = reg_num(ops[2])
+    elif fmt == Fmt.NONE:
+        need(0)
+    else:
+        raise AsmError(f"unhandled format {fmt}", line_no, line)
+    return instr, pending
+
+
+def _parse_data_directive(directive, ops, data, data_base, line_no, raw):
+    """Append one data directive's bytes to the bytearray ``data``."""
+    if directive == ".half":
+        for op in ops:
+            value = _parse_int(op, line_no, raw) & 0xFFFF
+            data += value.to_bytes(2, "little")
+    elif directive == ".word":
+        for op in ops:
+            value = _parse_int(op, line_no, raw) & 0xFFFFFFFF
+            data += value.to_bytes(4, "little")
+    elif directive == ".byte":
+        for op in ops:
+            data.append(_parse_int(op, line_no, raw) & 0xFF)
+    elif directive == ".space":
+        if len(ops) != 1:
+            raise AsmError(".space needs one operand", line_no, raw)
+        count = _parse_int(ops[0], line_no, raw)
+        if count < 0:
+            raise AsmError(".space must be non-negative", line_no, raw)
+        data += bytes(count)
+    elif directive == ".align":
+        if len(ops) != 1:
+            raise AsmError(".align needs one operand", line_no, raw)
+        align = _parse_int(ops[0], line_no, raw)
+        if align < 1:
+            raise AsmError(".align must be positive", line_no, raw)
+        while (data_base + len(data)) % align:
+            data.append(0)
+    else:
+        raise AsmError(f"unknown directive {directive!r}", line_no, raw)
+
+
+def assemble(text: str, data_base: int = 0x10000) -> Program:
+    """Assemble source text into a :class:`~repro.isa.program.Program`."""
+    instrs: list[Instr] = []
+    pendings: list[tuple[int, _PendingLabel, int, str]] = []
+    la_pendings: list[tuple[int, str, int, str]] = []
+    labels: dict[str, int] = {}
+    data_labels: dict[str, int] = {}
+    data = bytearray()
+    section = ".text"
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split("//", 1)[0]
+        match = _LABEL_RE.match(line)
+        if match:
+            name, line = match.group(1), match.group(2)
+            if name in labels or name in data_labels:
+                raise AsmError(f"duplicate label {name!r}", line_no, raw)
+            if section == ".data":
+                data_labels[name] = data_base + len(data)
+            else:
+                labels[name] = len(instrs) * 4
+        if not line.strip():
+            continue
+        parts = line.strip().split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = _split_operands(parts[1] if len(parts) > 1 else "")
+        if mnemonic in (".text", ".data"):
+            if ops:
+                raise AsmError(f"{mnemonic} takes no operands", line_no,
+                               raw)
+            section = mnemonic
+            continue
+        if mnemonic.startswith("."):
+            if section != ".data":
+                raise AsmError("data directives belong in a .data section",
+                               line_no, raw)
+            _parse_data_directive(mnemonic, ops, data, data_base,
+                                  line_no, raw)
+            continue
+        if section == ".data":
+            raise AsmError("instructions belong in the .text section",
+                           line_no, raw)
+        if mnemonic == "la":
+            if len(ops) != 2:
+                raise AsmError("la needs 2 operands", line_no, raw)
+            # fixed two-instruction expansion, patched in pass two
+            instr = Instr("lui", rd=reg_num(ops[0]), imm=0)
+            instr.addr = len(instrs) * 4
+            la_pendings.append((len(instrs), ops[1], line_no, raw))
+            instrs.append(instr)
+            instr2 = Instr("addi", rd=reg_num(ops[0]),
+                           rs1=reg_num(ops[0]), imm=0)
+            instr2.addr = len(instrs) * 4
+            instrs.append(instr2)
+            continue
+        for real_mnemonic, real_ops in _expand_pseudo(mnemonic, ops,
+                                                      line_no, raw):
+            instr, pending = _build_instr(real_mnemonic, real_ops,
+                                          line_no, raw)
+            instr.addr = len(instrs) * 4
+            if pending is not None:
+                pendings.append((len(instrs), pending, line_no, raw))
+            instrs.append(instr)
+
+    for index, pending, line_no, raw in pendings:
+        if pending.name not in labels:
+            raise AsmError(f"undefined label {pending.name!r}", line_no, raw)
+        target = labels[pending.name]
+        instr = instrs[index]
+        if pending.kind in ("branch", "jump"):
+            instr.imm = target - instr.addr
+        else:  # loop_end: label marks first instruction after the body
+            last_body = target - 4
+            if last_body <= instr.addr:
+                raise AsmError("empty hardware loop body", line_no, raw)
+            instr.imm2 = last_body - instr.addr
+
+    for index, name, line_no, raw in la_pendings:
+        if name in data_labels:
+            address = data_labels[name]
+        elif name in labels:
+            address = labels[name]
+        else:
+            raise AsmError(f"undefined symbol {name!r}", line_no, raw)
+        lower = address & 0xFFF
+        if lower >= 0x800:
+            lower -= 0x1000
+        instrs[index].imm = ((address - lower) >> 12) & 0xFFFFF
+        instrs[index + 1].imm = lower
+
+    program = Program(instrs, labels)
+    program.data_labels = dict(data_labels)
+    program.data_image = (data_base, bytes(data))
+    return program

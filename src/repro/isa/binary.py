@@ -1,0 +1,32 @@
+"""Binary program round-trip: Program -> 32-bit words -> Program.
+
+The assembler produces :class:`Instr` records directly, but a real
+deployment ships binaries.  ``program_from_words`` rebuilds an executable
+:class:`Program` from raw instruction words, which the test suite uses for
+differential execution: a program and its decode(encode(program)) twin
+must produce identical architectural results and identical cycle
+histograms.
+"""
+
+from __future__ import annotations
+
+from .encoding import decode, encode
+from .instructions import Instr
+from .program import Program
+
+__all__ = ["program_from_words", "roundtrip_program"]
+
+
+def program_from_words(words) -> Program:
+    """Decode a sequence of 32-bit instruction words into a Program."""
+    instrs = []
+    for index, word in enumerate(words):
+        instr = decode(int(word))
+        instr.addr = index * 4
+        instrs.append(instr)
+    return Program(instrs)
+
+
+def roundtrip_program(program: Program) -> Program:
+    """Encode then decode every instruction of ``program``."""
+    return program_from_words(encode(instr) for instr in program)

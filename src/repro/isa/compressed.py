@@ -1,0 +1,257 @@
+"""RV32C compressed-instruction support (code-size analysis).
+
+The paper's baseline ISA is RV32IMC.  The C extension re-encodes common
+instructions in 16 bits; it changes *code size*, not instruction or cycle
+counts (RI5CY's aligner hides the fetch effects), so the reproduction
+models it as a compressor/decompressor pair plus a static code-size
+analysis (``repro.eval.codesize``).
+
+``compress`` maps an :class:`~repro.isa.instructions.Instr` to its real
+RVC 16-bit encoding when one exists (returns ``None`` otherwise) and
+``decompress`` maps it back; round-tripping is exact and tested for every
+supported pattern.  Branch/jump *retargeting* after compression (linker
+relaxation) is out of scope: the analysis reports first-order sizes, the
+standard approach for code-density estimates.
+
+Supported RVC patterns: c.lw / c.sw / c.lwsp / c.swsp, c.addi / c.nop /
+c.li / c.lui, c.srli / c.srai / c.andi / c.sub / c.xor / c.or / c.and,
+c.slli, c.mv / c.add / c.jr / c.jalr, c.j / c.jal / c.beqz / c.bnez,
+c.ebreak.
+"""
+
+from __future__ import annotations
+
+from .instructions import Instr
+from .program import Program
+
+__all__ = ["compress", "decompress", "CompressionStats",
+           "analyze_program"]
+
+#: x8..x15, the registers reachable by the 3-bit rd'/rs1'/rs2' fields.
+_CREGS = range(8, 16)
+
+
+def _cr(reg: int) -> int:
+    return reg - 8
+
+
+def _field(value: int, *bits) -> int:
+    """Scatter ``value``'s low bits into instruction bit positions.
+
+    ``bits`` lists destination positions for value bits high-to-low is
+    awkward; instead each entry is (instr_bit, value_bit).
+    """
+    word = 0
+    for instr_bit, value_bit in bits:
+        word |= ((value >> value_bit) & 1) << instr_bit
+    return word
+
+
+def _gather(word: int, *bits) -> int:
+    value = 0
+    for instr_bit, value_bit in bits:
+        value |= ((word >> instr_bit) & 1) << value_bit
+    return value
+
+
+_CLW_IMM = ((12, 5), (11, 4), (10, 3), (6, 2), (5, 6))
+_CJ_IMM = ((12, 11), (11, 4), (10, 9), (9, 8), (8, 10), (7, 6), (6, 7),
+           (5, 3), (4, 2), (3, 1), (2, 5))
+_CB_IMM = ((12, 8), (11, 4), (10, 3), (6, 7), (5, 6), (4, 2), (3, 1),
+           (2, 5))
+_CI_IMM = ((12, 5), (6, 4), (5, 3), (4, 2), (3, 1), (2, 0))
+_CLWSP_IMM = ((12, 5), (6, 4), (5, 3), (4, 2), (3, 7), (2, 6))
+_CSWSP_IMM = ((12, 7), (11, 6), (10, 5), (9, 4), (8, 3), (7, 2))
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def compress(instr: Instr) -> int | None:
+    """Return the 16-bit RVC word for ``instr``, or None."""
+    m = instr.mnemonic
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+
+    if m == "lw" and rd in _CREGS and rs1 in _CREGS \
+            and 0 <= imm <= 124 and imm % 4 == 0:
+        return 0x4000 | _field(imm, *_CLW_IMM) | (_cr(rs1) << 7) \
+            | (_cr(rd) << 2)
+    if m == "sw" and rs2 in _CREGS and rs1 in _CREGS \
+            and 0 <= imm <= 124 and imm % 4 == 0:
+        return 0xC000 | _field(imm, *_CLW_IMM) | (_cr(rs1) << 7) \
+            | (_cr(rs2) << 2)
+    if m == "lw" and rs1 == 2 and rd != 0 and 0 <= imm <= 252 \
+            and imm % 4 == 0:
+        return 0x4002 | _field(imm, *_CLWSP_IMM) | (rd << 7)
+    if m == "sw" and rs1 == 2 and 0 <= imm <= 252 and imm % 4 == 0:
+        return 0xC002 | _field(imm, *_CSWSP_IMM) | (rs2 << 2)
+
+    if m == "addi":
+        if rd == rs1 and -32 <= imm <= 31 and (rd != 0 or imm == 0):
+            # c.addi (rd != 0, imm may be 0 -> still valid; rd == 0 only
+            # as c.nop with imm == 0)
+            return 0x0001 | _field(imm & 0x3F, *_CI_IMM) | (rd << 7)
+        if rs1 == 0 and rd != 0 and -32 <= imm <= 31:
+            return 0x4001 | _field(imm & 0x3F, *_CI_IMM) | (rd << 7)
+        if imm == 0 and rd != 0 and rs1 != 0:
+            return 0x8002 | (rd << 7) | (rs1 << 2)  # c.mv
+    if m == "lui" and rd not in (0, 2):
+        value = _sext(imm, 20)
+        if -32 <= value <= 31 and value != 0:
+            return 0x6001 | _field(value & 0x3F, *_CI_IMM) | (rd << 7)
+    if m == "slli" and rd == rs1 and rd != 0 and 1 <= imm <= 31:
+        return 0x0002 | (rd << 7) | ((imm & 0x1F) << 2)
+    if m in ("srli", "srai") and rd == rs1 and rd in _CREGS \
+            and 1 <= imm <= 31:
+        funct2 = 0 if m == "srli" else 1
+        return 0x8001 | (funct2 << 10) | (_cr(rd) << 7) \
+            | ((imm & 0x1F) << 2)
+    if m == "andi" and rd == rs1 and rd in _CREGS and -32 <= imm <= 31:
+        return 0x8801 | (_cr(rd) << 7) | _field(imm & 0x3F, *_CI_IMM)
+    if m in ("sub", "xor", "or", "and") and rd == rs1 \
+            and rd in _CREGS and rs2 in _CREGS:
+        funct2 = {"sub": 0, "xor": 1, "or": 2, "and": 3}[m]
+        return 0x8C01 | (_cr(rd) << 7) | (funct2 << 5) | (_cr(rs2) << 2)
+    if m == "add":
+        if rd == rs1 and rd != 0 and rs2 != 0:
+            return 0x9002 | (rd << 7) | (rs2 << 2)  # c.add
+        if rs1 == 0 and rd != 0 and rs2 != 0:
+            return 0x8002 | (rd << 7) | (rs2 << 2)  # c.mv
+
+    if m == "jal" and -2048 <= imm <= 2046 and imm % 2 == 0:
+        if rd == 0:
+            return 0xA001 | _field(imm, *_CJ_IMM)  # c.j
+        if rd == 1:
+            return 0x2001 | _field(imm, *_CJ_IMM)  # c.jal (RV32)
+    if m == "jalr" and imm == 0 and rs1 != 0:
+        if rd == 0:
+            return 0x8002 | (rs1 << 7)  # c.jr
+        if rd == 1:
+            return 0x9002 | (rs1 << 7)  # c.jalr
+    if m in ("beq", "bne") and rs2 == 0 and rs1 in _CREGS \
+            and -256 <= imm <= 254 and imm % 2 == 0:
+        base = 0xC001 if m == "beq" else 0xE001
+        return base | (_cr(rs1) << 7) | _field(imm, *_CB_IMM)
+    if m == "ebreak":
+        return 0x9002
+    return None
+
+
+def decompress(word: int) -> Instr:
+    """Expand a 16-bit RVC word back to its 32-bit equivalent Instr."""
+    if word & 3 == 3:
+        raise ValueError(f"0x{word:04x} is not a compressed encoding")
+    op = word & 3
+    funct3 = (word >> 13) & 7
+    if op == 0:
+        rs1 = ((word >> 7) & 7) + 8
+        rdp = ((word >> 2) & 7) + 8
+        imm = _gather(word, *_CLW_IMM)
+        if funct3 == 2:
+            return Instr("lw", rd=rdp, rs1=rs1, imm=imm)
+        if funct3 == 6:
+            return Instr("sw", rs2=rdp, rs1=rs1, imm=imm)
+        raise ValueError(f"unsupported C0 encoding 0x{word:04x}")
+    if op == 1:
+        if funct3 == 0:
+            rd = (word >> 7) & 0x1F
+            imm = _sext(_gather(word, *_CI_IMM), 6)
+            return Instr("addi", rd=rd, rs1=rd, imm=imm)
+        if funct3 in (1, 5):
+            imm = _sext(_gather(word, *_CJ_IMM), 12)
+            return Instr("jal", rd=1 if funct3 == 1 else 0, imm=imm)
+        if funct3 == 2:
+            rd = (word >> 7) & 0x1F
+            imm = _sext(_gather(word, *_CI_IMM), 6)
+            return Instr("addi", rd=rd, rs1=0, imm=imm)
+        if funct3 == 3:
+            rd = (word >> 7) & 0x1F
+            imm = _sext(_gather(word, *_CI_IMM), 6) & 0xFFFFF
+            return Instr("lui", rd=rd, imm=imm)
+        if funct3 == 4:
+            rdp = ((word >> 7) & 7) + 8
+            sub = (word >> 10) & 3
+            if sub == 0:
+                return Instr("srli", rd=rdp, rs1=rdp,
+                             imm=(word >> 2) & 0x1F)
+            if sub == 1:
+                return Instr("srai", rd=rdp, rs1=rdp,
+                             imm=(word >> 2) & 0x1F)
+            if sub == 2:
+                return Instr("andi", rd=rdp, rs1=rdp,
+                             imm=_sext(_gather(word, *_CI_IMM), 6))
+            name = ("sub", "xor", "or", "and")[(word >> 5) & 3]
+            return Instr(name, rd=rdp, rs1=rdp,
+                         rs2=((word >> 2) & 7) + 8)
+        if funct3 in (6, 7):
+            rs1 = ((word >> 7) & 7) + 8
+            imm = _sext(_gather(word, *_CB_IMM), 9)
+            return Instr("beq" if funct3 == 6 else "bne", rs1=rs1, rs2=0,
+                         imm=imm)
+        raise ValueError(f"unsupported C1 encoding 0x{word:04x}")
+    # op == 2
+    rd = (word >> 7) & 0x1F
+    rs2 = (word >> 2) & 0x1F
+    if funct3 == 0:
+        return Instr("slli", rd=rd, rs1=rd, imm=rs2)
+    if funct3 == 2:
+        return Instr("lw", rd=rd, rs1=2, imm=_gather(word, *_CLWSP_IMM))
+    if funct3 == 4:
+        bit12 = (word >> 12) & 1
+        if bit12 == 0:
+            if rs2 == 0:
+                return Instr("jalr", rd=0, rs1=rd, imm=0)  # c.jr
+            # c.mv canonically decompresses to `add rd, x0, rs2`; the
+            # compressor also maps `addi rd, rs1, 0` here, so round-trips
+            # of that pattern are semantically (not textually) identical.
+            return Instr("add", rd=rd, rs1=0, rs2=rs2)
+        if rd == 0 and rs2 == 0:
+            return Instr("ebreak")
+        if rs2 == 0:
+            return Instr("jalr", rd=1, rs1=rd, imm=0)      # c.jalr
+        return Instr("add", rd=rd, rs1=rd, rs2=rs2)        # c.add
+    if funct3 == 6:
+        return Instr("sw", rs2=rs2, rs1=2,
+                     imm=_gather(word, *_CSWSP_IMM))
+    raise ValueError(f"unsupported C2 encoding 0x{word:04x}")
+
+
+class CompressionStats:
+    """Static code-size analysis of one program under RV32C."""
+
+    def __init__(self, program: Program):
+        self.total_instrs = len(program)
+        self.compressed_instrs = 0
+        self.by_mnemonic: dict[str, int] = {}
+        for instr in program:
+            if compress(instr) is not None:
+                self.compressed_instrs += 1
+                key = instr.spec.display
+                self.by_mnemonic[key] = self.by_mnemonic.get(key, 0) + 1
+
+    @property
+    def size_rv32i_bytes(self) -> int:
+        return 4 * self.total_instrs
+
+    @property
+    def size_rv32c_bytes(self) -> int:
+        return 4 * self.total_instrs - 2 * self.compressed_instrs
+
+    @property
+    def compressible_fraction(self) -> float:
+        if not self.total_instrs:
+            return 0.0
+        return self.compressed_instrs / self.total_instrs
+
+    @property
+    def compression_ratio(self) -> float:
+        if not self.total_instrs:
+            return 1.0
+        return self.size_rv32c_bytes / self.size_rv32i_bytes
+
+
+def analyze_program(program: Program) -> CompressionStats:
+    """First-order RV32C code-size analysis (no branch relaxation)."""
+    return CompressionStats(program)

@@ -1,0 +1,52 @@
+"""Control and status register addresses (Zicsr subset).
+
+Only the machine counters RI5CY exposes for self-measurement, plus
+``mscratch`` as a general read/write register.  Counter CSRs are
+read-only in this model (writes are ignored; see ``core.cpu``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CSR_NAMES", "CSR_BY_NAME", "csr_number", "csr_name",
+           "MCYCLE", "MCYCLEH", "MINSTRET", "MINSTRETH", "MHARTID",
+           "MSCRATCH"]
+
+MSCRATCH = 0x340
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+MCYCLEH = 0xB80
+MINSTRETH = 0xB82
+MHARTID = 0xF14
+
+CSR_NAMES = {
+    MSCRATCH: "mscratch",
+    MCYCLE: "mcycle",
+    MINSTRET: "minstret",
+    MCYCLEH: "mcycleh",
+    MINSTRETH: "minstreth",
+    MHARTID: "mhartid",
+}
+
+CSR_BY_NAME = {name: number for number, name in CSR_NAMES.items()}
+
+
+def csr_number(token) -> int:
+    """Resolve a CSR operand (name or integer) to its 12-bit address."""
+    if isinstance(token, int):
+        number = token
+    else:
+        key = token.strip().lower()
+        if key in CSR_BY_NAME:
+            return CSR_BY_NAME[key]
+        try:
+            number = int(key, 0)
+        except ValueError:
+            raise ValueError(f"unknown CSR {token!r}") from None
+    if not 0 <= number <= 0xFFF:
+        raise ValueError(f"CSR address out of range: {number}")
+    return number
+
+
+def csr_name(number: int) -> str:
+    """Symbolic name for a CSR address, or hex if unnamed."""
+    return CSR_NAMES.get(number, f"0x{number:03x}")

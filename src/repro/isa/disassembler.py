@@ -1,0 +1,56 @@
+"""Instruction formatting (textual disassembly)."""
+
+from __future__ import annotations
+
+from .instructions import Fmt, Instr
+from .registers import reg_name
+
+__all__ = ["format_instr", "disassemble_word"]
+
+
+def format_instr(instr: Instr) -> str:
+    """Render an :class:`Instr` back to assembly text.
+
+    Branch/jump targets render as relative offsets (``.+8``) since labels
+    live in the :class:`~repro.isa.program.Program`, not the instruction.
+    """
+    spec = instr.spec
+    fmt = spec.fmt
+    m = instr.mnemonic
+    if fmt == Fmt.R:
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, " \
+               f"{reg_name(instr.rs2)}"
+    if fmt == Fmt.R2:
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}"
+    if fmt in (Fmt.I, Fmt.JALR, Fmt.SHIFT):
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {instr.imm}"
+    if fmt == Fmt.LOAD:
+        bang = "!" if spec.postinc else ""
+        return f"{m} {reg_name(instr.rd)}, {instr.imm}" \
+               f"({reg_name(instr.rs1)}{bang})"
+    if fmt == Fmt.STORE:
+        bang = "!" if spec.postinc else ""
+        return f"{m} {reg_name(instr.rs2)}, {instr.imm}" \
+               f"({reg_name(instr.rs1)}{bang})"
+    if fmt == Fmt.BRANCH:
+        return f"{m} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}, " \
+               f".{instr.imm:+d}"
+    if fmt == Fmt.U:
+        return f"{m} {reg_name(instr.rd)}, {instr.imm}"
+    if fmt == Fmt.JAL:
+        return f"{m} {reg_name(instr.rd)}, .{instr.imm:+d}"
+    if fmt == Fmt.HWLOOP:
+        return f"{m} {instr.loop}, {reg_name(instr.rs1)}, .+{instr.imm2}"
+    if fmt == Fmt.HWLOOPI:
+        return f"{m} {instr.loop}, {instr.imm}, .+{instr.imm2}"
+    if fmt == Fmt.CSR:
+        from .csr import csr_name
+        return f"{m} {reg_name(instr.rd)}, {csr_name(instr.imm)}, " \
+               f"{reg_name(instr.rs1)}"
+    return m
+
+
+def disassemble_word(word: int) -> str:
+    """Decode and format a raw 32-bit instruction word."""
+    from .encoding import decode
+    return format_instr(decode(word))

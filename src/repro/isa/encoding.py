@@ -1,0 +1,200 @@
+"""Binary encoding and decoding of instructions to/from 32-bit words.
+
+Standard RV32IM instructions follow the official encodings.  The Xpulp and
+Xrnn instructions use a project encoding in the custom opcode spaces
+(documented per format below); it is self-consistent (encode/decode
+round-trips exactly) and PULP-flavoured, but not bit-identical to the
+RI5CY RTL, which the paper itself treats as an implementation detail.
+
+Layout conventions (standard RISC-V field slots):
+    opcode  [6:0]    rd  [11:7]   funct3 [14:12]
+    rs1     [19:15]  rs2 [24:20]  funct7 [31:25]
+
+``lp.setup``  (HWLOOP):  I-type; rd slot = loop index, rs1 = count register,
+    imm12 = byte offset from this instruction to the last loop instruction.
+``lp.setupi`` (HWLOOPI): bits[31:20] = end byte offset (unsigned),
+    count = bits[19:15] (low 5) | bits[11:8] << 5 (9 bits total, <= 511),
+    bit[7] = loop index.
+"""
+
+from __future__ import annotations
+
+from .instructions import Fmt, Instr, InstrSpec, SPECS, spec_for
+
+__all__ = ["encode", "decode", "EncodingError"]
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _check_range(value: int, bits: int, signed: bool, what: str) -> int:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} does not fit {bits} bits "
+                            f"({'signed' if signed else 'unsigned'})")
+    return value & ((1 << bits) - 1)
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def encode(instr: Instr) -> int:
+    """Encode an :class:`Instr` into its 32-bit word."""
+    spec = spec_for(instr.mnemonic)
+    op, f3, f7 = spec.opcode, spec.funct3, spec.funct7
+    rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+    fmt = spec.fmt
+    base = op | (f3 << 12)
+
+    if fmt in (Fmt.R,):
+        return base | (rd << 7) | (rs1 << 15) | (rs2 << 20) | (f7 << 25)
+    if fmt == Fmt.R2:
+        return base | (rd << 7) | (rs1 << 15) | (f7 << 25)
+    if fmt in (Fmt.I, Fmt.JALR, Fmt.LOAD):
+        imm = _check_range(instr.imm, 12, True, "imm")
+        return base | (rd << 7) | (rs1 << 15) | (imm << 20)
+    if fmt == Fmt.CSR:
+        csr = _check_range(instr.imm, 12, False, "csr address")
+        return base | (rd << 7) | (rs1 << 15) | (csr << 20)
+    if fmt == Fmt.SHIFT:
+        sh = _check_range(instr.imm, 5, False, "shamt")
+        return base | (rd << 7) | (rs1 << 15) | (sh << 20) | (f7 << 25)
+    if fmt == Fmt.STORE:
+        imm = _check_range(instr.imm, 12, True, "imm")
+        return (base | ((imm & 0x1F) << 7) | (rs1 << 15) | (rs2 << 20)
+                | ((imm >> 5) << 25))
+    if fmt == Fmt.BRANCH:
+        imm = _check_range(instr.imm, 13, True, "branch offset")
+        if imm & 1:
+            raise EncodingError("branch offset must be even")
+        return (base | (((imm >> 11) & 1) << 7) | (((imm >> 1) & 0xF) << 8)
+                | (rs1 << 15) | (rs2 << 20) | (((imm >> 5) & 0x3F) << 25)
+                | (((imm >> 12) & 1) << 31))
+    if fmt == Fmt.U:
+        imm = _check_range(instr.imm, 20, False, "imm20")
+        return base | (rd << 7) | (imm << 12)
+    if fmt == Fmt.JAL:
+        imm = _check_range(instr.imm, 21, True, "jump offset")
+        if imm & 1:
+            raise EncodingError("jump offset must be even")
+        return (base | (rd << 7) | (((imm >> 12) & 0xFF) << 12)
+                | (((imm >> 11) & 1) << 20) | (((imm >> 1) & 0x3FF) << 21)
+                | (((imm >> 20) & 1) << 31))
+    if fmt == Fmt.HWLOOP:
+        off = _check_range(instr.imm2, 12, False, "loop end offset")
+        loop = _check_range(instr.loop, 1, False, "loop index")
+        return base | (loop << 7) | (rs1 << 15) | (off << 20)
+    if fmt == Fmt.HWLOOPI:
+        off = _check_range(instr.imm2, 12, False, "loop end offset")
+        count = _check_range(instr.imm, 9, False, "loop count")
+        loop = _check_range(instr.loop, 1, False, "loop index")
+        return (base | (loop << 7) | ((count >> 5) << 8)
+                | ((count & 0x1F) << 15) | (off << 20))
+    if fmt == Fmt.NONE:
+        if instr.mnemonic == "ebreak":
+            return base | (1 << 20)
+        return base
+    raise EncodingError(f"cannot encode format {fmt!r}")
+
+
+def _build_decode_index():
+    index = {}
+    for spec in SPECS.values():
+        index.setdefault(spec.opcode, []).append(spec)
+    return index
+
+
+_DECODE_INDEX = _build_decode_index()
+
+
+def _match_spec(word: int) -> InstrSpec:
+    opcode = word & 0x7F
+    f3 = (word >> 12) & 0x7
+    f7 = (word >> 25) & 0x7F
+    candidates = _DECODE_INDEX.get(opcode)
+    if not candidates:
+        raise EncodingError(f"unknown opcode 0x{opcode:02x}")
+    # Prefer the most specific match: funct3 + funct7, then funct3 only.
+    best = None
+    for spec in candidates:
+        if spec.fmt in (Fmt.U, Fmt.JAL):
+            # the immediate occupies the funct3 bits; opcode is unique
+            return spec
+        if spec.funct3 != f3:
+            continue
+        uses_f7 = spec.fmt in (Fmt.R, Fmt.R2, Fmt.SHIFT)
+        if uses_f7:
+            if spec.funct7 == f7:
+                return spec
+        elif spec.fmt == Fmt.NONE and spec.opcode == 0x73:
+            # ecall/ebreak share opcode and funct3; csrr* use funct3 1-3
+            if ((word >> 20) & 0xFFF) == (1 if spec.mnemonic == "ebreak"
+                                          else 0):
+                return spec
+        else:
+            best = spec
+    if best is not None:
+        return best
+    raise EncodingError(
+        f"no spec matches word 0x{word:08x} "
+        f"(opcode 0x{opcode:02x}, f3 {f3}, f7 0x{f7:02x})")
+
+
+def decode(word: int) -> Instr:
+    """Decode a 32-bit word back into an :class:`Instr`."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError("word out of 32-bit range")
+    spec = _match_spec(word)
+    rd = (word >> 7) & 0x1F
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    fmt = spec.fmt
+    instr = Instr(spec.mnemonic)
+    if fmt in (Fmt.R,):
+        instr.rd, instr.rs1, instr.rs2 = rd, rs1, rs2
+    elif fmt == Fmt.R2:
+        instr.rd, instr.rs1 = rd, rs1
+    elif fmt in (Fmt.I, Fmt.JALR, Fmt.LOAD):
+        instr.rd, instr.rs1 = rd, rs1
+        instr.imm = _sext(word >> 20, 12)
+    elif fmt == Fmt.CSR:
+        instr.rd, instr.rs1 = rd, rs1
+        instr.imm = (word >> 20) & 0xFFF
+    elif fmt == Fmt.SHIFT:
+        instr.rd, instr.rs1 = rd, rs1
+        instr.imm = rs2
+    elif fmt == Fmt.STORE:
+        instr.rs1, instr.rs2 = rs1, rs2
+        instr.imm = _sext(((word >> 25) << 5) | rd, 12)
+    elif fmt == Fmt.BRANCH:
+        instr.rs1, instr.rs2 = rs1, rs2
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        instr.imm = _sext(imm, 13)
+    elif fmt == Fmt.U:
+        instr.rd = rd
+        instr.imm = (word >> 12) & 0xFFFFF
+    elif fmt == Fmt.JAL:
+        instr.rd = rd
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        instr.imm = _sext(imm, 21)
+    elif fmt == Fmt.HWLOOP:
+        instr.loop = rd & 1
+        instr.rs1 = rs1
+        instr.imm2 = (word >> 20) & 0xFFF
+    elif fmt == Fmt.HWLOOPI:
+        instr.loop = rd & 1
+        instr.imm = ((rd >> 1) << 5) | rs1
+        instr.imm2 = (word >> 20) & 0xFFF
+    elif fmt == Fmt.NONE:
+        pass
+    else:
+        raise EncodingError(f"cannot decode format {fmt!r}")
+    return instr

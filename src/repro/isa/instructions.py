@@ -1,0 +1,214 @@
+"""Instruction set definition: specs, runtime instruction records, formats.
+
+The simulated ISA is RV32IM plus the Xpulp subset the paper's kernels use
+(hardware loops, post-increment loads/stores, packed 16-bit SIMD, mac) plus
+the paper's new RNN extensions (``pl.tanh``, ``pl.sig``,
+``pl.sdotsp.h.0/1``).
+
+Each mnemonic has an :class:`InstrSpec` describing its assembly format,
+binary encoding fields and semantic class.  The assembler produces
+:class:`Instr` records; the CPU and the encoder both consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Fmt", "InstrSpec", "Instr", "SPECS", "spec_for", "EXTENSIONS"]
+
+
+class Fmt:
+    """Assembly/encoding format tags."""
+
+    R = "R"            # op rd, rs1, rs2
+    R2 = "R2"          # op rd, rs1
+    I = "I"            # op rd, rs1, imm
+    SHIFT = "SHIFT"    # op rd, rs1, shamt
+    LOAD = "LOAD"      # op rd, imm(rs1)  /  op rd, imm(rs1!) for p.*
+    STORE = "STORE"    # op rs2, imm(rs1) /  op rs2, imm(rs1!) for p.*
+    BRANCH = "BRANCH"  # op rs1, rs2, label
+    U = "U"            # op rd, imm20
+    JAL = "JAL"        # jal rd, label
+    JALR = "JALR"      # jalr rd, rs1, imm
+    HWLOOP = "HWLOOP"    # lp.setup  L, rs1, label
+    HWLOOPI = "HWLOOPI"  # lp.setupi L, imm, label
+    CSR = "CSR"        # csrrw/csrrs/csrrc rd, csr, rs1
+    NONE = "NONE"      # nop-likes
+
+
+#: "Xmac" is split out of Xpulp because the paper's RV32IMC baseline column
+#: (Table Ia) already uses a multiply-accumulate instruction.
+EXTENSIONS = ("I", "M", "Xmac", "Xpulp", "Xrnn")
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: str
+    opcode: int
+    funct3: int = 0
+    funct7: int = 0
+    ext: str = "I"
+    #: Label used in Table-I-style histograms (e.g. post-increment loads
+    #: display as "lw!", pl.sdotsp.h.* collapse onto "pl.sdot").
+    display: str = ""
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    postinc: bool = False
+    #: Memory access size in bytes for loads/stores.
+    size: int = 0
+    #: Sign-extend loaded value?
+    signed: bool = True
+
+    def __post_init__(self):
+        if self.ext not in EXTENSIONS:
+            raise ValueError(f"unknown extension {self.ext!r}")
+        if not self.display:
+            object.__setattr__(self, "display", self.mnemonic)
+
+
+def _spec_list():
+    s = []
+
+    def add(*args, **kw):
+        s.append(InstrSpec(*args, **kw))
+
+    # ------------------------------------------------------------- RV32I
+    add("lui", Fmt.U, 0x37)
+    add("auipc", Fmt.U, 0x17)
+    add("jal", Fmt.JAL, 0x6F, is_jump=True)
+    add("jalr", Fmt.JALR, 0x67, 0, is_jump=True)
+    for name, f3 in [("beq", 0), ("bne", 1), ("blt", 4), ("bge", 5),
+                     ("bltu", 6), ("bgeu", 7)]:
+        add(name, Fmt.BRANCH, 0x63, f3, is_branch=True)
+    for name, f3, size, signed in [("lb", 0, 1, True), ("lh", 1, 2, True),
+                                   ("lw", 2, 4, True), ("lbu", 4, 1, False),
+                                   ("lhu", 5, 2, False)]:
+        add(name, Fmt.LOAD, 0x03, f3, is_load=True, size=size, signed=signed)
+    for name, f3, size in [("sb", 0, 1), ("sh", 1, 2), ("sw", 2, 4)]:
+        add(name, Fmt.STORE, 0x23, f3, is_store=True, size=size)
+    for name, f3 in [("addi", 0), ("slti", 2), ("sltiu", 3), ("xori", 4),
+                     ("ori", 6), ("andi", 7)]:
+        add(name, Fmt.I, 0x13, f3)
+    add("slli", Fmt.SHIFT, 0x13, 1, 0x00)
+    add("srli", Fmt.SHIFT, 0x13, 5, 0x00)
+    add("srai", Fmt.SHIFT, 0x13, 5, 0x20)
+    for name, f3, f7 in [("add", 0, 0x00), ("sub", 0, 0x20), ("sll", 1, 0x00),
+                         ("slt", 2, 0x00), ("sltu", 3, 0x00), ("xor", 4, 0x00),
+                         ("srl", 5, 0x00), ("sra", 5, 0x20), ("or", 6, 0x00),
+                         ("and", 7, 0x00)]:
+        add(name, Fmt.R, 0x33, f3, f7)
+    add("fence", Fmt.NONE, 0x0F)
+    add("ecall", Fmt.NONE, 0x73, 0, 0x00)
+    add("ebreak", Fmt.NONE, 0x73, 0, 0x01)
+    # Zicsr subset: enough for the RI5CY performance counters.
+    add("csrrw", Fmt.CSR, 0x73, 1)
+    add("csrrs", Fmt.CSR, 0x73, 2)
+    add("csrrc", Fmt.CSR, 0x73, 3)
+
+    # ------------------------------------------------------------- RV32M
+    for name, f3 in [("mul", 0), ("mulh", 1), ("mulhsu", 2), ("mulhu", 3),
+                     ("div", 4), ("divu", 5), ("rem", 6), ("remu", 7)]:
+        add(name, Fmt.R, 0x33, f3, 0x01, ext="M")
+
+    # ------------------------------------------------------------- Xpulp
+    # Post-increment loads: "p.lw rd, imm(rs1!)" bumps rs1 by imm after use.
+    for name, f3, size, signed, disp in [
+            ("p.lb", 0, 1, True, "lb!"), ("p.lh", 1, 2, True, "lh!"),
+            ("p.lw", 2, 4, True, "lw!"), ("p.lbu", 4, 1, False, "lbu!"),
+            ("p.lhu", 5, 2, False, "lhu!")]:
+        add(name, Fmt.LOAD, 0x0B, f3, ext="Xpulp", display=disp,
+            is_load=True, size=size, signed=signed, postinc=True)
+    for name, f3, size, disp in [("p.sb", 0, 1, "sb!"), ("p.sh", 1, 2, "sh!"),
+                                 ("p.sw", 2, 4, "sw!")]:
+        add(name, Fmt.STORE, 0x2B, f3, ext="Xpulp", display=disp,
+            is_store=True, size=size, postinc=True)
+    # Hardware loops.
+    add("lp.setup", Fmt.HWLOOP, 0x7B, 4, ext="Xpulp")
+    add("lp.setupi", Fmt.HWLOOPI, 0x7B, 5, ext="Xpulp")
+    # Scalar multiply-accumulate (rd += rs1 * rs2).  Tagged "Xmac": the
+    # paper's baseline column already contains it (Table Ia, bold rows).
+    add("p.mac", Fmt.R, 0x33, 0, 0x21, ext="Xmac", display="mac")
+    # Scalar fixed-point helpers.
+    add("p.abs", Fmt.R2, 0x33, 0, 0x22, ext="Xpulp")
+    add("p.clip", Fmt.SHIFT, 0x33, 1, 0x22, ext="Xpulp")
+    add("p.exths", Fmt.R2, 0x33, 4, 0x22, ext="Xpulp")
+    add("p.min", Fmt.R, 0x33, 2, 0x23, ext="Xpulp")
+    add("p.max", Fmt.R, 0x33, 3, 0x23, ext="Xpulp")
+    add("p.minu", Fmt.R, 0x33, 6, 0x23, ext="Xpulp")
+    add("p.maxu", Fmt.R, 0x33, 7, 0x23, ext="Xpulp")
+    # Packed 16-bit SIMD.
+    add("pv.add.h", Fmt.R, 0x57, 0, 0x01, ext="Xpulp")
+    add("pv.sub.h", Fmt.R, 0x57, 0, 0x03, ext="Xpulp")
+    add("pv.mul.h", Fmt.R, 0x57, 0, 0x05, ext="Xpulp")
+    add("pv.sra.h", Fmt.SHIFT, 0x57, 1, 0x07, ext="Xpulp")
+    add("pv.pack.h", Fmt.R, 0x57, 0, 0x09, ext="Xpulp")
+    add("pv.extract.h", Fmt.SHIFT, 0x57, 1, 0x0B, ext="Xpulp")
+    # 2-way 16-bit sum-dot-product: rd += rA.h0*rB.h0 + rA.h1*rB.h1.
+    add("pv.sdotsp.h", Fmt.R, 0x57, 0, 0x13, ext="Xpulp", display="pv.sdot")
+    # 4-way 8-bit sum-dot-product (used by the INT8 future-work study).
+    add("pv.sdotsp.b", Fmt.R, 0x57, 0, 0x15, ext="Xpulp",
+        display="pv.sdot.b")
+
+    # ---------------------------------------------------- Xrnn (the paper)
+    add("pl.tanh", Fmt.R2, 0x5B, 0, 0x00, ext="Xrnn", display="tanh,sig")
+    add("pl.sig", Fmt.R2, 0x5B, 1, 0x00, ext="Xrnn", display="tanh,sig")
+    # Load-and-compute VLIW: sum-dot-product with the weight operand taken
+    # from SPR buffer {0,1} while the LSU concurrently loads mem[rs1] into
+    # the *other* SPR buffer and post-increments rs1 by 4.
+    add("pl.sdotsp.h.0", Fmt.R, 0x5B, 2, 0x00, ext="Xrnn",
+        display="pl.sdot", is_load=True, size=4, postinc=True)
+    add("pl.sdotsp.h.1", Fmt.R, 0x5B, 3, 0x00, ext="Xrnn",
+        display="pl.sdot", is_load=True, size=4, postinc=True)
+    # 8-bit variants (future-work study: 4 MACs per cycle per issue).
+    add("pl.sdotsp.b.0", Fmt.R, 0x5B, 4, 0x00, ext="Xrnn",
+        display="pl.sdot.b", is_load=True, size=4, postinc=True)
+    add("pl.sdotsp.b.1", Fmt.R, 0x5B, 5, 0x00, ext="Xrnn",
+        display="pl.sdot.b", is_load=True, size=4, postinc=True)
+    return s
+
+
+SPECS = {spec.mnemonic: spec for spec in _spec_list()}
+
+
+def spec_for(mnemonic: str) -> InstrSpec:
+    """Look up the spec for a mnemonic, raising a helpful error."""
+    try:
+        return SPECS[mnemonic]
+    except KeyError:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}") from None
+
+
+@dataclass
+class Instr:
+    """One assembled instruction.
+
+    ``imm`` holds the resolved immediate (byte offset for branches/jumps
+    relative to this instruction's address; iteration count for
+    ``lp.setupi`` lives in ``imm`` with the end offset in ``imm2``).
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    imm2: int = 0
+    #: Hardware loop index (0 or 1) for lp.* instructions.
+    loop: int = 0
+    #: Byte address once placed into a program.
+    addr: int = -1
+    #: Optional source label (for disassembly/debugging).
+    comment: str = ""
+
+    @property
+    def spec(self) -> InstrSpec:
+        return SPECS[self.mnemonic]
+
+    def __str__(self) -> str:
+        from .disassembler import format_instr
+        return format_instr(self)

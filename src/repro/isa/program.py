@@ -1,0 +1,83 @@
+"""Program container: assembled instructions plus symbol table."""
+
+from __future__ import annotations
+
+from .instructions import Instr
+
+__all__ = ["Program"]
+
+
+class Program:
+    """An assembled instruction stream starting at address 0.
+
+    Instructions are word-aligned at addresses 0, 4, 8, ...  The container
+    offers encoding to binary words and disassembly; execution is the job
+    of :class:`repro.core.Cpu`.
+    """
+
+    def __init__(self, instrs: list[Instr], labels: dict[str, int] | None = None):
+        self.instrs = list(instrs)
+        self.labels = dict(labels or {})
+        #: symbols defined in .data sections (name -> absolute address)
+        self.data_labels: dict[str, int] = {}
+        #: (base address, bytes) initialized-data image from .data sections
+        self.data_image: tuple[int, bytes] = (0, b"")
+        for index, instr in enumerate(self.instrs):
+            instr.addr = index * 4
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def __getitem__(self, index: int) -> Instr:
+        return self.instrs[index]
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.instrs) * 4
+
+    def at(self, addr: int) -> Instr:
+        """Instruction at a byte address."""
+        if addr % 4 or not 0 <= addr < self.size_bytes:
+            raise IndexError(f"no instruction at address 0x{addr:x}")
+        return self.instrs[addr // 4]
+
+    def label_at(self, addr: int) -> str | None:
+        """First label pointing at ``addr``, if any."""
+        for name, value in self.labels.items():
+            if value == addr:
+                return name
+        return None
+
+    def encode_words(self) -> list[int]:
+        """Encode all instructions to 32-bit words."""
+        from .encoding import encode
+        return [encode(instr) for instr in self.instrs]
+
+    def disassemble(self) -> str:
+        """Human-readable listing with labels and addresses."""
+        from .disassembler import format_instr
+        by_addr: dict[int, list[str]] = {}
+        for name, value in self.labels.items():
+            by_addr.setdefault(value, []).append(name)
+        lines = []
+        for instr in self.instrs:
+            for name in by_addr.get(instr.addr, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {instr.addr:6x}:  {format_instr(instr)}")
+        return "\n".join(lines)
+
+    def load_data(self, memory) -> None:
+        """Write the initialized-data image into a simulator memory."""
+        base, blob = self.data_image
+        for offset, byte in enumerate(blob):
+            memory.store_byte(base + offset, byte)
+
+    def mnemonic_histogram(self) -> dict[str, int]:
+        """Static per-mnemonic instruction counts."""
+        hist: dict[str, int] = {}
+        for instr in self.instrs:
+            hist[instr.mnemonic] = hist.get(instr.mnemonic, 0) + 1
+        return hist

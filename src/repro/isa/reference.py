@@ -1,0 +1,120 @@
+"""ISA reference generator: a human-readable table of every instruction.
+
+``python -c "from repro.isa.reference import main; main()"`` or the CLI's
+``isa-ref`` command render the full instruction set — base RV32IM, the
+Xpulp subset, and the paper's Xrnn extensions — with encodings, formats
+and timing behaviour, generated from the single source of truth
+(:mod:`repro.isa.instructions`), so it can never drift from the simulator.
+"""
+
+from __future__ import annotations
+
+from .instructions import Fmt, Instr, SPECS
+from .encoding import encode
+
+__all__ = ["reference_rows", "format_reference", "main"]
+
+_TIMING_NOTES = {
+    "branch": "1 cycle; 2 when taken",
+    "jump": "2 cycles",
+    "load": "1 cycle; +1 when the next instruction reads rd",
+    "store": "1 cycle",
+    "vliw": "1 cycle; SPR re-read sooner than 2 cycles stalls",
+    "hwloop": "1 cycle setup; loop back edge is free",
+    "plain": "1 cycle",
+}
+
+_FMT_OPERANDS = {
+    Fmt.R: "rd, rs1, rs2",
+    Fmt.R2: "rd, rs1",
+    Fmt.I: "rd, rs1, imm12",
+    Fmt.SHIFT: "rd, rs1, shamt",
+    Fmt.LOAD: "rd, imm(rs1)",
+    Fmt.STORE: "rs2, imm(rs1)",
+    Fmt.BRANCH: "rs1, rs2, label",
+    Fmt.U: "rd, imm20",
+    Fmt.JAL: "rd, label",
+    Fmt.JALR: "rd, rs1, imm",
+    Fmt.HWLOOP: "L, rs1, end",
+    Fmt.HWLOOPI: "L, count, end",
+    Fmt.CSR: "rd, csr, rs1",
+    Fmt.NONE: "",
+}
+
+
+def _timing(spec) -> str:
+    if spec.mnemonic in ("div", "divu", "rem", "remu"):
+        return "35 cycles (serial divider)"
+    if spec.mnemonic.startswith("pl.sdotsp"):
+        return _TIMING_NOTES["vliw"]
+    if spec.mnemonic.startswith("lp."):
+        return _TIMING_NOTES["hwloop"]
+    if spec.is_branch:
+        return _TIMING_NOTES["branch"]
+    if spec.is_jump:
+        return _TIMING_NOTES["jump"]
+    if spec.is_load:
+        return _TIMING_NOTES["load"]
+    if spec.is_store:
+        return _TIMING_NOTES["store"]
+    return _TIMING_NOTES["plain"]
+
+
+def reference_rows() -> list:
+    """(extension, mnemonic, operands, opcode byte, encoding, timing)."""
+    rows = []
+    for spec in sorted(SPECS.values(), key=lambda s: (s.ext, s.mnemonic)):
+        operands = _FMT_OPERANDS[spec.fmt]
+        if spec.postinc:
+            operands = operands.replace("(rs1)", "(rs1!)")
+        probe = Instr(spec.mnemonic)
+        try:
+            word = encode(probe)
+            enc = f"0x{word:08x}"
+        except Exception:  # pragma: no cover - every format encodes
+            enc = "-"
+        rows.append((spec.ext, spec.mnemonic, operands,
+                     f"0x{spec.opcode:02x}/{spec.funct3}"
+                     f"/{spec.funct7:#04x}", enc, _timing(spec)))
+    return rows
+
+
+def format_reference() -> str:
+    rows = reference_rows()
+    lines = ["# Instruction set reference",
+             "",
+             "Generated from `repro.isa.instructions` - the same table "
+             "the assembler, encoder and simulator consume.",
+             ""]
+    current_ext = None
+    header = (f"| {'mnemonic':<16} | {'operands':<18} | "
+              f"{'opc/f3/f7':<14} | {'base encoding':<12} | timing |")
+    rule = "|" + "-" * 18 + "|" + "-" * 20 + "|" + "-" * 16 + "|" \
+        + "-" * 14 + "|" + "-" * 40 + "|"
+    for ext, mnemonic, operands, fields, enc, timing in rows:
+        if ext != current_ext:
+            titles = {
+                "I": "RV32I base (+ Zicsr counters)",
+                "M": "RV32M multiply/divide",
+                "Xmac": "Multiply-accumulate (present on the baseline)",
+                "Xpulp": "Xpulp subset (SIMD, hardware loops, "
+                         "post-increment)",
+                "Xrnn": "Xrnn - the paper's extensions",
+            }
+            lines.append(f"\n## {titles.get(ext, ext)}\n")
+            lines.append(header)
+            lines.append(rule)
+            current_ext = ext
+        lines.append(f"| {mnemonic:<16} | {operands:<18} | {fields:<14} "
+                     f"| {enc:<12} | {timing} |")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_reference()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

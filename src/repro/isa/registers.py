@@ -1,0 +1,40 @@
+"""RISC-V integer register file names and ABI aliases."""
+
+from __future__ import annotations
+
+__all__ = ["NUM_REGS", "ABI_NAMES", "REG_BY_NAME", "reg_num", "reg_name"]
+
+NUM_REGS = 32
+
+#: Index -> canonical ABI name.
+ABI_NAMES = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+REG_BY_NAME = {name: idx for idx, name in enumerate(ABI_NAMES)}
+REG_BY_NAME.update({f"x{idx}": idx for idx in range(NUM_REGS)})
+REG_BY_NAME["fp"] = 8  # frame pointer alias for s0
+
+
+def reg_num(name) -> int:
+    """Resolve a register operand (name string or int) to its index."""
+    if isinstance(name, int):
+        if 0 <= name < NUM_REGS:
+            return name
+        raise ValueError(f"register index out of range: {name}")
+    key = name.strip().lower()
+    if key in REG_BY_NAME:
+        return REG_BY_NAME[key]
+    raise ValueError(f"unknown register {name!r}")
+
+
+def reg_name(num: int) -> str:
+    """Canonical ABI name for a register index."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register index out of range: {num}")
+    return ABI_NAMES[num]

@@ -1,0 +1,28 @@
+"""Kernel code generators: the paper's software stack at all five levels."""
+
+from .common import AsmBuilder, DataLayout, LEVELS, OptLevel
+from .jobs import (ActivationJob, ConvJob, MatvecJob, PointwiseJob,
+                   MAX_TILE, padded_row, plan_tiles)
+from .matvec import gen_matvec
+from .matvec8 import Int8MatvecJob, gen_matvec_int8, padded_row8
+from .interleaved import gen_matvec_interleaved, interleave_weights
+from .im2col import gen_conv_im2col, im2col_buffer_halfwords
+from .activations_sw import gen_activation, gen_sw_pla_body
+from .pointwise import gen_lstm_pointwise
+from .fc import gen_fc
+from .lstm import LstmJob, gen_lstm_step
+from .conv import gen_conv
+from .copy import gen_copy
+from .runner import NetworkPlan, NetworkProgram
+
+__all__ = [
+    "AsmBuilder", "DataLayout", "LEVELS", "OptLevel",
+    "ActivationJob", "ConvJob", "MatvecJob", "PointwiseJob", "MAX_TILE",
+    "padded_row", "plan_tiles",
+    "gen_matvec", "gen_activation", "gen_sw_pla_body", "gen_lstm_pointwise",
+    "gen_fc", "LstmJob", "gen_lstm_step", "gen_conv", "gen_copy",
+    "Int8MatvecJob", "gen_matvec_int8", "padded_row8",
+    "gen_matvec_interleaved", "interleave_weights",
+    "gen_conv_im2col", "im2col_buffer_halfwords",
+    "NetworkPlan", "NetworkProgram",
+]

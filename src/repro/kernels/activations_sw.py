@@ -1,0 +1,156 @@
+"""Activation-pass code generators.
+
+Levels c-e use the paper's single-cycle ``pl.tanh``/``pl.sig`` instructions.
+Levels a-b evaluate the same 32-entry piecewise-linear interpolation in
+software.  The software sequence is *branchless* (sign/abs/select via the
+classic srai/xor/sub bit tricks) so its cycle count is data-independent,
+which keeps the builder's static counts exact; it is bit-identical to
+Algorithm 2 and therefore to the hardware instruction.
+
+Software PLA register use: t0 value, t3 sign mask, t4 |x|, t5 raw index,
+t6/s5/s6 scratch, s0 slope, s1 offset; s2/s3 hold the LUT base addresses
+and s4 holds the convergence constant 1.0 (4096 in Q3.12), set up once
+per pass.
+"""
+
+from __future__ import annotations
+
+from ..fixedpoint.activations import (POINT_DESIGN_INTERVALS,
+                                      POINT_DESIGN_SHIFT)
+from .common import AsmBuilder, OptLevel
+from .jobs import ActivationJob
+
+__all__ = ["gen_activation", "gen_sw_pla_body", "SW_PLA_INSTRS"]
+
+#: Instruction count of the branchless software PLA body (tanh / sig).
+SW_PLA_INSTRS = {"tanh": 21, "sig": 23}
+
+#: Hardware loops hold at most 511 iterations; longer passes are chunked.
+_HWLOOP_MAX = 511
+
+
+def _hw_chunks(count: int):
+    """Split an element count into hardware-loop-sized chunks."""
+    while count > 0:
+        chunk = min(count, _HWLOOP_MAX)
+        yield chunk
+        count -= chunk
+
+
+def gen_activation(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:
+    """Apply ``job.func`` in place over ``job.count`` halfwords."""
+    if job.count < 1:
+        raise ValueError("activation pass needs at least one element")
+    if job.func == "relu":
+        _gen_relu(b, level, job)
+    elif level.hw_activations:
+        _gen_hw(b, job)
+    else:
+        _gen_sw(b, level, job)
+
+
+def _gen_relu(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:
+    """ReLU pass.
+
+    On the baseline core: branchless ``x & ~(x >> 31)``.  With Xpulp,
+    ``p.max x, x, x0`` does it in one instruction (the CMSIS-NN idiom the
+    paper's related work cites).
+    """
+    b.comment(f"relu x{job.count}")
+    b.li("t1", job.addr)
+    b.li("t2", job.addr)
+    if level.key == "a":
+        b.li("t6", job.addr + 2 * job.count)
+        with b.sw_loop(job.count) as loop:
+            b.emit("lh t0, 0(t1)")
+            b.emit("addi t1, t1, 2")
+            b.emit("srai t3, t0, 31")
+            b.emit("xori t3, t3, -1")
+            b.emit("and t0, t0, t3")
+            b.emit("sh t0, 0(t2)")
+            b.emit("addi t2, t2, 2")
+            loop.branch_back("bltu", "t1", "t6")
+    else:
+        for chunk in _hw_chunks(job.count):
+            with b.hwloop(0, chunk):
+                b.emit("p.lh t0, 2(t1!)")
+                b.emit("p.max t0, t0, x0")
+                b.emit("p.sh t0, 2(t2!)")
+
+
+def _gen_hw(b: AsmBuilder, job: ActivationJob) -> None:
+    op = "pl.tanh" if job.func == "tanh" else "pl.sig"
+    b.comment(f"hw {job.func} x{job.count}")
+    b.li("t1", job.addr)
+    b.li("t2", job.addr)
+    for chunk in _hw_chunks(job.count):
+        with b.hwloop(0, chunk):
+            b.emit("p.lh t0, 2(t1!)")
+            b.emit(f"{op} t0, t0")
+            b.emit("p.sh t0, 2(t2!)")
+
+
+def _gen_sw(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:
+    if job.lut_m_addr is None or job.lut_q_addr is None:
+        raise ValueError("software activation pass needs LUT addresses")
+    b.comment(f"sw {job.func} x{job.count} (branchless PLA)")
+    b.li("s2", job.lut_m_addr)
+    b.li("s3", job.lut_q_addr)
+    b.li("s4", 4096)  # 1.0 in Q3.12: the PLA convergence value
+    b.li("t1", job.addr)
+    b.li("t2", job.addr)
+    if level.key == "a":
+        b.li("s7", job.addr + 2 * job.count)
+        with b.sw_loop(job.count) as loop:
+            b.emit("lh t0, 0(t1)")
+            b.emit("addi t1, t1, 2")
+            b.emit("jal x0, 4")  # call cost of the PLA library routine
+            gen_sw_pla_body(b, job.func)
+            b.emit("jal x0, 4")  # return cost
+            b.emit("sh s5, 0(t2)")
+            b.emit("addi t2, t2, 2")
+            loop.branch_back("bltu", "t1", "s7")
+    else:
+        for chunk in _hw_chunks(job.count):
+            with b.hwloop(0, chunk):
+                b.emit("p.lh t0, 2(t1!)")
+                b.emit("jal x0, 4")  # call cost of the PLA library routine
+                gen_sw_pla_body(b, job.func)
+                b.emit("jal x0, 4")  # return cost
+                b.emit("p.sh s5, 2(t2!)")
+
+
+def gen_sw_pla_body(b: AsmBuilder, func: str) -> None:
+    """Branchless Algorithm 2 on t0; result in s5.
+
+    Mirrors :func:`repro.fixedpoint.lut.pla_apply` exactly:
+    ``idx = |x| >> 9``; in range (< 32) interpolate ``m*|x| >> 14 + q``,
+    otherwise substitute +1; undo the sign; for sig add 1 on negative
+    inputs (``sig(-x) = 1 - sig(x)``).
+    """
+    m_intervals = POINT_DESIGN_INTERVALS
+    shift = POINT_DESIGN_SHIFT
+    b.emit("srai t3, t0, 31")            # sign mask: -1 if negative
+    b.emit("xor t4, t0, t3")
+    b.emit("sub t4, t4, t3")             # |x|
+    b.emit(f"srai t5, t4, {shift}")      # interval index
+    b.emit(f"sltiu s6, t5, {m_intervals}")
+    b.emit("sub s6, x0, s6")             # in-range mask: -1 inside
+    b.emit(f"andi t6, t5, {m_intervals - 1}")
+    b.emit("slli t6, t6, 1")
+    b.emit("add s0, s2, t6")
+    b.emit("lh s0, 0(s0)")               # slope m (Q1.14)
+    b.emit("add s1, s3, t6")
+    b.emit("lh s1, 0(s1)")               # offset q (Q3.12)
+    b.emit("mul s5, s0, t4")
+    b.emit("srai s5, s5, 14")
+    b.emit("add s5, s5, s1")             # y = m*|x| + q
+    b.emit("and s5, s5, s6")             # keep only if in range
+    b.emit("xori t6, s6, -1")
+    b.emit("and t6, s4, t6")             # +1 if out of range
+    b.emit("or s5, s5, t6")
+    b.emit("xor s5, s5, t3")
+    b.emit("sub s5, s5, t3")             # restore sign
+    if func == "sig":
+        b.emit("and t6, s4, t3")         # +1 only for negative inputs
+        b.emit("add s5, s5, t6")

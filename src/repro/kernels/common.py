@@ -1,0 +1,304 @@
+"""Shared kernel-generation infrastructure.
+
+Three pieces live here:
+
+* :class:`OptLevel` — the paper's five optimization stages (Table I a-e).
+* :class:`DataLayout` — a bump allocator assigning memory addresses to
+  weight/activation arrays.
+* :class:`AsmBuilder` — emits assembly text while *simultaneously*
+  accumulating the exact dynamic instruction/cycle histogram the program
+  will produce under the core's timing rules.  The builder's counts are the
+  analytical performance model; tests assert they equal the ISS trace
+  instruction-for-instruction and cycle-for-cycle.
+
+The builder can do this statically because every loop in the generated
+kernels has a trip count known at generation time and all generated code is
+branch-deterministic (saturation and the software PLA use branchless bit
+tricks, see ``activations_sw.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tracer import Trace
+from ..isa.assembler import _build_instr, _expand_pseudo, _split_operands
+from ..isa.instructions import Fmt
+
+__all__ = ["OptLevel", "LEVELS", "DataLayout", "AsmBuilder"]
+
+
+@dataclass(frozen=True)
+class OptLevel:
+    """One of the paper's Table I optimization stages."""
+
+    key: str
+    column: str        # Table I column label
+    description: str
+    extensions: frozenset
+    #: Output feature-map tile size cap (1 = no tiling).
+    max_tile: int
+    #: Hardware tanh/sig instructions available?
+    hw_activations: bool
+    #: pl.sdotsp.h load-and-compute available?
+    vliw: bool
+    #: Input FM tiling (two packed input words per inner iteration)?
+    ifm_tiling: bool
+
+
+_BASE = frozenset({"I", "M", "Xmac"})
+_XPULP = _BASE | {"Xpulp"}
+_FULL = _XPULP | {"Xrnn"}
+
+LEVELS = {
+    "a": OptLevel("a", "a) w/o opt (RV32IMC)",
+                  "naive C, memory-resident accumulator",
+                  _BASE, 1, False, False, False),
+    "b": OptLevel("b", "b) +SIMD/HWL (Xpulp)",
+                  "packed SIMD, hardware loops, post-increment loads",
+                  _XPULP, 1, False, False, False),
+    "c": OptLevel("c", "c) +Out-FM Tile./tanh/sig",
+                  "output feature-map tiling + HW activations",
+                  _FULL, 10, True, False, False),
+    "d": OptLevel("d", "d) +pl.sdotsp instruction",
+                  "load-and-compute VLIW sum-dot-product",
+                  _FULL, 10, True, True, False),
+    "e": OptLevel("e", "e) +Input FM Tiling",
+                  "two packed input words per inner iteration",
+                  _FULL, 10, True, True, True),
+    # Beyond the paper: interleaved single-pointer weight streams (tiles
+    # of 18) and activations fused into the tile epilogue.  Not part of
+    # Table I; evaluated by repro.eval.beyond.
+    "f": OptLevel("f", "f) +interleave/fusion (beyond the paper)",
+                  "interleaved weight stream, fused activations",
+                  _FULL, 18, True, True, True),
+}
+
+
+class DataLayout:
+    """Bump allocator for halfword/word arrays in simulator memory.
+
+    Every allocation is padded by 8 bytes because the ``pl.sdotsp.h``
+    weight prefetch stream reads one word past the end of the rows it
+    streams (the fetched values are never used in a computation).
+    """
+
+    _PAD = 8
+
+    def __init__(self, base: int = 0x1000, size_bytes: int | None = None):
+        self.base = base
+        self._next = base
+        self.size_limit = size_bytes
+        self.regions: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, name: str, n_bytes: int, align: int = 4) -> int:
+        """Reserve ``n_bytes`` (plus guard padding); returns the address."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        addr = (self._next + align - 1) // align * align
+        self._next = addr + n_bytes + self._PAD
+        if self.size_limit is not None and self._next > self.size_limit:
+            raise MemoryError(f"data layout overflow allocating {name!r}")
+        self.regions[name] = (addr, n_bytes)
+        return addr
+
+    def alloc_half(self, name: str, count: int) -> int:
+        """Reserve ``count`` halfwords."""
+        return self.alloc(name, 2 * count)
+
+    def alloc_word(self, name: str, count: int) -> int:
+        """Reserve ``count`` words."""
+        return self.alloc(name, 4 * count)
+
+    def addr(self, name: str) -> int:
+        return self.regions[name][0]
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next - self.base
+
+
+class AsmBuilder:
+    """Emit assembly text and the exact dynamic count histogram together.
+
+    Usage::
+
+        b = AsmBuilder()
+        b.li("a0", w_addr)
+        with b.hwloop(0, n_in // 2):
+            b.emit("p.lw t0, 4(a0!)")
+            b.emit("pv.sdotsp.h a2, t0, t1")
+        text = b.text()
+        counts = b.trace          # exact instrs/cycles per display name
+
+    The builder applies the same timing rules as the CPU: base 1 cycle,
+    +1 on a load whose immediately-following instruction reads the loaded
+    register, 2 cycles for jumps and taken branches, free hardware-loop
+    back edges.
+    """
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self.trace = Trace()
+        self._mult_stack: list[int] = [1]
+        self._label_counter = 0
+        #: (display, rd, mult) of the previous instruction if it was a
+        #: plain load, else None.  Used for load-use stall accounting.
+        self._prev_load = None
+
+    # ------------------------------------------------------------------
+    @property
+    def mult(self) -> int:
+        return self._mult_stack[-1]
+
+    def fresh_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f".{stem}_{self._label_counter}"
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    def comment(self, text: str) -> None:
+        self.lines.append(f"    # {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+        # A label is a potential join point; drop adjacency to be safe.
+        self._prev_load = None
+
+    # ------------------------------------------------------------------
+    # Instruction emission
+    # ------------------------------------------------------------------
+    def emit(self, line: str, taken: int | None = None,
+             fall: int | None = None) -> None:
+        """Emit one instruction line and account for it.
+
+        For branches, ``taken``/``fall`` give the per-enclosing-execution
+        taken and fall-through counts (so a software loop of n iterations
+        uses taken=n-1, fall=1 on its back branch).
+        """
+        stripped = line.strip()
+        parts = stripped.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = _split_operands(parts[1] if len(parts) > 1 else "")
+        expanded = _expand_pseudo(mnemonic, ops, None, line)
+        for real_mnemonic, real_ops in expanded:
+            self._account(real_mnemonic, real_ops, taken, fall)
+        self.lines.append(f"    {stripped}")
+
+    def _account(self, mnemonic: str, ops, taken, fall) -> None:
+        instr, _pending = _build_instr(mnemonic, ops, None, mnemonic)
+        spec = instr.spec
+        display = spec.display
+        mult = self.mult
+        from ..core.cpu import _reads_mask  # shared hazard definition
+        reads = _reads_mask(instr)
+
+        # Load-use stall charged to the previous load.
+        if self._prev_load is not None:
+            prev_display, prev_rd, prev_mult = self._prev_load
+            if prev_rd and (reads >> prev_rd) & 1:
+                self.trace.add(prev_display, 0, min(prev_mult, mult))
+        plain_load = spec.is_load and not mnemonic.startswith("pl.sdotsp")
+        self._prev_load = (display, instr.rd, mult) if plain_load else None
+
+        if spec.is_branch:
+            if taken is None or fall is None:
+                raise ValueError(
+                    f"branch {mnemonic!r} needs taken/fall counts")
+            self.trace.add(display, (taken + fall) * mult,
+                           (2 * taken + fall) * mult)
+        elif spec.is_jump:
+            self.trace.add(display, mult, 2 * mult)
+        elif mnemonic in ("div", "divu", "rem", "remu"):
+            from ..core.cpu import DIV_CYCLES  # one source of truth
+            self.trace.add(display, mult, DIV_CYCLES * mult)
+        else:
+            self.trace.add(display, mult, mult)
+
+    def li(self, reg: str, value: int) -> None:
+        """Load-immediate pseudo (1 or 2 instructions)."""
+        self.emit(f"li {reg}, {value}")
+
+    # ------------------------------------------------------------------
+    # Loop helpers
+    # ------------------------------------------------------------------
+    def hwloop(self, index: int, count: int):
+        """Hardware loop context: emits ``lp.setupi`` and the end label.
+
+        ``count`` must be a positive generation-time constant <= 511.
+        """
+        return _HwLoop(self, index, count)
+
+    def sw_loop(self, count: int):
+        """Software loop context for the baseline (bltu back edge).
+
+        The caller emits the loop body; the context emits the start label
+        and the caller closes it via the returned handle's ``branch_back``.
+        """
+        return _SwLoop(self, count)
+
+
+class _HwLoop:
+    def __init__(self, builder: AsmBuilder, index: int, count: int):
+        if not 1 <= count <= 511:
+            raise ValueError(f"hardware loop count {count} out of range "
+                             "(1..511); split the loop or use sw_loop")
+        if index not in (0, 1):
+            raise ValueError("hardware loop index must be 0 or 1")
+        self.builder = builder
+        self.index = index
+        self.count = count
+        self.end_label = builder.fresh_label("hwend")
+
+    def __enter__(self):
+        b = self.builder
+        b.emit(f"lp.setupi {self.index}, {self.count}, {self.end_label}")
+        b._mult_stack.append(b.mult * self.count)
+        # The first body instruction follows lp.setupi (not a load).
+        b._prev_load = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        b = self.builder
+        b._mult_stack.pop()
+        b.label(self.end_label)
+        return False
+
+
+class _SwLoop:
+    """Software counted loop: the builder multiplies body counts by the
+    trip count; ``branch_back`` emits the bltu/bne with exact taken/fall.
+    """
+
+    def __init__(self, builder: AsmBuilder, count: int):
+        if count < 1:
+            raise ValueError("software loop needs at least one iteration")
+        self.builder = builder
+        self.count = count
+        self.start_label = builder.fresh_label("loop")
+        self._closed = False
+
+    def __enter__(self):
+        b = self.builder
+        b.label(self.start_label)
+        b._mult_stack.append(b.mult * self.count)
+        return self
+
+    def branch_back(self, mnemonic: str, rs1: str, rs2: str) -> None:
+        """Emit the back branch (taken count-1 times, falls through once)."""
+        b = self.builder
+        # The branch executes `count` times within the (mult*count) scope:
+        # account it at the *outer* multiplier with explicit taken/fall.
+        b._mult_stack.append(b._mult_stack[-1] // self.count)
+        b.emit(f"{mnemonic} {rs1}, {rs2}, {self.start_label}",
+               taken=self.count - 1, fall=1)
+        b._mult_stack.pop()
+        self._closed = True
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None and not self._closed:
+            raise RuntimeError("software loop closed without branch_back")
+        self.builder._mult_stack.pop()
+        self.builder._prev_load = None
+        return False

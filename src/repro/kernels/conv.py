@@ -1,0 +1,147 @@
+"""Convolution layer generators (valid 2-D conv, channels-planar).
+
+Level a walks the six-deep loop nest directly with the memory-resident
+accumulator of the baseline matvec.  Levels b-e gather each output pixel's
+receptive field into a contiguous patch buffer once (amortized over all
+output channels) and run the tiled matvec over it — the per-pixel variant
+of the im2col reformulation the paper cites, chosen because full im2col
+materialization costs more memory traffic than it saves at these sizes.
+"""
+
+from __future__ import annotations
+
+from .common import AsmBuilder, OptLevel
+from .jobs import ConvJob, MatvecJob
+from .matvec import gen_matvec
+
+__all__ = ["gen_conv"]
+
+
+def gen_conv(b: AsmBuilder, level: OptLevel, job: ConvJob) -> None:
+    b.comment(f"conv level {level.key}: {job.cin}x{job.h}x{job.w} -> "
+              f"{job.cout}x{job.h_out}x{job.w_out}, k={job.k}")
+    if level.key == "a":
+        _gen_level_a(b, job)
+    else:
+        _gen_gathered(b, level, job)
+
+
+# ----------------------------------------------------------------------
+# Level a: direct six-deep loop nest
+# ----------------------------------------------------------------------
+def _gen_level_a(b: AsmBuilder, job: ConvJob) -> None:
+    if not job.acc_addr:
+        raise ValueError("level a conv needs an accumulator scratch word")
+    k, w_img = job.k, job.w
+    plane = job.h * job.w
+    b.li("s0", job.out_addr)
+    b.li("s3", job.b_addr)
+    b.li("s2", job.w_addr)
+    b.li("s4", job.acc_addr)
+    b.li("s5", job.b_addr + 2 * job.cout)
+    b.li("s7", 32767)
+    b.li("s8", -32768)
+    with b.sw_loop(job.cout) as co_loop:
+        b.emit("lh t5, 0(s3)")
+        b.emit("addi s3, s3, 2")
+        b.emit("slli s6, t5, 12")        # bias << 12, reused per pixel
+        b.li("s9", job.x_addr)           # input pixel base
+        b.li("a1", job.h_out)
+        with b.sw_loop(job.h_out) as oy_loop:
+            b.li("a2", job.w_out)
+            with b.sw_loop(job.w_out) as ox_loop:
+                b.emit("sw s6, 0(s4)")   # acc = bias << 12
+                b.emit("mv s1, s2")      # weight ptr = this co's block
+                b.emit("mv t0, s9")      # patch row ptr
+                b.li("a3", job.cin)
+                with b.sw_loop(job.cin) as ci_loop:
+                    b.li("a4", k)
+                    with b.sw_loop(k) as ky_loop:
+                        b.emit("mv t1, t0")
+                        b.emit(f"addi t6, t0, {2 * k}")
+                        with b.sw_loop(k) as kx_loop:
+                            b.emit("lw t2, 0(s4)")
+                            b.emit("lh t3, 0(s1)")
+                            b.emit("addi s1, s1, 2")
+                            b.emit("lh t4, 0(t1)")
+                            b.emit("addi t1, t1, 2")
+                            b.emit("p.mac t2, t3, t4")
+                            b.emit("sw t2, 0(s4)")
+                            kx_loop.branch_back("bltu", "t1", "t6")
+                        b.emit(f"addi t0, t0, {2 * w_img}")
+                        b.emit("addi a4, a4, -1")
+                        ky_loop.branch_back("bne", "a4", "x0")
+                    b.emit(f"addi t0, t0, {2 * (plane - k * w_img)}")
+                    b.emit("addi a3, a3, -1")
+                    ci_loop.branch_back("bne", "a3", "x0")
+                b.emit("lw t2, 0(s4)")
+                b.emit("srai t2, t2, 12")
+                _saturate(b, "t2")
+                b.emit("sh t2, 0(s0)")
+                b.emit("addi s0, s0, 2")
+                b.emit("addi s9, s9, 2")
+                b.emit("addi a2, a2, -1")
+                ox_loop.branch_back("bne", "a2", "x0")
+            b.emit(f"addi s9, s9, {2 * (k - 1)}")
+            b.emit("addi a1, a1, -1")
+            oy_loop.branch_back("bne", "a1", "x0")
+        b.emit(f"addi s2, s2, {2 * job.cin * k * k}")
+        co_loop.branch_back("bltu", "s3", "s5")
+
+
+def _saturate(b: AsmBuilder, reg: str) -> None:
+    """Branchless int16 clamp; rails in s7 (32767) and s8 (-32768)."""
+    b.emit(f"sub t3, {reg}, s7")
+    b.emit("srai t4, t3, 31")
+    b.emit("and t3, t3, t4")
+    b.emit(f"add {reg}, s7, t3")
+    b.emit(f"sub t3, {reg}, s8")
+    b.emit("srai t4, t3, 31")
+    b.emit("and t3, t3, t4")
+    b.emit(f"sub {reg}, {reg}, t3")
+
+
+# ----------------------------------------------------------------------
+# Levels b-e: per-pixel patch gather + tiled matvec over all channels
+# ----------------------------------------------------------------------
+def _gen_gathered(b: AsmBuilder, level: OptLevel, job: ConvJob) -> None:
+    if not job.patch_addr or not job.patch_row_halfwords:
+        raise ValueError("optimized conv needs a patch buffer")
+    out_plane_bytes = 2 * job.h_out * job.w_out
+    for oy in range(job.h_out):
+        for ox in range(job.w_out):
+            _gen_gather(b, job, oy, ox)
+            pixel = oy * job.w_out + ox
+            gen_matvec(b, level, MatvecJob(
+                n_in=job.patch_len, n_out=job.cout,
+                w_addr=job.w_addr, x_addr=job.patch_addr,
+                b_addr=job.b_addr, out_addr=job.out_addr + 2 * pixel,
+                row_halfwords=job.patch_row_halfwords,
+                out_stride=out_plane_bytes,
+                max_tile=min(job.max_tile, job.cout - job.cout % 2
+                             if job.cout > 1 else 1),
+                acc_addr=job.acc_addr))
+
+
+def _gen_gather(b: AsmBuilder, job: ConvJob, oy: int, ox: int) -> None:
+    """Copy the (cin x k x k) receptive field of (oy, ox) into the patch.
+
+    Loads are batched three registers deep (t0/t4/t5) so no store consumes
+    a value loaded on the immediately-preceding cycle.
+    """
+    b.comment(f"gather pixel ({oy},{ox})")
+    b.li("t2", job.patch_addr)
+    regs = ("t0", "t4", "t5")
+    for ci in range(job.cin):
+        for ky in range(job.k):
+            row_addr = job.x_addr + 2 * (ci * job.h * job.w
+                                         + (oy + ky) * job.w + ox)
+            b.li("t1", row_addr)
+            done = 0
+            while done < job.k:
+                batch = min(3, job.k - done)
+                for j in range(batch):
+                    b.emit(f"p.lh {regs[j]}, 2(t1!)")
+                for j in range(batch):
+                    b.emit(f"p.sh {regs[j]}, 2(t2!)")
+                done += batch

@@ -1,0 +1,34 @@
+"""Vector copy kernel (used to feed one LSTM's hidden state into the next
+LSTM layer's input slot; all other layer junctions write in place)."""
+
+from __future__ import annotations
+
+from .common import AsmBuilder, OptLevel
+
+__all__ = ["gen_copy"]
+
+
+def gen_copy(b: AsmBuilder, level: OptLevel, src: int, dst: int,
+             count: int) -> None:
+    """Copy ``count`` halfwords from ``src`` to ``dst``.
+
+    ``count`` must be even and both addresses word-aligned (guaranteed by
+    the runner's layout rules: LSTM widths are even).
+    """
+    if count % 2 or src % 4 or dst % 4:
+        raise ValueError("copy needs even count and word-aligned addresses")
+    b.comment(f"copy {count} halfwords")
+    b.li("t1", src)
+    b.li("t2", dst)
+    if level.key == "a":
+        b.li("t6", src + 2 * count)
+        with b.sw_loop(count // 2) as loop:
+            b.emit("lw t4, 0(t1)")
+            b.emit("addi t1, t1, 4")
+            b.emit("sw t4, 0(t2)")
+            b.emit("addi t2, t2, 4")
+            loop.branch_back("bltu", "t1", "t6")
+    else:
+        with b.hwloop(0, count // 2):
+            b.emit("p.lw t4, 4(t1!)")
+            b.emit("p.sw t4, 4(t2!)")

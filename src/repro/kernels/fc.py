@@ -1,0 +1,28 @@
+"""Fully-connected layer generator: matvec plus optional activation pass."""
+
+from __future__ import annotations
+
+from .activations_sw import gen_activation
+from .common import AsmBuilder, OptLevel
+from .jobs import ActivationJob, MatvecJob
+from .matvec import gen_matvec
+
+__all__ = ["gen_fc"]
+
+
+def gen_fc(b: AsmBuilder, level: OptLevel, job: MatvecJob,
+           activation: str | None = None,
+           lut_m_addr: int | None = None,
+           lut_q_addr: int | None = None) -> None:
+    """Emit a fully-connected layer.
+
+    ``activation`` is ``None``, ``"tanh"`` or ``"sig"``, applied in place
+    over the contiguous output vector (requires ``out_stride == 2``).
+    """
+    gen_matvec(b, level, job)
+    if activation is not None:
+        if job.out_stride != 2:
+            raise ValueError("activation pass needs contiguous outputs")
+        gen_activation(b, level, ActivationJob(
+            func=activation, addr=job.out_addr, count=job.n_out,
+            lut_m_addr=lut_m_addr, lut_q_addr=lut_q_addr))

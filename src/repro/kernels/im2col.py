@@ -1,0 +1,80 @@
+"""Full-im2col convolution (ablation vs. the per-pixel gather).
+
+The paper cites the im2col reformulation ([23], [24]): materialize the
+whole patch matrix once, then run one large matrix-matrix multiplication.
+Our production conv path (``conv.py``) gathers one pixel's patch at a time
+and amortizes it over the output channels; this module materializes the
+*entire* ``(n_pix, cin*k*k)`` patch matrix up front instead, then runs the
+tiled matvec per pixel column with zero per-pixel gather.
+
+The trade-off the ablation quantifies: full im2col pays the whole copy
+cost once but needs ``n_pix * cin * k * k`` halfwords of scratch —
+``benchmarks/test_ablation_im2col.py`` shows where each wins.
+"""
+
+from __future__ import annotations
+
+from .common import AsmBuilder, OptLevel
+from .jobs import ConvJob, MatvecJob
+from .matvec import gen_matvec
+
+__all__ = ["gen_conv_im2col", "im2col_buffer_halfwords"]
+
+
+def im2col_buffer_halfwords(job: ConvJob) -> int:
+    """Scratch size for the full patch matrix (rows padded like weights)."""
+    return job.h_out * job.w_out * job.patch_row_halfwords
+
+
+def gen_conv_im2col(b: AsmBuilder, level: OptLevel, job: ConvJob,
+                    col_addr: int) -> None:
+    """Emit full-im2col conv: materialize, then matvec per pixel column.
+
+    ``col_addr`` is the patch-matrix scratch region
+    (:func:`im2col_buffer_halfwords` halfwords).
+    """
+    if level.key == "a":
+        raise ValueError("im2col ablation targets the optimized levels")
+    b.comment(f"im2col conv: {job.cin}x{job.h}x{job.w} -> "
+              f"{job.cout}x{job.h_out}x{job.w_out}")
+    _gen_materialize(b, job, col_addr)
+    out_plane_bytes = 2 * job.h_out * job.w_out
+    for pixel in range(job.h_out * job.w_out):
+        gen_matvec(b, level, MatvecJob(
+            n_in=job.patch_len, n_out=job.cout, w_addr=job.w_addr,
+            x_addr=col_addr + 2 * pixel * job.patch_row_halfwords,
+            b_addr=job.b_addr, out_addr=job.out_addr + 2 * pixel,
+            row_halfwords=job.patch_row_halfwords,
+            out_stride=out_plane_bytes,
+            max_tile=min(job.max_tile,
+                         job.cout - job.cout % 2 if job.cout > 1 else 1),
+            acc_addr=job.acc_addr))
+
+
+def _gen_materialize(b: AsmBuilder, job: ConvJob, col_addr: int) -> None:
+    """Copy every receptive field into the patch matrix.
+
+    For each output row, each (ci, ky) source row is contiguous in the
+    input, and its contribution to consecutive output pixels is the same
+    row shifted by one: copy it once per output pixel with a hardware
+    loop over kx (unrolled, k is small), three registers deep to avoid
+    load-use stalls.
+    """
+    regs = ("t0", "t4", "t5")
+    for oy in range(job.h_out):
+        for ox in range(job.w_out):
+            pixel = oy * job.w_out + ox
+            b.li("t2", col_addr + 2 * pixel * job.patch_row_halfwords)
+            for ci in range(job.cin):
+                for ky in range(job.k):
+                    row_addr = job.x_addr + 2 * (
+                        ci * job.h * job.w + (oy + ky) * job.w + ox)
+                    b.li("t1", row_addr)
+                    done = 0
+                    while done < job.k:
+                        batch = min(3, job.k - done)
+                        for j in range(batch):
+                            b.emit(f"p.lh {regs[j]}, 2(t1!)")
+                        for j in range(batch):
+                            b.emit(f"p.sh {regs[j]}, 2(t2!)")
+                        done += batch

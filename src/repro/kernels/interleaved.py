@@ -1,0 +1,107 @@
+"""Interleaved-weight-layout matvec (an ablation beyond the paper).
+
+The paper's VLIW kernel (Table II) keeps one post-incremented address
+register per tile row.  If the weights are instead stored *interleaved* in
+exactly the order the SPR stream consumes them —
+
+    w[tile][pair][row] :  row-in-tile innermost
+
+— every ``pl.sdotsp.h`` can share a single address register, freeing the
+other nine pointer registers for accumulators.  Tiles grow to 18 rows and
+the input-load amortization improves from 1/10 to 1/18 per sum-dot-product.
+``repro.eval``'s ablation benchmark quantifies the gain; the transform is
+a pure offline data-layout change (the kind the paper itself applies when
+padding rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import AsmBuilder
+from .jobs import plan_tiles
+
+__all__ = ["gen_matvec_interleaved", "interleave_weights",
+           "INTERLEAVED_MAX_TILE", "INTERLEAVED_ACC_REGS"]
+
+#: s0-s11 plus a1-a6: eighteen accumulators once a0 is the only pointer.
+INTERLEAVED_ACC_REGS = ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+                        "s8", "s9", "s10", "s11", "a1", "a2", "a3", "a4",
+                        "a5", "a6"]
+INTERLEAVED_MAX_TILE = len(INTERLEAVED_ACC_REGS)
+
+
+def interleave_weights(w: np.ndarray, row_halfwords: int,
+                       max_tile: int = INTERLEAVED_MAX_TILE) -> np.ndarray:
+    """Reorder row-major weights into the interleaved stream layout.
+
+    Returns a flat int64 array of halfwords: for each tile, for each
+    input pair, the tile's rows' packed pairs in row order.
+    """
+    n_out, n_in = w.shape
+    padded = np.zeros((n_out, row_halfwords), dtype=np.int64)
+    padded[:, :n_in] = w
+    pairs = row_halfwords // 2
+    out = []
+    row0 = 0
+    for tile in plan_tiles(n_out, max_tile):
+        block = padded[row0:row0 + tile]          # (tile, row_hw)
+        block = block.reshape(tile, pairs, 2)     # (tile, pair, 2)
+        out.append(block.transpose(1, 0, 2).reshape(-1))
+        row0 += tile
+    return np.concatenate(out)
+
+
+def gen_matvec_interleaved(b: AsmBuilder, n_in: int, n_out: int,
+                           w_addr: int, x_addr: int, b_addr: int,
+                           out_addr: int, row_halfwords: int,
+                           max_tile: int = INTERLEAVED_MAX_TILE,
+                           fused_activation: str | None = None) -> None:
+    """Emit the single-pointer VLIW matvec over interleaved weights.
+
+    ``fused_activation`` applies tanh/sig/relu on the accumulators in the
+    epilogue (see :func:`repro.kernels.matvec.gen_matvec`).
+    """
+    if row_halfwords % 2:
+        raise ValueError("rows must be padded to pairs")
+    tiles = plan_tiles(n_out, max_tile)
+    b.comment(f"interleaved matvec: {n_out}x{n_in} tiles={tiles}")
+    b.li("a0", w_addr)   # the single weight-stream pointer
+    b.li("t2", b_addr)
+    b.li("t3", out_addr)
+    for tile in tiles:
+        _gen_tile(b, tile, x_addr, row_halfwords, fused_activation)
+
+
+def _gen_tile(b: AsmBuilder, n: int, x_addr: int, row_halfwords: int,
+              fused_activation: str | None = None) -> None:
+    accs = INTERLEAVED_ACC_REGS[:n]
+    b.li("t1", x_addr)
+    for k in range(n):
+        b.emit(f"p.lh {accs[k]}, 2(t2!)")
+    for k in range(n):
+        b.emit(f"slli {accs[k]}, {accs[k]}, 12")
+    two_sprs = n >= 2
+    b.emit("pl.sdotsp.h.0 x0, a0, x0")
+    if two_sprs:
+        b.emit("pl.sdotsp.h.1 x0, a0, x0")
+    with b.hwloop(0, row_halfwords // 2):
+        b.emit("p.lw t0, 4(t1!)")
+        for k in range(n):
+            parity = (k % 2) if two_sprs else 0
+            b.emit(f"pl.sdotsp.h.{parity} {accs[k]}, a0, t0")
+    # the prefetch ran past this tile's stream (two words with both SPRs
+    # in play, one otherwise); step back to the next tile's first weights
+    b.emit(f"addi a0, a0, {-8 if two_sprs else -4}")
+    for k in range(n):
+        b.emit(f"srai {accs[k]}, {accs[k]}, 12")
+        b.emit(f"p.clip {accs[k]}, {accs[k]}, 16")
+    if fused_activation == "relu":
+        for k in range(n):
+            b.emit(f"p.max {accs[k]}, {accs[k]}, x0")
+    elif fused_activation in ("tanh", "sig"):
+        op = "pl.tanh" if fused_activation == "tanh" else "pl.sig"
+        for k in range(n):
+            b.emit(f"{op} {accs[k]}, {accs[k]}")
+    for k in range(n):
+        b.emit(f"p.sh {accs[k]}, 2(t3!)")

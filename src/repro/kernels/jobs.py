@@ -1,0 +1,150 @@
+"""Kernel job descriptors and tile planning.
+
+A *job* captures everything a generator needs: problem dims and the memory
+addresses assigned by :class:`~repro.kernels.common.DataLayout`.  The tile
+planner implements the register-allocation decision the paper alludes to
+("N can be increased until the available registers are exhausted"): output
+feature-map tiles of up to 10 rows, even-sized whenever possible so the
+``pl.sdotsp.h.{0,1}`` SPR alternation never stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MatvecJob", "ActivationJob", "PointwiseJob", "ConvJob",
+           "plan_tiles", "padded_row", "MAX_TILE"]
+
+#: Accumulators live in s0..s9 and row pointers in {a0..a7, s10, s11}:
+#: ten of each is the most the 31-entry register file sustains alongside
+#: the stream pointers and staging registers (see matvec.py).
+MAX_TILE = 10
+
+
+def padded_row(n_in: int, level_key: str) -> int:
+    """Row length in halfwords after zero-padding for the given level.
+
+    Levels b-d consume input pairs (pad to multiple of 2); level e consumes
+    two pairs per inner iteration (pad to multiple of 4).  The paper's
+    Table Ie shows exactly this effect: pl.sdot grows from 811k to 817k.
+    """
+    if level_key == "a":
+        return n_in
+    quantum = 4 if level_key in ("e", "f") else 2
+    return (n_in + quantum - 1) // quantum * quantum
+
+
+def plan_tiles(n_out: int, max_tile: int) -> list[int]:
+    """Split ``n_out`` rows into OFM tiles.
+
+    Prefers the largest even tile <= max_tile; remainders become one
+    smaller even tile plus at most one single-row tile.  Even sizes keep
+    the two-entry SPR double buffer alternating (see DESIGN.md).
+    """
+    if n_out < 1:
+        raise ValueError("n_out must be positive")
+    if max_tile < 1:
+        raise ValueError("max_tile must be positive")
+    full = max_tile if max_tile % 2 == 0 or max_tile == 1 else max_tile - 1
+    tiles = []
+    remaining = n_out
+    while remaining >= full > 0:
+        tiles.append(full)
+        remaining -= full
+    if remaining:
+        even = remaining - (remaining % 2)
+        if even:
+            tiles.append(even)
+        if remaining % 2:
+            tiles.append(1)
+    return tiles
+
+
+@dataclass
+class MatvecJob:
+    """One fixed-point matrix-vector product ``out = sat((b<<12 + Wx)>>12)``.
+
+    ``w_addr`` points at row-major weights with rows padded to
+    ``row_halfwords``; ``out_stride`` is the distance between consecutive
+    outputs in bytes (2 = contiguous; conv uses a plane stride).
+    """
+
+    n_in: int
+    n_out: int
+    w_addr: int
+    x_addr: int
+    b_addr: int
+    out_addr: int
+    row_halfwords: int
+    out_stride: int = 2
+    #: scratch word for the baseline's memory-resident accumulator
+    acc_addr: int = 0
+    max_tile: int = MAX_TILE
+
+
+@dataclass
+class ActivationJob:
+    """Apply tanh/sig elementwise over ``count`` halfwords in place."""
+
+    func: str                 # "tanh" | "sig"
+    addr: int
+    count: int
+    #: SW PLA table addresses (levels a/b); None when HW instructions used.
+    lut_m_addr: int | None = None
+    lut_q_addr: int | None = None
+
+
+@dataclass
+class PointwiseJob:
+    """LSTM cell update: c' = sat(i.g + f.c); h = o . tanh(c').
+
+    All six operands are length-``n`` halfword arrays; gate buffers are
+    contiguous slices of the gate output ``z`` in [i, f, o, g] order.
+    """
+
+    n: int
+    i_addr: int
+    f_addr: int
+    o_addr: int
+    g_addr: int
+    c_addr: int
+    h_addr: int
+    lut_m_addr: int | None = None
+    lut_q_addr: int | None = None
+
+
+@dataclass
+class ConvJob:
+    """Valid 2-D convolution, channels-planar layout.
+
+    Input ``cin`` planes of ``h x w`` halfwords; ``k x k`` filters; output
+    ``cout`` planes of ``(h-k+1) x (w-k+1)``; weights ``[co][ci][ky][kx]``.
+    ``patch_addr`` is the per-pixel gather buffer for the optimized levels
+    (``cin*k*k`` halfwords padded like a matvec row).
+    """
+
+    cin: int
+    cout: int
+    h: int
+    w: int
+    k: int
+    w_addr: int
+    x_addr: int
+    b_addr: int
+    out_addr: int
+    patch_addr: int = 0
+    patch_row_halfwords: int = 0
+    acc_addr: int = 0
+    max_tile: int = MAX_TILE
+
+    @property
+    def h_out(self) -> int:
+        return self.h - self.k + 1
+
+    @property
+    def w_out(self) -> int:
+        return self.w - self.k + 1
+
+    @property
+    def patch_len(self) -> int:
+        return self.cin * self.k * self.k

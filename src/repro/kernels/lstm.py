@@ -1,0 +1,88 @@
+"""LSTM timestep generator.
+
+One timestep is composed of the paper's three kernel families:
+
+1. The gate pre-activations as a single fused matvec:
+   ``z = b + W_cat @ [x; h]`` where ``W_cat`` stacks the four gate blocks
+   row-wise in **[i, f, o, g]** order and column-wise as ``[W | U]``.  The
+   ``[x; h]`` concatenation is free because the runner lays ``x`` and ``h``
+   out adjacently in one buffer.
+2. Activation passes: sigmoid over the first ``3n`` gate rows (i, f, o) and
+   tanh over the last ``n`` (g).
+3. The pointwise cell update (``pointwise.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .activations_sw import gen_activation
+from .common import AsmBuilder, OptLevel
+from .jobs import ActivationJob, MatvecJob, PointwiseJob
+from .matvec import gen_matvec
+from .pointwise import gen_lstm_pointwise
+
+__all__ = ["LstmJob", "gen_lstm_step"]
+
+
+@dataclass
+class LstmJob:
+    """Placement of one LSTM layer's state and parameters.
+
+    ``xh_addr`` holds ``m`` input halfwords immediately followed by the
+    ``n`` hidden-state halfwords (plus level padding); ``z_addr`` is the
+    ``4n`` gate buffer; ``w_addr`` holds ``4n`` rows of ``row_halfwords``.
+    """
+
+    m: int
+    n: int
+    w_addr: int
+    b_addr: int
+    xh_addr: int
+    z_addr: int
+    c_addr: int
+    row_halfwords: int
+    acc_addr: int = 0
+    lut_tanh_m: int | None = None
+    lut_tanh_q: int | None = None
+    lut_sig_m: int | None = None
+    lut_sig_q: int | None = None
+
+    @property
+    def h_addr(self) -> int:
+        return self.xh_addr + 2 * self.m
+
+
+def gen_lstm_step(b: AsmBuilder, level: OptLevel, job: LstmJob) -> None:
+    """Emit one LSTM timestep (gates -> activations -> cell update)."""
+    n = job.n
+    b.comment(f"lstm step m={job.m} n={n} (level {level.key})")
+    if level.key == "f":
+        # beyond-the-paper level: interleaved single-pointer weight stream
+        from .interleaved import gen_matvec_interleaved
+        gen_matvec_interleaved(
+            b, n_in=job.m + n, n_out=4 * n, w_addr=job.w_addr,
+            x_addr=job.xh_addr, b_addr=job.b_addr, out_addr=job.z_addr,
+            row_halfwords=job.row_halfwords, max_tile=level.max_tile)
+    else:
+        gen_matvec(b, level, MatvecJob(
+            n_in=job.m + n, n_out=4 * n,
+            w_addr=job.w_addr, x_addr=job.xh_addr, b_addr=job.b_addr,
+            out_addr=job.z_addr, row_halfwords=job.row_halfwords,
+            acc_addr=job.acc_addr))
+    gen_activation(b, level, ActivationJob(
+        func="sig", addr=job.z_addr, count=3 * n,
+        lut_m_addr=job.lut_sig_m, lut_q_addr=job.lut_sig_q))
+    gen_activation(b, level, ActivationJob(
+        func="tanh", addr=job.z_addr + 2 * 3 * n, count=n,
+        lut_m_addr=job.lut_tanh_m, lut_q_addr=job.lut_tanh_q))
+    gen_lstm_pointwise(b, level, PointwiseJob(
+        n=n,
+        i_addr=job.z_addr,
+        f_addr=job.z_addr + 2 * n,
+        o_addr=job.z_addr + 4 * n,
+        g_addr=job.z_addr + 6 * n,
+        c_addr=job.c_addr,
+        h_addr=job.h_addr,
+        lut_m_addr=job.lut_tanh_m,
+        lut_q_addr=job.lut_tanh_q))

@@ -1,0 +1,252 @@
+"""Matrix-vector kernel generators for the paper's five optimization levels.
+
+Register conventions (levels c-e):
+
+====================  ===================================================
+``s0..s9``            output-tile accumulators (up to N = 10)
+``a0..a7, s10, s11``  per-row weight pointers (post-incremented streams)
+``t0`` / ``t4``       input feature-map pair registers
+``t1``                input feature-map pointer
+``t2``                bias pointer (advances through the whole layer)
+``t3``                output pointer (advances through the whole layer)
+``t5``, ``t6``        weight staging / scratch
+====================  ===================================================
+
+The schedules are constructed to be stall-free where the paper's Table I
+shows stall-free columns: the tiled level interleaves weight loads with the
+sum-dot-products of the *previous* staging register; the VLIW levels keep
+the SPR double buffer on an even-tile alternation (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from .common import AsmBuilder, OptLevel
+from .jobs import MatvecJob, plan_tiles
+
+__all__ = ["gen_matvec", "ACC_REGS", "PTR_REGS", "SPILL_ADDR"]
+
+ACC_REGS = ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"]
+PTR_REGS = ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s10", "s11"]
+
+#: Absolute address of the register spill slots used by level e
+#: (reachable via `sw reg, imm(x0)` — kept below the DataLayout base).
+SPILL_ADDR = 16
+
+
+def gen_matvec(b: AsmBuilder, level: OptLevel, job: MatvecJob,
+               fused_activation: str | None = None) -> None:
+    """Emit the matvec kernel for ``level`` into builder ``b``.
+
+    ``fused_activation`` (levels c-e only; ``"tanh"``/``"sig"``/``"relu"``)
+    applies the activation to each accumulator in the tile epilogue,
+    before the store — removing the separate load/activate/store pass.
+    An optimization beyond the paper (its activation pass is standalone);
+    quantified by ``benchmarks/test_ablation_fusion.py``.
+    """
+    if fused_activation is not None and (level.key in ("a", "b")
+                                         or not level.hw_activations):
+        raise ValueError("fused activations need the hw-activation levels")
+    if level.key == "a":
+        _gen_level_a(b, job)
+    elif level.key == "b":
+        _gen_level_b(b, job)
+    else:
+        _gen_tiled(b, level, job, fused_activation)
+
+
+# ----------------------------------------------------------------------
+# Level a: naive RV32IMC-style code, accumulator resident in memory
+# ----------------------------------------------------------------------
+def _gen_level_a(b: AsmBuilder, job: MatvecJob) -> None:
+    if not job.acc_addr:
+        raise ValueError("level a needs an accumulator scratch word")
+    b.comment(f"matvec level a: {job.n_out}x{job.n_in}")
+    b.li("t0", job.w_addr)
+    b.li("t2", job.b_addr)
+    b.li("t3", job.out_addr)
+    b.li("s1", job.acc_addr)
+    b.li("s2", 32767)
+    b.li("s3", -32768)
+    b.li("s4", job.x_addr)
+    b.li("s0", job.x_addr + 2 * job.n_in)
+    b.li("s5", job.b_addr + 2 * job.n_out)
+    with b.sw_loop(job.n_out) as outer:
+        b.emit("lh t4, 0(t2)")
+        b.emit("addi t2, t2, 2")
+        b.emit("slli t4, t4, 12")
+        b.emit("sw t4, 0(s1)")
+        b.emit("mv t1, s4")
+        with b.sw_loop(job.n_in) as inner:
+            b.emit("lw t6, 0(s1)")
+            b.emit("lh t4, 0(t0)")
+            b.emit("addi t0, t0, 2")
+            b.emit("lh t5, 0(t1)")
+            b.emit("addi t1, t1, 2")
+            b.emit("p.mac t6, t4, t5")
+            b.emit("sw t6, 0(s1)")
+            inner.branch_back("bltu", "t1", "s0")
+        b.emit("lw t6, 0(s1)")
+        b.emit("srai t6, t6, 12")
+        _saturate_level_a(b, "t6")
+        b.emit("sh t6, 0(t3)")
+        b.emit(f"addi t3, t3, {job.out_stride}")
+        outer.branch_back("bltu", "t2", "s5")
+
+
+def _saturate_level_a(b: AsmBuilder, reg: str) -> None:
+    """Branchless clamp of ``reg`` to int16 (upper rail s2, lower rail s3)."""
+    b.emit(f"sub t4, {reg}, s2")
+    b.emit("srai t5, t4, 31")
+    b.emit("and t4, t4, t5")
+    b.emit(f"add {reg}, s2, t4")
+    b.emit(f"sub t4, {reg}, s3")
+    b.emit("srai t5, t4, 31")
+    b.emit("and t4, t4, t5")
+    b.emit(f"sub {reg}, {reg}, t4")
+
+
+# ----------------------------------------------------------------------
+# Level b: packed SIMD + hardware loop + post-increment loads
+# ----------------------------------------------------------------------
+def _gen_level_b(b: AsmBuilder, job: MatvecJob) -> None:
+    pairs = job.row_halfwords // 2
+    b.comment(f"matvec level b: {job.n_out}x{job.n_in}")
+    b.li("t0", job.w_addr)
+    b.li("t2", job.b_addr)
+    b.li("t3", job.out_addr)
+    b.li("s4", job.x_addr)
+    b.li("s5", job.b_addr + 2 * job.n_out)
+    with b.sw_loop(job.n_out) as outer:
+        b.emit("p.lh t4, 2(t2!)")
+        b.emit("slli t4, t4, 12")
+        b.emit("mv t1, s4")
+        with b.hwloop(0, pairs):
+            b.emit("p.lw t5, 4(t0!)")
+            b.emit("p.lw t6, 4(t1!)")
+            b.emit("pv.sdotsp.h t4, t5, t6")
+        b.emit("srai t4, t4, 12")
+        b.emit("p.clip t4, t4, 16")
+        if job.out_stride == 2:
+            b.emit("p.sh t4, 2(t3!)")
+        else:
+            b.emit("sh t4, 0(t3)")
+            b.emit(f"addi t3, t3, {job.out_stride}")
+        outer.branch_back("bltu", "t2", "s5")
+
+
+# ----------------------------------------------------------------------
+# Levels c, d, e: output-FM tiling (+ VLIW sdotsp, + input-FM tiling)
+# ----------------------------------------------------------------------
+def _gen_tiled(b: AsmBuilder, level: OptLevel, job: MatvecJob,
+               fused_activation: str | None = None) -> None:
+    tiles = plan_tiles(job.n_out, min(job.max_tile, level.max_tile))
+    b.comment(f"matvec level {level.key}: {job.n_out}x{job.n_in} "
+              f"tiles={tiles}")
+    b.li("t2", job.b_addr)
+    b.li("t3", job.out_addr)
+    row0 = 0
+    for tile in tiles:
+        _gen_tile(b, level, job, row0, tile, fused_activation)
+        row0 += tile
+
+
+def _gen_tile(b: AsmBuilder, level: OptLevel, job: MatvecJob,
+              row0: int, n: int,
+              fused_activation: str | None = None) -> None:
+    accs = ACC_REGS[:n]
+    ptrs = PTR_REGS[:n]
+    spill = level.ifm_tiling and n > 8
+    if spill:
+        # Level e: input staging consumes the free scratch registers; the
+        # two highest row pointers spill their previous contents.  This is
+        # the register-pressure effect the paper reports as the 1.4x
+        # increase in stack traffic at stage e.
+        b.emit(f"sw s10, {SPILL_ADDR}(x0)")
+        b.emit(f"sw s11, {SPILL_ADDR + 4}(x0)")
+    for k in range(n):
+        b.li(ptrs[k], job.w_addr + (row0 + k) * job.row_halfwords * 2)
+    b.li("t1", job.x_addr)
+    for k in range(n):
+        b.emit(f"p.lh {accs[k]}, 2(t2!)")
+    for k in range(n):
+        b.emit(f"slli {accs[k]}, {accs[k]}, 12")
+
+    if level.vliw:
+        _gen_tile_body_vliw(b, level, job, accs, ptrs, n)
+    else:
+        _gen_tile_body_simd(b, job, accs, ptrs, n)
+
+    for k in range(n):
+        b.emit(f"srai {accs[k]}, {accs[k]}, 12")
+        b.emit(f"p.clip {accs[k]}, {accs[k]}, 16")
+    if fused_activation == "relu":
+        for k in range(n):
+            b.emit(f"p.max {accs[k]}, {accs[k]}, x0")
+    elif fused_activation in ("tanh", "sig"):
+        op = "pl.tanh" if fused_activation == "tanh" else "pl.sig"
+        for k in range(n):
+            b.emit(f"{op} {accs[k]}, {accs[k]}")
+    if job.out_stride == 2:
+        for k in range(n):
+            b.emit(f"p.sh {accs[k]}, 2(t3!)")
+    else:
+        for k in range(n):
+            b.emit(f"sh {accs[k]}, {k * job.out_stride}(t3)")
+        b.emit(f"addi t3, t3, {n * job.out_stride}")
+    if spill:
+        b.emit(f"lw s10, {SPILL_ADDR}(x0)")
+        b.emit(f"lw s11, {SPILL_ADDR + 4}(x0)")
+
+
+def _gen_tile_body_simd(b: AsmBuilder, job: MatvecJob, accs, ptrs,
+                        n: int) -> None:
+    """Level c inner loop: one x-pair load + n weight loads + n sdotsp.
+
+    Weight loads are double-buffered through t5/t6 one sum-dot-product
+    ahead, so no load feeds the immediately-following instruction.
+    """
+    pairs = job.row_halfwords // 2
+    with b.hwloop(0, pairs):
+        b.emit("p.lw t0, 4(t1!)")
+        if n == 1:
+            b.emit(f"p.lw t5, 4({ptrs[0]}!)")
+            b.emit(f"pv.sdotsp.h {accs[0]}, t5, t0")
+            return
+        stage = ["t5", "t6"]
+        b.emit(f"p.lw {stage[0]}, 4({ptrs[0]}!)")
+        for k in range(1, n):
+            b.emit(f"p.lw {stage[k % 2]}, 4({ptrs[k]}!)")
+            b.emit(f"pv.sdotsp.h {accs[k - 1]}, {stage[(k - 1) % 2]}, t0")
+        b.emit(f"pv.sdotsp.h {accs[n - 1]}, {stage[(n - 1) % 2]}, t0")
+
+
+def _gen_tile_body_vliw(b: AsmBuilder, level: OptLevel, job: MatvecJob,
+                        accs, ptrs, n: int) -> None:
+    """Levels d/e inner loop: pl.sdotsp.h with the SPR double buffer.
+
+    The sum-dot-product for tile row k computes with SPR[k % 2] and
+    concurrently prefetches, from row pointer (k+2) mod n, the weight word
+    needed two stream positions later (exactly the Table II pattern).
+    """
+    # SPR parity is the weight-stream position mod 2.  The static loop body
+    # keeps a consistent parity because the tile planner only produces even
+    # tiles or n == 1.  For n == 1 at level d a single SPR suffices (the
+    # x-load separates consecutive reads by >= 2 cycles); at level e the two
+    # sdotsp per iteration alternate SPR0/SPR1 on the same row stream.
+    two_sprs = n >= 2 or level.ifm_tiling
+    b.emit(f"pl.sdotsp.h.0 x0, {ptrs[0]}, x0")
+    if two_sprs:
+        b.emit(f"pl.sdotsp.h.1 x0, {ptrs[1 % n]}, x0")
+    quantum = 4 if level.ifm_tiling else 2
+    pairs = job.row_halfwords // quantum
+    sdots_per_iter = 2 * n if level.ifm_tiling else n
+    x_regs = ("t0", "t4") if level.ifm_tiling else ("t0",)
+    with b.hwloop(0, pairs):
+        for reg in x_regs:
+            b.emit(f"p.lw {reg}, 4(t1!)")
+        for seq in range(sdots_per_iter):
+            row = seq % n
+            parity = (seq % 2) if two_sprs else 0
+            src = x_regs[seq // n] if level.ifm_tiling else x_regs[0]
+            b.emit(f"pl.sdotsp.h.{parity} {accs[row]}, "
+                   f"{ptrs[(seq + 2) % n]}, {src}")

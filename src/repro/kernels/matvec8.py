@@ -1,0 +1,86 @@
+"""INT8 matvec kernel (future-work study).
+
+The paper stays at 16-bit Q3.12 because it needs no quantization-aware
+retraining; related work ([27]) shows 8-bit works *with* retraining.  This
+module implements the natural 8-bit evolution of the paper's design — a
+``pl.sdotsp.b.{0,1}`` load-and-compute instruction performing four 8-bit
+MACs per cycle — so the throughput/accuracy trade-off can be measured
+(``repro.eval.int8_study``).
+
+Data format is Q3.4 (8-bit, same [-8, 8) range as Q3.12 with 4 fractional
+bits), i.e. a pure precision truncation: exactly the "drop the fraction
+bits, keep the network" scenario the paper argues against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import AsmBuilder
+from .jobs import plan_tiles
+from .matvec import ACC_REGS, PTR_REGS
+
+__all__ = ["Int8MatvecJob", "gen_matvec_int8", "padded_row8"]
+
+_FRAC8 = 4
+
+
+def padded_row8(n_in: int) -> int:
+    """Row length in bytes, padded to the 4-channel quantum."""
+    return (n_in + 3) // 4 * 4
+
+
+@dataclass
+class Int8MatvecJob:
+    """out = sat8((b<<4 + W@x) >> 4), all operands signed 8-bit Q3.4."""
+
+    n_in: int
+    n_out: int
+    w_addr: int
+    x_addr: int
+    b_addr: int
+    out_addr: int
+    row_bytes: int
+    max_tile: int = 10
+
+
+def gen_matvec_int8(b: AsmBuilder, job: Int8MatvecJob) -> None:
+    """Emit the INT8 VLIW matvec (the level-d schedule at byte width)."""
+    if job.x_addr % 4 or job.w_addr % 4:
+        raise ValueError("int8 matvec needs word-aligned arrays")
+    if job.row_bytes % 4:
+        raise ValueError("int8 rows must be padded to 4 bytes")
+    tiles = plan_tiles(job.n_out, job.max_tile)
+    b.comment(f"int8 matvec: {job.n_out}x{job.n_in} tiles={tiles}")
+    b.li("t2", job.b_addr)
+    b.li("t3", job.out_addr)
+    row0 = 0
+    for tile in tiles:
+        _gen_tile(b, job, row0, tile)
+        row0 += tile
+
+
+def _gen_tile(b: AsmBuilder, job: Int8MatvecJob, row0: int, n: int) -> None:
+    accs = ACC_REGS[:n]
+    ptrs = PTR_REGS[:n]
+    for k in range(n):
+        b.li(ptrs[k], job.w_addr + (row0 + k) * job.row_bytes)
+    b.li("t1", job.x_addr)
+    for k in range(n):
+        b.emit(f"p.lb {accs[k]}, 1(t2!)")
+    for k in range(n):
+        b.emit(f"slli {accs[k]}, {accs[k]}, {_FRAC8}")
+    two_sprs = n >= 2
+    b.emit(f"pl.sdotsp.b.0 x0, {ptrs[0]}, x0")
+    if two_sprs:
+        b.emit(f"pl.sdotsp.b.1 x0, {ptrs[1 % n]}, x0")
+    with b.hwloop(0, job.row_bytes // 4):
+        b.emit("p.lw t0, 4(t1!)")
+        for k in range(n):
+            parity = (k % 2) if two_sprs else 0
+            b.emit(f"pl.sdotsp.b.{parity} {accs[k]}, "
+                   f"{ptrs[(k + 2) % n]}, t0")
+    for k in range(n):
+        b.emit(f"srai {accs[k]}, {accs[k]}, {_FRAC8}")
+        b.emit(f"p.clip {accs[k]}, {accs[k]}, 8")
+        b.emit(f"p.sb {accs[k]}, 1(t3!)")

@@ -1,0 +1,116 @@
+"""LSTM cell-update (pointwise) kernels.
+
+Implements, elementwise over the ``n`` cells:
+
+    c' = sat16( (i * g) >> 12  +  (f * c) >> 12 )
+    h  = ( o * tanh(c') ) >> 12
+
+Gate vectors arrive already activated (i, f, o through sigmoid, g through
+tanh).  At levels a-b the tanh inside the cell update is the branchless
+software PLA; at levels c-e it is the ``pl.tanh`` instruction.
+
+Register use: t0-t6 operand staging (t0 doubles as PLA input), s0-s7 PLA
+scratch/LUT bases, a0-a5 the six array pointers.
+"""
+
+from __future__ import annotations
+
+from .activations_sw import gen_sw_pla_body
+from .common import AsmBuilder, OptLevel
+from .jobs import PointwiseJob
+
+__all__ = ["gen_lstm_pointwise"]
+
+
+def gen_lstm_pointwise(b: AsmBuilder, level: OptLevel,
+                       job: PointwiseJob) -> None:
+    b.comment(f"lstm pointwise x{job.n} (level {level.key})")
+    if level.key == "a":
+        _gen_level_a(b, job)
+    else:
+        _gen_optimized(b, level, job)
+
+
+def _load_pointers(b: AsmBuilder, job: PointwiseJob) -> None:
+    b.li("a0", job.i_addr)
+    b.li("a1", job.f_addr)
+    b.li("a2", job.o_addr)
+    b.li("a3", job.g_addr)
+    b.li("a4", job.c_addr)
+    b.li("a5", job.h_addr)
+
+
+def _gen_level_a(b: AsmBuilder, job: PointwiseJob) -> None:
+    _load_pointers(b, job)
+    b.li("s2", job.lut_m_addr)
+    b.li("s3", job.lut_q_addr)
+    b.li("s4", 4096)    # PLA convergence value (1.0 in Q3.12)
+    b.li("s7", 32767)   # saturation rails
+    b.li("s8", -32768)
+    b.li("s9", job.i_addr + 2 * job.n)
+    with b.sw_loop(job.n) as loop:
+        b.emit("lh t1, 0(a0)")           # i
+        b.emit("lh t2, 0(a3)")           # g
+        b.emit("mul t1, t1, t2")
+        b.emit("srai t1, t1, 12")        # i*g
+        b.emit("lh t2, 0(a1)")           # f
+        b.emit("lh t3, 0(a4)")           # c
+        b.emit("mul t2, t2, t3")
+        b.emit("srai t2, t2, 12")        # f*c
+        b.emit("add t0, t1, t2")
+        _saturate(b, "t0")               # c' = sat16(i*g + f*c)
+        b.emit("sh t0, 0(a4)")
+        b.emit("jal x0, 4")              # PLA routine call cost
+        gen_sw_pla_body(b, "tanh")       # s5 = tanh(c'), input in t0
+        b.emit("jal x0, 4")              # return cost
+        b.emit("lh t2, 0(a2)")           # o
+        b.emit("mul t2, t2, s5")
+        b.emit("srai t2, t2, 12")
+        b.emit("sh t2, 0(a5)")           # h
+        for reg in ("a0", "a1", "a2", "a3", "a4", "a5"):
+            b.emit(f"addi {reg}, {reg}, 2")
+        loop.branch_back("bltu", "a0", "s9")
+
+
+def _saturate(b: AsmBuilder, reg: str) -> None:
+    """Branchless int16 clamp; rails in s7 (32767) and s8 (-32768)."""
+    b.emit(f"sub t4, {reg}, s7")
+    b.emit("srai t5, t4, 31")
+    b.emit("and t4, t4, t5")
+    b.emit(f"add {reg}, s7, t4")
+    b.emit(f"sub t4, {reg}, s8")
+    b.emit("srai t5, t4, 31")
+    b.emit("and t4, t4, t5")
+    b.emit(f"sub {reg}, {reg}, t4")
+
+
+def _gen_optimized(b: AsmBuilder, level: OptLevel, job: PointwiseJob) -> None:
+    _load_pointers(b, job)
+    b.li("a6", job.c_addr)  # write pointer for c (a4 is the read pointer)
+    if not level.hw_activations:
+        b.li("s2", job.lut_m_addr)
+        b.li("s3", job.lut_q_addr)
+        b.li("s4", 32767)
+    with b.hwloop(0, job.n):
+        b.emit("p.lh t1, 2(a0!)")        # i
+        b.emit("p.lh t2, 2(a3!)")        # g
+        b.emit("p.lh t3, 2(a1!)")        # f
+        b.emit("mul t1, t1, t2")
+        b.emit("p.lh t2, 2(a4!)")        # c
+        b.emit("srai t1, t1, 12")        # i*g
+        b.emit("mul t2, t2, t3")
+        b.emit("srai t2, t2, 12")        # f*c
+        b.emit("add t0, t1, t2")
+        b.emit("p.clip t0, t0, 16")      # c' = sat16(i*g + f*c)
+        b.emit("p.sh t0, 2(a6!)")
+        if level.hw_activations:
+            b.emit("pl.tanh t5, t0")
+        else:
+            b.emit("jal x0, 4")          # PLA routine call cost
+            gen_sw_pla_body(b, "tanh")
+            b.emit("jal x0, 4")          # return cost
+            b.emit("mv t5, s5")
+        b.emit("p.lh t2, 2(a2!)")        # o
+        b.emit("mul t2, t2, t5")
+        b.emit("srai t2, t2, 12")
+        b.emit("p.sh t2, 2(a5!)")        # h

@@ -1,0 +1,17 @@
+"""Golden neural-network layer models and network executors."""
+
+from .layers import (GATE_ORDER, apply_activation_fixed,
+                     apply_activation_float, conv2d_fixed, conv2d_float,
+                     dense_fixed, dense_float, lstm_step_fixed,
+                     lstm_step_float, wrap32)
+from .network import (ConvSpec, DenseSpec, FloatModel, LstmSpec, Network,
+                      QuantModel, init_params, quantize_params)
+
+__all__ = [
+    "GATE_ORDER", "wrap32",
+    "dense_fixed", "dense_float", "lstm_step_fixed", "lstm_step_float",
+    "conv2d_fixed", "conv2d_float",
+    "apply_activation_fixed", "apply_activation_float",
+    "DenseSpec", "LstmSpec", "ConvSpec", "Network",
+    "FloatModel", "QuantModel", "init_params", "quantize_params",
+]

@@ -1,0 +1,178 @@
+"""Golden layer models: float references and bit-exact fixed-point mirrors.
+
+The fixed-point functions replicate the kernel datapath *exactly*:
+
+* 32-bit two's-complement wraparound accumulation (the MAC register),
+* arithmetic-shift requantization by 12,
+* int16 saturation at the store (``p.clip`` / the baseline's branchless
+  clamp),
+* Algorithm-2 PLA activations (identical LUTs to the ``pl.tanh``/``pl.sig``
+  instructions and the software PLA).
+
+Tests assert ISS-executed kernels equal these functions value-for-value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fixedpoint.activations import sig_float, sig_q, tanh_float, tanh_q
+from ..fixedpoint.qformat import Q3_12
+
+__all__ = [
+    "wrap32",
+    "dense_fixed",
+    "dense_fixed8",
+    "dense_float",
+    "lstm_step_fixed",
+    "lstm_step_float",
+    "conv2d_fixed",
+    "conv2d_float",
+    "GATE_ORDER",
+]
+
+#: Row-block order of the fused LSTM gate matrix.
+GATE_ORDER = ("i", "f", "o", "g")
+
+_FRAC = Q3_12.frac_bits
+
+
+def wrap32(values):
+    """Two's-complement 32-bit wraparound (register semantics)."""
+    arr = np.asarray(values, dtype=np.int64) & 0xFFFFFFFF
+    return arr - ((arr & 0x80000000) << 1)
+
+
+def _sat16(values):
+    return np.clip(np.asarray(values, dtype=np.int64), -32768, 32767)
+
+
+def dense_fixed(w, x, bias):
+    """Fixed-point dense layer: ``sat16(wrap32(b<<12 + W@x) >> 12)``."""
+    w = np.asarray(w, dtype=np.int64)
+    x = np.asarray(x, dtype=np.int64)
+    bias = np.asarray(bias, dtype=np.int64)
+    acc = wrap32((bias << _FRAC) + w @ x)
+    return _sat16(acc >> _FRAC)
+
+
+def dense_fixed8(w, x, bias):
+    """INT8 dense layer (Q3.4): ``sat8(wrap32(b<<4 + W@x) >> 4)``."""
+    w = np.asarray(w, dtype=np.int64)
+    x = np.asarray(x, dtype=np.int64)
+    bias = np.asarray(bias, dtype=np.int64)
+    acc = wrap32((bias << 4) + w @ x)
+    return np.clip(acc >> 4, -128, 127)
+
+
+def dense_float(w, x, bias):
+    """Float dense layer ``W@x + b``."""
+    return np.asarray(w, dtype=np.float64) @ np.asarray(x, dtype=np.float64) \
+        + np.asarray(bias, dtype=np.float64)
+
+
+def apply_activation_fixed(values, func: str | None):
+    """Activation on raw Q3.12 values (None = identity)."""
+    if func is None:
+        return np.asarray(values, dtype=np.int64)
+    if func == "tanh":
+        return tanh_q(values)
+    if func == "sig":
+        return sig_q(values)
+    if func == "relu":
+        return np.maximum(np.asarray(values, dtype=np.int64), 0)
+    raise ValueError(f"unknown activation {func!r}")
+
+
+def apply_activation_float(values, func: str | None):
+    if func is None:
+        return np.asarray(values, dtype=np.float64)
+    if func == "tanh":
+        return tanh_float(values)
+    if func == "sig":
+        return sig_float(values)
+    if func == "relu":
+        return np.maximum(np.asarray(values, dtype=np.float64), 0.0)
+    raise ValueError(f"unknown activation {func!r}")
+
+
+def lstm_step_fixed(w_cat, bias, x, h, c):
+    """One fixed-point LSTM timestep; returns (h', c').
+
+    ``w_cat`` is the fused ``(4n, m+n)`` matrix with row blocks in
+    :data:`GATE_ORDER` and columns ``[W | U]``; all values raw Q3.12.
+    """
+    w_cat = np.asarray(w_cat, dtype=np.int64)
+    n = w_cat.shape[0] // 4
+    xh = np.concatenate([np.asarray(x, dtype=np.int64),
+                         np.asarray(h, dtype=np.int64)])
+    z = dense_fixed(w_cat, xh, bias)
+    i_gate = sig_q(z[0:n])
+    f_gate = sig_q(z[n:2 * n])
+    o_gate = sig_q(z[2 * n:3 * n])
+    g_gate = tanh_q(z[3 * n:4 * n])
+    c = np.asarray(c, dtype=np.int64)
+    c_new = _sat16((i_gate * g_gate >> _FRAC) + (f_gate * c >> _FRAC))
+    h_new = (o_gate * tanh_q(c_new)) >> _FRAC
+    return h_new, c_new
+
+
+def lstm_step_float(w_cat, bias, x, h, c):
+    """One float LSTM timestep with the same fused layout; returns (h', c')."""
+    w_cat = np.asarray(w_cat, dtype=np.float64)
+    n = w_cat.shape[0] // 4
+    xh = np.concatenate([np.asarray(x, dtype=np.float64),
+                         np.asarray(h, dtype=np.float64)])
+    z = w_cat @ xh + np.asarray(bias, dtype=np.float64)
+    i_gate = sig_float(z[0:n])
+    f_gate = sig_float(z[n:2 * n])
+    o_gate = sig_float(z[2 * n:3 * n])
+    g_gate = tanh_float(z[3 * n:4 * n])
+    c_new = i_gate * g_gate + f_gate * np.asarray(c, dtype=np.float64)
+    h_new = o_gate * tanh_float(c_new)
+    return h_new, c_new
+
+
+def conv2d_fixed(w, x, bias):
+    """Fixed-point valid convolution.
+
+    Args:
+        w: ``(cout, cin, k, k)`` raw weights.
+        x: ``(cin, h, w)`` raw input planes.
+        bias: ``(cout,)`` raw biases.
+
+    Returns:
+        ``(cout, h-k+1, w-k+1)`` raw output planes.
+    """
+    w = np.asarray(w, dtype=np.int64)
+    x = np.asarray(x, dtype=np.int64)
+    bias = np.asarray(bias, dtype=np.int64)
+    cout, cin, k, _ = w.shape
+    _, h, wid = x.shape
+    h_out, w_out = h - k + 1, wid - k + 1
+    out = np.empty((cout, h_out, w_out), dtype=np.int64)
+    for co in range(cout):
+        for oy in range(h_out):
+            for ox in range(w_out):
+                patch = x[:, oy:oy + k, ox:ox + k]
+                acc = wrap32((bias[co] << _FRAC)
+                             + int((w[co] * patch).sum()))
+                out[co, oy, ox] = _sat16(acc >> _FRAC)
+    return out
+
+
+def conv2d_float(w, x, bias):
+    """Float valid convolution with the same layout as conv2d_fixed."""
+    w = np.asarray(w, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    bias = np.asarray(bias, dtype=np.float64)
+    cout, cin, k, _ = w.shape
+    _, h, wid = x.shape
+    h_out, w_out = h - k + 1, wid - k + 1
+    out = np.empty((cout, h_out, w_out), dtype=np.float64)
+    for co in range(cout):
+        for oy in range(h_out):
+            for ox in range(w_out):
+                patch = x[:, oy:oy + k, ox:ox + k]
+                out[co, oy, ox] = (w[co] * patch).sum() + bias[co]
+    return out

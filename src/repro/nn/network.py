@@ -1,0 +1,258 @@
+"""Network descriptions and the float / fixed-point reference executors.
+
+A :class:`Network` is a named sequence of layer specs.  Two executors run
+it: :class:`FloatModel` (float64 reference) and :class:`QuantModel`
+(bit-exact mirror of the kernel datapath, the golden model for the ISS).
+Recurrent networks are stepped one timestep at a time; feedforward
+networks treat ``step`` as a plain forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fixedpoint.qformat import Q3_12
+from .layers import (apply_activation_fixed, apply_activation_float,
+                     conv2d_fixed, conv2d_float, dense_fixed, dense_float,
+                     lstm_step_fixed, lstm_step_float)
+
+__all__ = ["DenseSpec", "LstmSpec", "ConvSpec", "Network",
+           "FloatModel", "QuantModel", "init_params", "quantize_params"]
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    n_in: int
+    n_out: int
+    activation: str | None = None  # None | "tanh" | "sig"
+
+    @property
+    def out_size(self) -> int:
+        return self.n_out
+
+    @property
+    def in_size(self) -> int:
+        return self.n_in
+
+    @property
+    def macs(self) -> int:
+        return self.n_in * self.n_out
+
+
+@dataclass(frozen=True)
+class LstmSpec:
+    m: int
+    n: int
+
+    @property
+    def out_size(self) -> int:
+        return self.n
+
+    @property
+    def in_size(self) -> int:
+        return self.m
+
+    @property
+    def macs(self) -> int:
+        return 4 * self.n * (self.m + self.n)
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    cin: int
+    cout: int
+    h: int
+    w: int
+    k: int
+
+    @property
+    def h_out(self) -> int:
+        return self.h - self.k + 1
+
+    @property
+    def w_out(self) -> int:
+        return self.w - self.k + 1
+
+    @property
+    def out_size(self) -> int:
+        return self.cout * self.h_out * self.w_out
+
+    @property
+    def in_size(self) -> int:
+        return self.cin * self.h * self.w
+
+    @property
+    def macs(self) -> int:
+        return self.cout * self.h_out * self.w_out * self.cin * self.k ** 2
+
+
+@dataclass(frozen=True)
+class Network:
+    """A named benchmark network."""
+
+    name: str
+    layers: tuple
+    #: Timesteps executed per inference (1 for feedforward networks).
+    timesteps: int = 1
+    #: Free-form provenance note (which paper the network reconstructs).
+    source: str = ""
+
+    def __post_init__(self):
+        for prev, cur in zip(self.layers, self.layers[1:]):
+            if prev.out_size != cur.in_size:
+                raise ValueError(
+                    f"{self.name}: layer size mismatch "
+                    f"{prev.out_size} -> {cur.in_size}")
+
+    @property
+    def input_size(self) -> int:
+        return self.layers[0].in_size
+
+    @property
+    def output_size(self) -> int:
+        return self.layers[-1].out_size
+
+    @property
+    def is_recurrent(self) -> bool:
+        return any(isinstance(s, LstmSpec) for s in self.layers)
+
+    @property
+    def macs_per_step(self) -> int:
+        return sum(s.macs for s in self.layers)
+
+    @property
+    def macs_per_inference(self) -> int:
+        return self.macs_per_step * self.timesteps
+
+
+def init_params(network: Network, rng: np.random.Generator,
+                scale: float = 1.0) -> list:
+    """Draw float parameters with fan-in scaling.
+
+    The magnitudes stay well inside Q3.12 so the fixed-point pipeline is
+    exercised without systematic saturation (matching the paper's claim
+    that Q3.12 needs no quantization-aware retraining).
+    """
+    params = []
+    for spec in network.layers:
+        if isinstance(spec, DenseSpec):
+            bound = scale * np.sqrt(3.0 / spec.n_in)
+            params.append({
+                "w": rng.uniform(-bound, bound, (spec.n_out, spec.n_in)),
+                "b": rng.uniform(-0.1, 0.1, spec.n_out),
+            })
+        elif isinstance(spec, LstmSpec):
+            bound = scale * np.sqrt(3.0 / (spec.m + spec.n))
+            params.append({
+                "w": rng.uniform(-bound, bound,
+                                 (4 * spec.n, spec.m + spec.n)),
+                "b": rng.uniform(-0.1, 0.1, 4 * spec.n),
+            })
+        elif isinstance(spec, ConvSpec):
+            fan_in = spec.cin * spec.k ** 2
+            bound = scale * np.sqrt(3.0 / fan_in)
+            params.append({
+                "w": rng.uniform(-bound, bound,
+                                 (spec.cout, spec.cin, spec.k, spec.k)),
+                "b": rng.uniform(-0.1, 0.1, spec.cout),
+            })
+        else:
+            raise TypeError(f"unknown layer spec {spec!r}")
+    return params
+
+
+def quantize_params(params: list) -> list:
+    """Quantize float parameters to raw Q3.12 integers."""
+    return [{key: Q3_12.from_float(val) for key, val in layer.items()}
+            for layer in params]
+
+
+class FloatModel:
+    """Float64 reference executor."""
+
+    def __init__(self, network: Network, params: list):
+        self.network = network
+        self.params = params
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = []
+        for spec in self.network.layers:
+            if isinstance(spec, LstmSpec):
+                self._state.append({"h": np.zeros(spec.n),
+                                    "c": np.zeros(spec.n)})
+            else:
+                self._state.append(None)
+
+    def step(self, x) -> np.ndarray:
+        value = np.asarray(x, dtype=np.float64)
+        for spec, layer, state in zip(self.network.layers, self.params,
+                                      self._state):
+            if isinstance(spec, DenseSpec):
+                value = apply_activation_float(
+                    dense_float(layer["w"], value, layer["b"]),
+                    spec.activation)
+            elif isinstance(spec, LstmSpec):
+                h, c = lstm_step_float(layer["w"], layer["b"], value,
+                                       state["h"], state["c"])
+                state["h"], state["c"] = h, c
+                value = h
+            else:
+                planes = value.reshape(spec.cin, spec.h, spec.w)
+                value = conv2d_float(layer["w"], planes,
+                                     layer["b"]).reshape(-1)
+        return value
+
+    def forward(self, xs) -> np.ndarray:
+        """Run a sequence of inputs; returns the last step's output."""
+        out = None
+        for x in xs:
+            out = self.step(x)
+        return out
+
+
+class QuantModel:
+    """Bit-exact fixed-point executor (golden model for the ISS kernels)."""
+
+    def __init__(self, network: Network, params_raw: list):
+        self.network = network
+        self.params = params_raw
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = []
+        for spec in self.network.layers:
+            if isinstance(spec, LstmSpec):
+                self._state.append({
+                    "h": np.zeros(spec.n, dtype=np.int64),
+                    "c": np.zeros(spec.n, dtype=np.int64),
+                })
+            else:
+                self._state.append(None)
+
+    def step(self, x_raw) -> np.ndarray:
+        value = np.asarray(x_raw, dtype=np.int64)
+        for spec, layer, state in zip(self.network.layers, self.params,
+                                      self._state):
+            if isinstance(spec, DenseSpec):
+                value = apply_activation_fixed(
+                    dense_fixed(layer["w"], value, layer["b"]),
+                    spec.activation)
+            elif isinstance(spec, LstmSpec):
+                h, c = lstm_step_fixed(layer["w"], layer["b"], value,
+                                       state["h"], state["c"])
+                state["h"], state["c"] = h, c
+                value = h
+            else:
+                planes = value.reshape(spec.cin, spec.h, spec.w)
+                value = conv2d_fixed(layer["w"], planes,
+                                     layer["b"]).reshape(-1)
+        return value
+
+    def forward(self, xs_raw) -> np.ndarray:
+        out = None
+        for x in xs_raw:
+            out = self.step(x)
+        return out

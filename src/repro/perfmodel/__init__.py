@@ -1,0 +1,16 @@
+"""Analytical performance model.
+
+The exact model is the static count analysis performed by
+:class:`repro.kernels.common.AsmBuilder` during code generation; the
+convenience functions re-exported here (from :mod:`repro.rrm.suite`)
+evaluate it per network and per suite without executing a single simulated
+instruction.  :mod:`repro.perfmodel.formulas` provides independent
+closed-form marginal costs used to cross-validate the builder.
+"""
+
+from ..rrm.suite import (network_speedups, network_trace, plan_for,
+                         suite_speedups, suite_trace)
+from .formulas import matvec_marginal
+
+__all__ = ["plan_for", "network_trace", "suite_trace", "network_speedups",
+           "suite_speedups", "matvec_marginal"]

@@ -1,0 +1,49 @@
+"""Closed-form inner-loop cost formulas, independent of the code generators.
+
+The authoritative performance model is the :class:`AsmBuilder` static count
+(exact, validated against the ISS).  These formulas express the *marginal*
+cost of one more input element analytically, straight from the schedules
+described in the paper; tests difference the builder counts against them,
+so the generators, the builder and the written-down algebra must all agree.
+
+All figures are per output-FM tile pass unless noted:
+
+==========  =======================  =========================
+level       instructions / element   cycles / element
+==========  =======================  =========================
+a           8 per MAC                9 per MAC (taken branch)
+b           3 per pair               4 per pair (1 load stall)
+c (tile N)  (2N+1) per pair          (2N+1) per pair
+d (tile N)  (N+1) per pair           (N+2) per pair
+e (tile N)  (2N+2) per 2 pairs       (2N+2) per 2 pairs
+==========  =======================  =========================
+"""
+
+from __future__ import annotations
+
+__all__ = ["matvec_marginal"]
+
+
+def matvec_marginal(level_key: str, tile: int = 10) -> dict:
+    """Marginal (instructions, cycles) per *additional input element*.
+
+    For level a the unit is one input channel per output row; for the
+    SIMD levels it is one packed pair (two input channels) per tile pass.
+    Returns a dict with ``unit_elems`` (input elements per unit),
+    ``instrs`` and ``cycles`` (per unit, per tile pass), and ``macs``
+    (MAC operations per unit across the tile).
+    """
+    if level_key == "a":
+        return {"unit_elems": 1, "instrs": 8, "cycles": 9, "macs": 1}
+    if level_key == "b":
+        return {"unit_elems": 2, "instrs": 3, "cycles": 4, "macs": 2}
+    if level_key == "c":
+        return {"unit_elems": 2, "instrs": 2 * tile + 1,
+                "cycles": 2 * tile + 1, "macs": 2 * tile}
+    if level_key == "d":
+        return {"unit_elems": 2, "instrs": tile + 1,
+                "cycles": tile + 2, "macs": 2 * tile}
+    if level_key == "e":
+        return {"unit_elems": 4, "instrs": 2 * tile + 2,
+                "cycles": 2 * tile + 2, "macs": 4 * tile}
+    raise ValueError(f"unknown level {level_key!r}")

@@ -1,0 +1,162 @@
+"""Minimal numpy DQN for the spectrum-access environment.
+
+Several of the paper's benchmark networks are deep Q-networks trained with
+reinforcement learning ([9], [11], [14], [17]).  This module implements a
+small but real DQN loop — epsilon-greedy exploration, an experience-replay
+buffer, a target network with periodic synchronization, TD(0) targets —
+over :class:`~repro.rrm.scenarios.SpectrumAccessEnv`, using the same
+numpy MLP machinery as the imitation trainer.
+
+The result is a *trained* Q-network that can be quantized and executed on
+the simulated core (see ``examples/spectrum_access.py`` and the tests),
+instead of random weights.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.network import DenseSpec, Network
+from .scenarios import SpectrumAccessEnv
+from .trainer import MLPTrainer
+
+__all__ = ["ReplayBuffer", "DqnAgent", "train_dsa_agent",
+           "evaluate_policy"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity uniform-sampling experience replay."""
+
+    def __init__(self, capacity: int, obs_size: int,
+                 seed: int | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.obs = np.zeros((capacity, obs_size))
+        self.actions = np.zeros(capacity, dtype=np.int64)
+        self.rewards = np.zeros(capacity)
+        self.next_obs = np.zeros((capacity, obs_size))
+        self.size = 0
+        self._next = 0
+        self.rng = np.random.default_rng(seed)
+
+    def push(self, obs, action, reward, next_obs) -> None:
+        i = self._next
+        self.obs[i] = obs
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.next_obs[i] = next_obs
+        self._next = (i + 1) % self.capacity
+        self.size = min(self.size + 1, self.capacity)
+
+    def sample(self, batch: int):
+        idx = self.rng.integers(0, self.size, batch)
+        return (self.obs[idx], self.actions[idx], self.rewards[idx],
+                self.next_obs[idx])
+
+
+@dataclass
+class DqnConfig:
+    hidden: tuple = (32, 16)
+    gamma: float = 0.9
+    lr: float = 0.02
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay_steps: int = 2000
+    buffer_capacity: int = 4096
+    batch_size: int = 32
+    target_sync_every: int = 100
+    warmup: int = 64
+
+
+class DqnAgent:
+    """Q-network + target network + replay over one DSA environment."""
+
+    def __init__(self, n_channels: int, config: DqnConfig | None = None,
+                 seed: int = 0):
+        self.n_channels = n_channels
+        self.config = config or DqnConfig()
+        dims = (n_channels,) + tuple(self.config.hidden) + (n_channels,)
+        layers = []
+        for i, (a, b) in enumerate(zip(dims, dims[1:])):
+            act = None if i == len(dims) - 2 else "relu"
+            layers.append(DenseSpec(a, b, act))
+        self.network = Network("dsa_dqn", tuple(layers),
+                               source="DQN over Markov spectrum access")
+        self.trainer = MLPTrainer(self.network, seed=seed,
+                                  lr=self.config.lr)
+        self.target_params = copy.deepcopy(self.trainer.params)
+        self.buffer = ReplayBuffer(self.config.buffer_capacity, n_channels,
+                                   seed=seed)
+        self.rng = np.random.default_rng(seed + 1)
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def epsilon(self) -> float:
+        cfg = self.config
+        frac = min(1.0, self.steps / cfg.epsilon_decay_steps)
+        return cfg.epsilon_start + frac * (cfg.epsilon_end
+                                           - cfg.epsilon_start)
+
+    def q_values(self, obs, params=None) -> np.ndarray:
+        saved = self.trainer.params
+        if params is not None:
+            self.trainer.params = params
+        out, _ = self.trainer.forward(np.atleast_2d(obs))
+        self.trainer.params = saved
+        return out
+
+    def act(self, obs) -> int:
+        if self.rng.uniform() < self.epsilon():
+            return int(self.rng.integers(self.n_channels))
+        return int(np.argmax(self.q_values(obs)[0]))
+
+    def observe(self, obs, action, reward, next_obs) -> None:
+        self.buffer.push(obs, action, reward, next_obs)
+        self.steps += 1
+        if self.buffer.size >= self.config.warmup:
+            self._learn()
+        if self.steps % self.config.target_sync_every == 0:
+            self.target_params = copy.deepcopy(self.trainer.params)
+
+    def _learn(self) -> None:
+        cfg = self.config
+        obs, actions, rewards, next_obs = self.buffer.sample(cfg.batch_size)
+        q_next = self.q_values(next_obs, self.target_params)
+        targets = self.q_values(obs).copy()
+        td = rewards + cfg.gamma * q_next.max(axis=1)
+        targets[np.arange(len(actions)), actions] = td
+        self.trainer.train_batch(obs, targets)
+
+
+def train_dsa_agent(n_channels: int = 6, episodes: int = 8,
+                    steps_per_episode: int = 250, seed: int = 0,
+                    config: DqnConfig | None = None) -> DqnAgent:
+    """Train a DQN on the spectrum-access environment; returns the agent."""
+    agent = DqnAgent(n_channels, config, seed=seed)
+    for episode in range(episodes):
+        env = SpectrumAccessEnv(n_channels, p_busy_to_free=0.15,
+                                p_free_to_busy=0.1, seed=seed + episode)
+        obs = env.observation()
+        for _ in range(steps_per_episode):
+            action = agent.act(obs)
+            reward, next_obs = env.step(action)
+            agent.observe(obs, action, reward, next_obs)
+            obs = next_obs
+    return agent
+
+
+def evaluate_policy(select_action, n_channels: int, n_slots: int = 400,
+                    seed: int = 123) -> float:
+    """Success rate of ``select_action(obs) -> channel`` over fresh slots."""
+    env = SpectrumAccessEnv(n_channels, p_busy_to_free=0.15,
+                            p_free_to_busy=0.1, seed=seed)
+    obs = env.observation()
+    wins = 0
+    for _ in range(n_slots):
+        reward, obs = env.step(int(select_action(obs)))
+        wins += reward > 0
+    return wins / n_slots

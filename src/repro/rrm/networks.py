@@ -1,0 +1,164 @@
+"""The 10-network RRM benchmark suite (paper Sec. II-C).
+
+Architectures are reconstructed from the cited source papers where they
+state them and otherwise sized to match the footprints the paper itself
+pins down (see DESIGN.md section 6: [33] and [14] are explicitly small-FM
+networks; [13]/[14] have the quoted tanh/sig cycle shares; the Fig. 3 bar
+pattern fixes the relative sizes).  Every width is even, which the layout
+rules require and real kernels prefer anyway.
+
+``suite(scale)`` returns the networks with all widths divided by ``scale``
+(default from the ``REPRO_SCALE`` environment variable, 4): the analytical
+performance model always runs the full-scale suite, while ISS-executed
+validation and benchmarks run the scaled one in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..nn.network import ConvSpec, DenseSpec, LstmSpec, Network
+
+__all__ = ["FULL_SUITE", "suite", "default_scale", "scale_network",
+           "NETWORK_ORDER"]
+
+#: Order used in Fig. 3 (paper's citation keys).
+NETWORK_ORDER = ("challita2017", "naparstek2019", "ahmed2019", "eisen2019",
+                 "lee2018", "nasir2018", "sun2017", "ye2018", "yu2017",
+                 "wang2018")
+
+
+def _dense_chain(dims, last_activation=None, hidden_activation="relu"):
+    layers = []
+    for i, (n_in, n_out) in enumerate(zip(dims, dims[1:])):
+        act = last_activation if i == len(dims) - 2 else hidden_activation
+        layers.append(DenseSpec(n_in, n_out, act))
+    return tuple(layers)
+
+
+FULL_SUITE = (
+    Network(
+        name="challita2017",
+        layers=(LstmSpec(64, 64), DenseSpec(64, 32, "sig")),
+        timesteps=1,
+        source="[13] Challita et al., proactive LTE-U resource management. "
+               "Sizing pinned by the paper's own numbers: the two LSTM "
+               "networks produce 400 tanh/sig evaluations per suite pass "
+               "(Table Ic: 0.4 kcycles) and ~51 kcycles at stage c "
+               "combined; tanh/sig is 10.3% of this network's stage-b "
+               "cycles"),
+    Network(
+        name="naparstek2019",
+        layers=(LstmSpec(6, 16), DenseSpec(16, 8, "sig")),
+        timesteps=1,
+        source="[14] Naparstek & Cohen, distributed dynamic spectrum "
+               "access (small per-user LSTM agent; tanh/sig is ~1/3 of "
+               "its stage-b cycles per the paper)"),
+    Network(
+        name="ahmed2019",
+        layers=_dense_chain((64, 500, 500, 200), last_activation="sig"),
+        source="[3] Ahmed et al., deep learning power allocation in "
+               "multi-cell networks"),
+    Network(
+        name="eisen2019",
+        layers=_dense_chain((10, 32, 16, 4), last_activation=None),
+        source="[33] Eisen et al., learning optimal wireless resource "
+               "allocations (smallest-FM network of the suite)"),
+    Network(
+        name="lee2018",
+        layers=(ConvSpec(1, 8, 12, 12, 3), ConvSpec(8, 8, 10, 10, 3),
+                DenseSpec(512, 64, "relu"), DenseSpec(64, 26, None)),
+        source="[15] Lee et al., deep power control (CNN over channel "
+               "gain grids)"),
+    Network(
+        name="nasir2018",
+        layers=_dense_chain((50, 400, 300, 100), last_activation=None),
+        source="[12] Nasir & Guo, distributed dynamic power allocation "
+               "(per-link DQN)"),
+    Network(
+        name="sun2017",
+        layers=_dense_chain((30, 200, 200, 200, 30),
+                            last_activation="sig"),
+        source="[2] Sun et al., learning to optimize: WMMSE-imitating MLP "
+               "(three hidden layers of 200, as in the source paper)"),
+    Network(
+        name="ye2018",
+        layers=_dense_chain((82, 600, 400, 200, 60), last_activation=None),
+        source="[9] Ye & Li, deep reinforcement learning for V2V resource "
+               "allocation (largest FC network of the suite)"),
+    Network(
+        name="yu2017",
+        layers=_dense_chain((64, 300, 200, 2), last_activation="sig"),
+        source="[11] Yu et al., deep-reinforcement multiple access"),
+    Network(
+        name="wang2018",
+        layers=_dense_chain((16, 32, 32, 16), last_activation=None),
+        source="[17] Wang et al., DQN for dynamic multichannel access "
+               "(second smallest network of the suite)"),
+)
+
+
+def default_scale() -> int:
+    """Suite down-scale factor from ``REPRO_SCALE`` (1 = paper scale)."""
+    value = int(os.environ.get("REPRO_SCALE", "4"))
+    if value < 1:
+        raise ValueError("REPRO_SCALE must be >= 1")
+    return value
+
+
+def _scale_dim(dim: int, scale: int, minimum: int = 2) -> int:
+    scaled = max(minimum, round(dim / scale))
+    return scaled + (scaled % 2)  # keep widths even
+
+
+def scale_network(network: Network, scale: int) -> Network:
+    """Return a copy of ``network`` with every width divided by ``scale``.
+
+    Spatial conv dims shrink gently (they are already small); kernel size
+    is kept so the kernel mix is unchanged.
+    """
+    if scale == 1:
+        return network
+    layers = []
+    prev_out = None   # output width of the previous scaled layer
+    prev_conv = None  # previous scaled ConvSpec, for spatial chaining
+    # A chain of valid convolutions shrinks each spatial dim by k-1 per
+    # layer; the first conv must stay large enough for the last layer to
+    # produce at least one output pixel.
+    conv_reduction = sum(spec.k - 1 for spec in network.layers
+                         if isinstance(spec, ConvSpec))
+    for spec in network.layers:
+        if isinstance(spec, DenseSpec):
+            n_in = prev_out if prev_out is not None \
+                else _scale_dim(spec.n_in, scale)
+            n_out = _scale_dim(spec.n_out, scale)
+            layers.append(DenseSpec(n_in, n_out, spec.activation))
+            prev_out, prev_conv = n_out, None
+        elif isinstance(spec, LstmSpec):
+            m = prev_out if prev_out is not None \
+                else _scale_dim(spec.m, scale)
+            n = _scale_dim(spec.n, scale)
+            layers.append(LstmSpec(m, n))
+            prev_out, prev_conv = n, None
+        else:
+            if prev_conv is not None:
+                cin, h, w = prev_conv.cout, prev_conv.h_out, prev_conv.w_out
+            else:
+                cin = spec.cin
+                shrink = max(1, round(scale ** 0.5))
+                floor = conv_reduction + 1
+                h = max(floor, round(spec.h / shrink))
+                w = max(floor, round(spec.w / shrink))
+            cout = max(2, _scale_dim(spec.cout, scale))
+            conv = ConvSpec(cin, cout, h, w, spec.k)
+            layers.append(conv)
+            prev_out, prev_conv = conv.out_size, conv
+    return Network(name=network.name, layers=tuple(layers),
+                   timesteps=network.timesteps, source=network.source)
+
+
+def suite(scale: int | None = None) -> tuple:
+    """The benchmark suite at the requested (or default) scale."""
+    if scale is None:
+        scale = default_scale()
+    return tuple(scale_network(net, scale) for net in FULL_SUITE)

@@ -1,0 +1,124 @@
+"""Synthetic 5G-RRM workload substrates.
+
+The paper's networks are trained/evaluated on radio environments we cannot
+ship, so two standard synthetic substitutes generate realistic input
+distributions (DESIGN.md section 5):
+
+* :class:`InterferenceChannel` — K transceiver pairs dropped in a square
+  cell; 3GPP-style log-distance path loss, log-normal shadowing and
+  Rayleigh fast fading produce the squared-gain matrices consumed by the
+  power-control networks ([2], [3], [12], [15]) and by WMMSE.
+* :class:`SpectrumAccessEnv` — N channels occupied by a two-state Markov
+  primary user; an agent observes the previous slot's occupancy and picks
+  a channel, the success/collision reward of the DSA agents ([9], [11],
+  [14], [17]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .wmmse import sum_rate
+
+__all__ = ["InterferenceChannel", "SpectrumAccessEnv"]
+
+
+class InterferenceChannel:
+    """K-pair interference channel with distance-based gains."""
+
+    def __init__(self, n_pairs: int, area_m: float = 150.0,
+                 pathloss_exp: float = 3.0, shadowing_db: float = 6.0,
+                 min_dist_m: float = 2.0, max_link_m: float = 40.0,
+                 seed: int | None = None):
+        if n_pairs < 1:
+            raise ValueError("need at least one pair")
+        self.n_pairs = n_pairs
+        self.area_m = area_m
+        self.pathloss_exp = pathloss_exp
+        self.shadowing_db = shadowing_db
+        self.min_dist_m = min_dist_m
+        self.max_link_m = max_link_m
+        self.rng = np.random.default_rng(seed)
+        self.drop()
+
+    def drop(self) -> None:
+        """Re-draw transmitter/receiver positions (a new cell layout)."""
+        k = self.n_pairs
+        self.tx = self.rng.uniform(0, self.area_m, (k, 2))
+        offset_angle = self.rng.uniform(0, 2 * np.pi, k)
+        offset_dist = self.rng.uniform(self.min_dist_m, self.max_link_m, k)
+        self.rx = self.tx + np.stack(
+            [offset_dist * np.cos(offset_angle),
+             offset_dist * np.sin(offset_angle)], axis=1)
+        self.rx = np.clip(self.rx, 0, self.area_m)
+
+    def gain_matrix(self) -> np.ndarray:
+        """Draw one ``(K, K)`` squared-gain matrix (fast fading included).
+
+        ``G[k, j]``: gain from transmitter j to receiver k, normalized so
+        the median direct gain is ~1 (keeps Q3.12 inputs well-scaled).
+        """
+        k = self.n_pairs
+        dist = np.maximum(
+            np.linalg.norm(self.rx[:, None, :] - self.tx[None, :, :],
+                           axis=2), self.min_dist_m)
+        pathloss = dist ** (-self.pathloss_exp)
+        shadow_db = self.rng.normal(0.0, self.shadowing_db, (k, k))
+        shadowing = 10.0 ** (shadow_db / 10.0)
+        # Rayleigh amplitude => exponential power fading.
+        fading = self.rng.exponential(1.0, (k, k))
+        gains = pathloss * shadowing * fading
+        direct = np.diag(gains)
+        return gains / np.median(direct)
+
+    def features(self, gains: np.ndarray, size: int) -> np.ndarray:
+        """Log-compressed gain features padded/truncated to ``size``.
+
+        This is the standard input encoding of the power-control papers:
+        flattened dB-scale gains, normalized into [-1, 1].
+        """
+        flat = np.log10(np.maximum(gains.reshape(-1), 1e-12))
+        flat = np.clip(flat / 6.0, -1.0, 1.0)
+        if flat.size >= size:
+            return flat[:size]
+        return np.pad(flat, (0, size - flat.size))
+
+    def evaluate(self, gains: np.ndarray, power: np.ndarray,
+                 noise: float = 1.0) -> float:
+        """Sum rate achieved by a power vector on one realization."""
+        return sum_rate(gains, power, noise)
+
+
+class SpectrumAccessEnv:
+    """Slotted multichannel access against Markov primary users."""
+
+    def __init__(self, n_channels: int, p_busy_to_free: float = 0.3,
+                 p_free_to_busy: float = 0.2, seed: int | None = None):
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        if not (0 <= p_busy_to_free <= 1 and 0 <= p_free_to_busy <= 1):
+            raise ValueError("transition probabilities must be in [0, 1]")
+        self.n_channels = n_channels
+        self.p_bf = p_busy_to_free
+        self.p_fb = p_free_to_busy
+        self.rng = np.random.default_rng(seed)
+        self.occupancy = self.rng.integers(0, 2, n_channels)
+
+    def observation(self) -> np.ndarray:
+        """Previous-slot occupancy as +/-1 features."""
+        return (1.0 - 2.0 * self.occupancy).astype(np.float64)
+
+    def step(self, channel: int) -> tuple[float, np.ndarray]:
+        """Advance one slot; returns (reward, new observation).
+
+        Reward is +1 for transmitting on a free channel, -1 on collision.
+        """
+        if not 0 <= channel < self.n_channels:
+            raise ValueError("channel index out of range")
+        reward = -1.0 if self.occupancy[channel] else 1.0
+        flips = self.rng.uniform(size=self.n_channels)
+        stay_busy = self.occupancy == 1
+        self.occupancy = np.where(
+            stay_busy, (flips >= self.p_bf).astype(np.int64),
+            (flips < self.p_fb).astype(np.int64))
+        return reward, self.observation()

@@ -1,0 +1,140 @@
+"""Minimal numpy MLP trainer ("learning to optimize", benchmark [2]).
+
+Trains a dense-only :class:`~repro.nn.network.Network` to imitate WMMSE
+power allocations (Sun et al. 2017).  Pure numpy SGD with backprop through
+relu / sigmoid / identity layers and an MSE loss — enough to produce a
+*real* trained model for the quantization-robustness experiment and the
+power-allocation example, instead of random weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import DenseSpec, Network, init_params
+from .scenarios import InterferenceChannel
+from .wmmse import wmmse_power_allocation
+
+__all__ = ["MLPTrainer", "make_wmmse_dataset", "train_power_allocator"]
+
+
+def _act(name, z):
+    if name is None:
+        return z
+    if name == "relu":
+        return np.maximum(z, 0.0)
+    if name == "sig":
+        return 1.0 / (1.0 + np.exp(-z))
+    if name == "tanh":
+        return np.tanh(z)
+    raise ValueError(f"unsupported activation {name!r}")
+
+
+def _act_grad(name, z, a):
+    if name is None:
+        return np.ones_like(z)
+    if name == "relu":
+        return (z > 0).astype(np.float64)
+    if name == "sig":
+        return a * (1.0 - a)
+    if name == "tanh":
+        return 1.0 - a ** 2
+    raise ValueError(f"unsupported activation {name!r}")
+
+
+class MLPTrainer:
+    """SGD/MSE trainer for dense-only networks."""
+
+    def __init__(self, network: Network, seed: int = 0, lr: float = 0.05,
+                 weight_clip: float = 4.0):
+        for spec in network.layers:
+            if not isinstance(spec, DenseSpec):
+                raise ValueError("MLPTrainer handles dense-only networks")
+        self.network = network
+        self.lr = lr
+        #: keep weights comfortably inside Q3.12 (|w| < 4) during training
+        self.weight_clip = weight_clip
+        self.params = init_params(network, np.random.default_rng(seed))
+
+    def forward(self, x_batch: np.ndarray):
+        """Batch forward; returns (output, per-layer (z, a) cache)."""
+        a = np.asarray(x_batch, dtype=np.float64)
+        cache = []
+        for spec, layer in zip(self.network.layers, self.params):
+            z = a @ layer["w"].T + layer["b"]
+            a_next = _act(spec.activation, z)
+            cache.append((a, z, a_next))
+            a = a_next
+        return a, cache
+
+    def train_batch(self, x_batch: np.ndarray, y_batch: np.ndarray) -> float:
+        """One SGD step on a minibatch; returns the MSE loss."""
+        y_batch = np.asarray(y_batch, dtype=np.float64)
+        out, cache = self.forward(x_batch)
+        batch = max(1, x_batch.shape[0])
+        loss = float(np.mean((out - y_batch) ** 2))
+        delta = 2.0 * (out - y_batch) / (batch * y_batch.shape[1])
+        for spec, layer, (a_in, z, a_out) in zip(
+                reversed(self.network.layers), reversed(self.params),
+                reversed(cache)):
+            delta = delta * _act_grad(spec.activation, z, a_out)
+            grad_w = delta.T @ a_in
+            grad_b = delta.sum(axis=0)
+            delta = delta @ layer["w"]
+            layer["w"] -= self.lr * grad_w
+            layer["b"] -= self.lr * grad_b
+            np.clip(layer["w"], -self.weight_clip, self.weight_clip,
+                    out=layer["w"])
+            np.clip(layer["b"], -self.weight_clip, self.weight_clip,
+                    out=layer["b"])
+        return loss
+
+    def fit(self, x_data: np.ndarray, y_data: np.ndarray, epochs: int = 50,
+            batch_size: int = 32, seed: int = 0) -> list[float]:
+        """Epoch loop; returns the loss history."""
+        rng = np.random.default_rng(seed)
+        losses = []
+        n = x_data.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                epoch_loss += self.train_batch(x_data[idx], y_data[idx]) \
+                    * len(idx)
+            losses.append(epoch_loss / n)
+        return losses
+
+
+def make_wmmse_dataset(n_pairs: int, n_samples: int, seed: int = 0,
+                       noise: float = 1.0, area_m: float = 150.0):
+    """(features, WMMSE powers, raw gain matrices) for imitation learning."""
+    scenario = InterferenceChannel(n_pairs, area_m=area_m, seed=seed)
+    feat_size = n_pairs * n_pairs
+    xs = np.empty((n_samples, feat_size))
+    ys = np.empty((n_samples, n_pairs))
+    gains = np.empty((n_samples, n_pairs, n_pairs))
+    for i in range(n_samples):
+        g = scenario.gain_matrix()
+        gains[i] = g
+        xs[i] = scenario.features(g, feat_size)
+        ys[i] = wmmse_power_allocation(g, noise=noise)
+    return xs, ys, gains
+
+
+def train_power_allocator(n_pairs: int = 5, hidden: tuple = (64, 32),
+                          n_samples: int = 256, epochs: int = 60,
+                          seed: int = 0, area_m: float = 150.0):
+    """Train the Sun-2017-style WMMSE imitator; returns (trainer, data)."""
+    dims = (n_pairs * n_pairs,) + tuple(hidden) + (n_pairs,)
+    layers = []
+    for i, (a, b) in enumerate(zip(dims, dims[1:])):
+        act = "sig" if i == len(dims) - 2 else "relu"
+        layers.append(DenseSpec(a, b, act))
+    network = Network(name="wmmse_imitator", layers=tuple(layers),
+                      source="Sun et al. 2017 style learning-to-optimize")
+    trainer = MLPTrainer(network, seed=seed)
+    xs, ys, gains = make_wmmse_dataset(n_pairs, n_samples, seed=seed,
+                                       area_m=area_m)
+    trainer.fit(xs, ys, epochs=epochs, seed=seed)
+    return trainer, (xs, ys, gains)

@@ -1,0 +1,78 @@
+"""WMMSE sum-rate power allocation (Shi et al. 2011, paper ref. [4]).
+
+The scalar (single-antenna) K-user interference-channel variant: each
+transmitter k serves receiver k with power ``p_k in [0, p_max]``, and the
+classic u/w/v alternating updates maximize the weighted sum rate.  This is
+the classical iterative RRM algorithm the paper's intro positions neural
+networks against, and the imitation-learning target of benchmark [2]
+(Sun et al., "Learning to Optimize").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["wmmse_power_allocation", "sum_rate"]
+
+
+def sum_rate(h_gain: np.ndarray, power: np.ndarray,
+             noise: float = 1.0) -> float:
+    """Sum of ``log2(1 + SINR_k)`` for a squared-gain matrix.
+
+    Args:
+        h_gain: ``(K, K)`` squared channel gains; ``h_gain[k, j]`` is the
+            gain from transmitter j to receiver k.
+        power: ``(K,)`` transmit powers.
+        noise: receiver noise power.
+    """
+    h_gain = np.asarray(h_gain, dtype=np.float64)
+    power = np.asarray(power, dtype=np.float64)
+    signal = np.diag(h_gain) * power
+    interference = h_gain @ power - signal
+    sinr = signal / (interference + noise)
+    return float(np.sum(np.log2(1.0 + sinr)))
+
+
+def wmmse_power_allocation(h_gain: np.ndarray, p_max: float = 1.0,
+                           noise: float = 1.0, iterations: int = 100,
+                           tol: float = 1e-6,
+                           seed: int | None = 0) -> np.ndarray:
+    """Scalar WMMSE; returns the ``(K,)`` power vector.
+
+    Channel *amplitudes* are the square roots of ``h_gain``.  Iterates the
+    closed-form u (MMSE receiver), w (MSE weight), v (transmit amplitude)
+    updates until the sum-rate utility moves less than ``tol``.  The
+    transmit amplitudes start from a seeded random point: full power is a
+    stationary point of the updates in symmetric channels, so a
+    deterministic full-power start can silently return the worst
+    allocation.  Pass ``seed=None`` for a full-power start.
+    """
+    h_gain = np.asarray(h_gain, dtype=np.float64)
+    if h_gain.ndim != 2 or h_gain.shape[0] != h_gain.shape[1]:
+        raise ValueError("h_gain must be a square matrix")
+    if np.any(h_gain < 0):
+        raise ValueError("squared gains must be non-negative")
+    amp = np.sqrt(h_gain)
+    k = h_gain.shape[0]
+    vmax = np.sqrt(p_max)
+    if seed is None:
+        v = np.full(k, vmax)
+    else:
+        v = np.random.default_rng(seed).uniform(0.1, 1.0, k) * vmax
+    last_utility = -np.inf
+    for _ in range(iterations):
+        # u: MMSE receive scalars.
+        rx_power = h_gain @ (v ** 2) + noise
+        u = np.diag(amp) * v / rx_power
+        # w: MSE weights.
+        e = 1.0 - u * np.diag(amp) * v
+        w = 1.0 / np.maximum(e, 1e-12)
+        # v: transmit amplitudes (clipped to the power budget).
+        numer = w * u * np.diag(amp)
+        denom = h_gain.T @ (w * u ** 2)
+        v = np.clip(numer / np.maximum(denom, 1e-12), 0.0, vmax)
+        utility = sum_rate(h_gain, v ** 2, noise)
+        if abs(utility - last_utility) < tol:
+            break
+        last_utility = utility
+    return v ** 2

@@ -1,0 +1,197 @@
+"""Assembler, program container and disassembler tests."""
+
+import pytest
+
+from repro.isa import (AsmError, assemble, disassemble_word, encode,
+                       format_instr, reg_name, reg_num)
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert reg_num("zero") == 0
+        assert reg_num("ra") == 1
+        assert reg_num("sp") == 2
+        assert reg_num("a0") == 10
+        assert reg_num("t6") == 31
+        assert reg_num("fp") == reg_num("s0") == 8
+
+    def test_x_names(self):
+        for i in range(32):
+            assert reg_num(f"x{i}") == i
+            assert reg_num(reg_name(i)) == i
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            reg_num("q7")
+        with pytest.raises(ValueError):
+            reg_num(32)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+
+class TestBasicParsing:
+    def test_simple_program(self):
+        prog = assemble("addi a0, x0, 5\nebreak\n")
+        assert len(prog) == 2
+        assert prog[0].mnemonic == "addi"
+        assert prog[0].imm == 5
+        assert prog[0].addr == 0
+        assert prog[1].addr == 4
+
+    def test_comments_and_blanks(self):
+        prog = assemble("""
+            # full comment line
+            addi a0, x0, 1   # trailing
+            // c++ style
+            ebreak
+        """)
+        assert len(prog) == 2
+
+    def test_memory_operands(self):
+        prog = assemble("lw t0, -8(sp)\nsh t1, 6(a0)\n")
+        assert prog[0].imm == -8
+        assert prog[0].rs1 == reg_num("sp")
+        assert prog[1].rs2 == reg_num("t1")
+
+    def test_postinc_marker_required(self):
+        assemble("p.lw t0, 4(a0!)")
+        with pytest.raises(AsmError):
+            assemble("p.lw t0, 4(a0)")
+        with pytest.raises(AsmError):
+            assemble("lw t0, 4(a0!)")
+
+    def test_hex_immediates(self):
+        prog = assemble("addi t0, x0, 0x7f\n")
+        assert prog[0].imm == 127
+
+    def test_operand_count_errors(self):
+        with pytest.raises(AsmError):
+            assemble("add a0, a1")
+        with pytest.raises(AsmError):
+            assemble("ebreak now")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            assemble("frobnicate a0, a1")
+
+
+class TestLabels:
+    def test_branch_resolution(self):
+        prog = assemble("""
+        start:
+            addi a0, a0, 1
+            bne a0, a1, start
+            ebreak
+        """)
+        assert prog[1].imm == -4
+
+    def test_forward_jump(self):
+        prog = assemble("""
+            jal x0, end
+            addi a0, a0, 1
+        end:
+            ebreak
+        """)
+        assert prog[0].imm == 8
+        assert prog.labels["end"] == 8
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble("a:\naddi x0,x0,0\na:\nebreak")
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmError):
+            assemble("j nowhere")
+
+    def test_hwloop_end_offset(self):
+        prog = assemble("""
+            lp.setupi 0, 4, end
+            addi a0, a0, 1
+            addi a1, a1, 1
+        end:
+            ebreak
+        """)
+        # end label is one past the body; imm2 points at the last body op
+        assert prog[0].imm2 == 8
+
+    def test_empty_hwloop_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("lp.setupi 0, 4, end\nend:\nebreak")
+
+
+class TestPseudoInstructions:
+    def test_nop_mv_j_ret(self):
+        prog = assemble("nop\nmv a0, a1\nj next\nnext:\nret\n")
+        assert [i.mnemonic for i in prog] == ["addi", "addi", "jal", "jalr"]
+
+    def test_li_small(self):
+        prog = assemble("li a0, -2048\nli a1, 2047\n")
+        assert len(prog) == 2
+        assert prog[0].imm == -2048
+
+    @pytest.mark.parametrize("value", [
+        2048, -2049, 4096, 0x1000, 0x123456, -123456, 0x7FFFFFFF,
+        -2147483648, 0xFFFFFFFF, 0x80000000, 0x12345800])
+    def test_li_large_values_execute_correctly(self, value):
+        from repro.core import Cpu
+        prog = assemble(f"li a0, {value}\nebreak\n")
+        cpu = Cpu(prog)
+        cpu.run()
+        assert cpu.reg(10) == value & 0xFFFFFFFF
+
+    def test_halt_alias(self):
+        prog = assemble("halt")
+        assert prog[0].mnemonic == "ebreak"
+
+    def test_call(self):
+        prog = assemble("call fn\nfn:\nret\n")
+        assert prog[0].mnemonic == "jal"
+        assert prog[0].rd == reg_num("ra")
+
+
+class TestProgramContainer:
+    def test_at_and_label_at(self):
+        prog = assemble("x:\naddi a0,a0,1\ny:\nebreak\n")
+        assert prog.at(4).mnemonic == "ebreak"
+        assert prog.label_at(0) == "x"
+        assert prog.label_at(4) == "y"
+        with pytest.raises(IndexError):
+            prog.at(2)
+        with pytest.raises(IndexError):
+            prog.at(100)
+
+    def test_encode_words(self):
+        prog = assemble("addi a0, x0, 1\nebreak\n")
+        words = prog.encode_words()
+        assert len(words) == 2
+        assert all(0 <= w <= 0xFFFFFFFF for w in words)
+
+    def test_mnemonic_histogram(self):
+        prog = assemble("addi a0,a0,1\naddi a0,a0,1\nebreak\n")
+        assert prog.mnemonic_histogram() == {"addi": 2, "ebreak": 1}
+
+    def test_disassemble_mentions_labels(self):
+        prog = assemble("loop:\naddi a0,a0,1\nbne a0,a1,loop\n")
+        text = prog.disassemble()
+        assert "loop:" in text
+        assert "addi a0, a0, 1" in text
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize("line", [
+        "add a0, a1, a2",
+        "addi t0, t1, -5",
+        "lw s0, 12(sp)",
+        "p.lw t0, 4(a0!)",
+        "p.sh t1, 2(a1!)",
+        "lui a0, 100",
+        "pl.tanh a1, a2",
+        "pv.sdotsp.h a0, a1, a2",
+    ])
+    def test_format_roundtrip(self, line):
+        prog = assemble(line)
+        assert format_instr(prog[0]) == line
+
+    def test_disassemble_word(self):
+        prog = assemble("add a0, a1, a2")
+        assert disassemble_word(encode(prog[0])) == "add a0, a1, a2"

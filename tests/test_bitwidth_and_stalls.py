@@ -1,0 +1,60 @@
+"""Bit-width sweep driver and the Trace stall summary."""
+
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.core.tracer import Trace
+from repro.eval.bitwidth import (FRAC_BITS, compute_bitwidth_sweep,
+                                 format_bitwidth)
+from repro.isa import assemble
+
+
+class TestBitwidthSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compute_bitwidth_sweep(n_eval=20)
+
+    def test_sweep_covers_widths(self, result):
+        assert [r["frac_bits"] for r in result["rows"]] == list(FRAC_BITS)
+
+    def test_loss_monotone_down_with_precision(self, result):
+        losses = [r["loss_pct"] for r in result["rows"]]
+        # broadly monotone: each step may not strictly decrease, but the
+        # coarsest format must lose the most and Q3.12 must be transparent
+        assert losses[0] == max(losses)
+        q312 = next(r for r in result["rows"] if r["frac_bits"] == 12)
+        assert abs(q312["loss_pct"]) < 0.25
+
+    def test_coarse_formats_lose_visibly(self, result):
+        q3_4 = next(r for r in result["rows"] if r["frac_bits"] == 4)
+        q3_12 = next(r for r in result["rows"] if r["frac_bits"] == 12)
+        assert q3_4["loss_pct"] > q3_12["loss_pct"]
+
+    def test_format(self, result):
+        text = format_bitwidth(result)
+        assert "Q3.12" in text and "knee" in text
+
+
+class TestStallSummary:
+    def test_load_use_stalls_reported(self):
+        cpu = Cpu(assemble("""
+            li a0, 0x100
+            lw a1, 0(a0)
+            addi a2, a1, 1
+            beq x0, x0, end
+        end:
+            ebreak
+        """), Memory(1 << 12))
+        trace = cpu.run()
+        extras = trace.stall_summary()
+        assert extras["lw"] == 1
+        assert extras["beq"] == 1  # taken-branch penalty
+        assert "addi" not in extras
+
+    def test_clean_code_has_no_stalls(self):
+        cpu = Cpu(assemble("addi a0, a0, 1\nadd a1, a0, a0\nebreak\n"))
+        trace = cpu.run()
+        assert trace.stall_summary() == {}
+
+    def test_empty_trace(self):
+        assert Trace().stall_summary() == {}

@@ -1,0 +1,189 @@
+"""AsmBuilder static count analysis vs. ISS execution on hand-built
+snippets, plus the loop/label bookkeeping rules."""
+
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+from repro.kernels import AsmBuilder, DataLayout
+
+
+def check_equivalence(build):
+    """Run `build(b)` through both the builder and the ISS; compare."""
+    builder = AsmBuilder()
+    build(builder)
+    builder.emit("ebreak")
+    cpu = Cpu(assemble(builder.text()), Memory(1 << 16))
+    iss = cpu.run()
+    assert iss == builder.trace
+    return iss
+
+
+class TestStraightLine:
+    def test_alu_sequence(self):
+        def build(b):
+            b.li("a0", 5)
+            b.li("a1", 0x12345)
+            b.emit("add a2, a0, a1")
+        check_equivalence(build)
+
+    def test_load_use_stall_detected(self):
+        def build(b):
+            b.li("a0", 0x100)
+            b.emit("lw a1, 0(a0)")
+            b.emit("addi a2, a1, 1")
+        iss = check_equivalence(build)
+        assert iss.cycles["lw"] == 2
+
+    def test_no_false_stall(self):
+        def build(b):
+            b.li("a0", 0x100)
+            b.emit("lw a1, 0(a0)")
+            b.emit("addi a2, a0, 1")
+        iss = check_equivalence(build)
+        assert iss.cycles["lw"] == 1
+
+    def test_jump_cost(self):
+        def build(b):
+            b.emit("jal x0, 4")
+            b.emit("addi a0, a0, 1")
+        iss = check_equivalence(build)
+        assert iss.cycles["jal"] == 2
+
+
+class TestLoops:
+    def test_hwloop_counts(self):
+        def build(b):
+            b.li("a0", 0x100)
+            with b.hwloop(0, 17):
+                b.emit("addi a1, a1, 1")
+                b.emit("addi a2, a2, 2")
+        iss = check_equivalence(build)
+        assert iss.instrs["addi"] == 2 * 17 + 1  # + the li
+
+    def test_nested_hwloops(self):
+        def build(b):
+            with b.hwloop(1, 5):
+                b.emit("addi a1, a1, 1")
+                with b.hwloop(0, 3):
+                    b.emit("addi a2, a2, 1")
+                b.emit("addi a3, a3, 1")
+        iss = check_equivalence(build)
+        assert iss.instrs["addi"] == 5 + 15 + 5
+
+    def test_sw_loop_branch_accounting(self):
+        def build(b):
+            b.li("a0", 8)
+            with b.sw_loop(8) as loop:
+                b.emit("addi a0, a0, -1")
+                loop.branch_back("bne", "a0", "x0")
+        iss = check_equivalence(build)
+        assert iss.instrs["bne"] == 8
+        assert iss.cycles["bne"] == 2 * 7 + 1
+
+    def test_nested_sw_loops(self):
+        def build(b):
+            b.li("a0", 3)
+            with b.sw_loop(3) as outer:
+                b.li("a1", 4)
+                with b.sw_loop(4) as inner:
+                    b.emit("addi a1, a1, -1")
+                    inner.branch_back("bne", "a1", "x0")
+                b.emit("addi a0, a0, -1")
+                outer.branch_back("bne", "a0", "x0")
+        check_equivalence(build)
+
+    def test_stall_across_loop_iterations_via_wrap(self):
+        # load at position N-2, consumer at N-1: same-iteration stall only
+        def build(b):
+            b.li("a0", 0x100)
+            with b.hwloop(0, 6):
+                b.emit("lw a1, 0(a0)")
+                b.emit("addi a2, a1, 1")
+        iss = check_equivalence(build)
+        assert iss.cycles["lw"] == 12
+
+    def test_load_before_loop_consumer_inside(self):
+        def build(b):
+            b.li("a0", 0x100)
+            b.emit("lw a1, 0(a0)")
+            with b.hwloop(0, 4):
+                b.emit("addi a2, a1, 1")
+        # the lp.setupi separates the pair: no stall on either side
+        iss = check_equivalence(build)
+        assert iss.cycles["lw"] == 1
+
+    def test_hwloop_count_limit(self):
+        b = AsmBuilder()
+        with pytest.raises(ValueError):
+            b.hwloop(0, 512)
+        with pytest.raises(ValueError):
+            b.hwloop(0, 0)
+        with pytest.raises(ValueError):
+            b.hwloop(2, 5)
+
+    def test_sw_loop_requires_branch_back(self):
+        b = AsmBuilder()
+        with pytest.raises(RuntimeError):
+            with b.sw_loop(3):
+                b.emit("addi a0, a0, 1")
+
+    def test_branch_outside_helper_needs_counts(self):
+        b = AsmBuilder()
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.emit("bne a0, a1, x")
+
+
+class TestVliwAndActivations:
+    def test_pl_sdotsp_sequence(self):
+        def build(b):
+            b.li("a0", 0x1000)
+            b.li("a1", 0x1100)
+            b.li("t1", 0x2000)
+            b.emit("pl.sdotsp.h.0 x0, a0, x0")
+            b.emit("pl.sdotsp.h.1 x0, a1, x0")
+            with b.hwloop(0, 9):
+                b.emit("p.lw t0, 4(t1!)")
+                b.emit("pl.sdotsp.h.0 s0, a0, t0")
+                b.emit("pl.sdotsp.h.1 s1, a1, t0")
+        iss = check_equivalence(build)
+        # the x-pair load feeds the first sdotsp: one stall per iteration
+        assert iss.cycles["lw!"] == 18
+
+    def test_activation_instruction_costs(self):
+        def build(b):
+            b.li("a0", 1000)
+            b.emit("pl.tanh a1, a0")
+            b.emit("pl.sig a2, a0")
+        iss = check_equivalence(build)
+        assert iss.cycles["tanh,sig"] == 2
+
+
+class TestDataLayout:
+    def test_alloc_sequence_and_padding(self):
+        layout = DataLayout(base=0x1000)
+        a = layout.alloc_half("a", 3)
+        b = layout.alloc_half("b", 1)
+        assert a == 0x1000
+        assert b >= a + 6 + 8  # guard padding
+        assert layout.addr("a") == a
+        assert layout.used_bytes > 0
+
+    def test_duplicate_rejected(self):
+        layout = DataLayout()
+        layout.alloc_word("x", 1)
+        with pytest.raises(ValueError):
+            layout.alloc_word("x", 1)
+
+    def test_overflow_guard(self):
+        layout = DataLayout(base=0x1000, size_bytes=0x1040)
+        layout.alloc_half("ok", 8)
+        with pytest.raises(MemoryError):
+            layout.alloc_half("toobig", 100)
+
+    def test_alignment(self):
+        layout = DataLayout(base=0x1000)
+        layout.alloc("odd", 3)
+        addr = layout.alloc("next", 4)
+        assert addr % 4 == 0

@@ -1,0 +1,44 @@
+"""Statistical validation of the synthetic channel generator: the
+substitution for the paper's field data must obey its own claimed model."""
+
+import numpy as np
+import pytest
+
+from repro.rrm.analysis import (estimate_pathloss_exponent,
+                                fading_ks_statistic, shadowing_sigma_db)
+from repro.rrm.scenarios import InterferenceChannel
+
+#: std-dev in dB of an Exp(1) power fade: 10/ln(10) * pi/sqrt(6)
+_EXP_FADE_SIGMA_DB = 5.57
+
+
+class TestPathLoss:
+    @pytest.mark.parametrize("exponent", (2.0, 3.0, 3.8))
+    def test_exponent_recovered(self, exponent):
+        scenario = InterferenceChannel(8, pathloss_exp=exponent, seed=11)
+        estimate = estimate_pathloss_exponent(scenario, n_draws=150)
+        assert estimate == pytest.approx(exponent, abs=0.25)
+
+
+class TestFading:
+    def test_near_exponential_without_shadowing(self):
+        scenario = InterferenceChannel(8, shadowing_db=1e-4, seed=1)
+        assert fading_ks_statistic(scenario) < 0.08
+
+    def test_shadowing_widens_the_distribution(self):
+        shadowed = InterferenceChannel(8, shadowing_db=6.0, seed=0)
+        clean = InterferenceChannel(8, shadowing_db=1e-4, seed=0)
+        assert fading_ks_statistic(shadowed) > fading_ks_statistic(clean)
+
+
+class TestShadowing:
+    def test_combined_log_sigma(self):
+        scenario = InterferenceChannel(8, shadowing_db=6.0, seed=0)
+        expected = np.sqrt(6.0 ** 2 + _EXP_FADE_SIGMA_DB ** 2)
+        assert shadowing_sigma_db(scenario) == pytest.approx(expected,
+                                                             rel=0.15)
+
+    def test_fading_only_log_sigma(self):
+        scenario = InterferenceChannel(8, shadowing_db=1e-4, seed=1)
+        assert shadowing_sigma_db(scenario) == pytest.approx(
+            _EXP_FADE_SIGMA_DB, rel=0.15)

@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliDrivers:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "pl.sdotsp" in capsys.readouterr().out
+
+    def test_codesize(self, capsys):
+        assert main(["codesize"]) == 0
+        assert "RV32IMC" in capsys.readouterr().out
+
+
+class TestCliRun:
+    def test_run_assembly_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("""
+            li a0, 7
+            li a1, 6
+            mul a2, a0, a1
+            ebreak
+        """)
+        assert main(["run", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "a2=0000002a" in out
+        assert "cycles" in out
+
+    def test_run_with_extensions(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("""
+            li a0, 2048
+            pl.tanh a1, a0
+            ebreak
+        """)
+        assert main(["run", str(source)]) == 0
+        assert "a1=00000768" in capsys.readouterr().out
+
+
+class TestCliSuite:
+    def test_suite_single_level(self, capsys):
+        assert main(["suite", "--level", "e", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "challita2017" in out
+        assert "TOTAL" in out
+
+    def test_suite_no_check(self, capsys):
+        assert main(["suite", "--level", "b", "--scale", "8",
+                     "--no-check"]) == 0
+        assert "checking off" in capsys.readouterr().out
+
+
+class TestCliAll:
+    def test_all_writes_artifacts(self, tmp_path, capsys):
+        # run only via the 'all' machinery but into a tmp dir; this is the
+        # slowest CLI test (it trains the quantization-study MLP)
+        assert main(["all", "--out", str(tmp_path)]) == 0
+        written = sorted(os.listdir(tmp_path))
+        assert "table1.txt" in written
+        assert "int8.txt" in written
+        assert "isa-ref.txt" in written
+        from repro.cli import _DRIVERS
+        assert len(written) == len(_DRIVERS)
+
+
+class TestShippedAssemblyDemo:
+    def test_dotprod_example(self, capsys):
+        import os
+        path = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "dotprod.s")
+        assert main(["run", path]) == 0
+        out = capsys.readouterr().out
+        assert "a2=fffff700" in out      # the Q3.12 dot product result
+        assert "a7=0000000f" in out      # self-measured cycles via mcycle

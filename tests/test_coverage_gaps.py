@@ -1,0 +1,121 @@
+"""Breadth tests: disassembly of every mnemonic, activation chunking
+boundaries, paper-scale spot checks, and odds and ends."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu, MemoryError32, Memory
+from repro.core.tracer import Trace
+from repro.isa import SPECS, assemble, decode, encode, format_instr
+from repro.isa.instructions import Fmt, Instr
+
+
+class TestDisassemblerCoverage:
+    @pytest.mark.parametrize("mnemonic", sorted(SPECS))
+    def test_every_mnemonic_formats(self, mnemonic):
+        spec = SPECS[mnemonic]
+        instr = Instr(mnemonic, rd=1, rs1=2, rs2=3)
+        if spec.fmt in (Fmt.BRANCH, Fmt.JAL):
+            instr.imm = 8
+        elif spec.fmt in (Fmt.HWLOOP, Fmt.HWLOOPI):
+            instr.imm2 = 8
+        text = format_instr(instr)
+        assert text.startswith(mnemonic)
+
+    @pytest.mark.parametrize("mnemonic", sorted(SPECS))
+    def test_every_mnemonic_encodes_and_decodes(self, mnemonic):
+        spec = SPECS[mnemonic]
+        instr = Instr(mnemonic, rd=1, rs1=2, rs2=3)
+        if spec.fmt in (Fmt.BRANCH, Fmt.JAL):
+            instr.imm = 8
+        elif spec.fmt in (Fmt.HWLOOP, Fmt.HWLOOPI):
+            instr.imm2 = 8
+        assert decode(encode(instr)).mnemonic == mnemonic
+
+
+class TestActivationChunkBoundaries:
+    @pytest.mark.parametrize("count", (510, 511, 512, 1022, 1023))
+    def test_relu_chunking_exact(self, count):
+        from repro.fixedpoint import SIG_TABLE, TANH_TABLE
+        from repro.kernels import (ActivationJob, AsmBuilder, LEVELS,
+                                   gen_activation)
+        rng = np.random.default_rng(count)
+        values = rng.integers(-32768, 32768, count)
+        mem = Memory(1 << 16)
+        mem.store_halfwords(0x2000, values)
+        builder = AsmBuilder()
+        gen_activation(builder, LEVELS["d"], ActivationJob(
+            func="relu", addr=0x2000, count=count))
+        builder.emit("ebreak")
+        cpu = Cpu(assemble(builder.text()), mem)
+        iss = cpu.run()
+        out = mem.load_halfwords(0x2000, count)
+        assert np.array_equal(out, np.maximum(values, 0))
+        assert iss == builder.trace
+
+
+class TestMemoryFaults:
+    def test_wild_load_reports_pc(self):
+        cpu = Cpu(assemble("""
+            li a0, 0x7fffff00
+            lw a1, 0(a0)
+            ebreak
+        """), Memory(1 << 12))
+        with pytest.raises(MemoryError32, match="pc=0x"):
+            cpu.run()
+
+    def test_wild_vliw_prefetch_reports(self):
+        cpu = Cpu(assemble("""
+            li a0, 0x7fffff00
+            pl.sdotsp.h.0 x0, a0, x0
+            ebreak
+        """), Memory(1 << 12))
+        with pytest.raises(MemoryError32):
+            cpu.run()
+
+
+class TestTraceUtilities:
+    def test_eq_ignores_zero_entries(self):
+        a = Trace()
+        a.add("addi", 3, 3)
+        a.add("lw", 0, 0)
+        b = Trace()
+        b.add("addi", 3, 3)
+        assert a == b
+
+    def test_eq_other_type(self):
+        assert Trace().__eq__(42) is NotImplemented
+
+    def test_table_renders_units(self):
+        t = Trace()
+        t.add("addi", 1500, 1500)
+        text = t.table(top_n=1, unit=1000)
+        assert "1.5" in text
+
+
+@pytest.mark.slow
+class TestPaperScaleSpotCheck:
+    """One full-scale network through the ISS: the static model must match
+    even at paper dimensions (the reduced-scale equality is not an
+    artifact of small shapes)."""
+
+    def test_ye2018_full_scale_level_e(self):
+        from repro.kernels import NetworkProgram
+        from repro.nn import init_params, quantize_params
+        from repro.rrm.networks import FULL_SUITE
+        from repro.rrm.suite import network_trace
+        net = next(n for n in FULL_SUITE if n.name == "ye2018")
+        params = quantize_params(init_params(net,
+                                             np.random.default_rng(0)))
+        program = NetworkProgram(net, params, "e")
+        rng = np.random.default_rng(1)
+        x = np.asarray(rng.uniform(-1, 1, net.input_size) * 4096,
+                       dtype=np.int64)
+        program.run_and_check([x])
+        iss = program.trace
+        model = network_trace(net, "e")
+        iss.instrs.pop("ebreak", None)
+        iss.cycles.pop("ebreak", None)
+        model.instrs.pop("ebreak", None)
+        model.cycles.pop("ebreak", None)
+        assert iss == model

@@ -1,0 +1,168 @@
+"""Instruction semantics: ALU, multiply/divide, comparisons."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Cpu
+from repro.isa import assemble
+
+M32 = 0xFFFFFFFF
+int32s = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+
+
+def run_rr(op, a, b):
+    """Execute `op a2, a0, a1` with a0=a, a1=b; returns signed a2."""
+    cpu = Cpu(assemble(f"{op} a2, a0, a1\nebreak\n"))
+    cpu.set_reg(10, a & M32)
+    cpu.set_reg(11, b & M32)
+    cpu.run()
+    return cpu.reg_s(12)
+
+
+def run_ri(op, a, imm):
+    cpu = Cpu(assemble(f"{op} a2, a0, {imm}\nebreak\n"))
+    cpu.set_reg(10, a & M32)
+    cpu.run()
+    return cpu.reg_s(12)
+
+
+def _s32(v):
+    v &= M32
+    return v - ((v & 0x80000000) << 1)
+
+
+class TestBasicAlu:
+    @given(int32s, int32s)
+    def test_add_sub(self, a, b):
+        assert run_rr("add", a, b) == _s32(a + b)
+        assert run_rr("sub", a, b) == _s32(a - b)
+
+    @given(int32s, st.integers(min_value=-2048, max_value=2047))
+    def test_addi(self, a, imm):
+        assert run_ri("addi", a, imm) == _s32(a + imm)
+
+    @given(int32s, int32s)
+    def test_logic(self, a, b):
+        assert run_rr("and", a, b) == _s32(a & b)
+        assert run_rr("or", a, b) == _s32(a | b)
+        assert run_rr("xor", a, b) == _s32(a ^ b)
+
+    @given(int32s, st.integers(min_value=0, max_value=31))
+    def test_shifts(self, a, sh):
+        assert run_ri("slli", a, sh) == _s32(a << sh)
+        assert run_ri("srli", a, sh) == _s32((a & M32) >> sh)
+        assert run_ri("srai", a, sh) == _s32(_s32(a) >> sh)
+
+    @given(int32s, int32s)
+    def test_shift_register_masks_5_bits(self, a, b):
+        assert run_rr("sll", a, b) == _s32(a << (b & 31))
+        assert run_rr("srl", a, b) == _s32((a & M32) >> (b & 31))
+        assert run_rr("sra", a, b) == _s32(_s32(a) >> (b & 31))
+
+    @given(int32s, int32s)
+    def test_set_less_than(self, a, b):
+        assert run_rr("slt", a, b) == (1 if _s32(a) < _s32(b) else 0)
+        assert run_rr("sltu", a, b) == (1 if (a & M32) < (b & M32) else 0)
+
+    def test_lui_auipc(self):
+        cpu = Cpu(assemble("lui a0, 5\nauipc a1, 1\nebreak\n"))
+        cpu.run()
+        assert cpu.reg(10) == 5 << 12
+        assert cpu.reg(11) == 4 + (1 << 12)  # auipc at address 4
+
+    def test_x0_never_written(self):
+        cpu = Cpu(assemble("addi x0, x0, 5\nadd a0, x0, x0\nebreak\n"))
+        cpu.run()
+        assert cpu.reg(0) == 0
+        assert cpu.reg(10) == 0
+
+
+class TestMulDiv:
+    @given(int32s, int32s)
+    def test_mul_low(self, a, b):
+        assert run_rr("mul", a, b) == _s32(a * b)
+
+    @given(int32s, int32s)
+    def test_mulh_variants(self, a, b):
+        sa, sb = _s32(a), _s32(b)
+        ua, ub = a & M32, b & M32
+        assert run_rr("mulh", a, b) == _s32((sa * sb) >> 32)
+        assert run_rr("mulhu", a, b) == _s32((ua * ub) >> 32)
+        assert run_rr("mulhsu", a, b) == _s32((sa * ub) >> 32)
+
+    @given(int32s, int32s)
+    def test_div_rem_identity(self, a, b):
+        if _s32(b) == 0:
+            return
+        q, r = run_rr("div", a, b), run_rr("rem", a, b)
+        assert _s32(q * _s32(b) + r) == _s32(a)
+        if _s32(a) != -(1 << 31) or _s32(b) != -1:
+            assert abs(r) < abs(_s32(b))
+
+    def test_div_by_zero(self):
+        assert run_rr("div", 7, 0) == -1
+        assert run_rr("divu", 7, 0) == -1
+        assert run_rr("rem", 7, 0) == 7
+        assert run_rr("remu", 7, 0) == 7
+
+    def test_div_overflow(self):
+        assert run_rr("div", -(1 << 31), -1) == -(1 << 31)
+        assert run_rr("rem", -(1 << 31), -1) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert run_rr("div", -7, 2) == -3
+        assert run_rr("rem", -7, 2) == -1
+        assert run_rr("div", 7, -2) == -3
+        assert run_rr("rem", 7, -2) == 1
+
+    @given(st.integers(0, M32), st.integers(1, M32))
+    def test_divu_remu(self, a, b):
+        assert run_rr("divu", a, b) == _s32(a // b)
+        assert run_rr("remu", a, b) == _s32(a % b)
+
+
+class TestXpulpScalar:
+    @given(int32s, int32s, int32s)
+    def test_mac_accumulates(self, a, b, acc):
+        cpu = Cpu(assemble("p.mac a2, a0, a1\nebreak\n"))
+        cpu.set_reg(10, a & M32)
+        cpu.set_reg(11, b & M32)
+        cpu.set_reg(12, acc & M32)
+        cpu.run()
+        assert cpu.reg_s(12) == _s32(_s32(acc) + _s32(a) * _s32(b))
+
+    @given(int32s)
+    def test_abs(self, a):
+        cpu = Cpu(assemble("p.abs a2, a0\nebreak\n"))
+        cpu.set_reg(10, a & M32)
+        cpu.run()
+        assert cpu.reg_s(12) == _s32(abs(_s32(a)))
+
+    @given(int32s, st.integers(min_value=1, max_value=31))
+    def test_clip(self, a, bits):
+        out = run_ri("p.clip", a, bits)
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        assert out == max(lo, min(hi, _s32(a)))
+
+    @given(int32s)
+    def test_exths(self, a):
+        cpu = Cpu(assemble("p.exths a2, a0\nebreak\n"))
+        cpu.set_reg(10, a & M32)
+        cpu.run()
+        half = a & 0xFFFF
+        assert cpu.reg_s(12) == half - ((half & 0x8000) << 1)
+
+    @given(int32s, int32s)
+    def test_min_max_signed(self, a, b):
+        assert run_rr("p.min", a, b) == min(_s32(a), _s32(b))
+        assert run_rr("p.max", a, b) == max(_s32(a), _s32(b))
+
+    @given(int32s, int32s)
+    def test_min_max_unsigned(self, a, b):
+        assert run_rr("p.minu", a, b) == _s32(min(a & M32, b & M32))
+        assert run_rr("p.maxu", a, b) == _s32(max(a & M32, b & M32))
+
+    def test_relu_idiom(self):
+        # p.max rd, rs, x0 is the single-instruction ReLU
+        assert run_rr("p.max", -5, 0) == 0
+        assert run_rr("p.max", 5, 0) == 5

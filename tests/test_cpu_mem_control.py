@@ -1,0 +1,299 @@
+"""Memory access, control flow, hardware loops and execution limits."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BASELINE_EXTENSIONS, Cpu, ExecutionLimitExceeded,
+                        Memory, SimError)
+from repro.core.memory import Memory as Mem
+from repro.isa import assemble
+
+
+def make_cpu(src, mem=None, **kw):
+    return Cpu(assemble(src), mem if mem is not None else Memory(1 << 16),
+               **kw)
+
+
+class TestLoadsStores:
+    def test_word_roundtrip(self):
+        cpu = make_cpu("""
+            li a0, 0x100
+            li a1, -123456
+            sw a1, 0(a0)
+            lw a2, 0(a0)
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg_s(12) == -123456
+
+    def test_half_sign_extension(self):
+        cpu = make_cpu("""
+            li a0, 0x100
+            li a1, 0x8001
+            sh a1, 2(a0)
+            lh a2, 2(a0)
+            lhu a3, 2(a0)
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg_s(12) == -32767
+        assert cpu.reg(13) == 0x8001
+
+    def test_byte_access(self):
+        cpu = make_cpu("""
+            li a0, 0x104
+            li a1, 0xFF
+            sb a1, 1(a0)
+            lb a2, 1(a0)
+            lbu a3, 1(a0)
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg_s(12) == -1
+        assert cpu.reg(13) == 0xFF
+
+    def test_halfword_store_preserves_neighbor(self):
+        cpu = make_cpu("""
+            li a0, 0x100
+            li a1, 0x1234
+            li a2, 0x5678
+            sh a1, 0(a0)
+            sh a2, 2(a0)
+            lw a3, 0(a0)
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(13) == 0x56781234
+
+    def test_postincrement_load_and_store(self):
+        cpu = make_cpu("""
+            li a0, 0x100
+            li a1, 7
+            p.sw a1, 4(a0!)
+            p.sw a1, 4(a0!)
+            li a0, 0x100
+            p.lw a2, 4(a0!)
+            p.lw a3, 4(a0!)
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(12) == 7
+        assert cpu.reg(13) == 7
+        assert cpu.reg(10) == 0x108
+
+    def test_negative_postincrement(self):
+        cpu = make_cpu("""
+            li a0, 0x108
+            p.lw a1, -4(a0!)
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(10) == 0x104
+
+
+class TestBranchesJumps:
+    def test_all_branch_conditions(self):
+        src = """
+            li a0, -1
+            li a1, 1
+            li a7, 0
+            blt a0, a1, l1
+            j fail
+        l1: bltu a1, a0, l2     # unsigned: 1 < 0xFFFFFFFF
+            j fail
+        l2: bge a1, a0, l3
+            j fail
+        l3: bgeu a0, a1, l4
+            j fail
+        l4: beq a0, a0, l5
+            j fail
+        l5: bne a0, a1, ok
+        fail:
+            li a7, 1
+        ok: ebreak
+        """
+        cpu = make_cpu(src)
+        cpu.run()
+        assert cpu.reg(17) == 0
+
+    def test_jal_links(self):
+        cpu = make_cpu("""
+            jal ra, fn
+            ebreak
+        fn:
+            li a0, 42
+            ret
+        """)
+        cpu.run()
+        assert cpu.reg(10) == 42
+        assert cpu.halted
+
+    def test_jalr_computed_target(self):
+        cpu = make_cpu("""
+            li t0, 12
+            jalr ra, t0, 0
+            li a0, 1
+        target:
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(10) == 0  # skipped the li
+        assert cpu.reg(1) == 8
+
+
+class TestHardwareLoops:
+    def test_setupi_iterates(self):
+        cpu = make_cpu("""
+            li a0, 0
+            lp.setupi 0, 10, end
+            addi a0, a0, 1
+            addi a0, a0, 1
+        end:
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(10) == 20
+
+    def test_setup_register_count(self):
+        cpu = make_cpu("""
+            li a0, 0
+            li t0, 7
+            lp.setup 1, t0, end
+            addi a0, a0, 3
+        end:
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(10) == 21
+
+    def test_setup_zero_count_skips_body(self):
+        cpu = make_cpu("""
+            li a0, 0
+            li t0, 0
+            lp.setup 0, t0, end
+            addi a0, a0, 1
+        end:
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(10) == 0
+
+    def test_nested_loops(self):
+        cpu = make_cpu("""
+            li a0, 0
+            li t0, 4
+            lp.setup 1, t0, outer_end
+            lp.setupi 0, 3, inner_end
+            addi a0, a0, 1
+        inner_end:
+            addi a0, a0, 10
+        outer_end:
+            ebreak
+        """)
+        cpu.run()
+        assert cpu.reg(10) == 4 * (3 + 10)
+
+    def test_plain_load_at_loop_end_rejected(self):
+        with pytest.raises(SimError):
+            make_cpu("""
+                li a0, 0x100
+                lp.setupi 0, 4, end
+                lw a1, 0(a0)
+            end:
+                ebreak
+            """)
+
+    def test_back_edge_is_free(self):
+        cpu = make_cpu("""
+            lp.setupi 0, 100, end
+            addi a0, a0, 1
+        end:
+            ebreak
+        """)
+        trace = cpu.run()
+        assert trace.cycles["addi"] == 100
+        assert trace.cycles["lp.setupi"] == 1
+
+
+class TestExecutionControl:
+    def test_instruction_budget(self):
+        cpu = make_cpu("""
+        loop:
+            j loop
+        """, max_instrs=100)
+        with pytest.raises(ExecutionLimitExceeded):
+            cpu.run()
+
+    def test_extension_gating(self):
+        with pytest.raises(SimError):
+            Cpu(assemble("pv.sdotsp.h a0, a1, a2\nebreak\n"),
+                extensions=BASELINE_EXTENSIONS)
+        with pytest.raises(SimError):
+            Cpu(assemble("pl.tanh a0, a1\nebreak\n"),
+                extensions=BASELINE_EXTENSIONS)
+        # mac is available on the paper's baseline (Table Ia)
+        Cpu(assemble("p.mac a0, a1, a2\nebreak\n"),
+            extensions=BASELINE_EXTENSIONS)
+
+    def test_fall_through_terminates(self):
+        cpu = make_cpu("addi a0, x0, 3\n")
+        cpu.run()
+        assert cpu.reg(10) == 3
+
+    def test_reset_clears_state(self):
+        cpu = make_cpu("addi a0, a0, 5\nebreak\n")
+        cpu.run()
+        assert cpu.reg(10) == 5
+        cpu.reset()
+        assert cpu.reg(10) == 0
+        assert cpu.cycles == 0
+        cpu.run()
+        assert cpu.reg(10) == 5
+
+    def test_instret_accumulates(self):
+        cpu = make_cpu("addi a0, a0, 1\nebreak\n")
+        cpu.run()
+        cpu.run()
+        assert cpu.instret == 4
+
+
+class TestMemoryClass:
+    def test_alignment_errors(self):
+        mem = Mem(1 << 12)
+        with pytest.raises(Exception):
+            mem.load_word(2)
+        with pytest.raises(Exception):
+            mem.load_half(1)
+        with pytest.raises(Exception):
+            mem.store_word(4097 * 4, 0)
+
+    def test_bulk_halfwords_roundtrip(self):
+        mem = Mem(1 << 12)
+        data = np.arange(-50, 51, dtype=np.int64)
+        mem.store_halfwords(0x100, data)
+        out = mem.load_halfwords(0x100, data.size)
+        assert np.array_equal(out, data)
+
+    def test_bulk_halfwords_odd_alignment(self):
+        mem = Mem(1 << 12)
+        data = np.array([1, -2, 3, -4, 5], dtype=np.int64)
+        mem.store_halfwords(0x102, data)  # half-aligned start
+        out = mem.load_halfwords(0x102, 5)
+        assert np.array_equal(out, data)
+
+    def test_bulk_unsigned(self):
+        mem = Mem(1 << 12)
+        mem.store_halfwords(0, [-1])
+        assert mem.load_halfwords(0, 1, signed=False)[0] == 0xFFFF
+
+    def test_words_array(self):
+        mem = Mem(1 << 12)
+        mem.store_words_array(0x40, [1, 2 ** 31, 3])
+        out = mem.load_words_array(0x40, 3, signed=False)
+        assert out.tolist() == [1, 2 ** 31, 3]
+
+    def test_bad_constructor(self):
+        with pytest.raises(ValueError):
+            Mem(10)
+        with pytest.raises(ValueError):
+            Mem(wait_states=-1)

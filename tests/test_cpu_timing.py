@@ -1,0 +1,201 @@
+"""Cycle-model rules: the timing behaviour Table I's columns encode."""
+
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+
+
+def trace_of(src, mem=None, **kw):
+    cpu = Cpu(assemble(src), mem if mem is not None else Memory(1 << 16),
+              **kw)
+    return cpu.run()
+
+
+class TestBaseCosts:
+    def test_alu_single_cycle(self):
+        t = trace_of("addi a0, a0, 1\nadd a1, a0, a0\nebreak\n")
+        assert t.cycles["addi"] == 1
+        assert t.cycles["add"] == 1
+
+    def test_mul_and_mac_single_cycle(self):
+        t = trace_of("mul a0, a1, a2\np.mac a3, a1, a2\nebreak\n")
+        assert t.cycles["mul"] == 1
+        assert t.cycles["mac"] == 1
+
+    def test_store_single_cycle(self):
+        t = trace_of("li a0, 0x100\nsw a1, 0(a0)\nebreak\n")
+        assert t.cycles["sw"] == 1
+
+
+class TestBranchCosts:
+    def test_taken_branch_two_cycles(self):
+        t = trace_of("""
+            beq x0, x0, skip
+            addi a0, a0, 1
+        skip:
+            ebreak
+        """)
+        assert t.cycles["beq"] == 2
+        assert t.instrs.get("addi", 0) == 0
+
+    def test_not_taken_branch_one_cycle(self):
+        t = trace_of("bne x0, x0, skip\nskip:\nebreak\n")
+        assert t.cycles["bne"] == 1
+
+    def test_jumps_two_cycles(self):
+        t = trace_of("""
+            jal ra, fn
+            ebreak
+        fn:
+            ret
+        """)
+        assert t.cycles["jal"] == 2
+        assert t.cycles["jalr"] == 2
+
+
+class TestLoadUseStall:
+    def test_dependent_next_instruction_stalls(self):
+        t = trace_of("""
+            li a0, 0x100
+            lw a1, 0(a0)
+            addi a2, a1, 1
+            ebreak
+        """)
+        assert t.cycles["lw"] == 2  # stall charged to the load
+
+    def test_independent_next_instruction_no_stall(self):
+        t = trace_of("""
+            li a0, 0x100
+            lw a1, 0(a0)
+            addi a2, a0, 1
+            ebreak
+        """)
+        assert t.cycles["lw"] == 1
+
+    def test_store_consuming_load_stalls(self):
+        t = trace_of("""
+            li a0, 0x100
+            lw a1, 0(a0)
+            sw a1, 4(a0)
+            ebreak
+        """)
+        assert t.cycles["lw"] == 2
+
+    def test_accumulator_consumers_stall(self):
+        # pv.sdotsp.h reads rd: loading the accumulator right before stalls
+        t = trace_of("""
+            li a0, 0x100
+            lw a2, 0(a0)
+            pv.sdotsp.h a2, a0, a1
+            ebreak
+        """)
+        assert t.cycles["lw"] == 2
+
+    def test_x0_load_never_stalls(self):
+        t = trace_of("""
+            li a0, 0x100
+            lw x0, 0(a0)
+            addi a1, x0, 1
+            ebreak
+        """)
+        assert t.cycles["lw"] == 1
+
+    def test_postinc_load_stall(self):
+        t = trace_of("""
+            li a0, 0x100
+            p.lw a1, 4(a0!)
+            addi a2, a1, 1
+            ebreak
+        """)
+        assert t.cycles["lw!"] == 2
+
+    def test_level_b_inner_loop_shape(self):
+        """The Table Ib signature: lw!/pv.sdot at 1.5 cycles per load."""
+        t = trace_of("""
+            li a0, 0x100
+            li a1, 0x200
+            lp.setupi 0, 10, end
+            p.lw t0, 4(a0!)
+            p.lw t1, 4(a1!)
+            pv.sdotsp.h a2, t0, t1
+        end:
+            ebreak
+        """)
+        assert t.instrs["lw!"] == 20
+        assert t.cycles["lw!"] == 30   # second load of each pair stalls
+        assert t.cycles["pv.sdot"] == 10
+
+
+class TestWaitStates:
+    def test_wait_states_inflate_memory_ops(self):
+        mem = Memory(1 << 16, wait_states=2)
+        t = trace_of("""
+            li a0, 0x100
+            lw a1, 4(a0)
+            sw a1, 8(a0)
+            ebreak
+        """, mem)
+        assert t.cycles["lw"] == 4  # 1 + stall(1) + 2 waits
+        assert t.cycles["sw"] == 3
+
+
+class TestTraceAggregation:
+    def test_display_name_merging(self):
+        t = trace_of("""
+            li a0, 0x1000
+            pl.sdotsp.h.0 x0, a0, x0
+            pl.sdotsp.h.1 x0, a0, x0
+            ebreak
+        """)
+        assert t.instrs["pl.sdot"] == 2
+
+    def test_trace_totals(self):
+        t = trace_of("addi a0, a0, 1\nebreak\n")
+        assert t.total_instrs == 2
+        assert t.total_cycles == 2
+
+    def test_trace_top_and_table(self):
+        t = trace_of("addi a0,a0,1\naddi a0,a0,1\nebreak\n")
+        top = t.top(1)
+        assert top[0][0] == "addi"
+        text = t.table(top_n=1)
+        assert "addi" in text and "total" in text
+
+    def test_scaled(self):
+        t = trace_of("addi a0,a0,1\nebreak\n")
+        s = t.scaled(3)
+        assert s.instrs["addi"] == 3
+
+    def test_merge(self):
+        a = trace_of("addi a0,a0,1\nebreak\n")
+        b = trace_of("addi a0,a0,1\nebreak\n")
+        merged = a.merge(b)
+        assert merged.instrs["addi"] == 2
+        assert merged.instrs["ebreak"] == 2
+
+
+class TestDividerLatency:
+    def test_div_multi_cycle(self):
+        from repro.core.cpu import DIV_CYCLES
+        t = trace_of("""
+            li a0, 100
+            li a1, 7
+            div a2, a0, a1
+            rem a3, a0, a1
+            ebreak
+        """)
+        assert t.cycles["div"] == DIV_CYCLES
+        assert t.cycles["rem"] == DIV_CYCLES
+
+    def test_builder_agrees_on_div(self):
+        from repro.kernels import AsmBuilder
+        from repro.core import Cpu
+        from repro.isa import assemble
+        b = AsmBuilder()
+        b.li("a0", 100)
+        b.li("a1", 7)
+        b.emit("divu a2, a0, a1")
+        b.emit("ebreak")
+        cpu = Cpu(assemble(b.text()))
+        assert cpu.run() == b.trace

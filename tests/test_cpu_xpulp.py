@@ -1,0 +1,165 @@
+"""Xpulp SIMD and the paper's Xrnn instruction semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Cpu, Memory
+from repro.fixedpoint import SIG_TABLE, TANH_TABLE, pack2, pla_apply, unpack2
+from repro.isa import assemble
+
+M32 = 0xFFFFFFFF
+int16s = st.integers(min_value=-32768, max_value=32767)
+
+
+def run_rr(op, a, b, acc=0):
+    cpu = Cpu(assemble(f"{op} a2, a0, a1\nebreak\n"))
+    cpu.set_reg(10, a & M32)
+    cpu.set_reg(11, b & M32)
+    cpu.set_reg(12, acc & M32)
+    cpu.run()
+    return cpu.reg(12)
+
+
+class TestSimd:
+    @given(int16s, int16s, int16s, int16s)
+    def test_pv_add_sub(self, a0, a1, b0, b1):
+        a, b = pack2(a0, a1), pack2(b0, b1)
+        lo, hi = unpack2(run_rr("pv.add.h", a, b))
+        assert (lo - (a0 + b0)) % 65536 == 0
+        assert (hi - (a1 + b1)) % 65536 == 0
+        lo, hi = unpack2(run_rr("pv.sub.h", a, b))
+        assert (lo - (a0 - b0)) % 65536 == 0
+        assert (hi - (a1 - b1)) % 65536 == 0
+
+    @given(int16s, int16s, int16s, int16s, int16s)
+    def test_pv_sdotsp_accumulates(self, a0, a1, b0, b1, acc):
+        out = run_rr("pv.sdotsp.h", pack2(a0, a1), pack2(b0, b1), acc)
+        expected = (acc + a0 * b0 + a1 * b1) & M32
+        assert out == expected
+
+    @given(int16s, int16s, st.integers(0, 15))
+    def test_pv_sra(self, a0, a1, sh):
+        cpu = Cpu(assemble(f"pv.sra.h a2, a0, {sh}\nebreak\n"))
+        cpu.set_reg(10, pack2(a0, a1))
+        cpu.run()
+        lo, hi = unpack2(cpu.reg(12))
+        assert lo == a0 >> sh
+        assert hi == a1 >> sh
+
+    @given(int16s, int16s)
+    def test_pack_extract(self, lo, hi):
+        cpu = Cpu(assemble(
+            "pv.pack.h a2, a0, a1\n"
+            "pv.extract.h a3, a2, 0\n"
+            "pv.extract.h a4, a2, 1\n"
+            "ebreak\n"))
+        cpu.set_reg(10, lo & M32)
+        cpu.set_reg(11, hi & M32)
+        cpu.run()
+        assert cpu.reg(12) == pack2(lo, hi)
+        assert cpu.reg_s(13) == lo
+        assert cpu.reg_s(14) == hi
+
+
+class TestActivationInstructions:
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    @settings(max_examples=300)
+    def test_pl_tanh_matches_golden(self, x):
+        cpu = Cpu(assemble("pl.tanh a1, a0\nebreak\n"))
+        cpu.set_reg(10, x & M32)
+        cpu.run()
+        assert cpu.reg_s(11) == pla_apply(TANH_TABLE, x)
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    @settings(max_examples=300)
+    def test_pl_sig_matches_golden(self, x):
+        cpu = Cpu(assemble("pl.sig a1, a0\nebreak\n"))
+        cpu.set_reg(10, x & M32)
+        cpu.run()
+        assert cpu.reg_s(11) == pla_apply(SIG_TABLE, x)
+
+    def test_single_cycle(self):
+        cpu = Cpu(assemble("pl.tanh a1, a0\npl.sig a2, a0\nebreak\n"))
+        trace = cpu.run()
+        assert trace.cycles["tanh,sig"] == 2
+        assert trace.instrs["tanh,sig"] == 2
+
+
+class TestPlSdotsp:
+    def _weights_cpu(self, src, weights, xvals):
+        mem = Memory(1 << 16)
+        mem.store_halfwords(0x1000, weights)
+        mem.store_halfwords(0x2000, xvals)
+        return Cpu(assemble(src), mem)
+
+    def test_preload_then_compute(self):
+        # one row, 4 pairs: acc = dot(w, x)
+        rng = np.random.default_rng(3)
+        w = rng.integers(-1000, 1000, 8)
+        x = rng.integers(-1000, 1000, 8)
+        cpu = self._weights_cpu("""
+            li a0, 0x1000
+            li a1, 0x2000
+            li a2, 0
+            pl.sdotsp.h.0 x0, a0, x0
+            lp.setupi 0, 4, end
+            p.lw t0, 4(a1!)
+            pl.sdotsp.h.0 a2, a0, t0
+        end:
+            ebreak
+        """, w, x)
+        cpu.run()
+        assert cpu.reg_s(12) == int(np.dot(w, x))
+
+    def test_address_postincrement(self):
+        cpu = self._weights_cpu("""
+            li a0, 0x1000
+            pl.sdotsp.h.0 x0, a0, x0
+            pl.sdotsp.h.0 x0, a0, x0
+            ebreak
+        """, np.zeros(8, dtype=np.int64), np.zeros(4, dtype=np.int64))
+        cpu.run()
+        assert cpu.reg(10) == 0x1008
+
+    def test_spr_double_buffer_two_rows(self):
+        # two rows streamed through SPR0/SPR1 (the Table II pattern, N=2)
+        rng = np.random.default_rng(5)
+        w = rng.integers(-500, 500, (2, 6))
+        x = rng.integers(-500, 500, 6)
+        mem = Memory(1 << 16)
+        mem.store_halfwords(0x1000, w[0])
+        mem.store_halfwords(0x1100, w[1])
+        mem.store_halfwords(0x2000, x)
+        cpu = Cpu(assemble("""
+            li a0, 0x1000
+            li a1, 0x1100
+            li t1, 0x2000
+            li s0, 0
+            li s1, 0
+            pl.sdotsp.h.0 x0, a0, x0
+            pl.sdotsp.h.1 x0, a1, x0
+            lp.setupi 0, 3, end
+            p.lw t0, 4(t1!)
+            pl.sdotsp.h.0 s0, a0, t0
+            pl.sdotsp.h.1 s1, a1, t0
+        end:
+            ebreak
+        """), mem)
+        cpu.run()
+        assert cpu.reg_s(8) == int(np.dot(w[0], x))
+        assert cpu.reg_s(9) == int(np.dot(w[1], x))
+
+    def test_spr_reuse_too_soon_stalls(self):
+        # back-to-back .0 instructions read SPR0 one cycle after its load
+        cpu = self._weights_cpu("""
+            li a0, 0x1000
+            pl.sdotsp.h.0 x0, a0, x0
+            pl.sdotsp.h.0 x0, a0, x0
+            pl.sdotsp.h.0 x0, a0, x0
+            ebreak
+        """, np.zeros(8, dtype=np.int64), [])
+        trace = cpu.run()
+        # 3 instructions, but the 2nd and 3rd each stall one cycle
+        assert trace.instrs["pl.sdot"] == 3
+        assert trace.cycles["pl.sdot"] == 5

@@ -1,0 +1,120 @@
+"""Zicsr subset: the RI5CY performance counters and mscratch."""
+
+import pytest
+
+from repro.core import Cpu
+from repro.isa import assemble, decode, encode
+from repro.isa.csr import (CSR_BY_NAME, MCYCLE, MINSTRET, MSCRATCH,
+                           csr_name, csr_number)
+
+
+class TestCsrNames:
+    def test_lookup(self):
+        assert csr_number("mcycle") == 0xB00
+        assert csr_number("0xb02") == 0xB02
+        assert csr_number(0x340) == 0x340
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            csr_number("nope")
+        with pytest.raises(ValueError):
+            csr_number(0x1000)
+
+    def test_names(self):
+        assert csr_name(0xB00) == "mcycle"
+        assert csr_name(0x123) == "0x123"
+        assert set(CSR_BY_NAME) >= {"mcycle", "minstret", "mhartid"}
+
+
+class TestCsrEncoding:
+    def test_roundtrip(self):
+        prog = assemble("csrrs a0, mcycle, x0\ncsrrw a1, mscratch, a2\n")
+        for instr in prog:
+            twin = decode(encode(instr))
+            assert (twin.mnemonic, twin.rd, twin.rs1, twin.imm) == \
+                (instr.mnemonic, instr.rd, instr.rs1, instr.imm)
+
+    def test_disassembly(self):
+        prog = assemble("csrr a0, minstret\n")
+        assert str(prog[0]) == "csrrs a0, minstret, zero"
+
+
+class TestCsrSemantics:
+    def test_mcycle_counts_cycles(self):
+        cpu = Cpu(assemble("""
+            csrr a0, mcycle
+            addi t0, t0, 1
+            addi t0, t0, 1
+            beq x0, x0, skip     # taken: 2 cycles
+        skip:
+            csrr a1, mcycle
+            ebreak
+        """))
+        cpu.run()
+        # between the two reads: csrr(1) + addi(1) + addi(1) + beq(2) = 5
+        assert cpu.reg(11) - cpu.reg(10) == 5
+
+    def test_minstret_counts_instructions(self):
+        cpu = Cpu(assemble("""
+            csrr a0, minstret
+            lp.setupi 0, 10, end
+            addi t0, t0, 1
+        end:
+            csrr a1, minstret
+            ebreak
+        """))
+        cpu.run()
+        # between reads: csrr + lp.setupi + 10 x addi = 12
+        assert cpu.reg(11) - cpu.reg(10) == 12
+
+    def test_mhartid_zero(self):
+        cpu = Cpu(assemble("csrr a0, mhartid\nebreak\n"))
+        cpu.run()
+        assert cpu.reg(10) == 0
+
+    def test_mscratch_read_write(self):
+        cpu = Cpu(assemble("""
+            li t0, 0xABCD
+            csrrw a0, mscratch, t0
+            csrr a1, mscratch
+            li t1, 0xF
+            csrrc a2, mscratch, t1
+            csrr a3, mscratch
+            li t2, 0x30
+            csrrs a4, mscratch, t2
+            csrr a5, mscratch
+            ebreak
+        """))
+        cpu.run()
+        assert cpu.reg(10) == 0          # old mscratch
+        assert cpu.reg(11) == 0xABCD
+        assert cpu.reg(13) == 0xABC0     # cleared low nibble
+        assert cpu.reg(15) == 0xABF0     # set bits 4-5
+
+    def test_counter_writes_ignored(self):
+        cpu = Cpu(assemble("""
+            li t0, 999
+            csrrw a0, mcycle, t0
+            csrr a1, mcycle
+            ebreak
+        """))
+        cpu.run()
+        assert cpu.reg(11) < 100  # still the real cycle count
+
+    def test_self_measured_kernel(self):
+        """A program measuring its own hot loop via mcycle — the idiom a
+        deployed RRM firmware would use for per-slot budgeting."""
+        cpu = Cpu(assemble("""
+            li a2, 0x1000
+            csrr a0, mcycle
+            lp.setupi 0, 50, end
+            p.lw t0, 4(a2!)
+            pv.sdotsp.h a3, t0, t0
+        end:
+            csrr a1, mcycle
+            sub a0, a1, a0
+            ebreak
+        """))
+        cpu.run()
+        # csrr(1) + lp.setupi(1) + 50 x (lw(2: feeds sdot) + sdot(1))
+        assert cpu.reg(10) == 152

@@ -1,0 +1,68 @@
+"""Per-instruction execution logging (the debugging view)."""
+
+import pytest
+
+from repro.core import Cpu, ExecutionLimitExceeded, Memory
+from repro.isa import assemble
+
+
+class TestRunLogged:
+    def test_log_structure(self):
+        cpu = Cpu(assemble("""
+            li a0, 5
+            addi a0, a0, 1
+            ebreak
+        """))
+        log = cpu.run_logged()
+        assert [entry[1] for entry in log] == [0, 4, 8]
+        assert log[0][0] == 0            # starts at cycle 0
+        assert "addi" in log[0][2]
+        assert cpu.reg(10) == 6          # architectural effects applied
+
+    def test_log_shows_stall_cost(self):
+        cpu = Cpu(assemble("""
+            li a0, 0x100
+            lw a1, 0(a0)
+            addi a2, a1, 1
+            ebreak
+        """), Memory(1 << 12))
+        log = cpu.run_logged()
+        text = Cpu.format_log(log)
+        assert "(2 cyc)" in text         # the stalled load
+        lw_entry = next(e for e in log if e[2].startswith("lw"))
+        addi_entry = next(e for e in log if "a2" in e[2])
+        assert addi_entry[0] - lw_entry[0] == 2
+
+    def test_log_follows_hwloop(self):
+        cpu = Cpu(assemble("""
+            lp.setupi 0, 3, end
+            addi a0, a0, 1
+        end:
+            ebreak
+        """))
+        log = cpu.run_logged()
+        addi_count = sum(1 for e in log if e[2].startswith("addi"))
+        assert addi_count == 3
+
+    def test_log_limit(self):
+        cpu = Cpu(assemble("loop:\nj loop\n"))
+        with pytest.raises(ExecutionLimitExceeded):
+            cpu.run_logged(limit=50)
+
+    def test_matches_plain_run(self):
+        src = """
+            li a0, 0x100
+            li a1, 10
+        loop:
+            p.sw a1, 4(a0!)
+            addi a1, a1, -1
+            bne a1, x0, loop
+            ebreak
+        """
+        cpu_a = Cpu(assemble(src), Memory(1 << 12))
+        cpu_a.run()
+        cpu_b = Cpu(assemble(src), Memory(1 << 12))
+        cpu_b.run_logged()
+        assert cpu_a.cycles == cpu_b.cycles
+        assert [cpu_a.reg(i) for i in range(32)] == \
+            [cpu_b.reg(i) for i in range(32)]

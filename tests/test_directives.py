@@ -1,0 +1,131 @@
+"""Assembler data directives (.data/.half/.word/.byte/.space/.align, la)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.isa import AsmError, assemble
+
+
+def run(src, memory=None):
+    program = assemble(src)
+    mem = memory if memory is not None else Memory(1 << 17)
+    program.load_data(mem)
+    cpu = Cpu(program, mem)
+    cpu.run()
+    return cpu, mem, program
+
+
+class TestDataDirectives:
+    def test_halfwords_little_endian(self):
+        _, mem, prog = run("""
+        .data
+        vals: .half 1, -2, 0x30
+        .text
+            ebreak
+        """)
+        base = prog.data_labels["vals"]
+        assert mem.load_half(base) == 1
+        assert mem.load_half(base + 2) == -2
+        assert mem.load_half(base + 4) == 0x30
+
+    def test_words_and_bytes(self):
+        _, mem, prog = run("""
+        .data
+        w: .word 123456, -7
+        b: .byte 0xFF, 1
+        .text
+            ebreak
+        """)
+        assert mem.load_word(prog.data_labels["w"], signed=True) == 123456
+        assert mem.load_word(prog.data_labels["w"] + 4, signed=True) == -7
+        assert mem.load_byte(prog.data_labels["b"], signed=False) == 0xFF
+
+    def test_space_zeroed_and_align(self):
+        _, mem, prog = run("""
+        .data
+        a: .byte 7
+           .align 4
+        c: .word 5
+        buf: .space 8
+        .text
+            ebreak
+        """)
+        assert prog.data_labels["c"] % 4 == 0
+        assert mem.load_word(prog.data_labels["buf"]) == 0
+
+    def test_la_loads_data_address(self):
+        cpu, mem, prog = run("""
+        .data
+        coeffs: .half 111, 222
+        .text
+            la a0, coeffs
+            lh a1, 0(a0)
+            lh a2, 2(a0)
+            ebreak
+        """)
+        assert cpu.reg(10) == prog.data_labels["coeffs"]
+        assert cpu.reg_s(11) == 111
+        assert cpu.reg_s(12) == 222
+
+    def test_la_code_label(self):
+        cpu, _, _ = run("""
+            la a0, target
+            ebreak
+        target:
+            ebreak
+        """)
+        assert cpu.reg(10) == 12  # la expands to 2 instructions
+
+    def test_end_to_end_dot_product(self):
+        cpu, _, _ = run("""
+        .data
+        a: .half 1, 2, 3, 4
+        b: .half 5, 6, 7, 8
+        .text
+            la a0, a
+            la a1, b
+            li a2, 0
+            lp.setupi 0, 2, end
+            p.lw t0, 4(a0!)
+            p.lw t1, 4(a1!)
+            pv.sdotsp.h a2, t0, t1
+        end:
+            ebreak
+        """)
+        assert cpu.reg_s(12) == 1 * 5 + 2 * 6 + 3 * 7 + 4 * 8
+
+    def test_custom_data_base(self):
+        prog = assemble(".data\nx: .word 1\n.text\nebreak\n",
+                        data_base=0x4000)
+        assert prog.data_labels["x"] == 0x4000
+
+
+class TestDirectiveErrors:
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AsmError):
+            assemble(".data\naddi a0, a0, 1\n")
+
+    def test_directive_in_text_section(self):
+        with pytest.raises(AsmError):
+            assemble(".half 1\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError):
+            assemble(".data\n.float 1.5\n")
+
+    def test_negative_space(self):
+        with pytest.raises(AsmError):
+            assemble(".data\n.space -1\n")
+
+    def test_undefined_la_symbol(self):
+        with pytest.raises(AsmError):
+            assemble("la a0, nowhere\nebreak\n")
+
+    def test_duplicate_across_sections(self):
+        with pytest.raises(AsmError):
+            assemble("x:\nebreak\n.data\nx: .word 1\n")
+
+    def test_section_takes_no_operands(self):
+        with pytest.raises(AsmError):
+            assemble(".data now\n")

@@ -1,0 +1,84 @@
+"""DQN trainer for the spectrum-access environment."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import Q3_12
+from repro.kernels import NetworkProgram
+from repro.nn import quantize_params
+from repro.rrm import evaluate_policy, train_dsa_agent
+from repro.rrm.dqn import DqnAgent, DqnConfig, ReplayBuffer
+
+
+class TestReplayBuffer:
+    def test_push_and_wrap(self):
+        buf = ReplayBuffer(4, 2, seed=0)
+        for i in range(6):
+            buf.push([i, i], i % 2, float(i), [i + 1, i + 1])
+        assert buf.size == 4
+        # oldest entries overwritten
+        assert 4.0 in buf.rewards and 0.0 not in buf.rewards
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(8, 3, seed=1)
+        for i in range(8):
+            buf.push([i] * 3, 0, 1.0, [i] * 3)
+        obs, actions, rewards, next_obs = buf.sample(5)
+        assert obs.shape == (5, 3)
+        assert actions.shape == (5,)
+        assert rewards.shape == (5,)
+        assert next_obs.shape == (5, 3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0, 2)
+
+
+class TestAgent:
+    def test_epsilon_decays(self):
+        agent = DqnAgent(4, seed=0)
+        e0 = agent.epsilon()
+        agent.steps = agent.config.epsilon_decay_steps
+        assert agent.epsilon() < e0
+        assert agent.epsilon() == pytest.approx(agent.config.epsilon_end)
+
+    def test_q_values_shape(self):
+        agent = DqnAgent(5, seed=0)
+        q = agent.q_values(np.ones(5))
+        assert q.shape == (1, 5)
+
+    def test_greedy_when_epsilon_zero(self):
+        agent = DqnAgent(4, DqnConfig(epsilon_start=0.0, epsilon_end=0.0),
+                         seed=0)
+        obs = np.ones(4)
+        assert agent.act(obs) == int(np.argmax(agent.q_values(obs)[0]))
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def agent(self):
+        return train_dsa_agent(n_channels=6, episodes=6,
+                               steps_per_episode=200, seed=0)
+
+    def test_learns_better_than_random(self, agent):
+        rate_dqn = evaluate_policy(
+            lambda obs: np.argmax(agent.q_values(obs)[0]), 6)
+        rng = np.random.default_rng(0)
+        rate_rand = evaluate_policy(lambda obs: rng.integers(6), 6)
+        assert rate_dqn > rate_rand + 0.2
+
+    def test_quantized_agent_runs_on_core(self, agent):
+        """Quantize the trained Q-network to Q3.12 and drive the policy
+        from the simulated core: the success rate must survive."""
+        params = quantize_params(agent.trainer.params)
+        program = NetworkProgram(agent.network, params, "e")
+
+        def core_policy(obs):
+            q = program.step(Q3_12.from_float(obs))
+            return int(np.argmax(q))
+
+        rate_core = evaluate_policy(core_policy, 6, n_slots=200)
+        rate_float = evaluate_policy(
+            lambda obs: np.argmax(agent.q_values(obs)[0]), 6, n_slots=200)
+        assert abs(rate_core - rate_float) < 0.1
+        assert rate_core > 0.75

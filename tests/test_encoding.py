@@ -1,0 +1,124 @@
+"""Encode/decode round-trip tests for every instruction format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import EncodingError, Instr, SPECS, decode, encode
+from repro.isa.instructions import Fmt
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+shamt = st.integers(min_value=0, max_value=31)
+
+
+def _spec_names(fmt):
+    return sorted(s.mnemonic for s in SPECS.values() if s.fmt == fmt)
+
+
+class TestRoundTrips:
+    @given(st.sampled_from(_spec_names(Fmt.R)), regs, regs, regs)
+    def test_r_type(self, name, rd, rs1, rs2):
+        instr = Instr(name, rd=rd, rs1=rs1, rs2=rs2)
+        out = decode(encode(instr))
+        assert (out.mnemonic, out.rd, out.rs1, out.rs2) == \
+            (name, rd, rs1, rs2)
+
+    @given(st.sampled_from(_spec_names(Fmt.R2)), regs, regs)
+    def test_r2_type(self, name, rd, rs1):
+        out = decode(encode(Instr(name, rd=rd, rs1=rs1)))
+        assert (out.mnemonic, out.rd, out.rs1) == (name, rd, rs1)
+
+    @given(st.sampled_from(_spec_names(Fmt.I) + _spec_names(Fmt.JALR)
+                           + _spec_names(Fmt.LOAD)), regs, regs, imm12)
+    def test_i_type(self, name, rd, rs1, imm):
+        out = decode(encode(Instr(name, rd=rd, rs1=rs1, imm=imm)))
+        assert (out.mnemonic, out.rd, out.rs1, out.imm) == \
+            (name, rd, rs1, imm)
+
+    @given(st.sampled_from(_spec_names(Fmt.SHIFT)), regs, regs, shamt)
+    def test_shift_type(self, name, rd, rs1, imm):
+        out = decode(encode(Instr(name, rd=rd, rs1=rs1, imm=imm)))
+        assert (out.mnemonic, out.rd, out.rs1, out.imm) == \
+            (name, rd, rs1, imm)
+
+    @given(st.sampled_from(_spec_names(Fmt.STORE)), regs, regs, imm12)
+    def test_s_type(self, name, rs1, rs2, imm):
+        out = decode(encode(Instr(name, rs1=rs1, rs2=rs2, imm=imm)))
+        assert (out.mnemonic, out.rs1, out.rs2, out.imm) == \
+            (name, rs1, rs2, imm)
+
+    @given(st.sampled_from(_spec_names(Fmt.BRANCH)), regs, regs,
+           st.integers(min_value=-2048, max_value=2047))
+    def test_b_type(self, name, rs1, rs2, halfoff):
+        imm = halfoff * 2
+        out = decode(encode(Instr(name, rs1=rs1, rs2=rs2, imm=imm)))
+        assert (out.mnemonic, out.rs1, out.rs2, out.imm) == \
+            (name, rs1, rs2, imm)
+
+    @given(regs, st.integers(min_value=0, max_value=(1 << 20) - 1),
+           st.sampled_from(["lui", "auipc"]))
+    def test_u_type(self, rd, imm, name):
+        out = decode(encode(Instr(name, rd=rd, imm=imm)))
+        assert (out.mnemonic, out.rd, out.imm) == (name, rd, imm)
+
+    @given(regs, st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_jal(self, rd, halfoff):
+        imm = halfoff * 2
+        out = decode(encode(Instr("jal", rd=rd, imm=imm)))
+        assert (out.mnemonic, out.rd, out.imm) == ("jal", rd, imm)
+
+    @given(st.integers(0, 1), regs,
+           st.integers(min_value=0, max_value=4095))
+    def test_lp_setup(self, loop, rs1, off):
+        out = decode(encode(Instr("lp.setup", loop=loop, rs1=rs1,
+                                  imm2=off)))
+        assert (out.mnemonic, out.loop, out.rs1, out.imm2) == \
+            ("lp.setup", loop, rs1, off)
+
+    @given(st.integers(0, 1), st.integers(min_value=0, max_value=511),
+           st.integers(min_value=0, max_value=4095))
+    def test_lp_setupi(self, loop, count, off):
+        out = decode(encode(Instr("lp.setupi", loop=loop, imm=count,
+                                  imm2=off)))
+        assert (out.mnemonic, out.loop, out.imm, out.imm2) == \
+            ("lp.setupi", loop, count, off)
+
+    def test_none_formats(self):
+        for name in ("fence", "ecall", "ebreak"):
+            assert decode(encode(Instr(name))).mnemonic == name
+
+
+class TestErrors:
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("addi", rd=1, rs1=1, imm=5000))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("beq", rs1=0, rs2=0, imm=3))
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0x0000007F)
+
+    def test_word_out_of_range(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_loop_count_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("lp.setupi", loop=0, imm=512, imm2=8))
+
+
+class TestDistinctness:
+    def test_all_specs_encode_uniquely(self):
+        seen = {}
+        for name in SPECS:
+            fmt = SPECS[name].fmt
+            instr = Instr(name)
+            if fmt == Fmt.BRANCH or fmt == Fmt.JAL:
+                instr.imm = 0
+            word = encode(instr)
+            assert word not in seen, f"{name} collides with {seen.get(word)}"
+            seen[word] = name
+            assert decode(word).mnemonic == name

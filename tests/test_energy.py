@@ -1,0 +1,98 @@
+"""Energy/power/area model tests."""
+
+import pytest
+
+from repro.core.tracer import Trace
+from repro.energy import (AREA_BASE_KGE, AREA_EXT_KGE, AREA_OVERHEAD_KGE,
+                          EnergyModel, FREQ_HZ, VOLTAGE)
+
+
+def _trace(**cycles):
+    t = Trace()
+    for name, c in cycles.items():
+        t.add(name.replace("_", "."), c, c)
+    return t
+
+
+def _suite_like_traces():
+    baseline = Trace()
+    baseline.add("addi", 2500, 2500)
+    baseline.add("lh", 2400, 2400)
+    baseline.add("bltu", 1200, 2400)
+    baseline.add("lw", 1200, 1200)
+    baseline.add("sw", 1200, 1200)
+    baseline.add("mac", 1200, 1200)
+    extended = Trace()
+    extended.add("pl.sdot", 620, 620)
+    extended.add("lw!", 70, 70)
+    extended.add("sw!", 15, 15)
+    extended.add("tanh,sig", 1, 1)
+    extended.add("addi", 30, 30)
+    return baseline, extended
+
+
+class TestConstants:
+    def test_area_accounting(self):
+        assert AREA_OVERHEAD_KGE == pytest.approx(2.3)
+        assert AREA_EXT_KGE == AREA_BASE_KGE + AREA_OVERHEAD_KGE
+        assert AREA_OVERHEAD_KGE / AREA_BASE_KGE == pytest.approx(
+            0.034, abs=0.001)
+
+    def test_operating_point(self):
+        assert FREQ_HZ == 380e6
+        assert VOLTAGE == 0.65
+
+
+class TestCalibration:
+    def test_calibration_points_reproduced(self):
+        base, ext = _suite_like_traces()
+        model = EnergyModel(base, ext)
+        assert model.power_mw(base) == pytest.approx(1.73)
+        assert model.power_mw(ext) == pytest.approx(2.61)
+
+    def test_identical_profiles_rejected(self):
+        base, _ = _suite_like_traces()
+        with pytest.raises(ValueError):
+            EnergyModel(base, base)
+
+    def test_empty_trace_rejected(self):
+        base, ext = _suite_like_traces()
+        model = EnergyModel(base, ext)
+        with pytest.raises(ValueError):
+            model.power_mw(Trace())
+
+    def test_power_increases_with_compute_density(self):
+        base, ext = _suite_like_traces()
+        model = EnergyModel(base, ext)
+        low = _trace(addi=100)
+        high = _trace(mac=100)
+        assert model.power_mw(high) > model.power_mw(low)
+
+
+class TestReports:
+    def test_report_fields(self):
+        base, ext = _suite_like_traces()
+        model = EnergyModel(base, ext)
+        rep = model.report("e", ext, macs=1_240_000)
+        assert rep.cycles == ext.total_cycles
+        assert rep.mmacs == pytest.approx(
+            1_240_000 / ext.total_cycles * 380)
+        assert rep.gmacs_per_w == pytest.approx(rep.mmacs / rep.power_mw)
+        assert rep.macs_per_cycle > 1.5
+
+    def test_breakdown_sums_to_power(self):
+        base, ext = _suite_like_traces()
+        model = EnergyModel(base, ext)
+        breakdown = model.breakdown_mw(ext)
+        assert sum(breakdown.values()) == pytest.approx(
+            model.power_mw(ext))
+
+    def test_derived_gains_match_paper_band(self):
+        """On the real suite the derived numbers must land in the paper's
+        neighbourhood: ~15x speedup, ~10x efficiency, >500 MMAC/s."""
+        from repro.eval.section4 import compute_section4
+        result = compute_section4()
+        assert 12.0 <= result["speedup"] <= 16.5
+        assert 8.0 <= result["efficiency_gain"] <= 11.5
+        assert 500 <= result["ext"].mmacs <= 700
+        assert 180 <= result["ext"].gmacs_per_w <= 260

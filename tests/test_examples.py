@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The power-allocation example trains for ~1 minute and is exercised by the
+quantization benchmark instead; the remaining three run here.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name):
+    path = os.path.join(_EXAMPLES, name)
+    return runpy.run_path(path, run_name="not_main")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = _run_example("quickstart.py")
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "bit-identical outputs" in out
+        assert "15" in out or "13" in out  # final-stage speedup digits
+
+    def test_isa_tour(self, capsys):
+        module = _run_example("isa_tour.py")
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "pl.tanh" in out
+        assert "custom-opcode encodings" in out
+
+    def test_spectrum_access(self, capsys):
+        module = _run_example("spectrum_access.py")
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "success" in out
+        assert "cycles" in out
+
+    def test_power_allocation_importable(self):
+        module = _run_example("power_allocation.py")
+        assert callable(module["main"])

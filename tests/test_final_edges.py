@@ -1,0 +1,79 @@
+"""Last-mile edge cases across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+from repro.isa.binary import roundtrip_program
+
+
+class TestClipEdge:
+    def test_clip_zero_bits(self):
+        # p.clip rd, rs1, 0 clamps positives to 0, keeps negatives
+        cpu = Cpu(assemble("p.clip a1, a0, 0\nebreak\n"))
+        cpu.set_reg(10, 5)
+        cpu.run()
+        assert cpu.reg_s(11) == 0
+        cpu.reset()
+        cpu.set_reg(10, (-5) & 0xFFFFFFFF)
+        cpu.run()
+        assert cpu.reg_s(11) == -5
+
+
+class TestMemoryBytes:
+    def test_store_load_bytes_signed(self):
+        mem = Memory(1 << 12)
+        data = np.array([-128, -1, 0, 1, 127], dtype=np.int64)
+        mem.store_bytes(0x101, data)  # deliberately unaligned
+        out = mem.load_bytes(0x101, 5)
+        assert np.array_equal(out, data)
+        unsigned = mem.load_bytes(0x101, 5, signed=False)
+        assert unsigned.tolist() == [128, 255, 0, 1, 127]
+
+
+class TestBinaryRoundtripBreadth:
+    def test_csr_and_loop_program(self):
+        src = """
+            csrr a0, mcycle
+            li t0, 3
+            lp.setup 1, t0, end
+            addi a1, a1, 1
+        end:
+            csrrw a2, mscratch, a1
+            csrrc a3, mscratch, a0
+            ebreak
+        """
+        original = assemble(src)
+        twin = roundtrip_program(original)
+
+        def run(prog):
+            cpu = Cpu(prog, Memory(1 << 12))
+            cpu.run()
+            return [cpu.reg(i) for i in range(32)], cpu.cycles
+
+        assert run(original) == run(twin)
+
+
+class TestPlaBoundaryValues:
+    @pytest.mark.parametrize("raw", [
+        0, 1, -1, 511, 512, 513,        # first interval boundary (2^9)
+        16383, 16384, 16385,            # interpolation-range edge (4.0)
+        32767, -32768,                  # int16 rails
+        (1 << 31) - 1, -(1 << 31),      # int32 rails
+    ])
+    def test_instruction_equals_golden_at_boundaries(self, raw):
+        from repro.fixedpoint import SIG_TABLE, TANH_TABLE, pla_apply
+        for op, table in (("pl.tanh", TANH_TABLE), ("pl.sig", SIG_TABLE)):
+            cpu = Cpu(assemble(f"{op} a1, a0\nebreak\n"))
+            cpu.set_reg(10, raw & 0xFFFFFFFF)
+            cpu.run()
+            assert cpu.reg_s(11) == pla_apply(table, raw)
+
+
+class TestSuiteRunnerUnchecked:
+    def test_no_check_mode(self):
+        from repro.rrm import SuiteRunner
+        runner = SuiteRunner(scale=8, check=False)
+        trace = runner.run_network(runner.networks[3], "d")
+        assert trace.total_cycles > 0

@@ -1,0 +1,56 @@
+"""Architecture fuzz: random layer stacks through the full pipeline.
+
+Hypothesis draws arbitrary Dense/LSTM stacks (random widths, random
+activations, random timestep counts); every draw must plan, assemble,
+execute bit-exactly against the golden model, and match the static count
+analysis — at a random optimization level.  This stresses the planner's
+buffer chaining (dense->lstm handoff, lstm->lstm copies, padding) far
+beyond the hand-written cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import NetworkProgram
+from repro.nn import (DenseSpec, LstmSpec, Network, init_params,
+                      quantize_params)
+
+even = st.integers(1, 10).map(lambda k: 2 * k)
+activation = st.sampled_from([None, "relu", "sig", "tanh"])
+
+
+@st.composite
+def network_case(draw):
+    n_layers = draw(st.integers(1, 4))
+    layers = []
+    width = draw(even)
+    for _ in range(n_layers):
+        if draw(st.booleans()):
+            out = draw(even)
+            layers.append(DenseSpec(width, out, draw(activation)))
+        else:
+            out = draw(even)
+            layers.append(LstmSpec(width, out))
+        width = out
+    timesteps = draw(st.integers(1, 3)) if any(
+        isinstance(l, LstmSpec) for l in layers) else 1
+    level = draw(st.sampled_from("abcdef"))
+    seed = draw(st.integers(0, 10 ** 6))
+    return Network("fuzz", tuple(layers), timesteps=timesteps), level, seed
+
+
+class TestNetworkFuzz:
+    @given(case=network_case())
+    @settings(max_examples=25, deadline=None)
+    def test_random_architectures_end_to_end(self, case):
+        network, level, seed = case
+        rng = np.random.default_rng(seed)
+        params = quantize_params(init_params(network, rng))
+        program = NetworkProgram(network, params, level)
+        xs = [np.asarray(rng.uniform(-1, 1, network.input_size) * 4096,
+                         dtype=np.int64)
+              for _ in range(network.timesteps)]
+        program.run_and_check(xs)
+        assert program.trace == \
+            program.plan.trace.scaled(network.timesteps)

@@ -1,0 +1,109 @@
+"""Fuzzing the timing model: hypothesis-generated straight-line and looped
+programs must produce identical histograms from the AsmBuilder static
+analysis and the ISS, and identical architecture from the binary twin."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+from repro.isa.binary import roundtrip_program
+from repro.kernels import AsmBuilder
+
+# Register pool for generated code (avoid x0 semantics special cases in
+# generation; the dedicated unit tests cover x0).
+REGS = ["t0", "t1", "t2", "a0", "a1", "a2", "a3", "s0", "s1", "s2"]
+
+alu_ops = st.sampled_from(["add", "sub", "and", "or", "xor", "sll", "srl",
+                           "sra", "mul", "slt", "sltu", "p.mac",
+                           "pv.add.h", "pv.sub.h", "pv.sdotsp.h"])
+imm_ops = st.sampled_from(["addi", "andi", "ori", "xori", "slti"])
+shift_ops = st.sampled_from(["slli", "srli", "srai"])
+unary_ops = st.sampled_from(["p.abs", "p.exths", "pl.tanh", "pl.sig"])
+regs = st.sampled_from(REGS)
+
+
+@st.composite
+def instruction(draw):
+    kind = draw(st.integers(0, 5))
+    rd, rs1, rs2 = draw(regs), draw(regs), draw(regs)
+    if kind == 0:
+        return f"{draw(alu_ops)} {rd}, {rs1}, {rs2}"
+    if kind == 1:
+        return f"{draw(imm_ops)} {rd}, {rs1}, " \
+               f"{draw(st.integers(-2048, 2047))}"
+    if kind == 2:
+        return f"{draw(shift_ops)} {rd}, {rs1}, {draw(st.integers(0, 31))}"
+    if kind == 3:
+        return f"{draw(unary_ops)} {rd}, {rs1}"
+    if kind == 4:
+        # loads from a safe window; offset word-aligned
+        off = draw(st.integers(0, 63)) * 4
+        return f"lw {rd}, {off}(s10)"
+    off = draw(st.integers(0, 63)) * 4
+    return f"sw {rs2}, {off}(s10)"
+
+
+@st.composite
+def program_case(draw):
+    body = draw(st.lists(instruction(), min_size=1, max_size=25))
+    loop_count = draw(st.integers(1, 9))
+    looped = draw(st.booleans())
+    return body, loop_count, looped
+
+
+class TestFuzzModelVsIss:
+    @given(case=program_case())
+    @settings(max_examples=120, deadline=None)
+    def test_builder_equals_iss(self, case):
+        body, loop_count, looped = case
+        builder = AsmBuilder()
+        builder.li("s10", 0x8000)  # load/store window base
+        if looped:
+            # a load may not sit at the hardware-loop end
+            loop_body = body + ["addi s3, s3, 1"]
+            with builder.hwloop(0, loop_count):
+                for line in loop_body:
+                    builder.emit(line)
+        else:
+            for line in body:
+                builder.emit(line)
+        builder.emit("ebreak")
+
+        program = assemble(builder.text())
+        mem = Memory(1 << 17)
+        rng = np.random.default_rng(0)
+        mem.store_words_array(0x8000, rng.integers(0, 2 ** 32, 64,
+                                                   dtype=np.uint64))
+        cpu = Cpu(program, mem)
+        iss = cpu.run()
+        assert iss == builder.trace
+
+    @given(case=program_case())
+    @settings(max_examples=60, deadline=None)
+    def test_binary_twin_equivalent(self, case):
+        body, loop_count, looped = case
+        builder = AsmBuilder()
+        builder.li("s10", 0x8000)
+        if looped:
+            with builder.hwloop(1, loop_count):
+                for line in body:
+                    builder.emit(line)
+                builder.emit("addi s4, s4, 1")
+        else:
+            for line in body:
+                builder.emit(line)
+        builder.emit("ebreak")
+        program = assemble(builder.text())
+        twin = roundtrip_program(program)
+
+        def run(prog):
+            mem = Memory(1 << 17)
+            mem.store_words_array(
+                0x8000, np.arange(64, dtype=np.int64) * 77777)
+            cpu = Cpu(prog, mem)
+            cpu.run()
+            return [cpu.reg(i) for i in range(32)], cpu.cycles
+
+        assert run(program) == run(twin)

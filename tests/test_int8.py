@@ -1,0 +1,132 @@
+"""INT8 path: pv.sdotsp.b semantics, the pl.sdotsp.b kernel, the study."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Cpu, Memory
+from repro.fixedpoint import Q3_4
+from repro.isa import assemble
+from repro.kernels import AsmBuilder
+from repro.kernels.matvec8 import Int8MatvecJob, gen_matvec_int8, padded_row8
+from repro.nn.layers import dense_fixed8
+
+int8s = st.integers(-128, 127)
+
+
+def _pack4(b0, b1, b2, b3):
+    return ((b3 & 0xFF) << 24) | ((b2 & 0xFF) << 16) | ((b1 & 0xFF) << 8) \
+        | (b0 & 0xFF)
+
+
+class TestSdotspB:
+    @given(st.lists(int8s, min_size=8, max_size=8), st.integers(-10 ** 6,
+                                                                10 ** 6))
+    def test_pv_sdotsp_b(self, vals, acc):
+        a = _pack4(*vals[:4])
+        b = _pack4(*vals[4:])
+        cpu = Cpu(assemble("pv.sdotsp.b a2, a0, a1\nebreak\n"))
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        cpu.set_reg(12, acc & 0xFFFFFFFF)
+        cpu.run()
+        expected = acc + sum(x * y for x, y in zip(vals[:4], vals[4:]))
+        assert cpu.reg_s(12) == ((expected + 2 ** 31) % 2 ** 32) - 2 ** 31
+
+    def test_pl_sdotsp_b_stream(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-100, 100, 16)
+        x = rng.integers(-100, 100, 16)
+        mem = Memory(1 << 16)
+        mem.store_bytes(0x1000, w)
+        mem.store_bytes(0x2000, x)
+        cpu = Cpu(assemble("""
+            li a0, 0x1000
+            li t1, 0x2000
+            li a2, 0
+            pl.sdotsp.b.0 x0, a0, x0
+            lp.setupi 0, 4, end
+            p.lw t0, 4(t1!)
+            pl.sdotsp.b.0 a2, a0, t0
+        end:
+            ebreak
+        """), mem)
+        cpu.run()
+        assert cpu.reg_s(12) == int(np.dot(w, x))
+
+
+def run_matvec8(w, x, bias, max_tile=10):
+    n_out, n_in = w.shape
+    row_bytes = padded_row8(n_in)
+    builder = AsmBuilder()
+    gen_matvec_int8(builder, Int8MatvecJob(
+        n_in=n_in, n_out=n_out, w_addr=0x4000, x_addr=0x2000,
+        b_addr=0x3000, out_addr=0x3800, row_bytes=row_bytes,
+        max_tile=max_tile))
+    builder.emit("ebreak")
+    mem = Memory(1 << 17)
+    rows = np.zeros((n_out, row_bytes), dtype=np.int64)
+    rows[:, :n_in] = w
+    mem.store_bytes(0x4000, rows)
+    xp = np.zeros(row_bytes, dtype=np.int64)
+    xp[:n_in] = x
+    mem.store_bytes(0x2000, xp)
+    mem.store_bytes(0x3000, bias)
+    cpu = Cpu(assemble(builder.text()), mem)
+    iss = cpu.run()
+    return mem.load_bytes(0x3800, n_out), iss, builder.trace
+
+
+class TestInt8Matvec:
+    @given(shape=st.tuples(st.integers(1, 30), st.integers(1, 20)),
+           seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_golden(self, shape, seed):
+        n_in, n_out = shape
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-127, 128, (n_out, n_in))
+        x = rng.integers(-127, 128, n_in)
+        bias = rng.integers(-127, 128, n_out)
+        out, _, _ = run_matvec8(w, x, bias)
+        assert np.array_equal(out, dense_fixed8(w, x, bias))
+
+    def test_model_equals_iss(self):
+        rng = np.random.default_rng(1)
+        w = rng.integers(-100, 100, (13, 18))
+        x = rng.integers(-100, 100, 18)
+        bias = rng.integers(-100, 100, 13)
+        _, iss, model = run_matvec8(w, x, bias)
+        for trace in (iss, model):
+            trace.instrs.pop("ebreak", None)
+            trace.cycles.pop("ebreak", None)
+        assert iss == model
+
+    def test_validation(self):
+        builder = AsmBuilder()
+        with pytest.raises(ValueError):
+            gen_matvec_int8(builder, Int8MatvecJob(
+                n_in=4, n_out=2, w_addr=0x4002, x_addr=0x2000,
+                b_addr=0x3000, out_addr=0x3800, row_bytes=4))
+        with pytest.raises(ValueError):
+            gen_matvec_int8(builder, Int8MatvecJob(
+                n_in=5, n_out=2, w_addr=0x4000, x_addr=0x2000,
+                b_addr=0x3000, out_addr=0x3800, row_bytes=5))
+
+
+class TestStudy:
+    def test_throughput_near_2x(self):
+        from repro.eval.int8_study import matvec_cycles_16_vs_8
+        result = matvec_cycles_16_vs_8()
+        assert 1.6 <= result["speedup"] <= 2.1
+
+    def test_accuracy_ordering(self):
+        from repro.eval.int8_study import accuracy_study
+        result = accuracy_study(n_eval=15)
+        # Q3.12 transparent, Q3.4 visibly worse (no retraining)
+        assert abs(result["loss_q3_12_pct"]) < 0.5
+        assert result["loss_q3_4_pct"] > result["loss_q3_12_pct"]
+
+    def test_q3_4_format(self):
+        assert Q3_4.total_bits == 8
+        assert Q3_4.from_float(1.0) == 16
+        assert Q3_4.max_value < 8.0

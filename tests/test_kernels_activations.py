@@ -1,0 +1,170 @@
+"""Activation-pass and LSTM-pointwise kernels vs. the golden models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Cpu, Memory
+from repro.fixedpoint import SIG_TABLE, TANH_TABLE, pla_apply, sig_q, tanh_q
+from repro.isa import assemble
+from repro.kernels import (ActivationJob, AsmBuilder, LEVELS, PointwiseJob,
+                           gen_activation, gen_lstm_pointwise)
+
+LEVEL_KEYS = ("a", "b", "c", "d", "e")
+LUT_M_T, LUT_Q_T = 0x0800, 0x0900
+LUT_M_S, LUT_Q_S = 0x0A00, 0x0B00
+DATA = 0x2000
+
+
+def _memory():
+    mem = Memory(1 << 16)
+    mem.store_halfwords(LUT_M_T, TANH_TABLE.slopes)
+    mem.store_halfwords(LUT_Q_T, TANH_TABLE.offsets)
+    mem.store_halfwords(LUT_M_S, SIG_TABLE.slopes)
+    mem.store_halfwords(LUT_Q_S, SIG_TABLE.offsets)
+    return mem
+
+
+def run_activation(level_key, func, values):
+    level = LEVELS[level_key]
+    values = np.asarray(values, dtype=np.int64)
+    mem = _memory()
+    mem.store_halfwords(DATA, values)
+    builder = AsmBuilder()
+    lut_m = LUT_M_T if func == "tanh" else LUT_M_S
+    lut_q = LUT_Q_T if func == "tanh" else LUT_Q_S
+    gen_activation(builder, level, ActivationJob(
+        func=func, addr=DATA, count=values.size,
+        lut_m_addr=lut_m, lut_q_addr=lut_q))
+    builder.emit("ebreak")
+    cpu = Cpu(assemble(builder.text()), mem, extensions=level.extensions)
+    iss = cpu.run()
+    return mem.load_halfwords(DATA, values.size), iss, builder.trace
+
+
+class TestActivationPasses:
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @pytest.mark.parametrize("func", ("tanh", "sig"))
+    @given(values=st.lists(st.integers(-32768, 32767), min_size=1,
+                           max_size=40))
+    @settings(max_examples=6, deadline=None)
+    def test_matches_golden(self, level, func, values):
+        out, _, _ = run_activation(level, func, values)
+        golden = tanh_q(values) if func == "tanh" else sig_q(values)
+        assert np.array_equal(out, golden)
+
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @given(values=st.lists(st.integers(-32768, 32767), min_size=1,
+                           max_size=30))
+    @settings(max_examples=6, deadline=None)
+    def test_relu(self, level, values):
+        out, _, _ = run_activation(level, "relu", values)
+        assert np.array_equal(out, np.maximum(np.asarray(values), 0))
+
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @pytest.mark.parametrize("func", ("tanh", "sig", "relu"))
+    def test_model_equals_iss(self, level, func):
+        rng = np.random.default_rng(42)
+        values = rng.integers(-32768, 32768, 23)
+        _, iss, model = run_activation(level, func, values)
+        for trace in (iss, model):
+            trace.instrs.pop("ebreak", None)
+            trace.cycles.pop("ebreak", None)
+        assert iss == model
+
+    def test_hw_levels_use_single_cycle_instructions(self):
+        values = np.arange(-20, 20) * 500
+        _, iss, _ = run_activation("d", "tanh", values)
+        assert iss.instrs["tanh,sig"] == values.size
+        assert iss.cycles["tanh,sig"] == values.size
+
+    def test_sw_levels_cost_tens_of_cycles_per_value(self):
+        values = np.arange(-10, 10) * 800
+        _, iss_b, _ = run_activation("b", "sig", values)
+        per_value = iss_b.total_cycles / values.size
+        assert 25 <= per_value <= 45
+
+    def test_chunking_beyond_hwloop_limit(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(-32768, 32768, 1200)  # > 511
+        out, _, _ = run_activation("c", "tanh", values)
+        assert np.array_equal(out, tanh_q(values))
+
+    def test_empty_rejected(self):
+        builder = AsmBuilder()
+        with pytest.raises(ValueError):
+            gen_activation(builder, LEVELS["c"], ActivationJob(
+                func="tanh", addr=DATA, count=0))
+
+    def test_sw_needs_luts(self):
+        builder = AsmBuilder()
+        with pytest.raises(ValueError):
+            gen_activation(builder, LEVELS["a"], ActivationJob(
+                func="tanh", addr=DATA, count=4))
+
+
+def run_pointwise(level_key, i, f, o, g, c):
+    level = LEVELS[level_key]
+    n = len(c)
+    addrs = {k: DATA + 0x200 * idx
+             for idx, k in enumerate("ifogch")}
+    mem = _memory()
+    for key, vec in zip("ifogc", (i, f, o, g, c)):
+        mem.store_halfwords(addrs[key], np.asarray(vec, dtype=np.int64))
+    builder = AsmBuilder()
+    gen_lstm_pointwise(builder, level, PointwiseJob(
+        n=n, i_addr=addrs["i"], f_addr=addrs["f"], o_addr=addrs["o"],
+        g_addr=addrs["g"], c_addr=addrs["c"], h_addr=addrs["h"],
+        lut_m_addr=LUT_M_T, lut_q_addr=LUT_Q_T))
+    builder.emit("ebreak")
+    cpu = Cpu(assemble(builder.text()), mem, extensions=level.extensions)
+    iss = cpu.run()
+    return (mem.load_halfwords(addrs["c"], n),
+            mem.load_halfwords(addrs["h"], n), iss, builder.trace)
+
+
+def golden_pointwise(i, f, o, g, c):
+    i, f, o, g, c = (np.asarray(v, dtype=np.int64) for v in (i, f, o, g, c))
+    c_new = np.clip((i * g >> 12) + (f * c >> 12), -32768, 32767)
+    h_new = (o * tanh_q(c_new)) >> 12
+    return c_new, h_new
+
+
+gate = st.integers(0, 4096)       # sigmoid outputs live in [0, 1]
+signed_q = st.integers(-4096, 4096)
+
+
+class TestPointwise:
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @given(data=st.lists(st.tuples(gate, gate, gate, signed_q, signed_q),
+                         min_size=1, max_size=16))
+    @settings(max_examples=6, deadline=None)
+    def test_matches_golden(self, level, data):
+        i, f, o, g, c = (list(col) for col in zip(*data))
+        c_out, h_out, _, _ = run_pointwise(level, i, f, o, g, c)
+        c_ref, h_ref = golden_pointwise(i, f, o, g, c)
+        assert np.array_equal(c_out, c_ref)
+        assert np.array_equal(h_out, h_ref)
+
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    def test_model_equals_iss(self, level):
+        rng = np.random.default_rng(3)
+        i, f, o = (rng.integers(0, 4097, 12) for _ in range(3))
+        g, c = (rng.integers(-4096, 4097, 12) for _ in range(2))
+        _, _, iss, model = run_pointwise(level, i, f, o, g, c)
+        for trace in (iss, model):
+            trace.instrs.pop("ebreak", None)
+            trace.cycles.pop("ebreak", None)
+        assert iss == model
+
+    def test_cell_state_saturation(self):
+        # i*g + f*c can exceed int16: both paths must clamp identically
+        i = [4096]
+        g = [32767]
+        f = [4096]
+        c = [32767]
+        o = [4096]
+        c_out, h_out, _, _ = run_pointwise("d", i, f, o, g, c)
+        c_ref, h_ref = golden_pointwise(i, f, o, g, c)
+        assert c_out.tolist() == c_ref.tolist() == [32767]
+        assert h_out.tolist() == h_ref.tolist()

@@ -1,0 +1,190 @@
+"""LSTM-step, conv and copy kernels vs. golden models at every level."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Cpu, Memory
+from repro.fixedpoint import SIG_TABLE, TANH_TABLE
+from repro.isa import assemble
+from repro.kernels import (AsmBuilder, ConvJob, LEVELS, LstmJob, gen_conv,
+                           gen_copy, gen_lstm_step, padded_row)
+from repro.nn import conv2d_fixed, lstm_step_fixed
+
+LEVEL_KEYS = ("a", "b", "c", "d", "e")
+LUTS = {"tanh_m": 0x0800, "tanh_q": 0x0900, "sig_m": 0x0A00, "sig_q": 0x0B00}
+
+
+def _memory(size=1 << 18):
+    mem = Memory(size)
+    mem.store_halfwords(LUTS["tanh_m"], TANH_TABLE.slopes)
+    mem.store_halfwords(LUTS["tanh_q"], TANH_TABLE.offsets)
+    mem.store_halfwords(LUTS["sig_m"], SIG_TABLE.slopes)
+    mem.store_halfwords(LUTS["sig_q"], SIG_TABLE.offsets)
+    return mem
+
+
+def run_lstm(level_key, w_cat, bias, x, h, c):
+    level = LEVELS[level_key]
+    n = w_cat.shape[0] // 4
+    m = w_cat.shape[1] - n
+    row_hw = padded_row(m + n, level_key)
+    xh, z, c_addr, w_addr, b_addr = 0x2000, 0x3000, 0x3800, 0x8000, 0x4000
+    mem = _memory()
+    padded = np.zeros((4 * n, row_hw), dtype=np.int64)
+    padded[:, :m + n] = w_cat
+    mem.store_halfwords(w_addr, padded)
+    mem.store_halfwords(b_addr, bias)
+    mem.store_halfwords(xh, x)
+    mem.store_halfwords(xh + 2 * m, h)
+    mem.store_halfwords(c_addr, c)
+    builder = AsmBuilder()
+    gen_lstm_step(builder, level, LstmJob(
+        m=m, n=n, w_addr=w_addr, b_addr=b_addr, xh_addr=xh, z_addr=z,
+        c_addr=c_addr, row_halfwords=row_hw, acc_addr=0x0FF0,
+        lut_tanh_m=LUTS["tanh_m"], lut_tanh_q=LUTS["tanh_q"],
+        lut_sig_m=LUTS["sig_m"], lut_sig_q=LUTS["sig_q"]))
+    builder.emit("ebreak")
+    cpu = Cpu(assemble(builder.text()), mem, extensions=level.extensions)
+    iss = cpu.run()
+    return (mem.load_halfwords(xh + 2 * m, n),
+            mem.load_halfwords(c_addr, n), iss, builder.trace)
+
+
+class TestLstmStep:
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @given(dims=st.tuples(st.sampled_from([2, 4, 6, 8]),
+                          st.sampled_from([2, 4, 6, 10])),
+           seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=6, deadline=None)
+    def test_matches_golden(self, level, dims, seed):
+        m, n = dims
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-1500, 1500, (4 * n, m + n))
+        bias = rng.integers(-1000, 1000, 4 * n)
+        x = rng.integers(-3000, 3000, m)
+        h = rng.integers(-3000, 3000, n)
+        c = rng.integers(-3000, 3000, n)
+        h_out, c_out, _, _ = run_lstm(level, w, bias, x, h, c)
+        h_ref, c_ref = lstm_step_fixed(w, bias, x, h, c)
+        assert np.array_equal(c_out, c_ref)
+        assert np.array_equal(h_out, h_ref)
+
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    def test_model_equals_iss(self, level):
+        rng = np.random.default_rng(11)
+        m, n = 6, 8
+        w = rng.integers(-1500, 1500, (4 * n, m + n))
+        bias = rng.integers(-1000, 1000, 4 * n)
+        x = rng.integers(-3000, 3000, m)
+        h = rng.integers(-3000, 3000, n)
+        c = rng.integers(-3000, 3000, n)
+        _, _, iss, model = run_lstm(level, w, bias, x, h, c)
+        for trace in (iss, model):
+            trace.instrs.pop("ebreak", None)
+            trace.cycles.pop("ebreak", None)
+        assert iss == model
+
+    def test_multi_step_recurrence(self):
+        rng = np.random.default_rng(5)
+        m, n = 4, 6
+        w = rng.integers(-1200, 1200, (4 * n, m + n))
+        bias = rng.integers(-800, 800, 4 * n)
+        h = np.zeros(n, dtype=np.int64)
+        c = np.zeros(n, dtype=np.int64)
+        h_ref = h.copy()
+        c_ref = c.copy()
+        for step in range(4):
+            x = rng.integers(-3000, 3000, m)
+            h, c, _, _ = run_lstm("d", w, bias, x, h, c)
+            h_ref, c_ref = lstm_step_fixed(w, bias, x, h_ref, c_ref)
+            assert np.array_equal(h, h_ref), f"diverged at step {step}"
+
+
+def run_conv(level_key, w, x, bias):
+    level = LEVELS[level_key]
+    cout, cin, k, _ = w.shape
+    _, h, wid = x.shape
+    patch_hw = padded_row(cin * k * k, level_key)
+    x_addr, w_addr, b_addr, out_addr, patch = (0x2000, 0x8000, 0x4000,
+                                               0x5000, 0x1800)
+    mem = _memory()
+    mem.store_halfwords(x_addr, x)
+    if level_key == "a":
+        mem.store_halfwords(w_addr, w)
+    else:
+        rows = np.zeros((cout, patch_hw), dtype=np.int64)
+        rows[:, :cin * k * k] = w.reshape(cout, -1)
+        mem.store_halfwords(w_addr, rows)
+    mem.store_halfwords(b_addr, bias)
+    builder = AsmBuilder()
+    gen_conv(builder, level, ConvJob(
+        cin=cin, cout=cout, h=h, w=wid, k=k, w_addr=w_addr, x_addr=x_addr,
+        b_addr=b_addr, out_addr=out_addr, patch_addr=patch,
+        patch_row_halfwords=patch_hw, acc_addr=0x0FF0))
+    builder.emit("ebreak")
+    cpu = Cpu(assemble(builder.text()), mem, extensions=level.extensions)
+    iss = cpu.run()
+    h_out, w_out = h - k + 1, wid - k + 1
+    out = mem.load_halfwords(out_addr, cout * h_out * w_out)
+    return out.reshape(cout, h_out, w_out), iss, builder.trace
+
+
+class TestConv:
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @given(seed=st.integers(0, 10 ** 6),
+           geom=st.tuples(st.sampled_from([1, 2, 3]),
+                          st.sampled_from([1, 2, 4, 5]),
+                          st.sampled_from([(5, 5, 3), (6, 4, 3),
+                                           (4, 4, 2)])))
+    @settings(max_examples=5, deadline=None)
+    def test_matches_golden(self, level, seed, geom):
+        cin, cout, (h, wid, k) = geom
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-1500, 1500, (cout, cin, k, k))
+        x = rng.integers(-2500, 2500, (cin, h, wid))
+        bias = rng.integers(-1000, 1000, cout)
+        out, _, _ = run_conv(level, w, x, bias)
+        assert np.array_equal(out, conv2d_fixed(w, x, bias))
+
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    def test_model_equals_iss(self, level):
+        rng = np.random.default_rng(9)
+        w = rng.integers(-1200, 1200, (4, 2, 3, 3))
+        x = rng.integers(-2000, 2000, (2, 6, 6))
+        bias = rng.integers(-500, 500, 4)
+        _, iss, model = run_conv(level, w, x, bias)
+        for trace in (iss, model):
+            trace.instrs.pop("ebreak", None)
+            trace.cycles.pop("ebreak", None)
+        assert iss == model
+
+    def test_1x1_kernel(self):
+        rng = np.random.default_rng(2)
+        w = rng.integers(-1000, 1000, (3, 2, 1, 1))
+        x = rng.integers(-2000, 2000, (2, 4, 4))
+        bias = rng.integers(-500, 500, 3)
+        out, _, _ = run_conv("d", w, x, bias)
+        assert np.array_equal(out, conv2d_fixed(w, x, bias))
+
+
+class TestCopy:
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    def test_copies_exactly(self, level):
+        mem = _memory()
+        data = np.arange(-8, 8, dtype=np.int64) * 1000
+        mem.store_halfwords(0x2000, data)
+        builder = AsmBuilder()
+        gen_copy(builder, LEVELS[level], 0x2000, 0x3000, data.size)
+        builder.emit("ebreak")
+        cpu = Cpu(assemble(builder.text()), mem,
+                  extensions=LEVELS[level].extensions)
+        cpu.run()
+        assert np.array_equal(mem.load_halfwords(0x3000, data.size), data)
+
+    def test_validation(self):
+        builder = AsmBuilder()
+        with pytest.raises(ValueError):
+            gen_copy(builder, LEVELS["d"], 0x2000, 0x3000, 3)
+        with pytest.raises(ValueError):
+            gen_copy(builder, LEVELS["d"], 0x2002, 0x3000, 4)

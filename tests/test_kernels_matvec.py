@@ -1,0 +1,167 @@
+"""Matvec kernels at all five levels: bit-exactness vs. the golden model
+and exact agreement between the builder's static counts and the ISS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+from repro.kernels import (AsmBuilder, LEVELS, MatvecJob, gen_matvec,
+                           padded_row, plan_tiles)
+from repro.nn import dense_fixed
+
+LEVEL_KEYS = ("a", "b", "c", "d", "e")
+
+
+def run_matvec(level_key, w, x, bias, max_tile=10):
+    """Generate, assemble and run one matvec; returns (out, iss, builder)."""
+    level = LEVELS[level_key]
+    n_out, n_in = w.shape
+    row_hw = padded_row(n_in, level_key)
+    w_addr, x_addr, b_addr, out_addr, acc = (0x1000, 0x4000, 0x5000,
+                                             0x5800, 0x0FF0)
+    builder = AsmBuilder()
+    job = MatvecJob(n_in=n_in, n_out=n_out, w_addr=w_addr, x_addr=x_addr,
+                    b_addr=b_addr, out_addr=out_addr, row_halfwords=row_hw,
+                    acc_addr=acc, max_tile=max_tile)
+    gen_matvec(builder, level, job)
+    builder.emit("ebreak")
+    mem = Memory(1 << 16)
+    padded = np.zeros((n_out, row_hw), dtype=np.int64)
+    padded[:, :n_in] = w
+    mem.store_halfwords(w_addr, padded)
+    xp = np.zeros(row_hw, dtype=np.int64)
+    xp[:n_in] = x
+    mem.store_halfwords(x_addr, xp)
+    mem.store_halfwords(b_addr, bias)
+    cpu = Cpu(assemble(builder.text()), mem, extensions=level.extensions)
+    iss = cpu.run()
+    out = mem.load_halfwords(out_addr, n_out)
+    return out, iss, builder.trace
+
+
+shapes = st.tuples(st.integers(1, 40), st.integers(1, 24))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @given(shape=shapes, seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_golden(self, level, shape, seed):
+        n_in, n_out = shape
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-2000, 2000, (n_out, n_in))
+        x = rng.integers(-2000, 2000, n_in)
+        bias = rng.integers(-2000, 2000, n_out)
+        out, _, _ = run_matvec(level, w, x, bias)
+        assert np.array_equal(out, dense_fixed(w, x, bias))
+
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    def test_extreme_values_saturate_consistently(self, level):
+        w = np.full((4, 8), 32767, dtype=np.int64)
+        x = np.full(8, 32767, dtype=np.int64)
+        bias = np.full(4, 32767, dtype=np.int64)
+        out, _, _ = run_matvec(level, w, x, bias)
+        assert np.array_equal(out, dense_fixed(w, x, bias))
+
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    def test_single_row_single_col(self, level):
+        out, _, _ = run_matvec(level, np.array([[4096]]),
+                               np.array([1234]), np.array([10]))
+        assert out[0] == 1234 + 10
+
+    @pytest.mark.parametrize("level", ("c", "d", "e"))
+    @pytest.mark.parametrize("max_tile", (2, 4, 6, 8, 10))
+    def test_every_tile_size(self, level, max_tile):
+        rng = np.random.default_rng(max_tile)
+        w = rng.integers(-1500, 1500, (13, 10))
+        x = rng.integers(-1500, 1500, 10)
+        bias = rng.integers(-1500, 1500, 13)
+        out, _, _ = run_matvec(level, w, x, bias, max_tile=max_tile)
+        assert np.array_equal(out, dense_fixed(w, x, bias))
+
+
+class TestModelEqualsIss:
+    @pytest.mark.parametrize("level", LEVEL_KEYS)
+    @given(shape=shapes, seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_trace_equality(self, level, shape, seed):
+        n_in, n_out = shape
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-2000, 2000, (n_out, n_in))
+        x = rng.integers(-2000, 2000, n_in)
+        bias = rng.integers(-2000, 2000, n_out)
+        _, iss, model = run_matvec(level, w, x, bias)
+        # drop the trailing ebreak from the ISS side for the comparison
+        iss.instrs.pop("ebreak", None)
+        iss.cycles.pop("ebreak", None)
+        model.instrs.pop("ebreak", None)
+        model.cycles.pop("ebreak", None)
+        assert iss == model
+
+
+class TestSpeedupOrdering:
+    def test_levels_monotonically_faster(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-2000, 2000, (30, 24))
+        x = rng.integers(-2000, 2000, 24)
+        bias = rng.integers(-2000, 2000, 30)
+        cycles = {}
+        for level in LEVEL_KEYS:
+            _, iss, _ = run_matvec(level, w, x, bias)
+            cycles[level] = iss.total_cycles
+        assert cycles["a"] > cycles["b"] > cycles["c"] > cycles["d"] \
+            >= cycles["e"]
+
+    def test_ofm_tiling_shares_input_loads(self):
+        rng = np.random.default_rng(1)
+        w = rng.integers(-100, 100, (20, 40))
+        x = rng.integers(-100, 100, 40)
+        bias = rng.integers(-100, 100, 20)
+        _, iss_b, _ = run_matvec("b", w, x, bias)
+        _, iss_c, _ = run_matvec("c", w, x, bias)
+        # level b: one x load per (pair, output); level c: one per
+        # (pair, tile) -> ~2x fewer loads with N=10
+        assert iss_c.instrs["lw!"] < 0.62 * iss_b.instrs["lw!"]
+
+    def test_vliw_eliminates_weight_loads(self):
+        rng = np.random.default_rng(2)
+        w = rng.integers(-100, 100, (20, 40))
+        x = rng.integers(-100, 100, 40)
+        bias = rng.integers(-100, 100, 20)
+        _, iss_c, _ = run_matvec("c", w, x, bias)
+        _, iss_d, _ = run_matvec("d", w, x, bias)
+        # weight loads fold into pl.sdotsp: remaining lw! is input-only
+        assert iss_d.instrs["lw!"] < 0.15 * iss_c.instrs["lw!"]
+
+
+class TestPlanTiles:
+    @given(st.integers(1, 400), st.integers(1, 10))
+    def test_tiles_cover_exactly(self, n_out, max_tile):
+        tiles = plan_tiles(n_out, max_tile)
+        assert sum(tiles) == n_out
+        assert all(t >= 1 for t in tiles)
+        assert all(t <= max_tile for t in tiles)
+        # with real tiling available, at most one odd tile, of size 1
+        # (max_tile == 1 degenerates to all-singleton tiles)
+        odd = [t for t in tiles if t % 2]
+        if max_tile >= 2:
+            assert len(odd) <= 1
+        assert all(t == 1 for t in odd)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            plan_tiles(0, 10)
+        with pytest.raises(ValueError):
+            plan_tiles(5, 0)
+
+
+class TestPaddedRow:
+    @given(st.integers(1, 1000))
+    def test_quanta(self, n):
+        assert padded_row(n, "a") == n
+        assert padded_row(n, "b") % 2 == 0
+        assert padded_row(n, "d") - n in (0, 1)
+        assert padded_row(n, "e") % 4 == 0
+        assert 0 <= padded_row(n, "e") - n < 4

@@ -1,0 +1,124 @@
+"""Tests for PLA table generation and evaluation (Alg. 2 / Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import (Q3_12, evaluate_error, make_table, pla_apply,
+                              pla_apply_float)
+from repro.fixedpoint.lut import FUNCTIONS
+
+
+@pytest.fixture(scope="module", params=["tanh", "sig"])
+def func(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=["endpoint", "lsq", "minimax"])
+def fit(request):
+    return request.param
+
+
+class TestTableConstruction:
+    def test_point_design_geometry(self):
+        table = make_table("tanh", 32, 9)
+        assert table.interval_width == pytest.approx(0.125)
+        assert table.range_limit == pytest.approx(4.0)
+        assert len(table.slopes) == 32
+        assert len(table.offsets) == 32
+        assert table.storage_bits == 32 * 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_table("cosh", 32, 9)
+        with pytest.raises(ValueError):
+            make_table("tanh", 0, 9)
+        with pytest.raises(ValueError):
+            make_table("tanh", 32, -1)
+        with pytest.raises(ValueError):
+            make_table("tanh", 32, 9, fit="spline")
+
+    def test_slopes_nonnegative_and_decreasing_tail(self, func, fit):
+        # both tanh and sig are increasing and concave for x > ~1
+        table = make_table(func, 32, 9, fit=fit)
+        assert np.all(table.slopes >= 0)
+        tail = table.slopes[8:]
+        assert np.all(np.diff(tail) <= 0)
+
+
+class TestPlaSemantics:
+    def test_zero_maps_near_function_value(self, func):
+        table = make_table(func, 32, 9)
+        out = Q3_12.to_float(pla_apply(table, 0))
+        assert out == pytest.approx(FUNCTIONS[func](0.0), abs=2e-3)
+
+    def test_convergence_region(self):
+        tanh = make_table("tanh", 32, 9)
+        sig = make_table("sig", 32, 9)
+        one = Q3_12.from_float(1.0)
+        big = Q3_12.from_float(6.0)
+        assert pla_apply(tanh, big) == one
+        assert pla_apply(tanh, -big) == -one
+        assert pla_apply(sig, big) == one
+        assert pla_apply(sig, -big) == 0
+
+    def test_tanh_odd_symmetry(self):
+        table = make_table("tanh", 32, 9)
+        xs = np.arange(-32768, 32768, 97)
+        assert np.array_equal(pla_apply(table, xs),
+                              -pla_apply(table, -xs))
+
+    def test_sig_complement_symmetry(self):
+        table = make_table("sig", 32, 9)
+        one = Q3_12.from_float(1.0)
+        xs = np.arange(-32000, 32000, 131)
+        lhs = pla_apply(table, xs)
+        rhs = one - pla_apply(table, -xs)
+        assert np.array_equal(lhs, rhs)
+
+    def test_monotone_within_one_lsb(self, func, fit):
+        # quantizing the (m, q) LUT entries can dip the piecewise-linear
+        # output by one LSB at interval boundaries; never more
+        table = make_table(func, 32, 9, fit=fit)
+        xs = np.arange(-40000, 40000, 13)
+        ys = pla_apply(table, xs)
+        assert np.all(np.diff(ys) >= -1)
+
+    def test_scalar_equals_vector(self, func):
+        table = make_table(func, 32, 9)
+        xs = np.arange(-33000, 33000, 517)
+        vec = pla_apply(table, xs)
+        for x, y in zip(xs, vec):
+            assert pla_apply(table, int(x)) == y
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    @settings(max_examples=200)
+    def test_any_int32_input_is_safe(self, raw):
+        table = make_table("tanh", 32, 9)
+        out = pla_apply(table, raw)
+        assert -32768 <= out <= 32767
+
+
+class TestErrorEvaluation:
+    def test_point_design_accuracy(self, fit):
+        table = make_table("tanh", 32, 9, fit=fit)
+        err = evaluate_error(table)
+        # every fit beats 2e-3 max error and 2e-7 MSE at the paper's point
+        assert err["max_err"] < 2e-3
+        assert err["mse"] < 2e-7
+        assert err["rmse"] == pytest.approx(np.sqrt(err["mse"]))
+
+    def test_mse_bounded_by_maxerr_squared(self, func, fit):
+        table = make_table(func, 16, 10, fit=fit)
+        err = evaluate_error(table)
+        assert err["mse"] <= err["max_err"] ** 2 + 1e-12
+
+    def test_more_intervals_reduce_error(self, func):
+        coarse = evaluate_error(make_table(func, 8, 11))
+        fine = evaluate_error(make_table(func, 64, 8))
+        assert fine["mse"] < coarse["mse"]
+
+    def test_float_wrapper(self):
+        table = make_table("tanh", 32, 9)
+        out = pla_apply_float(table, 0.5)
+        assert out == pytest.approx(np.tanh(0.5), abs=2e-3)

@@ -1,0 +1,172 @@
+"""Golden NN layer models and network executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import Q3_12
+from repro.nn import (ConvSpec, DenseSpec, FloatModel, LstmSpec, Network,
+                      QuantModel, conv2d_fixed, conv2d_float, dense_fixed,
+                      dense_float, init_params, lstm_step_fixed,
+                      lstm_step_float, quantize_params, wrap32)
+
+
+class TestWrap32:
+    @given(st.integers(min_value=-(2 ** 62), max_value=2 ** 62))
+    def test_congruence_and_range(self, value):
+        wrapped = int(wrap32(value))
+        assert -(1 << 31) <= wrapped < (1 << 31)
+        assert (wrapped - value) % (1 << 32) == 0
+
+
+class TestFixedVsFloat:
+    @given(seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_dense_tracks_float(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.uniform(-0.5, 0.5, (8, 12))
+        x = rng.uniform(-1, 1, 12)
+        b = rng.uniform(-0.2, 0.2, 8)
+        fixed = dense_fixed(Q3_12.from_float(w), Q3_12.from_float(x),
+                            Q3_12.from_float(b))
+        ref = dense_float(w, x, b)
+        assert np.max(np.abs(Q3_12.to_float(fixed) - ref)) < 0.01
+
+    @given(seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_lstm_tracks_float(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = 6, 8
+        w = rng.uniform(-0.4, 0.4, (4 * n, m + n))
+        b = rng.uniform(-0.1, 0.1, 4 * n)
+        x = rng.uniform(-1, 1, m)
+        h = np.zeros(n)
+        c = np.zeros(n)
+        hf, cf = lstm_step_float(w, b, x, h, c)
+        hq, cq = lstm_step_fixed(Q3_12.from_float(w), Q3_12.from_float(b),
+                                 Q3_12.from_float(x),
+                                 Q3_12.from_float(h), Q3_12.from_float(c))
+        assert np.max(np.abs(Q3_12.to_float(hq) - hf)) < 0.02
+        assert np.max(np.abs(Q3_12.to_float(cq) - cf)) < 0.02
+
+    def test_conv_tracks_float(self):
+        rng = np.random.default_rng(0)
+        w = rng.uniform(-0.3, 0.3, (3, 2, 3, 3))
+        x = rng.uniform(-1, 1, (2, 6, 6))
+        b = rng.uniform(-0.1, 0.1, 3)
+        fixed = conv2d_fixed(Q3_12.from_float(w), Q3_12.from_float(x),
+                             Q3_12.from_float(b))
+        ref = conv2d_float(w, x, b)
+        assert np.max(np.abs(Q3_12.to_float(fixed) - ref)) < 0.02
+
+
+class TestSpecs:
+    def test_out_sizes(self):
+        assert DenseSpec(4, 7).out_size == 7
+        assert LstmSpec(4, 6).out_size == 6
+        assert ConvSpec(2, 3, 6, 6, 3).out_size == 3 * 16
+        assert ConvSpec(2, 3, 6, 6, 3).h_out == 4
+
+    def test_macs(self):
+        assert DenseSpec(4, 7).macs == 28
+        assert LstmSpec(4, 6).macs == 4 * 6 * 10
+        assert ConvSpec(2, 3, 6, 6, 3).macs == 3 * 16 * 2 * 9
+
+    def test_layer_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Network("bad", (DenseSpec(4, 8), DenseSpec(9, 2)))
+
+    def test_network_properties(self):
+        net = Network("n", (LstmSpec(4, 6), DenseSpec(6, 2)), timesteps=3)
+        assert net.is_recurrent
+        assert net.input_size == 4
+        assert net.output_size == 2
+        assert net.macs_per_inference == 3 * net.macs_per_step
+
+    def test_network_hashable(self):
+        a = Network("n", (DenseSpec(2, 2),))
+        b = Network("n", (DenseSpec(2, 2),))
+        assert hash(a) == hash(b)
+        assert a == b
+
+
+class TestModels:
+    def _net(self):
+        return Network("m", (DenseSpec(6, 10, "relu"), LstmSpec(10, 8),
+                             DenseSpec(8, 4, "sig")))
+
+    def test_float_and_quant_agree_closely(self):
+        net = self._net()
+        rng = np.random.default_rng(1)
+        params = init_params(net, rng)
+        fm = FloatModel(net, params)
+        qm = QuantModel(net, quantize_params(params))
+        for _ in range(5):
+            x = rng.uniform(-1, 1, 6)
+            out_f = fm.step(x)
+            out_q = Q3_12.to_float(qm.step(Q3_12.from_float(x)))
+            assert np.max(np.abs(out_f - out_q)) < 0.03
+
+    def test_reset_restores_initial_state(self):
+        net = self._net()
+        rng = np.random.default_rng(2)
+        params = quantize_params(init_params(net, rng))
+        qm = QuantModel(net, params)
+        x = Q3_12.from_float(rng.uniform(-1, 1, 6))
+        first = qm.step(x)
+        qm.step(x)
+        qm.reset()
+        assert np.array_equal(qm.step(x), first)
+
+    def test_recurrence_changes_output(self):
+        net = self._net()
+        rng = np.random.default_rng(3)
+        qm = QuantModel(net, quantize_params(init_params(net, rng)))
+        x = Q3_12.from_float(rng.uniform(-1, 1, 6))
+        assert not np.array_equal(qm.step(x), qm.step(x))
+
+    def test_forward_returns_last(self):
+        net = self._net()
+        rng = np.random.default_rng(4)
+        qm = QuantModel(net, quantize_params(init_params(net, rng)))
+        xs = [Q3_12.from_float(rng.uniform(-1, 1, 6)) for _ in range(3)]
+        qm2 = QuantModel(net, qm.params)
+        expected = [qm2.step(x) for x in xs][-1]
+        qm.reset()
+        assert np.array_equal(qm.forward(xs), expected)
+
+    def test_init_params_bounded_for_q312(self):
+        net = self._net()
+        params = init_params(net, np.random.default_rng(5))
+        for layer in params:
+            assert np.max(np.abs(layer["w"])) < 2.0
+            assert np.max(np.abs(layer["b"])) <= 0.1
+
+    def test_quantize_params_raw_ints(self):
+        net = self._net()
+        raw = quantize_params(init_params(net, np.random.default_rng(6)))
+        for layer in raw:
+            assert layer["w"].dtype == np.int64
+            assert np.max(np.abs(layer["w"])) <= 32767
+
+    def test_conv_network_roundtrip(self):
+        net = Network("cnn", (ConvSpec(1, 2, 5, 5, 3), DenseSpec(18, 4)))
+        rng = np.random.default_rng(7)
+        params = init_params(net, rng)
+        fm = FloatModel(net, params)
+        qm = QuantModel(net, quantize_params(params))
+        x = rng.uniform(-1, 1, 25)
+        out_f = fm.step(x)
+        out_q = Q3_12.to_float(qm.step(Q3_12.from_float(x)))
+        assert np.max(np.abs(out_f - out_q)) < 0.05
+
+    def test_unknown_spec_type_rejected(self):
+        class Weird:
+            in_size = out_size = 2
+            macs = 4
+        net = Network.__new__(Network)  # bypass validation on purpose
+        object.__setattr__(net, "name", "w")
+        object.__setattr__(net, "layers", (Weird(),))
+        object.__setattr__(net, "timesteps", 1)
+        with pytest.raises(TypeError):
+            init_params(net, np.random.default_rng(0))

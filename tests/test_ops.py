@@ -1,0 +1,119 @@
+"""Tests for fixed-point arithmetic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import (Q3_12, dotp2, hadamard, matvec, pack2,
+                              requantize, sat_add, sat_mul, sat_sub,
+                              unpack2, vec_add)
+
+int16s = st.integers(min_value=-32768, max_value=32767)
+
+
+class TestScalarOps:
+    @given(int16s, int16s)
+    def test_sat_add_clamps(self, a, b):
+        out = sat_add(a, b)
+        assert out == max(-32768, min(32767, a + b))
+
+    @given(int16s, int16s)
+    def test_sat_sub_clamps(self, a, b):
+        assert sat_sub(a, b) == max(-32768, min(32767, a - b))
+
+    @given(int16s, int16s)
+    def test_sat_mul_matches_reference(self, a, b):
+        assert sat_mul(a, b) == max(-32768, min(32767, (a * b) >> 12))
+
+    def test_sat_mul_identity(self):
+        one = Q3_12.from_float(1.0)
+        assert sat_mul(one, 2048) == 2048
+
+    def test_requantize_shift(self):
+        assert requantize(100 << 12) == 100
+        assert requantize(-(100 << 12)) == -100
+        assert requantize(40000 << 12) == 32767   # beyond +8.0 saturates
+        assert requantize(-(40000 << 12)) == -32768
+
+    def test_requantize_floor_semantics(self):
+        # arithmetic shift rounds toward -inf, like srai
+        assert requantize(-1) == -1 >> 12
+
+
+class TestDotp2:
+    @given(int16s, int16s, int16s, int16s)
+    def test_matches_integer_dot(self, a0, a1, b0, b1):
+        out = dotp2((a0, a1), (b0, b1))
+        expected = a0 * b0 + a1 * b1
+        assert (out - expected) % (1 << 32) == 0
+        assert -(1 << 31) <= out < (1 << 31)
+
+    def test_accumulates(self):
+        assert dotp2((1, 2), (3, 4), acc=100) == 100 + 3 + 8
+
+    def test_wraps_32_bits(self):
+        big = 32767
+        acc = 0
+        for _ in range(3000):
+            acc = dotp2((big, big), (big, big), acc)
+        expected = (3000 * 2 * big * big) % (1 << 32)
+        expected -= (expected & 0x80000000) << 1
+        assert acc == expected
+
+
+class TestPack:
+    @given(int16s, int16s)
+    def test_pack_unpack_roundtrip(self, lo, hi):
+        assert unpack2(pack2(lo, hi)) == (lo, hi)
+
+    def test_pack_is_32bit(self):
+        assert 0 <= pack2(-1, -1) <= 0xFFFFFFFF
+
+
+class TestMatvec:
+    def test_identity_matrix(self):
+        w = np.eye(4, dtype=np.int64) * 4096  # 1.0
+        x = np.array([100, -200, 300, -400])
+        b = np.zeros(4, dtype=np.int64)
+        assert matvec(w, x, b).tolist() == x.tolist()
+
+    def test_bias_only(self):
+        w = np.zeros((3, 2), dtype=np.int64)
+        out = matvec(w, np.zeros(2, dtype=np.int64),
+                     np.array([5, -6, 7]))
+        assert out.tolist() == [5, -6, 7]
+
+    def test_saturation_at_output(self):
+        w = np.full((1, 4), 32767, dtype=np.int64)
+        x = np.full(4, 32767, dtype=np.int64)
+        out = matvec(w, x, np.zeros(1, dtype=np.int64))
+        assert out[0] == 32767
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            matvec(np.zeros((2, 3)), np.zeros(4), np.zeros(2))
+        with pytest.raises(ValueError):
+            matvec(np.zeros(3), np.zeros(3), np.zeros(3))
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_matches_float_reference_on_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-2000, 2000, (3, 5))
+        x = rng.integers(-2000, 2000, 5)
+        b = rng.integers(-2000, 2000, 3)
+        out = matvec(w, x, b)
+        ref = np.clip((b * 4096 + w @ x) >> 12, -32768, 32767)
+        assert np.array_equal(out, ref)
+
+
+class TestVectorOps:
+    @given(st.lists(int16s, min_size=1, max_size=8))
+    def test_hadamard_elementwise(self, values):
+        a = np.array(values)
+        out = hadamard(a, a)
+        ref = np.clip((a * a) >> 12, -32768, 32767)
+        assert np.array_equal(out, ref)
+
+    def test_vec_add_saturates(self):
+        out = vec_add(np.array([32000, -32000]), np.array([32000, -32000]))
+        assert out.tolist() == [32767, -32768]

@@ -1,0 +1,85 @@
+"""Additional property tests: trace algebra, interleave permutation,
+tile-plan/stream consistency, CLI drivers for the newest commands."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tracer import Trace
+from repro.kernels import interleave_weights, padded_row, plan_tiles
+from repro.kernels.interleaved import INTERLEAVED_MAX_TILE
+
+
+class TestTraceAlgebra:
+    names = st.sampled_from(["addi", "lw!", "pl.sdot", "mac", "sw"])
+    entries = st.dictionaries(names, st.tuples(st.integers(1, 1000),
+                                               st.integers(1, 2000)),
+                              min_size=1, max_size=5)
+
+    @staticmethod
+    def _make(d):
+        t = Trace()
+        for name, (i, c) in d.items():
+            t.add(name, i, max(i, c))
+        return t
+
+    @given(entries, st.integers(1, 20))
+    def test_scaled_is_linear(self, d, k):
+        t = self._make(d)
+        s = t.scaled(k)
+        assert s.total_instrs == k * t.total_instrs
+        assert s.total_cycles == k * t.total_cycles
+
+    @given(entries, entries)
+    def test_merge_totals_add(self, d1, d2):
+        a, b = self._make(d1), self._make(d2)
+        ta, tb = a.total_cycles, b.total_cycles
+        merged = a.merge(b)
+        assert merged.total_cycles == ta + tb
+
+    @given(entries)
+    def test_stall_summary_consistent_with_totals(self, d):
+        t = self._make(d)
+        assert sum(t.stall_summary().values()) == \
+            t.total_cycles - t.total_instrs
+
+
+class TestInterleavePermutation:
+    @given(shape=st.tuples(st.integers(1, 30), st.integers(1, 12)),
+           tile=st.sampled_from([2, 4, 10, INTERLEAVED_MAX_TILE]))
+    @settings(max_examples=30, deadline=None)
+    def test_is_permutation_of_padded_rows(self, shape, tile):
+        n_out, n_in = shape
+        rng = np.random.default_rng(n_out * 100 + n_in)
+        w = rng.integers(-1000, 1000, (n_out, n_in))
+        row_hw = padded_row(n_in, "d")
+        stream = interleave_weights(w, row_hw, tile)
+        assert stream.size == n_out * row_hw
+        padded = np.zeros((n_out, row_hw), dtype=np.int64)
+        padded[:, :n_in] = w
+        # same multiset of values
+        assert sorted(stream.tolist()) == sorted(padded.reshape(-1)
+                                                 .tolist())
+
+    @given(st.integers(1, 100), st.integers(2, 18))
+    def test_tile_stream_lengths(self, n_out, tile):
+        tiles = plan_tiles(n_out, tile)
+        assert sum(tiles) == n_out
+
+
+class TestNewCliCommands:
+    def test_beyond(self, capsys):
+        from repro.cli import main
+        assert main(["beyond"]) == 0
+        out = capsys.readouterr().out
+        assert "Level f" in out
+
+    def test_energy(self, capsys):
+        from repro.cli import main
+        assert main(["energy"]) == 0
+        assert "millisecond" in capsys.readouterr().out
+
+    def test_isa_ref(self, capsys):
+        from repro.cli import main
+        assert main(["isa-ref"]) == 0
+        assert "pl.sdotsp" in capsys.readouterr().out

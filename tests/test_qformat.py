@@ -1,0 +1,95 @@
+"""Unit and property tests for Q-format descriptions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import ACC32, Q1_14, Q3_12, Q7_8, QFormat
+
+
+class TestStructure:
+    def test_q3_12_dimensions(self):
+        assert Q3_12.total_bits == 16
+        assert Q3_12.scale == 4096
+        assert Q3_12.max_raw == 32767
+        assert Q3_12.min_raw == -32768
+        assert Q3_12.max_value == pytest.approx(7.999755859375)
+        assert Q3_12.min_value == -8.0
+
+    def test_acc32_is_32_bits(self):
+        assert ACC32.total_bits == 32
+        assert ACC32.frac_bits == Q3_12.frac_bits
+
+    def test_resolution(self):
+        assert Q3_12.resolution == 1 / 4096
+        assert Q7_8.resolution == 1 / 256
+        assert Q1_14.resolution == 1 / 16384
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 12)
+        with pytest.raises(ValueError):
+            QFormat(3, -2)
+        with pytest.raises(ValueError):
+            QFormat(40, 40)
+
+    def test_str(self):
+        assert str(Q3_12) == "Q3.12"
+
+
+class TestConversion:
+    def test_one_is_4096(self):
+        assert Q3_12.from_float(1.0) == 4096
+
+    def test_saturates_at_rails(self):
+        assert Q3_12.from_float(100.0) == 32767
+        assert Q3_12.from_float(-100.0) == -32768
+
+    def test_round_half_away_from_zero(self):
+        half_lsb = 0.5 / 4096
+        assert Q3_12.from_float(half_lsb) == 1
+        assert Q3_12.from_float(-half_lsb) == -1
+
+    def test_floor_rounding(self):
+        assert Q3_12.from_float(0.9 / 4096, rounding="floor") == 0
+        assert Q3_12.from_float(-0.1 / 4096, rounding="floor") == -1
+
+    def test_unknown_rounding(self):
+        with pytest.raises(ValueError):
+            Q3_12.from_float(0.5, rounding="stochastic")
+
+    def test_array_conversion(self):
+        arr = Q3_12.from_float(np.array([0.5, -0.5, 10.0]))
+        assert arr.tolist() == [2048, -2048, 32767]
+
+    def test_scalar_types(self):
+        assert isinstance(Q3_12.from_float(0.25), int)
+        assert isinstance(Q3_12.to_float(1024), float)
+
+    @given(st.floats(min_value=-7.9, max_value=7.9))
+    def test_roundtrip_error_bounded(self, value):
+        raw = Q3_12.from_float(value)
+        assert abs(Q3_12.to_float(raw) - value) <= Q3_12.resolution / 2
+
+    @given(st.integers(min_value=-32768, max_value=32767))
+    def test_raw_roundtrip_exact(self, raw):
+        assert Q3_12.from_float(Q3_12.to_float(raw)) == raw
+
+
+class TestSaturateWrap:
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_saturate_in_range(self, raw):
+        sat = Q3_12.saturate(raw)
+        assert Q3_12.min_raw <= sat <= Q3_12.max_raw
+        if Q3_12.contains_raw(raw):
+            assert sat == raw
+
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_wrap_congruent_mod_2n(self, raw):
+        wrapped = Q3_12.wrap(raw)
+        assert Q3_12.min_raw <= wrapped <= Q3_12.max_raw
+        assert (wrapped - raw) % (1 << 16) == 0
+
+    def test_wrap_array(self):
+        arr = Q3_12.wrap(np.array([32768, -32769, 5]))
+        assert arr.tolist() == [-32768, 32767, 5]

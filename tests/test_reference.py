@@ -1,0 +1,33 @@
+"""ISA reference generator and its committed artifact."""
+
+import os
+
+from repro.isa import SPECS
+from repro.isa.reference import format_reference, reference_rows
+
+_DOCS = os.path.join(os.path.dirname(__file__), "..", "docs", "ISA.md")
+
+
+class TestReference:
+    def test_covers_every_mnemonic(self):
+        mnemonics = {row[1] for row in reference_rows()}
+        assert mnemonics == set(SPECS)
+
+    def test_extensions_grouped(self):
+        text = format_reference()
+        assert "Xrnn - the paper's extensions" in text
+        assert "Xpulp subset" in text
+        assert "pl.sdotsp.h.0" in text
+
+    def test_timing_notes_present(self):
+        text = format_reference()
+        assert "2 when taken" in text
+        assert "SPR re-read" in text
+        assert "loop back edge is free" in text
+
+    def test_committed_doc_in_sync(self):
+        """docs/ISA.md must be regenerated whenever the ISA changes."""
+        with open(_DOCS) as handle:
+            committed = handle.read().rstrip("\n")
+        assert committed == format_reference().rstrip("\n"), \
+            "regenerate with: python -m repro.isa.reference > docs/ISA.md"

@@ -1,0 +1,36 @@
+"""Kernel walkthrough generator and its committed artifact."""
+
+import os
+
+import pytest
+
+from repro.kernels.walkthrough import format_walkthrough, \
+    walkthrough_sections
+
+_DOC = os.path.join(os.path.dirname(__file__), "..", "docs", "KERNELS.md")
+
+
+class TestWalkthrough:
+    def test_covers_all_levels(self):
+        keys = [s[0] for s in walkthrough_sections()]
+        assert keys == list("abcdef")
+
+    def test_costs_improve_monotonically(self):
+        cycles = {s[0]: s[5] for s in walkthrough_sections()}
+        assert cycles["a"] > cycles["b"] > cycles["c"] > cycles["d"] \
+            > cycles["e"] > cycles["f"]
+
+    def test_listings_show_the_signature_instructions(self):
+        sections = {s[0]: s[3] for s in walkthrough_sections()}
+        assert "p.mac" in sections["a"]
+        assert "pv.sdotsp.h" in sections["b"]
+        assert "lp.setupi" in sections["b"]
+        assert "pl.sdotsp.h.0" in sections["d"]
+        assert sections["f"].count("a0") > 10  # single stream pointer
+
+    def test_committed_doc_in_sync(self):
+        with open(_DOC) as handle:
+            committed = handle.read().rstrip("\n")
+        assert committed == format_walkthrough().rstrip("\n"), \
+            "regenerate with: python -m repro.kernels.walkthrough " \
+            "> docs/KERNELS.md"
