@@ -2,9 +2,12 @@
 
 Every benchmark regenerates one of the paper's tables/figures.  The
 rendered text artifacts are written to ``benchmarks/out/`` so a benchmark
-run leaves the full set of reproduced tables behind.
+run leaves the full set of reproduced tables behind; machine-readable
+results go next to them as JSON (``save_json``) so the perf trajectory
+is diffable and trackable across PRs.
 """
 
+import json
 import os
 
 import pytest
@@ -24,5 +27,17 @@ def save_artifact(artifact_dir):
         path = os.path.join(artifact_dir, name)
         with open(path, "w") as handle:
             handle.write(text + "\n")
+        return path
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json(artifact_dir):
+    """Write a machine-readable benchmark result as ``out/<name>``."""
+    def _save(name: str, payload: dict) -> str:
+        path = os.path.join(artifact_dir, name)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
     return _save

@@ -1,0 +1,48 @@
+"""Benchmark: the batched serving runtime vs. sequential inference.
+
+Runs the open-loop Poisson load generator against the
+:class:`repro.serve.engine.InferenceEngine` at reduced scale and leaves
+``out/BENCH_serve.json`` behind — the machine-readable perf artifact the
+serving stack is tracked by across PRs — plus the rendered
+latency/throughput table as ``out/serve.txt``.
+"""
+
+from repro.serve.loadgen import render_table, run_serve_bench
+
+
+def test_serve_bench_artifact(save_artifact, save_json):
+    result = run_serve_bench(scale=4, n_requests=300)
+    save_json("BENCH_serve.json", result)
+    save_artifact("serve.txt", render_table(result))
+
+    assert result["submitted"] == 300
+    assert result["completed"] > 0
+    assert result["metrics"]["total"]["failed"] == 0
+    # Dynamic batching must beat the batch=1 sequential baseline.
+    assert result["achieved_throughput_rps"] > \
+        result["baseline_sequential"]["throughput_rps"]
+    assert result["mean_batch_size"] > 1.0
+
+
+def test_batched_model_step_throughput(benchmark):
+    """Microbenchmark: batched golden-model steps per second (batch 16)."""
+    import numpy as np
+
+    from repro.nn.network import init_params, quantize_params
+    from repro.rrm.networks import suite
+    from repro.serve.batched import BatchedQuantModel
+
+    network = next(n for n in suite(4) if n.name == "sun2017")
+    params = quantize_params(
+        init_params(network, np.random.default_rng(0)))
+    model = BatchedQuantModel(network, params)
+    rng = np.random.default_rng(1)
+    x = np.asarray(rng.uniform(-1, 1, (16, network.input_size)) * 4096,
+                   dtype=np.int64)
+
+    def run():
+        model.reset(16)
+        return model.step(x)
+
+    out = benchmark(run)
+    assert out.shape == (16, network.output_size)

@@ -11,9 +11,11 @@ Subpackages:
     rrm         the 10-network RRM benchmark suite and workload generators
     energy      power/area/throughput model (Sec. IV)
     eval        drivers regenerating every table and figure
+    serve       batched inference runtime (dynamic batching, metrics,
+                Poisson load generation) — see docs/SERVING.md
 """
 
 __version__ = "1.0.0"
 
 __all__ = ["fixedpoint", "isa", "core", "kernels", "perfmodel", "nn",
-           "rrm", "energy", "eval"]
+           "rrm", "energy", "eval", "serve"]

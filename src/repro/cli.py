@@ -13,6 +13,11 @@ Commands:
         execute the (scaled) benchmark suite on the ISS with golden
         checking and print the per-network cycle table
 
+    serve-bench [--requests N] [--rate R] [--out FILE.json]
+        drive the batched inference runtime with an open-loop Poisson
+        load generator, print the latency/throughput table and write
+        machine-readable results (default BENCH_serve.json)
+
     run FILE.s
         assemble and execute a RISC-V assembly file on the extended core,
         then print the register file and execution histogram
@@ -81,6 +86,25 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from .serve.loadgen import render_table, run_serve_bench
+    result = run_serve_bench(
+        scale=args.scale,
+        level=args.level,
+        n_requests=args.requests,
+        rate_rps=args.rate,
+        max_batch_size=args.batch,
+        max_linger_s=args.linger_ms / 1e3,
+        timeout_s=None if args.timeout_ms is None else args.timeout_ms / 1e3,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(render_table(result))
+    if args.out:
+        print(f"\n[written {args.out}]")
+    return 0
+
+
 def _cmd_run(args) -> int:
     from .core import Cpu, Memory
     from .isa import assemble, reg_name
@@ -123,6 +147,28 @@ def main(argv=None) -> int:
     p_suite.add_argument("--no-check", action="store_true",
                          help="skip golden-model verification")
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the batched inference runtime under Poisson load")
+    p_serve.add_argument("--requests", type=int, default=400,
+                         help="number of requests to generate")
+    p_serve.add_argument("--rate", type=float, default=None,
+                         help="offered load in req/s (default: 8x the "
+                              "measured sequential baseline)")
+    p_serve.add_argument("--level", choices=list("abcde"), default="e")
+    p_serve.add_argument("--scale", type=int, default=None,
+                         help="suite down-scale factor (default: "
+                              "REPRO_SCALE or 4)")
+    p_serve.add_argument("--batch", type=int, default=16,
+                         help="max dynamic batch size")
+    p_serve.add_argument("--linger-ms", type=float, default=2.0,
+                         help="max batching linger in milliseconds")
+    p_serve.add_argument("--timeout-ms", type=float, default=10000.0,
+                         help="per-request deadline in milliseconds")
+    p_serve.add_argument("--seed", type=int, default=2020)
+    p_serve.add_argument("--out", default="BENCH_serve.json",
+                         help="JSON results path ('' to skip writing)")
+
     p_run = sub.add_parser("run", help="assemble + execute a .s file")
     p_run.add_argument("file")
     p_run.add_argument("--memory", type=int, default=1 << 20,
@@ -136,6 +182,8 @@ def main(argv=None) -> int:
         return _cmd_all(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "run":
         return _cmd_run(args)
     return 2

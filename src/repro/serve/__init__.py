@@ -1,0 +1,42 @@
+"""Batched RRM inference runtime (the serving layer of the stack).
+
+The rest of the repository answers "how fast is one inference on the
+extended core"; this package answers "how do we serve many of them".  It
+layers a production-shaped runtime on top of the bit-exact golden model:
+
+* :mod:`repro.serve.batched` — :class:`BatchedQuantModel`, a vectorized
+  executor that runs dense/LSTM/conv layers over a leading batch axis
+  with the exact Q3.12 saturation semantics of
+  :class:`repro.nn.network.QuantModel` (bit-identical per sample).
+* :mod:`repro.serve.engine` — :class:`InferenceEngine`, per-network
+  request queues with dynamic batching (max batch size + max linger),
+  a cached plan/model registry keyed on ``(network, level)``, and
+  per-request deadlines with timeout rejection and load shedding.
+* :mod:`repro.serve.metrics` — counters, gauges and latency histograms
+  (p50/p95/p99), plus estimated simulated cycles per request from the
+  static ``network_trace`` model; dumpable as JSON.
+* :mod:`repro.serve.loadgen` — an open-loop Poisson load generator and
+  the ``serve-bench`` CLI backend that writes ``BENCH_serve.json``.
+"""
+
+from .batched import BatchedQuantModel
+from .engine import (EngineConfig, InferenceEngine, ModelRegistry, Request,
+                     RequestStatus)
+from .loadgen import LoadGenerator, run_serve_bench, sequential_baseline
+from .metrics import Counter, Gauge, LatencyHistogram, ServeMetrics
+
+__all__ = [
+    "BatchedQuantModel",
+    "EngineConfig",
+    "InferenceEngine",
+    "ModelRegistry",
+    "Request",
+    "RequestStatus",
+    "LoadGenerator",
+    "run_serve_bench",
+    "sequential_baseline",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "ServeMetrics",
+]

@@ -1,0 +1,200 @@
+"""Vectorized golden model: batched execution with per-sample bit-exactness.
+
+:class:`BatchedQuantModel` executes a network over a leading batch axis.
+Every arithmetic step mirrors the scalar golden model in
+:mod:`repro.nn.layers` exactly — 32-bit wraparound accumulation,
+arithmetic-shift requantization, int16 saturation at the store, and the
+Algorithm-2 PLA activations — so stacking ``B`` inputs and running one
+batched step produces bit-identical rows to ``B`` independent
+:class:`repro.nn.network.QuantModel` steps.  All intermediate arithmetic
+is exact int64, so reassociating the sums across the batch axis cannot
+change any value; the tests in ``tests/test_serve_batched.py`` assert
+this for every suite network anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fixedpoint.activations import sig_q, tanh_q
+from ..fixedpoint.qformat import Q3_12
+from ..nn.layers import wrap32
+from ..nn.network import ConvSpec, DenseSpec, LstmSpec, Network
+
+__all__ = ["BatchedQuantModel", "dense_fixed_batch", "lstm_step_fixed_batch",
+           "conv2d_fixed_batch"]
+
+_FRAC = Q3_12.frac_bits
+
+
+def _sat16(values):
+    return np.clip(np.asarray(values, dtype=np.int64), -32768, 32767)
+
+
+def _activation_batch(values: np.ndarray, func: str | None) -> np.ndarray:
+    """Activation on a (B, n) block of raw Q3.12 values.
+
+    ``tanh_q``/``sig_q`` flatten their input (the scalar ISS calls them on
+    1-D vectors), so restore the batch shape afterwards.
+    """
+    if func is None:
+        return np.asarray(values, dtype=np.int64)
+    if func == "relu":
+        return np.maximum(np.asarray(values, dtype=np.int64), 0)
+    if func == "tanh":
+        return np.asarray(tanh_q(values)).reshape(values.shape)
+    if func == "sig":
+        return np.asarray(sig_q(values)).reshape(values.shape)
+    raise ValueError(f"unknown activation {func!r}")
+
+
+def dense_fixed_batch(w, x, bias):
+    """Batched fixed-point dense layer.
+
+    Args:
+        w: ``(n_out, n_in)`` raw weights.
+        x: ``(B, n_in)`` raw inputs.
+        bias: ``(n_out,)`` raw biases.
+
+    Returns:
+        ``(B, n_out)``: row ``b`` equals ``dense_fixed(w, x[b], bias)``.
+    """
+    w = np.asarray(w, dtype=np.int64)
+    x = np.asarray(x, dtype=np.int64)
+    bias = np.asarray(bias, dtype=np.int64)
+    acc = wrap32((bias << _FRAC)[None, :] + x @ w.T)
+    return _sat16(acc >> _FRAC)
+
+
+def lstm_step_fixed_batch(w_cat, bias, x, h, c):
+    """Batched fixed-point LSTM timestep; returns ``(h', c')``.
+
+    ``x`` is ``(B, m)``, ``h``/``c`` are ``(B, n)``; layout of ``w_cat``
+    matches :func:`repro.nn.layers.lstm_step_fixed` (fused ``(4n, m+n)``,
+    row blocks in GATE_ORDER).
+    """
+    w_cat = np.asarray(w_cat, dtype=np.int64)
+    n = w_cat.shape[0] // 4
+    xh = np.concatenate([np.asarray(x, dtype=np.int64),
+                         np.asarray(h, dtype=np.int64)], axis=1)
+    z = dense_fixed_batch(w_cat, xh, bias)
+    i_gate = _activation_batch(z[:, 0:n], "sig")
+    f_gate = _activation_batch(z[:, n:2 * n], "sig")
+    o_gate = _activation_batch(z[:, 2 * n:3 * n], "sig")
+    g_gate = _activation_batch(z[:, 3 * n:4 * n], "tanh")
+    c = np.asarray(c, dtype=np.int64)
+    c_new = _sat16((i_gate * g_gate >> _FRAC) + (f_gate * c >> _FRAC))
+    h_new = (o_gate * _activation_batch(c_new, "tanh")) >> _FRAC
+    return h_new, c_new
+
+
+def conv2d_fixed_batch(w, x, bias):
+    """Batched fixed-point valid convolution.
+
+    Args:
+        w: ``(cout, cin, k, k)`` raw weights.
+        x: ``(B, cin, h, w)`` raw input planes.
+        bias: ``(cout,)`` raw biases.
+
+    Returns:
+        ``(B, cout, h-k+1, w-k+1)`` raw output planes.
+    """
+    w = np.asarray(w, dtype=np.int64)
+    x = np.asarray(x, dtype=np.int64)
+    bias = np.asarray(bias, dtype=np.int64)
+    k = w.shape[-1]
+    # (B, cin, h_out, w_out, k, k) patches; einsum over cin and the window
+    # stays in exact int64 arithmetic, so it matches the scalar model's
+    # python-int accumulation before the single wrap32 at the end.
+    patches = np.lib.stride_tricks.sliding_window_view(x, (k, k),
+                                                       axis=(2, 3))
+    acc = np.einsum("ocij,bchwij->bohw", w, patches)
+    acc = wrap32((bias << _FRAC)[None, :, None, None] + acc)
+    return _sat16(acc >> _FRAC)
+
+
+class BatchedQuantModel:
+    """Bit-exact fixed-point executor over a leading batch axis.
+
+    The batch size is fixed at :meth:`reset` (recurrent state is shaped
+    ``(B, n)``); :meth:`infer` resets, steps ``network.timesteps`` times
+    and returns the last step's output, i.e. one full inference per row.
+    """
+
+    def __init__(self, network: Network, params_raw: list):
+        self.network = network
+        self.params = params_raw
+        self.batch_size = 0
+        self._state: list = []
+
+    def reset(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+        self._state = []
+        for spec in self.network.layers:
+            if isinstance(spec, LstmSpec):
+                self._state.append({
+                    "h": np.zeros((self.batch_size, spec.n), dtype=np.int64),
+                    "c": np.zeros((self.batch_size, spec.n), dtype=np.int64),
+                })
+            else:
+                self._state.append(None)
+
+    def step(self, x_raw) -> np.ndarray:
+        """One timestep over the batch: ``(B, in_size) -> (B, out_size)``."""
+        value = np.asarray(x_raw, dtype=np.int64)
+        if value.ndim != 2:
+            raise ValueError("batched step expects a (B, in_size) array")
+        if self.batch_size == 0:
+            self.reset(value.shape[0])
+        if value.shape[0] != self.batch_size:
+            raise ValueError(
+                f"batch size changed mid-sequence: "
+                f"{value.shape[0]} != {self.batch_size} (call reset)")
+        for spec, layer, state in zip(self.network.layers, self.params,
+                                      self._state):
+            if isinstance(spec, DenseSpec):
+                value = _activation_batch(
+                    dense_fixed_batch(layer["w"], value, layer["b"]),
+                    spec.activation)
+            elif isinstance(spec, LstmSpec):
+                h, c = lstm_step_fixed_batch(layer["w"], layer["b"], value,
+                                             state["h"], state["c"])
+                state["h"], state["c"] = h, c
+                value = h
+            else:
+                planes = value.reshape(self.batch_size, spec.cin,
+                                       spec.h, spec.w)
+                value = conv2d_fixed_batch(layer["w"], planes,
+                                           layer["b"]).reshape(
+                    self.batch_size, -1)
+        return value
+
+    def forward(self, xs_raw) -> np.ndarray:
+        """Run a sequence of ``(B, in_size)`` inputs; returns the last output."""
+        out = None
+        for x in xs_raw:
+            out = self.step(x)
+        return out
+
+    def infer(self, x_batch) -> np.ndarray:
+        """One full inference per row, from zero state.
+
+        Args:
+            x_batch: ``(B, in_size)`` (the same input is fed at every
+                timestep) or ``(B, T, in_size)`` with
+                ``T == network.timesteps``.
+
+        Returns:
+            ``(B, out_size)`` raw outputs of the final timestep.
+        """
+        x = np.asarray(x_batch, dtype=np.int64)
+        if x.ndim == 2:
+            x = np.repeat(x[:, None, :], self.network.timesteps, axis=1)
+        if x.ndim != 3 or x.shape[1] != self.network.timesteps:
+            raise ValueError(
+                f"expected (B, {self.network.timesteps}, "
+                f"{self.network.input_size}) inputs, got {x.shape}")
+        self.reset(x.shape[0])
+        return self.forward(x.transpose(1, 0, 2))

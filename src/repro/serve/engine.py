@@ -1,0 +1,377 @@
+"""The inference engine: queues, dynamic batching, plan cache, deadlines.
+
+One :class:`InferenceEngine` serves the whole network suite.  Each
+network gets its own request queue and worker thread; the worker forms
+batches with the classic dynamic-batching policy (dispatch when the
+batch is full *or* the oldest queued request has lingered
+``max_linger_s``), stacks the inputs and runs them through a cached
+:class:`~repro.serve.batched.BatchedQuantModel`.
+
+Overload behaviour degrades gracefully rather than collapsing:
+
+* a full queue sheds new arrivals immediately (``rejected_capacity``),
+* requests whose deadline has already passed are rejected at dispatch
+  time instead of wasting batch slots (``rejected_timeout``),
+* under pressure (queue deeper than ``pressure_depth``) the linger is
+  skipped entirely, trading batch size for queueing latency.
+
+The model registry is keyed on ``(network, level)`` and reuses
+:func:`repro.rrm.suite.plan_for`, so the codegen/static-timing plan for
+a network is built once and shared with the rest of the repo's cached
+plans; the static per-inference cycle count from that plan is what the
+metrics report as estimated simulated cycles per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.network import Network, QuantModel, init_params, quantize_params
+from ..rrm.networks import suite
+from ..rrm.suite import network_trace, plan_for
+from .batched import BatchedQuantModel
+from .metrics import ServeMetrics
+
+__all__ = ["EngineConfig", "InferenceEngine", "ModelRegistry", "Request",
+           "RequestStatus", "ModelEntry"]
+
+
+class RequestStatus:
+    PENDING = "pending"
+    DONE = "done"
+    REJECTED_TIMEOUT = "rejected_timeout"
+    REJECTED_CAPACITY = "rejected_capacity"
+    FAILED = "failed"
+
+
+@dataclass
+class Request:
+    """One in-flight inference request."""
+
+    network: str
+    x_raw: np.ndarray
+    submit_time: float
+    deadline: float | None = None
+    id: int = 0
+    status: str = RequestStatus.PENDING
+    output: np.ndarray | None = None
+    latency: float | None = None
+    batch_size: int | None = None
+    error: str | None = None
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the request settles; returns False on wait timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == RequestStatus.DONE
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self.wait(timeout):
+            raise TimeoutError(f"request {self.id} still pending")
+        if not self.ok:
+            raise RuntimeError(f"request {self.id} {self.status}")
+        return self.output
+
+    def _settle(self, status: str, output=None, latency=None,
+                batch_size=None, error=None) -> None:
+        self.status = status
+        self.output = output
+        self.latency = latency
+        self.batch_size = batch_size
+        self.error = error
+        self._done.set()
+
+
+@dataclass
+class ModelEntry:
+    """Cached per-(network, level) serving state."""
+
+    network: Network
+    level: str
+    model: BatchedQuantModel
+    reference: QuantModel
+    params_raw: list
+    cycles_per_request: int
+    plan: object
+
+
+class ModelRegistry:
+    """Plan/model cache keyed on ``(network, level)``.
+
+    Parameters are drawn once per network with the registry seed (same
+    recipe as :class:`repro.rrm.suite.SuiteRunner`), quantized to Q3.12
+    and shared by the batched model and the per-sample reference.  The
+    codegen plan comes from the repo-wide :func:`plan_for` cache.
+    """
+
+    def __init__(self, seed: int = 2020):
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, ModelEntry] = {}
+
+    def get(self, network: Network, level: str) -> ModelEntry:
+        key = (network, level)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                params = quantize_params(
+                    init_params(network, np.random.default_rng(self.seed)))
+                entry = ModelEntry(
+                    network=network,
+                    level=level,
+                    model=BatchedQuantModel(network, params),
+                    reference=QuantModel(network, params),
+                    params_raw=params,
+                    cycles_per_request=network_trace(network,
+                                                     level).total_cycles,
+                    plan=plan_for(network, level),
+                )
+                self._entries[key] = entry
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Batching and overload policy knobs."""
+
+    level: str = "e"
+    max_batch_size: int = 16
+    #: Max time the oldest queued request waits for the batch to fill.
+    max_linger_s: float = 0.002
+    #: Per-network queue capacity; arrivals beyond it are shed.
+    queue_capacity: int = 1024
+    #: Queue depth beyond which the linger is skipped (degrade to
+    #: whatever is already queued instead of waiting for a full batch).
+    pressure_depth: int = 64
+    seed: int = 2020
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_linger_s < 0:
+            raise ValueError("max_linger_s cannot be negative")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+class _NetworkQueue:
+    """Request queue + worker state for one network."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.pending: deque[Request] = deque()
+        self.cond = threading.Condition()
+        self.thread: threading.Thread | None = None
+
+
+class InferenceEngine:
+    """Batched serving runtime for the RRM suite.
+
+    Typical use::
+
+        engine = InferenceEngine(scale=4)
+        engine.start()
+        req = engine.submit("sun2017", x_raw, timeout_s=0.1)
+        y = req.result(timeout=1.0)
+        engine.stop()
+
+    Requests may be submitted before :meth:`start`; they queue up and are
+    served once the workers run (tests use this for deterministic batch
+    formation).  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, networks=None, config: EngineConfig | None = None,
+                 scale: int | None = None, metrics: ServeMetrics | None = None,
+                 clock=time.monotonic):
+        self.config = config or EngineConfig()
+        self.networks = tuple(networks) if networks is not None \
+            else suite(scale)
+        self.metrics = metrics or ServeMetrics()
+        self.clock = clock
+        self.registry = ModelRegistry(seed=self.config.seed)
+        self._queues = {net.name: _NetworkQueue(net) for net in self.networks}
+        self._ids = itertools.count(1)
+        self._running = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    def start(self) -> "InferenceEngine":
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+        for queue in self._queues.values():
+            thread = threading.Thread(target=self._worker, args=(queue,),
+                                      name=f"serve-{queue.network.name}",
+                                      daemon=True)
+            queue.thread = thread
+            thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers; with ``drain`` (default) serve the backlog first."""
+        with self._lock:
+            if not self._running:
+                return
+            if drain:
+                self._drain()
+            self._running = False
+        for queue in self._queues.values():
+            with queue.cond:
+                queue.cond.notify_all()
+        for queue in self._queues.values():
+            if queue.thread is not None:
+                queue.thread.join(timeout=10.0)
+                queue.thread = None
+
+    def _drain(self) -> None:
+        deadline = time.monotonic() + 30.0
+        for queue in self._queues.values():
+            with queue.cond:
+                while queue.pending and time.monotonic() < deadline:
+                    queue.cond.wait(timeout=0.05)
+
+    def __enter__(self) -> "InferenceEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission.
+    def submit(self, network_name: str, x_raw,
+               timeout_s: float | None = None) -> Request:
+        """Enqueue one inference; returns immediately with a request handle.
+
+        ``x_raw`` is a raw Q3.12 input vector ``(in_size,)`` or a
+        per-timestep sequence ``(T, in_size)``.  ``timeout_s`` is the
+        request deadline relative to now; a request still queued past its
+        deadline is rejected, never silently served late.
+        """
+        queue = self._queues.get(network_name)
+        if queue is None:
+            raise KeyError(f"unknown network {network_name!r}; serving "
+                           f"{sorted(self._queues)}")
+        now = self.clock()
+        request = Request(
+            network=network_name,
+            x_raw=np.asarray(x_raw, dtype=np.int64),
+            submit_time=now,
+            deadline=None if timeout_s is None else now + timeout_s,
+            id=next(self._ids),
+        )
+        self.metrics.on_submit(network_name)
+        with queue.cond:
+            if len(queue.pending) >= self.config.queue_capacity:
+                request._settle(RequestStatus.REJECTED_CAPACITY)
+                self.metrics.on_reject(network_name, "capacity")
+                return request
+            queue.pending.append(request)
+            depth = len(queue.pending)
+            queue.cond.notify_all()
+        self._report_depth(network_name, depth)
+        return request
+
+    def _report_depth(self, name: str, depth: int) -> None:
+        total = sum(len(q.pending) for q in self._queues.values())
+        self.metrics.on_queue_depth(name, depth, total)
+
+    # ------------------------------------------------------------------
+    # Worker.
+    def _collect_batch(self, queue: _NetworkQueue) -> list[Request]:
+        """Block until a batch is ready (or the engine stops)."""
+        cfg = self.config
+        with queue.cond:
+            while True:
+                if not self._running and not queue.pending:
+                    return []
+                if queue.pending:
+                    oldest = queue.pending[0].submit_time
+                    depth = len(queue.pending)
+                    full = depth >= cfg.max_batch_size
+                    pressured = depth > cfg.pressure_depth
+                    lingered = (self.clock() - oldest) >= cfg.max_linger_s
+                    if full or pressured or lingered or not self._running:
+                        batch = [queue.pending.popleft()
+                                 for _ in range(min(depth,
+                                                    cfg.max_batch_size))]
+                        queue.cond.notify_all()
+                        return batch
+                    remaining = cfg.max_linger_s - (self.clock() - oldest)
+                    queue.cond.wait(timeout=max(remaining, 1e-4))
+                else:
+                    queue.cond.wait(timeout=0.05)
+
+    def _worker(self, queue: _NetworkQueue) -> None:
+        while True:
+            batch = self._collect_batch(queue)
+            if not batch:
+                return
+            self._report_depth(queue.network.name, len(queue.pending))
+            self._execute(queue.network, batch)
+
+    def _execute(self, network: Network, batch: list[Request]) -> None:
+        now = self.clock()
+        live: list[Request] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                request._settle(RequestStatus.REJECTED_TIMEOUT)
+                self.metrics.on_reject(network.name, "timeout")
+            else:
+                live.append(request)
+        # Malformed inputs fail their own request, never the batch or
+        # the worker thread.
+        valid: list[Request] = []
+        inputs: list[np.ndarray] = []
+        for request in live:
+            try:
+                inputs.append(self._normalize_input(network, request.x_raw))
+                valid.append(request)
+            except ValueError as exc:
+                request._settle(RequestStatus.FAILED, error=str(exc))
+                self.metrics.on_failed(network.name)
+        live = valid
+        if not live:
+            return
+        entry = self.registry.get(network, self.config.level)
+        try:
+            outputs = entry.model.infer(np.stack(inputs))
+        except Exception as exc:  # defensive: keep the worker alive
+            for request in live:
+                request._settle(RequestStatus.FAILED, error=repr(exc))
+                self.metrics.on_failed(network.name)
+            return
+        done = self.clock()
+        latencies = []
+        for row, request in enumerate(live):
+            latency = done - request.submit_time
+            request._settle(RequestStatus.DONE, output=outputs[row],
+                            latency=latency, batch_size=len(live))
+            latencies.append(latency)
+        self.metrics.on_batch(network.name, len(live), latencies,
+                              entry.cycles_per_request)
+
+    @staticmethod
+    def _normalize_input(network: Network, x: np.ndarray) -> np.ndarray:
+        """Broadcast a single vector to the network's timestep count."""
+        if x.ndim == 1:
+            x = np.repeat(x[None, :], network.timesteps, axis=0)
+        if x.shape != (network.timesteps, network.input_size):
+            raise ValueError(
+                f"{network.name}: input shape {x.shape} != "
+                f"({network.timesteps}, {network.input_size})")
+        return x

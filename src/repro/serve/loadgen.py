@@ -1,0 +1,226 @@
+"""Open-loop Poisson load generation and the ``serve-bench`` backend.
+
+The generator is *open-loop*: arrival times are drawn up front from an
+exponential inter-arrival distribution and requests are submitted at
+those times regardless of how the engine is coping — the standard way to
+measure a serving system honestly (closed-loop generators hide overload
+by self-throttling).  ``run_serve_bench`` measures a sequential
+(batch=1, per-sample ``QuantModel``) baseline over the same request
+stream, drives the engine at a multiple of that baseline's capacity, and
+writes ``BENCH_serve.json`` with offered load, achieved throughput,
+latency percentiles and the batch-size distribution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from ..rrm.networks import suite
+from .engine import EngineConfig, InferenceEngine
+from .metrics import ServeMetrics
+
+__all__ = ["LoadGenerator", "sequential_baseline", "run_serve_bench",
+           "render_table"]
+
+
+def _random_request(network, rng: np.random.Generator) -> np.ndarray:
+    """Raw Q3.12 input sequence ``(timesteps, input_size)`` in [-1, 1)."""
+    floats = rng.uniform(-1.0, 1.0, (network.timesteps, network.input_size))
+    return np.asarray(floats * 4096, dtype=np.int64)
+
+
+def make_request_stream(networks, n_requests: int, seed: int = 2020) -> list:
+    """A reproducible request stream: ``[(network, x_raw), ...]``.
+
+    Networks are drawn uniformly so every queue sees traffic and batches
+    can form on each of them.
+    """
+    rng = np.random.default_rng(seed)
+    stream = []
+    for _ in range(n_requests):
+        network = networks[int(rng.integers(len(networks)))]
+        stream.append((network, _random_request(network, rng)))
+    return stream
+
+
+def sequential_baseline(engine: InferenceEngine, stream,
+                        clock=time.perf_counter) -> dict:
+    """Serve the stream one request at a time through ``QuantModel``.
+
+    This is the pre-serving state of the repo — a single-sample golden
+    model invoked per request — and the throughput floor the batched
+    engine must beat.  Models come from the engine's registry, so the
+    baseline and the engine run identical parameters.
+    """
+    start = clock()
+    for network, x_raw in stream:
+        entry = engine.registry.get(network, engine.config.level)
+        entry.reference.reset()
+        entry.reference.forward(x_raw)
+    elapsed = clock() - start
+    return {
+        "requests": len(stream),
+        "elapsed_s": elapsed,
+        "throughput_rps": len(stream) / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+class LoadGenerator:
+    """Open-loop Poisson load generator over a prepared request stream."""
+
+    def __init__(self, engine: InferenceEngine, rate_rps: float,
+                 seed: int = 2020, timeout_s: float | None = None):
+        if rate_rps <= 0:
+            raise ValueError("rate must be positive")
+        self.engine = engine
+        self.rate_rps = float(rate_rps)
+        self.seed = seed
+        self.timeout_s = timeout_s
+
+    def arrival_times(self, n: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed + 1)
+        gaps = rng.exponential(1.0 / self.rate_rps, n)
+        return np.cumsum(gaps)
+
+    def run(self, stream, wait_s: float = 30.0) -> dict:
+        """Drive the engine; returns the run summary (see keys below)."""
+        arrivals = self.arrival_times(len(stream))
+        requests = []
+        start = time.perf_counter()
+        for (network, x_raw), offset in zip(stream, arrivals):
+            delay = (start + offset) - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            requests.append(self.engine.submit(network.name, x_raw,
+                                               timeout_s=self.timeout_s))
+        for request in requests:
+            request.wait(timeout=wait_s)
+        elapsed = time.perf_counter() - start
+        completed = sum(1 for r in requests if r.ok)
+        return {
+            "offered_rate_rps": self.rate_rps,
+            "submitted": len(requests),
+            "completed": completed,
+            "rejected_timeout": sum(
+                1 for r in requests if r.status == "rejected_timeout"),
+            "rejected_capacity": sum(
+                1 for r in requests if r.status == "rejected_capacity"),
+            "elapsed_s": elapsed,
+            "achieved_throughput_rps":
+                completed / elapsed if elapsed > 0 else 0.0,
+        }
+
+
+def run_serve_bench(scale: int | None = None, level: str = "e",
+                    n_requests: int = 400, rate_rps: float | None = None,
+                    rate_multiplier: float = 8.0, max_batch_size: int = 16,
+                    max_linger_s: float = 0.002,
+                    timeout_s: float | None = 10.0, seed: int = 2020,
+                    out_path: str | None = None) -> dict:
+    """The ``serve-bench`` experiment: baseline, then batched serving.
+
+    Returns the JSON-ready result dict; also writes it to ``out_path``
+    when given.  ``rate_rps=None`` auto-scales the offered load to
+    ``rate_multiplier`` times the measured sequential capacity, so the
+    engine is measured under saturation where batching matters.
+    """
+    networks = suite(scale)
+    config = EngineConfig(level=level, max_batch_size=max_batch_size,
+                          max_linger_s=max_linger_s, seed=seed)
+    engine = InferenceEngine(networks=networks, config=config,
+                             metrics=ServeMetrics())
+    stream = make_request_stream(networks, n_requests, seed=seed)
+    # Warm the registry (params, plans, cycle counts) outside the timed
+    # regions so neither path pays one-time codegen costs.
+    for network in networks:
+        engine.registry.get(network, level)
+
+    baseline = sequential_baseline(engine, stream)
+    if rate_rps is None:
+        rate_rps = max(1.0, baseline["throughput_rps"] * rate_multiplier)
+
+    generator = LoadGenerator(engine, rate_rps, seed=seed,
+                              timeout_s=timeout_s)
+    with engine:
+        run = generator.run(stream)
+
+    metrics = engine.metrics.to_dict()
+    completed = run["completed"]
+    result = {
+        "bench": "serve",
+        "config": {
+            "scale": scale,
+            "level": level,
+            "n_requests": n_requests,
+            "max_batch_size": max_batch_size,
+            "max_linger_s": max_linger_s,
+            "timeout_s": timeout_s,
+            "seed": seed,
+        },
+        **run,
+        "baseline_sequential": baseline,
+        "speedup_vs_sequential":
+            run["achieved_throughput_rps"] / baseline["throughput_rps"]
+            if baseline["throughput_rps"] > 0 else 0.0,
+        "latency": metrics["total"]["latency"],
+        "mean_batch_size": metrics["mean_batch_size"],
+        "batch_size_distribution": metrics["batch_size_distribution"],
+        "sim_cycles_total": metrics["total"]["sim_cycles"],
+        "sim_cycles_per_request":
+            metrics["total"]["sim_cycles"] / completed if completed else 0,
+        "metrics": metrics,
+    }
+    if out_path:
+        directory = os.path.dirname(os.path.abspath(out_path))
+        os.makedirs(directory, exist_ok=True)
+        with open(out_path, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def render_table(result: dict) -> str:
+    """Human-readable latency/throughput table for one bench result."""
+    lines = []
+    lines.append("serve-bench: batched RRM inference runtime "
+                 f"(level {result['config']['level']}, "
+                 f"batch<={result['config']['max_batch_size']}, "
+                 f"linger {result['config']['max_linger_s'] * 1e3:.1f} ms)")
+    lines.append("")
+    header = (f"{'network':<15}{'done':>6}{'rej':>5}{'p50 ms':>9}"
+              f"{'p95 ms':>9}{'p99 ms':>9}{'Mcyc/req':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    per_network = result["metrics"]["per_network"]
+    for name, net in per_network.items():
+        latency = net["latency"]
+        rejected = net["rejected_timeout"] + net["rejected_capacity"]
+        mcycles = (net["sim_cycles"] / net["completed"] / 1e6
+                   if net["completed"] else 0.0)
+        lines.append(f"{name:<15}{net['completed']:>6}{rejected:>5}"
+                     f"{latency['p50_s'] * 1e3:>9.2f}"
+                     f"{latency['p95_s'] * 1e3:>9.2f}"
+                     f"{latency['p99_s'] * 1e3:>9.2f}"
+                     f"{mcycles:>10.3f}")
+    lines.append("-" * len(header))
+    total = result["metrics"]["total"]["latency"]
+    lines.append(f"{'TOTAL':<15}{result['completed']:>6}"
+                 f"{result['submitted'] - result['completed']:>5}"
+                 f"{total['p50_s'] * 1e3:>9.2f}{total['p95_s'] * 1e3:>9.2f}"
+                 f"{total['p99_s'] * 1e3:>9.2f}"
+                 f"{result['sim_cycles_per_request'] / 1e6:>10.3f}")
+    lines.append("")
+    lines.append(f"offered load        {result['offered_rate_rps']:>10.1f} "
+                 "req/s (open-loop Poisson)")
+    lines.append(f"sequential baseline "
+                 f"{result['baseline_sequential']['throughput_rps']:>10.1f} "
+                 "req/s (batch=1 QuantModel)")
+    lines.append(f"achieved throughput "
+                 f"{result['achieved_throughput_rps']:>10.1f} req/s "
+                 f"({result['speedup_vs_sequential']:.2f}x sequential, "
+                 f"mean batch {result['mean_batch_size']:.1f})")
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Serving metrics: counters, gauges, latency histograms, cycle estimates.
+
+The serving runtime is instrumented the way a production inference server
+would be — monotonically increasing counters, point-in-time gauges with a
+high-water mark, and log-bucketed latency histograms that answer
+p50/p95/p99 queries without storing every sample.  :class:`ServeMetrics`
+bundles the engine's full metric set (global and per-network) and dumps
+it as a JSON-ready dict; ``serve-bench`` writes that dict into
+``BENCH_serve.json`` so the perf trajectory is trackable across PRs.
+
+Estimated *simulated* cycles per request come from the static
+``network_trace`` model (builder counts x timesteps), i.e. what the
+request would have cost on the extended core — the bridge between the
+serving layer and the paper's cycle accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "ServeMetrics"]
+
+
+class Counter:
+    """A monotonically increasing counter (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value with a high-water mark (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+        self._max = 0
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def value(self):
+        return self._value
+
+    @property
+    def max(self):
+        return self._max
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile queries.
+
+    Buckets are powers of ``2**(1/4)`` starting at 1 microsecond — about
+    66 buckets cover 1 us .. 100 s with <=19% relative error per bucket,
+    which is plenty for p50/p95/p99 reporting.  Exact min/max/sum are
+    tracked alongside, so mean and extremes are not quantized.
+    """
+
+    BASE = 2.0 ** 0.25
+    FLOOR = 1e-6  # seconds
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def _index(self, value: float) -> int:
+        if value <= self.FLOOR:
+            return 0
+        return max(0, int(math.log(value / self.FLOOR, self.BASE)) + 1)
+
+    def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        idx = self._index(seconds)
+        with self._lock:
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+            self._count += 1
+            self._sum += seconds
+            self._min = min(self._min, seconds)
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (bucket upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = max(1, math.ceil(q * self._count))
+            seen = 0
+            for idx in sorted(self._buckets):
+                seen += self._buckets[idx]
+                if seen >= rank:
+                    if idx == 0:
+                        return self.FLOOR
+                    upper = self.FLOOR * self.BASE ** idx
+                    return min(upper, self._max)
+            return self._max
+
+    def summary(self) -> dict:
+        return {
+            "count": self._count,
+            "mean_s": self.mean,
+            "min_s": 0.0 if self._count == 0 else self._min,
+            "max_s": self._max,
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
+        }
+
+
+class _NetworkMetrics:
+    """Per-network slice of the engine metrics."""
+
+    def __init__(self):
+        self.submitted = Counter()
+        self.completed = Counter()
+        self.rejected_timeout = Counter()
+        self.rejected_capacity = Counter()
+        self.failed = Counter()
+        self.batches = Counter()
+        self.queue_depth = Gauge()
+        self.latency = LatencyHistogram()
+        self.sim_cycles = Counter()
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted.value,
+            "completed": self.completed.value,
+            "rejected_timeout": self.rejected_timeout.value,
+            "rejected_capacity": self.rejected_capacity.value,
+            "failed": self.failed.value,
+            "batches": self.batches.value,
+            "queue_depth": self.queue_depth.value,
+            "queue_depth_max": self.queue_depth.max,
+            "sim_cycles": self.sim_cycles.value,
+            "latency": self.latency.summary(),
+        }
+
+
+class ServeMetrics:
+    """The engine's full metric set: global plus per-network."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = _NetworkMetrics()
+        self.per_network: dict[str, _NetworkMetrics] = {}
+        self.batch_sizes: dict[int, int] = {}
+
+    def network(self, name: str) -> _NetworkMetrics:
+        with self._lock:
+            if name not in self.per_network:
+                self.per_network[name] = _NetworkMetrics()
+            return self.per_network[name]
+
+    # ------------------------------------------------------------------
+    # Event hooks called by the engine.
+    def on_submit(self, name: str) -> None:
+        self.total.submitted.inc()
+        self.network(name).submitted.inc()
+
+    def on_reject(self, name: str, reason: str) -> None:
+        counter = ("rejected_timeout" if reason == "timeout"
+                   else "rejected_capacity")
+        getattr(self.total, counter).inc()
+        getattr(self.network(name), counter).inc()
+
+    def on_failed(self, name: str) -> None:
+        self.total.failed.inc()
+        self.network(name).failed.inc()
+
+    def on_batch(self, name: str, batch_size: int, latencies,
+                 sim_cycles_per_request: int) -> None:
+        net = self.network(name)
+        self.total.batches.inc()
+        net.batches.inc()
+        with self._lock:
+            self.batch_sizes[batch_size] = \
+                self.batch_sizes.get(batch_size, 0) + 1
+        for latency in latencies:
+            self.total.completed.inc()
+            net.completed.inc()
+            self.total.latency.record(latency)
+            net.latency.record(latency)
+        cycles = sim_cycles_per_request * len(latencies)
+        self.total.sim_cycles.inc(cycles)
+        net.sim_cycles.inc(cycles)
+
+    def on_queue_depth(self, name: str, depth: int, total_depth: int) -> None:
+        self.network(name).queue_depth.set(depth)
+        self.total.queue_depth.set(total_depth)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            total = sum(size * n for size, n in self.batch_sizes.items())
+            count = sum(self.batch_sizes.values())
+        return total / count if count else 0.0
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            batch_sizes = {str(k): v
+                           for k, v in sorted(self.batch_sizes.items())}
+        return {
+            "total": self.total.to_dict(),
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_distribution": batch_sizes,
+            "per_network": {name: net.to_dict()
+                            for name, net in sorted(self.per_network.items())},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,93 @@
+"""Load generator, serve-bench driver, and the serve-bench CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.rrm.networks import suite
+from repro.serve.engine import EngineConfig, InferenceEngine
+from repro.serve.loadgen import (LoadGenerator, make_request_stream,
+                                 render_table, run_serve_bench,
+                                 sequential_baseline)
+
+NETWORKS = suite(4)
+
+
+class TestStream:
+    def test_stream_is_reproducible(self):
+        first = make_request_stream(NETWORKS, 20, seed=5)
+        second = make_request_stream(NETWORKS, 20, seed=5)
+        assert [n.name for n, _ in first] == [n.name for n, _ in second]
+        for (_, xa), (_, xb) in zip(first, second):
+            assert np.array_equal(xa, xb)
+
+    def test_stream_shapes_match_networks(self):
+        for network, x in make_request_stream(NETWORKS, 30, seed=1):
+            assert x.shape == (network.timesteps, network.input_size)
+            assert x.dtype == np.int64
+
+    def test_arrivals_are_increasing(self):
+        engine = InferenceEngine(networks=NETWORKS)
+        generator = LoadGenerator(engine, rate_rps=1000.0, seed=3)
+        arrivals = generator.arrival_times(50)
+        assert arrivals.shape == (50,)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_rate_must_be_positive(self):
+        engine = InferenceEngine(networks=NETWORKS)
+        with pytest.raises(ValueError):
+            LoadGenerator(engine, rate_rps=0.0)
+
+
+class TestBaseline:
+    def test_sequential_baseline_counts(self):
+        engine = InferenceEngine(networks=NETWORKS)
+        stream = make_request_stream(NETWORKS, 10, seed=2)
+        baseline = sequential_baseline(engine, stream)
+        assert baseline["requests"] == 10
+        assert baseline["elapsed_s"] > 0
+        assert baseline["throughput_rps"] > 0
+
+
+class TestServeBench:
+    def test_bench_writes_json_and_beats_sequential(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        result = run_serve_bench(scale=4, n_requests=120,
+                                 out_path=str(out))
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk["bench"] == "serve"
+        assert on_disk["submitted"] == 120
+        assert (result["completed"]
+                + result["rejected_timeout"]
+                + result["rejected_capacity"]
+                + result["metrics"]["total"]["failed"]) == 120
+        # The point of the subsystem: batched serving must outrun the
+        # sequential per-sample baseline on the same request stream.
+        assert result["achieved_throughput_rps"] > \
+            result["baseline_sequential"]["throughput_rps"]
+        assert result["mean_batch_size"] > 1.0
+        assert result["latency"]["p99_s"] >= result["latency"]["p50_s"]
+        assert result["sim_cycles_total"] > 0
+
+    def test_render_table_mentions_every_network(self):
+        result = run_serve_bench(scale=4, n_requests=60)
+        table = render_table(result)
+        for network in NETWORKS:
+            assert network.name in table
+        assert "achieved throughput" in table
+        assert "sequential baseline" in table
+
+
+class TestCli:
+    def test_serve_bench_command(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        assert main(["serve-bench", "--requests", "60",
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "achieved throughput" in printed
+        assert "sequential baseline" in printed
+        data = json.loads(out.read_text())
+        assert data["submitted"] == 60
