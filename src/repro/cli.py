@@ -18,6 +18,11 @@ Commands:
         load generator, print the latency/throughput table and write
         machine-readable results (default BENCH_serve.json)
 
+    chaos-bench [--requests N] [--duration S] [--out FILE.json]
+        drive the runtime under a scripted fault scenario (weight
+        bit-flips, crashes, latency spikes), print the availability /
+        recovery report and write BENCH_chaos.json
+
     run FILE.s
         assemble and execute a RISC-V assembly file on the extended core,
         then print the register file and execution histogram
@@ -105,6 +110,26 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos_bench(args) -> int:
+    from .serve.chaos import render_chaos_table, run_chaos_bench
+    result = run_chaos_bench(
+        scale=args.scale,
+        level=args.level,
+        n_requests=args.requests,
+        duration_s=args.duration,
+        rate_rps=args.rate,
+        max_batch_size=args.batch,
+        max_linger_s=args.linger_ms / 1e3,
+        integrity_check_every=args.integrity_every,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(render_chaos_table(result))
+    if args.out:
+        print(f"\n[written {args.out}]")
+    return 0
+
+
 def _cmd_run(args) -> int:
     from .core import Cpu, Memory
     from .isa import assemble, reg_name
@@ -169,6 +194,30 @@ def main(argv=None) -> int:
     p_serve.add_argument("--out", default="BENCH_serve.json",
                          help="JSON results path ('' to skip writing)")
 
+    p_chaos = sub.add_parser(
+        "chaos-bench",
+        help="benchmark fault tolerance under a scripted chaos scenario")
+    p_chaos.add_argument("--requests", type=int, default=300,
+                         help="number of requests to generate")
+    p_chaos.add_argument("--duration", type=float, default=3.0,
+                         help="target run duration in seconds (sets the "
+                              "offered rate when --rate is not given)")
+    p_chaos.add_argument("--rate", type=float, default=None,
+                         help="offered load in req/s")
+    p_chaos.add_argument("--level", choices=list("abcde"), default="e")
+    p_chaos.add_argument("--scale", type=int, default=None,
+                         help="suite down-scale factor (default: "
+                              "REPRO_SCALE or 4)")
+    p_chaos.add_argument("--batch", type=int, default=16,
+                         help="max dynamic batch size")
+    p_chaos.add_argument("--linger-ms", type=float, default=2.0,
+                         help="max batching linger in milliseconds")
+    p_chaos.add_argument("--integrity-every", type=int, default=5,
+                         help="weight-CRC verification cadence in batches")
+    p_chaos.add_argument("--seed", type=int, default=2020)
+    p_chaos.add_argument("--out", default="BENCH_chaos.json",
+                         help="JSON results path ('' to skip writing)")
+
     p_run = sub.add_parser("run", help="assemble + execute a .s file")
     p_run.add_argument("file")
     p_run.add_argument("--memory", type=int, default=1 << 20,
@@ -184,6 +233,8 @@ def main(argv=None) -> int:
         return _cmd_suite(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "chaos-bench":
+        return _cmd_chaos_bench(args)
     if args.command == "run":
         return _cmd_run(args)
     return 2

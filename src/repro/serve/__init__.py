@@ -1,7 +1,8 @@
 """Batched RRM inference runtime (the serving layer of the stack).
 
 The rest of the repository answers "how fast is one inference on the
-extended core"; this package answers "how do we serve many of them".  It
+extended core"; this package answers "how do we serve many of them" —
+and "how do we keep serving them when the substrate misbehaves".  It
 layers a production-shaped runtime on top of the bit-exact golden model:
 
 * :mod:`repro.serve.batched` — :class:`BatchedQuantModel`, a vectorized
@@ -10,16 +11,30 @@ layers a production-shaped runtime on top of the bit-exact golden model:
   :class:`repro.nn.network.QuantModel` (bit-identical per sample).
 * :mod:`repro.serve.engine` — :class:`InferenceEngine`, per-network
   request queues with dynamic batching (max batch size + max linger),
-  a cached plan/model registry keyed on ``(network, level)``, and
-  per-request deadlines with timeout rejection and load shedding.
+  a cached plan/model registry keyed on ``(network, level)``,
+  per-request deadlines with timeout rejection and load shedding, and
+  the fault-tolerance layer: batch-bisect retry, a worker watchdog and
+  CRC32 weight-integrity guards with automatic repair.
+* :mod:`repro.serve.breaker` — :class:`CircuitBreaker`, the per-network
+  closed/open/half-open state machine with exponential backoff that
+  fast-fails submissions to a broken network
+  (``REJECTED_UNAVAILABLE``).
 * :mod:`repro.serve.metrics` — counters, gauges and latency histograms
-  (p50/p95/p99), plus estimated simulated cycles per request from the
-  static ``network_trace`` model; dumpable as JSON.
+  (p50/p95/p99), breaker-state gauges, fault/retry/repair counters,
+  plus estimated simulated cycles per request from the static
+  ``network_trace`` model; dumpable as JSON.
 * :mod:`repro.serve.loadgen` — an open-loop Poisson load generator and
   the ``serve-bench`` CLI backend that writes ``BENCH_serve.json``.
+* :mod:`repro.serve.chaos` — the ``chaos-bench`` CLI backend: the same
+  load generator under a scripted :class:`repro.faults.FaultInjector`
+  scenario, reporting availability, goodput vs. the fault-free
+  baseline, breaker recovery and integrity repairs into
+  ``BENCH_chaos.json``.
 """
 
 from .batched import BatchedQuantModel
+from .breaker import BreakerState, CircuitBreaker
+from .chaos import default_scenario, render_chaos_table, run_chaos_bench
 from .engine import (EngineConfig, InferenceEngine, ModelRegistry, Request,
                      RequestStatus)
 from .loadgen import LoadGenerator, run_serve_bench, sequential_baseline
@@ -27,6 +42,8 @@ from .metrics import Counter, Gauge, LatencyHistogram, ServeMetrics
 
 __all__ = [
     "BatchedQuantModel",
+    "BreakerState",
+    "CircuitBreaker",
     "EngineConfig",
     "InferenceEngine",
     "ModelRegistry",
@@ -35,6 +52,9 @@ __all__ = [
     "LoadGenerator",
     "run_serve_bench",
     "sequential_baseline",
+    "default_scenario",
+    "render_chaos_table",
+    "run_chaos_bench",
     "Counter",
     "Gauge",
     "LatencyHistogram",

@@ -1,4 +1,6 @@
-"""The inference engine: queues, dynamic batching, plan cache, deadlines.
+"""The inference engine: queues, dynamic batching, plan cache, deadlines —
+and the fault-tolerance layer that keeps all of it serving under injected
+hardware- and software-level faults.
 
 One :class:`InferenceEngine` serves the whole network suite.  Each
 network gets its own request queue and worker thread; the worker forms
@@ -15,6 +17,23 @@ Overload behaviour degrades gracefully rather than collapsing:
 * under pressure (queue deeper than ``pressure_depth``) the linger is
   skipped entirely, trading batch size for queueing latency.
 
+Fault behaviour degrades gracefully too (see ``docs/ROBUSTNESS.md``):
+
+* **Batch-bisect retry** — a failed batch execution splits recursively
+  so a poison request fails alone while every peer still completes with
+  bit-exact output.
+* **Circuit breakers** — per-network; N consecutive fully-failed batches
+  open the breaker, new submissions are rejected fast
+  (``rejected_unavailable``), and exponential-backoff half-open probes
+  re-close it once the network recovers.
+* **Worker watchdog** — a supervisor thread detects dead or stalled
+  workers, fails their stranded in-flight requests, and restarts them
+  (bounded; after ``max_worker_restarts`` the breaker is forced open).
+* **Weight-integrity guards** — CRC32 checksums over every quantized
+  parameter array, verified on a batch cadence and on batch failure;
+  a mismatch (e.g. an injected SEU bit flip) triggers an automatic
+  re-quantize-and-reload repair.
+
 The model registry is keyed on ``(network, level)`` and reuses
 :func:`repro.rrm.suite.plan_for`, so the codegen/static-timing plan for
 a network is built once and shared with the rest of the repo's cached
@@ -27,15 +46,18 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.plans import InjectedWorkerDeath
 from ..nn.network import Network, QuantModel, init_params, quantize_params
 from ..rrm.networks import suite
 from ..rrm.suite import network_trace, plan_for
 from .batched import BatchedQuantModel
+from .breaker import CircuitBreaker
 from .metrics import ServeMetrics
 
 __all__ = ["EngineConfig", "InferenceEngine", "ModelRegistry", "Request",
@@ -47,6 +69,8 @@ class RequestStatus:
     DONE = "done"
     REJECTED_TIMEOUT = "rejected_timeout"
     REJECTED_CAPACITY = "rejected_capacity"
+    #: Fast-fail while the network's circuit breaker is open.
+    REJECTED_UNAVAILABLE = "rejected_unavailable"
     FAILED = "failed"
 
 
@@ -59,6 +83,9 @@ class Request:
     submit_time: float
     deadline: float | None = None
     id: int = 0
+    #: Per-network arrival index (stamped at submit).  Fault injection is
+    #: keyed on this, which is what makes chaos scenarios reproducible.
+    seq: int = 0
     status: str = RequestStatus.PENDING
     output: np.ndarray | None = None
     latency: float | None = None
@@ -103,6 +130,15 @@ class ModelEntry:
     params_raw: list
     cycles_per_request: int
     plan: object
+    #: CRC32 per parameter array, frozen at registry build — the ground
+    #: truth the integrity guard re-verifies against.
+    checksums: list = field(default_factory=list)
+
+
+def _param_checksums(params_raw: list) -> list:
+    return [{key: zlib.crc32(np.ascontiguousarray(layer[key]).tobytes())
+             for key in sorted(layer)}
+            for layer in params_raw]
 
 
 class ModelRegistry:
@@ -112,6 +148,12 @@ class ModelRegistry:
     recipe as :class:`repro.rrm.suite.SuiteRunner`), quantized to Q3.12
     and shared by the batched model and the per-sample reference.  The
     codegen plan comes from the repo-wide :func:`plan_for` cache.
+
+    Because the recipe is a pure function of ``(network, seed)``, the
+    registry can also *repair* an entry whose arrays were corrupted in
+    memory: :meth:`repair` re-quantizes pristine parameters and reloads
+    them in place, so the batched model and the reference (which share
+    the arrays) recover together.
     """
 
     def __init__(self, seed: int = 2020):
@@ -119,13 +161,16 @@ class ModelRegistry:
         self._lock = threading.Lock()
         self._entries: dict[tuple, ModelEntry] = {}
 
+    def _pristine_params(self, network: Network) -> list:
+        return quantize_params(
+            init_params(network, np.random.default_rng(self.seed)))
+
     def get(self, network: Network, level: str) -> ModelEntry:
         key = (network, level)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                params = quantize_params(
-                    init_params(network, np.random.default_rng(self.seed)))
+                params = self._pristine_params(network)
                 entry = ModelEntry(
                     network=network,
                     level=level,
@@ -135,9 +180,36 @@ class ModelRegistry:
                     cycles_per_request=network_trace(network,
                                                      level).total_cycles,
                     plan=plan_for(network, level),
+                    checksums=_param_checksums(params),
                 )
                 self._entries[key] = entry
         return entry
+
+    def verify(self, entry: ModelEntry) -> list:
+        """Re-checksum an entry's arrays; returns mismatches as
+        ``[(layer_index, key), ...]`` (empty = intact)."""
+        mismatches = []
+        current = _param_checksums(entry.params_raw)
+        for layer_idx, (now, then) in enumerate(zip(current,
+                                                    entry.checksums)):
+            for key in then:
+                if now[key] != then[key]:
+                    mismatches.append((layer_idx, key))
+        return mismatches
+
+    def repair(self, entry: ModelEntry) -> int:
+        """Reload pristine quantized parameters in place.
+
+        Returns the number of arrays restored.  In-place (``np.copyto``)
+        so every model sharing the arrays sees the repair immediately.
+        """
+        pristine = self._pristine_params(entry.network)
+        restored = 0
+        for layer, good in zip(entry.params_raw, pristine):
+            for key in layer:
+                np.copyto(layer[key], good[key])
+                restored += 1
+        return restored
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -145,7 +217,7 @@ class ModelRegistry:
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Batching and overload policy knobs."""
+    """Batching, overload and fault-tolerance policy knobs."""
 
     level: str = "e"
     max_batch_size: int = 16
@@ -157,6 +229,26 @@ class EngineConfig:
     #: whatever is already queued instead of waiting for a full batch).
     pressure_depth: int = 64
     seed: int = 2020
+    #: Consecutive fully-failed batches that open a network's breaker.
+    breaker_failure_threshold: int = 3
+    #: Initial breaker-open duration; doubles per re-open, capped below.
+    breaker_backoff_s: float = 0.05
+    breaker_backoff_max_s: float = 2.0
+    #: Submissions admitted while half-open (one probe batch's worth).
+    breaker_probe_quota: int = 4
+    #: Verify weight CRCs every N dispatched batches per network
+    #: (0 disables the integrity guard entirely).
+    integrity_check_every: int = 50
+    #: Watchdog poll interval and stall threshold.
+    watchdog_interval_s: float = 0.02
+    worker_stall_timeout_s: float = 5.0
+    #: Worker restarts the watchdog will attempt before declaring the
+    #: network dead (breaker forced open, backlog failed).
+    max_worker_restarts: int = 3
+    #: Extra attempts for a failing single-request batch (bisect leaf or
+    #: batch-of-one): a transient fault recovers, a persistent poison
+    #: request still fails after the budget.
+    failed_single_retries: int = 1
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -165,6 +257,18 @@ class EngineConfig:
             raise ValueError("max_linger_s cannot be negative")
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.integrity_check_every < 0:
+            raise ValueError("integrity_check_every cannot be negative")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts cannot be negative")
+        if self.failed_single_retries < 0:
+            raise ValueError("failed_single_retries cannot be negative")
+        if self.watchdog_interval_s <= 0:
+            raise ValueError("watchdog_interval_s must be positive")
+        if self.worker_stall_timeout_s <= 0:
+            raise ValueError("worker_stall_timeout_s must be positive")
 
 
 class _NetworkQueue:
@@ -175,10 +279,23 @@ class _NetworkQueue:
         self.pending: deque[Request] = deque()
         self.cond = threading.Condition()
         self.thread: threading.Thread | None = None
+        #: Per-network arrival counter (fault-injection key space).
+        self.seq = 0
+        #: Batch currently being executed by the worker; left in place on
+        #: worker death so the watchdog can fail it.
+        self.inflight: list[Request] = []
+        #: Monotonic timestamp of the worker's last liveness signal.
+        self.heartbeat = 0.0
+        #: Watchdog restart budget consumed this engine run.
+        self.restarts = 0
+        #: Dispatched-batch counter (integrity-check cadence).
+        self.batches = 0
+        #: True while a stall has been reported and not yet cleared.
+        self.stalled = False
 
 
 class InferenceEngine:
-    """Batched serving runtime for the RRM suite.
+    """Batched, fault-tolerant serving runtime for the RRM suite.
 
     Typical use::
 
@@ -190,22 +307,47 @@ class InferenceEngine:
 
     Requests may be submitted before :meth:`start`; they queue up and are
     served once the workers run (tests use this for deterministic batch
-    formation).  ``clock`` is injectable for tests.
+    formation).  ``clock`` is injectable for tests.  ``fault_injector``
+    (a :class:`repro.faults.FaultInjector`) hooks every execution
+    attempt; ``None`` serves fault-free.
     """
 
     def __init__(self, networks=None, config: EngineConfig | None = None,
                  scale: int | None = None, metrics: ServeMetrics | None = None,
-                 clock=time.monotonic):
+                 clock=time.monotonic, fault_injector=None):
         self.config = config or EngineConfig()
         self.networks = tuple(networks) if networks is not None \
             else suite(scale)
         self.metrics = metrics or ServeMetrics()
         self.clock = clock
+        self.injector = fault_injector
         self.registry = ModelRegistry(seed=self.config.seed)
         self._queues = {net.name: _NetworkQueue(net) for net in self.networks}
         self._ids = itertools.count(1)
         self._running = False
         self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._watchdog_thread: threading.Thread | None = None
+        #: Breaker transition log: ``{"t", "network", "from", "to"}``.
+        self.breaker_events: list[dict] = []
+        self.breakers = {
+            name: CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                backoff_s=self.config.breaker_backoff_s,
+                backoff_max_s=self.config.breaker_backoff_max_s,
+                probe_quota=self.config.breaker_probe_quota,
+                clock=self.clock,
+                on_transition=self._breaker_callback(name),
+            )
+            for name in self._queues
+        }
+
+    def _breaker_callback(self, name: str):
+        def _on_transition(old: str, new: str) -> None:
+            self.breaker_events.append(
+                {"t": self.clock(), "network": name, "from": old, "to": new})
+            self.metrics.on_breaker(name, old, new)
+        return _on_transition
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -214,35 +356,88 @@ class InferenceEngine:
             if self._running:
                 return self
             self._running = True
+            self._stop_event = threading.Event()
+        now = self.clock()
+        for breaker in self.breakers.values():
+            breaker.reset()
         for queue in self._queues.values():
-            thread = threading.Thread(target=self._worker, args=(queue,),
-                                      name=f"serve-{queue.network.name}",
-                                      daemon=True)
-            queue.thread = thread
-            thread.start()
+            queue.restarts = 0
+            queue.stalled = False
+            queue.heartbeat = now
+            self._spawn_worker(queue)
+        watchdog = threading.Thread(target=self._watchdog,
+                                    name="serve-watchdog", daemon=True)
+        self._watchdog_thread = watchdog
+        watchdog.start()
         return self
 
+    def _spawn_worker(self, queue: _NetworkQueue) -> None:
+        thread = threading.Thread(
+            target=self._worker, args=(queue,),
+            name=f"serve-{queue.network.name}-r{queue.restarts}",
+            daemon=True)
+        queue.thread = thread
+        thread.start()
+
     def stop(self, drain: bool = True) -> None:
-        """Stop the workers; with ``drain`` (default) serve the backlog first."""
+        """Stop the workers; with ``drain`` (default) serve the backlog first.
+
+        With ``drain=False`` (or for requests a dead worker left behind)
+        the backlog is *settled* as FAILED rather than stranded: every
+        accepted request is guaranteed a terminal status once ``stop``
+        returns.
+        """
         with self._lock:
-            if not self._running:
-                return
-            if drain:
+            was_running = self._running
+            if was_running and drain:
                 self._drain()
             self._running = False
+        self._stop_event.set()
         for queue in self._queues.values():
             with queue.cond:
                 queue.cond.notify_all()
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(timeout=10.0)
+            self._watchdog_thread = None
         for queue in self._queues.values():
             if queue.thread is not None:
                 queue.thread.join(timeout=10.0)
                 queue.thread = None
+        # Settle anything left: un-drained backlog, batches stranded by a
+        # dead worker, pre-start submissions on a never-started engine.
+        for queue in self._queues.values():
+            leftovers = list(queue.inflight)
+            queue.inflight = []
+            with queue.cond:
+                leftovers.extend(queue.pending)
+                queue.pending.clear()
+            for request in leftovers:
+                self._settle_failed(request, queue.network.name,
+                                    "engine stopped")
+
+    def _settle_failed(self, request: Request, name: str, error: str) -> None:
+        if request._done.is_set():
+            return
+        request._settle(RequestStatus.FAILED, error=error)
+        self.metrics.on_failed(name)
 
     def _drain(self) -> None:
         deadline = time.monotonic() + 30.0
         for queue in self._queues.values():
             with queue.cond:
                 while queue.pending and time.monotonic() < deadline:
+                    thread = queue.thread
+                    dead = thread is None or not thread.is_alive()
+                    if dead and (queue.restarts
+                                 >= self.config.max_worker_restarts):
+                        # The worker is gone for good; waiting out the
+                        # drain deadline would just strand the caller.
+                        stranded = list(queue.pending)
+                        queue.pending.clear()
+                        for request in stranded:
+                            self._settle_failed(request, queue.network.name,
+                                                "worker dead at drain")
+                        break
                     queue.cond.wait(timeout=0.05)
 
     def __enter__(self) -> "InferenceEngine":
@@ -250,6 +445,65 @@ class InferenceEngine:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------
+    # Watchdog.
+    def _watchdog(self) -> None:
+        while self._running:
+            for queue in self._queues.values():
+                if not self._running:
+                    break
+                thread = queue.thread
+                if thread is not None and not thread.is_alive():
+                    self._revive(queue)
+                else:
+                    self._check_stall(queue)
+            self._stop_event.wait(self.config.watchdog_interval_s)
+
+    def _revive(self, queue: _NetworkQueue) -> None:
+        """Handle a dead worker: fail its stranded batch, restart or trip."""
+        name = queue.network.name
+        # Deliberately does NOT take the engine lock: stop(drain=True)
+        # holds it for the whole drain, and a revive must be able to run
+        # concurrently (a restarted worker spawned after stop() flips
+        # ``_running`` just exits immediately, which is harmless).
+        if not self._running:
+            return
+        stranded = list(queue.inflight)
+        queue.inflight = []
+        for request in stranded:
+            self._settle_failed(request, name, "worker died mid-batch")
+        if queue.restarts < self.config.max_worker_restarts:
+            queue.restarts += 1
+            queue.heartbeat = self.clock()
+            self.metrics.on_worker_restart(name)
+            self._spawn_worker(queue)
+        else:
+            # Restart budget exhausted: the network is down.  Fail the
+            # backlog and fast-reject everything new.
+            queue.thread = None
+            self.breakers[name].force_open()
+            with queue.cond:
+                backlog = list(queue.pending)
+                queue.pending.clear()
+                queue.cond.notify_all()
+            for request in backlog:
+                self._settle_failed(request, name,
+                                    "worker permanently dead")
+
+    def _check_stall(self, queue: _NetworkQueue) -> None:
+        name = queue.network.name
+        busy = queue.pending or queue.inflight
+        stale = (self.clock() - queue.heartbeat
+                 > self.config.worker_stall_timeout_s)
+        if busy and stale:
+            if not queue.stalled:
+                queue.stalled = True
+                self.metrics.on_worker_stall(name)
+                self.breakers[name].force_open(
+                    self.config.breaker_backoff_max_s)
+        elif queue.stalled and not stale:
+            queue.stalled = False
 
     # ------------------------------------------------------------------
     # Submission.
@@ -260,7 +514,9 @@ class InferenceEngine:
         ``x_raw`` is a raw Q3.12 input vector ``(in_size,)`` or a
         per-timestep sequence ``(T, in_size)``.  ``timeout_s`` is the
         request deadline relative to now; a request still queued past its
-        deadline is rejected, never silently served late.
+        deadline is rejected, never silently served late.  While the
+        network's circuit breaker is open the request is rejected
+        immediately (``rejected_unavailable``) without queueing.
         """
         queue = self._queues.get(network_name)
         if queue is None:
@@ -276,6 +532,14 @@ class InferenceEngine:
         )
         self.metrics.on_submit(network_name)
         with queue.cond:
+            # Every arrival consumes a sequence number, accepted or not,
+            # so the fault-injection key space is deterministic.
+            request.seq = queue.seq
+            queue.seq += 1
+            if not self.breakers[network_name].allow_request():
+                request._settle(RequestStatus.REJECTED_UNAVAILABLE)
+                self.metrics.on_reject(network_name, "unavailable")
+                return request
             if len(queue.pending) >= self.config.queue_capacity:
                 request._settle(RequestStatus.REJECTED_CAPACITY)
                 self.metrics.on_reject(network_name, "capacity")
@@ -297,7 +561,8 @@ class InferenceEngine:
         cfg = self.config
         with queue.cond:
             while True:
-                if not self._running and not queue.pending:
+                queue.heartbeat = self.clock()
+                if not self._running:
                     return []
                 if queue.pending:
                     oldest = queue.pending[0].submit_time
@@ -305,34 +570,57 @@ class InferenceEngine:
                     full = depth >= cfg.max_batch_size
                     pressured = depth > cfg.pressure_depth
                     lingered = (self.clock() - oldest) >= cfg.max_linger_s
-                    if full or pressured or lingered or not self._running:
+                    if full or pressured or lingered:
                         batch = [queue.pending.popleft()
                                  for _ in range(min(depth,
                                                     cfg.max_batch_size))]
                         queue.cond.notify_all()
                         return batch
                     remaining = cfg.max_linger_s - (self.clock() - oldest)
-                    queue.cond.wait(timeout=max(remaining, 1e-4))
+                    queue.cond.wait(timeout=min(max(remaining, 1e-4), 0.05))
                 else:
                     queue.cond.wait(timeout=0.05)
 
     def _worker(self, queue: _NetworkQueue) -> None:
-        while True:
-            batch = self._collect_batch(queue)
-            if not batch:
-                return
-            self._report_depth(queue.network.name, len(queue.pending))
-            self._execute(queue.network, batch)
+        try:
+            while True:
+                queue.heartbeat = self.clock()
+                batch = self._collect_batch(queue)
+                if not batch:
+                    return
+                self._report_depth(queue.network.name, len(queue.pending))
+                queue.inflight = batch
+                self._execute(queue.network, batch)
+                queue.inflight = []
+        except InjectedWorkerDeath:
+            # Simulated hard death: exit silently with ``inflight`` still
+            # populated — detecting and cleaning this up is the
+            # watchdog's job, exactly as for a real crashed worker.
+            return
 
     def _execute(self, network: Network, batch: list[Request]) -> None:
+        name = network.name
         now = self.clock()
         live: list[Request] = []
         for request in batch:
             if request.deadline is not None and now > request.deadline:
                 request._settle(RequestStatus.REJECTED_TIMEOUT)
-                self.metrics.on_reject(network.name, "timeout")
+                self.metrics.on_reject(name, "timeout")
             else:
                 live.append(request)
+        if not live:
+            return
+        # Everything from here on is guarded: no exception may kill the
+        # worker thread (registry build failures included — they settle
+        # the batch as FAILED instead of stranding the queue forever).
+        try:
+            entry = self.registry.get(network, self.config.level)
+        except Exception as exc:
+            for request in live:
+                self._settle_failed(request, name, repr(exc))
+            self.metrics.on_batch_failure(name)
+            self.breakers[name].record_failure()
+            return
         # Malformed inputs fail their own request, never the batch or
         # the worker thread.
         valid: list[Request] = []
@@ -343,27 +631,91 @@ class InferenceEngine:
                 valid.append(request)
             except ValueError as exc:
                 request._settle(RequestStatus.FAILED, error=str(exc))
-                self.metrics.on_failed(network.name)
+                self.metrics.on_failed(name)
         live = valid
         if not live:
             return
-        entry = self.registry.get(network, self.config.level)
+        successes = self._run_attempt(network, entry, live, inputs, depth=0)
+        if successes > 0:
+            self.breakers[name].record_success()
+        else:
+            self.breakers[name].record_failure()
+
+    def _run_attempt(self, network: Network, entry: ModelEntry,
+                     requests: list[Request], inputs: list[np.ndarray],
+                     depth: int, retries: int | None = None) -> int:
+        """One execution attempt; recurses (bisect/retry) on failure.
+
+        Returns the number of requests settled DONE.  A failing batch of
+        size > 1 splits in half and retries each side independently, so
+        a poison request is isolated in O(log batch) re-executions while
+        every healthy peer still completes.  A failing batch of size 1
+        is retried ``failed_single_retries`` times (a transient fault
+        recovers; a persistent one fails only itself).
+        """
+        name = network.name
+        if retries is None:
+            retries = self.config.failed_single_retries
         try:
+            if self.injector is not None:
+                self.injector.before_execute(name, entry, requests, inputs,
+                                             metrics=self.metrics)
+            if depth == 0:
+                self._integrity_tick(network, entry)
             outputs = entry.model.infer(np.stack(inputs))
-        except Exception as exc:  # defensive: keep the worker alive
-            for request in live:
-                request._settle(RequestStatus.FAILED, error=repr(exc))
-                self.metrics.on_failed(network.name)
-            return
+        except Exception as exc:
+            # InjectedWorkerDeath is a BaseException and deliberately
+            # escapes this guard (that fault targets the watchdog).
+            self.metrics.on_batch_failure(name)
+            if depth == 0:
+                # A batch failure is a cheap moment to re-verify the
+                # weights: crashes and memory corruption travel together.
+                self._integrity_check(network, entry)
+            if len(requests) == 1:
+                if retries > 0:
+                    self.metrics.on_retry(name)
+                    return self._run_attempt(network, entry, requests,
+                                             inputs, depth + 1, retries - 1)
+                self._settle_failed(requests[0], name, repr(exc))
+                return 0
+            self.metrics.on_bisect(name)
+            mid = len(requests) // 2
+            return (self._run_attempt(network, entry, requests[:mid],
+                                      inputs[:mid], depth + 1)
+                    + self._run_attempt(network, entry, requests[mid:],
+                                        inputs[mid:], depth + 1))
         done = self.clock()
         latencies = []
-        for row, request in enumerate(live):
+        for row, request in enumerate(requests):
             latency = done - request.submit_time
             request._settle(RequestStatus.DONE, output=outputs[row],
-                            latency=latency, batch_size=len(live))
+                            latency=latency, batch_size=len(requests))
             latencies.append(latency)
-        self.metrics.on_batch(network.name, len(live), latencies,
+        self.metrics.on_batch(name, len(requests), latencies,
                               entry.cycles_per_request)
+        return len(requests)
+
+    # ------------------------------------------------------------------
+    # Weight integrity.
+    def _integrity_tick(self, network: Network, entry: ModelEntry) -> None:
+        every = self.config.integrity_check_every
+        if not every:
+            return
+        queue = self._queues[network.name]
+        queue.batches += 1
+        if queue.batches % every == 0:
+            self._integrity_check(network, entry)
+
+    def _integrity_check(self, network: Network, entry: ModelEntry) -> None:
+        if not self.config.integrity_check_every:
+            return
+        name = network.name
+        self.metrics.on_integrity_check(name)
+        mismatches = self.registry.verify(entry)
+        if mismatches:
+            self.metrics.on_integrity_violation(name, len(mismatches))
+            self.registry.repair(entry)
+            self.metrics.on_integrity_repair(name)
 
     @staticmethod
     def _normalize_input(network: Network, x: np.ndarray) -> np.ndarray:

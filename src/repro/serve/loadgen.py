@@ -109,9 +109,13 @@ class LoadGenerator:
                 1 for r in requests if r.status == "rejected_timeout"),
             "rejected_capacity": sum(
                 1 for r in requests if r.status == "rejected_capacity"),
+            "rejected_unavailable": sum(
+                1 for r in requests if r.status == "rejected_unavailable"),
+            "failed": sum(1 for r in requests if r.status == "failed"),
             "elapsed_s": elapsed,
             "achieved_throughput_rps":
                 completed / elapsed if elapsed > 0 else 0.0,
+            "requests": requests,
         }
 
 
@@ -147,6 +151,7 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
                               timeout_s=timeout_s)
     with engine:
         run = generator.run(stream)
+    run.pop("requests")  # handles are not JSON; chaos-bench uses them
 
     metrics = engine.metrics.to_dict()
     completed = run["completed"]

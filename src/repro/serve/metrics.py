@@ -147,8 +147,22 @@ class _NetworkMetrics:
         self.completed = Counter()
         self.rejected_timeout = Counter()
         self.rejected_capacity = Counter()
+        self.rejected_unavailable = Counter()
         self.failed = Counter()
         self.batches = Counter()
+        self.batch_failures = Counter()
+        self.bisects = Counter()
+        self.retries = Counter()
+        self.integrity_checks = Counter()
+        self.integrity_violations = Counter()
+        self.integrity_repairs = Counter()
+        self.worker_restarts = Counter()
+        self.worker_stalls = Counter()
+        self.faults_injected = Counter()
+        self.breaker_opens = Counter()
+        self.breaker_closes = Counter()
+        #: Point-in-time breaker state (plain str write, GIL-safe).
+        self.breaker_state = "closed"
         self.queue_depth = Gauge()
         self.latency = LatencyHistogram()
         self.sim_cycles = Counter()
@@ -159,8 +173,23 @@ class _NetworkMetrics:
             "completed": self.completed.value,
             "rejected_timeout": self.rejected_timeout.value,
             "rejected_capacity": self.rejected_capacity.value,
+            "rejected_unavailable": self.rejected_unavailable.value,
             "failed": self.failed.value,
             "batches": self.batches.value,
+            "batch_failures": self.batch_failures.value,
+            "bisects": self.bisects.value,
+            "retries": self.retries.value,
+            "integrity_checks": self.integrity_checks.value,
+            "integrity_violations": self.integrity_violations.value,
+            "integrity_repairs": self.integrity_repairs.value,
+            "worker_restarts": self.worker_restarts.value,
+            "worker_stalls": self.worker_stalls.value,
+            "faults_injected": self.faults_injected.value,
+            "breaker": {
+                "state": self.breaker_state,
+                "opens": self.breaker_opens.value,
+                "closes": self.breaker_closes.value,
+            },
             "queue_depth": self.queue_depth.value,
             "queue_depth_max": self.queue_depth.max,
             "sim_cycles": self.sim_cycles.value,
@@ -176,6 +205,8 @@ class ServeMetrics:
         self.total = _NetworkMetrics()
         self.per_network: dict[str, _NetworkMetrics] = {}
         self.batch_sizes: dict[int, int] = {}
+        #: Injected-fault counts by fault kind (engine-wide).
+        self.fault_counts: dict[str, int] = {}
 
     def network(self, name: str) -> _NetworkMetrics:
         with self._lock:
@@ -190,14 +221,68 @@ class ServeMetrics:
         self.network(name).submitted.inc()
 
     def on_reject(self, name: str, reason: str) -> None:
-        counter = ("rejected_timeout" if reason == "timeout"
-                   else "rejected_capacity")
+        counter = {"timeout": "rejected_timeout",
+                   "capacity": "rejected_capacity",
+                   "unavailable": "rejected_unavailable"}[reason]
         getattr(self.total, counter).inc()
         getattr(self.network(name), counter).inc()
 
     def on_failed(self, name: str) -> None:
         self.total.failed.inc()
         self.network(name).failed.inc()
+
+    def on_batch_failure(self, name: str) -> None:
+        """One execution attempt (top-level or bisect half) failed."""
+        self.total.batch_failures.inc()
+        self.network(name).batch_failures.inc()
+
+    def on_bisect(self, name: str) -> None:
+        """A failed batch was split for retry."""
+        self.total.bisects.inc()
+        self.network(name).bisects.inc()
+
+    def on_retry(self, name: str) -> None:
+        """A failed single-request batch was re-attempted."""
+        self.total.retries.inc()
+        self.network(name).retries.inc()
+
+    def on_integrity_check(self, name: str) -> None:
+        self.total.integrity_checks.inc()
+        self.network(name).integrity_checks.inc()
+
+    def on_integrity_violation(self, name: str, n_arrays: int = 1) -> None:
+        self.total.integrity_violations.inc(n_arrays)
+        self.network(name).integrity_violations.inc(n_arrays)
+
+    def on_integrity_repair(self, name: str) -> None:
+        self.total.integrity_repairs.inc()
+        self.network(name).integrity_repairs.inc()
+
+    def on_worker_restart(self, name: str) -> None:
+        self.total.worker_restarts.inc()
+        self.network(name).worker_restarts.inc()
+
+    def on_worker_stall(self, name: str) -> None:
+        self.total.worker_stalls.inc()
+        self.network(name).worker_stalls.inc()
+
+    def on_fault(self, name: str, kind: str) -> None:
+        """The fault injector fired one fault event."""
+        self.total.faults_injected.inc()
+        self.network(name).faults_injected.inc()
+        with self._lock:
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
+    def on_breaker(self, name: str, old_state: str, new_state: str) -> None:
+        """A network's circuit breaker changed state."""
+        net = self.network(name)
+        net.breaker_state = new_state
+        if new_state == "open":
+            self.total.breaker_opens.inc()
+            net.breaker_opens.inc()
+        elif new_state == "closed" and old_state != "closed":
+            self.total.breaker_closes.inc()
+            net.breaker_closes.inc()
 
     def on_batch(self, name: str, batch_size: int, latencies,
                  sim_cycles_per_request: int) -> None:
@@ -232,10 +317,12 @@ class ServeMetrics:
         with self._lock:
             batch_sizes = {str(k): v
                            for k, v in sorted(self.batch_sizes.items())}
+            fault_counts = dict(sorted(self.fault_counts.items()))
         return {
             "total": self.total.to_dict(),
             "mean_batch_size": self.mean_batch_size,
             "batch_size_distribution": batch_sizes,
+            "faults_by_kind": fault_counts,
             "per_network": {name: net.to_dict()
                             for name, net in sorted(self.per_network.items())},
         }

@@ -1,0 +1,250 @@
+"""Fault plans and the deterministic injector (``repro.faults``)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (FaultInjector, FaultPlan, FaultSpec, InjectedCrash,
+                          InjectedWorkerDeath, flip_bit16)
+from repro.rrm.networks import suite
+from repro.serve.engine import ModelRegistry
+
+SEED = 2020
+NETWORKS = suite(4)
+NET = NETWORKS[0]
+
+
+class _Req:
+    """Minimal stand-in for an engine request (only ``seq`` matters)."""
+
+    def __init__(self, seq):
+        self.seq = seq
+
+
+def _reqs(*seqs):
+    return [_Req(s) for s in seqs]
+
+
+def _entry():
+    return ModelRegistry(seed=SEED).get(NET, "e")
+
+
+def _inputs(n, size=4):
+    return [np.zeros((1, size), dtype=np.int64) for _ in range(n)]
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash", start=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash", start=5, stop=2)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="bitflip", rate=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="latency", delay_s=-0.1)
+
+    def test_window_and_scope(self):
+        spec = FaultSpec(kind="crash", network="a", start=3, stop=6)
+        assert spec.applies_to("a") and not spec.applies_to("b")
+        assert not spec.in_window(2)
+        assert spec.in_window(3) and spec.in_window(5)
+        assert not spec.in_window(6)
+        unbounded = FaultSpec(kind="crash", start=1)
+        assert unbounded.applies_to("anything")
+        assert unbounded.in_window(10 ** 9)
+
+    def test_poison_window_is_explicit_seqs(self):
+        spec = FaultSpec(kind="poison", seqs=(7, 3))
+        assert spec.seqs == (3, 7)
+        assert spec.in_window(3) and spec.in_window(7)
+        assert not spec.in_window(4)
+
+    def test_plan_accepts_dicts_and_filters_by_network(self):
+        plan = FaultPlan([{"kind": "crash", "network": "a"},
+                          FaultSpec(kind="latency", network="b")])
+        assert len(plan) == 2
+        assert [s.kind for s in plan.for_network("a")] == ["crash"]
+        assert plan.to_dict()["specs"][0]["kind"] == "crash"
+
+
+class TestFlipBit16:
+    def test_flip_is_involution(self):
+        for value in (-32768, -1, 0, 1, 4095, 32767):
+            for bit in (0, 7, 15):
+                once = flip_bit16(value, bit)
+                assert flip_bit16(once, bit) == value
+
+    def test_sign_bit_flip_stays_in_int16(self):
+        assert flip_bit16(32767, 15) == -1
+        assert flip_bit16(0, 15) == -32768
+        for value in (-32768, -12345, 0, 12345, 32767):
+            for bit in range(16):
+                assert -32768 <= flip_bit16(value, bit) <= 32767
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bit16(0, 16)
+
+
+class TestInjectorMechanics:
+    def test_transient_crash_fires_once_per_seq(self):
+        injector = FaultInjector([FaultSpec(kind="crash", network=NET.name,
+                                            start=0, stop=10)], seed=SEED)
+        entry = _entry()
+        with pytest.raises(InjectedCrash):
+            injector.before_execute(NET.name, entry, _reqs(1, 2),
+                                    _inputs(2))
+        # Retry of the same seqs passes: the fault was transient.
+        injector.before_execute(NET.name, entry, _reqs(1, 2), _inputs(2))
+        assert injector.counts() == {"crash": 2}
+
+    def test_persistent_crash_refires_and_logs_once(self):
+        injector = FaultInjector([FaultSpec(kind="crash", network=NET.name,
+                                            stop=10, transient=False)],
+                                 seed=SEED)
+        entry = _entry()
+        for _ in range(3):
+            with pytest.raises(InjectedCrash):
+                injector.before_execute(NET.name, entry, _reqs(1),
+                                        _inputs(1))
+        assert injector.counts() == {"crash": 1}
+
+    def test_poison_refires_until_isolated(self):
+        injector = FaultInjector([FaultSpec(kind="poison", network=NET.name,
+                                            seqs=(2,))], seed=SEED)
+        entry = _entry()
+        with pytest.raises(InjectedCrash):
+            injector.before_execute(NET.name, entry, _reqs(0, 1, 2),
+                                    _inputs(3))
+        with pytest.raises(InjectedCrash):
+            injector.before_execute(NET.name, entry, _reqs(2), _inputs(1))
+        injector.before_execute(NET.name, entry, _reqs(0, 1), _inputs(2))
+        assert injector.counts() == {"poison": 1}
+
+    def test_out_of_window_and_other_network_untouched(self):
+        injector = FaultInjector([FaultSpec(kind="crash", network=NET.name,
+                                            start=5, stop=6)], seed=SEED)
+        entry = _entry()
+        injector.before_execute(NET.name, entry, _reqs(4, 6), _inputs(2))
+        injector.before_execute("other", entry, _reqs(5), _inputs(1))
+        assert injector.counts() == {}
+
+    def test_kill_raises_worker_death_once(self):
+        injector = FaultInjector([FaultSpec(kind="kill", network=NET.name,
+                                            start=0, stop=1)], seed=SEED)
+        entry = _entry()
+        with pytest.raises(InjectedWorkerDeath):
+            injector.before_execute(NET.name, entry, _reqs(0), _inputs(1))
+        assert not isinstance(InjectedWorkerDeath("x"), Exception)
+        injector.before_execute(NET.name, entry, _reqs(0), _inputs(1))
+
+    def test_latency_sleeps_through_injectable_clock(self):
+        injector = FaultInjector([FaultSpec(kind="latency", network=NET.name,
+                                            stop=10, delay_s=0.5)],
+                                 seed=SEED)
+        slept = []
+        injector.sleep = slept.append
+        entry = _entry()
+        injector.before_execute(NET.name, entry, _reqs(0), _inputs(1))
+        assert slept == [0.5]
+        # Second attempt on the same seq does not re-stall.
+        injector.before_execute(NET.name, entry, _reqs(0), _inputs(1))
+        assert slept == [0.5]
+
+    def test_corrupt_is_idempotent(self):
+        injector = FaultInjector([FaultSpec(kind="corrupt", network=NET.name,
+                                            stop=10)], seed=SEED)
+        entry = _entry()
+        x1 = np.zeros((2, 8), dtype=np.int64)
+        injector.before_execute(NET.name, entry, _reqs(3), [x1])
+        assert np.any(x1 != 0)
+        first = x1.copy()
+        injector.before_execute(NET.name, entry, _reqs(3), [x1])
+        assert np.array_equal(x1, first)
+
+
+class TestBitFlipsAndIntegrity:
+    def test_bitflips_detected_and_repaired(self):
+        registry = ModelRegistry(seed=SEED)
+        entry = registry.get(NET, "e")
+        pristine = [{k: v.copy() for k, v in layer.items()}
+                    for layer in entry.params_raw]
+        injector = FaultInjector([FaultSpec(kind="bitflip", network=NET.name,
+                                            stop=50, rate=2.0)], seed=SEED)
+        for seq in range(10):
+            injector.before_execute(NET.name, entry, _reqs(seq), _inputs(1))
+        assert injector.counts().get("bitflip", 0) >= 1
+        assert registry.verify(entry)  # corruption detected
+        restored = registry.repair(entry)
+        assert restored == sum(len(layer) for layer in entry.params_raw)
+        assert not registry.verify(entry)
+        for layer, good in zip(entry.params_raw, pristine):
+            for key in layer:
+                assert np.array_equal(layer[key], good[key])
+
+    def test_flipped_values_stay_in_q312_storage_range(self):
+        registry = ModelRegistry(seed=SEED)
+        entry = registry.get(NET, "e")
+        injector = FaultInjector([FaultSpec(kind="bitflip", network=NET.name,
+                                            stop=50, rate=4.0)], seed=SEED)
+        for seq in range(20):
+            injector.before_execute(NET.name, entry, _reqs(seq), _inputs(1))
+        for layer in entry.params_raw:
+            for arr in layer.values():
+                assert arr.min() >= -32768 and arr.max() <= 32767
+
+
+class TestDeterminism:
+    PLAN = [
+        FaultSpec(kind="bitflip", network=NET.name, start=2, stop=12,
+                  rate=1.0),
+        FaultSpec(kind="crash", network=NET.name, start=4, stop=9,
+                  probability=0.7),
+        FaultSpec(kind="latency", network=NET.name, start=1, stop=3,
+                  delay_s=0.01),
+    ]
+
+    def _exercise(self, groupings):
+        """Run the plan over seqs 0..14 batched as ``groupings``."""
+        injector = FaultInjector(self.PLAN, seed=SEED)
+        injector.sleep = lambda _s: None
+        entry = _entry()
+        for group in groupings:
+            try:
+                injector.before_execute(NET.name, entry, _reqs(*group),
+                                        _inputs(len(group)))
+            except InjectedCrash:
+                # bisect-style: retry each element alone
+                for seq in group:
+                    try:
+                        injector.before_execute(NET.name, entry, _reqs(seq),
+                                                _inputs(1))
+                    except InjectedCrash:
+                        pass
+        return injector
+
+    def test_identical_log_regardless_of_batching(self):
+        seqs = list(range(15))
+        one_by_one = self._exercise([[s] for s in seqs])
+        big_batches = self._exercise([seqs[0:6], seqs[6:11], seqs[11:15]])
+        assert one_by_one.canonical_log() == big_batches.canonical_log()
+        assert one_by_one.log_digest() == big_batches.log_digest()
+        assert one_by_one.counts() == big_batches.counts()
+
+    def test_different_seed_different_sequence(self):
+        a = FaultInjector(self.PLAN, seed=1)
+        b = FaultInjector(self.PLAN, seed=2)
+        for injector in (a, b):
+            injector.sleep = lambda _s: None
+            entry = _entry()
+            for seq in range(15):
+                try:
+                    injector.before_execute(NET.name, entry, _reqs(seq),
+                                            _inputs(1))
+                except InjectedCrash:
+                    pass
+        assert a.log_digest() != b.log_digest()

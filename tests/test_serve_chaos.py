@@ -1,0 +1,75 @@
+"""Chaos bench harness: availability, recovery and run-to-run determinism
+on a small scripted scenario (the full default scenario runs under
+``benchmarks/test_chaos.py``)."""
+
+import json
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.rrm.networks import suite
+from repro.serve.chaos import default_scenario, run_chaos_bench
+
+NAMES = sorted(net.name for net in suite(4))
+
+# Small but spicy: guaranteed weight corruption on one network (high-rate
+# bit flips with a tight integrity cadence forces >= 1 repair) and a
+# persistent crash window on another (forces the breaker open; the seq
+# counter advances past the window, so probes re-close it).
+SCENARIO = FaultPlan([
+    FaultSpec(kind="bitflip", network=NAMES[0], start=1, stop=10, rate=3.0),
+    FaultSpec(kind="crash", network=NAMES[1], start=0, stop=4,
+              transient=False),
+])
+
+
+def _run(out_path=None):
+    return run_chaos_bench(scale=4, n_requests=80, duration_s=0.8,
+                           integrity_check_every=1, seed=2020,
+                           scenario=SCENARIO, out_path=out_path)
+
+
+class TestChaosBench:
+    def test_acceptance_and_artifact(self, tmp_path):
+        out = tmp_path / "BENCH_chaos.json"
+        result = _run(out_path=str(out))
+
+        # -- availability: non-rejected requests complete bit-exactly.
+        assert result["chaos"]["submitted"] == 80
+        assert result["availability"] >= 0.90
+        assert result["chaos"]["incorrect"] == 0  # repaired, never wrong
+        assert result["goodput_rps"] > 0
+
+        # -- faults actually fired, and the guard repaired the weights.
+        assert result["faults"]["by_kind"].get("bitflip", 0) >= 1
+        assert result["faults"]["by_kind"].get("crash", 0) >= 1
+        assert result["integrity_repairs"] >= 1
+        assert result["integrity"]["checks"] > 0
+
+        # -- the persistent-crash breaker opened and re-closed.
+        assert result["breakers"]["opens"] >= 1
+        assert result["all_breakers_reclosed"]
+        for durations in result["breakers"]["recovery_s"].values():
+            assert all(d >= 0 for d in durations)
+
+        # -- the artifact on disk is the result, JSON-clean.
+        written = json.loads(out.read_text())
+        assert written["fault_log_sha256"] == result["fault_log_sha256"]
+        assert written["availability"] == result["availability"]
+
+    def test_identical_seed_identical_fault_sequence(self):
+        first = _run()
+        second = _run()
+        assert first["faults"]["log"] == second["faults"]["log"]
+        assert (first["fault_log_sha256"]
+                == second["fault_log_sha256"])
+        assert first["faults"]["by_kind"] == second["faults"]["by_kind"]
+
+    def test_default_scenario_shape(self):
+        networks = suite(4)
+        plan = default_scenario(networks, 300)
+        kinds = [spec.kind for spec in plan.specs]
+        assert kinds == ["bitflip", "crash", "crash", "latency"]
+        # Each process targets its own network, windows are bounded.
+        assert len({spec.network for spec in plan.specs}) == 4
+        assert all(spec.stop is not None for spec in plan.specs)
+        transient = [s for s in plan.specs if s.kind == "crash"]
+        assert {s.transient for s in transient} == {True, False}
