@@ -1,0 +1,34 @@
+"""Static analysis for assembled RISC-V/Xpulp kernel programs.
+
+Layers:
+
+* :mod:`.cfg` — basic blocks, branch/jump/hardware-loop edges,
+  reachability.
+* :mod:`.dataflow` — register liveness and reaching definitions over the
+  CFG, sharing the core's read/write metadata.
+* :mod:`.rules` — the lint rule catalog (scheduling hazards,
+  hardware-loop legality, the ``pl.sdotsp`` SPR protocol, dataflow
+  checks).
+* :mod:`.cycles` — static per-block cycle bounds cross-validated against
+  the instruction-set simulator.
+* :mod:`.linter` — drivers for single programs, generated network
+  kernels, and the full RRM suite (the ``repro lint`` CLI backend).
+"""
+
+from .cfg import BasicBlock, Cfg, HwLoop, build_cfg, find_hw_loops
+from .cycles import (BlockBounds, CycleMismatch, block_cycle_bounds,
+                     validate_block_cycles)
+from .dataflow import ENTRY_DEF, Liveness, ReachingDefs
+from .linter import (ALL_LEVEL_KEYS, LintResult, lint_network,
+                     lint_program, lint_suite, lint_text, render_results)
+from .rules import Finding, Severity, run_rules
+
+__all__ = [
+    "BasicBlock", "Cfg", "HwLoop", "build_cfg", "find_hw_loops",
+    "Liveness", "ReachingDefs", "ENTRY_DEF",
+    "Finding", "Severity", "run_rules",
+    "BlockBounds", "CycleMismatch", "block_cycle_bounds",
+    "validate_block_cycles",
+    "LintResult", "lint_program", "lint_text", "lint_network",
+    "lint_suite", "render_results", "ALL_LEVEL_KEYS",
+]

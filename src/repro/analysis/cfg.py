@@ -1,0 +1,229 @@
+"""Control-flow graph construction over an assembled Program.
+
+Basic blocks are maximal straight-line instruction runs; edges come from
+branches, jumps, sequential fall-through, and hardware-loop back edges.
+The hardware loops (``lp.setup``/``lp.setupi``) are first-class objects:
+their body boundaries create leaders, the block ending the body gets both
+the (free) back edge to the body start and the loop-exit fall-through, and
+a register-counted ``lp.setup`` additionally gets the zero-trip skip edge
+straight to the loop exit (the core skips empty loops, see
+:meth:`repro.core.cpu.Cpu._compile_hwloop`).
+
+``jalr`` targets are data-dependent; the block is marked ``indirect`` and
+gets no static successors (every generated kernel uses ``jalr`` only as
+``ret``).  Running off either end of the program halts the core, so a
+fall-through past the last instruction simply produces no edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.program import Program
+
+__all__ = ["HwLoop", "BasicBlock", "Cfg", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class HwLoop:
+    """One hardware loop: setup instruction plus its body index range."""
+
+    setup_idx: int      # instruction index of lp.setup/lp.setupi
+    body_start: int     # first body instruction index
+    body_end: int       # last body instruction index (inclusive)
+    index: int          # hardware loop register set (0 or 1)
+    counted: bool       # True for lp.setupi (immediate trip count)
+    count: int          # trip count for lp.setupi, else 0
+
+    def contains(self, idx: int) -> bool:
+        return self.body_start <= idx <= self.body_end
+
+    @property
+    def body_len(self) -> int:
+        return self.body_end - self.body_start + 1
+
+
+@dataclass
+class BasicBlock:
+    """Instructions ``[start, end]`` (inclusive instruction indices)."""
+
+    id: int
+    start: int
+    end: int
+    succs: list = field(default_factory=list)   # successor block ids
+    preds: list = field(default_factory=list)   # predecessor block ids
+    #: terminator is an indirect jump (jalr) with unknown targets
+    indirect: bool = False
+    #: id of the block this one's hardware-loop back edge targets, if any
+    back_edge_to: int | None = None
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def indices(self):
+        return range(self.start, self.end + 1)
+
+
+class Cfg:
+    """Control-flow graph: blocks, loops, reachability."""
+
+    def __init__(self, program: Program, blocks: list, block_of: list,
+                 loops: list, bad_targets: list):
+        self.program = program
+        self.blocks = blocks
+        #: instruction index -> id of the block containing it
+        self.block_of = block_of
+        self.loops = loops
+        #: (instr index, byte target) pairs pointing outside the program
+        self.bad_targets = bad_targets
+        self.reachable = self._reachability()
+
+    def _reachability(self) -> set:
+        if not self.blocks:
+            return set()
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def block_at(self, idx: int) -> BasicBlock:
+        """The block containing instruction index ``idx``."""
+        return self.blocks[self.block_of[idx]]
+
+    @property
+    def unreachable_blocks(self) -> list:
+        return [b for b in self.blocks if b.id not in self.reachable]
+
+    def loops_containing(self, idx: int) -> list:
+        """Loops whose body contains instruction index ``idx``,
+        outermost first."""
+        found = [lp for lp in self.loops if lp.contains(idx)]
+        return sorted(found, key=lambda lp: lp.body_start - lp.body_end)
+
+    def render(self) -> str:
+        """Human-readable block listing with edges (debugging aid)."""
+        lines = []
+        for block in self.blocks:
+            mark = "" if block.id in self.reachable else "  [unreachable]"
+            lines.append(f"block {block.id}: instrs {block.start}..",)
+            lines[-1] = (f"block {block.id}: 0x{block.start * 4:x}.."
+                         f"0x{block.end * 4:x} -> {block.succs}{mark}")
+            for idx in block.indices():
+                lines.append(f"    {idx * 4:6x}:  {self.program[idx]}")
+        return "\n".join(lines)
+
+
+def _branch_target(program: Program, idx: int) -> int | None:
+    """Instruction index a branch/jal at ``idx`` transfers to, or None
+    when the target is outside the program."""
+    instr = program[idx]
+    target = instr.addr + instr.imm
+    if target % 4 or not 0 <= target < program.size_bytes:
+        return None
+    return target // 4
+
+
+def find_hw_loops(program: Program) -> tuple:
+    """All hardware loops plus malformed (idx, byte target) records."""
+    loops = []
+    bad = []
+    for idx, instr in enumerate(program):
+        if instr.mnemonic not in ("lp.setup", "lp.setupi"):
+            continue
+        end_addr = instr.addr + instr.imm2
+        if end_addr % 4 or not instr.addr < end_addr < program.size_bytes:
+            bad.append((idx, end_addr))
+            continue
+        loops.append(HwLoop(
+            setup_idx=idx, body_start=idx + 1, body_end=end_addr // 4,
+            index=instr.loop, counted=instr.mnemonic == "lp.setupi",
+            count=instr.imm if instr.mnemonic == "lp.setupi" else 0))
+    return loops, bad
+
+
+def build_cfg(program: Program) -> Cfg:
+    """Build the CFG for ``program``."""
+    n = len(program)
+    if n == 0:
+        return Cfg(program, [], [], [], [])
+    loops, bad_targets = find_hw_loops(program)
+    loop_end = {lp.body_end: lp for lp in loops}
+
+    leaders = {0}
+    for idx, instr in enumerate(program):
+        spec = instr.spec
+        if spec.is_branch or instr.mnemonic == "jal":
+            target = _branch_target(program, idx)
+            if target is None:
+                bad_targets.append((idx, instr.addr + instr.imm))
+            else:
+                leaders.add(target)
+            if idx + 1 < n:
+                leaders.add(idx + 1)
+        elif spec.is_jump or instr.mnemonic == "ebreak":
+            if idx + 1 < n:
+                leaders.add(idx + 1)
+    for lp in loops:
+        leaders.add(lp.body_start)
+        if lp.body_end + 1 < n:
+            leaders.add(lp.body_end + 1)
+
+    starts = sorted(leaders)
+    blocks = []
+    block_of = [0] * n
+    for bid, start in enumerate(starts):
+        end = (starts[bid + 1] - 1) if bid + 1 < len(starts) else n - 1
+        blocks.append(BasicBlock(id=bid, start=start, end=end))
+        for idx in range(start, end + 1):
+            block_of[idx] = bid
+
+    for block in blocks:
+        term_idx = block.end
+        instr = program[term_idx]
+        spec = instr.spec
+        succs = []
+        if instr.mnemonic == "ebreak":
+            pass  # halt: no successors
+        elif spec.is_branch:
+            target = _branch_target(program, term_idx)
+            if target is not None:
+                succs.append(block_of[target])
+            if term_idx + 1 < n:
+                succs.append(block_of[term_idx + 1])
+        elif instr.mnemonic == "jal":
+            target = _branch_target(program, term_idx)
+            if target is not None:
+                succs.append(block_of[target])
+        elif spec.is_jump:  # jalr: indirect
+            block.indirect = True
+        elif instr.mnemonic in ("lp.setup", "lp.setupi"):
+            if term_idx + 1 < n:
+                succs.append(block_of[term_idx + 1])
+            # register-counted loops skip an empty body entirely
+            matching = [lp for lp in loops if lp.setup_idx == term_idx]
+            if matching and not matching[0].counted:
+                exit_idx = matching[0].body_end + 1
+                if exit_idx < n:
+                    succs.append(block_of[exit_idx])
+        elif term_idx + 1 < n:
+            succs.append(block_of[term_idx + 1])
+        # hardware-loop back edge from the body-ending block
+        lp = loop_end.get(term_idx)
+        if lp is not None:
+            back = block_of[lp.body_start]
+            if back not in succs:
+                succs.append(back)
+            block.back_edge_to = back
+            exit_bid = block_of[term_idx + 1] if term_idx + 1 < n else None
+            if exit_bid is not None and exit_bid not in succs:
+                succs.append(exit_bid)
+        block.succs = succs
+
+    for block in blocks:
+        for succ in block.succs:
+            blocks[succ].preds.append(block.id)
+    return Cfg(program, blocks, block_of, loops, bad_targets)

@@ -1,0 +1,197 @@
+"""Static per-basic-block cycle bounds, cross-validated against the ISS.
+
+For each basic block this computes a ``(min, max)`` bound on the cycles
+one execution of the block costs under the core's timing model
+(:mod:`repro.core.cpu`):
+
+* 1 cycle base per instruction; ``DIV_CYCLES`` for div/rem.
+* Plain loads: the +1 load-use stall is *static* — the core charges it
+  whenever the next sequential instruction reads the loaded register, so
+  the bound reproduces it exactly.
+* Branch terminators: +1 only when taken, so min/max differ by 1.
+* ``jal``/``jalr`` cost 2; hardware-loop back edges are free.
+* ``pl.sdotsp``: the SPR re-read stall depends on issue distance.  When
+  the previous same-index ``pl.sdotsp`` (scanning backward in the block,
+  wrapping over the back edge for single-block loop bodies) is separated
+  by at least one instruction the re-read distance is provably >= 2 and
+  the bound is exact; otherwise the block gets 1 cycle of slack per
+  unproven re-read.
+
+Blocks that neither end in a branch nor contain an unproven SPR re-read
+get ``min == max``, and :func:`validate_block_cycles` checks those exact
+bounds (and the bracketing of the rest) against a logged ISS run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cpu import DIV_CYCLES, _DIV_OPS
+from ..isa.instructions import reads_mask
+from .cfg import Cfg, build_cfg
+
+__all__ = ["BlockBounds", "block_cycle_bounds", "validate_block_cycles",
+           "CycleMismatch"]
+
+
+@dataclass(frozen=True)
+class BlockBounds:
+    """Cycle bounds for one execution of a basic block."""
+
+    block_id: int
+    min_cycles: int
+    max_cycles: int
+
+    @property
+    def exact(self) -> bool:
+        return self.min_cycles == self.max_cycles
+
+
+def _spr_index(instr):
+    if instr.mnemonic.startswith("pl.sdotsp"):
+        return int(instr.mnemonic[-1])
+    return None
+
+
+def _base_cost(program, idx, wait_states: int) -> int:
+    """Min cycles of instruction ``idx``; exact except for branches and
+    pl.sdotsp (whose extra costs the caller bounds separately)."""
+    instr = program[idx]
+    spec = instr.spec
+    m = instr.mnemonic
+    if m in _DIV_OPS:
+        return DIV_CYCLES
+    if spec.is_jump:  # jal and jalr
+        return 2
+    if spec.is_branch:
+        return 1  # +1 when taken
+    if m.startswith("pl.sdotsp"):
+        return 1 + wait_states
+    if spec.is_load:
+        stall = 0
+        if instr.rd and idx + 1 < len(program):
+            if (reads_mask(program[idx + 1]) >> instr.rd) & 1:
+                stall = 1
+        return 1 + stall + wait_states
+    if spec.is_store:
+        return 1 + wait_states
+    return 1
+
+
+def _spr_slack(cfg: Cfg, block) -> int:
+    """Cycles of SPR re-read slack to add to the block's max bound.
+
+    A ``pl.sdotsp`` stalls at most 1 cycle, and only when issued < 2
+    cycles after the previous same-index one.  With >= 1 instruction in
+    between, the distance is provably >= 2 (every instruction costs >= 1
+    cycle), so only adjacent or unknown-predecessor re-reads get slack.
+    """
+    program = cfg.program
+    idxs = [i for i in block.indices()
+            if _spr_index(program[i]) is not None]
+    if not idxs:
+        return 0
+    slack = 0
+    # Single-block loop body: the back edge makes the order cyclic.
+    cyclic = block.back_edge_to == block.id
+    for i in idxs:
+        k = _spr_index(program[i])
+        gap = None
+        for j in range(i - 1, block.start - 1, -1):
+            if _spr_index(program[j]) == k:
+                gap = i - j - 1
+                break
+        if gap is None and cyclic:
+            # The previous occurrence may be this same instruction one
+            # iteration earlier, so the scan includes position i itself.
+            for j in range(block.end, i - 1, -1):
+                if _spr_index(program[j]) == k:
+                    # instructions strictly between, around the back edge
+                    gap = (block.end - j) + (i - block.start)
+                    break
+        if gap is None:
+            # Predecessor unknown: safe only when no predecessor block
+            # has a same-index pl.sdotsp in its last two instructions.
+            safe = bool(block.preds)
+            for pid in block.preds:
+                pb = cfg.blocks[pid]
+                tail = range(max(pb.start, pb.end - 1), pb.end + 1)
+                if any(_spr_index(program[j]) == k for j in tail):
+                    safe = False
+            if not safe:
+                slack += 1
+        elif gap < 1:
+            slack += 1
+    return slack
+
+
+def block_cycle_bounds(cfg: Cfg, wait_states: int = 0) -> list:
+    """``BlockBounds`` for every block of ``cfg``, indexed by block id."""
+    program = cfg.program
+    out = []
+    for block in cfg.blocks:
+        lo = sum(_base_cost(program, i, wait_states)
+                 for i in block.indices())
+        hi = lo + _spr_slack(cfg, block)
+        if program[block.end].spec.is_branch:
+            hi += 1  # taken-branch penalty
+        out.append(BlockBounds(block.id, lo, hi))
+    return out
+
+
+@dataclass(frozen=True)
+class CycleMismatch:
+    """One block visit whose measured cycles left the static bounds."""
+
+    block_id: int
+    visit: int
+    measured: int
+    min_cycles: int
+    max_cycles: int
+
+
+def validate_block_cycles(program, cfg: Cfg | None = None,
+                          entry: int = 0, limit: int = 10_000_000,
+                          wait_states: int = 0):
+    """Run the program on the ISS and check every complete block visit
+    against the static bounds.
+
+    Returns ``(mismatches, visits)`` where ``visits`` maps block id to
+    the number of complete visits checked.  An empty mismatch list means
+    the static model bracketed (or, for exact blocks, equalled) the
+    simulated cost of every visit.
+    """
+    from ..core.cpu import Cpu
+    from ..core.memory import Memory
+
+    if cfg is None:
+        cfg = build_cfg(program)
+    bounds = block_cycle_bounds(cfg, wait_states)
+    cpu = Cpu(program, memory=Memory(wait_states=wait_states))
+    log = cpu.run_logged(entry, limit=limit, truncate=True)
+
+    mismatches = []
+    visits = {}
+    i = 0
+    n = len(log)
+    while i < n:
+        _, addr, _ = log[i]
+        block = cfg.block_at(addr // 4)
+        if addr // 4 != block.start:
+            i += 1  # mid-block entry (can't happen from block starts)
+            continue
+        span = len(block)
+        if i + span >= n:
+            break  # incomplete final visit: no end-of-visit timestamp
+        if log[i + span - 1][1] != block.end * 4:
+            i += 1  # visit interrupted (e.g. run limit hit mid-block)
+            continue
+        measured = log[i + span][0] - log[i][0]
+        b = bounds[block.id]
+        visits[block.id] = visits.get(block.id, 0) + 1
+        if not b.min_cycles <= measured <= b.max_cycles:
+            mismatches.append(CycleMismatch(
+                block.id, visits[block.id], measured,
+                b.min_cycles, b.max_cycles))
+        i += span
+    return mismatches, visits

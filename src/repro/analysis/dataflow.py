@@ -1,0 +1,154 @@
+"""Register dataflow over the CFG: liveness and reaching definitions.
+
+Both analyses use the read/write metadata from
+:mod:`repro.isa.instructions` (``reads_mask``/``writes_mask``) — the same
+definition that drives the core's load-use stall model — and plain Python
+integers as bitsets, so a whole network kernel (a few thousand
+instructions) solves in milliseconds.
+
+* **Liveness** (backward, may): which registers hold a value that some
+  path still reads.  Drives dead-write detection.
+* **Reaching definitions** (forward, may): which definition sites can
+  supply each register at each instruction.  Every register starts with a
+  virtual ``ENTRY_DEF`` definition (the core boots from a zeroed register
+  file); a use whose reaching set contains ``ENTRY_DEF`` reads a value no
+  instruction produced — use-before-def.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import reads_mask, writes_mask
+from .cfg import Cfg
+
+__all__ = ["Liveness", "ReachingDefs", "ENTRY_DEF"]
+
+#: Virtual definition site: "whatever the register file held at entry".
+ENTRY_DEF = -1
+
+_ALL_REGS = ((1 << 32) - 1) & ~1  # x1..x31
+
+
+class Liveness:
+    """Backward may-analysis: ``live_out(i)`` per instruction index."""
+
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+        program = cfg.program
+        self._reads = [reads_mask(i) for i in program]
+        self._writes = [writes_mask(i) for i in program]
+        n_blocks = len(cfg.blocks)
+        use = [0] * n_blocks
+        defs = [0] * n_blocks
+        for block in cfg.blocks:
+            u = d = 0
+            for idx in block.indices():
+                u |= self._reads[idx] & ~d
+                d |= self._writes[idx]
+            use[block.id], defs[block.id] = u, d
+        self.live_in = [0] * n_blocks
+        self.live_out = [0] * n_blocks
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(cfg.blocks):
+                out = 0
+                for succ in block.succs:
+                    out |= self.live_in[succ]
+                new_in = use[block.id] | (out & ~defs[block.id])
+                if (out != self.live_out[block.id]
+                        or new_in != self.live_in[block.id]):
+                    self.live_out[block.id] = out
+                    self.live_in[block.id] = new_in
+                    changed = True
+
+    def live_out_at(self, idx: int) -> int:
+        """Registers live immediately after instruction ``idx``."""
+        block = self.cfg.block_at(idx)
+        live = self.live_out[block.id]
+        for j in range(block.end, idx, -1):
+            live = self._reads[j] | (live & ~self._writes[j])
+        return live
+
+    def dead_writes(self) -> list:
+        """Instruction indices whose register write is never read.
+
+        Only considers reachable code; unreachable blocks get their own
+        finding.  Writes to x0 never appear (the mask excludes them).
+        """
+        out = []
+        for block in self.cfg.blocks:
+            if block.id not in self.cfg.reachable:
+                continue
+            live = self.live_out[block.id]
+            dead_at = {}
+            for idx in range(block.end, block.start - 1, -1):
+                w = self._writes[idx]
+                if w and not (w & live):
+                    dead_at[idx] = w & ~live
+                live = self._reads[idx] | (live & ~w)
+            out.extend(sorted(dead_at))
+        return out
+
+
+class ReachingDefs:
+    """Forward may-analysis of definition sites, per register.
+
+    State maps each register to a bitset of instruction indices (plus
+    ``ENTRY_DEF``).  For lint purposes only the ENTRY_DEF bit matters, so
+    the implementation keeps one "possibly-uninitialized" register bitset
+    per block plus full def-site sets for use-def queries.
+    """
+
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+        program = cfg.program
+        self._reads = [reads_mask(i) for i in program]
+        self._writes = [writes_mask(i) for i in program]
+        n_blocks = len(cfg.blocks)
+        # Per-block transfer on the "maybe uninitialized" register set.
+        kill = [0] * n_blocks
+        for block in cfg.blocks:
+            d = 0
+            for idx in block.indices():
+                d |= self._writes[idx]
+            kill[block.id] = d
+        self.uninit_in = [0] * n_blocks
+        self.uninit_out = [0] * n_blocks
+        if cfg.blocks:
+            self.uninit_in[0] = _ALL_REGS
+        for block in cfg.blocks:
+            self.uninit_out[block.id] = \
+                self.uninit_in[block.id] & ~kill[block.id]
+        changed = True
+        while changed:
+            changed = False
+            for block in cfg.blocks:
+                inn = _ALL_REGS if block.id == 0 else 0
+                for pred in block.preds:
+                    inn |= self.uninit_out[pred]
+                out = inn & ~kill[block.id]
+                if (inn != self.uninit_in[block.id]
+                        or out != self.uninit_out[block.id]):
+                    self.uninit_in[block.id] = inn
+                    self.uninit_out[block.id] = out
+                    changed = True
+
+    def uses_before_def(self) -> list:
+        """(instr index, register mask) pairs reading possibly-uninitialized
+        registers, reachable code only."""
+        out = []
+        for block in self.cfg.blocks:
+            if block.id not in self.cfg.reachable:
+                continue
+            uninit = self.uninit_in[block.id]
+            for idx in block.indices():
+                bad = self._reads[idx] & uninit
+                if bad:
+                    out.append((idx, bad))
+                uninit &= ~self._writes[idx]
+        return out
+
+    def def_sites(self, reg: int) -> list:
+        """All instruction indices defining register ``reg``."""
+        bit = 1 << reg
+        return [i for i, w in enumerate(self._writes) if w & bit]

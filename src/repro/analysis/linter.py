@@ -1,0 +1,120 @@
+"""Lint driver: run the rule engine over programs, kernels, and the suite.
+
+The linter operates on assembled :class:`repro.isa.Program` objects, so
+it sees exactly what the core executes (pseudo-instructions expanded,
+labels resolved).  Entry points:
+
+* :func:`lint_program` / :func:`lint_text` — one program.
+* :func:`lint_network` — the generated kernel for one RRM network at one
+  optimization level.
+* :func:`lint_suite` — every network in the paper suite at every
+  optimization level (the CI gate: no error-severity findings anywhere).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .cfg import build_cfg
+from .rules import Severity, run_rules
+
+__all__ = ["LintResult", "lint_program", "lint_text", "lint_network",
+           "lint_suite", "ALL_LEVEL_KEYS"]
+
+#: Table I levels a-e plus the beyond-paper interleaved level f.
+ALL_LEVEL_KEYS = ("a", "b", "c", "d", "e", "f")
+
+
+@dataclass
+class LintResult:
+    """Findings for one program, with severity tallies and renderers."""
+
+    name: str
+    findings: list = field(default_factory=list)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings exist."""
+        return self.errors == 0
+
+    def filtered(self, min_severity: str = Severity.INFO) -> list:
+        limit = Severity.ORDER[min_severity]
+        return [f for f in self.findings
+                if Severity.ORDER[f.severity] <= limit]
+
+    def render(self, min_severity: str = Severity.INFO) -> str:
+        shown = self.filtered(min_severity)
+        lines = [f"{self.name}: {self.errors} error(s), "
+                 f"{self.warnings} warning(s), "
+                 f"{self.count(Severity.INFO)} note(s)"]
+        lines.extend("  " + f.render() for f in shown)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "infos": self.count(Severity.INFO),
+                "findings": [f.to_dict() for f in self.findings]}
+
+
+def lint_program(program: Program, name: str = "<program>",
+                 rules: list | None = None) -> LintResult:
+    """Run the rule engine over an assembled program."""
+    cfg = build_cfg(program)
+    findings = run_rules(program, cfg, rules)
+    return LintResult(name=name, findings=findings)
+
+
+def lint_text(text: str, name: str = "<asm>",
+              rules: list | None = None) -> LintResult:
+    """Assemble ``text`` and lint the result."""
+    return lint_program(assemble(text), name, rules)
+
+
+def lint_network(network, level_key: str,
+                 rules: list | None = None) -> LintResult:
+    """Lint the generated kernel program for one network and level."""
+    from ..rrm.suite import plan_for
+    plan = plan_for(network, level_key)
+    return lint_text(plan.text, f"{network.name}/{level_key}", rules)
+
+
+def lint_suite(level_keys=ALL_LEVEL_KEYS, networks=None,
+               rules: list | None = None) -> list:
+    """Lint every (network, level) kernel; returns all LintResults."""
+    if networks is None:
+        from ..rrm.networks import FULL_SUITE
+        networks = FULL_SUITE
+    return [lint_network(network, key, rules)
+            for network in networks for key in level_keys]
+
+
+def render_results(results: list, min_severity: str = Severity.INFO,
+                   as_json: bool = False) -> str:
+    """Render a list of LintResults as text or a JSON document."""
+    if as_json:
+        doc = {"results": [r.to_dict() for r in results],
+               "total_errors": sum(r.errors for r in results),
+               "total_warnings": sum(r.warnings for r in results)}
+        return json.dumps(doc, indent=2)
+    parts = [r.render(min_severity) for r in results]
+    errors = sum(r.errors for r in results)
+    warnings = sum(r.warnings for r in results)
+    parts.append(f"== {len(results)} program(s): {errors} error(s), "
+                 f"{warnings} warning(s)")
+    return "\n".join(parts)

@@ -23,6 +23,11 @@ Commands:
         bit-flips, crashes, latency spikes), print the availability /
         recovery report and write BENCH_chaos.json
 
+    lint [FILE.s ...] [--levels XY] [--json]
+        run the static analyzer (CFG/dataflow lint) over assembly files
+        or, with no files, over every generated suite kernel; exits
+        nonzero when any error-severity finding is reported
+
     run FILE.s
         assemble and execute a RISC-V assembly file on the extended core,
         then print the register file and execution histogram
@@ -73,8 +78,7 @@ def _cmd_all(args) -> int:
 
 
 def _cmd_suite(args) -> int:
-    import numpy as np
-    from .rrm.suite import LEVEL_KEYS, SuiteRunner, network_trace
+    from .rrm.suite import LEVEL_KEYS, SuiteRunner
     levels = [args.level] if args.level else list(LEVEL_KEYS)
     runner = SuiteRunner(scale=args.scale, check=not args.no_check)
     print(f"executing the suite on the ISS (scale {args.scale or 'env'}, "
@@ -128,6 +132,42 @@ def _cmd_chaos_bench(args) -> int:
     if args.out:
         print(f"\n[written {args.out}]")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis.linter import (ALL_LEVEL_KEYS, lint_network, lint_text,
+                                  render_results)
+    results = []
+    if args.files:
+        for path in args.files:
+            with open(path) as handle:
+                source = handle.read()
+            results.append(lint_text(source, name=path))
+    if args.kernels or not args.files:
+        from .rrm.networks import FULL_SUITE
+        levels = list(ALL_LEVEL_KEYS)
+        if args.levels:
+            levels = [k for k in args.levels.replace(",", "") if k.strip()]
+            unknown = sorted(set(levels) - set(ALL_LEVEL_KEYS))
+            if unknown:
+                print(f"unknown level(s): {', '.join(unknown)}",
+                      file=sys.stderr)
+                return 2
+        networks = FULL_SUITE
+        if args.networks:
+            wanted = set(args.networks.split(","))
+            networks = [n for n in FULL_SUITE if n.name in wanted]
+            missing = wanted - {n.name for n in networks}
+            if missing:
+                print(f"unknown network(s): {', '.join(sorted(missing))}",
+                      file=sys.stderr)
+                return 2
+        for network in networks:
+            for level in levels:
+                results.append(lint_network(network, level))
+    print(render_results(results, min_severity=args.min_severity,
+                         as_json=args.json))
+    return 1 if any(not r.ok for r in results) else 0
 
 
 def _cmd_run(args) -> int:
@@ -218,6 +258,28 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--out", default="BENCH_chaos.json",
                          help="JSON results path ('' to skip writing)")
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis (CFG/dataflow lint) of assembly programs")
+    p_lint.add_argument("files", nargs="*",
+                        help=".s files to lint (default: all generated "
+                             "suite kernels)")
+    p_lint.add_argument("--kernels", action="store_true",
+                        help="also lint the generated suite kernels when "
+                             "files are given")
+    p_lint.add_argument("--networks",
+                        help="comma-separated suite network names "
+                             "(default: all)")
+    p_lint.add_argument("--levels",
+                        help="optimization level keys, e.g. 'de' "
+                             "(default: abcdef)")
+    p_lint.add_argument("--min-severity", choices=["error", "warning",
+                                                   "info"],
+                        default="warning",
+                        help="lowest severity to print (default: warning)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+
     p_run = sub.add_parser("run", help="assemble + execute a .s file")
     p_run.add_argument("file")
     p_run.add_argument("--memory", type=int, default=1 << 20,
@@ -235,6 +297,8 @@ def main(argv=None) -> int:
         return _cmd_serve_bench(args)
     if args.command == "chaos-bench":
         return _cmd_chaos_bench(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "run":
         return _cmd_run(args)
     return 2

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from ..fixedpoint.activations import SIG_TABLE, TANH_TABLE
 from ..isa import csr as csrdefs
-from ..isa.instructions import Fmt, Instr
+from ..isa.instructions import Fmt, Instr, reads_mask as _reads_mask
 from ..isa.program import Program
 from .exceptions import ExecutionLimitExceeded, MemoryError32, SimError
 from .memory import Memory
@@ -52,27 +52,6 @@ XPULP_EXTENSIONS = frozenset({"I", "M", "Xmac", "Xpulp"})
 
 def _signed32(value: int) -> int:
     return value - ((value & 0x80000000) << 1)
-
-
-def _reads_mask(instr: Instr) -> int:
-    """Bitmask of general-purpose registers the instruction reads."""
-    spec = instr.spec
-    fmt = spec.fmt
-    mask = 0
-    if fmt == Fmt.R:
-        mask = (1 << instr.rs1) | (1 << instr.rs2)
-        if instr.mnemonic in ("p.mac", "pv.sdotsp.h", "pv.sdotsp.b"):
-            mask |= 1 << instr.rd  # accumulators read rd
-    elif fmt == Fmt.R2:
-        mask = 1 << instr.rs1
-    elif fmt in (Fmt.I, Fmt.SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.HWLOOP,
-                 Fmt.CSR):
-        mask = 1 << instr.rs1
-    elif fmt in (Fmt.STORE, Fmt.BRANCH):
-        mask = (1 << instr.rs1) | (1 << instr.rs2)
-    if instr.mnemonic.startswith("pl.sdotsp"):
-        mask = (1 << instr.rs1) | (1 << instr.rs2) | (1 << instr.rd)
-    return mask & ~1  # x0 never causes hazards
 
 
 def _pla_lists(table):
@@ -222,13 +201,15 @@ class Cpu:
                 out.add(instr.spec.display, count, cyc)
         return out
 
-    def run_logged(self, entry: int = 0, limit: int = 10_000) -> list:
+    def run_logged(self, entry: int = 0, limit: int = 10_000,
+                   truncate: bool = False) -> list:
         """Execute like :meth:`run`, recording a per-instruction log.
 
         Returns a list of (cycle, address, disassembly) tuples — the
         debugging view of the pipeline.  Raises
         :class:`ExecutionLimitExceeded` if the program runs longer than
-        ``limit`` instructions (logging is for short windows).
+        ``limit`` instructions (logging is for short windows), unless
+        ``truncate`` is set, in which case the log so far is returned.
         """
         code = self._code
         hw = self._hw
@@ -238,6 +219,8 @@ class Cpu:
         self.halted = False
         while 0 <= idx < size:
             if len(log) >= limit:
+                if truncate:
+                    break
                 raise ExecutionLimitExceeded(
                     f"log limit of {limit} instructions reached")
             instr = self.program[idx]

@@ -34,8 +34,10 @@ class Trace:
     def scaled(self, factor: float) -> "Trace":
         """A copy with all counts multiplied by ``factor`` (rounded)."""
         out = Trace()
-        out.instrs = {k: int(round(v * factor)) for k, v in self.instrs.items()}
-        out.cycles = {k: int(round(v * factor)) for k, v in self.cycles.items()}
+        out.instrs = {k: int(round(v * factor))
+                      for k, v in self.instrs.items()}
+        out.cycles = {k: int(round(v * factor))
+                      for k, v in self.cycles.items()}
         return out
 
     @property
@@ -85,6 +87,8 @@ class Trace:
     def __eq__(self, other) -> bool:
         if not isinstance(other, Trace):
             return NotImplemented
-        strip = lambda d: {k: v for k, v in d.items() if v}
+        def strip(d):
+            return {k: v for k, v in d.items() if v}
+
         return (strip(self.instrs) == strip(other.instrs)
                 and strip(self.cycles) == strip(other.cycles))

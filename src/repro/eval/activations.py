@@ -20,7 +20,7 @@ from dataclasses import replace
 from ..kernels.common import LEVELS, OptLevel
 from ..kernels.runner import NetworkPlan
 from ..rrm.networks import FULL_SUITE
-from ..rrm.suite import network_trace, plan_for
+from ..rrm.suite import network_trace
 from .report import banner, render_kv
 
 __all__ = ["compute_activation_stats", "format_activations", "main"]

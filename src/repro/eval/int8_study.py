@@ -22,7 +22,7 @@ from ..kernels.common import AsmBuilder, LEVELS
 from ..kernels.jobs import MatvecJob, padded_row
 from ..kernels.matvec import gen_matvec
 from ..kernels.matvec8 import Int8MatvecJob, gen_matvec_int8, padded_row8
-from ..nn.layers import apply_activation_float, dense_fixed8, dense_fixed
+from ..nn.layers import apply_activation_float, dense_fixed, dense_fixed8
 from ..rrm.scenarios import InterferenceChannel
 from ..rrm.trainer import train_power_allocator
 from ..rrm.wmmse import sum_rate

@@ -19,8 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..fixedpoint.qformat import Q3_12
-from ..nn.network import (FloatModel, LstmSpec, Network, QuantModel,
-                          quantize_params, init_params, DenseSpec)
+from ..nn.network import (DenseSpec, FloatModel, LstmSpec, Network,
+                          QuantModel, init_params, quantize_params)
 from ..rrm.scenarios import InterferenceChannel
 from ..rrm.trainer import train_power_allocator
 from ..rrm.wmmse import sum_rate, wmmse_power_allocation

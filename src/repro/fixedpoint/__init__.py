@@ -1,6 +1,18 @@
 """Fixed-point arithmetic substrate (Q-formats, saturating ops, PLA LUTs)."""
 
-from .qformat import ACC32, Q1_14, Q3_12, Q3_4, Q7_8, QFormat
+from .activations import (
+    POINT_DESIGN_INTERVALS,
+    POINT_DESIGN_SHIFT,
+    SIG_TABLE,
+    TANH_TABLE,
+    sig_float,
+    sig_q,
+    sw_pla_cycles,
+    tanh_float,
+    tanh_q,
+)
+from .lut import (PlaTable, evaluate_error, make_table, pla_apply,
+                  pla_apply_float)
 from .ops import (
     dotp2,
     hadamard,
@@ -13,18 +25,7 @@ from .ops import (
     unpack2,
     vec_add,
 )
-from .lut import PlaTable, evaluate_error, make_table, pla_apply, pla_apply_float
-from .activations import (
-    POINT_DESIGN_INTERVALS,
-    POINT_DESIGN_SHIFT,
-    SIG_TABLE,
-    TANH_TABLE,
-    sig_float,
-    sig_q,
-    sw_pla_cycles,
-    tanh_float,
-    tanh_q,
-)
+from .qformat import ACC32, Q1_14, Q3_12, Q3_4, Q7_8, QFormat
 
 __all__ = [
     "QFormat", "Q3_12", "ACC32", "Q7_8", "Q1_14", "Q3_4",

@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from .lut import PlaTable, make_table, pla_apply
-from .qformat import Q3_12
 
 __all__ = [
     "POINT_DESIGN_INTERVALS",

@@ -49,7 +49,8 @@ def sat_mul(a: int, b: int, fmt: QFormat = Q3_12) -> int:
     return fmt.saturate(product >> fmt.frac_bits)
 
 
-def requantize(acc: int, fmt: QFormat = Q3_12, shift: int | None = None) -> int:
+def requantize(acc: int, fmt: QFormat = Q3_12,
+               shift: int | None = None) -> int:
     """Requantize a 32-bit accumulator to a 16-bit result.
 
     Mirrors the kernel epilogue ``srai acc, acc, 12`` followed by a saturated
@@ -78,7 +79,7 @@ def dotp2(a_pair, b_pair, acc: int = 0) -> int:
 
 def matvec(weights: np.ndarray, x: np.ndarray, bias: np.ndarray,
            fmt: QFormat = Q3_12) -> np.ndarray:
-    """Golden fixed-point matrix-vector product: ``sat16((b<<12 + W@x) >> 12)``.
+    """Golden fixed-point matvec: ``sat16((b<<12 + W@x) >> 12)``.
 
     Args:
         weights: ``(n_out, n_in)`` int array of raw Q values.

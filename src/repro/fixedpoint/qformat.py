@@ -109,7 +109,8 @@ class QFormat:
         """Clamp raw integer(s) into the representable range."""
         if np.isscalar(raw) or np.ndim(raw) == 0:
             return int(min(max(int(raw), self.min_raw), self.max_raw))
-        return np.clip(np.asarray(raw, dtype=np.int64), self.min_raw, self.max_raw)
+        return np.clip(np.asarray(raw, dtype=np.int64),
+                       self.min_raw, self.max_raw)
 
     def wrap(self, raw):
         """Two's-complement wrap-around of raw integer(s) (no saturation)."""

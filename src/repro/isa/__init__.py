@@ -1,13 +1,14 @@
 """ISA definition: instruction specs, assembler, encoder, disassembler."""
 
-from .registers import ABI_NAMES, NUM_REGS, reg_name, reg_num
-from .instructions import EXTENSIONS, Fmt, Instr, InstrSpec, SPECS, spec_for
-from .encoding import EncodingError, decode, encode
 from .assembler import AsmError, assemble
-from .program import Program
-from .disassembler import disassemble_word, format_instr
 from .binary import program_from_words, roundtrip_program
 from .csr import csr_name, csr_number
+from .disassembler import disassemble_word, format_instr
+from .encoding import EncodingError, decode, encode
+from .instructions import (EXTENSIONS, Fmt, Instr, InstrSpec, SPECS,
+                           spec_for)
+from .program import Program
+from .registers import ABI_NAMES, NUM_REGS, reg_name, reg_num
 
 __all__ = [
     "ABI_NAMES", "NUM_REGS", "reg_name", "reg_num",

@@ -11,7 +11,6 @@ histograms.
 from __future__ import annotations
 
 from .encoding import decode, encode
-from .instructions import Instr
 from .program import Program
 
 __all__ = ["program_from_words", "roundtrip_program"]

@@ -12,9 +12,10 @@ binary encoding fields and semantic class.  The assembler produces
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-__all__ = ["Fmt", "InstrSpec", "Instr", "SPECS", "spec_for", "EXTENSIONS"]
+__all__ = ["Fmt", "InstrSpec", "Instr", "SPECS", "spec_for", "EXTENSIONS",
+           "reads_mask", "writes_mask", "ACCUMULATOR_OPS"]
 
 
 class Fmt:
@@ -212,3 +213,51 @@ class Instr:
     def __str__(self) -> str:
         from .disassembler import format_instr
         return format_instr(self)
+
+
+#: Ops that accumulate into rd (read the old rd value as a third input).
+ACCUMULATOR_OPS = frozenset({"p.mac", "pv.sdotsp.h", "pv.sdotsp.b"})
+
+
+def reads_mask(instr: Instr) -> int:
+    """Bitmask of general-purpose registers the instruction reads.
+
+    This is the single hazard definition shared by the CPU's load-use
+    stall model, the builder's static cycle accounting, and the static
+    analyzer's dataflow.  x0 never participates (bit 0 is always clear).
+    """
+    spec = instr.spec
+    fmt = spec.fmt
+    mask = 0
+    if fmt == Fmt.R:
+        mask = (1 << instr.rs1) | (1 << instr.rs2)
+        if instr.mnemonic in ACCUMULATOR_OPS:
+            mask |= 1 << instr.rd  # accumulators read rd
+    elif fmt == Fmt.R2:
+        mask = 1 << instr.rs1
+    elif fmt in (Fmt.I, Fmt.SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.HWLOOP,
+                 Fmt.CSR):
+        mask = 1 << instr.rs1
+    elif fmt in (Fmt.STORE, Fmt.BRANCH):
+        mask = (1 << instr.rs1) | (1 << instr.rs2)
+    if instr.mnemonic.startswith("pl.sdotsp"):
+        mask = (1 << instr.rs1) | (1 << instr.rs2) | (1 << instr.rd)
+    return mask & ~1  # x0 never causes hazards
+
+
+def writes_mask(instr: Instr) -> int:
+    """Bitmask of general-purpose registers the instruction writes.
+
+    Post-increment loads/stores (and the ``pl.sdotsp`` stream ops) also
+    write their base register ``rs1``.  Writes to x0 are discarded by the
+    architecture and do not appear in the mask.
+    """
+    spec = instr.spec
+    fmt = spec.fmt
+    mask = 0
+    if fmt in (Fmt.R, Fmt.R2, Fmt.I, Fmt.SHIFT, Fmt.LOAD, Fmt.U,
+               Fmt.JAL, Fmt.JALR, Fmt.CSR):
+        mask = 1 << instr.rd
+    if spec.postinc:
+        mask |= 1 << instr.rs1
+    return mask & ~1  # writes to x0 are no-ops

@@ -15,7 +15,8 @@ class Program:
     of :class:`repro.core.Cpu`.
     """
 
-    def __init__(self, instrs: list[Instr], labels: dict[str, int] | None = None):
+    def __init__(self, instrs: list[Instr],
+                 labels: dict[str, int] | None = None):
         self.instrs = list(instrs)
         self.labels = dict(labels or {})
         #: symbols defined in .data sections (name -> absolute address)

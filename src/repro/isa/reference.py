@@ -9,8 +9,8 @@ and timing behaviour, generated from the single source of truth
 
 from __future__ import annotations
 
-from .instructions import Fmt, Instr, SPECS
 from .encoding import encode
+from .instructions import Fmt, Instr, SPECS
 
 __all__ = ["reference_rows", "format_reference", "main"]
 

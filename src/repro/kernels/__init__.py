@@ -1,18 +1,18 @@
 """Kernel code generators: the paper's software stack at all five levels."""
 
-from .common import AsmBuilder, DataLayout, LEVELS, OptLevel
-from .jobs import (ActivationJob, ConvJob, MatvecJob, PointwiseJob,
-                   MAX_TILE, padded_row, plan_tiles)
-from .matvec import gen_matvec
-from .matvec8 import Int8MatvecJob, gen_matvec_int8, padded_row8
-from .interleaved import gen_matvec_interleaved, interleave_weights
-from .im2col import gen_conv_im2col, im2col_buffer_halfwords
 from .activations_sw import gen_activation, gen_sw_pla_body
-from .pointwise import gen_lstm_pointwise
-from .fc import gen_fc
-from .lstm import LstmJob, gen_lstm_step
+from .common import AsmBuilder, DataLayout, LEVELS, OptLevel
 from .conv import gen_conv
 from .copy import gen_copy
+from .fc import gen_fc
+from .im2col import gen_conv_im2col, im2col_buffer_halfwords
+from .interleaved import gen_matvec_interleaved, interleave_weights
+from .jobs import (ActivationJob, ConvJob, MAX_TILE, MatvecJob,
+                   PointwiseJob, padded_row, plan_tiles)
+from .lstm import LstmJob, gen_lstm_step
+from .matvec import gen_matvec
+from .matvec8 import Int8MatvecJob, gen_matvec_int8, padded_row8
+from .pointwise import gen_lstm_pointwise
 from .runner import NetworkPlan, NetworkProgram
 
 __all__ = [

@@ -37,6 +37,41 @@ def _hw_chunks(count: int):
         count -= chunk
 
 
+def _gen_piped_pass(b: AsmBuilder, count: int, op) -> None:
+    """Unroll-by-2 software-pipelined load/activate/store pass.
+
+    ``op(reg)`` emits the single-instruction activation for ``reg``.  The
+    straightforward ``load / activate / store`` body pays a load-use
+    stall on every element (4 cycles); interleaving two elements hides
+    the latency (6 cycles per pair).  Each iteration prefetches the next
+    element between an activate and a store, so no load feeds the
+    immediately-following instruction.  On even counts the final
+    prefetch reads one halfword past the array — covered by the
+    :class:`~repro.kernels.common.DataLayout` guard padding — and the
+    pointer is rewound so chunked passes stay contiguous.
+    """
+    for chunk in _hw_chunks(count):
+        if chunk == 1:
+            b.emit("p.lh t0, 2(t1!)")
+            op("t0")
+            b.emit("p.sh t0, 2(t2!)")
+            continue
+        pairs, rem = divmod(chunk, 2)
+        b.emit("p.lh t0, 2(t1!)")
+        with b.hwloop(0, pairs):
+            op("t0")
+            b.emit("p.lh t4, 2(t1!)")
+            b.emit("p.sh t0, 2(t2!)")
+            op("t4")
+            b.emit("p.lh t0, 2(t1!)")
+            b.emit("p.sh t4, 2(t2!)")
+        if rem:
+            op("t0")
+            b.emit("p.sh t0, 2(t2!)")
+        else:
+            b.emit("addi t1, t1, -2")  # undo the past-the-end prefetch
+
+
 def gen_activation(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:
     """Apply ``job.func`` in place over ``job.count`` halfwords."""
     if job.count < 1:
@@ -71,11 +106,8 @@ def _gen_relu(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:
             b.emit("addi t2, t2, 2")
             loop.branch_back("bltu", "t1", "t6")
     else:
-        for chunk in _hw_chunks(job.count):
-            with b.hwloop(0, chunk):
-                b.emit("p.lh t0, 2(t1!)")
-                b.emit("p.max t0, t0, x0")
-                b.emit("p.sh t0, 2(t2!)")
+        _gen_piped_pass(b, job.count,
+                        lambda reg: b.emit(f"p.max {reg}, {reg}, x0"))
 
 
 def _gen_hw(b: AsmBuilder, job: ActivationJob) -> None:
@@ -83,11 +115,8 @@ def _gen_hw(b: AsmBuilder, job: ActivationJob) -> None:
     b.comment(f"hw {job.func} x{job.count}")
     b.li("t1", job.addr)
     b.li("t2", job.addr)
-    for chunk in _hw_chunks(job.count):
-        with b.hwloop(0, chunk):
-            b.emit("p.lh t0, 2(t1!)")
-            b.emit(f"{op} t0, t0")
-            b.emit("p.sh t0, 2(t2!)")
+    _gen_piped_pass(b, job.count,
+                    lambda reg: b.emit(f"{op} {reg}, {reg}"))
 
 
 def _gen_sw(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:

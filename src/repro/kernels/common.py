@@ -23,7 +23,6 @@ from dataclasses import dataclass
 
 from ..core.tracer import Trace
 from ..isa.assembler import _build_instr, _expand_pseudo, _split_operands
-from ..isa.instructions import Fmt
 
 __all__ = ["OptLevel", "LEVELS", "DataLayout", "AsmBuilder"]
 
@@ -191,8 +190,8 @@ class AsmBuilder:
         spec = instr.spec
         display = spec.display
         mult = self.mult
-        from ..core.cpu import _reads_mask  # shared hazard definition
-        reads = _reads_mask(instr)
+        from ..isa.instructions import reads_mask  # shared hazard definition
+        reads = reads_mask(instr)
 
         # Load-use stall charged to the previous load.
         if self._prev_load is not None:

@@ -29,6 +29,18 @@ def gen_copy(b: AsmBuilder, level: OptLevel, src: int, dst: int,
             b.emit("addi t2, t2, 4")
             loop.branch_back("bltu", "t1", "t6")
     else:
-        with b.hwloop(0, count // 2):
-            b.emit("p.lw t4, 4(t1!)")
+        # Software-pipelined through t4/t5 so no store consumes the word
+        # loaded on the previous cycle.  On even word counts the final
+        # prefetch reads one word past the source — covered by the
+        # DataLayout guard padding — and the value is discarded.
+        words = count // 2
+        pairs, rem = divmod(words, 2)
+        b.emit("p.lw t4, 4(t1!)")
+        if pairs:
+            with b.hwloop(0, pairs):
+                b.emit("p.lw t5, 4(t1!)")
+                b.emit("p.sw t4, 4(t2!)")
+                b.emit("p.lw t4, 4(t1!)")
+                b.emit("p.sw t5, 4(t2!)")
+        if rem:
             b.emit("p.sw t4, 4(t2!)")

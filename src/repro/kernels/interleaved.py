@@ -76,23 +76,35 @@ def gen_matvec_interleaved(b: AsmBuilder, n_in: int, n_out: int,
 def _gen_tile(b: AsmBuilder, n: int, x_addr: int, row_halfwords: int,
               fused_activation: str | None = None) -> None:
     accs = INTERLEAVED_ACC_REGS[:n]
-    b.li("t1", x_addr)
     for k in range(n):
         b.emit(f"p.lh {accs[k]}, 2(t2!)")
+    # The x-pointer setup separates the last bias load from the shifts.
+    b.li("t1", x_addr)
     for k in range(n):
         b.emit(f"slli {accs[k]}, {accs[k]}, 12")
-    two_sprs = n >= 2
+    # Both SPRs are primed so the stream parity is position % 2 for any
+    # tile size (including n == 1).  The loop consumes two input pairs
+    # per iteration through t0/t4: the second load separates each load
+    # from its first consumer, so the x stream adds no load-use stalls.
     b.emit("pl.sdotsp.h.0 x0, a0, x0")
-    if two_sprs:
-        b.emit("pl.sdotsp.h.1 x0, a0, x0")
-    with b.hwloop(0, row_halfwords // 2):
+    b.emit("pl.sdotsp.h.1 x0, a0, x0")
+    pairs = row_halfwords // 2
+    half, rem = divmod(pairs, 2)
+    if half:
+        with b.hwloop(0, half):
+            b.emit("p.lw t0, 4(t1!)")
+            b.emit("p.lw t4, 4(t1!)")
+            for k in range(n):
+                b.emit(f"pl.sdotsp.h.{k % 2} {accs[k]}, a0, t0")
+            for k in range(n):
+                b.emit(f"pl.sdotsp.h.{(n + k) % 2} {accs[k]}, a0, t4")
+    if rem:
         b.emit("p.lw t0, 4(t1!)")
         for k in range(n):
-            parity = (k % 2) if two_sprs else 0
-            b.emit(f"pl.sdotsp.h.{parity} {accs[k]}, a0, t0")
-    # the prefetch ran past this tile's stream (two words with both SPRs
-    # in play, one otherwise); step back to the next tile's first weights
-    b.emit(f"addi a0, a0, {-8 if two_sprs else -4}")
+            b.emit(f"pl.sdotsp.h.{k % 2} {accs[k]}, a0, t0")
+    # the prefetch ran two words past this tile's interleaved stream;
+    # step back to the next tile's first weights
+    b.emit("addi a0, a0, -8")
     for k in range(n):
         b.emit(f"srai {accs[k]}, {accs[k]}, 12")
         b.emit(f"p.clip {accs[k]}, {accs[k]}, 16")

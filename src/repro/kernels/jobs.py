@@ -10,7 +10,7 @@ feature-map tiles of up to 10 rows, even-sized whenever possible so the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["MatvecJob", "ActivationJob", "PointwiseJob", "ConvJob",
            "plan_tiles", "padded_row", "MAX_TILE"]

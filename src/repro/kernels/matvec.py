@@ -117,9 +117,11 @@ def _gen_level_b(b: AsmBuilder, job: MatvecJob) -> None:
     b.li("s4", job.x_addr)
     b.li("s5", job.b_addr + 2 * job.n_out)
     with b.sw_loop(job.n_out) as outer:
+        # The x-pointer rewind sits between the bias load and its shift
+        # so the load-use stall never fires.
         b.emit("p.lh t4, 2(t2!)")
-        b.emit("slli t4, t4, 12")
         b.emit("mv t1, s4")
+        b.emit("slli t4, t4, 12")
         with b.hwloop(0, pairs):
             b.emit("p.lw t5, 4(t0!)")
             b.emit("p.lw t6, 4(t1!)")
@@ -165,9 +167,11 @@ def _gen_tile(b: AsmBuilder, level: OptLevel, job: MatvecJob,
         b.emit(f"sw s11, {SPILL_ADDR + 4}(x0)")
     for k in range(n):
         b.li(ptrs[k], job.w_addr + (row0 + k) * job.row_halfwords * 2)
-    b.li("t1", job.x_addr)
     for k in range(n):
         b.emit(f"p.lh {accs[k]}, 2(t2!)")
+    # The x-pointer setup separates the last bias load from the shifts,
+    # which would otherwise stall on n == 1 tiles.
+    b.li("t1", job.x_addr)
     for k in range(n):
         b.emit(f"slli {accs[k]}, {accs[k]}, 12")
 

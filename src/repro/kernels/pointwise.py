@@ -101,16 +101,16 @@ def _gen_optimized(b: AsmBuilder, level: OptLevel, job: PointwiseJob) -> None:
         b.emit("mul t2, t2, t3")
         b.emit("srai t2, t2, 12")        # f*c
         b.emit("add t0, t1, t2")
+        b.emit("p.lh t2, 2(a2!)")        # o, early: tanh hides the load
         b.emit("p.clip t0, t0, 16")      # c' = sat16(i*g + f*c)
         b.emit("p.sh t0, 2(a6!)")
         if level.hw_activations:
             b.emit("pl.tanh t5, t0")
         else:
             b.emit("jal x0, 4")          # PLA routine call cost
-            gen_sw_pla_body(b, "tanh")
+            gen_sw_pla_body(b, "tanh")   # leaves t2 (o) untouched
             b.emit("jal x0, 4")          # return cost
             b.emit("mv t5, s5")
-        b.emit("p.lh t2, 2(a2!)")        # o
         b.emit("mul t2, t2, t5")
         b.emit("srai t2, t2, 12")
         b.emit("p.sh t2, 2(a5!)")        # h

@@ -125,7 +125,6 @@ class NetworkPlan:
         self.lstm_states: list[dict] = []
 
         src = addr  # where the current layer reads its input vector
-        prev_was_lstm = False
         for index, spec in enumerate(network.layers):
             is_last = index == len(network.layers) - 1
             nxt = None if is_last else network.layers[index + 1]
@@ -163,7 +162,6 @@ class NetworkPlan:
                 self.lstm_states.append(
                     {"h_addr": job.h_addr, "c_addr": c_addr, "n": spec.n})
                 src = job.h_addr
-                prev_was_lstm = True
                 if is_last:
                     self.output_addr = job.h_addr
                 _emit_frame_end(b, level)
@@ -227,7 +225,6 @@ class NetworkPlan:
                     out_addr=dst, patch_addr=patch_addr,
                     patch_row_halfwords=patch_hw, acc_addr=self.acc_addr))
             src = dst
-            prev_was_lstm = False
             if is_last:
                 self.output_addr = dst
             _emit_frame_end(b, level)

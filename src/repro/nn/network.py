@@ -9,7 +9,7 @@ networks treat ``step`` as a plain forward pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -18,7 +18,7 @@ import numpy as np
 from ..core.tracer import Trace
 from ..kernels.runner import NetworkPlan, NetworkProgram
 from ..nn.network import Network, init_params, quantize_params
-from .networks import FULL_SUITE, NETWORK_ORDER, suite
+from .networks import FULL_SUITE, suite
 
 __all__ = ["plan_for", "network_trace", "suite_trace", "network_speedups",
            "suite_speedups", "SuiteRunner", "LEVEL_KEYS"]

@@ -19,7 +19,7 @@ import numpy as np
 from ..fixedpoint.activations import sig_q, tanh_q
 from ..fixedpoint.qformat import Q3_12
 from ..nn.layers import wrap32
-from ..nn.network import ConvSpec, DenseSpec, LstmSpec, Network
+from ..nn.network import DenseSpec, LstmSpec, Network
 
 __all__ = ["BatchedQuantModel", "dense_fixed_batch", "lstm_step_fixed_batch",
            "conv2d_fixed_batch"]
@@ -172,7 +172,8 @@ class BatchedQuantModel:
         return value
 
     def forward(self, xs_raw) -> np.ndarray:
-        """Run a sequence of ``(B, in_size)`` inputs; returns the last output."""
+        """Run a sequence of ``(B, in_size)`` inputs; returns the
+        last output."""
         out = None
         for x in xs_raw:
             out = self.step(x)

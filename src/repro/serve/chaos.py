@@ -299,7 +299,8 @@ def render_chaos_table(result: dict) -> str:
     lines.append(f"goodput             {result['goodput_rps']:>9.1f} req/s"
                  f"  ({result['goodput_ratio_vs_baseline'] * 100:.0f}% of the"
                  " fault-free baseline at the same offered load)")
-    lines.append(f"faults injected     {result['faults']['injected_events']:>9d}"
+    injected = result['faults']['injected_events']
+    lines.append(f"faults injected     {injected:>9d}"
                  f"  {result['faults']['by_kind']}")
     lines.append(f"integrity repairs   {result['integrity']['repairs']:>9d}"
                  f"  ({result['integrity']['checks']} checks, "

@@ -1,0 +1,198 @@
+"""CFG construction: blocks, edges, hardware loops, edge cases."""
+
+
+from repro.analysis import build_cfg, find_hw_loops
+from repro.isa import assemble
+
+
+def cfg_of(source):
+    return build_cfg(assemble(source))
+
+
+class TestBasicBlocks:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of("""
+            addi t0, x0, 1
+            addi t1, t0, 2
+            ebreak
+        """)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs == []
+        assert cfg.reachable == {0}
+
+    def test_branch_splits_blocks(self):
+        cfg = cfg_of("""
+            addi t0, x0, 3
+        loop:
+            addi t0, t0, -1
+            bne t0, x0, loop
+            ebreak
+        """)
+        assert len(cfg.blocks) == 3
+        loop_block = cfg.block_at(1)
+        assert sorted(loop_block.succs) == sorted([loop_block.id,
+                                                   cfg.block_at(3).id])
+        assert loop_block.id in cfg.blocks[0].succs
+
+    def test_block_of_maps_every_instruction(self):
+        cfg = cfg_of("""
+            addi t0, x0, 3
+            bne t0, x0, skip
+            addi t1, x0, 1
+        skip:
+            ebreak
+        """)
+        for idx in range(len(cfg.program)):
+            block = cfg.block_at(idx)
+            assert block.start <= idx <= block.end
+
+
+class TestEdgeCases:
+    def test_program_ending_in_branch(self):
+        # The final instruction is a branch: fall-through runs off the
+        # program (halt), so the only successor is the taken target.
+        cfg = cfg_of("""
+        top:
+            addi t0, t0, 1
+            bne t0, t1, top
+        """)
+        last = cfg.block_at(len(cfg.program) - 1)
+        assert last.succs == [cfg.block_at(0).id]
+
+    def test_backward_branch_to_address_zero(self):
+        cfg = cfg_of("""
+        zero:
+            addi t0, t0, 1
+            addi t1, t1, 2
+            bne t0, t1, zero
+            ebreak
+        """)
+        entry = cfg.blocks[0]
+        assert entry.start == 0
+        branch_block = cfg.block_at(2)
+        assert entry.id in branch_block.succs
+        assert branch_block.id in entry.preds
+
+    def test_nested_hardware_loops(self):
+        cfg = cfg_of("""
+            addi t0, x0, 4
+            lp.setup 1, t0, outer_end
+            lp.setupi 0, 3, inner_end
+            addi t1, t1, 1
+        inner_end:
+            addi t2, t2, 1
+        outer_end:
+            ebreak
+        """)
+        assert len(cfg.loops) == 2
+        outer = next(lp for lp in cfg.loops if lp.index == 1)
+        inner = next(lp for lp in cfg.loops if lp.index == 0)
+        assert outer.contains(inner.body_start)
+        assert outer.contains(inner.body_end)
+        # both containing loops found, innermost last
+        both = cfg.loops_containing(inner.body_end)
+        assert len(both) == 2
+        inner_body = cfg.block_at(inner.body_end)
+        assert inner_body.back_edge_to == cfg.block_at(
+            inner.body_start).id
+
+    def test_single_instruction_loop_body(self):
+        cfg = cfg_of("""
+            lp.setupi 0, 5, end
+            addi t0, t0, 1
+        end:
+            ebreak
+        """)
+        (lp,) = cfg.loops
+        assert lp.body_len == 1
+        body = cfg.block_at(lp.body_start)
+        assert body.start == body.end == lp.body_start
+        assert body.back_edge_to == body.id  # loops to itself
+        assert body.id in body.succs
+
+    def test_unreachable_tail_blocks(self):
+        cfg = cfg_of("""
+            addi t0, x0, 1
+            ebreak
+            addi t1, x0, 2
+            addi t2, x0, 3
+        """)
+        tails = cfg.unreachable_blocks
+        assert len(tails) == 1
+        assert tails[0].start == 2
+        assert cfg.reachable == {0}
+
+    def test_jump_over_dead_code(self):
+        cfg = cfg_of("""
+            j live
+            addi t0, x0, 1
+        live:
+            ebreak
+        """)
+        dead = cfg.unreachable_blocks
+        assert [b.start for b in dead] == [1]
+
+    def test_empty_program(self):
+        cfg = build_cfg(assemble(""))
+        assert cfg.blocks == []
+        assert cfg.unreachable_blocks == []
+
+
+class TestHwLoops:
+    def test_counted_loop_metadata(self):
+        program = assemble("""
+            lp.setupi 0, 7, end
+            addi t0, t0, 1
+            addi t1, t1, 1
+        end:
+            ebreak
+        """)
+        loops, bad = find_hw_loops(program)
+        assert bad == []
+        (lp,) = loops
+        assert lp.counted and lp.count == 7
+        assert (lp.body_start, lp.body_end) == (1, 2)
+
+    def test_register_counted_loop_gets_zero_trip_edge(self):
+        cfg = cfg_of("""
+            addi t0, x0, 4
+            lp.setup 0, t0, end
+            addi t1, t1, 1
+        end:
+            ebreak
+        """)
+        (lp,) = cfg.loops
+        assert not lp.counted
+        setup_block = cfg.block_at(lp.setup_idx)
+        exit_block = cfg.block_at(lp.body_end + 1)
+        assert exit_block.id in setup_block.succs  # zero-trip skip
+
+    def test_immediate_counted_loop_has_no_zero_trip_edge(self):
+        cfg = cfg_of("""
+            lp.setupi 0, 4, end
+            addi t1, t1, 1
+        end:
+            ebreak
+        """)
+        (lp,) = cfg.loops
+        setup_block = cfg.block_at(lp.setup_idx)
+        exit_block = cfg.block_at(lp.body_end + 1)
+        assert exit_block.id not in setup_block.succs
+
+    def test_jalr_block_marked_indirect(self):
+        cfg = cfg_of("""
+            addi ra, x0, 8
+            jalr x0, ra, 0
+            ebreak
+        """)
+        block = cfg.block_at(1)
+        assert block.indirect
+        assert block.succs == []
+
+    def test_render_smoke(self):
+        cfg = cfg_of("""
+            addi t0, x0, 1
+            ebreak
+        """)
+        text = cfg.render()
+        assert "block 0" in text and "addi" in text

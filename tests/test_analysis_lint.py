@@ -1,0 +1,89 @@
+"""Lint drivers over the generated kernels, and the CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_network, lint_suite
+from repro.cli import main
+from repro.rrm.networks import FULL_SUITE
+
+_BY_NAME = {n.name: n for n in FULL_SUITE}
+
+
+class TestKernelLint:
+    @pytest.mark.parametrize("level", list("abcdef"))
+    def test_no_errors_on_any_network(self, level):
+        """Acceptance gate: every generated kernel at every level is
+        free of error-severity findings."""
+        for network in FULL_SUITE:
+            result = lint_network(network, level)
+            bad = [f for f in result.findings if f.severity == "error"]
+            assert not bad, f"{result.name}: {[f.render() for f in bad]}"
+
+    def test_stall_free_levels_have_no_stall_warnings(self):
+        # After the scheduling fixes, levels c/e/f carry no avoidable
+        # load-use stalls anywhere in the suite.
+        for level in ("c", "e", "f"):
+            for network in FULL_SUITE:
+                result = lint_network(network, level)
+                stalls = [f for f in result.findings
+                          if f.rule == "load-use-stall"]
+                assert stalls == [], f"{network.name}/{level}"
+
+    def test_level_d_keeps_the_paper_input_bubble(self):
+        # The paper's own Table I shows the level-d input-load bubble;
+        # the linter must keep reporting it (it is real), and it must
+        # stay warning severity (it is legal code).
+        result = lint_network(_BY_NAME["challita2017"], "d")
+        stalls = [f for f in result.findings
+                  if f.rule == "load-use-stall"]
+        assert stalls
+        assert all(f.severity == "warning" for f in stalls)
+
+    def test_lint_suite_shape(self):
+        results = lint_suite(level_keys=("e",),
+                             networks=[_BY_NAME["eisen2019"]])
+        assert len(results) == 1
+        assert results[0].name == "eisen2019/e"
+
+
+class TestCli:
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.s"
+        path.write_text("addi t0, x0, 1\naddi t1, t0, 1\nebreak\n")
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_error_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text(
+            "addi t1, x0, 0x100\n"
+            "lp.setupi 0, 4, end\n"
+            "addi t2, t2, 1\n"
+            "p.lw t3, 4(t1!)\n"
+            "end:\n"
+            "ebreak\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "hwloop-load-end" in out
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        path = tmp_path / "warn.s"
+        path.write_text("lw t0, 0(x0)\naddi t1, t0, 1\nebreak\n")
+        assert main(["lint", "--json", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total_errors"] == 0
+        assert doc["total_warnings"] == 1
+        (res,) = doc["results"]
+        assert res["findings"][0]["rule"] == "load-use-stall"
+
+    def test_lint_kernels_selection(self, capsys):
+        rc = main(["lint", "--networks", "eisen2019", "--levels", "e"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eisen2019/e" in out
+
+    def test_lint_unknown_network_rejected(self, capsys):
+        assert main(["lint", "--networks", "nope"]) == 2

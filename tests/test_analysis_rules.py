@@ -1,0 +1,255 @@
+"""The lint rule catalog: each rule on a minimal triggering program."""
+
+from repro.analysis import Severity, lint_text
+
+
+def rules_of(result, rule):
+    return [f for f in result.findings if f.rule == rule]
+
+
+class TestSchedulingRules:
+    def test_load_use_stall_flagged(self):
+        r = lint_text("""
+            lw t0, 0(x0)
+            addi t1, t0, 1
+            ebreak
+        """)
+        (f,) = rules_of(r, "load-use-stall")
+        assert f.severity == Severity.WARNING
+        assert f.addr == 0
+
+    def test_independent_next_instruction_clean(self):
+        r = lint_text("""
+            lw t0, 0(x0)
+            addi t1, t2, 1
+            addi t3, t0, 1
+            ebreak
+        """)
+        assert rules_of(r, "load-use-stall") == []
+
+    def test_postinc_load_feeding_sdotsp(self):
+        r = lint_text("""
+            addi t1, x0, 0x100
+            p.lw t0, 4(t1!)
+            pl.sdotsp.h.0 t2, t1, t0
+            ebreak
+        """)
+        assert len(rules_of(r, "load-use-stall")) == 1
+
+    def test_spr_reread_adjacent_same_index(self):
+        r = lint_text("""
+            addi a0, x0, 0x100
+            pl.sdotsp.h.0 t0, a0, t1
+            pl.sdotsp.h.0 t0, a0, t1
+            ebreak
+        """)
+        (f,) = rules_of(r, "spr-reread")
+        assert f.severity == Severity.ERROR
+        assert not r.ok
+
+    def test_spr_alternating_stream_clean(self):
+        r = lint_text("""
+            addi a0, x0, 0x100
+            lp.setupi 0, 4, end
+            pl.sdotsp.h.0 t0, a0, t1
+            pl.sdotsp.h.1 t2, a0, t1
+        end:
+            ebreak
+        """)
+        assert rules_of(r, "spr-reread") == []
+        assert rules_of(r, "spr-alternation") == []
+
+    def test_spr_reread_across_back_edge(self):
+        # A single-instruction loop body with one SPR re-reads it one
+        # cycle later on every iteration via the free back edge.
+        r = lint_text("""
+            addi a0, x0, 0x100
+            lp.setupi 0, 4, end
+            pl.sdotsp.h.0 t0, a0, t1
+        end:
+            ebreak
+        """)
+        (f,) = rules_of(r, "spr-reread")
+        assert "back edge" in f.message
+
+    def test_spr_alternation_warning(self):
+        # Both SPRs used, but .0 appears twice non-adjacently without
+        # alternating: distance-safe, so a warning rather than an error.
+        r = lint_text("""
+            addi a0, x0, 0x100
+            lp.setupi 0, 4, end
+            pl.sdotsp.h.0 t0, a0, t1
+            addi t3, t3, 1
+            pl.sdotsp.h.0 t2, a0, t1
+            pl.sdotsp.h.1 t4, a0, t1
+            addi t5, t5, 1
+        end:
+            ebreak
+        """)
+        assert rules_of(r, "spr-reread") == []
+        assert len(rules_of(r, "spr-alternation")) >= 1
+
+
+class TestHwLoopRules:
+    def test_branch_out_of_body_is_error(self):
+        r = lint_text("""
+            lp.setupi 0, 4, end
+            addi t0, t0, 1
+            bne t0, x0, out
+            addi t1, t1, 1
+        end:
+        out:
+            ebreak
+        """)
+        findings = rules_of(r, "hwloop-boundary")
+        assert findings and all(f.severity == Severity.ERROR
+                                for f in findings)
+
+    def test_branch_into_body_is_error(self):
+        r = lint_text("""
+            bne t0, x0, inside
+            lp.setupi 0, 4, end
+            addi t0, t0, 1
+        inside:
+            addi t1, t1, 1
+        end:
+            ebreak
+        """)
+        assert rules_of(r, "hwloop-boundary")
+
+    def test_branch_within_body_clean(self):
+        r = lint_text("""
+            lp.setupi 0, 4, end
+        top:
+            addi t0, t0, 1
+            bne t0, x0, top
+            addi t1, t1, 1
+        end:
+            ebreak
+        """)
+        assert rules_of(r, "hwloop-boundary") == []
+
+    def test_nested_loops_sharing_index_is_error(self):
+        r = lint_text("""
+            addi t0, x0, 4
+            lp.setup 0, t0, outer_end
+            lp.setupi 0, 3, inner_end
+            addi t1, t1, 1
+        inner_end:
+            addi t2, t2, 1
+        outer_end:
+            ebreak
+        """)
+        assert rules_of(r, "hwloop-nesting")
+
+    def test_properly_nested_distinct_indices_clean(self):
+        r = lint_text("""
+            addi t0, x0, 4
+            lp.setup 1, t0, outer_end
+            lp.setupi 0, 3, inner_end
+            addi t1, t1, 1
+        inner_end:
+            addi t2, t2, 1
+        outer_end:
+            ebreak
+        """)
+        assert rules_of(r, "hwloop-nesting") == []
+
+    def test_count_register_clobber_warns(self):
+        r = lint_text("""
+            addi t0, x0, 4
+            lp.setup 0, t0, end
+            addi t0, t0, 1
+            addi t1, t1, 1
+        end:
+            ebreak
+        """)
+        (f,) = rules_of(r, "hwloop-count-clobber")
+        assert f.severity == Severity.WARNING
+
+    def test_plain_load_ending_body_is_error(self):
+        r = lint_text("""
+            addi t1, x0, 0x100
+            lp.setupi 0, 4, end
+            addi t2, t2, 1
+            p.lw t3, 4(t1!)
+        end:
+            ebreak
+        """)
+        (f,) = rules_of(r, "hwloop-load-end")
+        assert f.severity == Severity.ERROR
+        assert not r.ok
+
+
+class TestDataflowRules:
+    def test_use_before_def_warns(self):
+        r = lint_text("""
+            add t0, t1, t2
+            ebreak
+        """)
+        (f,) = rules_of(r, "use-before-def")
+        assert f.severity == Severity.WARNING
+
+    def test_frame_save_idiom_is_info(self):
+        r = lint_text("""
+            sw s0, 36(x0)
+            sw ra, 32(x0)
+            ebreak
+        """)
+        findings = rules_of(r, "use-before-def")
+        assert findings
+        assert all(f.severity == Severity.INFO for f in findings)
+
+    def test_dead_write_is_info(self):
+        r = lint_text("""
+            addi t0, x0, 1
+            addi t0, x0, 2
+            sw t0, 0(x0)
+            ebreak
+        """)
+        (f,) = rules_of(r, "dead-write")
+        assert f.severity == Severity.INFO
+        assert f.addr == 0
+
+    def test_unreachable_block_warns(self):
+        r = lint_text("""
+            ebreak
+            addi t0, x0, 1
+        """)
+        (f,) = rules_of(r, "unreachable")
+        assert f.severity == Severity.WARNING
+
+
+class TestFindingPlumbing:
+    def test_findings_sorted_errors_first(self):
+        r = lint_text("""
+            lw t0, 0(x0)
+            addi t1, t0, 1
+            pl.sdotsp.h.0 t2, t1, t0
+            pl.sdotsp.h.0 t2, t1, t0
+            ebreak
+        """)
+        sevs = [f.severity for f in r.findings]
+        assert sevs == sorted(sevs, key=lambda s: Severity.ORDER[s])
+        assert r.findings[0].severity == Severity.ERROR
+
+    def test_to_dict_roundtrip_fields(self):
+        r = lint_text("""
+            lw t0, 0(x0)
+            addi t1, t0, 1
+            ebreak
+        """)
+        d = r.to_dict()
+        assert d["name"] and isinstance(d["findings"], list)
+        assert {"severity", "rule", "addr", "instr", "message"} \
+            <= set(d["findings"][0])
+
+    def test_clean_program_is_ok(self):
+        r = lint_text("""
+            addi t0, x0, 1
+            addi t1, t0, 1
+            sw t1, 0(x0)
+            ebreak
+        """)
+        assert r.ok
+        assert r.errors == 0

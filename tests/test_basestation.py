@@ -5,7 +5,6 @@ import pytest
 
 from repro.energy.model import FREQ_HZ
 from repro.rrm.basestation import BaseStationSim, TtiReport
-from repro.rrm.wmmse import wmmse_power_allocation
 
 
 class TestBaseStationSim:

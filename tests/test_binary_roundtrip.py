@@ -3,7 +3,6 @@ must behave identically — the strongest check that the binary encodings
 preserve the semantics of every operand field."""
 
 import numpy as np
-import pytest
 
 from repro.core import Cpu, Memory
 from repro.isa import assemble

@@ -4,7 +4,7 @@ boundaries, paper-scale spot checks, and odds and ends."""
 import numpy as np
 import pytest
 
-from repro.core import Cpu, MemoryError32, Memory
+from repro.core import Cpu, Memory, MemoryError32
 from repro.core.tracer import Trace
 from repro.isa import SPECS, assemble, decode, encode, format_instr
 from repro.isa.instructions import Fmt, Instr
@@ -36,7 +36,6 @@ class TestDisassemblerCoverage:
 class TestActivationChunkBoundaries:
     @pytest.mark.parametrize("count", (510, 511, 512, 1022, 1023))
     def test_relu_chunking_exact(self, count):
-        from repro.fixedpoint import SIG_TABLE, TANH_TABLE
         from repro.kernels import (ActivationJob, AsmBuilder, LEVELS,
                                    gen_activation)
         rng = np.random.default_rng(count)

@@ -1,6 +1,5 @@
 """Instruction semantics: ALU, multiply/divide, comparisons."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core import Cpu

@@ -1,6 +1,5 @@
 """Cycle-model rules: the timing behaviour Table I's columns encode."""
 
-import pytest
 
 from repro.core import Cpu, Memory
 from repro.isa import assemble

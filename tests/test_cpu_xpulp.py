@@ -1,7 +1,6 @@
 """Xpulp SIMD and the paper's Xrnn instruction semantics."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Cpu, Memory

@@ -4,8 +4,7 @@ import pytest
 
 from repro.core import Cpu
 from repro.isa import assemble, decode, encode
-from repro.isa.csr import (CSR_BY_NAME, MCYCLE, MINSTRET, MSCRATCH,
-                           csr_name, csr_number)
+from repro.isa.csr import CSR_BY_NAME, csr_name, csr_number
 
 
 class TestCsrNames:

@@ -1,6 +1,5 @@
 """Assembler data directives (.data/.half/.word/.byte/.space/.align, la)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Cpu, Memory

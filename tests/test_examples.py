@@ -6,9 +6,7 @@ quantization benchmark instead; the remaining three run here.
 
 import os
 import runpy
-import sys
 
-import pytest
 
 _EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
 

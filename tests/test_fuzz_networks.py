@@ -9,7 +9,6 @@ beyond the hand-written cases.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernels import NetworkProgram

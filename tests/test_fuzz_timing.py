@@ -3,7 +3,6 @@ programs must produce identical histograms from the AsmBuilder static
 analysis and the ISS, and identical architecture from the binary twin."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Cpu, Memory

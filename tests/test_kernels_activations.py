@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Cpu, Memory
-from repro.fixedpoint import SIG_TABLE, TANH_TABLE, pla_apply, sig_q, tanh_q
+from repro.fixedpoint import SIG_TABLE, TANH_TABLE, sig_q, tanh_q
 from repro.isa import assemble
 from repro.kernels import (ActivationJob, AsmBuilder, LEVELS, PointwiseJob,
                            gen_activation, gen_lstm_pointwise)

@@ -1,7 +1,6 @@
 """Analytical performance model: builder counts vs. closed-form marginals
 and vs. the ISS on the scaled benchmark suite."""
 
-import numpy as np
 import pytest
 
 from repro.kernels import AsmBuilder, LEVELS, MatvecJob, gen_matvec, padded_row

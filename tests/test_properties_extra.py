@@ -2,7 +2,6 @@
 tile-plan/stream consistency, CLI drivers for the newest commands."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.tracer import Trace

@@ -2,12 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.nn import ConvSpec, DenseSpec, LstmSpec
 from repro.rrm import (FULL_SUITE, InterferenceChannel, MLPTrainer,
                        NETWORK_ORDER, SpectrumAccessEnv, make_wmmse_dataset,
-                       scale_network, suite, sum_rate, train_power_allocator,
+                       suite, sum_rate, train_power_allocator,
                        wmmse_power_allocation)
 
 

@@ -5,8 +5,7 @@ import pytest
 
 from repro.kernels import LEVELS, NetworkPlan, NetworkProgram
 from repro.kernels.runner import FRAME_REGS
-from repro.nn import (ConvSpec, DenseSpec, LstmSpec, Network, QuantModel,
-                      init_params, quantize_params)
+from repro.nn import (ConvSpec, DenseSpec, LstmSpec, Network, init_params, quantize_params)
 
 LEVEL_KEYS = ("a", "b", "c", "d", "e")
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.rrm.networks import suite
-from repro.serve.engine import EngineConfig, InferenceEngine
+from repro.serve.engine import InferenceEngine
 from repro.serve.loadgen import (LoadGenerator, make_request_stream,
                                  render_table, run_serve_bench,
                                  sequential_baseline)

@@ -4,7 +4,6 @@ weight-integrity guards (the acceptance scenarios from the robustness PR)."""
 import time
 
 import numpy as np
-import pytest
 
 from repro.faults import FaultInjector, FaultSpec
 from repro.nn.network import QuantModel

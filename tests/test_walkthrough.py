@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.kernels.walkthrough import format_walkthrough, \
     walkthrough_sections
