@@ -16,8 +16,9 @@ Layers:
 """
 
 from .cfg import BasicBlock, Cfg, HwLoop, build_cfg, find_hw_loops
-from .cycles import (BlockBounds, CycleMismatch, block_cycle_bounds,
-                     validate_block_cycles)
+from .cycles import (BlockBounds, BlockSummary, CycleMismatch,
+                     block_cycle_bounds, instruction_cost,
+                     summarize_blocks, validate_block_cycles)
 from .dataflow import ENTRY_DEF, Liveness, ReachingDefs
 from .linter import (ALL_LEVEL_KEYS, LintResult, lint_network,
                      lint_program, lint_suite, lint_text, render_results)
@@ -27,8 +28,8 @@ __all__ = [
     "BasicBlock", "Cfg", "HwLoop", "build_cfg", "find_hw_loops",
     "Liveness", "ReachingDefs", "ENTRY_DEF",
     "Finding", "Severity", "run_rules",
-    "BlockBounds", "CycleMismatch", "block_cycle_bounds",
-    "validate_block_cycles",
+    "BlockBounds", "BlockSummary", "CycleMismatch", "block_cycle_bounds",
+    "instruction_cost", "summarize_blocks", "validate_block_cycles",
     "LintResult", "lint_program", "lint_text", "lint_network",
     "lint_suite", "render_results", "ALL_LEVEL_KEYS",
 ]

@@ -30,8 +30,9 @@ from ..core.cpu import DIV_CYCLES, _DIV_OPS
 from ..isa.instructions import reads_mask
 from .cfg import Cfg, build_cfg
 
-__all__ = ["BlockBounds", "block_cycle_bounds", "validate_block_cycles",
-           "CycleMismatch"]
+__all__ = ["BlockBounds", "BlockSummary", "block_cycle_bounds",
+           "summarize_blocks", "instruction_cost",
+           "validate_block_cycles", "CycleMismatch"]
 
 
 @dataclass(frozen=True)
@@ -136,6 +137,55 @@ def block_cycle_bounds(cfg: Cfg, wait_states: int = 0) -> list:
         if program[block.end].spec.is_branch:
             hi += 1  # taken-branch penalty
         out.append(BlockBounds(block.id, lo, hi))
+    return out
+
+
+def instruction_cost(program, idx, wait_states: int = 0) -> int:
+    """Public static cost of instruction ``idx``: exact for everything
+    except branches (+1 when taken) and ``pl.sdotsp`` (whose SPR re-read
+    stall depends on issue distance); both get their minimum here."""
+    return _base_cost(program, idx, wait_states)
+
+
+@dataclass(frozen=True)
+class BlockSummary:
+    """Exportable per-block summary: span, cycle bounds, features.
+
+    The consumer-facing companion of :class:`BlockBounds` — downstream
+    models (``repro.perfmodel``, the turbo engine's docs) need to know
+    not just the bounds but whether the block's cost is closed-form
+    (``exact`` and branch/SPR-free) without re-deriving the features.
+    """
+
+    block_id: int
+    start: int
+    end: int
+    n_instrs: int
+    min_cycles: int
+    max_cycles: int
+    has_branch: bool
+    has_spr: bool
+
+    @property
+    def exact(self) -> bool:
+        return self.min_cycles == self.max_cycles
+
+
+def summarize_blocks(program, cfg: Cfg | None = None,
+                     wait_states: int = 0) -> list:
+    """:class:`BlockSummary` for every block, indexed by block id."""
+    if cfg is None:
+        cfg = build_cfg(program)
+    bounds = block_cycle_bounds(cfg, wait_states)
+    out = []
+    for block, b in zip(cfg.blocks, bounds):
+        out.append(BlockSummary(
+            block_id=block.id, start=block.start, end=block.end,
+            n_instrs=len(block),
+            min_cycles=b.min_cycles, max_cycles=b.max_cycles,
+            has_branch=program[block.end].spec.is_branch,
+            has_spr=any(_spr_index(program[i]) is not None
+                        for i in block.indices())))
     return out
 
 

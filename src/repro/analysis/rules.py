@@ -171,11 +171,12 @@ def check_spr_reread(ctx) -> list:
 
 @rule("spr-alternation")
 def check_spr_alternation(ctx) -> list:
-    """Soft half of the SPR protocol: inside a hardware-loop body that
-    uses both SPR buffers, the ``.0``/``.1`` stream should strictly
+    """Strict half of the SPR protocol: inside a hardware-loop body that
+    uses both SPR buffers, the ``.0``/``.1`` stream must strictly
     alternate (cyclically, since the back edge is free).  Non-alternating
     but distance-safe sequences leave no slack and break the Table II
-    double-buffer pattern."""
+    double-buffer pattern; every generated kernel satisfies the strict
+    form, so violations are reported as errors."""
     out = []
     program = ctx.program
     for lp in ctx.cfg.loops:
@@ -193,10 +194,10 @@ def check_spr_alternation(ctx) -> list:
             if k == prev_k and idx != prev_idx + 1:
                 # adjacent same-index is already an error (spr-reread)
                 out.append(ctx.finding(
-                    Severity.WARNING, "spr-alternation", idx,
+                    Severity.ERROR, "spr-alternation", idx,
                     f"SPR[{k}] used twice in a row in the loop body "
                     f"(previous use at 0x{program[prev_idx].addr:x}); "
-                    f"the .0/.1 stream should alternate"))
+                    f"the .0/.1 stream must alternate"))
     return out
 
 

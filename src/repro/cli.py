@@ -80,8 +80,10 @@ def _cmd_all(args) -> int:
 def _cmd_suite(args) -> int:
     from .rrm.suite import LEVEL_KEYS, SuiteRunner
     levels = [args.level] if args.level else list(LEVEL_KEYS)
-    runner = SuiteRunner(scale=args.scale, check=not args.no_check)
+    runner = SuiteRunner(scale=args.scale, check=not args.no_check,
+                         engine=args.engine)
     print(f"executing the suite on the ISS (scale {args.scale or 'env'}, "
+          f"engine {args.engine}, "
           f"golden checking {'off' if args.no_check else 'on'})")
     for level in levels:
         print(f"\nlevel {level}:")
@@ -178,7 +180,7 @@ def _cmd_run(args) -> int:
     program = assemble(source)
     memory = Memory(args.memory)
     program.load_data(memory)
-    cpu = Cpu(program, memory)
+    cpu = Cpu(program, memory, engine=args.engine)
     trace = cpu.run()
     print(f"halted after {cpu.instret} instructions, "
           f"{cpu.cycles} cycles\n")
@@ -211,6 +213,10 @@ def main(argv=None) -> int:
                               "REPRO_SCALE or 4)")
     p_suite.add_argument("--no-check", action="store_true",
                          help="skip golden-model verification")
+    p_suite.add_argument("--engine", choices=["interp", "turbo"],
+                         default="interp",
+                         help="ISS execution engine (turbo = vectorized "
+                              "loop kernels, bit- and cycle-exact)")
 
     p_serve = sub.add_parser(
         "serve-bench",
@@ -284,6 +290,10 @@ def main(argv=None) -> int:
     p_run.add_argument("file")
     p_run.add_argument("--memory", type=int, default=1 << 20,
                        help="memory size in bytes")
+    p_run.add_argument("--engine", choices=["interp", "turbo"],
+                       default="interp",
+                       help="ISS execution engine (turbo = vectorized "
+                            "loop kernels, bit- and cycle-exact)")
 
     args = parser.parse_args(argv)
     if args.command in _DRIVERS:

@@ -18,6 +18,15 @@ For speed every static instruction is compiled once into a Python closure
 that mutates the register file / memory directly and returns the next
 instruction index; per-static-instruction ``[count, cycles]`` cells are
 aggregated into a :class:`~repro.core.tracer.Trace` on demand.
+
+Two execution engines share those closures (``Cpu(engine=...)``):
+
+* ``"interp"`` (default): the per-instruction closure interpreter.
+* ``"turbo"``: :mod:`repro.core.turbo` overlays the closure table with
+  compiled loop kernels (vectorized numpy execution of provably safe
+  hardware/software loops) and fused straight-line superblocks, falling
+  back to the closures everywhere else.  Architecturally and cycle-wise
+  bit-exact against ``"interp"`` (see docs/TIMING.md).
 """
 
 from __future__ import annotations
@@ -31,7 +40,16 @@ from .memory import Memory
 from .tracer import Trace
 
 __all__ = ["Cpu", "DEFAULT_EXTENSIONS", "BASELINE_EXTENSIONS",
-           "XPULP_EXTENSIONS"]
+           "XPULP_EXTENSIONS", "ENGINES", "ALU_OPS", "BRANCH_OPS",
+           "ACC_ALU_OPS"]
+
+#: Execution engines accepted by :class:`Cpu`.
+ENGINES = ("interp", "turbo")
+
+#: Dispatches between exact budget checks in the turbo run loop (the
+#: interpreter loop checks every instruction; turbo amortizes the check
+#: because kernel retirements make it a three-term comparison).
+_BUDGET_STRIDE = 1024
 
 _M32 = 0xFFFFFFFF
 
@@ -92,11 +110,16 @@ class Cpu:
 
     def __init__(self, program: Program, memory: Memory | None = None,
                  extensions=DEFAULT_EXTENSIONS,
-                 max_instrs: int = 500_000_000):
+                 max_instrs: int = 500_000_000,
+                 engine: str = "interp"):
+        if engine not in ENGINES:
+            raise SimError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.program = program
         self.memory = memory if memory is not None else Memory()
         self.extensions = frozenset(extensions)
         self.max_instrs = max_instrs
+        self.engine = engine
         # Register file: 32 architectural registers + one write sink so
         # compiled closures can write "x0" without a branch.
         self.regs = [0] * 33
@@ -112,6 +135,18 @@ class Cpu:
         self._stats = [[0, 0] for _ in program]
         self._code = [self._compile(i, instr)
                       for i, instr in enumerate(program)]
+        # Instructions retired inside vectorized turbo kernels, *in
+        # addition to* the per-closure count in the run loop.  A list so
+        # kernels can bump it without attribute lookups.
+        self._xinstret = [0]
+        #: turbo-engine counters (always present; zeros under "interp")
+        self.turbo_stats = {"vector_loops": 0, "vector_iters": 0,
+                            "bails": 0, "fused_blocks": 0}
+        if engine == "turbo":
+            from .turbo import build_turbo_code
+            self._tcode = build_turbo_code(self)
+        else:
+            self._tcode = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -146,6 +181,9 @@ class Cpu:
         self.instret = 0
         self._hw[:] = [0, 0, 0, 0, 0, 0, 0, 0]
         self.csrs = {csrdefs.MSCRATCH: 0}
+        self._xinstret[0] = 0
+        for key in self.turbo_stats:
+            self.turbo_stats[key] = 0
         for cell in self._stats:
             cell[0] = cell[1] = 0
 
@@ -153,6 +191,8 @@ class Cpu:
         """Execute from byte address ``entry`` until halt or fall-through."""
         if entry % 4:
             raise SimError("entry point must be word-aligned")
+        if self._tcode is not None:
+            return self._run_turbo(entry)
         code = self._code
         hw = self._hw
         size = len(code)
@@ -191,6 +231,69 @@ class Cpu:
                 break
             idx = nxt
         self.instret += executed
+        return self.trace()
+
+    def _run_turbo(self, entry: int = 0) -> Trace:
+        """:meth:`run` against the turbo code table.
+
+        Identical to the interpreter loop except that the per-entry code
+        table may contain compiled loop kernels that retire many
+        instructions per call; those report the extra retirements via
+        ``self._xinstret`` so ``instret`` and the budget stay exact.
+        (A kernel checks the budget only between iterations of the
+        *outer* loop, and the dispatch loop folds kernel retirements
+        into its own budget test only every ``_BUDGET_STRIDE``
+        dispatches, so the limit may be detected slightly late — but
+        never missed.)
+        """
+        code = self._tcode
+        hw = self._hw
+        size = len(code)
+        idx = entry // 4
+        budget = self.max_instrs - self.instret
+        executed = 0
+        xi = self._xinstret
+        xstart = xi[0]
+        check_at = min(_BUDGET_STRIDE, budget + 1)
+        self.halted = False
+        while 0 <= idx < size:
+            try:
+                nxt = code[idx]()
+            except IndexError:
+                instr = self.program[idx]
+                raise MemoryError32(
+                    f"memory access out of range at pc=0x{instr.addr:x} "
+                    f"({instr})") from None
+            except ExecutionLimitExceeded:
+                # A loop kernel tripped the budget mid-dispatch; fold
+                # its retirements in so instret reflects the overrun.
+                self.instret += executed + xi[0] - xstart
+                raise
+            executed += 1
+            if executed >= check_at:
+                retired = executed + xi[0] - xstart
+                if retired > budget:
+                    self.instret += retired
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {self.max_instrs} instructions")
+                check_at = executed + min(_BUDGET_STRIDE,
+                                          budget - retired + 1)
+            if hw[0] and idx == hw[2]:
+                hw[3] -= 1
+                if hw[3] > 0:
+                    nxt = hw[1]
+                else:
+                    hw[0] = 0
+            elif hw[4] and idx == hw[6]:
+                hw[7] -= 1
+                if hw[7] > 0:
+                    nxt = hw[5]
+                else:
+                    hw[4] = 0
+            if self.halted:
+                break
+            idx = nxt
+        self.instret += executed + xi[0] - xstart
         return self.trace()
 
     def trace(self) -> Trace:
@@ -392,73 +495,15 @@ class Cpu:
         raise SimError(f"no executor for {m!r}")
 
     # ------------------------------------------------------------------
-    def _alu_builder(self, m: str):
+    @staticmethod
+    def _alu_builder(m: str):
         """Return op(rs1_val, rs2_val, imm) for simple write-rd ALU ops."""
-        def sdot(a, b, acc):
-            a0 = a & 0xFFFF
-            a1 = (a >> 16) & 0xFFFF
-            b0 = b & 0xFFFF
-            b1 = (b >> 16) & 0xFFFF
-            a0 -= (a0 & 0x8000) << 1
-            a1 -= (a1 & 0x8000) << 1
-            b0 -= (b0 & 0x8000) << 1
-            b1 -= (b1 & 0x8000) << 1
-            return (acc + a0 * b0 + a1 * b1) & _M32
-
-        table = {
-            "addi": lambda a, b, i: (a + i) & _M32,
-            "slti": lambda a, b, i: 1 if _signed32(a) < i else 0,
-            "sltiu": lambda a, b, i: 1 if a < (i & _M32) else 0,
-            "xori": lambda a, b, i: (a ^ i) & _M32,
-            "ori": lambda a, b, i: (a | i) & _M32,
-            "andi": lambda a, b, i: (a & i) & _M32,
-            "slli": lambda a, b, i: (a << i) & _M32,
-            "srli": lambda a, b, i: a >> i,
-            "srai": lambda a, b, i: (_signed32(a) >> i) & _M32,
-            "add": lambda a, b, i: (a + b) & _M32,
-            "sub": lambda a, b, i: (a - b) & _M32,
-            "sll": lambda a, b, i: (a << (b & 31)) & _M32,
-            "slt": lambda a, b, i: 1 if _signed32(a) < _signed32(b) else 0,
-            "sltu": lambda a, b, i: 1 if a < b else 0,
-            "xor": lambda a, b, i: a ^ b,
-            "srl": lambda a, b, i: a >> (b & 31),
-            "sra": lambda a, b, i: (_signed32(a) >> (b & 31)) & _M32,
-            "or": lambda a, b, i: a | b,
-            "and": lambda a, b, i: a & b,
-            "mul": lambda a, b, i: (a * b) & _M32,
-            "mulh": lambda a, b, i: ((_signed32(a) * _signed32(b)) >> 32)
-            & _M32,
-            "mulhu": lambda a, b, i: ((a * b) >> 32) & _M32,
-            "mulhsu": lambda a, b, i: ((_signed32(a) * b) >> 32) & _M32,
-            "div": _div, "divu": _divu, "rem": _rem, "remu": _remu,
-            "pv.sdotsp.h": sdot,
-            "pv.sdotsp.b": lambda a, b, acc: (acc + _dot4b(a, b)) & _M32,
-            "pv.add.h": _pv_add_h,
-            "pv.sub.h": _pv_sub_h,
-            "pv.mul.h": _pv_mul_h,
-            "pv.sra.h": _pv_sra_h,
-            "pv.pack.h": lambda a, b, i: ((b & 0xFFFF) << 16) | (a & 0xFFFF),
-            "pv.extract.h": _pv_extract_h,
-            "p.abs": lambda a, b, i: abs(_signed32(a)) & _M32,
-            "p.min": lambda a, b, i: (a if _signed32(a) < _signed32(b)
-                                      else b),
-            "p.max": lambda a, b, i: (a if _signed32(a) > _signed32(b)
-                                      else b),
-            "p.minu": lambda a, b, i: min(a, b),
-            "p.maxu": lambda a, b, i: max(a, b),
-            "p.clip": _p_clip,
-            "p.exths": lambda a, b, i:
-                ((a & 0xFFFF) | (0xFFFF0000 if a & 0x8000 else 0)),
-        }
-        if m == "p.mac":
-            return lambda a, b, acc: (acc + _signed32(a) * _signed32(b)) \
-                & _M32
-        return table.get(m)
+        return ALU_OPS.get(m)
 
     @staticmethod
     def _needs_old_rd(m: str) -> bool:
         """Ops that accumulate into rd get old rd as their 3rd argument."""
-        return m in ("p.mac", "pv.sdotsp.h", "pv.sdotsp.b")
+        return m in ACC_ALU_OPS
 
     def _compile_load(self, idx: int, instr: Instr, bump):
         spec = instr.spec
@@ -667,16 +712,9 @@ class Cpu:
             return nxt
         return fn
 
-    def _branch_cond(self, m: str):
-        table = {
-            "beq": lambda a, b: a == b,
-            "bne": lambda a, b: a != b,
-            "blt": lambda a, b: _signed32(a) < _signed32(b),
-            "bge": lambda a, b: _signed32(a) >= _signed32(b),
-            "bltu": lambda a, b: a < b,
-            "bgeu": lambda a, b: a >= b,
-        }
-        return table[m]
+    @staticmethod
+    def _branch_cond(m: str):
+        return BRANCH_OPS[m]
 
 
 # ----------------------------------------------------------------------
@@ -783,3 +821,76 @@ def _p_clip(a, b, i):
         return 0 if value > 0 else value & _M32
     lo, hi = -(1 << (i - 1)), (1 << (i - 1)) - 1
     return max(lo, min(hi, value)) & _M32
+
+
+def _pv_sdotsp_h(a, b, acc):
+    a0 = a & 0xFFFF
+    a1 = (a >> 16) & 0xFFFF
+    b0 = b & 0xFFFF
+    b1 = (b >> 16) & 0xFFFF
+    a0 -= (a0 & 0x8000) << 1
+    a1 -= (a1 & 0x8000) << 1
+    b0 -= (b0 & 0x8000) << 1
+    b1 -= (b1 & 0x8000) << 1
+    return (acc + a0 * b0 + a1 * b1) & _M32
+
+
+#: op(rs1_val, rs2_val, imm_or_old_rd) for every simple write-rd ALU op.
+#: Shared by the interpreter's closure compiler and ``repro.core.turbo``'s
+#: scalar fallback paths; built once at import instead of per ``_compile``.
+ALU_OPS = {
+    "addi": lambda a, b, i: (a + i) & _M32,
+    "slti": lambda a, b, i: 1 if _signed32(a) < i else 0,
+    "sltiu": lambda a, b, i: 1 if a < (i & _M32) else 0,
+    "xori": lambda a, b, i: (a ^ i) & _M32,
+    "ori": lambda a, b, i: (a | i) & _M32,
+    "andi": lambda a, b, i: (a & i) & _M32,
+    "slli": lambda a, b, i: (a << i) & _M32,
+    "srli": lambda a, b, i: a >> i,
+    "srai": lambda a, b, i: (_signed32(a) >> i) & _M32,
+    "add": lambda a, b, i: (a + b) & _M32,
+    "sub": lambda a, b, i: (a - b) & _M32,
+    "sll": lambda a, b, i: (a << (b & 31)) & _M32,
+    "slt": lambda a, b, i: 1 if _signed32(a) < _signed32(b) else 0,
+    "sltu": lambda a, b, i: 1 if a < b else 0,
+    "xor": lambda a, b, i: a ^ b,
+    "srl": lambda a, b, i: a >> (b & 31),
+    "sra": lambda a, b, i: (_signed32(a) >> (b & 31)) & _M32,
+    "or": lambda a, b, i: a | b,
+    "and": lambda a, b, i: a & b,
+    "mul": lambda a, b, i: (a * b) & _M32,
+    "mulh": lambda a, b, i: ((_signed32(a) * _signed32(b)) >> 32) & _M32,
+    "mulhu": lambda a, b, i: ((a * b) >> 32) & _M32,
+    "mulhsu": lambda a, b, i: ((_signed32(a) * b) >> 32) & _M32,
+    "div": _div, "divu": _divu, "rem": _rem, "remu": _remu,
+    "p.mac": lambda a, b, acc: (acc + _signed32(a) * _signed32(b)) & _M32,
+    "pv.sdotsp.h": _pv_sdotsp_h,
+    "pv.sdotsp.b": lambda a, b, acc: (acc + _dot4b(a, b)) & _M32,
+    "pv.add.h": _pv_add_h,
+    "pv.sub.h": _pv_sub_h,
+    "pv.mul.h": _pv_mul_h,
+    "pv.sra.h": _pv_sra_h,
+    "pv.pack.h": lambda a, b, i: ((b & 0xFFFF) << 16) | (a & 0xFFFF),
+    "pv.extract.h": _pv_extract_h,
+    "p.abs": lambda a, b, i: abs(_signed32(a)) & _M32,
+    "p.min": lambda a, b, i: (a if _signed32(a) < _signed32(b) else b),
+    "p.max": lambda a, b, i: (a if _signed32(a) > _signed32(b) else b),
+    "p.minu": lambda a, b, i: min(a, b),
+    "p.maxu": lambda a, b, i: max(a, b),
+    "p.clip": _p_clip,
+    "p.exths": lambda a, b, i:
+        ((a & 0xFFFF) | (0xFFFF0000 if a & 0x8000 else 0)),
+}
+
+#: ALU ops whose third argument is the *old rd* (accumulators).
+ACC_ALU_OPS = frozenset({"p.mac", "pv.sdotsp.h", "pv.sdotsp.b"})
+
+#: cond(rs1_val, rs2_val) for every conditional branch.
+BRANCH_OPS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed32(a) < _signed32(b),
+    "bge": lambda a, b: _signed32(a) >= _signed32(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}

@@ -144,6 +144,10 @@ class AsmBuilder:
         #: (display, rd, mult) of the previous instruction if it was a
         #: plain load, else None.  Used for load-use stall accounting.
         self._prev_load = None
+        #: OR of ``writes_mask`` over the instructions emitted since a
+        #: caller last reset it; region-level clobber tracking (the
+        #: layer-frame generator uses it to drop dead restores).
+        self.written_mask = 0
 
     # ------------------------------------------------------------------
     @property
@@ -190,8 +194,10 @@ class AsmBuilder:
         spec = instr.spec
         display = spec.display
         mult = self.mult
-        from ..isa.instructions import reads_mask  # shared hazard definition
+        from ..isa.instructions import (reads_mask,  # shared hazard defs
+                                        writes_mask)
         reads = reads_mask(instr)
+        self.written_mask |= writes_mask(instr)
 
         # Load-use stall charged to the previous load.
         if self._prev_load is not None:

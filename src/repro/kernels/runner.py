@@ -45,18 +45,28 @@ FRAME_REGS = {"a": 10, "b": 6, "c": 12, "d": 12, "e": 12, "f": 12}
 FRAME_ADDR = 32
 
 
+def _sreg_num(i: int) -> int:
+    """x-register number of ``s{i}`` (s0/s1 = x8/x9, s2.. = x18..)."""
+    return 8 + i if i < 2 else 16 + i
+
+
 def _emit_frame_begin(b: AsmBuilder, level: OptLevel) -> None:
     b.comment("layer call frame: save")
     b.emit("jal x0, 4")  # call cost (jump-and-link to the layer function)
     b.emit(f"sw ra, {FRAME_ADDR}(x0)")
     for i in range(FRAME_REGS[level.key]):
         b.emit(f"sw s{i}, {FRAME_ADDR + 4 + 4 * i}(x0)")
+    b.written_mask = 0  # track clobbers across the layer body
 
 
 def _emit_frame_end(b: AsmBuilder, level: OptLevel) -> None:
+    # Dead-restore elimination: a saved register the layer body never
+    # wrote still holds its saved value, so reloading it is a no-op.
+    clobbered = b.written_mask
     b.comment("layer call frame: restore")
     for i in range(FRAME_REGS[level.key]):
-        b.emit(f"lw s{i}, {FRAME_ADDR + 4 + 4 * i}(x0)")
+        if (clobbered >> _sreg_num(i)) & 1:
+            b.emit(f"lw s{i}, {FRAME_ADDR + 4 + 4 * i}(x0)")
     b.emit(f"lw ra, {FRAME_ADDR}(x0)")
     b.emit("jal x0, 4")  # return cost
 
@@ -235,7 +245,7 @@ class NetworkProgram:
 
     def __init__(self, network: Network, params_raw: list,
                  level_key: str = "d", max_instrs: int = 500_000_000,
-                 wait_states: int = 0):
+                 wait_states: int = 0, engine: str = "interp"):
         self.plan = NetworkPlan(network, level_key)
         self.network = network
         self.params = params_raw
@@ -245,7 +255,7 @@ class NetworkProgram:
                              wait_states=wait_states)
         self.cpu = Cpu(self.program, self.memory,
                        extensions=self.plan.level.extensions,
-                       max_instrs=max_instrs)
+                       max_instrs=max_instrs, engine=engine)
         self._write_luts()
         self._write_params()
         self.reset_state()

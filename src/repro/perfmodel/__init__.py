@@ -5,12 +5,20 @@ The exact model is the static count analysis performed by
 convenience functions re-exported here (from :mod:`repro.rrm.suite`)
 evaluate it per network and per suite without executing a single simulated
 instruction.  :mod:`repro.perfmodel.formulas` provides independent
-closed-form marginal costs used to cross-validate the builder.
+closed-form marginal costs used to cross-validate the builder, and
+:mod:`repro.perfmodel.static_latency` predicts exact whole-network cycle
+counts from the :mod:`repro.analysis.cycles` block bounds, again without
+simulation.
 """
 
 from ..rrm.suite import (network_speedups, network_trace, plan_for,
                          suite_speedups, suite_trace)
 from .formulas import matvec_marginal
+from .static_latency import (PredictedLatency, Unpredictable,
+                             predict_network_cycles,
+                             predict_program_cycles)
 
 __all__ = ["plan_for", "network_trace", "suite_trace", "network_speedups",
-           "suite_speedups", "matvec_marginal"]
+           "suite_speedups", "matvec_marginal",
+           "PredictedLatency", "Unpredictable", "predict_network_cycles",
+           "predict_program_cycles"]

@@ -64,10 +64,11 @@ class SuiteRunner:
     """ISS execution of the (scaled) suite with golden-model checking."""
 
     def __init__(self, scale: int | None = None, seed: int = 2020,
-                 check: bool = True):
+                 check: bool = True, engine: str = "interp"):
         self.networks = suite(scale)
         self.seed = seed
         self.check = check
+        self.engine = engine
         self._rng = np.random.default_rng(seed)
 
     def _random_input(self, network: Network) -> np.ndarray:
@@ -78,7 +79,8 @@ class SuiteRunner:
         """Run one inference on the ISS; returns the execution histogram."""
         params = quantize_params(
             init_params(network, np.random.default_rng(self.seed)))
-        program = NetworkProgram(network, params, level_key)
+        program = NetworkProgram(network, params, level_key,
+                                 engine=self.engine)
         xs = [self._random_input(network) for _ in range(network.timesteps)]
         if self.check:
             program.run_and_check(xs)

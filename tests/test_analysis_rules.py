@@ -72,9 +72,11 @@ class TestSchedulingRules:
         (f,) = rules_of(r, "spr-reread")
         assert "back edge" in f.message
 
-    def test_spr_alternation_warning(self):
+    def test_spr_alternation_error(self):
         # Both SPRs used, but .0 appears twice non-adjacently without
-        # alternating: distance-safe, so a warning rather than an error.
+        # alternating: distance-safe, yet an error — the strict protocol
+        # leaves slack for rescheduling and every generated kernel
+        # satisfies it.
         r = lint_text("""
             addi a0, x0, 0x100
             lp.setupi 0, 4, end
@@ -87,7 +89,10 @@ class TestSchedulingRules:
             ebreak
         """)
         assert rules_of(r, "spr-reread") == []
-        assert len(rules_of(r, "spr-alternation")) >= 1
+        findings = rules_of(r, "spr-alternation")
+        assert len(findings) >= 1
+        assert all(f.severity == Severity.ERROR for f in findings)
+        assert not r.ok
 
 
 class TestHwLoopRules:

@@ -1,0 +1,150 @@
+"""Closed-form latency prediction vs. the instruction-set simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+from repro.kernels.runner import NetworkProgram
+from repro.nn.network import init_params, quantize_params
+from repro.perfmodel import (Unpredictable, predict_network_cycles,
+                             predict_program_cycles)
+from repro.rrm.networks import suite
+
+
+def _iss(source):
+    program = assemble(source)
+    cpu = Cpu(program, Memory())
+    cpu.run()
+    return cpu.cycles, cpu.instret
+
+
+def _predict(source):
+    pred = predict_program_cycles(assemble(source))
+    return pred.cycles, pred.instret
+
+
+class TestPrograms:
+    def test_straight_line(self):
+        src = """
+            addi t0, x0, 7
+            lw t1, 0(x0)
+            addi t2, t1, 1
+            ebreak
+        """
+        assert _predict(src) == _iss(src)
+
+    def test_branch_closed_loop_collapses(self):
+        src = """
+            addi t0, x0, 0
+            addi t1, x0, 4000
+        top:
+            addi t0, t0, 1
+            bne t0, t1, top
+            ebreak
+        """
+        assert _predict(src) == _iss(src)
+
+    def test_bltu_counter_loop(self):
+        src = """
+            addi a0, x0, 0
+            addi a1, x0, 1500
+        top:
+            addi a0, a0, 3
+            bltu a0, a1, top
+            ebreak
+        """
+        assert _predict(src) == _iss(src)
+
+    def test_hardware_loop_collapses(self):
+        src = """
+            addi a1, x0, 0
+            lp.setupi 0, 900, end
+            lw t0, 0(a1)
+            addi a1, a1, 4
+        end:
+            xor t1, t1, t0
+            ebreak
+        """
+        assert _predict(src) == _iss(src)
+
+    def test_nested_hw_loops(self):
+        src = """
+            addi a2, x0, 30
+            lp.setup 1, a2, outer
+            addi a1, x0, 0
+            lp.setupi 0, 40, inner
+            p.lw t0, 4(a1!)
+            add t1, t1, t0
+        inner:
+            addi a3, a3, 1
+        outer:
+            ebreak
+        """
+        assert _predict(src) == _iss(src)
+
+    def test_spr_dot_product_timing(self):
+        src = """
+            addi a1, x0, 0
+            addi a2, x0, 256
+            lp.setupi 0, 200, end
+            pl.sdotsp.h.0 t1, a1, t2
+        end:
+            pl.sdotsp.h.1 t3, a2, t4
+            ebreak
+        """
+        assert _predict(src) == _iss(src)
+
+    def test_zero_count_register_loop_skips_body(self):
+        src = """
+            addi a2, x0, 0
+            lp.setup 0, a2, end
+            addi t0, t0, 1
+        end:
+            addi t1, t1, 1
+            addi t2, x0, 5
+            ebreak
+        """
+        assert _predict(src) == _iss(src)
+
+    def test_data_dependent_branch_is_unpredictable(self):
+        src = """
+            lw t0, 0(x0)
+            bne t0, x0, skip
+            addi t1, x0, 1
+        skip:
+            ebreak
+        """
+        with pytest.raises(Unpredictable):
+            predict_program_cycles(assemble(src))
+
+    def test_infinite_loop_is_unpredictable(self):
+        src = """
+            addi t0, x0, 1
+        top:
+            addi t1, t1, 1
+            bne t0, x0, top
+            ebreak
+        """
+        with pytest.raises(Unpredictable):
+            predict_program_cycles(assemble(src))
+
+
+class TestNetworks:
+    """The closed form must agree with the ISS over full inferences."""
+
+    @pytest.mark.parametrize("net_index", [0, 3, 7])
+    @pytest.mark.parametrize("level", list("abcdef"))
+    def test_agrees_with_iss(self, net_index, level):
+        network = suite(4)[net_index]
+        params = quantize_params(
+            init_params(network, np.random.default_rng(2020)))
+        program = NetworkProgram(network, params, level)
+        rng = np.random.default_rng(7)
+        xs = [np.asarray(rng.uniform(-1, 1, network.input_size) * 4096,
+                         dtype=np.int64)
+              for _ in range(network.timesteps)]
+        program.forward(xs)
+        pred = predict_network_cycles(network, level)
+        assert pred.cycles == program.cpu.cycles
+        assert pred.instret == program.cpu.instret
