@@ -9,9 +9,22 @@ Commands:
     all [--out DIR]
         regenerate every experiment; optionally write artifacts to DIR
 
-    suite [--level X] [--scale N]
+    suite [--level X] [--scale N] [--engine auto|interp|turbo]
         execute the (scaled) benchmark suite on the ISS with golden
-        checking and print the per-network cycle table
+        checking and print the per-network cycle table; the default
+        engine is auto (turbo at paper scale REPRO_SCALE=1, with
+        automatic interpreter fallback on bail-out)
+
+    profile NETWORK [--level a-f] [--engine interp|turbo|both]
+            [--out FILE.json] [--folded FILE.folded]
+        run one network on the ISS and print the hierarchical cycle
+        attribution (network/layer/kernel regions, stall split); totals
+        are asserted identical to the execution Trace, and --engine
+        both cross-checks the two engines against each other
+
+    overhead-bench [--out FILE.json]
+        measure instrumented vs. uninstrumented ISS throughput and
+        serving latency; writes BENCH_obs.json
 
     serve-bench [--requests N] [--rate R] [--out FILE.json]
         drive the batched inference runtime with an open-loop Poisson
@@ -19,9 +32,11 @@ Commands:
         machine-readable results (default BENCH_serve.json)
 
     chaos-bench [--requests N] [--duration S] [--out FILE.json]
+            [--trace-out FILE.json]
         drive the runtime under a scripted fault scenario (weight
         bit-flips, crashes, latency spikes), print the availability /
-        recovery report and write BENCH_chaos.json
+        recovery report and write BENCH_chaos.json; --trace-out
+        additionally writes a Perfetto-loadable span trace of the run
 
     lint [FILE.s ...] [--levels XY] [--json]
         run the static analyzer (CFG/dataflow lint) over assembly files
@@ -83,17 +98,90 @@ def _cmd_suite(args) -> int:
     runner = SuiteRunner(scale=args.scale, check=not args.no_check,
                          engine=args.engine)
     print(f"executing the suite on the ISS (scale {args.scale or 'env'}, "
-          f"engine {args.engine}, "
-          f"golden checking {'off' if args.no_check else 'on'})")
+          f"engine {runner.engine}"
+          + (" [auto]" if args.engine == "auto" else "")
+          + f", golden checking {'off' if args.no_check else 'on'})")
     for level in levels:
         print(f"\nlevel {level}:")
         total = 0
         for network in runner.networks:
             trace = runner.run_network(network, level)
             total += trace.total_cycles
+            ran = runner.engines_used[f"{network.name}/{level}"]
+            note = "" if ran == runner.engine \
+                else f"  [{ran} fallback]"
             print(f"  {network.name:<15s} {trace.total_cycles:>9d} cycles"
-                  f"  ({trace.total_instrs} instrs)")
+                  f"  ({trace.total_instrs} instrs){note}")
         print(f"  {'TOTAL':<15s} {total:>9d} cycles")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import profile_network
+    engines = ["interp", "turbo"] if args.engine == "both" \
+        else [args.engine]
+    profiles = {}
+    for engine in engines:
+        profiles[engine] = profile_network(
+            args.network, level_key=args.level, engine=engine,
+            seed=args.seed, scale=args.scale, check=args.check)
+    if len(profiles) == 2:
+        interp, turbo = profiles["interp"], profiles["turbo"]
+        if (interp.total_cycles != turbo.total_cycles
+                or interp.total_instrs != turbo.total_instrs):
+            print("engine mismatch: interp "
+                  f"{interp.total_cycles} cycles != turbo "
+                  f"{turbo.total_cycles} cycles", file=sys.stderr)
+            return 1
+    profile = profiles[engines[-1]]
+    print(profile.table(max_depth=args.depth))
+    print()
+    stall = profile.total_cycles - profile.total_instrs
+    print(f"{args.network} level {args.level}: {profile.total_cycles} "
+          f"cycles, {profile.total_instrs} instrs, {stall} stall cycles "
+          f"(engine{'s' if len(engines) > 1 else ''} {'+'.join(engines)}, "
+          "totals == Trace exactly)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(profile.to_json() + "\n")
+        print(f"[written {args.out}]")
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            handle.write(profile.folded(mnemonics=args.mnemonics))
+        print(f"[written {args.folded}]")
+    return 0
+
+
+def _cmd_overhead_bench(args) -> int:
+    from .obs.overhead import run_overhead_bench
+    result = run_overhead_bench(
+        scale=args.scale, level=args.level, engine=args.engine,
+        network_name=args.network, repeats=args.repeats,
+        n_requests=args.requests, seed=args.seed, out_path=args.out)
+    iss = result["iss"]
+    serve = result["serve"]
+    print("overhead-bench: observability cost "
+          f"(network {result['config']['network']}, level "
+          f"{result['config']['level']}, engine "
+          f"{result['config']['engine']})")
+    off_rate = iss["uninstrumented"]["instret_per_s"]
+    print(f"  ISS instret/s   off {off_rate:>12.0f}"
+          f"   with profile {iss['instrumented']['instret_per_s']:>12.0f}"
+          f"   (opt-in cost {iss['profile_overhead_pct']:.1f}%)")
+    off_p99 = serve["uninstrumented"]["p99_s"]
+    on_p99 = serve["instrumented"]["p99_s"]
+    print(f"  serve p99       off {off_p99 * 1e3:>12.2f}ms"
+          f"   with tracer  {on_p99 * 1e3:>12.2f}ms"
+          f"   ({serve['trace_events']} span events)")
+    off_path = result["off_path"]
+    print(f"  instrumentation-off overhead: "
+          f"{result['overhead_off_pct']:.4f}% "
+          f"({off_path['guards_per_request']} guards x "
+          f"{off_path['guard_cost_ns']:.0f}ns over "
+          f"{off_path['service_time_us']:.0f}us/request; wall-clock "
+          f"noise floor {iss['noise_floor_pct']:.2f}%)")
+    if args.out:
+        print(f"[written {args.out}]")
     return 0
 
 
@@ -129,10 +217,15 @@ def _cmd_chaos_bench(args) -> int:
         integrity_check_every=args.integrity_every,
         seed=args.seed,
         out_path=args.out,
+        trace_out=args.trace_out,
     )
     print(render_chaos_table(result))
     if args.out:
         print(f"\n[written {args.out}]")
+    if args.trace_out:
+        trace = result.get("trace", {})
+        print(f"[written {args.trace_out}: {trace.get('events', 0)} span "
+              "events — load at https://ui.perfetto.dev]")
     return 0
 
 
@@ -213,10 +306,59 @@ def main(argv=None) -> int:
                               "REPRO_SCALE or 4)")
     p_suite.add_argument("--no-check", action="store_true",
                          help="skip golden-model verification")
-    p_suite.add_argument("--engine", choices=["interp", "turbo"],
-                         default="interp",
-                         help="ISS execution engine (turbo = vectorized "
-                              "loop kernels, bit- and cycle-exact)")
+    p_suite.add_argument("--engine",
+                         choices=["auto", "interp", "turbo"],
+                         default="auto",
+                         help="ISS execution engine (auto = turbo at "
+                              "paper scale REPRO_SCALE=1 with interpreter "
+                              "fallback on bail-out, interp otherwise)")
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="hierarchical cycle attribution for one suite network")
+    p_profile.add_argument("network", help="suite network name")
+    p_profile.add_argument("--level", choices=list("abcdef"), default="e",
+                           help="optimization level (default: e)")
+    p_profile.add_argument("--engine",
+                           choices=["interp", "turbo", "both"],
+                           default="interp",
+                           help="ISS engine; 'both' runs interp and turbo "
+                                "and cross-checks their totals")
+    p_profile.add_argument("--scale", type=int, default=None,
+                           help="suite down-scale factor (default: "
+                                "REPRO_SCALE or 4)")
+    p_profile.add_argument("--seed", type=int, default=2020)
+    p_profile.add_argument("--depth", type=int, default=None,
+                           help="max region depth in the printed table")
+    p_profile.add_argument("--check", action="store_true",
+                           help="also verify against the golden model")
+    p_profile.add_argument("--out",
+                           help="write the full profile tree as JSON")
+    p_profile.add_argument("--folded",
+                           help="write folded stacks (flamegraph.pl / "
+                                "speedscope input)")
+    p_profile.add_argument("--mnemonics", action="store_true",
+                           help="per-mnemonic leaf frames in --folded")
+
+    p_obs = sub.add_parser(
+        "overhead-bench",
+        help="measure observability overhead (instrumented vs. not)")
+    p_obs.add_argument("--scale", type=int, default=None,
+                       help="suite down-scale factor (default: "
+                            "REPRO_SCALE or 4)")
+    p_obs.add_argument("--level", choices=list("abcdef"), default="e")
+    p_obs.add_argument("--engine", choices=["interp", "turbo"],
+                       default="interp")
+    p_obs.add_argument("--network", default=None,
+                       help="suite network for the ISS leg (default: "
+                            "the largest)")
+    p_obs.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per ISS measurement")
+    p_obs.add_argument("--requests", type=int, default=150,
+                       help="requests per serve-bench leg")
+    p_obs.add_argument("--seed", type=int, default=2020)
+    p_obs.add_argument("--out", default="BENCH_obs.json",
+                       help="JSON results path ('' to skip writing)")
 
     p_serve = sub.add_parser(
         "serve-bench",
@@ -263,6 +405,9 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--seed", type=int, default=2020)
     p_chaos.add_argument("--out", default="BENCH_chaos.json",
                          help="JSON results path ('' to skip writing)")
+    p_chaos.add_argument("--trace-out", default=None,
+                         help="write a Perfetto-loadable span trace of "
+                              "the chaos pass (Chrome trace-event JSON)")
 
     p_lint = sub.add_parser(
         "lint",
@@ -303,6 +448,10 @@ def main(argv=None) -> int:
         return _cmd_all(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "overhead-bench":
+        return _cmd_overhead_bench(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
     if args.command == "chaos-bench":

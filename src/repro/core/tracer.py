@@ -75,12 +75,16 @@ class Trace:
         named = {name for name, _, _ in rows}
         other_cycles = sum(v for k, v in self.cycles.items() if k not in named)
         other_instrs = sum(v for k, v in self.instrs.items() if k not in named)
-        lines = [f"{'Instr.':<12}{'cycles':>12}{'instrs':>12}"]
+        # The name column stretches for mnemonics longer than the paper's
+        # (e.g. raw ``pl.sdotsp.h.0``) so number columns always align.
+        width = max([12] + [len(name) for name, _, _ in rows])
+        lines = [f"{'Instr.':<{width}}{'cycles':>12}{'instrs':>12}"]
         for name, cyc, cnt in rows:
-            lines.append(f"{name:<12}{cyc / unit:>12.1f}{cnt / unit:>12.1f}")
-        lines.append(f"{'oth.':<12}{other_cycles / unit:>12.1f}"
+            lines.append(f"{name:<{width}}{cyc / unit:>12.1f}"
+                         f"{cnt / unit:>12.1f}")
+        lines.append(f"{'oth.':<{width}}{other_cycles / unit:>12.1f}"
                      f"{other_instrs / unit:>12.1f}")
-        lines.append(f"{'total':<12}{self.total_cycles / unit:>12.1f}"
+        lines.append(f"{'total':<{width}}{self.total_cycles / unit:>12.1f}"
                      f"{self.total_instrs / unit:>12.1f}")
         return "\n".join(lines)
 

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..analysis.cfg import build_cfg
 from ..isa.instructions import Fmt, reads_mask
+from ..obs.metrics import REGISTRY
 from .cpu import (
     ALU_OPS, _DIV_OPS, _M32, _PLA_FRAC, _PLA_N, _PLA_ONE, _PLA_SHIFT,
     _SIG_M, _SIG_Q, _TANH_M, _TANH_Q, _dot2h, _dot4b, _pla_scalar,
@@ -70,6 +71,15 @@ FUSE_MIN = 4
 
 _U64 = np.uint64
 _MASK = np.uint64(0xFFFFFFFF)
+
+#: Engine-wide compile/cache/bail event counts on the unified registry
+#: (``repro.obs``).  The bail child is pre-bound: wrapper bail paths are
+#: hot and must not pay the family's label lookup.
+_TURBO_EVENTS = REGISTRY.counter(
+    "iss_turbo_events_total",
+    "Turbo-engine analysis, plan-cache and runtime-bail events.",
+    ("event",))
+_BAILS = _TURBO_EVENTS.labels(event="bail")
 
 
 class _Bail(Exception):
@@ -1109,6 +1119,7 @@ def _make_hw_wrapper(cpu, idx, t):
             except _Bail:
                 state["bails"] += 1
                 tstats["bails"] += 1
+                _BAILS.inc()
                 break
             tstats["vector_loops"] += 1
             tstats["vector_iters"] += c
@@ -1174,6 +1185,7 @@ def _make_br_wrapper(cpu, idx, t):
             except _Bail:
                 state["bails"] += 1
                 tstats["bails"] += 1
+                _BAILS.inc()
                 return bs
             # taken branches cost 2; the exit branch falls through for 1
             cpu.clk[0] += 2 * r - (1 if exited else 0) - r * br_cost
@@ -1299,6 +1311,7 @@ def analyze_program(program, wait_states=0):
         except _Unsupported:
             continue
         plans[lp.setup_idx] = ("hw", t)
+        _TURBO_EVENTS.inc(event="compile_hw")
 
     def in_loop(i):
         return any(lo <= i <= hi for lo, hi in loop_spans)
@@ -1319,8 +1332,10 @@ def analyze_program(program, wait_states=0):
             except _Unsupported:
                 continue
             plans[block.start] = ("br", t)
+            _TURBO_EVENTS.inc(event="compile_br")
         elif len(block) >= FUSE_MIN:
             plans[block.start] = ("fuse", block.end)
+            _TURBO_EVENTS.inc(event="compile_fuse")
     return plans
 
 
@@ -1331,11 +1346,14 @@ def build_turbo_code(cpu):
     key = (cpu.memory.wait_states,)
     cached = getattr(program, "_turbo_cache", None)
     if cached is None or cached[0] != key:
+        _TURBO_EVENTS.inc(event="cache_miss")
         cached = (key, analyze_program(program, cpu.memory.wait_states))
         try:
             program._turbo_cache = cached
         except AttributeError:
             pass
+    else:
+        _TURBO_EVENTS.inc(event="cache_hit")
     tcode = list(cpu._code)
     nfuse = 0
     for idx, plan in cached[1].items():

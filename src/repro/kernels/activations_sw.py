@@ -76,12 +76,13 @@ def gen_activation(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:
     """Apply ``job.func`` in place over ``job.count`` halfwords."""
     if job.count < 1:
         raise ValueError("activation pass needs at least one element")
-    if job.func == "relu":
-        _gen_relu(b, level, job)
-    elif level.hw_activations:
-        _gen_hw(b, job)
-    else:
-        _gen_sw(b, level, job)
+    with b.region(f"act-{job.func}"):
+        if job.func == "relu":
+            _gen_relu(b, level, job)
+        elif level.hw_activations:
+            _gen_hw(b, job)
+        else:
+            _gen_sw(b, level, job)
 
 
 def _gen_relu(b: AsmBuilder, level: OptLevel, job: ActivationJob) -> None:

@@ -148,6 +148,14 @@ class AsmBuilder:
         #: caller last reset it; region-level clobber tracking (the
         #: layer-frame generator uses it to drop dead restores).
         self.written_mask = 0
+        #: Hierarchical region stack (profiler metadata).  One tuple is
+        #: appended to ``region_paths`` per *real* emitted instruction —
+        #: ``_account`` runs once per pseudo-expansion product, exactly
+        #: like the assembler, so index ``i`` of ``region_paths`` names
+        #: the region of instruction ``i`` of the assembled program.
+        self._region_stack: list[str] = []
+        self._region_tuple: tuple = ()
+        self.region_paths: list[tuple] = []
 
     # ------------------------------------------------------------------
     @property
@@ -168,6 +176,14 @@ class AsmBuilder:
         self.lines.append(f"{name}:")
         # A label is a potential join point; drop adjacency to be safe.
         self._prev_load = None
+
+    def region(self, name: str):
+        """Context manager naming a profiler region for emitted code.
+
+        Regions nest; every instruction emitted inside carries the full
+        stack as its attribution path (see :mod:`repro.obs.profiler`).
+        """
+        return _Region(self, name)
 
     # ------------------------------------------------------------------
     # Instruction emission
@@ -190,6 +206,7 @@ class AsmBuilder:
         self.lines.append(f"    {stripped}")
 
     def _account(self, mnemonic: str, ops, taken, fall) -> None:
+        self.region_paths.append(self._region_tuple)
         instr, _pending = _build_instr(mnemonic, ops, None, mnemonic)
         spec = instr.spec
         display = spec.display
@@ -242,6 +259,24 @@ class AsmBuilder:
         and the caller closes it via the returned handle's ``branch_back``.
         """
         return _SwLoop(self, count)
+
+
+class _Region:
+    def __init__(self, builder: AsmBuilder, name: str):
+        self.builder = builder
+        self.name = name
+
+    def __enter__(self):
+        b = self.builder
+        b._region_stack.append(self.name)
+        b._region_tuple = tuple(b._region_stack)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        b = self.builder
+        b._region_stack.pop()
+        b._region_tuple = tuple(b._region_stack)
+        return False
 
 
 class _HwLoop:

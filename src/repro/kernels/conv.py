@@ -20,10 +20,11 @@ __all__ = ["gen_conv"]
 def gen_conv(b: AsmBuilder, level: OptLevel, job: ConvJob) -> None:
     b.comment(f"conv level {level.key}: {job.cin}x{job.h}x{job.w} -> "
               f"{job.cout}x{job.h_out}x{job.w_out}, k={job.k}")
-    if level.key == "a":
-        _gen_level_a(b, job)
-    else:
-        _gen_gathered(b, level, job)
+    with b.region("conv"):
+        if level.key == "a":
+            _gen_level_a(b, job)
+        else:
+            _gen_gathered(b, level, job)
 
 
 # ----------------------------------------------------------------------
@@ -110,7 +111,8 @@ def _gen_gathered(b: AsmBuilder, level: OptLevel, job: ConvJob) -> None:
     out_plane_bytes = 2 * job.h_out * job.w_out
     for oy in range(job.h_out):
         for ox in range(job.w_out):
-            _gen_gather(b, job, oy, ox)
+            with b.region("gather"):
+                _gen_gather(b, job, oy, ox)
             pixel = oy * job.w_out + ox
             gen_matvec(b, level, MatvecJob(
                 n_in=job.patch_len, n_out=job.cout,

@@ -18,29 +18,30 @@ def gen_copy(b: AsmBuilder, level: OptLevel, src: int, dst: int,
     if count % 2 or src % 4 or dst % 4:
         raise ValueError("copy needs even count and word-aligned addresses")
     b.comment(f"copy {count} halfwords")
-    b.li("t1", src)
-    b.li("t2", dst)
-    if level.key == "a":
-        b.li("t6", src + 2 * count)
-        with b.sw_loop(count // 2) as loop:
-            b.emit("lw t4, 0(t1)")
-            b.emit("addi t1, t1, 4")
-            b.emit("sw t4, 0(t2)")
-            b.emit("addi t2, t2, 4")
-            loop.branch_back("bltu", "t1", "t6")
-    else:
-        # Software-pipelined through t4/t5 so no store consumes the word
-        # loaded on the previous cycle.  On even word counts the final
-        # prefetch reads one word past the source — covered by the
-        # DataLayout guard padding — and the value is discarded.
-        words = count // 2
-        pairs, rem = divmod(words, 2)
-        b.emit("p.lw t4, 4(t1!)")
-        if pairs:
-            with b.hwloop(0, pairs):
-                b.emit("p.lw t5, 4(t1!)")
+    with b.region("copy"):
+        b.li("t1", src)
+        b.li("t2", dst)
+        if level.key == "a":
+            b.li("t6", src + 2 * count)
+            with b.sw_loop(count // 2) as loop:
+                b.emit("lw t4, 0(t1)")
+                b.emit("addi t1, t1, 4")
+                b.emit("sw t4, 0(t2)")
+                b.emit("addi t2, t2, 4")
+                loop.branch_back("bltu", "t1", "t6")
+        else:
+            # Software-pipelined through t4/t5 so no store consumes the
+            # word loaded on the previous cycle.  On even word counts the
+            # final prefetch reads one word past the source — covered by
+            # the DataLayout guard padding — and the value is discarded.
+            words = count // 2
+            pairs, rem = divmod(words, 2)
+            b.emit("p.lw t4, 4(t1!)")
+            if pairs:
+                with b.hwloop(0, pairs):
+                    b.emit("p.lw t5, 4(t1!)")
+                    b.emit("p.sw t4, 4(t2!)")
+                    b.emit("p.lw t4, 4(t1!)")
+                    b.emit("p.sw t5, 4(t2!)")
+            if rem:
                 b.emit("p.sw t4, 4(t2!)")
-                b.emit("p.lw t4, 4(t1!)")
-                b.emit("p.sw t5, 4(t2!)")
-        if rem:
-            b.emit("p.sw t4, 4(t2!)")

@@ -37,7 +37,8 @@ def gen_conv_im2col(b: AsmBuilder, level: OptLevel, job: ConvJob,
         raise ValueError("im2col ablation targets the optimized levels")
     b.comment(f"im2col conv: {job.cin}x{job.h}x{job.w} -> "
               f"{job.cout}x{job.h_out}x{job.w_out}")
-    _gen_materialize(b, job, col_addr)
+    with b.region("im2col"):
+        _gen_materialize(b, job, col_addr)
     out_plane_bytes = 2 * job.h_out * job.w_out
     for pixel in range(job.h_out * job.w_out):
         gen_matvec(b, level, MatvecJob(

@@ -66,11 +66,12 @@ def gen_matvec_interleaved(b: AsmBuilder, n_in: int, n_out: int,
         raise ValueError("rows must be padded to pairs")
     tiles = plan_tiles(n_out, max_tile)
     b.comment(f"interleaved matvec: {n_out}x{n_in} tiles={tiles}")
-    b.li("a0", w_addr)   # the single weight-stream pointer
-    b.li("t2", b_addr)
-    b.li("t3", out_addr)
-    for tile in tiles:
-        _gen_tile(b, tile, x_addr, row_halfwords, fused_activation)
+    with b.region("matvec-il"):
+        b.li("a0", w_addr)   # the single weight-stream pointer
+        b.li("t2", b_addr)
+        b.li("t3", out_addr)
+        for tile in tiles:
+            _gen_tile(b, tile, x_addr, row_halfwords, fused_activation)
 
 
 def _gen_tile(b: AsmBuilder, n: int, x_addr: int, row_halfwords: int,

@@ -46,12 +46,13 @@ def gen_matvec(b: AsmBuilder, level: OptLevel, job: MatvecJob,
     if fused_activation is not None and (level.key in ("a", "b")
                                          or not level.hw_activations):
         raise ValueError("fused activations need the hw-activation levels")
-    if level.key == "a":
-        _gen_level_a(b, job)
-    elif level.key == "b":
-        _gen_level_b(b, job)
-    else:
-        _gen_tiled(b, level, job, fused_activation)
+    with b.region("matvec"):
+        if level.key == "a":
+            _gen_level_a(b, job)
+        elif level.key == "b":
+            _gen_level_b(b, job)
+        else:
+            _gen_tiled(b, level, job, fused_activation)
 
 
 # ----------------------------------------------------------------------

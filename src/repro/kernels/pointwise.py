@@ -25,10 +25,11 @@ __all__ = ["gen_lstm_pointwise"]
 def gen_lstm_pointwise(b: AsmBuilder, level: OptLevel,
                        job: PointwiseJob) -> None:
     b.comment(f"lstm pointwise x{job.n} (level {level.key})")
-    if level.key == "a":
-        _gen_level_a(b, job)
-    else:
-        _gen_optimized(b, level, job)
+    with b.region("pointwise"):
+        if level.key == "a":
+            _gen_level_a(b, job)
+        else:
+            _gen_optimized(b, level, job)
 
 
 def _load_pointers(b: AsmBuilder, job: PointwiseJob) -> None:

@@ -52,10 +52,11 @@ def _sreg_num(i: int) -> int:
 
 def _emit_frame_begin(b: AsmBuilder, level: OptLevel) -> None:
     b.comment("layer call frame: save")
-    b.emit("jal x0, 4")  # call cost (jump-and-link to the layer function)
-    b.emit(f"sw ra, {FRAME_ADDR}(x0)")
-    for i in range(FRAME_REGS[level.key]):
-        b.emit(f"sw s{i}, {FRAME_ADDR + 4 + 4 * i}(x0)")
+    with b.region("frame"):
+        b.emit("jal x0, 4")  # call cost (jump-and-link to the function)
+        b.emit(f"sw ra, {FRAME_ADDR}(x0)")
+        for i in range(FRAME_REGS[level.key]):
+            b.emit(f"sw s{i}, {FRAME_ADDR + 4 + 4 * i}(x0)")
     b.written_mask = 0  # track clobbers across the layer body
 
 
@@ -64,11 +65,12 @@ def _emit_frame_end(b: AsmBuilder, level: OptLevel) -> None:
     # wrote still holds its saved value, so reloading it is a no-op.
     clobbered = b.written_mask
     b.comment("layer call frame: restore")
-    for i in range(FRAME_REGS[level.key]):
-        if (clobbered >> _sreg_num(i)) & 1:
-            b.emit(f"lw s{i}, {FRAME_ADDR + 4 + 4 * i}(x0)")
-    b.emit(f"lw ra, {FRAME_ADDR}(x0)")
-    b.emit("jal x0, 4")  # return cost
+    with b.region("frame"):
+        for i in range(FRAME_REGS[level.key]):
+            if (clobbered >> _sreg_num(i)) & 1:
+                b.emit(f"lw s{i}, {FRAME_ADDR + 4 + 4 * i}(x0)")
+        b.emit(f"lw ra, {FRAME_ADDR}(x0)")
+        b.emit("jal x0, 4")  # return cost
 
 
 class NetworkPlan:
@@ -97,6 +99,11 @@ class NetworkPlan:
     def trace(self) -> Trace:
         """Exact per-step instruction/cycle histogram (static analysis)."""
         return self.builder.trace
+
+    @property
+    def region_paths(self) -> list:
+        """Per-instruction profiler region paths (index = program index)."""
+        return self.builder.region_paths
 
     @property
     def cycles_per_step(self) -> int:
@@ -138,6 +145,10 @@ class NetworkPlan:
         for index, spec in enumerate(network.layers):
             is_last = index == len(network.layers) - 1
             nxt = None if is_last else network.layers[index + 1]
+            kind = {LstmSpec: "lstm", DenseSpec: "dense",
+                    ConvSpec: "conv"}[type(spec)]
+            region = b.region(f"L{index}.{kind}")
+            region.__enter__()
             _emit_frame_begin(b, level)
 
             if isinstance(spec, LstmSpec):
@@ -175,6 +186,7 @@ class NetworkPlan:
                 if is_last:
                     self.output_addr = job.h_addr
                 _emit_frame_end(b, level)
+                region.__exit__(None, None, None)
                 continue
 
             # Dense / Conv: allocate the destination buffer.
@@ -238,6 +250,7 @@ class NetworkPlan:
             if is_last:
                 self.output_addr = dst
             _emit_frame_end(b, level)
+            region.__exit__(None, None, None)
 
 
 class NetworkProgram:

@@ -1,0 +1,31 @@
+"""repro.obs — the observability layer.
+
+Three subsystems, all opt-in and all zero-cost on non-instrumented hot
+paths:
+
+* :mod:`repro.obs.metrics` — counters, gauges, log-bucketed histograms,
+  labeled metric families and a process-wide :data:`~repro.obs.metrics.
+  REGISTRY` with Prometheus text exposition.
+* :mod:`repro.obs.profiler` — hierarchical cycle attribution over the
+  ISS: every retired instruction's cycles (and its stall cycles, split
+  by cause) charge to a ``network/layer/kernel/region`` path, summing
+  *exactly* to ``Trace.total_cycles()`` on both execution engines.
+* :mod:`repro.obs.spans` — structured span tracing across the serving
+  pipeline, exported as Chrome trace-event JSON (Perfetto-loadable).
+
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import (Counter, CounterFamily, Gauge, GaugeFamily,
+                      HistogramFamily, LatencyHistogram, MetricsRegistry,
+                      REGISTRY)
+from .profiler import (Profile, ProfileNode, profile_cpu, profile_network,
+                       region_paths_from_labels)
+from .spans import SpanTracer
+
+__all__ = [
+    "Counter", "CounterFamily", "Gauge", "GaugeFamily", "HistogramFamily",
+    "LatencyHistogram", "MetricsRegistry", "REGISTRY",
+    "Profile", "ProfileNode", "profile_cpu", "profile_network",
+    "region_paths_from_labels", "SpanTracer",
+]

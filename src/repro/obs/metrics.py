@@ -1,0 +1,371 @@
+"""Unified metrics: primitives, labeled families, Prometheus exposition.
+
+The counter/gauge/histogram primitives started life in
+``repro.serve.metrics`` (which is now a thin facade over this module);
+here they gain *labeled families* — one named metric with a fixed label
+schema and one child primitive per label-value combination — and a
+process-wide :class:`MetricsRegistry` that renders everything in the
+Prometheus text exposition format.
+
+Instrumented subsystems register either families (``REGISTRY.counter``)
+or whole collectors (``REGISTRY.register_collector``) that snapshot an
+existing metric object — the serving runtime's :class:`~repro.serve.
+metrics.ServeMetrics` uses the latter so its JSON dumps stay
+bit-identical while its values also appear in ``prometheus_text()``.
+
+Everything here is thread-safe and stdlib-only.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "CounterFamily",
+           "GaugeFamily", "HistogramFamily", "MetricsRegistry", "REGISTRY"]
+
+
+class Counter:
+    """A monotonically increasing counter (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value with a high-water mark (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+        self._max = 0
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def value(self):
+        return self._value
+
+    @property
+    def max(self):
+        return self._max
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile queries.
+
+    Buckets are powers of ``2**(1/4)`` starting at 1 microsecond — about
+    66 buckets cover 1 us .. 100 s with <=19% relative error per bucket,
+    which is plenty for p50/p95/p99 reporting.  Exact min/max/sum are
+    tracked alongside, so mean and extremes are not quantized.
+
+    Quantile queries on an *empty* histogram return ``None`` (there is
+    no such latency), and :meth:`summary` mirrors that with ``None``
+    fields; renderers print ``-`` for them.
+    """
+
+    BASE = 2.0 ** 0.25
+    FLOOR = 1e-6  # seconds
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def _index(self, value: float) -> int:
+        if value <= self.FLOOR:
+            return 0
+        return max(0, int(math.log(value / self.FLOOR, self.BASE)) + 1)
+
+    def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        idx = self._index(seconds)
+        with self._lock:
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+            self._count += 1
+            self._sum += seconds
+            self._min = min(self._min, seconds)
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float):
+        """Latency at quantile ``q`` in [0, 1] (bucket upper bound).
+
+        Returns ``None`` when the histogram has recorded no samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._count:
+                return None
+            rank = max(1, math.ceil(q * self._count))
+            seen = 0
+            for idx in sorted(self._buckets):
+                seen += self._buckets[idx]
+                if seen >= rank:
+                    if idx == 0:
+                        return self.FLOOR
+                    upper = self.FLOOR * self.BASE ** idx
+                    return min(upper, self._max)
+            return self._max
+
+    def summary(self) -> dict:
+        if not self._count:
+            return {"count": 0, "mean_s": None, "min_s": None,
+                    "max_s": None, "p50_s": None, "p95_s": None,
+                    "p99_s": None}
+        return {
+            "count": self._count,
+            "mean_s": self.mean,
+            "min_s": self._min,
+            "max_s": self._max,
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
+        }
+
+
+# ----------------------------------------------------------------------
+# Labeled families
+# ----------------------------------------------------------------------
+class _Family:
+    """A named metric with a fixed label schema.
+
+    ``labels(**kv)`` returns the child primitive for one label-value
+    combination, creating it on first use.  With no label names the
+    family has exactly one anonymous child, reachable via ``labels()``
+    (or the convenience pass-throughs on the subclasses).
+    """
+
+    kind = "untyped"
+    _child_cls: type = Counter
+
+    def __init__(self, name: str, help: str, labelnames=()):
+        _check_metric_name(name)
+        for label in labelnames:
+            _check_metric_name(label)
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple, object] = {}
+
+    def labels(self, **kv):
+        if sorted(kv) != sorted(self.labelnames):
+            raise ValueError(
+                f"{self.name}: labels {sorted(kv)} != schema "
+                f"{sorted(self.labelnames)}")
+        key = tuple(str(kv[label]) for label in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._child_cls()
+                self._children[key] = child
+        return child
+
+    def _items(self) -> list:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def samples(self) -> list:
+        """``[(labels_dict, value), ...]`` snapshot (sorted, stable)."""
+        return [(dict(zip(self.labelnames, key)), child.value)
+                for key, child in self._items()]
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+    _child_cls = Counter
+
+    def inc(self, amount: int = 1, **kv) -> None:
+        self.labels(**kv).inc(amount)
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+    _child_cls = Gauge
+
+    def set(self, value, **kv) -> None:
+        self.labels(**kv).set(value)
+
+
+class HistogramFamily(_Family):
+    kind = "summary"
+    _child_cls = LatencyHistogram
+
+    def record(self, seconds: float, **kv) -> None:
+        self.labels(**kv).record(seconds)
+
+    def samples(self) -> list:
+        """Prometheus summary triplets: quantiles plus _sum/_count."""
+        out = []
+        for key, hist in self._items():
+            base = dict(zip(self.labelnames, key))
+            for q in (0.5, 0.95, 0.99):
+                value = hist.percentile(q)
+                if value is not None:
+                    out.append(({**base, "quantile": str(q)}, value))
+            out.append((base, hist.sum, "_sum"))
+            out.append((base, hist.count, "_count"))
+        return out
+
+
+def _check_metric_name(name: str) -> None:
+    ok = name and (name[0].isalpha() or name[0] == "_") and all(
+        c.isalnum() or c in "_:" for c in name)
+    if not ok:
+        raise ValueError(f"invalid metric/label name {name!r}")
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    raise TypeError(f"non-numeric sample value {value!r}")
+
+
+class MetricsRegistry:
+    """Named metric families plus pluggable collectors.
+
+    A *collector* is a zero-argument callable returning an iterable of
+    ``(name, kind, help, samples)`` tuples, where ``samples`` is a list
+    of ``(labels_dict, value)`` or ``(labels_dict, value, suffix)``.
+    Collectors let existing metric objects (e.g. ``ServeMetrics``)
+    expose themselves without being restructured into families.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list = []
+
+    # -- family constructors (idempotent on identical schemas) ---------
+    def _family(self, cls, name: str, help: str, labelnames):
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if (type(family) is not cls
+                        or family.labelnames != tuple(labelnames)):
+                    raise ValueError(
+                        f"metric {name!r} re-registered with a different "
+                        "type or label schema")
+                return family
+            family = cls(name, help, labelnames)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames=()) -> CounterFamily:
+        return self._family(CounterFamily, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> GaugeFamily:
+        return self._family(GaugeFamily, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames=()) -> HistogramFamily:
+        return self._family(HistogramFamily, name, help, labelnames)
+
+    # -- collectors ----------------------------------------------------
+    def register_collector(self, collect):
+        """Register ``collect()`` -> iterable of (name, kind, help,
+        samples); returns ``collect`` so it can be used as a decorator."""
+        with self._lock:
+            if collect not in self._collectors:
+                self._collectors.append(collect)
+        return collect
+
+    def unregister_collector(self, collect) -> None:
+        with self._lock:
+            if collect in self._collectors:
+                self._collectors.remove(collect)
+
+    # -- exposition ----------------------------------------------------
+    def collect(self) -> list:
+        """Snapshot of every family and collector, sorted by name."""
+        with self._lock:
+            families = sorted(self._families.items())
+            collectors = list(self._collectors)
+        out = [(name, family.kind, family.help, family.samples())
+               for name, family in families]
+        for collector in collectors:
+            out.extend(collector())
+        out.sort(key=lambda row: row[0])
+        return out
+
+    def prometheus_text(self) -> str:
+        """Render everything in the Prometheus text exposition format."""
+        lines = []
+        for name, kind, help, samples in self.collect():
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            for sample in samples:
+                labels, value = sample[0], sample[1]
+                suffix = sample[2] if len(sample) > 2 else ""
+                if labels:
+                    body = ",".join(
+                        f'{k}="{_escape_label(v)}"'
+                        for k, v in sorted(labels.items()))
+                    lines.append(f"{name}{suffix}{{{body}}} "
+                                 f"{_format_value(value)}")
+                else:
+                    lines.append(f"{name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: ``{name: {kind, samples}}``."""
+        return {name: {"kind": kind,
+                       "samples": [{"labels": s[0], "value": s[1],
+                                    **({"suffix": s[2]} if len(s) > 2
+                                       else {})}
+                                   for s in samples]}
+                for name, kind, help, samples in self.collect()}
+
+
+#: The process-wide default registry.  ISS-engine counters and the
+#: serving runtime register here; ``REGISTRY.prometheus_text()`` is the
+#: one-stop scrape.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,231 @@
+"""Observability overhead benchmark (``BENCH_obs.json``).
+
+Profiling and tracing are opt-in by design: cycle attribution is
+*post-hoc* (it reads the per-instruction stats cells both engines
+already maintain — nothing extra runs while the ISS executes), and
+every serving-engine trace hook is guarded by a single ``tracer is
+None`` test.  This bench quantifies both claims:
+
+* **ISS leg** — instructions retired per wall-second, sampled as
+  back-to-back triplets (uninstrumented, uninstrumented again, with a
+  full profile built after the run).  The median paired ratio between
+  the two uninstrumented legs is the wall-clock measurement noise
+  floor; the profiled leg's median ratio is the opt-in cost.
+* **Serve leg** — ``serve-bench`` p99 latency and achieved throughput
+  with no tracer vs. with a :class:`~repro.obs.spans.SpanTracer`
+  attached.
+* **Off-path cost** — the headline ``overhead_off_pct``.  With tracing
+  off the hot path contains nothing but a handful of ``tracer is
+  None`` guards, so the off cost is computed *structurally*: the
+  measured wall cost of one disabled guard, times a conservative
+  guard count per request, over the measured per-request service
+  time.  (A wall-clock A/B of identical code cannot resolve this — it
+  sits far below the noise floor reported above.)  The budget is 2%;
+  the structural bound lands orders of magnitude under it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from ..kernels.runner import NetworkProgram
+from ..nn.network import init_params, quantize_params
+from ..rrm.networks import suite
+from .profiler import profile_cpu
+from .spans import SpanTracer
+
+__all__ = ["run_overhead_bench"]
+
+
+def _median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _iss_legs(network, level: str, engine: str, seed: int,
+              repeats: int) -> dict:
+    """Instret/s for two uninstrumented legs and one profiled leg.
+
+    A shared machine modulates throughput by >10% over seconds, which
+    swamps single-digit overheads measured from independent timings.
+    Samples are therefore taken as back-to-back triplets
+    (off-a, off-b, profiled) and each comparison is the **median of the
+    per-triplet ratios**: the paired design cancels slow drift, and the
+    median discards contention bursts that land inside one triplet.
+    """
+    params = quantize_params(
+        init_params(network, np.random.default_rng(seed)))
+    rng = np.random.default_rng(seed)
+    xs = [np.asarray(rng.uniform(-1.0, 1.0, network.input_size) * 4096,
+                     dtype=np.int64)
+          for _ in range(network.timesteps)]
+    # Calibration run (untimed): a scaled-down network retires only a
+    # few thousand instructions, so a single forward is dominated by
+    # timer noise.  Batch enough forwards per timed sample to cover
+    # ~100k instructions.
+    warm = NetworkProgram(network, params, level, engine=engine)
+    warm.forward(xs)
+    instrs = warm.trace.total_instrs
+    inner = max(1, round(100_000 / max(1, instrs)))
+
+    def sample(profile: bool) -> float:
+        programs = [NetworkProgram(network, params, level, engine=engine)
+                    for _ in range(inner)]
+        start = time.perf_counter()
+        for program in programs:
+            program.forward(xs)
+            if profile:
+                profile_cpu(program.cpu,
+                            region_paths=program.plan.region_paths,
+                            root=network.name)
+        elapsed = time.perf_counter() - start
+        return inner * instrs / elapsed if elapsed > 0 else 0.0
+
+    pairs = max(2 * repeats + 3, 9)
+    off_ratios, on_ratios = [], []
+    best_off = best_on = 0.0
+    for _ in range(pairs):
+        a = sample(False)
+        b = sample(False)
+        profiled = sample(True)
+        if a and b:
+            off_ratios.append(a / b)
+        if a and profiled:
+            on_ratios.append(profiled / max(a, b))
+        best_off = max(best_off, a, b)
+        best_on = max(best_on, profiled)
+    off_pct = abs(1.0 - _median(off_ratios)) * 100.0 if off_ratios else 0.0
+    on_pct = max(0.0, (1.0 - _median(on_ratios)) * 100.0) \
+        if on_ratios else 0.0
+    return {"best_off": best_off, "best_profiled": best_on,
+            "off_spread_pct": off_pct, "profile_overhead_pct": on_pct,
+            "triplets": pairs, "instrs_per_run": instrs,
+            "forwards_per_sample": inner}
+
+
+# Upper bound on `tracer is None` guard sites a request crosses in the
+# serving engine (submit, dispatch, attempt start, execute span,
+# respond, plus slack for retry/bisect paths).
+_GUARDS_PER_REQUEST = 8
+
+
+def _guard_cost_s(iters: int = 200_000, repeats: int = 5) -> float:
+    """Wall cost of one disabled trace hook: an attribute fetch plus an
+    ``is None`` test.  Best of ``repeats`` timing loops."""
+    class _Holder:
+        tracer = None
+
+    holder = _Holder()
+    best = float("inf")
+    for _ in range(repeats):
+        hits = 0
+        start = time.perf_counter()
+        for _ in range(iters):
+            if holder.tracer is not None:
+                hits += 1
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / iters)
+    return best
+
+
+def _serve_leg(scale, level: str, n_requests: int, seed: int,
+               tracer) -> dict:
+    from ..serve.loadgen import run_serve_bench
+
+    result = run_serve_bench(scale=scale, level=level,
+                             n_requests=n_requests, seed=seed,
+                             tracer=tracer)
+    return {
+        "p99_s": result["latency"]["p99_s"],
+        "p50_s": result["latency"]["p50_s"],
+        "achieved_throughput_rps": result["achieved_throughput_rps"],
+        "completed": result["completed"],
+    }
+
+
+def run_overhead_bench(scale: int | None = None, level: str = "e",
+                       engine: str = "interp", network_name: str | None = None,
+                       repeats: int = 3, n_requests: int = 150,
+                       seed: int = 2020,
+                       out_path: str | None = None) -> dict:
+    """Measure instrumented vs. uninstrumented ISS and serve costs.
+
+    Returns the JSON-ready result dict; also writes it to ``out_path``
+    when given.
+    """
+    networks = suite(scale)
+    if network_name is None:
+        network = max(networks, key=lambda n: n.input_size * n.timesteps)
+    else:
+        by_name = {n.name: n for n in networks}
+        if network_name not in by_name:
+            raise KeyError(f"unknown network {network_name!r}; suite has "
+                           f"{sorted(by_name)}")
+        network = by_name[network_name]
+
+    iss = _iss_legs(network, level, engine, seed, repeats)
+
+    serve_off = _serve_leg(scale, level, n_requests, seed, tracer=None)
+    tracer = SpanTracer(process_name="repro.serve overhead-bench")
+    serve_on = _serve_leg(scale, level, n_requests, seed, tracer=tracer)
+
+    guard_s = _guard_cost_s()
+    rps = serve_off["achieved_throughput_rps"]
+    service_s = 1.0 / rps if rps else 0.0
+    off_pct = (_GUARDS_PER_REQUEST * guard_s / service_s * 100.0
+               if service_s else 0.0)
+
+    result = {
+        "bench": "obs-overhead",
+        "config": {
+            "scale": scale,
+            "level": level,
+            "engine": engine,
+            "network": network.name,
+            "repeats": repeats,
+            "n_requests": n_requests,
+            "seed": seed,
+        },
+        "iss": {
+            "uninstrumented": {"instret_per_s": iss["best_off"]},
+            "instrumented": {"instret_per_s": iss["best_profiled"]},
+            "instrs_per_run": iss["instrs_per_run"],
+            "forwards_per_sample": iss["forwards_per_sample"],
+            "triplets": iss["triplets"],
+            "noise_floor_pct": iss["off_spread_pct"],
+            "profile_overhead_pct": iss["profile_overhead_pct"],
+        },
+        "serve": {
+            "uninstrumented": serve_off,
+            "instrumented": serve_on,
+            "trace_events": tracer.n_events,
+            "p99_overhead_pct": (
+                max(0.0, (serve_on["p99_s"] - serve_off["p99_s"])
+                    / serve_off["p99_s"] * 100.0)
+                if serve_off["p99_s"] and serve_on["p99_s"] else 0.0),
+        },
+        # Off-path cost, structural: disabled-guard wall cost times
+        # guard count, over per-request service time.  Far below the
+        # wall-clock noise floor (iss.noise_floor_pct), which is why a
+        # direct A/B cannot measure it.
+        "off_path": {
+            "guard_cost_ns": guard_s * 1e9,
+            "guards_per_request": _GUARDS_PER_REQUEST,
+            "service_time_us": service_s * 1e6,
+        },
+        "overhead_off_pct": off_pct,
+    }
+    if out_path:
+        directory = os.path.dirname(os.path.abspath(out_path))
+        os.makedirs(directory, exist_ok=True)
+        with open(out_path, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result

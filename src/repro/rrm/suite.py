@@ -18,12 +18,26 @@ import numpy as np
 from ..core.tracer import Trace
 from ..kernels.runner import NetworkPlan, NetworkProgram
 from ..nn.network import Network, init_params, quantize_params
-from .networks import FULL_SUITE, suite
+from .networks import FULL_SUITE, default_scale, suite
 
 __all__ = ["plan_for", "network_trace", "suite_trace", "network_speedups",
-           "suite_speedups", "SuiteRunner", "LEVEL_KEYS"]
+           "suite_speedups", "SuiteRunner", "LEVEL_KEYS", "resolve_engine"]
 
 LEVEL_KEYS = ("a", "b", "c", "d", "e")
+
+
+def resolve_engine(engine: str, scale: int | None = None) -> str:
+    """Resolve the ``"auto"`` engine choice for a validation run.
+
+    Paper-scale runs (``scale == 1``, i.e. ``REPRO_SCALE=1``) execute
+    orders of magnitude more instructions, so ``auto`` picks the turbo
+    engine there and the interpreter at reduced scales, where turbo's
+    compile time would dominate.  Explicit choices pass through.
+    """
+    if engine != "auto":
+        return engine
+    resolved = scale if scale is not None else default_scale()
+    return "turbo" if resolved == 1 else "interp"
 
 
 @lru_cache(maxsize=256)
@@ -64,11 +78,14 @@ class SuiteRunner:
     """ISS execution of the (scaled) suite with golden-model checking."""
 
     def __init__(self, scale: int | None = None, seed: int = 2020,
-                 check: bool = True, engine: str = "interp"):
+                 check: bool = True, engine: str = "auto"):
         self.networks = suite(scale)
         self.seed = seed
         self.check = check
-        self.engine = engine
+        self.engine = resolve_engine(engine, scale)
+        #: Engine that actually ran, per ``"network/level"`` — records
+        #: turbo runs that fell back to the interpreter after a bail.
+        self.engines_used: dict[str, str] = {}
         self._rng = np.random.default_rng(seed)
 
     def _random_input(self, network: Network) -> np.ndarray:
@@ -79,14 +96,27 @@ class SuiteRunner:
         """Run one inference on the ISS; returns the execution histogram."""
         params = quantize_params(
             init_params(network, np.random.default_rng(self.seed)))
-        program = NetworkProgram(network, params, level_key,
-                                 engine=self.engine)
+        engine = self.engine
+        program = NetworkProgram(network, params, level_key, engine=engine)
         xs = [self._random_input(network) for _ in range(network.timesteps)]
+        self._run(program, xs)
+        if engine == "turbo" and program.cpu.turbo_stats.get("bails"):
+            # A bailed kernel already fell back loop-locally and stayed
+            # bit/cycle-exact, but suite validation numbers should never
+            # ride on turbo's runtime heuristics: re-run the same inputs
+            # on the interpreter and report that engine.
+            engine = "interp"
+            program = NetworkProgram(network, params, level_key,
+                                     engine=engine)
+            self._run(program, xs)
+        self.engines_used[f"{network.name}/{level_key}"] = engine
+        return program.trace
+
+    def _run(self, program: NetworkProgram, xs) -> None:
         if self.check:
             program.run_and_check(xs)
         else:
             program.forward(xs)
-        return program.trace
 
     def run_suite(self, level_key: str) -> Trace:
         total = Trace()

@@ -93,11 +93,11 @@ def golden_outputs(networks, stream, level: str, seed: int) -> tuple:
 
 def _drive(networks, config: EngineConfig, stream, rate_rps: float,
            seed: int, expected, injector=None,
-           recovery_budget_s: float = 3.0) -> dict:
+           recovery_budget_s: float = 3.0, tracer=None) -> dict:
     """One load-generator pass; returns accounting incl. correctness."""
     engine = InferenceEngine(networks=networks, config=config,
                              metrics=ServeMetrics(),
-                             fault_injector=injector)
+                             fault_injector=injector, tracer=tracer)
     for network in networks:  # warm the registry outside the timed region
         engine.registry.get(network, config.level)
     generator = LoadGenerator(engine, rate_rps, seed=seed, timeout_s=None)
@@ -188,13 +188,17 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
                     max_batch_size: int = 16, max_linger_s: float = 0.002,
                     integrity_check_every: int = 5, seed: int = 2020,
                     scenario: FaultPlan | None = None,
-                    out_path: str | None = None) -> dict:
+                    out_path: str | None = None,
+                    trace_out: str | None = None) -> dict:
     """The ``chaos-bench`` experiment: fault-free baseline, then chaos.
 
     Returns the JSON-ready result dict; also writes it to ``out_path``
     when given.  ``rate_rps=None`` spreads ``n_requests`` over
     ``duration_s`` so the run spans enough wall time for breaker
-    open/backoff/half-open dynamics to play out.
+    open/backoff/half-open dynamics to play out.  With ``trace_out`` the
+    chaos pass runs with a span tracer attached and writes a
+    Perfetto-loadable Chrome trace-event JSON of the whole pipeline
+    (enqueue/batch/execute spans, fault and breaker instants).
     """
     networks = suite(scale)
     if rate_rps is None:
@@ -209,8 +213,12 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
 
     baseline = _drive(networks, config, stream, rate_rps, seed, expected)
     injector = FaultInjector(plan, seed=seed)
+    tracer = None
+    if trace_out:
+        from ..obs import SpanTracer
+        tracer = SpanTracer(process_name="repro.serve chaos-bench")
     chaos = _drive(networks, config, stream, rate_rps, seed, expected,
-                   injector=injector)
+                   injector=injector, tracer=tracer)
 
     engine = chaos.pop("engine")
     baseline_engine = baseline.pop("engine")
@@ -259,6 +267,12 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
         "baseline_metrics": baseline_engine.metrics.to_dict(),
         "metrics": metrics,
     }
+    if tracer is not None:
+        directory = os.path.dirname(os.path.abspath(trace_out))
+        os.makedirs(directory, exist_ok=True)
+        tracer.dump(trace_out)
+        result["trace"] = {"path": trace_out, "events": tracer.n_events,
+                           "dropped": tracer.n_dropped}
     if out_path:
         directory = os.path.dirname(os.path.abspath(out_path))
         os.makedirs(directory, exist_ok=True)

@@ -83,6 +83,10 @@ class Request:
     submit_time: float
     deadline: float | None = None
     id: int = 0
+    #: Stable per-request trace ID (stamped at submit); the same ID
+    #: labels every span/instant the request produces, so a response can
+    #: be looked up in the exported Perfetto trace.
+    trace_id: str = ""
     #: Per-network arrival index (stamped at submit).  Fault injection is
     #: keyed on this, which is what makes chaos scenarios reproducible.
     seq: int = 0
@@ -271,6 +275,27 @@ class EngineConfig:
             raise ValueError("worker_stall_timeout_s must be positive")
 
 
+class _TracingMetricsProxy:
+    """Forwards every metrics hook, mirroring fault events into a tracer.
+
+    Handed to the fault injector in place of the raw metrics object so
+    injected faults show up as instants on the trace timeline without
+    the injector or the metrics classes knowing about tracing.
+    """
+
+    def __init__(self, metrics: ServeMetrics, tracer):
+        self._metrics = metrics
+        self._tracer = tracer
+
+    def __getattr__(self, name):
+        return getattr(self._metrics, name)
+
+    def on_fault(self, name: str, kind: str) -> None:
+        self._tracer.instant(f"fault:{kind}", "faults",
+                             args={"network": name})
+        self._metrics.on_fault(name, kind)
+
+
 class _NetworkQueue:
     """Request queue + worker state for one network."""
 
@@ -314,13 +339,18 @@ class InferenceEngine:
 
     def __init__(self, networks=None, config: EngineConfig | None = None,
                  scale: int | None = None, metrics: ServeMetrics | None = None,
-                 clock=time.monotonic, fault_injector=None):
+                 clock=time.monotonic, fault_injector=None, tracer=None):
         self.config = config or EngineConfig()
         self.networks = tuple(networks) if networks is not None \
             else suite(scale)
         self.metrics = metrics or ServeMetrics()
         self.clock = clock
         self.injector = fault_injector
+        #: Optional :class:`repro.obs.SpanTracer`.  Every hook below is
+        #: guarded by ``is None`` so the untraced hot path pays one test.
+        self.tracer = tracer
+        self._injector_metrics = self.metrics if tracer is None \
+            else _TracingMetricsProxy(self.metrics, tracer)
         self.registry = ModelRegistry(seed=self.config.seed)
         self._queues = {net.name: _NetworkQueue(net) for net in self.networks}
         self._ids = itertools.count(1)
@@ -347,6 +377,9 @@ class InferenceEngine:
             self.breaker_events.append(
                 {"t": self.clock(), "network": name, "from": old, "to": new})
             self.metrics.on_breaker(name, old, new)
+            if self.tracer is not None:
+                self.tracer.instant(f"breaker:{old}->{new}", "breaker",
+                                    args={"network": name})
         return _on_transition
 
     # ------------------------------------------------------------------
@@ -477,6 +510,11 @@ class InferenceEngine:
             queue.restarts += 1
             queue.heartbeat = self.clock()
             self.metrics.on_worker_restart(name)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "worker-restart", "watchdog",
+                    args={"network": name, "restart": queue.restarts,
+                          "stranded": len(stranded)})
             self._spawn_worker(queue)
         else:
             # Restart budget exhausted: the network is down.  Fail the
@@ -500,6 +538,9 @@ class InferenceEngine:
             if not queue.stalled:
                 queue.stalled = True
                 self.metrics.on_worker_stall(name)
+                if self.tracer is not None:
+                    self.tracer.instant("worker-stall", "watchdog",
+                                        args={"network": name})
                 self.breakers[name].force_open(
                     self.config.breaker_backoff_max_s)
         elif queue.stalled and not stale:
@@ -530,6 +571,10 @@ class InferenceEngine:
             deadline=None if timeout_s is None else now + timeout_s,
             id=next(self._ids),
         )
+        request.trace_id = f"{network_name}-{request.id}"
+        tracer = self.tracer
+        if tracer is not None:
+            request._enqueue_us = tracer.now_us()
         self.metrics.on_submit(network_name)
         with queue.cond:
             # Every arrival consumes a sequence number, accepted or not,
@@ -539,10 +584,18 @@ class InferenceEngine:
             if not self.breakers[network_name].allow_request():
                 request._settle(RequestStatus.REJECTED_UNAVAILABLE)
                 self.metrics.on_reject(network_name, "unavailable")
+                if tracer is not None:
+                    tracer.instant("reject:unavailable",
+                                   f"{network_name}/queue",
+                                   args={"trace_id": request.trace_id})
                 return request
             if len(queue.pending) >= self.config.queue_capacity:
                 request._settle(RequestStatus.REJECTED_CAPACITY)
                 self.metrics.on_reject(network_name, "capacity")
+                if tracer is not None:
+                    tracer.instant("reject:capacity",
+                                   f"{network_name}/queue",
+                                   args={"trace_id": request.trace_id})
                 return request
             queue.pending.append(request)
             depth = len(queue.pending)
@@ -588,6 +641,8 @@ class InferenceEngine:
                 batch = self._collect_batch(queue)
                 if not batch:
                     return
+                if self.tracer is not None:
+                    self._trace_dispatch(queue.network.name, batch)
                 self._report_depth(queue.network.name, len(queue.pending))
                 queue.inflight = batch
                 self._execute(queue.network, batch)
@@ -598,6 +653,19 @@ class InferenceEngine:
             # watchdog's job, exactly as for a real crashed worker.
             return
 
+    def _trace_dispatch(self, name: str, batch: list[Request]) -> None:
+        """Close the enqueue spans and emit the batch-assembly span."""
+        tracer = self.tracer
+        now = tracer.now_us()
+        for request in batch:
+            tracer.complete("enqueue", f"{name}/queue",
+                            getattr(request, "_enqueue_us", now), now,
+                            args={"trace_id": request.trace_id,
+                                  "seq": request.seq})
+        first = min(getattr(r, "_enqueue_us", now) for r in batch)
+        tracer.complete("batch-assembly", name, first, now,
+                        args={"batch_size": len(batch)})
+
     def _execute(self, network: Network, batch: list[Request]) -> None:
         name = network.name
         now = self.clock()
@@ -606,6 +674,9 @@ class InferenceEngine:
             if request.deadline is not None and now > request.deadline:
                 request._settle(RequestStatus.REJECTED_TIMEOUT)
                 self.metrics.on_reject(name, "timeout")
+                if self.tracer is not None:
+                    self.tracer.instant("reject:timeout", f"{name}/queue",
+                                        args={"trace_id": request.trace_id})
             else:
                 live.append(request)
         if not live:
@@ -654,18 +725,24 @@ class InferenceEngine:
         recovers; a persistent one fails only itself).
         """
         name = network.name
+        tracer = self.tracer
         if retries is None:
             retries = self.config.failed_single_retries
+        t_start = tracer.now_us() if tracer is not None else 0.0
         try:
             if self.injector is not None:
                 self.injector.before_execute(name, entry, requests, inputs,
-                                             metrics=self.metrics)
+                                             metrics=self._injector_metrics)
             if depth == 0:
                 self._integrity_tick(network, entry)
             outputs = entry.model.infer(np.stack(inputs))
         except Exception as exc:
             # InjectedWorkerDeath is a BaseException and deliberately
             # escapes this guard (that fault targets the watchdog).
+            if tracer is not None:
+                tracer.complete("execute", name, t_start,
+                                args={"batch": len(requests),
+                                      "depth": depth, "ok": False})
             self.metrics.on_batch_failure(name)
             if depth == 0:
                 # A batch failure is a cheap moment to re-verify the
@@ -674,11 +751,22 @@ class InferenceEngine:
             if len(requests) == 1:
                 if retries > 0:
                     self.metrics.on_retry(name)
+                    if tracer is not None:
+                        tracer.instant(
+                            "retry", name,
+                            args={"trace_id": requests[0].trace_id})
                     return self._run_attempt(network, entry, requests,
                                              inputs, depth + 1, retries - 1)
                 self._settle_failed(requests[0], name, repr(exc))
+                if tracer is not None:
+                    tracer.instant("respond", name,
+                                   args={"trace_id": requests[0].trace_id,
+                                         "status": "failed"})
                 return 0
             self.metrics.on_bisect(name)
+            if tracer is not None:
+                tracer.instant("bisect", name,
+                               args={"batch": len(requests), "depth": depth})
             mid = len(requests) // 2
             return (self._run_attempt(network, entry, requests[:mid],
                                       inputs[:mid], depth + 1)
@@ -693,6 +781,14 @@ class InferenceEngine:
             latencies.append(latency)
         self.metrics.on_batch(name, len(requests), latencies,
                               entry.cycles_per_request)
+        if tracer is not None:
+            tracer.complete("execute", name, t_start,
+                            args={"batch": len(requests), "depth": depth,
+                                  "ok": True})
+            for request in requests:
+                tracer.instant("respond", name,
+                               args={"trace_id": request.trace_id,
+                                     "status": "done"})
         return len(requests)
 
     # ------------------------------------------------------------------

@@ -124,7 +124,7 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
                     rate_multiplier: float = 8.0, max_batch_size: int = 16,
                     max_linger_s: float = 0.002,
                     timeout_s: float | None = 10.0, seed: int = 2020,
-                    out_path: str | None = None) -> dict:
+                    out_path: str | None = None, tracer=None) -> dict:
     """The ``serve-bench`` experiment: baseline, then batched serving.
 
     Returns the JSON-ready result dict; also writes it to ``out_path``
@@ -136,7 +136,7 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
     config = EngineConfig(level=level, max_batch_size=max_batch_size,
                           max_linger_s=max_linger_s, seed=seed)
     engine = InferenceEngine(networks=networks, config=config,
-                             metrics=ServeMetrics())
+                             metrics=ServeMetrics(), tracer=tracer)
     stream = make_request_stream(networks, n_requests, seed=seed)
     # Warm the registry (params, plans, cycle counts) outside the timed
     # regions so neither path pays one-time codegen costs.
@@ -188,6 +188,13 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
     return result
 
 
+def _ms(seconds, width: int = 9) -> str:
+    """One latency cell; ``None`` (empty histogram) renders as ``-``."""
+    if seconds is None:
+        return f"{'-':>{width}}"
+    return f"{seconds * 1e3:>{width}.2f}"
+
+
 def render_table(result: dict) -> str:
     """Human-readable latency/throughput table for one bench result."""
     lines = []
@@ -207,16 +214,16 @@ def render_table(result: dict) -> str:
         mcycles = (net["sim_cycles"] / net["completed"] / 1e6
                    if net["completed"] else 0.0)
         lines.append(f"{name:<15}{net['completed']:>6}{rejected:>5}"
-                     f"{latency['p50_s'] * 1e3:>9.2f}"
-                     f"{latency['p95_s'] * 1e3:>9.2f}"
-                     f"{latency['p99_s'] * 1e3:>9.2f}"
+                     f"{_ms(latency['p50_s'])}"
+                     f"{_ms(latency['p95_s'])}"
+                     f"{_ms(latency['p99_s'])}"
                      f"{mcycles:>10.3f}")
     lines.append("-" * len(header))
     total = result["metrics"]["total"]["latency"]
     lines.append(f"{'TOTAL':<15}{result['completed']:>6}"
                  f"{result['submitted'] - result['completed']:>5}"
-                 f"{total['p50_s'] * 1e3:>9.2f}{total['p95_s'] * 1e3:>9.2f}"
-                 f"{total['p99_s'] * 1e3:>9.2f}"
+                 f"{_ms(total['p50_s'])}{_ms(total['p95_s'])}"
+                 f"{_ms(total['p99_s'])}"
                  f"{result['sim_cycles_per_request'] / 1e6:>10.3f}")
     lines.append("")
     lines.append(f"offered load        {result['offered_rate_rps']:>10.1f} "

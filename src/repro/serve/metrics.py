@@ -1,12 +1,15 @@
 """Serving metrics: counters, gauges, latency histograms, cycle estimates.
 
-The serving runtime is instrumented the way a production inference server
-would be — monotonically increasing counters, point-in-time gauges with a
-high-water mark, and log-bucketed latency histograms that answer
-p50/p95/p99 queries without storing every sample.  :class:`ServeMetrics`
-bundles the engine's full metric set (global and per-network) and dumps
-it as a JSON-ready dict; ``serve-bench`` writes that dict into
+The primitive machinery (``Counter``/``Gauge``/``LatencyHistogram``)
+lives in :mod:`repro.obs.metrics`; this module re-exports it unchanged
+and keeps the serving-specific aggregate, :class:`ServeMetrics` — the
+engine's full metric set (global and per-network) dumped as a
+JSON-ready dict.  ``serve-bench`` writes that dict into
 ``BENCH_serve.json`` so the perf trajectory is trackable across PRs.
+
+:meth:`ServeMetrics.register` additionally exposes every value through
+the unified metrics registry, so one ``REGISTRY.prometheus_text()``
+scrape covers serving, faults and the ISS engines together.
 
 Estimated *simulated* cycles per request come from the static
 ``network_trace`` model (builder counts x timesteps), i.e. what the
@@ -17,126 +20,20 @@ serving layer and the paper's cycle accounting.
 from __future__ import annotations
 
 import json
-import math
 import threading
+
+from ..obs.metrics import Counter, Gauge, LatencyHistogram
 
 __all__ = ["Counter", "Gauge", "LatencyHistogram", "ServeMetrics"]
 
-
-class Counter:
-    """A monotonically increasing counter (thread-safe)."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-
-class Gauge:
-    """A point-in-time value with a high-water mark (thread-safe)."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._value = 0
-        self._max = 0
-
-    def set(self, value) -> None:
-        with self._lock:
-            self._value = value
-            if value > self._max:
-                self._max = value
-
-    @property
-    def value(self):
-        return self._value
-
-    @property
-    def max(self):
-        return self._max
-
-
-class LatencyHistogram:
-    """Log-bucketed latency histogram with percentile queries.
-
-    Buckets are powers of ``2**(1/4)`` starting at 1 microsecond — about
-    66 buckets cover 1 us .. 100 s with <=19% relative error per bucket,
-    which is plenty for p50/p95/p99 reporting.  Exact min/max/sum are
-    tracked alongside, so mean and extremes are not quantized.
-    """
-
-    BASE = 2.0 ** 0.25
-    FLOOR = 1e-6  # seconds
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._buckets: dict[int, int] = {}
-        self._count = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = 0.0
-
-    def _index(self, value: float) -> int:
-        if value <= self.FLOOR:
-            return 0
-        return max(0, int(math.log(value / self.FLOOR, self.BASE)) + 1)
-
-    def record(self, seconds: float) -> None:
-        seconds = float(seconds)
-        if seconds < 0:
-            raise ValueError("latency cannot be negative")
-        idx = self._index(seconds)
-        with self._lock:
-            self._buckets[idx] = self._buckets.get(idx, 0) + 1
-            self._count += 1
-            self._sum += seconds
-            self._min = min(self._min, seconds)
-            self._max = max(self._max, seconds)
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Latency at quantile ``q`` in [0, 1] (bucket upper bound)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        with self._lock:
-            if not self._count:
-                return 0.0
-            rank = max(1, math.ceil(q * self._count))
-            seen = 0
-            for idx in sorted(self._buckets):
-                seen += self._buckets[idx]
-                if seen >= rank:
-                    if idx == 0:
-                        return self.FLOOR
-                    upper = self.FLOOR * self.BASE ** idx
-                    return min(upper, self._max)
-            return self._max
-
-    def summary(self) -> dict:
-        return {
-            "count": self._count,
-            "mean_s": self.mean,
-            "min_s": 0.0 if self._count == 0 else self._min,
-            "max_s": self._max,
-            "p50_s": self.percentile(0.50),
-            "p95_s": self.percentile(0.95),
-            "p99_s": self.percentile(0.99),
-        }
+#: Monotonic per-network counters exposed through the registry.
+_COUNTER_FIELDS = (
+    "submitted", "completed", "rejected_timeout", "rejected_capacity",
+    "rejected_unavailable", "failed", "batches", "batch_failures",
+    "bisects", "retries", "integrity_checks", "integrity_violations",
+    "integrity_repairs", "worker_restarts", "worker_stalls",
+    "faults_injected", "breaker_opens", "breaker_closes", "sim_cycles",
+)
 
 
 class _NetworkMetrics:
@@ -329,3 +226,58 @@ class ServeMetrics:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    # ------------------------------------------------------------------
+    # Unified-registry exposition (see repro.obs.metrics).
+    def collect(self) -> list:
+        """Registry-collector snapshot: ``(name, kind, help, samples)``."""
+        with self._lock:
+            nets = sorted(self.per_network.items())
+            fault_counts = sorted(self.fault_counts.items())
+            batch_sizes = sorted(self.batch_sizes.items())
+        rows = []
+        for field in _COUNTER_FIELDS:
+            samples = [({"network": name}, getattr(net, field).value)
+                       for name, net in nets]
+            rows.append((f"serve_{field}_total", "counter",
+                         f"Serve {field.replace('_', ' ')} (per network).",
+                         samples))
+        rows.append(("serve_queue_depth", "gauge",
+                     "Pending requests per network queue.",
+                     [({"network": name}, net.queue_depth.value)
+                      for name, net in nets]))
+        rows.append(("serve_breaker_open", "gauge",
+                     "1 while the network's circuit breaker is not closed.",
+                     [({"network": name},
+                       0 if net.breaker_state == "closed" else 1)
+                      for name, net in nets]))
+        latency_samples = []
+        for name, net in nets:
+            hist = net.latency
+            for q in (0.5, 0.95, 0.99):
+                value = hist.percentile(q)
+                if value is not None:
+                    latency_samples.append(
+                        ({"network": name, "quantile": str(q)}, value))
+            latency_samples.append(({"network": name}, hist.sum, "_sum"))
+            latency_samples.append(({"network": name}, hist.count,
+                                    "_count"))
+        rows.append(("serve_request_latency_seconds", "summary",
+                     "End-to-end request latency.", latency_samples))
+        rows.append(("serve_faults_injected_by_kind_total", "counter",
+                     "Injected fault events by kind (engine-wide).",
+                     [({"kind": kind}, count)
+                      for kind, count in fault_counts]))
+        rows.append(("serve_batches_by_size_total", "counter",
+                     "Dispatched batches by batch size.",
+                     [({"size": str(size)}, count)
+                      for size, count in batch_sizes]))
+        return rows
+
+    def register(self, registry=None) -> "ServeMetrics":
+        """Expose this metric set on a registry (default the global one)."""
+        if registry is None:
+            from ..obs.metrics import REGISTRY
+            registry = REGISTRY
+        registry.register_collector(self.collect)
+        return self

@@ -1,0 +1,128 @@
+"""Trace edge cases: scaling, merging, empty traces, table alignment."""
+
+from repro.core.tracer import Trace
+
+
+class TestScaled:
+    def test_integer_factor(self):
+        trace = Trace()
+        trace.add("add", 3, 4)
+        scaled = trace.scaled(10)
+        assert scaled.instrs == {"add": 30}
+        assert scaled.cycles == {"add": 40}
+
+    def test_fractional_factor_rounds_per_key(self):
+        trace = Trace()
+        trace.add("add", 3, 7)
+        scaled = trace.scaled(0.5)
+        # Python banker's rounding: round(1.5) == 2, round(3.5) == 4.
+        assert scaled.instrs == {"add": 2}
+        assert scaled.cycles == {"add": 4}
+
+    def test_half_up_and_half_even_cases(self):
+        trace = Trace()
+        trace.add("a", 5, 5)  # 2.5 rounds to 2 (ties-to-even)
+        trace.add("b", 3, 3)  # 1.5 rounds to 2
+        scaled = trace.scaled(0.5)
+        assert scaled.instrs == {"a": 2, "b": 2}
+
+    def test_original_untouched(self):
+        trace = Trace()
+        trace.add("add", 1, 1)
+        trace.scaled(100)
+        assert trace.total_instrs == 1
+
+    def test_zero_factor_zeroes_everything(self):
+        trace = Trace()
+        trace.add("add", 9, 9)
+        scaled = trace.scaled(0)
+        assert scaled.total_instrs == 0
+        assert scaled.total_cycles == 0
+        # Equality ignores zero-count keys: a zeroed trace == empty.
+        assert scaled == Trace()
+
+
+class TestMerge:
+    def test_disjoint_keys(self):
+        a = Trace()
+        a.add("add", 1, 1)
+        b = Trace()
+        b.add("lw", 2, 3)
+        a.merge(b)
+        assert a.instrs == {"add": 1, "lw": 2}
+        assert a.cycles == {"add": 1, "lw": 3}
+        assert a.total_instrs == 3
+        assert a.total_cycles == 4
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b, c = Trace(), Trace(), Trace()
+        b.add("x", 1, 1)
+        c.add("y", 1, 1)
+        assert a.merge(b).merge(c) is a
+        assert a.total_instrs == 2
+
+    def test_merge_into_empty_equals_source(self):
+        src = Trace()
+        src.add("add", 4, 5)
+        assert Trace().merge(src) == src
+
+    def test_merge_does_not_mutate_other(self):
+        a = Trace()
+        a.add("add", 1, 1)
+        b = Trace()
+        b.add("add", 2, 2)
+        a.merge(b)
+        assert b.instrs == {"add": 2}
+
+
+class TestEmptyTrace:
+    def test_stall_summary_empty(self):
+        assert Trace().stall_summary() == {}
+
+    def test_totals_zero(self):
+        trace = Trace()
+        assert trace.total_instrs == 0
+        assert trace.total_cycles == 0
+
+    def test_top_and_table_on_empty(self):
+        trace = Trace()
+        assert trace.top() == []
+        table = trace.table()
+        assert "total" in table
+        assert "0.0" in table
+
+    def test_stall_summary_drops_zero_extras(self):
+        trace = Trace()
+        trace.add("add", 5, 5)   # no stalls
+        trace.add("lw", 2, 4)    # 2 extra cycles
+        assert trace.stall_summary() == {"lw": 2}
+
+
+class TestTableAlignment:
+    def test_long_mnemonics_keep_columns_aligned(self):
+        trace = Trace()
+        trace.add("pl.sdotsp.h.0.verylong", 10, 20)
+        trace.add("add", 5, 5)
+        lines = trace.table(top_n=6).splitlines()
+        # One stretched name column: every row has identical length, so
+        # the right-aligned number columns line up under the header.
+        assert len({len(line) for line in lines}) == 1
+        assert lines[0].startswith("Instr.")
+        assert lines[0].endswith("instrs")
+
+    def test_short_names_keep_paper_width(self):
+        trace = Trace()
+        trace.add("add", 1, 1)
+        lines = trace.table().splitlines()
+        assert all(len(line) == 36 for line in lines)
+
+    def test_other_row_aggregates_beyond_top_n(self):
+        trace = Trace()
+        for i in range(8):
+            trace.add(f"op{i}", 1, 10 - i)
+        table = trace.table(top_n=3)
+        assert "oth." in table
+        # Rows beyond the top 3 sum into 'oth.': 7+6+5+4+3 = 25 cycles.
+        oth = next(line for line in table.splitlines()
+                   if line.startswith("oth."))
+        assert "25.0" in oth
