@@ -26,17 +26,36 @@ Commands:
         measure instrumented vs. uninstrumented ISS throughput and
         serving latency; writes BENCH_obs.json
 
-    serve-bench [--requests N] [--rate R] [--out FILE.json]
-        drive the batched inference runtime with an open-loop Poisson
-        load generator, print the latency/throughput table and write
-        machine-readable results (default BENCH_serve.json)
+    serve-bench [--requests N] [--rate R] [--traffic KIND]
+            [--tenants N] [--cluster] [--out FILE.json]
+        drive the batched inference runtime with an open-loop load
+        generator (--traffic poisson|diurnal|bursty|diurnal-bursty,
+        --tenants for per-tenant network mixes), print the
+        latency/throughput table and write machine-readable results
+        (default BENCH_serve.json); --cluster redirects the run to
+        cluster-bench with the same knobs
 
-    chaos-bench [--requests N] [--duration S] [--out FILE.json]
-            [--trace-out FILE.json]
+    cluster-bench [--requests N] [--workers 1,2,4,8] [--traffic KIND]
+            [--autoscale] [--out FILE.json] [--trace-out FILE.json]
+        drive the process-sharded serving cluster over a worker-count
+        scaling curve at one offered load, checking every output
+        bit-exactly against the golden model; writes BENCH_serve.json
+        by default and, with --trace-out, one merged Perfetto trace
+        spanning the router and every worker process
+
+    chaos-bench [--requests N] [--duration S] [--cluster]
+            [--workers N] [--out FILE.json] [--trace-out FILE.json]
         drive the runtime under a scripted fault scenario (weight
         bit-flips, crashes, latency spikes), print the availability /
         recovery report and write BENCH_chaos.json; --trace-out
-        additionally writes a Perfetto-loadable span trace of the run
+        additionally writes a Perfetto-loadable span trace of the run;
+        --cluster runs the scenario against the process-sharded
+        cluster and adds SIGKILL worker-process deaths on a
+        deterministic schedule
+
+    The three bench commands drain gracefully on SIGINT/SIGTERM:
+    submission stops, in-flight requests settle and the partial
+    benchmark JSON is still written (with "interrupted": true).
 
     lint [FILE.s ...] [--levels XY] [--json]
         run the static analyzer (CFG/dataflow lint) over assembly files
@@ -185,40 +204,130 @@ def _cmd_overhead_bench(args) -> int:
     return 0
 
 
+def _traffic_model(args):
+    from .serve.loadgen import TrafficModel
+    if getattr(args, "traffic", "poisson") == "poisson":
+        return None
+    return TrafficModel(kind=args.traffic)
+
+
+def _interrupt_note(stop) -> None:
+    if stop.triggered:
+        print(f"\n[{stop.signal_name or 'signal'} received -- drained "
+              "in-flight requests, wrote partial results]")
+
+
 def _cmd_serve_bench(args) -> int:
+    if args.cluster:
+        # serve-bench --cluster is cluster-bench with serve-bench's
+        # knobs; fleet-only knobs take their cluster-bench defaults.
+        args.workers = args.workers or "1,2,4,8"
+        args.capacity = getattr(args, "capacity", 256)
+        args.autoscale = getattr(args, "autoscale", False)
+        args.trace_out = getattr(args, "trace_out", None)
+        return _cmd_cluster_bench(args)
     from .serve.loadgen import render_table, run_serve_bench
-    result = run_serve_bench(
-        scale=args.scale,
-        level=args.level,
-        n_requests=args.requests,
-        rate_rps=args.rate,
-        max_batch_size=args.batch,
-        max_linger_s=args.linger_ms / 1e3,
-        timeout_s=None if args.timeout_ms is None else args.timeout_ms / 1e3,
-        seed=args.seed,
-        out_path=args.out,
-    )
+    from .serve.shutdown import GracefulShutdown
+    with GracefulShutdown() as stop:
+        result = run_serve_bench(
+            scale=args.scale,
+            level=args.level,
+            n_requests=args.requests,
+            rate_rps=args.rate,
+            max_batch_size=args.batch,
+            max_linger_s=args.linger_ms / 1e3,
+            timeout_s=None if args.timeout_ms is None
+                else args.timeout_ms / 1e3,
+            seed=args.seed,
+            out_path=args.out,
+            traffic=_traffic_model(args),
+            n_tenants=args.tenants,
+            stop_event=stop.event,
+        )
     print(render_table(result))
     if args.out:
         print(f"\n[written {args.out}]")
+    _interrupt_note(stop)
+    return 0
+
+
+def _cmd_cluster_bench(args) -> int:
+    from .cluster.bench import render_cluster_table, run_cluster_bench
+    from .serve.shutdown import GracefulShutdown
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    with GracefulShutdown() as stop:
+        result = run_cluster_bench(
+            scale=args.scale,
+            level=args.level,
+            n_requests=args.requests,
+            rate_rps=args.rate,
+            worker_counts=worker_counts,
+            max_batch_size=args.batch,
+            max_linger_s=args.linger_ms / 1e3,
+            capacity=args.capacity,
+            timeout_s=None if args.timeout_ms is None
+                else args.timeout_ms / 1e3,
+            seed=args.seed,
+            autoscale=args.autoscale,
+            traffic=_traffic_model(args),
+            n_tenants=args.tenants,
+            out_path=args.out,
+            trace_out=args.trace_out,
+            stop_event=stop.event,
+        )
+    print(render_cluster_table(result))
+    if args.out:
+        print(f"\n[written {args.out}]")
+    if args.trace_out and "trace" in result:
+        trace = result["trace"]
+        print(f"[written {args.trace_out}: {trace['events']} events over "
+              f"{trace['processes']} processes — load at "
+              "https://ui.perfetto.dev]")
+    _interrupt_note(stop)
     return 0
 
 
 def _cmd_chaos_bench(args) -> int:
+    from .serve.shutdown import GracefulShutdown
+    if args.cluster:
+        from .cluster.bench import (render_cluster_chaos_table,
+                                    run_cluster_chaos_bench)
+        with GracefulShutdown() as stop:
+            result = run_cluster_chaos_bench(
+                scale=args.scale,
+                level=args.level,
+                n_requests=args.requests,
+                duration_s=args.duration,
+                rate_rps=args.rate,
+                workers=args.workers,
+                max_batch_size=args.batch,
+                max_linger_s=args.linger_ms / 1e3,
+                integrity_check_every=args.integrity_every,
+                seed=args.seed,
+                out_path=args.out,
+                stop_event=stop.event,
+            )
+        print(render_cluster_chaos_table(result))
+        if args.out:
+            print(f"\n[written {args.out}]")
+        _interrupt_note(stop)
+        return 0
     from .serve.chaos import render_chaos_table, run_chaos_bench
-    result = run_chaos_bench(
-        scale=args.scale,
-        level=args.level,
-        n_requests=args.requests,
-        duration_s=args.duration,
-        rate_rps=args.rate,
-        max_batch_size=args.batch,
-        max_linger_s=args.linger_ms / 1e3,
-        integrity_check_every=args.integrity_every,
-        seed=args.seed,
-        out_path=args.out,
-        trace_out=args.trace_out,
-    )
+    with GracefulShutdown() as stop:
+        result = run_chaos_bench(
+            scale=args.scale,
+            level=args.level,
+            n_requests=args.requests,
+            duration_s=args.duration,
+            rate_rps=args.rate,
+            max_batch_size=args.batch,
+            max_linger_s=args.linger_ms / 1e3,
+            integrity_check_every=args.integrity_every,
+            seed=args.seed,
+            out_path=args.out,
+            trace_out=args.trace_out,
+            stop_event=stop.event,
+        )
     print(render_chaos_table(result))
     if args.out:
         print(f"\n[written {args.out}]")
@@ -226,6 +335,7 @@ def _cmd_chaos_bench(args) -> int:
         trace = result.get("trace", {})
         print(f"[written {args.trace_out}: {trace.get('events', 0)} span "
               "events — load at https://ui.perfetto.dev]")
+    _interrupt_note(stop)
     return 0
 
 
@@ -379,8 +489,66 @@ def main(argv=None) -> int:
     p_serve.add_argument("--timeout-ms", type=float, default=10000.0,
                          help="per-request deadline in milliseconds")
     p_serve.add_argument("--seed", type=int, default=2020)
+    p_serve.add_argument("--traffic",
+                         choices=["poisson", "diurnal", "bursty",
+                                  "diurnal-bursty"],
+                         default="poisson",
+                         help="arrival process shape (default: poisson)")
+    p_serve.add_argument("--tenants", type=int, default=0,
+                         help="multi-tenant mode: number of tenants with "
+                              "per-tenant network mixes (0 = uniform)")
+    p_serve.add_argument("--cluster", action="store_true",
+                         help="run against the process-sharded cluster "
+                              "instead (alias for cluster-bench)")
+    p_serve.add_argument("--workers", default=None,
+                         help="with --cluster: comma-separated worker "
+                              "counts (default: 1,2,4,8)")
     p_serve.add_argument("--out", default="BENCH_serve.json",
                          help="JSON results path ('' to skip writing)")
+
+    p_cluster = sub.add_parser(
+        "cluster-bench",
+        help="benchmark the process-sharded serving cluster "
+             "(worker-count scaling curve)")
+    p_cluster.add_argument("--requests", type=int, default=400,
+                           help="number of requests per pass")
+    p_cluster.add_argument("--rate", type=float, default=None,
+                           help="offered load in req/s (default: 8x the "
+                                "measured sequential baseline)")
+    p_cluster.add_argument("--workers", default="1,2,4,8",
+                           help="comma-separated worker counts for the "
+                                "scaling curve (default: 1,2,4,8)")
+    p_cluster.add_argument("--level", choices=list("abcde"), default="e")
+    p_cluster.add_argument("--scale", type=int, default=None,
+                           help="suite down-scale factor (default: "
+                                "REPRO_SCALE or 4)")
+    p_cluster.add_argument("--batch", type=int, default=16,
+                           help="max dynamic batch size per replica")
+    p_cluster.add_argument("--linger-ms", type=float, default=2.0,
+                           help="max batching linger in milliseconds")
+    p_cluster.add_argument("--capacity", type=int, default=256,
+                           help="router per-replica outstanding budget "
+                                "(admission control)")
+    p_cluster.add_argument("--timeout-ms", type=float, default=10000.0,
+                           help="per-request deadline in milliseconds")
+    p_cluster.add_argument("--autoscale", action="store_true",
+                           help="enable the queue-driven per-shard "
+                                "autoscaler during cluster passes")
+    p_cluster.add_argument("--traffic",
+                           choices=["poisson", "diurnal", "bursty",
+                                    "diurnal-bursty"],
+                           default="poisson",
+                           help="arrival process shape (default: poisson)")
+    p_cluster.add_argument("--tenants", type=int, default=0,
+                           help="multi-tenant mode: number of tenants "
+                                "(0 = uniform)")
+    p_cluster.add_argument("--seed", type=int, default=2020)
+    p_cluster.add_argument("--out", default="BENCH_serve.json",
+                           help="JSON results path ('' to skip writing)")
+    p_cluster.add_argument("--trace-out", default=None,
+                           help="write one merged Perfetto trace spanning "
+                                "the router and every worker (largest "
+                                "worker count)")
 
     p_chaos = sub.add_parser(
         "chaos-bench",
@@ -402,6 +570,13 @@ def main(argv=None) -> int:
                          help="max batching linger in milliseconds")
     p_chaos.add_argument("--integrity-every", type=int, default=5,
                          help="weight-CRC verification cadence in batches")
+    p_chaos.add_argument("--cluster", action="store_true",
+                         help="run the scenario against the process-"
+                              "sharded cluster, adding SIGKILL worker-"
+                              "process deaths on a deterministic schedule")
+    p_chaos.add_argument("--workers", type=int, default=4,
+                         help="total cluster worker processes with "
+                              "--cluster (default: 4)")
     p_chaos.add_argument("--seed", type=int, default=2020)
     p_chaos.add_argument("--out", default="BENCH_chaos.json",
                          help="JSON results path ('' to skip writing)")
@@ -454,6 +629,8 @@ def main(argv=None) -> int:
         return _cmd_overhead_bench(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "cluster-bench":
+        return _cmd_cluster_bench(args)
     if args.command == "chaos-bench":
         return _cmd_chaos_bench(args)
     if args.command == "lint":

@@ -1,0 +1,109 @@
+"""Queue-driven autoscaling policy for the serving cluster.
+
+The policy is a *pure function* from a shard's observed load to a
+scaling decision — no clocks, no threads, no I/O — so it is trivially
+unit-testable and its behaviour under a recorded gauge series is fully
+reproducible.  The cluster supervisor samples the router's per-shard
+queue-depth gauges on a fixed tick and applies whatever the policy
+says (:meth:`AutoscalerPolicy.observe`); the mechanism (spawning and
+draining worker processes) lives in :mod:`repro.cluster.cluster`.
+
+Decision rule, per shard:
+
+* **utilization** = outstanding / (replicas * capacity), i.e. how full
+  the shard's admission budget is.
+* utilization above ``high_watermark`` for ``scale_up_ticks``
+  consecutive ticks -> add one replica (bounded by ``max_replicas``).
+* utilization below ``low_watermark`` for ``scale_down_ticks``
+  consecutive ticks -> retire one replica (bounded by
+  ``min_replicas``).  Scale-down is deliberately slower than scale-up:
+  shedding capacity during a transient lull and paying a process spawn
+  when the burst returns is the expensive mistake.
+* after any action the shard is frozen for ``cooldown_ticks`` so the
+  fleet change can actually absorb (or release) load before the next
+  judgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscalerConfig", "AutoscalerPolicy", "ScaleDecision"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: Utilization thresholds (fractions of the shard admission budget).
+    high_watermark: float = 0.75
+    low_watermark: float = 0.15
+    #: Consecutive ticks a watermark must hold before acting.
+    scale_up_ticks: int = 2
+    scale_down_ticks: int = 6
+    #: Ticks a shard is frozen after any scaling action.
+    cooldown_ticks: int = 4
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    shard: int
+    #: +1 (add a replica), -1 (retire one), 0 (hold).
+    delta: int
+    utilization: float
+    reason: str
+
+
+class AutoscalerPolicy:
+    """Hysteresis-with-cooldown scaler over per-shard utilization."""
+
+    def __init__(self, config: AutoscalerConfig | None = None):
+        self.config = config or AutoscalerConfig()
+        self._high_streak: dict[int, int] = {}
+        self._low_streak: dict[int, int] = {}
+        self._cooldown: dict[int, int] = {}
+
+    def observe(self, shard: int, replicas: int, outstanding: int,
+                capacity: int) -> ScaleDecision:
+        """Feed one tick's gauges for one shard; get the decision."""
+        cfg = self.config
+        budget = max(1, replicas * capacity)
+        utilization = outstanding / budget
+
+        cooling = self._cooldown.get(shard, 0)
+        if cooling > 0:
+            self._cooldown[shard] = cooling - 1
+            self._high_streak[shard] = 0
+            self._low_streak[shard] = 0
+            return ScaleDecision(shard, 0, utilization,
+                                 f"cooldown({cooling})")
+
+        if utilization >= cfg.high_watermark:
+            self._high_streak[shard] = self._high_streak.get(shard, 0) + 1
+            self._low_streak[shard] = 0
+        elif utilization <= cfg.low_watermark:
+            self._low_streak[shard] = self._low_streak.get(shard, 0) + 1
+            self._high_streak[shard] = 0
+        else:
+            self._high_streak[shard] = 0
+            self._low_streak[shard] = 0
+            return ScaleDecision(shard, 0, utilization, "in-band")
+
+        if (self._high_streak.get(shard, 0) >= cfg.scale_up_ticks
+                and replicas < cfg.max_replicas):
+            self._reset(shard)
+            return ScaleDecision(shard, +1, utilization,
+                                 f"util>={cfg.high_watermark} for "
+                                 f"{cfg.scale_up_ticks} ticks")
+        if (self._low_streak.get(shard, 0) >= cfg.scale_down_ticks
+                and replicas > cfg.min_replicas):
+            self._reset(shard)
+            return ScaleDecision(shard, -1, utilization,
+                                 f"util<={cfg.low_watermark} for "
+                                 f"{cfg.scale_down_ticks} ticks")
+        return ScaleDecision(shard, 0, utilization, "streak-building")
+
+    def _reset(self, shard: int) -> None:
+        self._high_streak[shard] = 0
+        self._low_streak[shard] = 0
+        self._cooldown[shard] = self.config.cooldown_ticks

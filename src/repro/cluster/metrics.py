@@ -1,0 +1,200 @@
+"""Cluster-level metrics: the router's view plus per-worker roll-ups.
+
+:class:`ClusterMetrics` instruments the *parent* side of the cluster —
+submissions, routing decisions, sheds, end-to-end latency, redispatches
+and process lifecycle events — and aggregates each worker's final
+:class:`~repro.serve.metrics.ServeMetrics` snapshot into one place, so
+``repro cluster-bench`` reports the fleet as a single system.
+
+``register()`` plugs the whole object into an
+:class:`~repro.obs.MetricsRegistry` as a collector: cluster counters
+appear as ``repro_cluster_*`` families and every worker's engine
+counters re-appear labeled ``worker="shard-0/replica-1"`` (the ``/`` in
+the worker id is exactly why label-value escaping in the exposition
+format has to be right — see :func:`repro.obs.escape_label_value`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs.metrics import LatencyHistogram
+from ..serve.metrics import _COUNTER_FIELDS
+
+__all__ = ["ClusterMetrics"]
+
+_ROUTER_COUNTERS = ("submitted", "routed", "shed_capacity",
+                    "shed_unavailable", "completed", "failed",
+                    "redispatched")
+_LIFECYCLE_COUNTERS = ("proc_deaths", "proc_kills", "replica_starts",
+                       "replica_retired")
+
+
+class ClusterMetrics:
+    """Thread-safe counters/histograms for one cluster run."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._totals = {name: 0 for name in
+                        _ROUTER_COUNTERS + _LIFECYCLE_COUNTERS}
+        self._per_network: dict[str, dict] = {}
+        #: End-to-end latency (router submit -> router settle).
+        self._latency: dict[str, LatencyHistogram] = {}
+        #: Peak router-side queue depth seen per replica.
+        self._peak_depth: dict[str, int] = {}
+        #: Final ServeMetrics dicts, keyed by worker name.
+        self.worker_finals: dict[str, dict] = {}
+
+    def _net(self, network: str) -> dict:
+        counters = self._per_network.get(network)
+        if counters is None:
+            counters = {name: 0 for name in _ROUTER_COUNTERS}
+            self._per_network[network] = counters
+        return counters
+
+    def _bump(self, network: str, name: str) -> None:
+        with self._lock:
+            self._totals[name] += 1
+            self._net(network)[name] += 1
+
+    # ------------------------------------------------------------------
+    # Router hooks.
+    def on_submit(self, network: str) -> None:
+        self._bump(network, "submitted")
+
+    def on_routed(self, network: str, replica: str, depth: int) -> None:
+        with self._lock:
+            self._totals["routed"] += 1
+            self._net(network)["routed"] += 1
+            if depth > self._peak_depth.get(replica, 0):
+                self._peak_depth[replica] = depth
+
+    def on_router_reject(self, network: str, status: str) -> None:
+        name = ("shed_capacity" if status.endswith("capacity")
+                else "shed_unavailable")
+        self._bump(network, name)
+
+    def on_response(self, network: str, status: str, latency) -> None:
+        name = "completed" if status == "done" else "failed"
+        with self._lock:
+            self._totals[name] += 1
+            self._net(network)[name] += 1
+            if latency is not None:
+                hist = self._latency.get(network)
+                if hist is None:
+                    hist = self._latency[network] = LatencyHistogram()
+                hist.record(latency)
+
+    def on_redispatch(self, network: str) -> None:
+        self._bump(network, "redispatched")
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (supervisor/autoscaler).
+    def on_proc_death(self, worker: str) -> None:
+        with self._lock:
+            self._totals["proc_deaths"] += 1
+
+    def on_proc_kill(self, worker: str) -> None:
+        with self._lock:
+            self._totals["proc_kills"] += 1
+
+    def on_replica_start(self, worker: str) -> None:
+        with self._lock:
+            self._totals["replica_starts"] += 1
+
+    def on_replica_retired(self, worker: str) -> None:
+        with self._lock:
+            self._totals["replica_retired"] += 1
+
+    def absorb_worker_final(self, worker: str, metrics_dict: dict) -> None:
+        """Keep a worker's final ServeMetrics snapshot for aggregation."""
+        with self._lock:
+            self.worker_finals[worker] = metrics_dict
+
+    # ------------------------------------------------------------------
+    # Snapshots.
+    def latency_summary(self) -> dict:
+        with self._lock:
+            hists = dict(self._latency)
+        return {name: hist.summary() for name, hist in sorted(
+            hists.items())}
+
+    def fleet_totals(self) -> dict:
+        """Sum of every worker's engine counters (one fleet-wide row)."""
+        with self._lock:
+            finals = dict(self.worker_finals)
+        totals = {field: 0 for field in _COUNTER_FIELDS}
+        for final in finals.values():
+            for field, value in final.get("total", {}).items():
+                if field in totals:
+                    totals[field] += value
+        return totals
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            totals = dict(self._totals)
+            per_network = {name: dict(counters) for name, counters
+                           in sorted(self._per_network.items())}
+            peak_depth = dict(sorted(self._peak_depth.items()))
+        return {
+            "total": totals,
+            "per_network": per_network,
+            "peak_replica_depth": peak_depth,
+            "latency": self.latency_summary(),
+            "fleet_engine_totals": self.fleet_totals(),
+            "workers": {name: final.get("total", {})
+                        for name, final in sorted(
+                            self.worker_finals.items())},
+        }
+
+    # ------------------------------------------------------------------
+    # Unified-registry integration.
+    def collect(self) -> list:
+        """Expose cluster + per-worker samples for a MetricsRegistry."""
+        with self._lock:
+            totals = dict(self._totals)
+            per_network = {name: dict(counters) for name, counters
+                           in sorted(self._per_network.items())}
+            hists = dict(sorted(self._latency.items()))
+            finals = dict(sorted(self.worker_finals.items()))
+        out = []
+        for name in _ROUTER_COUNTERS:
+            samples = [({"network": net}, counters[name])
+                       for net, counters in per_network.items()]
+            samples.append(({}, totals[name]))
+            out.append((f"repro_cluster_{name}_total", "counter",
+                        f"cluster router {name} count", samples))
+        for name in _LIFECYCLE_COUNTERS:
+            out.append((f"repro_cluster_{name}_total", "counter",
+                        f"cluster {name} count", [({}, totals[name])]))
+        latency_samples = []
+        for net, hist in hists.items():
+            for q in (0.5, 0.95, 0.99):
+                value = hist.percentile(q)
+                if value is not None:
+                    latency_samples.append(
+                        ({"network": net, "quantile": str(q)}, value))
+            latency_samples.append(({"network": net}, hist.sum, "_sum"))
+            latency_samples.append(({"network": net}, hist.count,
+                                    "_count"))
+        out.append(("repro_cluster_latency_seconds", "summary",
+                    "end-to-end cluster request latency",
+                    latency_samples))
+        worker_samples: dict[str, list] = {
+            field: [] for field in _COUNTER_FIELDS}
+        for worker, final in finals.items():
+            for field, value in final.get("total", {}).items():
+                if field in worker_samples:
+                    worker_samples[field].append(
+                        ({"worker": worker}, value))
+        for field, samples in worker_samples.items():
+            if samples:
+                out.append((f"repro_worker_{field}_total", "counter",
+                            f"per-worker engine {field} count", samples))
+        return out
+
+    def register(self, registry) -> None:
+        registry.register_collector(self.collect)
+
+    def unregister(self, registry) -> None:
+        registry.unregister_collector(self.collect)

@@ -1,0 +1,369 @@
+"""The cluster front-end: hash sharding, JSQ balancing, admission control.
+
+The :class:`Router` is the single entry point for cluster traffic.  It
+is deliberately *deterministic*: given the same request trace and the
+same replica completion pattern, it makes the identical shard
+assignment and the identical accept/shed decision for every request
+(asserted by ``tests/test_cluster_router.py``):
+
+* **Sharding** — each network maps to exactly one shard via a stable
+  hash (CRC32 rank, round-robin), so per-network request order — the
+  key space fault injection is keyed on — is preserved end to end.
+* **Replica choice** — join-shortest-queue among the shard's accepting
+  replicas, ties broken by lowest replica index.  The queue depth used
+  is the router's *own* outstanding count (forwarded minus responded),
+  not a sampled worker gauge, so the decision depends only on observed
+  completions, never on wall-clock sampling jitter.
+* **Backpressure** — if even the shortest queue in the target shard is
+  at ``capacity`` the request is shed immediately
+  (``rejected_capacity``), at the router, without queueing; a
+  saturated shard cannot steal capacity from healthy shards because
+  admission is evaluated purely within the shard.
+
+The router is transport-agnostic: replicas are anything with the small
+:class:`ReplicaHandle` surface.  The real cluster plugs in process
+handles (:mod:`repro.cluster.cluster`); tests plug in stubs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serve.engine import RequestStatus
+
+__all__ = ["ShardPlan", "ReplicaHandle", "Router", "ClusterRequest"]
+
+
+class ShardPlan:
+    """Deterministic network -> shard assignment.
+
+    Networks are ranked by ``crc32(name)`` (ties by name) and dealt
+    round-robin over the shards, so the mapping is a pure function of
+    the network names and the shard count — balanced to within one
+    network per shard, stable across runs and machines.
+    """
+
+    def __init__(self, networks, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        networks = tuple(networks)
+        if not networks:
+            raise ValueError("need at least one network")
+        self.n_shards = min(n_shards, len(networks))
+        ranked = sorted(networks,
+                        key=lambda n: (zlib.crc32(n.name.encode()), n.name))
+        self.shard_of = {net.name: idx % self.n_shards
+                         for idx, net in enumerate(ranked)}
+        self.networks_of = [tuple(net for net in ranked
+                                  if self.shard_of[net.name] == shard)
+                            for shard in range(self.n_shards)]
+
+    def to_dict(self) -> dict:
+        return {"n_shards": self.n_shards,
+                "shards": [[net.name for net in nets]
+                           for nets in self.networks_of]}
+
+
+@dataclass
+class ReplicaHandle:
+    """The router's view of one worker replica (transport-agnostic)."""
+
+    shard: int
+    index: int
+    name: str
+    #: False while draining or dead: no new work is routed here.
+    accepting: bool = True
+    #: Router-maintained queue depth: forwarded minus responded.
+    outstanding: int = 0
+
+    def send(self, items) -> None:
+        """Forward ``[(rid, network, x_raw, deadline_abs), ...]``."""
+        raise NotImplementedError
+
+
+@dataclass
+class ClusterRequest:
+    """Client-side future for one cluster inference (Request-compatible).
+
+    Mirrors the :class:`repro.serve.engine.Request` result surface
+    (``wait``/``ok``/``result``/``status``/``output``/``latency``) so
+    load generators and the chaos driver work unchanged against the
+    cluster.  ``latency`` is end-to-end (router submit to router
+    settle); ``service_latency`` is the worker-measured portion.
+    """
+
+    network: str
+    submit_time: float
+    deadline: float | None = None
+    id: int = 0
+    status: str = RequestStatus.PENDING
+    output: np.ndarray | None = None
+    latency: float | None = None
+    service_latency: float | None = None
+    batch_size: int | None = None
+    error: str | None = None
+    worker: str | None = None
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == RequestStatus.DONE
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self.wait(timeout):
+            raise TimeoutError(f"request {self.id} still pending")
+        if not self.ok:
+            raise RuntimeError(f"request {self.id} {self.status}")
+        return self.output
+
+    def _settle(self, status: str, output=None, latency=None,
+                service_latency=None, batch_size=None, error=None,
+                worker=None) -> None:
+        if self._done.is_set():
+            return
+        self.status = status
+        self.output = output
+        self.latency = latency
+        self.service_latency = service_latency
+        self.batch_size = batch_size
+        self.error = error
+        self.worker = worker
+        self._done.set()
+
+
+@dataclass
+class _Inflight:
+    """Router-side record of one forwarded, not-yet-responded request."""
+
+    request: ClusterRequest
+    x_raw: np.ndarray
+    replica: ReplicaHandle
+    redispatches: int = 0
+
+
+class Router:
+    """Shard-hash + JSQ request router with per-shard admission control.
+
+    ``capacity`` is the per-replica outstanding-request budget; the
+    router sheds once every accepting replica of the target shard is at
+    capacity.  ``on_routed(shard, routed_count)`` (optional) fires after
+    every successful forward — the chaos harness uses it to trigger
+    deterministic worker-process kills at a scripted request count.
+    """
+
+    def __init__(self, plan: ShardPlan, capacity: int = 256,
+                 clock=time.monotonic, metrics=None, tracer=None,
+                 on_routed=None, max_redispatch: int = 2):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.plan = plan
+        self.capacity = capacity
+        self.clock = clock
+        self.metrics = metrics
+        self.tracer = tracer
+        self.on_routed = on_routed
+        self.max_redispatch = max_redispatch
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._replicas: list[list[ReplicaHandle]] = \
+            [[] for _ in range(plan.n_shards)]
+        self._inflight: dict[int, _Inflight] = {}
+        #: Per-shard count of successfully routed requests (the chaos
+        #: kill-schedule key space).
+        self.routed_per_shard = [0] * plan.n_shards
+
+    # ------------------------------------------------------------------
+    # Replica membership (called by the cluster supervisor/autoscaler).
+    def attach_replica(self, replica: ReplicaHandle) -> None:
+        with self._lock:
+            self._replicas[replica.shard].append(replica)
+            self._replicas[replica.shard].sort(key=lambda r: r.index)
+
+    def detach_replica(self, replica: ReplicaHandle) -> None:
+        with self._lock:
+            shard = self._replicas[replica.shard]
+            if replica in shard:
+                shard.remove(replica)
+
+    def replicas(self, shard: int | None = None) -> list:
+        with self._lock:
+            if shard is None:
+                return [r for group in self._replicas for r in group]
+            return list(self._replicas[shard])
+
+    # ------------------------------------------------------------------
+    # Submission path.
+    def submit(self, network_name: str, x_raw,
+               timeout_s: float | None = None) -> ClusterRequest:
+        shard = self.plan.shard_of.get(network_name)
+        if shard is None:
+            raise KeyError(f"unknown network {network_name!r}; serving "
+                           f"{sorted(self.plan.shard_of)}")
+        now = self.clock()
+        request = ClusterRequest(
+            network=network_name,
+            submit_time=now,
+            deadline=None if timeout_s is None else now + timeout_s,
+            id=next(self._ids),
+        )
+        if self.metrics is not None:
+            self.metrics.on_submit(network_name)
+        self._route(request, np.asarray(x_raw, dtype=np.int64), shard)
+        return request
+
+    def _route(self, request: ClusterRequest, x_raw: np.ndarray,
+               shard: int, redispatches: int = 0) -> None:
+        """Pick a replica (JSQ) and forward, or settle a rejection."""
+        with self._lock:
+            live = [r for r in self._replicas[shard] if r.accepting]
+            if not live:
+                self._settle_locked(request, RequestStatus.
+                                    REJECTED_UNAVAILABLE)
+                return
+            # Join-shortest-queue; deterministic tie-break on index.
+            chosen = min(live, key=lambda r: (r.outstanding, r.index))
+            if chosen.outstanding >= self.capacity:
+                self._settle_locked(request,
+                                    RequestStatus.REJECTED_CAPACITY)
+                return
+            chosen.outstanding += 1
+            self._inflight[request.id] = _Inflight(
+                request=request, x_raw=x_raw, replica=chosen,
+                redispatches=redispatches)
+            self.routed_per_shard[shard] += 1
+            routed = self.routed_per_shard[shard]
+            depth = chosen.outstanding
+        # Transport and hooks run outside the lock.
+        if self.metrics is not None:
+            self.metrics.on_routed(request.network, chosen.name, depth)
+        if self.tracer is not None:
+            self.tracer.instant("route", f"shard-{shard}",
+                                args={"rid": request.id,
+                                      "replica": chosen.name,
+                                      "depth": depth})
+        chosen.send([(request.id, request.network, x_raw,
+                      request.deadline)])
+        if self.on_routed is not None:
+            self.on_routed(shard, routed)
+
+    def _settle_locked(self, request: ClusterRequest, status: str) -> None:
+        request._settle(status)
+        if self.metrics is not None:
+            self.metrics.on_router_reject(request.network, status)
+        if self.tracer is not None:
+            self.tracer.instant(f"shed:{status}", "router",
+                                args={"network": request.network,
+                                      "rid": request.id})
+
+    # ------------------------------------------------------------------
+    # Response path (called by the cluster's response collector).
+    def complete(self, rid: int, status: str, output, service_latency,
+                 batch_size, error, worker_name: str) -> None:
+        with self._lock:
+            record = self._inflight.pop(rid, None)
+            if record is not None:
+                record.replica.outstanding = \
+                    max(0, record.replica.outstanding - 1)
+        if record is None:
+            return  # late response for a request the router already failed
+        latency = self.clock() - record.request.submit_time
+        record.request._settle(status, output=output, latency=latency,
+                               service_latency=service_latency,
+                               batch_size=batch_size, error=error,
+                               worker=worker_name)
+        if self.metrics is not None:
+            self.metrics.on_response(record.request.network, status,
+                                     latency)
+
+    # ------------------------------------------------------------------
+    # Failure handling (called by the supervisor).
+    def fail_replica(self, replica: ReplicaHandle,
+                     reason: str = "worker process died",
+                     redispatch: bool = True) -> dict:
+        """Handle a dead replica's in-flight requests.
+
+        Inference is pure and idempotent, so in-flight requests are
+        *redispatched* to the shard's surviving replicas (bounded by
+        ``max_redispatch`` per request and by each request's deadline)
+        instead of failing straight away; anything not redispatchable
+        settles FAILED.  Returns counts for the supervisor's log.
+        """
+        replica.accepting = False
+        with self._lock:
+            stranded = [(rid, rec) for rid, rec in self._inflight.items()
+                        if rec.replica is replica]
+            for rid, _ in stranded:
+                del self._inflight[rid]
+            replica.outstanding = 0
+        redispatched = failed = 0
+        now = self.clock()
+        for _, record in stranded:
+            request = record.request
+            expired = (request.deadline is not None
+                       and now >= request.deadline)
+            if (redispatch and not expired
+                    and record.redispatches < self.max_redispatch):
+                if self.metrics is not None:
+                    self.metrics.on_redispatch(request.network)
+                self._route(request, record.x_raw,
+                            self.plan.shard_of[request.network],
+                            redispatches=record.redispatches + 1)
+                redispatched += 1
+            else:
+                request._settle(RequestStatus.FAILED, error=reason)
+                if self.metrics is not None:
+                    self.metrics.on_response(request.network,
+                                             RequestStatus.FAILED, None)
+                failed += 1
+        return {"redispatched": redispatched, "failed": failed}
+
+    def fail_all_inflight(self, reason: str) -> int:
+        """Terminal cleanup: settle everything still outstanding."""
+        with self._lock:
+            stranded = list(self._inflight.values())
+            self._inflight.clear()
+            for group in self._replicas:
+                for replica in group:
+                    replica.outstanding = 0
+        for record in stranded:
+            record.request._settle(RequestStatus.FAILED, error=reason)
+            if self.metrics is not None:
+                self.metrics.on_response(record.request.network,
+                                         RequestStatus.FAILED, None)
+        return len(stranded)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    def outstanding(self, shard: int | None = None) -> int:
+        with self._lock:
+            groups = self._replicas if shard is None \
+                else [self._replicas[shard]]
+            return sum(r.outstanding for g in groups for r in g)
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def shard_stats(self) -> list:
+        """Per-shard snapshot for the autoscaler."""
+        with self._lock:
+            stats = []
+            for shard, group in enumerate(self._replicas):
+                live = [r for r in group if r.accepting]
+                stats.append({
+                    "shard": shard,
+                    "replicas": len(live),
+                    "outstanding": sum(r.outstanding for r in live),
+                    "capacity": self.capacity,
+                })
+            return stats

@@ -1,0 +1,70 @@
+"""Merge per-process span traces into one Perfetto-loadable timeline.
+
+Every worker's :class:`~repro.obs.SpanTracer` exports an
+:meth:`~repro.obs.SpanTracer.export_raw` snapshot carrying its raw
+events, its track map and its monotonic epoch ``t0_s``.  Because
+``time.monotonic`` is CLOCK_MONOTONIC on Linux — one clock shared by
+every process on the host — re-basing a worker's microsecond
+timestamps onto the router's timeline is a single additive offset, no
+clock-sync handshake required.  The merged trace shows the router
+(pid 1) and each worker (pid 2..N+1) as separate processes on one
+coherent time axis, so a request can be followed from ``route`` in the
+router straight into ``execute`` in whichever replica served it.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["merge_traces", "dump_merged_trace"]
+
+
+def merge_traces(parent_raw: dict, worker_raws: list) -> dict:
+    """Combine raw tracer exports into one Chrome trace-event JSON.
+
+    ``parent_raw`` defines the time base (its events keep ``ts`` as-is
+    and ``pid=1``); every entry of ``worker_raws`` is shifted by
+    ``(worker.t0_s - parent.t0_s) * 1e6`` and assigned the next pid.
+    Track ids are kept per-process, so same-named tracks in different
+    workers stay distinct lanes.
+    """
+    t0 = parent_raw["t0_s"]
+    events: list[dict] = []
+    meta: list[dict] = []
+    dropped = parent_raw.get("dropped", 0)
+
+    def add_process(raw: dict, pid: int, offset_us: float) -> None:
+        meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                     "tid": 0, "args": {"name": raw["process_name"]}})
+        meta.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                     "tid": 0, "args": {"sort_index": pid}})
+        for track, tid in sorted(raw["tracks"].items(),
+                                 key=lambda kv: kv[1]):
+            meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                         "tid": tid, "args": {"name": track}})
+            meta.append({"ph": "M", "name": "thread_sort_index",
+                         "pid": pid, "tid": tid,
+                         "args": {"sort_index": tid}})
+        for event in raw["events"]:
+            shifted = dict(event)
+            shifted["pid"] = pid
+            shifted["ts"] = event["ts"] + offset_us
+            events.append(shifted)
+
+    add_process(parent_raw, 1, 0.0)
+    for idx, raw in enumerate(worker_raws):
+        add_process(raw, 2 + idx, (raw["t0_s"] - t0) * 1e6)
+        dropped += raw.get("dropped", 0)
+
+    return {
+        "traceEvents": meta + sorted(events, key=lambda e: e["ts"]),
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_events": dropped,
+                      "processes": 1 + len(worker_raws)},
+    }
+
+
+def dump_merged_trace(trace: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")

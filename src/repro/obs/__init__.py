@@ -18,7 +18,7 @@ See ``docs/OBSERVABILITY.md``.
 
 from .metrics import (Counter, CounterFamily, Gauge, GaugeFamily,
                       HistogramFamily, LatencyHistogram, MetricsRegistry,
-                      REGISTRY)
+                      REGISTRY, escape_label_value, unescape_label_value)
 from .profiler import (Profile, ProfileNode, profile_cpu, profile_network,
                        region_paths_from_labels)
 from .spans import SpanTracer
@@ -26,6 +26,7 @@ from .spans import SpanTracer
 __all__ = [
     "Counter", "CounterFamily", "Gauge", "GaugeFamily", "HistogramFamily",
     "LatencyHistogram", "MetricsRegistry", "REGISTRY",
+    "escape_label_value", "unescape_label_value",
     "Profile", "ProfileNode", "profile_cpu", "profile_network",
     "region_paths_from_labels", "SpanTracer",
 ]

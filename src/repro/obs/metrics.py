@@ -22,7 +22,8 @@ import math
 import threading
 
 __all__ = ["Counter", "Gauge", "LatencyHistogram", "CounterFamily",
-           "GaugeFamily", "HistogramFamily", "MetricsRegistry", "REGISTRY"]
+           "GaugeFamily", "HistogramFamily", "MetricsRegistry", "REGISTRY",
+           "escape_label_value", "unescape_label_value"]
 
 
 class Counter:
@@ -248,9 +249,53 @@ def _check_metric_name(name: str) -> None:
         raise ValueError(f"invalid metric/label name {name!r}")
 
 
-def _escape_label(value: str) -> str:
+def escape_label_value(value) -> str:
+    """Escape a label value for the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format escapes inside quoted label values (in that order — the
+    backslash first, so escape sequences introduced here are not
+    themselves re-escaped).  Everything else, including ``/`` as used by
+    cluster worker ids like ``shard-0/replica-1``, passes through
+    verbatim.
+    """
     return (str(value).replace("\\", r"\\").replace("\n", r"\n")
             .replace('"', r'\"'))
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (exact round-trip).
+
+    A manual scan rather than chained ``str.replace`` because the
+    inverse substitutions are order-sensitive: ``\\\\n`` must decode to
+    a literal backslash + ``n``, not to a newline.
+    """
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ("\\", '"'):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+# Backwards-compatible internal alias.
+_escape_label = escape_label_value
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape only backslash and newline (no quoting)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _format_value(value) -> str:
@@ -340,7 +385,7 @@ class MetricsRegistry:
         lines = []
         for name, kind, help, samples in self.collect():
             if help:
-                lines.append(f"# HELP {name} {help}")
+                lines.append(f"# HELP {name} {_escape_help(help)}")
             lines.append(f"# TYPE {name} {kind}")
             for sample in samples:
                 labels, value = sample[0], sample[1]

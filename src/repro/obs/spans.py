@@ -95,6 +95,27 @@ class SpanTracer:
     def n_dropped(self) -> int:
         return self._dropped
 
+    def export_raw(self) -> dict:
+        """Portable snapshot for cross-process trace merging.
+
+        Contains the raw events, the track-name map, and the tracer's
+        monotonic epoch ``t0_s``.  On Linux ``time.monotonic`` is
+        CLOCK_MONOTONIC, which is shared by every process on the host,
+        so a parent can re-base a worker's microsecond timestamps onto
+        its own timeline with a single offset
+        (see :func:`repro.cluster.trace.merge_traces`).
+        """
+        with self._lock:
+            events = list(self._events)
+            tracks = dict(self._tracks)
+        return {
+            "process_name": self.process_name,
+            "t0_s": self._t0,
+            "events": events,
+            "tracks": tracks,
+            "dropped": self._dropped,
+        }
+
     def to_chrome_trace(self) -> dict:
         """The trace as a Chrome trace-event JSON object."""
         with self._lock:

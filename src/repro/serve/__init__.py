@@ -23,13 +23,20 @@ layers a production-shaped runtime on top of the bit-exact golden model:
   (p50/p95/p99), breaker-state gauges, fault/retry/repair counters,
   plus estimated simulated cycles per request from the static
   ``network_trace`` model; dumpable as JSON.
-* :mod:`repro.serve.loadgen` — an open-loop Poisson load generator and
-  the ``serve-bench`` CLI backend that writes ``BENCH_serve.json``.
+* :mod:`repro.serve.loadgen` — an open-loop load generator (Poisson,
+  diurnal, Markov-modulated bursty, multi-tenant mixes) and the
+  ``serve-bench`` CLI backend that writes ``BENCH_serve.json``.
 * :mod:`repro.serve.chaos` — the ``chaos-bench`` CLI backend: the same
   load generator under a scripted :class:`repro.faults.FaultInjector`
   scenario, reporting availability, goodput vs. the fault-free
   baseline, breaker recovery and integrity repairs into
   ``BENCH_chaos.json``.
+* :mod:`repro.serve.shutdown` — :class:`GracefulShutdown`, mapping the
+  first SIGINT/SIGTERM to a drain event so interrupted bench runs
+  still write partial results.
+
+Scaling this engine beyond one process — sharding, replica balancing,
+worker supervision and autoscaling — lives in :mod:`repro.cluster`.
 """
 
 from .batched import BatchedQuantModel
@@ -37,8 +44,10 @@ from .breaker import BreakerState, CircuitBreaker
 from .chaos import default_scenario, render_chaos_table, run_chaos_bench
 from .engine import (EngineConfig, InferenceEngine, ModelRegistry, Request,
                      RequestStatus)
-from .loadgen import LoadGenerator, run_serve_bench, sequential_baseline
+from .loadgen import (LoadGenerator, TrafficModel, make_tenant_stream,
+                      run_serve_bench, sequential_baseline)
 from .metrics import Counter, Gauge, LatencyHistogram, ServeMetrics
+from .shutdown import GracefulShutdown
 
 __all__ = [
     "BatchedQuantModel",
@@ -50,11 +59,14 @@ __all__ = [
     "Request",
     "RequestStatus",
     "LoadGenerator",
+    "TrafficModel",
+    "make_tenant_stream",
     "run_serve_bench",
     "sequential_baseline",
     "default_scenario",
     "render_chaos_table",
     "run_chaos_bench",
+    "GracefulShutdown",
     "Counter",
     "Gauge",
     "LatencyHistogram",

@@ -93,14 +93,16 @@ def golden_outputs(networks, stream, level: str, seed: int) -> tuple:
 
 def _drive(networks, config: EngineConfig, stream, rate_rps: float,
            seed: int, expected, injector=None,
-           recovery_budget_s: float = 3.0, tracer=None) -> dict:
+           recovery_budget_s: float = 3.0, tracer=None,
+           stop_event=None) -> dict:
     """One load-generator pass; returns accounting incl. correctness."""
     engine = InferenceEngine(networks=networks, config=config,
                              metrics=ServeMetrics(),
                              fault_injector=injector, tracer=tracer)
     for network in networks:  # warm the registry outside the timed region
         engine.registry.get(network, config.level)
-    generator = LoadGenerator(engine, rate_rps, seed=seed, timeout_s=None)
+    generator = LoadGenerator(engine, rate_rps, seed=seed, timeout_s=None,
+                              stop_event=stop_event)
     with engine:
         run = generator.run(stream)
         probes = _probe_open_breakers(engine, stream, recovery_budget_s)
@@ -189,7 +191,8 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
                     integrity_check_every: int = 5, seed: int = 2020,
                     scenario: FaultPlan | None = None,
                     out_path: str | None = None,
-                    trace_out: str | None = None) -> dict:
+                    trace_out: str | None = None,
+                    stop_event=None) -> dict:
     """The ``chaos-bench`` experiment: fault-free baseline, then chaos.
 
     Returns the JSON-ready result dict; also writes it to ``out_path``
@@ -211,14 +214,16 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
     plan = scenario if scenario is not None \
         else default_scenario(networks, n_requests, seed=seed)
 
-    baseline = _drive(networks, config, stream, rate_rps, seed, expected)
+    baseline = _drive(networks, config, stream, rate_rps, seed, expected,
+                      stop_event=stop_event)
     injector = FaultInjector(plan, seed=seed)
     tracer = None
     if trace_out:
         from ..obs import SpanTracer
         tracer = SpanTracer(process_name="repro.serve chaos-bench")
     chaos = _drive(networks, config, stream, rate_rps, seed, expected,
-                   injector=injector, tracer=tracer)
+                   injector=injector, tracer=tracer,
+                   stop_event=stop_event)
 
     engine = chaos.pop("engine")
     baseline_engine = baseline.pop("engine")
@@ -241,6 +246,8 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
             "seed": seed,
         },
         "scenario": plan.to_dict(),
+        "interrupted": bool(baseline.get("interrupted")
+                            or chaos.get("interrupted")),
         "chaos": chaos,
         "baseline": baseline,
         "availability": chaos["availability"],

@@ -95,6 +95,12 @@ class Request:
     latency: float | None = None
     batch_size: int | None = None
     error: str | None = None
+    #: Optional ``callable(request)`` invoked exactly once, after the
+    #: request reaches a terminal status (from whichever thread settles
+    #: it).  The cluster worker uses this to ship responses back over
+    #: its pipe without polling; exceptions are swallowed so a broken
+    #: callback can never kill an engine worker thread.
+    on_settle: object = field(default=None, repr=False)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
 
@@ -121,6 +127,11 @@ class Request:
         self.batch_size = batch_size
         self.error = error
         self._done.set()
+        if self.on_settle is not None:
+            try:
+                self.on_settle(self)
+            except Exception:
+                pass
 
 
 @dataclass
@@ -339,7 +350,8 @@ class InferenceEngine:
 
     def __init__(self, networks=None, config: EngineConfig | None = None,
                  scale: int | None = None, metrics: ServeMetrics | None = None,
-                 clock=time.monotonic, fault_injector=None, tracer=None):
+                 clock=time.monotonic, fault_injector=None, tracer=None,
+                 registry: ModelRegistry | None = None):
         self.config = config or EngineConfig()
         self.networks = tuple(networks) if networks is not None \
             else suite(scale)
@@ -351,7 +363,10 @@ class InferenceEngine:
         self.tracer = tracer
         self._injector_metrics = self.metrics if tracer is None \
             else _TracingMetricsProxy(self.metrics, tracer)
-        self.registry = ModelRegistry(seed=self.config.seed)
+        #: ``registry`` is injectable so a cluster worker can serve from
+        #: the shared quantized-weight store instead of re-quantizing.
+        self.registry = registry if registry is not None \
+            else ModelRegistry(seed=self.config.seed)
         self._queues = {net.name: _NetworkQueue(net) for net in self.networks}
         self._ids = itertools.count(1)
         self._running = False
@@ -549,7 +564,7 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Submission.
     def submit(self, network_name: str, x_raw,
-               timeout_s: float | None = None) -> Request:
+               timeout_s: float | None = None, on_settle=None) -> Request:
         """Enqueue one inference; returns immediately with a request handle.
 
         ``x_raw`` is a raw Q3.12 input vector ``(in_size,)`` or a
@@ -558,6 +573,9 @@ class InferenceEngine:
         deadline is rejected, never silently served late.  While the
         network's circuit breaker is open the request is rejected
         immediately (``rejected_unavailable``) without queueing.
+        ``on_settle`` (optional) is called once with the request when it
+        reaches a terminal status — including the synchronous rejection
+        paths below, which is why it is attached at construction.
         """
         queue = self._queues.get(network_name)
         if queue is None:
@@ -570,6 +588,7 @@ class InferenceEngine:
             submit_time=now,
             deadline=None if timeout_s is None else now + timeout_s,
             id=next(self._ids),
+            on_settle=on_settle,
         )
         request.trace_id = f"{network_name}-{request.id}"
         tracer = self.tracer
@@ -606,6 +625,20 @@ class InferenceEngine:
     def _report_depth(self, name: str, depth: int) -> None:
         total = sum(len(q.pending) for q in self._queues.values())
         self.metrics.on_queue_depth(name, depth, total)
+
+    # ------------------------------------------------------------------
+    # Introspection (cluster workers report these in load snapshots).
+    def queue_depths(self) -> dict:
+        """Current pending-queue depth per network (point-in-time)."""
+        return {name: len(q.pending) for name, q in self._queues.items()}
+
+    def total_queue_depth(self) -> int:
+        return sum(len(q.pending) for q in self._queues.values())
+
+    def breaker_states(self) -> dict:
+        """Current breaker state string per network."""
+        return {name: breaker.state
+                for name, breaker in self.breakers.items()}
 
     # ------------------------------------------------------------------
     # Worker.

@@ -1,0 +1,67 @@
+"""Autoscaler policy: watermarks, streaks, cooldown, bounds."""
+
+from repro.cluster.autoscaler import AutoscalerConfig, AutoscalerPolicy
+
+CFG = AutoscalerConfig(min_replicas=1, max_replicas=4,
+                       high_watermark=0.75, low_watermark=0.15,
+                       scale_up_ticks=2, scale_down_ticks=3,
+                       cooldown_ticks=2)
+
+
+def test_scale_up_after_streak():
+    policy = AutoscalerPolicy(CFG)
+    # capacity 10, 1 replica, 8 outstanding -> utilization 0.8
+    first = policy.observe(0, replicas=1, outstanding=8, capacity=10)
+    assert first.delta == 0 and "streak" in first.reason
+    second = policy.observe(0, replicas=1, outstanding=8, capacity=10)
+    assert second.delta == +1
+
+
+def test_single_hot_tick_does_not_scale():
+    policy = AutoscalerPolicy(CFG)
+    policy.observe(0, 1, 9, 10)
+    # Load fell back in-band: the streak resets.
+    assert policy.observe(0, 1, 5, 10).delta == 0
+    assert policy.observe(0, 1, 9, 10).delta == 0
+
+
+def test_scale_down_slower_than_up():
+    policy = AutoscalerPolicy(CFG)
+    for _ in range(CFG.scale_down_ticks - 1):
+        assert policy.observe(0, 2, 0, 10).delta == 0
+    assert policy.observe(0, 2, 0, 10).delta == -1
+
+
+def test_cooldown_freezes_shard():
+    policy = AutoscalerPolicy(CFG)
+    policy.observe(0, 1, 8, 10)
+    assert policy.observe(0, 1, 8, 10).delta == +1
+    for _ in range(CFG.cooldown_ticks):
+        decision = policy.observe(0, 2, 20, 10)
+        assert decision.delta == 0 and "cooldown" in decision.reason
+    # Cooldown expired; hot streak builds again from zero.
+    policy.observe(0, 2, 20, 10)
+    assert policy.observe(0, 2, 20, 10).delta == +1
+
+
+def test_bounds_respected():
+    policy = AutoscalerPolicy(CFG)
+    for _ in range(10):
+        assert policy.observe(0, CFG.max_replicas, 100, 10).delta == 0
+    policy = AutoscalerPolicy(CFG)
+    for _ in range(10):
+        assert policy.observe(0, CFG.min_replicas, 0, 10).delta == 0
+
+
+def test_shards_tracked_independently():
+    policy = AutoscalerPolicy(CFG)
+    policy.observe(0, 1, 8, 10)
+    # Shard 1's quiet ticks must not disturb shard 0's hot streak.
+    policy.observe(1, 1, 0, 10)
+    assert policy.observe(0, 1, 8, 10).delta == +1
+
+
+def test_utilization_reported():
+    policy = AutoscalerPolicy(CFG)
+    decision = policy.observe(0, replicas=2, outstanding=5, capacity=10)
+    assert decision.utilization == 0.25

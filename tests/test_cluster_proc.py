@@ -1,0 +1,176 @@
+"""End-to-end cluster tests: real worker processes over real queues.
+
+These spawn actual ``multiprocessing`` workers (spawn start method), so
+they are the slowest tests in the suite — kept few and focused on what
+only a process boundary can prove: shared-memory weight transport,
+response-queue plumbing, process-kill failover and drain semantics.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterMetrics, ServingCluster
+from repro.cluster.autoscaler import ScaleDecision
+from repro.rrm.networks import suite
+from repro.serve.engine import EngineConfig, ModelRegistry
+
+NETWORKS = suite(4)
+SEED = 2020
+
+
+def _stream(n, seed=7):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        network = NETWORKS[int(rng.integers(len(NETWORKS)))]
+        x = np.asarray(rng.uniform(-1, 1, (network.timesteps,
+                                           network.input_size)) * 4096,
+                       dtype=np.int64)
+        out.append((network, x))
+    return out
+
+
+def _golden(stream):
+    registry = ModelRegistry(seed=SEED)
+    outputs = []
+    for network, x in stream:
+        entry = registry.get(network, "e")
+        entry.reference.reset()
+        outputs.append(entry.reference.forward(x))
+    return outputs
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = ServingCluster(
+        NETWORKS,
+        ClusterConfig(n_shards=2, replicas_per_shard=1,
+                      engine=EngineConfig(seed=SEED)),
+        metrics=ClusterMetrics())
+    cluster.start()
+    yield cluster
+    cluster.stop()
+
+
+class TestServing:
+    def test_bitexact_outputs_across_processes(self, cluster):
+        stream = _stream(30)
+        golden = _golden(stream)
+        requests = [cluster.submit(net.name, x, timeout_s=30.0)
+                    for net, x in stream]
+        for request in requests:
+            assert request.wait(timeout=60.0)
+        assert all(r.ok for r in requests), \
+            [(r.status, r.error) for r in requests if not r.ok]
+        for request, want in zip(requests, golden):
+            assert np.array_equal(request.output, want)
+
+    def test_requests_routed_to_owning_shard(self, cluster):
+        stream = _stream(20, seed=9)
+        requests = [cluster.submit(net.name, x, timeout_s=30.0)
+                    for net, x in stream]
+        for request in requests:
+            assert request.wait(timeout=60.0)
+        for (network, _), request in zip(stream, requests):
+            shard = cluster.plan.shard_of[network.name]
+            assert request.worker.startswith(f"shard-{shard}/")
+
+    def test_snapshot_reports_breakers(self, cluster):
+        snapshots = cluster.snapshot_workers(wait_s=5.0)
+        assert snapshots
+        for stats in snapshots.values():
+            assert stats is not None
+            assert set(stats["breakers"].values()) == {"closed"}
+            assert stats["queue_depth"] >= 0
+
+
+class TestProcessKill:
+    def test_kill_fails_over_and_respawns(self):
+        metrics = ClusterMetrics()
+        cluster = ServingCluster(
+            NETWORKS,
+            ClusterConfig(n_shards=1, replicas_per_shard=2,
+                          engine=EngineConfig(seed=SEED)),
+            metrics=metrics)
+        stream = _stream(40, seed=3)
+        golden = _golden(stream)
+        with cluster:
+            requests = []
+            killed = None
+            for i, (net, x) in enumerate(stream):
+                requests.append(cluster.submit(net.name, x,
+                                               timeout_s=60.0))
+                if i == len(stream) // 2:
+                    killed = cluster.kill_replica(0)
+            assert killed is not None
+            for request in requests:
+                assert request.wait(timeout=60.0)
+            # Every accepted request settles; the survivors (and any
+            # redispatched in-flights) complete bit-exactly.
+            done = [r for r in requests if r.ok]
+            assert len(done) >= len(requests) - 5
+            for request, want in zip(requests, golden):
+                if request.ok:
+                    assert np.array_equal(request.output, want)
+            deadline = time.monotonic() + 30.0
+            while (time.monotonic() < deadline
+                   and cluster.live_replica_count() < 2):
+                time.sleep(0.05)
+            assert cluster.live_replica_count() == 2  # respawned
+        totals = metrics.to_dict()["total"]
+        assert totals["proc_kills"] == 1
+        assert totals["proc_deaths"] == 1
+        assert totals["replica_starts"] >= 3
+        kinds = [e["event"] for e in cluster.events]
+        assert "proc_kill" in kinds and "proc_death" in kinds
+
+
+class TestScaling:
+    def test_retire_drains_and_worker_reports_final(self):
+        cluster = ServingCluster(
+            NETWORKS,
+            ClusterConfig(n_shards=1, replicas_per_shard=2,
+                          engine=EngineConfig(seed=SEED)))
+        with cluster:
+            assert cluster.live_replica_count() == 2
+            cluster._retire_one(ScaleDecision(shard=0, delta=-1,
+                                              utilization=0.0,
+                                              reason="test"))
+            retired = next(r for r in cluster.replicas()
+                           if not r.accepting)
+            assert retired.final.wait(timeout=60.0)
+            assert cluster.live_replica_count() == 1
+            # The remaining replica still serves the whole shard.
+            network, x = _stream(1, seed=5)[0]
+            request = cluster.submit(network.name, x, timeout_s=30.0)
+            assert request.wait(timeout=60.0) and request.ok
+        finals = cluster.worker_finals()
+        assert retired.name in finals
+        assert "metrics" in finals[retired.name]
+
+
+class TestStopSemantics:
+    def test_stop_settles_everything_and_unlinks_store(self):
+        cluster = ServingCluster(
+            NETWORKS,
+            ClusterConfig(n_shards=2, replicas_per_shard=1,
+                          engine=EngineConfig(seed=SEED)))
+        with cluster:
+            requests = [cluster.submit(net.name, x, timeout_s=30.0)
+                        for net, x in _stream(10, seed=11)]
+        assert all(r.wait(timeout=0) for r in requests)
+        assert cluster.router.inflight_count() == 0
+        # Worker finals arrived with aggregatable metrics.
+        finals = cluster.worker_finals()
+        assert len(finals) == 2
+        for payload in finals.values():
+            assert payload["metrics"]["total"]["submitted"] >= 0
+            assert payload["store_nbytes"] == cluster.store.nbytes
+        # The shared segment is gone (attach by name must fail).
+        if cluster.store.descriptor["mode"] == "shm":
+            from multiprocessing import shared_memory
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(
+                    name=cluster.store.descriptor["shm_name"])

@@ -1,0 +1,228 @@
+"""Router invariants: deterministic sharding/JSQ, admission control."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.router import ReplicaHandle, Router, ShardPlan
+from repro.rrm.networks import suite
+from repro.serve.engine import RequestStatus
+
+NETWORKS = suite(4)
+BY_NAME = {net.name: net for net in NETWORKS}
+
+
+class StubReplica(ReplicaHandle):
+    """Records forwarded items; completion is driven by the test."""
+
+    def __init__(self, shard, index):
+        super().__init__(shard=shard, index=index,
+                         name=f"shard-{shard}/replica-{index}")
+        self.received = []
+
+    def send(self, items):
+        self.received.extend(items)
+
+
+def _router(n_shards=2, replicas=2, capacity=4, **kw):
+    plan = ShardPlan(NETWORKS, n_shards)
+    router = Router(plan, capacity=capacity, **kw)
+    stubs = []
+    for shard in range(plan.n_shards):
+        for index in range(replicas):
+            stub = StubReplica(shard, index)
+            router.attach_replica(stub)
+            stubs.append(stub)
+    return router, stubs
+
+
+def _x(network, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.asarray(
+        rng.uniform(-1, 1, (network.timesteps, network.input_size)) * 4096,
+        dtype=np.int64)
+
+
+class TestShardPlan:
+    def test_every_network_mapped_exactly_once(self):
+        plan = ShardPlan(NETWORKS, 3)
+        assert sorted(plan.shard_of) == sorted(n.name for n in NETWORKS)
+        flattened = [n.name for nets in plan.networks_of for n in nets]
+        assert sorted(flattened) == sorted(plan.shard_of)
+
+    def test_balanced_within_one(self):
+        plan = ShardPlan(NETWORKS, 3)
+        sizes = [len(nets) for nets in plan.networks_of]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_stable_across_instances(self):
+        assert (ShardPlan(NETWORKS, 4).shard_of
+                == ShardPlan(NETWORKS, 4).shard_of)
+        # Independent of input ordering: sharding ranks by name hash.
+        shuffled = list(reversed(NETWORKS))
+        assert (ShardPlan(shuffled, 4).shard_of
+                == ShardPlan(NETWORKS, 4).shard_of)
+
+    def test_more_shards_than_networks_clamps(self):
+        plan = ShardPlan(NETWORKS, 100)
+        assert plan.n_shards == len(NETWORKS)
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        """Drive a fixed request trace; return the routing decisions."""
+        router, stubs = _router(capacity=3)
+        rng = np.random.default_rng(seed)
+        decisions = []
+        for i in range(60):
+            network = NETWORKS[int(rng.integers(len(NETWORKS)))]
+            request = router.submit(network.name, _x(network, i))
+            if request.status == RequestStatus.PENDING:
+                replica = next(s for s in stubs
+                               if any(rid == request.id
+                                      for rid, *_ in s.received))
+                decisions.append(("routed", network.name, replica.name))
+                # Complete every third accepted request so queues both
+                # grow and drain along the trace.
+                if i % 3 == 0:
+                    router.complete(request.id, RequestStatus.DONE,
+                                    None, 0.001, 1, None, replica.name)
+            else:
+                decisions.append((request.status, network.name, None))
+        return decisions
+
+    def test_same_seed_same_decisions(self):
+        assert self._trace(11) == self._trace(11)
+
+    def test_shard_assignment_follows_plan(self):
+        router, stubs = _router(capacity=100)
+        for network in NETWORKS:
+            router.submit(network.name, _x(network))
+        for stub in stubs:
+            for _, name, _, _ in stub.received:
+                assert (router.plan.shard_of[name] == stub.shard)
+
+    def test_jsq_prefers_lowest_outstanding_then_index(self):
+        router, stubs = _router(n_shards=1, replicas=3, capacity=10)
+        network = NETWORKS[0]
+        first = router.submit(network.name, _x(network))
+        # Tie on outstanding=0 broken by index -> replica 0.
+        assert stubs[0].received and not stubs[1].received
+        second = router.submit(network.name, _x(network))
+        assert stubs[1].received  # JSQ: replica 0 now has depth 1
+        router.complete(first.id, RequestStatus.DONE, None, 0.0, 1,
+                        None, stubs[0].name)
+        router.submit(network.name, _x(network))
+        # Replica 0 drained back to 0, replica 2 also at 0: index wins.
+        assert len(stubs[0].received) == 2
+        assert second.status == RequestStatus.PENDING
+
+
+class TestBackpressure:
+    def test_sheds_at_capacity_without_queueing(self):
+        router, stubs = _router(n_shards=1, replicas=2, capacity=2)
+        network = NETWORKS[0]
+        accepted = [router.submit(network.name, _x(network))
+                    for _ in range(4)]
+        assert all(r.status == RequestStatus.PENDING for r in accepted)
+        shed = router.submit(network.name, _x(network))
+        assert shed.status == RequestStatus.REJECTED_CAPACITY
+        assert shed.wait(timeout=0)  # settled synchronously
+        # Nothing was forwarded for the shed request.
+        total = sum(len(s.received) for s in stubs)
+        assert total == 4
+
+    def test_saturated_shard_does_not_touch_healthy_shard(self):
+        router, stubs = _router(n_shards=2, replicas=1, capacity=1)
+        shard_nets = {shard: [n for n in NETWORKS
+                              if router.plan.shard_of[n.name] == shard]
+                      for shard in (0, 1)}
+        hot = shard_nets[0][0]
+        cold = shard_nets[1][0]
+        router.submit(hot.name, _x(hot))
+        shed = router.submit(hot.name, _x(hot))
+        assert shed.status == RequestStatus.REJECTED_CAPACITY
+        ok = router.submit(cold.name, _x(cold))
+        assert ok.status == RequestStatus.PENDING
+        cold_stub = next(s for s in stubs if s.shard == 1)
+        assert len(cold_stub.received) == 1
+
+    def test_no_live_replica_rejects_unavailable(self):
+        router, stubs = _router(n_shards=1, replicas=1)
+        stubs[0].accepting = False
+        request = router.submit(NETWORKS[0].name, _x(NETWORKS[0]))
+        assert request.status == RequestStatus.REJECTED_UNAVAILABLE
+
+    def test_unknown_network_raises(self):
+        router, _ = _router()
+        with pytest.raises(KeyError):
+            router.submit("nope", np.zeros(4, dtype=np.int64))
+
+
+class TestFailover:
+    def test_dead_replica_inflight_redispatches_to_survivor(self):
+        router, stubs = _router(n_shards=1, replicas=2, capacity=8)
+        network = NETWORKS[0]
+        requests = [router.submit(network.name, _x(network, i))
+                    for i in range(4)]
+        dead, survivor = stubs[0], stubs[1]
+        assert dead.received and survivor.received
+        dead_rids = {rid for rid, *_ in dead.received}
+        counts = router.fail_replica(dead)
+        assert counts["redispatched"] == len(dead_rids)
+        assert counts["failed"] == 0
+        # Every request the dead replica held was re-sent to the
+        # survivor with the same rid and payload.
+        survivor_rids = {rid for rid, *_ in survivor.received}
+        assert dead_rids <= survivor_rids
+        assert all(r.status == RequestStatus.PENDING for r in requests)
+        assert dead.outstanding == 0
+
+    def test_redispatch_bound_settles_failed(self):
+        router, stubs = _router(n_shards=1, replicas=2, capacity=8)
+        router.max_redispatch = 0
+        network = NETWORKS[0]
+        request = router.submit(network.name, _x(network))
+        counts = router.fail_replica(stubs[0])
+        assert counts == {"redispatched": 0, "failed": 1}
+        assert request.status == RequestStatus.FAILED
+
+    def test_fail_all_inflight(self):
+        router, _ = _router(n_shards=1, replicas=1, capacity=8)
+        network = NETWORKS[0]
+        requests = [router.submit(network.name, _x(network, i))
+                    for i in range(3)]
+        assert router.fail_all_inflight("teardown") == 3
+        assert all(r.status == RequestStatus.FAILED for r in requests)
+        assert router.inflight_count() == 0
+
+
+class TestCompletion:
+    def test_complete_settles_with_latency_and_worker(self):
+        router, stubs = _router(n_shards=1, replicas=1)
+        network = NETWORKS[0]
+        request = router.submit(network.name, _x(network))
+        out = np.arange(3)
+        router.complete(request.id, RequestStatus.DONE, out, 0.004, 5,
+                        None, stubs[0].name)
+        assert request.ok
+        assert np.array_equal(request.result(timeout=0), out)
+        assert request.service_latency == 0.004
+        assert request.batch_size == 5
+        assert request.worker == stubs[0].name
+        assert request.latency is not None and request.latency >= 0
+        assert stubs[0].outstanding == 0
+
+    def test_late_response_for_unknown_rid_is_ignored(self):
+        router, stubs = _router(n_shards=1, replicas=1)
+        router.complete(10_000, RequestStatus.DONE, None, 0.0, 1, None,
+                        stubs[0].name)  # must not raise
+
+    def test_on_routed_hook_sees_per_shard_counts(self):
+        seen = []
+        router, _ = _router(n_shards=2, replicas=1, capacity=100,
+                            on_routed=lambda s, c: seen.append((s, c)))
+        for network in NETWORKS:
+            router.submit(network.name, _x(network))
+        for shard in (0, 1):
+            counts = [c for s, c in seen if s == shard]
+            assert counts == list(range(1, len(counts) + 1))

@@ -1,0 +1,116 @@
+"""Shared weight store: layout round-trip, immutability, registry parity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.store import SharedWeightStore, StoreBackedRegistry
+from repro.rrm.networks import suite
+from repro.serve.engine import ModelRegistry
+
+NETWORKS = suite(4)
+
+
+@pytest.fixture()
+def store():
+    store = SharedWeightStore.create(NETWORKS, seed=2020)
+    yield store
+    store.unlink()
+
+
+def test_roundtrip_bitexact_vs_registry(store):
+    registry = ModelRegistry(seed=2020)
+    for network in NETWORKS:
+        want = registry.get(network, "e").params_raw
+        got = store.params_for(network.name)
+        assert len(got) == len(want)
+        for layer_want, layer_got in zip(want, got):
+            assert sorted(layer_want) == sorted(layer_got)
+            for key in layer_want:
+                assert layer_got[key].dtype == np.int64
+                assert np.array_equal(layer_want[key], layer_got[key])
+
+
+def test_attach_sees_same_bits(store):
+    attached = SharedWeightStore.attach(store.descriptor)
+    try:
+        name = NETWORKS[0].name
+        for layer_a, layer_b in zip(store.params_for(name),
+                                    attached.params_for(name)):
+            for key in layer_a:
+                assert np.array_equal(layer_a[key], layer_b[key])
+    finally:
+        attached.close()
+
+
+def test_shared_views_are_readonly(store):
+    params = store.params_for(NETWORKS[0].name)
+    array = next(iter(params[0].values()))
+    with pytest.raises(ValueError):
+        array[...] = 0
+
+
+def test_private_copies_are_writable_and_isolated(store):
+    name = NETWORKS[0].name
+    private = store.params_for(name, copy=True)
+    array = next(iter(private[0].values()))
+    key = next(iter(private[0]))
+    original = array.copy()
+    array += 1  # a chaos bit-flip analogue
+    shared = store.params_for(name)
+    assert np.array_equal(shared[0][key], original)
+
+
+def test_unknown_network_raises(store):
+    with pytest.raises(KeyError):
+        store.params_for("nope")
+
+
+def test_nbytes_positive(store):
+    assert store.nbytes > 0
+    assert store.nbytes % 8 == 0
+
+
+def test_store_backed_registry_matches_plain_registry(store):
+    plain = ModelRegistry(seed=2020)
+    backed = StoreBackedRegistry(store, seed=2020)
+    network = NETWORKS[0]
+    a = plain.get(network, "e")
+    b = backed.get(network, "e")
+    assert a.cycles_per_request == b.cycles_per_request
+    assert a.checksums == b.checksums
+    x = np.asarray(
+        np.random.default_rng(0).uniform(
+            -1, 1, (network.timesteps, network.input_size)) * 4096,
+        dtype=np.int64)
+    a.reference.reset()
+    b.reference.reset()
+    assert np.array_equal(a.reference.forward(x), b.reference.forward(x))
+
+
+def test_store_backed_registry_mutable_mode_repairs(store):
+    backed = StoreBackedRegistry(store, seed=2020, mutable=True)
+    entry = backed.get(NETWORKS[0], "e")
+    array = next(iter(entry.params_raw[0].values()))
+    array[0] ^= 1  # corrupt one weight
+    assert backed.verify(entry)
+    assert backed.repair(entry) >= 1
+    assert not backed.verify(entry)
+
+
+def test_inline_fallback_roundtrip():
+    store = SharedWeightStore.create(NETWORKS[:2], seed=2020)
+    inline = SharedWeightStore(
+        None, {**store.descriptor, "mode": "inline",
+               "params": {net.name:
+                          [dict(layer) for layer in
+                           store.params_for(net.name, copy=True)]
+                          for net in NETWORKS[:2]}}, owner=True)
+    try:
+        name = NETWORKS[0].name
+        for layer_a, layer_b in zip(store.params_for(name),
+                                    inline.params_for(name)):
+            for key in layer_a:
+                assert np.array_equal(layer_a[key], layer_b[key])
+        assert inline.nbytes == store.nbytes
+    finally:
+        store.unlink()

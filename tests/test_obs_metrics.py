@@ -190,6 +190,56 @@ class TestRegistry:
         json.dumps(reg.to_dict())
 
 
+class TestLabelEscapingRoundTrip:
+    """escape_label_value must invert exactly via unescape_label_value."""
+
+    CASES = (
+        "plain",
+        "shard-0/replica-1",          # cluster worker ids: '/' verbatim
+        'quote " inside',
+        "back\\slash",
+        "new\nline",
+        "\\n",                         # literal backslash-n, NOT newline
+        '\\"',                         # literal backslash-quote
+        "mix \\ of \" all\n three \\\\",
+        "",
+        "trailing backslash \\",
+    )
+
+    def test_round_trip_exact(self):
+        from repro.obs.metrics import (escape_label_value,
+                                       unescape_label_value)
+        for value in self.CASES:
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped  # exposition lines stay one-line
+            assert unescape_label_value(escaped) == value
+
+    def test_escape_order_backslash_first(self):
+        # If '"' were escaped before '\\', the backslash introduced by
+        # the quote escape would be doubled and the round trip broken.
+        from repro.obs.metrics import (escape_label_value,
+                                       unescape_label_value)
+        assert escape_label_value('"') == r'\"'
+        assert unescape_label_value(r'\\n') == "\\n"
+        assert unescape_label_value(r'\n') == "\n"
+
+    def test_worker_label_survives_exposition(self):
+        from repro.obs.metrics import escape_label_value
+        reg = MetricsRegistry()
+        fam = reg.counter("w_total", "", ("worker",))
+        fam.inc(worker="shard-0/replica-1")
+        text = reg.prometheus_text()
+        assert 'w_total{worker="shard-0/replica-1"} 1' in text
+        assert escape_label_value("shard-0/replica-1") == \
+            "shard-0/replica-1"
+
+    def test_help_text_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("h_total", "line one\nline \\ two").inc()
+        text = reg.prometheus_text()
+        assert r"# HELP h_total line one\nline \\ two" in text
+
+
 class TestServeMetricsBridge:
     def test_serve_metrics_register_and_expose(self):
         from repro.serve.metrics import ServeMetrics
