@@ -306,6 +306,9 @@ def _cmd_chaos_bench(args) -> int:
                 seed=args.seed,
                 out_path=args.out,
                 stop_event=stop.event,
+                abft=not args.no_abft,
+                hedge=not args.no_hedge,
+                ipc_faults=not args.no_ipc_faults,
             )
         print(render_cluster_chaos_table(result))
         if args.out:
@@ -327,6 +330,7 @@ def _cmd_chaos_bench(args) -> int:
             out_path=args.out,
             trace_out=args.trace_out,
             stop_event=stop.event,
+            abft=not args.no_abft,
         )
     print(render_chaos_table(result))
     if args.out:
@@ -577,6 +581,16 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--workers", type=int, default=4,
                          help="total cluster worker processes with "
                               "--cluster (default: 4)")
+    p_chaos.add_argument("--no-abft", action="store_true",
+                         help="serve with the plain batched model "
+                              "(injected SDC then corrupts results "
+                              "silently instead of being detected)")
+    p_chaos.add_argument("--no-hedge", action="store_true",
+                         help="--cluster only: disable hedged retries "
+                              "and the retry budget")
+    p_chaos.add_argument("--no-ipc-faults", action="store_true",
+                         help="--cluster only: perfect router<->worker "
+                              "pipes (no message-level fault injection)")
     p_chaos.add_argument("--seed", type=int, default=2020)
     p_chaos.add_argument("--out", default="BENCH_chaos.json",
                          help="JSON results path ('' to skip writing)")

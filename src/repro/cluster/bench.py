@@ -27,6 +27,10 @@ import time
 
 import numpy as np
 
+from ..resilience.channel import ChannelFaultPlan
+from ..resilience.hedging import HedgePolicy
+from ..resilience.invariants import (check_breaker_transitions,
+                                     check_router_invariants)
 from ..serve.chaos import default_scenario, golden_outputs
 from ..serve.engine import EngineConfig, InferenceEngine
 from ..serve.loadgen import (LoadGenerator, TrafficModel,
@@ -67,7 +71,19 @@ def _accounting(requests, expected_by_id: dict, clock_elapsed: float,
     rejected = sum(1 for r in requests
                    if r.status.startswith("rejected"))
     accepted = len(requests) - rejected
+    failure_reasons: dict = {}
+    incorrect_by_network: dict = {}
+    for i, r in enumerate(requests):
+        if r.status == "failed":
+            reason = r.error or "unknown"
+            failure_reasons[reason] = failure_reasons.get(reason, 0) + 1
+        elif r.ok and not np.array_equal(r.output, expected_by_id[i]):
+            incorrect_by_network[r.network] = \
+                incorrect_by_network.get(r.network, 0) + 1
     return {
+        "failure_reasons": dict(sorted(failure_reasons.items())),
+        "incorrect_by_network": dict(sorted(
+            incorrect_by_network.items())),
         "offered_rate_rps": rate_rps,
         "interrupted": interrupted,
         "submitted": len(requests),
@@ -332,6 +348,14 @@ def _default_kill_schedule(cluster: ServingCluster,
     return schedule
 
 
+#: Default message-fault mix for ``chaos-bench --cluster`` IPC chaos:
+#: every fault family represented, biased towards the recoverable
+#: kinds, summing well under 1 so most traffic still passes clean.
+DEFAULT_CHANNEL_FAULTS = ChannelFaultPlan(
+    drop_p=0.015, duplicate_p=0.02, corrupt_p=0.03, reorder_p=0.02,
+    delay_p=0.03, delay_s=0.02)
+
+
 def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
                             n_requests: int = 300,
                             duration_s: float = 3.0,
@@ -344,13 +368,22 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
                             kill_schedule: dict | None = None,
                             recovery_budget_s: float = 3.0,
                             out_path: str | None = None,
-                            stop_event=None) -> dict:
+                            stop_event=None, abft: bool = True,
+                            hedge: bool = True,
+                            ipc_faults: bool = True,
+                            timeout_s: float | None = 5.0) -> dict:
     """``chaos-bench --cluster``: scripted faults + worker-process kills.
 
-    Every worker runs the standard in-process fault scenario through
-    its own seeded injector; on top, ``kill_schedule`` (default: one
-    kill per shard at ~40% of its expected traffic) SIGKILLs live
-    worker processes at deterministic per-shard routed-request counts.
+    Every worker runs the standard in-process fault scenario (now
+    including activation SDC, caught by ABFT when ``abft``) through its
+    own seeded injector; on top, ``kill_schedule`` (default: one kill
+    per shard at ~40% of its expected traffic) SIGKILLs live worker
+    processes at deterministic per-shard routed-request counts, and
+    ``ipc_faults`` injects seeded message-level drop/duplicate/corrupt/
+    reorder/delay faults on every router↔worker pipe.  ``hedge``
+    enables p95 hedged retries under a token-bucket budget — the
+    recovery path for dropped messages.  The run ends with the
+    exactly-once invariant checker over the router audit log.
     """
     from ..rrm.networks import suite
     networks = suite(scale)
@@ -359,11 +392,22 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
     engine_config = EngineConfig(
         level=level, max_batch_size=max_batch_size,
         max_linger_s=max_linger_s, seed=seed,
-        integrity_check_every=integrity_check_every)
+        integrity_check_every=integrity_check_every, abft=abft)
     stream = make_request_stream(networks, n_requests, seed=seed)
     expected, sequential = golden_outputs(networks, stream, level, seed)
-    plan = default_scenario(networks, n_requests, seed=seed)
-    n_shards, replicas = worker_layout(workers, len(networks))
+    if hedge or ipc_faults:
+        # Hedges and NAK redispatches need a second replica in every
+        # shard to land on; fold the worker budget into fewer, deeper
+        # shards instead of the default one-replica spread.
+        n_shards, replicas = worker_layout(
+            workers, min(len(networks), max(1, workers // 2)))
+    else:
+        n_shards, replicas = worker_layout(workers, len(networks))
+    # Fault windows count per-replica, per-network sequence numbers;
+    # JSQ splits a shard's traffic across its replicas, so scale the
+    # windows down to what a single replica actually sees.
+    plan = default_scenario(networks, max(1, n_requests // replicas),
+                            seed=seed)
 
     holder: dict = {"cluster": None, "killed": {}}
 
@@ -379,7 +423,10 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
     cluster = ServingCluster(
         networks,
         ClusterConfig(n_shards=n_shards, replicas_per_shard=replicas,
-                      capacity=capacity, engine=engine_config),
+                      capacity=capacity, engine=engine_config,
+                      hedge=HedgePolicy() if hedge else None,
+                      channel_faults=(DEFAULT_CHANNEL_FAULTS
+                                      if ipc_faults else None)),
         fault_plan=plan, metrics=metrics, on_routed=on_routed)
     holder["cluster"] = cluster
     holder["schedule"] = (kill_schedule if kill_schedule is not None
@@ -388,7 +435,7 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
     probes = 0
     with cluster:
         run = _drive_cluster(cluster, stream, rate_rps, seed, expected,
-                             None, None, stop_event=stop_event)
+                             timeout_s, None, stop_event=stop_event)
         probes = _probe_cluster_breakers(cluster, stream,
                                          recovery_budget_s)
     cluster_metrics = metrics.to_dict()
@@ -405,6 +452,46 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
     injected = sum(len(payload.get("fault_log", []))
                    for payload in finals.values())
 
+    # Invariants: exactly-once + post-stop deadline discipline from the
+    # router audit, legal transitions from every worker's breaker log.
+    invariants = None
+    if cluster.audit is not None:
+        invariants = check_router_invariants(
+            cluster.audit.events(), stop_t=cluster.stopped_at,
+            dropped=cluster.audit.dropped)
+        for payload in finals.values():
+            invariants = invariants.merge(check_breaker_transitions(
+                payload.get("breaker_events", [])))
+    totals = cluster_metrics["total"]
+    fleet = cluster_metrics["fleet_engine_totals"]
+    resilience = {
+        "abft": abft,
+        "hedge": hedge,
+        "ipc_faults": ipc_faults,
+        "hedges": totals["hedges"],
+        "hedge_wins": totals["hedge_wins"],
+        "retry_budget_denied": totals["hedge_denied"],
+        "duplicate_responses": totals["duplicate_responses"],
+        "ipc_rejects": totals["ipc_rejects"],
+        "naks": totals["naks"],
+        "suspects": totals["suspects"],
+        "sdc_detections": fleet.get("sdc_detections", 0),
+        "sdc_repairs": fleet.get("sdc_repairs", 0),
+        "sdc_reruns": fleet.get("sdc_reruns", 0),
+    }
+    if cluster.retry_budget is not None:
+        resilience["retry_budget"] = cluster.retry_budget.snapshot()
+    if cluster.channel_log is not None:
+        resilience["channel_faults"] = {
+            "injected_events": len(cluster.channel_log),
+            "by_kind": cluster.channel_log.counts(),
+            "log_sha256": cluster.channel_log.digest(),
+            "log": cluster.channel_log.canonical(),
+        }
+    if invariants is not None:
+        resilience["invariants_ok"] = invariants.ok
+        resilience["invariants"] = invariants.to_dict()
+
     result = {
         "bench": "cluster-chaos",
         "config": {
@@ -419,6 +506,10 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
             "capacity": capacity,
             "integrity_check_every": integrity_check_every,
             "seed": seed,
+            "abft": abft,
+            "hedge": hedge,
+            "ipc_faults": ipc_faults,
+            "timeout_s": timeout_s,
         },
         "cpu_count": os.cpu_count(),
         "scenario": plan.to_dict(),
@@ -428,8 +519,10 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
                            for k, v in holder["killed"].items()},
         **{key: run[key] for key in
            ("interrupted", "submitted", "completed", "correct",
-            "incorrect", "failed", "accepted", "availability",
-            "goodput_rps", "elapsed_s", "achieved_throughput_rps")},
+            "incorrect", "failed", "failure_reasons",
+            "incorrect_by_network", "accepted", "availability",
+            "goodput_rps", "elapsed_s",
+            "achieved_throughput_rps")},
         "rejected": run["rejected_timeout"] + run["rejected_capacity"]
             + run["rejected_unavailable"],
         "recovery_probes": probes,
@@ -443,6 +536,7 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
         "all_breakers_reclosed": all_reclosed,
         "faults": {"injected_events": injected,
                    "per_worker_log_sha256": fault_digests},
+        "resilience": resilience,
         "cluster_metrics": cluster_metrics,
         "events": [{k: v for k, v in event.items()}
                    for event in cluster.events],
@@ -555,6 +649,29 @@ def render_cluster_chaos_table(result: dict) -> str:
                  f"  (recovery probes: {result['recovery_probes']})")
     lines.append(f"incorrect / failed  {result['incorrect']:>9d} / "
                  f"{result['failed']}")
+    res = result.get("resilience")
+    if res is not None:
+        lines.append(f"hedges              {res['hedges']:>9d}"
+                     f"  ({res['hedge_wins']} won, "
+                     f"{res['retry_budget_denied']} budget-denied, "
+                     f"{res['duplicate_responses']} duplicate responses "
+                     "absorbed)")
+        channel = res.get("channel_faults")
+        if channel is not None:
+            lines.append(f"ipc faults          "
+                         f"{channel['injected_events']:>9d}"
+                         f"  {channel['by_kind']}  "
+                         f"(naks: {res['naks']}, rejects: "
+                         f"{res['ipc_rejects']}, sha256 "
+                         f"{channel['log_sha256'][:16]}…)")
+        lines.append(f"sdc / abft          {res['sdc_detections']:>9d}"
+                     f" detected  ({res['sdc_repairs']} repairs, "
+                     f"{res['sdc_reruns']} reruns)")
+        if "invariants_ok" in res:
+            status = "ok" if res["invariants_ok"] else "VIOLATED"
+            lines.append(f"invariants          {status:>9}"
+                         "  (exactly-once, deadline discipline, "
+                         "breaker edges)")
     if result.get("interrupted"):
         lines.append("note: run interrupted -- partial results")
     return "\n".join(lines)

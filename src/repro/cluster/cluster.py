@@ -30,6 +30,18 @@ queue; one *supervisor* thread watches process liveness and runs the
 autoscaler tick.  All worker communication is queue-based — the parent
 never shares mutable state with a worker except the read-only weight
 segment.
+
+Resilience wiring (:mod:`repro.resilience`): every wire item is CRC32
+framed end to end; a corrupt request is NAKed by the worker, a corrupt
+response is rejected by the collector, both feeding the router's
+redispatch path.  Worker heartbeats drive a phi-accrual failure
+detector whose suspicion penalizes JSQ routing; the supervisor tick
+issues hedged retries for p95-slow requests under a token-bucket retry
+budget; and an optional :class:`~repro.resilience.channel.
+ChannelFaultPlan` injects seeded message-level faults on every
+router↔worker pipe for chaos runs.  Stop (or an unexpected supervisor
+exit) settles every still-pending request as ``rejected_unavailable``
+so no caller ever hangs on ``result()``.
 """
 
 from __future__ import annotations
@@ -42,7 +54,12 @@ import threading
 import time
 from dataclasses import dataclass, field, replace
 
-from ..serve.engine import EngineConfig
+from ..resilience.channel import (ChannelFaultLog, FaultyChannel,
+                                  attach_crc, check_crc)
+from ..resilience.detector import PhiAccrualDetector
+from ..resilience.hedging import RetryBudget
+from ..resilience.invariants import RouterAudit
+from ..serve.engine import EngineConfig, RequestStatus
 from .autoscaler import AutoscalerConfig, AutoscalerPolicy
 from .metrics import ClusterMetrics
 from .router import ReplicaHandle, Router, ShardPlan
@@ -78,6 +95,19 @@ class ClusterConfig:
     flush_interval_s: float = 0.002
     #: Seconds start()/stop() wait for worker handshakes.
     handshake_timeout_s: float = 60.0
+    #: Hedged-retry policy (:class:`~repro.resilience.hedging.
+    #: HedgePolicy`); ``None`` disables hedging and the retry budget.
+    hedge: object = None
+    #: Message-level IPC fault plan (:class:`~repro.resilience.channel.
+    #: ChannelFaultPlan`); ``None`` means perfect pipes.
+    channel_faults: object = None
+    #: Phi-accrual failure detection over worker heartbeats (suspicion
+    #: penalizes JSQ routing; replaces trust in fixed-interval polls).
+    adaptive_detector: bool = True
+    #: Worker heartbeat cadence (detector input); 0 disables.
+    heartbeat_interval_s: float = 0.05
+    #: Record a router audit log for post-run invariant checking.
+    audit: bool = True
 
     @property
     def seed(self) -> int:
@@ -85,18 +115,26 @@ class ClusterConfig:
 
 
 class _ProcReplica(ReplicaHandle):
-    """A ReplicaHandle backed by a worker process and its inbox queue."""
+    """A ReplicaHandle backed by a worker process and its inbox queue.
 
-    def __init__(self, shard: int, index: int, name: str, in_q, process):
+    Request items are CRC32-framed before they hit the queue; when a
+    chaos run configures channel faults, the framed items pass through
+    a per-replica ``tx`` :class:`~repro.resilience.channel.
+    FaultyChannel` on the way.
+    """
+
+    def __init__(self, shard: int, index: int, name: str, in_q, process,
+                 tx_channel: FaultyChannel | None = None):
         super().__init__(shard=shard, index=index, name=name)
         self.in_q = in_q
         self.process = process
+        self.tx_channel = tx_channel
         self.ready = threading.Event()
         self.final = threading.Event()
         #: True when the parent retired/killed it on purpose.
         self.expected_exit = False
 
-    def send(self, items) -> None:
+    def _put(self, items) -> None:
         try:
             self.in_q.put(("req", items))
         except (ValueError, OSError):
@@ -104,6 +142,13 @@ class _ProcReplica(ReplicaHandle):
             # router's accepting-check and this send): the supervisor
             # redispatches the in-flight entries it finds.
             pass
+
+    def send(self, items) -> None:
+        framed = [attach_crc(item) for item in items]
+        if self.tx_channel is not None:
+            self.tx_channel.send(framed)
+        else:
+            self._put(framed)
 
 
 class ServingCluster:
@@ -139,26 +184,52 @@ class ServingCluster:
         if self.config.trace:
             from ..obs.spans import SpanTracer
             self.tracer = SpanTracer(process_name="repro.cluster/router")
+        self.detector = (PhiAccrualDetector()
+                         if self.config.adaptive_detector else None)
+        self.audit = RouterAudit() if self.config.audit else None
+        #: Retry budget exists only alongside hedging — without it,
+        #: dead-replica redispatch keeps its PR-6 always-affordable
+        #: semantics.
+        self.retry_budget = (RetryBudget()
+                             if self.config.hedge is not None else None)
+        self.channel_log = (ChannelFaultLog()
+                            if self.config.channel_faults is not None
+                            else None)
         self.router = Router(self.plan, capacity=self.config.capacity,
                              metrics=self.metrics, tracer=self.tracer,
-                             on_routed=on_routed)
+                             on_routed=on_routed,
+                             hedge=self.config.hedge,
+                             budget=self.retry_budget,
+                             suspicion=self._suspicion,
+                             audit=self.audit)
         self.store: SharedWeightStore | None = None
         self._ctx = multiprocessing.get_context("spawn")
         self._out_q = None
         self._replicas: list[_ProcReplica] = []
+        self._rx_channels: dict[str, FaultyChannel] = {}
+        self._suspected: set[str] = set()
         self._next_index = [0] * self.plan.n_shards
         self._restarts_used = 0
         self._lock = threading.Lock()
         self._running = False
         self._stop_event = threading.Event()
+        self._stop_supervisor = threading.Event()
         self._collector: threading.Thread | None = None
         self._supervisor: threading.Thread | None = None
         self._policy = AutoscalerPolicy(self.config.autoscaler)
         self._last_stats: dict[str, dict] = {}
         self._worker_finals: dict[str, dict] = {}
         self._worker_traces: list[dict] = []
+        #: Monotonic timestamp of stop() entry (invariant checking).
+        self.stopped_at: float | None = None
         #: Scaling/lifecycle event log (mirrors engine.breaker_events).
         self.events: list[dict] = []
+
+    def _suspicion(self, name: str) -> float:
+        """JSQ routing penalty from the phi-accrual detector."""
+        if self.detector is None:
+            return 0.0
+        return self.detector.penalty(name)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -168,6 +239,7 @@ class ServingCluster:
                 return self
             self._running = True
         self._stop_event.clear()
+        self._stop_supervisor.clear()
         self.store = SharedWeightStore.create(self.networks,
                                               seed=self.config.seed)
         self._out_q = self._ctx.Queue()
@@ -206,13 +278,30 @@ class ServingCluster:
             fault_seed=self.config.seed,
             trace=self.config.trace,
             flush_interval_s=self.config.flush_interval_s,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
         )
         in_q = self._ctx.Queue()
         process = self._ctx.Process(target=worker_main,
                                     args=(spec, in_q, self._out_q),
                                     name=name, daemon=True)
         process.start()
-        replica = _ProcReplica(shard, index, name, in_q, process)
+        tx_channel = None
+        if self.config.channel_faults is not None:
+            def _deliver_tx(items, _q=in_q):
+                try:
+                    _q.put(("req", items))
+                except (ValueError, OSError):
+                    pass
+            tx_channel = FaultyChannel(name, "tx",
+                                       self.config.channel_faults,
+                                       self.config.seed, _deliver_tx,
+                                       log=self.channel_log)
+            self._rx_channels[name] = FaultyChannel(
+                name, "rx", self.config.channel_faults, self.config.seed,
+                lambda items, _name=name: self._handle_res(_name, items),
+                log=self.channel_log)
+        replica = _ProcReplica(shard, index, name, in_q, process,
+                               tx_channel=tx_channel)
         with self._lock:
             self._replicas.append(replica)
         self.router.attach_replica(replica)
@@ -225,6 +314,8 @@ class ServingCluster:
             if not self._running:
                 return
             self._running = False
+        self.stopped_at = time.monotonic()
+        self._stop_supervisor.set()
         if self._supervisor is not None:
             self._supervisor.join(timeout=10.0)
             self._supervisor = None
@@ -232,6 +323,10 @@ class ServingCluster:
         for replica in live:
             replica.accepting = False
             replica.expected_exit = True
+            # Flush any tx-held (delayed/reordered) requests ahead of
+            # the stop sentinel so the worker's drain still sees them.
+            if replica.tx_channel is not None:
+                replica.tx_channel.close()
             try:
                 replica.in_q.put(("stop",))
             except (ValueError, OSError):
@@ -244,13 +339,25 @@ class ServingCluster:
         if self._collector is not None:
             self._collector.join(timeout=10.0)
             self._collector = None
+        # Responses still held by rx fault channels must NOT settle
+        # after the stranded sweep below — a delayed DONE landing past
+        # its deadline post-stop would violate exactly-once accounting.
+        for channel in list(self._rx_channels.values()):
+            dropped = channel.drop_pending()
+            if dropped:
+                self._log_event("rx_dropped_at_stop", worker=channel.name,
+                                count=dropped)
         for replica in self.replicas():
             replica.process.join(timeout=5.0)
             if replica.process.is_alive():
                 replica.process.terminate()
                 replica.process.join(timeout=5.0)
             replica.in_q.close()
-        stranded = self.router.fail_all_inflight("cluster stopped")
+        # Whatever is still unsettled (dropped responses, requests on a
+        # worker that never answered) is rejected now: stop() guarantees
+        # every ClusterRequest settles — no caller hangs on result().
+        stranded = self.router.fail_all_inflight(
+            "cluster stopped", status=RequestStatus.REJECTED_UNAVAILABLE)
         if stranded and self.tracer is not None:
             self.tracer.instant("stop:stranded", "router",
                                 args={"count": stranded})
@@ -275,6 +382,23 @@ class ServingCluster:
 
     # ------------------------------------------------------------------
     # Collector: the single reader of the shared response queue.
+    def _handle_res(self, worker_name: str, batch) -> None:
+        """Verify and complete one batch of framed response items."""
+        for item in batch:
+            if not check_crc(item):
+                # Corrupt in transit; the rid field is intact by
+                # construction, so withdraw that leg and redispatch.
+                self.metrics.on_ipc_reject(worker_name)
+                self._log_event("ipc_reject", worker=worker_name,
+                                rid=int(item[0]))
+                self.router.nak(worker_name, [item[0]],
+                                reason="response corrupt in transit")
+                continue
+            (rid, status, output, service_latency, batch_size,
+             error) = item[:6]
+            self.router.complete(rid, status, output, service_latency,
+                                 batch_size, error, worker_name)
+
     def _collect_loop(self) -> None:
         while True:
             try:
@@ -284,13 +408,26 @@ class ServingCluster:
                     return
                 continue
             kind = message[0]
+            # Any traffic from a worker proves the process is alive.
+            if self.detector is not None and len(message) > 1 \
+                    and isinstance(message[1], str):
+                self.detector.heartbeat(message[1])
             if kind == "res":
                 _, worker_name, batch = message
-                for (rid, status, output, service_latency, batch_size,
-                     error) in batch:
-                    self.router.complete(rid, status, output,
-                                         service_latency, batch_size,
-                                         error, worker_name)
+                channel = self._rx_channels.get(worker_name)
+                if channel is not None:
+                    channel.send(batch)
+                else:
+                    self._handle_res(worker_name, batch)
+            elif kind == "hb":
+                pass  # heartbeat already recorded above
+            elif kind == "nak":
+                _, worker_name, rids = message
+                for rid in rids:
+                    self._log_event("worker_nak", worker=worker_name,
+                                    rid=int(rid))
+                self.router.nak(worker_name, rids,
+                                reason="request corrupt in transit")
             elif kind == "ready":
                 _, worker_name, pid = message
                 replica = self._find(worker_name)
@@ -320,20 +457,62 @@ class ServingCluster:
         return None
 
     # ------------------------------------------------------------------
-    # Supervisor: liveness + autoscaling.
+    # Supervisor: liveness + suspicion + hedging + autoscaling.
     def _supervise_loop(self) -> None:
         last_scale = time.monotonic()
-        while self._running:
-            time.sleep(self.config.supervise_interval_s)
-            for replica in self.replicas():
-                if (replica.accepting
-                        and not replica.process.is_alive()):
-                    self._handle_death(replica)
-            if (self.config.autoscale
-                    and time.monotonic() - last_scale
-                    >= self.config.autoscale_interval_s):
-                last_scale = time.monotonic()
-                self._autoscale_tick()
+        try:
+            # Event.wait instead of bare sleep: stop() interrupts the
+            # tick immediately instead of paying up to a full interval.
+            while not self._stop_supervisor.wait(
+                    self.config.supervise_interval_s):
+                for replica in self.replicas():
+                    if (replica.accepting
+                            and not replica.process.is_alive()):
+                        self._handle_death(replica)
+                self._suspicion_tick()
+                self.router.hedge_tick()
+                self.router.reap_expired()
+                self._flush_channels()
+                if (self.config.autoscale
+                        and time.monotonic() - last_scale
+                        >= self.config.autoscale_interval_s):
+                    last_scale = time.monotonic()
+                    self._autoscale_tick()
+        finally:
+            if self._running:
+                # The supervisor died (or was never cleanly stopped)
+                # while the cluster still thinks it is serving: nothing
+                # will redispatch or settle in-flight work any more, so
+                # settle it here — no request may hang forever.
+                self.router.fail_all_inflight(
+                    "supervisor exited",
+                    status=RequestStatus.REJECTED_UNAVAILABLE)
+
+    def _suspicion_tick(self) -> None:
+        """Track phi-threshold crossings per live worker."""
+        if self.detector is None:
+            return
+        for replica in self.replicas():
+            name = replica.name
+            if not replica.accepting:
+                self._suspected.discard(name)
+                continue
+            if self.detector.is_suspect(name):
+                if name not in self._suspected:
+                    self._suspected.add(name)
+                    self.metrics.on_suspect(name)
+                    self._log_event("suspect", worker=name,
+                                    phi=self.detector.phi(name))
+            else:
+                self._suspected.discard(name)
+
+    def _flush_channels(self) -> None:
+        """Release due delayed items on every fault channel."""
+        for replica in self.replicas():
+            if replica.tx_channel is not None:
+                replica.tx_channel.flush()
+        for channel in list(self._rx_channels.values()):
+            channel.flush()
 
     def _handle_death(self, replica: _ProcReplica) -> None:
         exitcode = replica.process.exitcode
@@ -344,6 +523,9 @@ class ServingCluster:
             self.tracer.instant("proc_death", "supervisor",
                                 args={"worker": replica.name,
                                       "exitcode": exitcode})
+        if self.detector is not None:
+            self.detector.forget(replica.name)
+        self._suspected.discard(replica.name)
         counts = self.router.fail_replica(
             replica, reason=f"worker process {replica.name} died "
                             f"(exit {exitcode})")

@@ -25,9 +25,13 @@ __all__ = ["ClusterMetrics"]
 
 _ROUTER_COUNTERS = ("submitted", "routed", "shed_capacity",
                     "shed_unavailable", "completed", "failed",
-                    "redispatched")
+                    "redispatched", "hedges", "hedge_wins",
+                    "hedge_denied")
 _LIFECYCLE_COUNTERS = ("proc_deaths", "proc_kills", "replica_starts",
                        "replica_retired")
+#: Resilience counters keyed per worker (IPC integrity + suspicion).
+_RESILIENCE_COUNTERS = ("duplicate_responses", "ipc_rejects", "naks",
+                        "suspects")
 
 
 class ClusterMetrics:
@@ -36,10 +40,15 @@ class ClusterMetrics:
     def __init__(self):
         self._lock = threading.Lock()
         self._totals = {name: 0 for name in
-                        _ROUTER_COUNTERS + _LIFECYCLE_COUNTERS}
+                        _ROUTER_COUNTERS + _LIFECYCLE_COUNTERS
+                        + _RESILIENCE_COUNTERS}
         self._per_network: dict[str, dict] = {}
         #: End-to-end latency (router submit -> router settle).
         self._latency: dict[str, LatencyHistogram] = {}
+        #: Fleet-wide latency histogram (the hedge-threshold p95 source).
+        self._overall_latency = LatencyHistogram()
+        #: Per-worker resilience counters.
+        self._per_worker: dict[str, dict] = {}
         #: Peak router-side queue depth seen per replica.
         self._peak_depth: dict[str, int] = {}
         #: Final ServeMetrics dicts, keyed by worker name.
@@ -84,9 +93,49 @@ class ClusterMetrics:
                 if hist is None:
                     hist = self._latency[network] = LatencyHistogram()
                 hist.record(latency)
+                self._overall_latency.record(latency)
 
     def on_redispatch(self, network: str) -> None:
         self._bump(network, "redispatched")
+
+    def overall_p95(self) -> float | None:
+        """Fleet-wide p95 end-to-end latency (hedge-threshold input)."""
+        return self._overall_latency.percentile(0.95)
+
+    # ------------------------------------------------------------------
+    # Resilience hooks (hedging, IPC integrity, failure detection).
+    def on_hedge(self, network: str) -> None:
+        self._bump(network, "hedges")
+
+    def on_hedge_win(self, network: str) -> None:
+        self._bump(network, "hedge_wins")
+
+    def on_hedge_denied(self, network: str) -> None:
+        """A hedge or redispatch was denied by the retry budget."""
+        self._bump(network, "hedge_denied")
+
+    def _bump_worker(self, worker: str, name: str) -> None:
+        with self._lock:
+            self._totals[name] += 1
+            counters = self._per_worker.setdefault(
+                worker, {key: 0 for key in _RESILIENCE_COUNTERS})
+            counters[name] += 1
+
+    def on_duplicate_response(self, worker: str) -> None:
+        """A response arrived for a rid with no in-flight record."""
+        self._bump_worker(worker, "duplicate_responses")
+
+    def on_ipc_reject(self, worker: str) -> None:
+        """A wire item failed its CRC at the receiver and was dropped."""
+        self._bump_worker(worker, "ipc_rejects")
+
+    def on_nak(self, worker: str) -> None:
+        """A receiver NAKed a corrupt request item back to the router."""
+        self._bump_worker(worker, "naks")
+
+    def on_suspect(self, worker: str) -> None:
+        """The phi-accrual detector crossed its suspicion threshold."""
+        self._bump_worker(worker, "suspects")
 
     # ------------------------------------------------------------------
     # Lifecycle hooks (supervisor/autoscaler).
@@ -136,9 +185,12 @@ class ClusterMetrics:
             per_network = {name: dict(counters) for name, counters
                            in sorted(self._per_network.items())}
             peak_depth = dict(sorted(self._peak_depth.items()))
+            per_worker = {name: dict(counters) for name, counters
+                          in sorted(self._per_worker.items())}
         return {
             "total": totals,
             "per_network": per_network,
+            "per_worker_resilience": per_worker,
             "peak_replica_depth": peak_depth,
             "latency": self.latency_summary(),
             "fleet_engine_totals": self.fleet_totals(),
@@ -164,7 +216,7 @@ class ClusterMetrics:
             samples.append(({}, totals[name]))
             out.append((f"repro_cluster_{name}_total", "counter",
                         f"cluster router {name} count", samples))
-        for name in _LIFECYCLE_COUNTERS:
+        for name in _LIFECYCLE_COUNTERS + _RESILIENCE_COUNTERS:
             out.append((f"repro_cluster_{name}_total", "counter",
                         f"cluster {name} count", [({}, totals[name])]))
         latency_samples = []

@@ -109,8 +109,14 @@ class ClusterRequest:
     batch_size: int | None = None
     error: str | None = None
     worker: str | None = None
+    #: Monotonic timestamp of the effective settle (invariant checker).
+    settled_at: float | None = None
+    #: Settle calls absorbed after the first (hedge losers, dup faults).
+    duplicate_settles: int = 0
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
+    _settle_lock: threading.Lock = field(default_factory=threading.Lock,
+                                         repr=False)
 
     def wait(self, timeout: float | None = None) -> bool:
         return self._done.wait(timeout)
@@ -128,27 +134,46 @@ class ClusterRequest:
 
     def _settle(self, status: str, output=None, latency=None,
                 service_latency=None, batch_size=None, error=None,
-                worker=None) -> None:
-        if self._done.is_set():
-            return
-        self.status = status
-        self.output = output
-        self.latency = latency
-        self.service_latency = service_latency
-        self.batch_size = batch_size
-        self.error = error
-        self.worker = worker
-        self._done.set()
+                worker=None) -> bool:
+        """Settle exactly once; returns True iff this call won.
+
+        Later calls — the hedge loser's response, a duplicated wire
+        item, a redispatch racing a late answer — are absorbed and
+        counted, never published.
+        """
+        with self._settle_lock:
+            if self._done.is_set():
+                self.duplicate_settles += 1
+                return False
+            self.status = status
+            self.output = output
+            self.latency = latency
+            self.service_latency = service_latency
+            self.batch_size = batch_size
+            self.error = error
+            self.worker = worker
+            self.settled_at = time.monotonic()
+            self._done.set()
+        return True
 
 
 @dataclass
 class _Inflight:
-    """Router-side record of one forwarded, not-yet-responded request."""
+    """Router-side record of one forwarded, not-yet-responded request.
+
+    A record can have several outstanding *legs* (the primary dispatch
+    plus hedges); the first response settles the request and decrements
+    every leg.  ``replica`` stays the primary (first) leg so hedge wins
+    are attributable.
+    """
 
     request: ClusterRequest
     x_raw: np.ndarray
     replica: ReplicaHandle
     redispatches: int = 0
+    routed_at: float = 0.0
+    legs: dict = field(default_factory=dict)
+    hedges: int = 0
 
 
 class Router:
@@ -163,7 +188,8 @@ class Router:
 
     def __init__(self, plan: ShardPlan, capacity: int = 256,
                  clock=time.monotonic, metrics=None, tracer=None,
-                 on_routed=None, max_redispatch: int = 2):
+                 on_routed=None, max_redispatch: int = 2,
+                 hedge=None, budget=None, suspicion=None, audit=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.plan = plan
@@ -173,6 +199,18 @@ class Router:
         self.tracer = tracer
         self.on_routed = on_routed
         self.max_redispatch = max_redispatch
+        #: Optional :class:`repro.resilience.hedging.HedgePolicy`; when
+        #: set, :meth:`hedge_tick` re-dispatches p95-slow requests to a
+        #: shard survivor (first response wins).
+        self.hedge = hedge
+        #: Optional :class:`repro.resilience.hedging.RetryBudget`
+        #: gating every hedge *and* dead-replica redispatch.
+        self.budget = budget
+        #: Optional ``callable(replica_name) -> float`` added to the
+        #: JSQ key — the phi-accrual detector's routing penalty.
+        self.suspicion = suspicion
+        #: Optional :class:`repro.resilience.invariants.RouterAudit`.
+        self.audit = audit
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._replicas: list[list[ReplicaHandle]] = \
@@ -181,6 +219,19 @@ class Router:
         #: Per-shard count of successfully routed requests (the chaos
         #: kill-schedule key space).
         self.routed_per_shard = [0] * plan.n_shards
+
+    def _jsq_key(self, replica: ReplicaHandle):
+        if self.suspicion is None:
+            return (replica.outstanding, replica.index)
+        return (replica.outstanding + self.suspicion(replica.name),
+                replica.index)
+
+    def _audit_settle(self, request: ClusterRequest, effective: bool) \
+            -> None:
+        if self.audit is not None:
+            self.audit.record("settle", request.id, request.status,
+                              effective, request.settled_at,
+                              request.deadline)
 
     # ------------------------------------------------------------------
     # Replica membership (called by the cluster supervisor/autoscaler).
@@ -218,20 +269,38 @@ class Router:
         )
         if self.metrics is not None:
             self.metrics.on_submit(network_name)
+        if self.budget is not None:
+            self.budget.on_submit()
+        if self.audit is not None:
+            self.audit.record("submit", request.id, network_name,
+                              request.deadline)
         self._route(request, np.asarray(x_raw, dtype=np.int64), shard)
         return request
 
     def _route(self, request: ClusterRequest, x_raw: np.ndarray,
-               shard: int, redispatches: int = 0) -> None:
-        """Pick a replica (JSQ) and forward, or settle a rejection."""
+               shard: int, redispatches: int = 0,
+               avoid: str | None = None) -> None:
+        """Pick a replica (JSQ) and forward, or settle a rejection.
+
+        ``avoid`` steers a redispatch away from a replica whose channel
+        just proved lossy (a NAKed corrupt item) — resending over the
+        same link tends to repeat the fault; a sibling replica gets an
+        independent path.  It is a preference, not a hard exclusion: a
+        single-replica shard still resends on the only link it has.
+        """
         with self._lock:
             live = [r for r in self._replicas[shard] if r.accepting]
+            if avoid is not None:
+                others = [r for r in live if r.name != avoid]
+                if others:
+                    live = others
             if not live:
                 self._settle_locked(request, RequestStatus.
                                     REJECTED_UNAVAILABLE)
                 return
-            # Join-shortest-queue; deterministic tie-break on index.
-            chosen = min(live, key=lambda r: (r.outstanding, r.index))
+            # Join-shortest-queue (plus any suspicion penalty);
+            # deterministic tie-break on index.
+            chosen = min(live, key=self._jsq_key)
             if chosen.outstanding >= self.capacity:
                 self._settle_locked(request,
                                     RequestStatus.REJECTED_CAPACITY)
@@ -239,7 +308,8 @@ class Router:
             chosen.outstanding += 1
             self._inflight[request.id] = _Inflight(
                 request=request, x_raw=x_raw, replica=chosen,
-                redispatches=redispatches)
+                redispatches=redispatches, routed_at=self.clock(),
+                legs={chosen.name: chosen})
             self.routed_per_shard[shard] += 1
             routed = self.routed_per_shard[shard]
             depth = chosen.outstanding
@@ -257,7 +327,8 @@ class Router:
             self.on_routed(shard, routed)
 
     def _settle_locked(self, request: ClusterRequest, status: str) -> None:
-        request._settle(status)
+        effective = request._settle(status)
+        self._audit_settle(request, effective)
         if self.metrics is not None:
             self.metrics.on_router_reject(request.network, status)
         if self.tracer is not None:
@@ -272,15 +343,29 @@ class Router:
         with self._lock:
             record = self._inflight.pop(rid, None)
             if record is not None:
-                record.replica.outstanding = \
-                    max(0, record.replica.outstanding - 1)
+                # First response wins: every outstanding leg (primary
+                # plus hedges) is decremented now; any later responses
+                # for this rid find no record and are counted as
+                # duplicates below.
+                for leg in record.legs.values():
+                    leg.outstanding = max(0, leg.outstanding - 1)
         if record is None:
-            return  # late response for a request the router already failed
+            # Late/duplicate response: a hedge loser, a duplicated wire
+            # item, or an answer to a request the router already failed.
+            if self.metrics is not None:
+                self.metrics.on_duplicate_response(worker_name)
+            if self.audit is not None:
+                self.audit.record("duplicate_response", rid, worker_name)
+            return
         latency = self.clock() - record.request.submit_time
-        record.request._settle(status, output=output, latency=latency,
-                               service_latency=service_latency,
-                               batch_size=batch_size, error=error,
-                               worker=worker_name)
+        effective = record.request._settle(
+            status, output=output, latency=latency,
+            service_latency=service_latency, batch_size=batch_size,
+            error=error, worker=worker_name)
+        self._audit_settle(record.request, effective)
+        if (record.hedges > 0 and worker_name != record.replica.name
+                and self.metrics is not None):
+            self.metrics.on_hedge_win(record.request.network)
         if self.metrics is not None:
             self.metrics.on_response(record.request.network, status,
                                      latency)
@@ -294,40 +379,204 @@ class Router:
 
         Inference is pure and idempotent, so in-flight requests are
         *redispatched* to the shard's surviving replicas (bounded by
-        ``max_redispatch`` per request and by each request's deadline)
-        instead of failing straight away; anything not redispatchable
-        settles FAILED.  Returns counts for the supervisor's log.
+        ``max_redispatch`` per request, by each request's deadline, and
+        by the retry budget when one is configured) instead of failing
+        straight away; anything not redispatchable settles FAILED.  A
+        request that still has a live hedge leg on another replica is
+        left in flight — the surviving leg can settle it.  Returns
+        counts for the supervisor's log.
         """
         replica.accepting = False
         with self._lock:
-            stranded = [(rid, rec) for rid, rec in self._inflight.items()
-                        if rec.replica is replica]
-            for rid, _ in stranded:
+            stranded = []
+            for rid, rec in list(self._inflight.items()):
+                if replica.name not in rec.legs:
+                    continue
+                del rec.legs[replica.name]
+                if rec.legs:
+                    continue  # a hedge leg survives; leave it in flight
                 del self._inflight[rid]
+                stranded.append(rec)
             replica.outstanding = 0
         redispatched = failed = 0
         now = self.clock()
-        for _, record in stranded:
+        for record in stranded:
             request = record.request
             expired = (request.deadline is not None
                        and now >= request.deadline)
-            if (redispatch and not expired
+            affordable = (self.budget is None or self.budget.try_spend())
+            if (redispatch and not expired and affordable
                     and record.redispatches < self.max_redispatch):
                 if self.metrics is not None:
                     self.metrics.on_redispatch(request.network)
+                if self.audit is not None:
+                    self.audit.record("redispatch", request.id,
+                                      replica.name)
                 self._route(request, record.x_raw,
                             self.plan.shard_of[request.network],
                             redispatches=record.redispatches + 1)
                 redispatched += 1
             else:
-                request._settle(RequestStatus.FAILED, error=reason)
+                if (redispatch and not expired and not affordable
+                        and self.metrics is not None):
+                    self.metrics.on_hedge_denied(request.network)
+                effective = request._settle(RequestStatus.FAILED,
+                                            error=reason)
+                self._audit_settle(request, effective)
                 if self.metrics is not None:
                     self.metrics.on_response(request.network,
                                              RequestStatus.FAILED, None)
                 failed += 1
         return {"redispatched": redispatched, "failed": failed}
 
-    def fail_all_inflight(self, reason: str) -> int:
+    def nak(self, worker_name: str, rids, reason: str = "ipc corrupt") \
+            -> int:
+        """Handle a receiver's rejection of specific wire items.
+
+        A worker that got a CRC-corrupt request item (or the collector,
+        for a corrupt response item) NAKs the rid back: the offending
+        leg is withdrawn and the request is redispatched (bounded by
+        ``max_redispatch`` and the deadline) or failed.  Unlike hedges,
+        a NAK retry is *not* charged to the retry budget: it reacts to
+        a positively detected transport error, not to speculation about
+        a slow replica, and the per-request redispatch cap already
+        bounds it.  Returns the number of rids acted on.
+        """
+        acted = 0
+        for rid in rids:
+            with self._lock:
+                record = self._inflight.get(rid)
+                if record is None:
+                    continue
+                leg = record.legs.pop(worker_name, None)
+                if leg is not None:
+                    leg.outstanding = max(0, leg.outstanding - 1)
+                if record.legs:
+                    acted += 1
+                    continue  # another leg may still answer
+                del self._inflight[rid]
+            acted += 1
+            request = record.request
+            now = self.clock()
+            expired = (request.deadline is not None
+                       and now >= request.deadline)
+            if self.metrics is not None:
+                self.metrics.on_nak(worker_name)
+            if (not expired
+                    and record.redispatches < self.max_redispatch):
+                if self.metrics is not None:
+                    self.metrics.on_redispatch(request.network)
+                if self.audit is not None:
+                    self.audit.record("redispatch", request.id,
+                                      worker_name)
+                self._route(request, record.x_raw,
+                            self.plan.shard_of[request.network],
+                            redispatches=record.redispatches + 1,
+                            avoid=worker_name)
+            else:
+                effective = request._settle(RequestStatus.FAILED,
+                                            error=reason)
+                self._audit_settle(request, effective)
+                if self.metrics is not None:
+                    self.metrics.on_response(request.network,
+                                             RequestStatus.FAILED, None)
+        return acted
+
+    def hedge_tick(self, now: float | None = None) -> int:
+        """Issue hedges for p95-slow in-flight requests (budgeted).
+
+        A request outstanding longer than
+        ``max(min_threshold, multiplier * fleet p95)`` gets one extra
+        leg on the least-loaded *other* replica of its shard, spending
+        one retry-budget token.  First response wins in
+        :meth:`complete`; the loser's answer is absorbed as a
+        duplicate.  Returns the number of hedges issued.
+        """
+        if self.hedge is None:
+            return 0
+        now = self.clock() if now is None else now
+        p95 = None
+        if self.metrics is not None and hasattr(self.metrics,
+                                                "overall_p95"):
+            p95 = self.metrics.overall_p95()
+        threshold = self.hedge.threshold(p95)
+        sends = []
+        with self._lock:
+            for rid, rec in self._inflight.items():
+                if len(rec.legs) >= self.hedge.max_legs:
+                    continue
+                if now - rec.routed_at < threshold:
+                    continue
+                request = rec.request
+                if (request.deadline is not None
+                        and now >= request.deadline):
+                    continue
+                shard = self.plan.shard_of[request.network]
+                live = [r for r in self._replicas[shard]
+                        if r.accepting and r.name not in rec.legs
+                        and r.outstanding < self.capacity]
+                if not live:
+                    continue
+                if self.budget is not None \
+                        and not self.budget.try_spend():
+                    if self.metrics is not None:
+                        self.metrics.on_hedge_denied(request.network)
+                    continue
+                chosen = min(live, key=self._jsq_key)
+                chosen.outstanding += 1
+                rec.legs[chosen.name] = chosen
+                rec.hedges += 1
+                # Reset the clock so one slow request doesn't re-hedge
+                # on every tick (max_legs still caps total legs).
+                rec.routed_at = now
+                sends.append((rid, rec, chosen))
+        for rid, rec, chosen in sends:
+            if self.metrics is not None:
+                self.metrics.on_hedge(rec.request.network)
+            if self.audit is not None:
+                self.audit.record("hedge", rid, chosen.name)
+            if self.tracer is not None:
+                self.tracer.instant("hedge", "router",
+                                    args={"rid": rid,
+                                          "replica": chosen.name})
+            chosen.send([(rid, rec.request.network, rec.x_raw,
+                          rec.request.deadline)])
+        return len(sends)
+
+    def reap_expired(self, grace_s: float = 1.0,
+                     now: float | None = None) -> int:
+        """Settle in-flight requests stuck past deadline + grace.
+
+        Workers settle their own timeouts, so a request can only linger
+        here when every response to it was lost in transit (a drop
+        fault, a queue torn down mid-flight).  Without this sweep such
+        a request would wait until cluster stop; with it, the caller
+        gets a deterministic FAILED once the deadline is ``grace_s``
+        stale.  Any genuinely late answer that still arrives is
+        absorbed as a duplicate.
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            stale = []
+            for rid, rec in list(self._inflight.items()):
+                deadline = rec.request.deadline
+                if deadline is not None and now - deadline > grace_s:
+                    del self._inflight[rid]
+                    for leg in rec.legs.values():
+                        leg.outstanding = max(0, leg.outstanding - 1)
+                    stale.append(rec)
+        for record in stale:
+            effective = record.request._settle(
+                RequestStatus.FAILED,
+                error="no response before deadline (reaped)")
+            self._audit_settle(record.request, effective)
+            if self.metrics is not None:
+                self.metrics.on_response(record.request.network,
+                                         RequestStatus.FAILED, None)
+        return len(stale)
+
+    def fail_all_inflight(self, reason: str,
+                          status: str = RequestStatus.FAILED) -> int:
         """Terminal cleanup: settle everything still outstanding."""
         with self._lock:
             stranded = list(self._inflight.values())
@@ -336,10 +585,11 @@ class Router:
                 for replica in group:
                     replica.outstanding = 0
         for record in stranded:
-            record.request._settle(RequestStatus.FAILED, error=reason)
+            effective = record.request._settle(status, error=reason)
+            self._audit_settle(record.request, effective)
             if self.metrics is not None:
                 self.metrics.on_response(record.request.network,
-                                         RequestStatus.FAILED, None)
+                                         status, None)
         return len(stranded)
 
     # ------------------------------------------------------------------

@@ -30,7 +30,6 @@ import numpy as np
 
 from ..nn.network import QuantModel, init_params, quantize_params
 from ..rrm.suite import network_trace, plan_for
-from ..serve.batched import BatchedQuantModel
 from ..serve.engine import ModelEntry, ModelRegistry, _param_checksums
 
 __all__ = ["SharedWeightStore", "StoreBackedRegistry"]
@@ -193,8 +192,8 @@ class StoreBackedRegistry(ModelRegistry):
     """
 
     def __init__(self, store: SharedWeightStore, seed: int = 2020,
-                 mutable: bool = False):
-        super().__init__(seed=seed)
+                 mutable: bool = False, abft: bool = False):
+        super().__init__(seed=seed, abft=abft)
         self._store = store
         self._mutable = mutable
 
@@ -208,7 +207,7 @@ class StoreBackedRegistry(ModelRegistry):
                 entry = ModelEntry(
                     network=network,
                     level=level,
-                    model=BatchedQuantModel(network, params),
+                    model=self._model_class()(network, params),
                     reference=QuantModel(network, params),
                     params_raw=params,
                     cycles_per_request=network_trace(

@@ -6,9 +6,18 @@ quantized-weight store.  The process boundary is crossed by exactly two
 ``multiprocessing`` queues:
 
 * **inbox** (parent -> worker): ``("req", [(rid, network, x_raw,
-  deadline_abs), ...])``, ``("snapshot",)`` and ``("stop",)`` tuples.
+  deadline_abs, crc), ...])``, ``("snapshot",)`` and ``("stop",)``
+  tuples.
 * **outbox** (worker -> parent, shared by all workers): responses and
   control messages, every one tagged with the worker name.
+
+Every request/response wire item carries a trailing CRC32
+(:mod:`repro.resilience.channel`): a corrupt request item is NAKed
+back to the router (``("nak", name, [rids])``) for redispatch instead
+of being served with flipped bits, and the parent's collector verifies
+response items symmetrically.  The outbox sender doubles as a
+heartbeat source (``("hb", name)`` every ``heartbeat_interval_s``) for
+the parent's phi-accrual failure detector.
 
 Responses are *coalesced*: a dedicated sender thread drains an internal
 buffer and ships every settled request it finds as one ``("res", name,
@@ -34,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience.channel import attach_crc, check_crc
 from ..serve.engine import EngineConfig, InferenceEngine
 from ..serve.metrics import ServeMetrics
 from .store import SharedWeightStore, StoreBackedRegistry
@@ -60,6 +70,9 @@ class WorkerSpec:
     trace: bool = False
     #: Seconds the outbox sender sleeps between coalescing sweeps.
     flush_interval_s: float = 0.002
+    #: Cadence of ``("hb", name)`` liveness messages (phi-accrual
+    #: detector input); 0 disables heartbeats.
+    heartbeat_interval_s: float = 0.05
 
 
 class _Outbox:
@@ -73,10 +86,13 @@ class _Outbox:
     process exits.
     """
 
-    def __init__(self, out_q, name: str, flush_interval_s: float):
+    def __init__(self, out_q, name: str, flush_interval_s: float,
+                 heartbeat_interval_s: float = 0.0):
         self._q = out_q
         self._name = name
         self._interval = flush_interval_s
+        self._hb_interval = heartbeat_interval_s
+        self._hb_due = 0.0
         self._buf: list = []
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -99,8 +115,14 @@ class _Outbox:
             self._q.put(("res", self._name, batch))
 
     def _run(self) -> None:
+        import time
         while not self._stop.wait(self._interval):
             self._drain()
+            if self._hb_interval > 0:
+                now = time.monotonic()
+                if now >= self._hb_due:
+                    self._hb_due = now + self._hb_interval
+                    self._q.put(("hb", self._name))
         self._drain()
 
     def close(self) -> None:
@@ -146,7 +168,8 @@ def worker_main(spec: WorkerSpec, in_q, out_q) -> None:
         from ..obs.spans import SpanTracer
         tracer = SpanTracer(process_name=f"repro.cluster/{spec.name}")
     registry = StoreBackedRegistry(store, seed=spec.config.seed,
-                                   mutable=injector is not None)
+                                   mutable=injector is not None,
+                                   abft=spec.config.abft)
     metrics = ServeMetrics()
     engine = InferenceEngine(networks=spec.networks, config=spec.config,
                              metrics=metrics, fault_injector=injector,
@@ -157,11 +180,12 @@ def worker_main(spec: WorkerSpec, in_q, out_q) -> None:
         engine.registry.get(network, spec.config.level)
     engine.start()
 
-    outbox = _Outbox(out_q, spec.name, spec.flush_interval_s)
+    outbox = _Outbox(out_q, spec.name, spec.flush_interval_s,
+                     heartbeat_interval_s=spec.heartbeat_interval_s)
     outbox.send_control(("ready", spec.name, os.getpid()))
 
     def on_settle(request) -> None:
-        outbox.put(_settle_payload(request))
+        outbox.put(attach_crc(_settle_payload(request)))
 
     clock = engine.clock
     running = True
@@ -169,16 +193,25 @@ def worker_main(spec: WorkerSpec, in_q, out_q) -> None:
         message = in_q.get()
         kind = message[0]
         if kind == "req":
-            for rid, network_name, x_raw, deadline in message[1]:
+            corrupted: list = []
+            for item in message[1]:
+                if not check_crc(item):
+                    # A flipped bit in transit: the rid field is never
+                    # corrupted by the injector, so NAK it back for
+                    # redispatch rather than serving garbage.
+                    corrupted.append(item[0])
+                    continue
+                rid, network_name, x_raw, deadline = item[:4]
                 timeout_s = None
                 if deadline is not None:
                     timeout_s = deadline - clock()
-                request = engine.submit(network_name, x_raw,
-                                        timeout_s=timeout_s,
-                                        on_settle=on_settle)
-                # Tag the engine request with the router's id so the
-                # settle callback can address the response.
-                request.cluster_rid = rid
+                # ``tag`` stamps the router's id on the engine request
+                # *before* any synchronous settle path can fire the
+                # callback, so the response is always addressable.
+                engine.submit(network_name, x_raw, timeout_s=timeout_s,
+                              on_settle=on_settle, tag=rid)
+            if corrupted:
+                outbox.send_control(("nak", spec.name, corrupted))
         elif kind == "snapshot":
             outbox.send_control(
                 ("stats", spec.name, {

@@ -127,6 +127,11 @@ class FaultInjector:
                     if self._first_time(spec_idx, network, seq):
                         self._bitflip(spec_idx, spec, network, seq, entry,
                                       metrics)
+            elif spec.kind == "sdc":
+                for _, seq in hits:
+                    if self._first_time(spec_idx, network, seq):
+                        self._sdc(spec_idx, spec, network, seq, entry,
+                                  metrics)
             elif spec.kind == "latency":
                 fresh = [seq for _, seq in hits
                          if self._first_time(spec_idx, network, seq)]
@@ -187,6 +192,36 @@ class FaultInjector:
             self._record("bitflip", network, seq, layer=layer_idx, key=key,
                          index=offset, bit=bit)
             self._count(metrics, network, "bitflip")
+
+    def _sdc(self, spec_idx: int, spec: FaultSpec, network: str,
+             seq: int, entry, metrics) -> None:
+        """Arm one silent-data-corruption event on the entry's model.
+
+        The corruption is a single-bit XOR into one element of the next
+        dense *accumulator* — compute state, not weights, so the CRC32
+        weight guard cannot see it.  It is applied by the model itself
+        on its next dense call and self-clears (transient upset); on a
+        plain :class:`BatchedQuantModel` it silently corrupts outputs,
+        on an :class:`~repro.resilience.abft.AbftBatchedModel` the
+        column checksum catches it with certainty (the flipped bit is
+        below bit 31, so the row sum changes mod 2**32).
+        """
+        arm = getattr(entry.model, "arm_sdc", None)
+        if arm is None:
+            return
+        rng = self._rng(spec_idx, seq)
+        row_draw = int(rng.integers(1 << 30))
+        col_draw = int(rng.integers(1 << 30))
+        bit = int(rng.integers(31))
+
+        def _corrupt_acc(acc, _row=row_draw, _col=col_draw, _bit=bit):
+            r = _row % acc.shape[0]
+            c = _col % acc.shape[1]
+            acc[r, c] = int(acc[r, c]) ^ (1 << _bit)
+
+        arm(_corrupt_acc)
+        self._record("sdc", network, seq, bit=bit)
+        self._count(metrics, network, "sdc")
 
     def _crash(self, spec_idx: int, spec: FaultSpec, network: str,
                hits, metrics):

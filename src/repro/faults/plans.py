@@ -45,6 +45,14 @@ Fault kinds (``FaultSpec.kind``):
     ``BaseException``) the first time a windowed request is executed,
     escaping the engine's batch guard and terminating the worker thread
     — the watchdog's job to detect and repair.
+
+``sdc``
+    Silent data corruption in *compute*: a single-bit XOR armed into
+    one element of the model's next dense accumulator (activation
+    state, invisible to the CRC32 weight guard), fired at most once per
+    windowed request.  A plain model serves the corrupted result
+    silently; the ABFT model (:mod:`repro.resilience.abft`) detects it
+    via integer column checksums, repairs and reruns.
 """
 
 from __future__ import annotations
@@ -54,7 +62,8 @@ from dataclasses import dataclass, field
 __all__ = ["FaultSpec", "FaultPlan", "InjectedCrash", "InjectedWorkerDeath",
            "FAULT_KINDS"]
 
-FAULT_KINDS = ("bitflip", "crash", "latency", "corrupt", "poison", "kill")
+FAULT_KINDS = ("bitflip", "crash", "latency", "corrupt", "poison", "kill",
+               "sdc")
 
 
 class InjectedCrash(RuntimeError):

@@ -1,0 +1,316 @@
+"""Deterministic message-level fault injection for router↔worker IPC.
+
+PR 6's cluster assumes the pipes between router and workers are
+perfect.  :class:`FaultyChannel` wraps one direction of one replica's
+transport and injects **drop**, **duplicate**, **reorder**, **corrupt**
+and **delay** faults, seeded exactly like :mod:`repro.faults`: every
+decision is drawn from ``default_rng([seed, channel_key, rid])`` where
+``channel_key = crc32(f"{name}:{direction}")`` — a pure function of
+the seed, the channel identity, and the request id.  Identical seeds
+and request populations therefore produce identical fault decisions
+regardless of thread/process timing, and every injected fault is
+recorded in a :class:`ChannelFaultLog` with a canonical SHA-256 digest.
+
+Integrity framing: senders append a CRC32 to every wire item
+(:func:`attach_crc`); ``corrupt`` flips a payload bit while leaving the
+CRC stale, so receivers detect corruption with :func:`check_crc`
+exactly as real transports detect line errors.  The corruptor never
+touches the rid field — receivers can always salvage *which* request
+was hit and NAK it back to the router for redispatch.
+
+Control messages (ready/stats/final/heartbeats) bypass fault channels:
+the scenario targets the data path, and a dropped ready handshake
+would just deadlock startup rather than exercise anything interesting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChannelFaultPlan", "ChannelFaultLog", "FaultyChannel",
+           "attach_crc", "check_crc", "item_crc"]
+
+#: decision order; cumulative probabilities are walked in this order.
+FAULT_ORDER = ("drop", "duplicate", "corrupt", "reorder", "delay")
+
+
+def _field_bytes(value) -> bytes:
+    if isinstance(value, np.ndarray):
+        return (str(value.dtype).encode() + b"|"
+                + repr(value.shape).encode() + b"|"
+                + np.ascontiguousarray(value).tobytes())
+    if value is None:
+        return b"\x00none"
+    if isinstance(value, float):
+        return repr(value).encode()
+    return str(value).encode()
+
+
+def item_crc(fields) -> int:
+    """CRC32 over the canonical encoding of a wire item's fields."""
+    crc = 0
+    for value in fields:
+        crc = zlib.crc32(_field_bytes(value), crc)
+        crc = zlib.crc32(b"\x1f", crc)
+    return crc
+
+
+def attach_crc(item: tuple) -> tuple:
+    """Frame one wire item: append its CRC32 as the last field."""
+    return item + (item_crc(item),)
+
+
+def check_crc(framed: tuple) -> bool:
+    """True iff the trailing CRC matches the preceding fields."""
+    return item_crc(framed[:-1]) == framed[-1]
+
+
+@dataclass(frozen=True)
+class ChannelFaultPlan:
+    """Per-direction fault probabilities for one run.
+
+    ``start``/``stop`` bound the active window in per-channel item
+    sequence numbers (first occurrence of each rid decides).  The
+    probabilities are cumulative-walked in :data:`FAULT_ORDER`; their
+    sum must be <= 1.
+    """
+
+    drop_p: float = 0.0
+    duplicate_p: float = 0.0
+    corrupt_p: float = 0.0
+    reorder_p: float = 0.0
+    delay_p: float = 0.0
+    delay_s: float = 0.02
+    start: int = 0
+    stop: int | None = None
+
+    def __post_init__(self):
+        total = (self.drop_p + self.duplicate_p + self.corrupt_p
+                 + self.reorder_p + self.delay_p)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault probabilities sum to {total} > 1")
+
+    def in_window(self, seq: int) -> bool:
+        return seq >= self.start and (self.stop is None or seq < self.stop)
+
+    def probabilities(self):
+        return (self.drop_p, self.duplicate_p, self.corrupt_p,
+                self.reorder_p, self.delay_p)
+
+
+class ChannelFaultLog:
+    """Thread-safe shared record of injected channel faults.
+
+    One log instance is shared by every channel of a run so the digest
+    covers the whole fabric.  Canonical order is
+    ``(channel, direction, rid, kind)`` — a pure function of the fault
+    *set*, independent of injection timing.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def record(self, channel: str, direction: str, rid: int, kind: str,
+               seq: int) -> None:
+        with self._lock:
+            self._events.append({"channel": channel, "dir": direction,
+                                 "rid": int(rid), "kind": kind,
+                                 "seq": int(seq)})
+
+    def canonical(self) -> list[dict]:
+        with self._lock:
+            events = list(self._events)
+        return sorted(events, key=lambda e: (e["channel"], e["dir"],
+                                             e["rid"], e["kind"]))
+
+    def digest(self) -> str:
+        payload = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":")).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    def counts(self) -> dict:
+        by_kind: dict[str, int] = {}
+        for event in self.canonical():
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        return by_kind
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class FaultyChannel:
+    """Fault-injecting wrapper over one direction of one replica pipe.
+
+    Args:
+        name: replica name (one half of the channel identity).
+        direction: ``"tx"`` (router→worker) or ``"rx"`` (worker→router).
+        plan: fault probabilities; ``None`` disables injection.
+        seed: run seed shared with :class:`repro.faults.FaultInjector`.
+        deliver: callable receiving the (possibly mutated) item list —
+            the underlying transport.
+        clock: monotonic time source for delay faults.
+        log: shared :class:`ChannelFaultLog`.
+    """
+
+    def __init__(self, name: str, direction: str,
+                 plan: ChannelFaultPlan | None, seed: int, deliver,
+                 clock=time.monotonic, log: ChannelFaultLog | None = None):
+        self.name = name
+        self.direction = direction
+        self.plan = plan
+        self.seed = int(seed)
+        self.deliver = deliver
+        self.clock = clock
+        self.log = log
+        self._key = zlib.crc32(f"{name}:{direction}".encode())
+        self._lock = threading.Lock()
+        self._decisions: dict[int, str] = {}
+        self._seq = 0
+        self._reordered: list = []          # held until the next send
+        self._delayed: list = []            # [(due_time, item), ...]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _decide(self, rid: int) -> str:
+        """First-occurrence fault decision for ``rid`` (then cached, so
+        a duplicate leg or a redispatch of the same rid on this channel
+        repeats the same fate — and a different channel draws fresh)."""
+        cached = self._decisions.get(rid)
+        if cached is not None:
+            return cached
+        seq = self._seq
+        self._seq += 1
+        kind = "pass"
+        if self.plan is not None and self.plan.in_window(seq):
+            u = float(np.random.default_rng(
+                [self.seed, self._key, int(rid)]).random())
+            edge = 0.0
+            for name, p in zip(FAULT_ORDER, self.plan.probabilities()):
+                edge += p
+                if u < edge:
+                    kind = name
+                    break
+        self._decisions[rid] = kind
+        if kind != "pass" and self.log is not None:
+            self.log.record(self.name, self.direction, rid, kind, seq)
+        return kind
+
+    def _corrupt(self, item: tuple) -> tuple:
+        """Flip one payload bit, leaving the trailing CRC stale.
+
+        Never touches field 0 (the rid) so receivers can still identify
+        the victim.  Prefers an ndarray payload; falls back to a
+        numeric field when the item carries none (e.g. a failed
+        response with ``output=None``).
+        """
+        rng = np.random.default_rng(
+            [self.seed, self._key, int(item[0]), 0xC0])
+        fields = list(item)
+        for idx in range(1, len(fields) - 1):
+            value = fields[idx]
+            if isinstance(value, np.ndarray) and value.size:
+                flat = value.copy().reshape(-1)
+                pos = int(rng.integers(flat.size))
+                bit = int(rng.integers(15))
+                flat[pos] = int(flat[pos]) ^ (1 << bit)
+                fields[idx] = flat.reshape(value.shape)
+                return tuple(fields)
+        for idx in range(1, len(fields) - 1):
+            value = fields[idx]
+            if isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool):
+                fields[idx] = value + 1
+                return tuple(fields)
+        return tuple(fields)
+
+    # ------------------------------------------------------------------
+    def send(self, items) -> None:
+        """Apply per-item fault decisions and forward the survivors."""
+        now = self.clock()
+        out: list = []
+        with self._lock:
+            if self._closed:
+                return
+            # Reordered leftovers from the previous send go *after*
+            # this batch's items — that is the reorder.
+            held, self._reordered = self._reordered, []
+            for item in items:
+                kind = self._decide(item[0])
+                if kind == "drop":
+                    continue
+                if kind == "duplicate":
+                    out.append(item)
+                    out.append(item)
+                elif kind == "corrupt":
+                    out.append(self._corrupt(item))
+                elif kind == "reorder":
+                    self._reordered.append(item)
+                elif kind == "delay":
+                    self._delayed.append(
+                        (now + (self.plan.delay_s if self.plan else 0.0),
+                         item))
+                else:
+                    out.append(item)
+            out.extend(held)
+            due = [item for t, item in self._delayed if t <= now]
+            self._delayed = [(t, item) for t, item in self._delayed
+                             if t > now]
+            out.extend(due)
+        if out:
+            self.deliver(out)
+
+    def flush(self, now: float | None = None) -> None:
+        """Deliver due delayed items (and, at close, everything held).
+
+        Called from the supervisor tick so delay faults resolve even on
+        an otherwise idle channel.
+        """
+        t = self.clock() if now is None else now
+        with self._lock:
+            if self._closed:
+                return
+            out = [item for due, item in self._delayed if due <= t]
+            self._delayed = [(due, item) for due, item in self._delayed
+                             if due > t]
+            out.extend(self._reordered)
+            self._reordered = []
+        if out:
+            self.deliver(out)
+
+    def close(self) -> None:
+        """Flush everything held, then refuse further sends."""
+        with self._lock:
+            out = [item for _, item in self._delayed] + self._reordered
+            self._delayed = []
+            self._reordered = []
+            self._closed = True
+        if out:
+            self.deliver(out)
+
+    def drop_pending(self) -> int:
+        """Discard everything held and refuse further sends.
+
+        The cluster stop path uses this on rx channels: a delayed DONE
+        delivered *after* the router settled the request as unavailable
+        would violate exactly-once, so held items die with the run.
+        Returns the number of items dropped.
+        """
+        with self._lock:
+            dropped = len(self._delayed) + len(self._reordered)
+            self._delayed = []
+            self._reordered = []
+            self._closed = True
+        return dropped
+
+    def decisions(self) -> dict:
+        with self._lock:
+            return dict(self._decisions)

@@ -1,0 +1,125 @@
+"""Phi-accrual failure detection over worker heartbeats.
+
+Instead of a fixed liveness poll ("dead if no response for T"), the
+phi-accrual detector (Hayashibara et al., SRDS 2004) keeps a sliding
+window of heartbeat inter-arrival times per replica and outputs a
+*suspicion level*::
+
+    phi(t) = -log10(P[next heartbeat arrives later than t])
+
+under a normal model of the observed inter-arrivals.  phi grows
+continuously as silence stretches past the replica's own historical
+cadence, so a naturally slow worker is not declared dead by a fast
+worker's standard, and a normally-chatty worker is suspected quickly.
+
+The router additionally folds :meth:`PhiAccrualDetector.penalty` into
+its join-shortest-queue key, steering new work away from replicas that
+look sick before they are declared dead.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+__all__ = ["PhiAccrualDetector"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+class PhiAccrualDetector:
+    """Suspicion scores from heartbeat inter-arrival statistics.
+
+    Args:
+        clock: monotonic time source (injectable for tests).
+        window: inter-arrival samples kept per replica.
+        min_std_s: floor on the inter-arrival std-dev, so a perfectly
+            regular heartbeat doesn't make phi explode on microscopic
+            jitter.
+        threshold: phi at or above which :meth:`is_suspect` is true.
+            8.0 ≈ "one in 10^8 chance this silence is benign".
+        first_heartbeat_estimate_s: assumed cadence until two
+            heartbeats have been seen.
+    """
+
+    def __init__(self, clock=None, window: int = 100,
+                 min_std_s: float = 0.010, threshold: float = 8.0,
+                 first_heartbeat_estimate_s: float = 0.1):
+        import time
+        self._clock = clock if clock is not None else time.monotonic
+        self.window = int(window)
+        self.min_std_s = float(min_std_s)
+        self.threshold = float(threshold)
+        self.first_estimate_s = float(first_heartbeat_estimate_s)
+        self._lock = threading.Lock()
+        self._last: dict[str, float] = {}
+        self._intervals: dict[str, deque] = {}
+
+    def heartbeat(self, name: str, now: float | None = None) -> None:
+        """Record a liveness signal from ``name`` (any message counts)."""
+        t = self._clock() if now is None else now
+        with self._lock:
+            last = self._last.get(name)
+            if last is not None and t > last:
+                self._intervals.setdefault(
+                    name, deque(maxlen=self.window)).append(t - last)
+            self._last[name] = t
+
+    def forget(self, name: str) -> None:
+        """Drop all state for a retired/dead replica."""
+        with self._lock:
+            self._last.pop(name, None)
+            self._intervals.pop(name, None)
+
+    def _stats(self, name: str):
+        samples = self._intervals.get(name)
+        if not samples:
+            return self.first_estimate_s, max(self.min_std_s,
+                                              self.first_estimate_s / 2.0)
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        return mean, max(self.min_std_s, math.sqrt(var))
+
+    def phi(self, name: str, now: float | None = None) -> float:
+        """Current suspicion level for ``name``.
+
+        0.0 for a replica never heard from (unknown, not suspect — the
+        ready handshake is the cluster's admission gate).
+        """
+        t = self._clock() if now is None else now
+        with self._lock:
+            last = self._last.get(name)
+            if last is None:
+                return 0.0
+            mean, std = self._stats(name)
+        elapsed = t - last
+        if elapsed <= 0.0:
+            return 0.0
+        # P[interval > elapsed] under N(mean, std); erfc keeps precision
+        # in the deep tail where 1 - cdf underflows.
+        p_later = 0.5 * math.erfc((elapsed - mean) / (std * _SQRT2))
+        if p_later <= 0.0:
+            return float("inf")
+        return -math.log10(p_later)
+
+    def is_suspect(self, name: str, now: float | None = None) -> bool:
+        return self.phi(name, now) >= self.threshold
+
+    def penalty(self, name: str, now: float | None = None) -> float:
+        """Routing penalty: 0 while healthy, grows once phi crosses
+        half the suspicion threshold.  Scaled so a fully suspect
+        replica is out-weighed even against deep queues."""
+        phi = self.phi(name, now)
+        half = self.threshold / 2.0
+        if phi <= half:
+            return 0.0
+        if math.isinf(phi):
+            return 1e6
+        return (phi - half) * 100.0
+
+    def snapshot(self, now: float | None = None) -> dict:
+        t = self._clock() if now is None else now
+        with self._lock:
+            names = list(self._last)
+        return {name: round(self.phi(name, t), 3) for name in names}

@@ -1,0 +1,85 @@
+"""Hedged-retry policy and deterministic token-bucket retry budget.
+
+Hedging ("The Tail at Scale", Dean & Barroso) re-dispatches a request
+that has been outstanding longer than a multiple of the observed p95
+latency to a second replica in the same shard, settling on whichever
+response arrives first.  Unbounded, hedges amplify load exactly when
+the system is slow — the worst moment — so every hedge and redispatch
+spends from a token bucket refilled as a fixed fraction of submitted
+requests.  The refill is keyed on *submission count*, not wall-clock,
+so identical request sequences yield identical budget decisions
+regardless of scheduler timing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["HedgePolicy", "RetryBudget"]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Knobs for router hedging.
+
+    Attributes:
+        latency_multiplier: hedge when a request has been outstanding
+            longer than ``multiplier * p95``.
+        min_threshold_s: floor on the hedge threshold so cold-start
+            (empty histogram) or microsecond p95s don't hedge
+            everything.
+        max_legs: total concurrent dispatch legs per request,
+            including the primary (2 = at most one hedge).
+    """
+
+    latency_multiplier: float = 3.0
+    min_threshold_s: float = 0.05
+    max_legs: int = 2
+
+    def threshold(self, p95_s: float | None) -> float:
+        if p95_s is None or p95_s <= 0.0:
+            return self.min_threshold_s
+        return max(self.min_threshold_s, p95_s * self.latency_multiplier)
+
+
+class RetryBudget:
+    """Token bucket refilled per submission: ``ratio`` tokens per
+    submitted request, capped at ``cap``, seeded with ``initial``.
+
+    Deterministic given the submission/spend sequence; no clock.
+    """
+
+    def __init__(self, ratio: float = 0.1, cap: float = 32.0,
+                 initial: float = 4.0):
+        self.ratio = float(ratio)
+        self.cap = float(cap)
+        self._lock = threading.Lock()
+        self._tokens = min(float(initial), self.cap)
+        self._spent = 0
+        self._denied = 0
+
+    def on_submit(self) -> None:
+        with self._lock:
+            self._tokens = min(self.cap, self._tokens + self.ratio)
+
+    def try_spend(self, cost: float = 1.0) -> bool:
+        with self._lock:
+            if self._tokens >= cost:
+                self._tokens -= cost
+                self._spent += 1
+                return True
+            self._denied += 1
+            return False
+
+    def refund(self, cost: float = 1.0) -> None:
+        with self._lock:
+            self._tokens = min(self.cap, self._tokens + cost)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tokens": round(self._tokens, 3),
+                "spent": self._spent,
+                "denied": self._denied,
+            }

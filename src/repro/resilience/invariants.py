@@ -1,0 +1,230 @@
+"""Post-run invariant checking over audit events, requests, breakers.
+
+A chaos run is only evidence of resilience if the system's core
+promises held *under* the chaos.  This module states them as checkable
+invariants and grades a finished run:
+
+1. **Exactly-once settlement** — every submitted rid settles exactly
+   once (no double-settle, no lost request), even across kill →
+   redispatch → respawn and hedged duplicate responses.
+2. **Deadline discipline after stop** — no request settles ``DONE``
+   *after* cluster stop while already past its deadline (a late answer
+   to an expired request must not be presented as success).
+3. **Legal breaker transitions** — every recorded circuit-breaker
+   transition is an edge of the breaker state machine.
+
+The :class:`RouterAudit` is the evidence stream for (1) and (2): the
+router appends compact events at submit/settle/duplicate time, and the
+checker replays them after the run.  It is bounded (drop-oldest with a
+dropped counter) so audit memory cannot grow without limit; checks are
+skipped-with-a-stat rather than wrong when events were dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..serve.engine import RequestStatus
+
+__all__ = ["RouterAudit", "InvariantReport", "check_router_invariants",
+           "check_breaker_transitions", "check_requests"]
+
+#: Legal circuit-breaker edges (see repro.serve.breaker): failure
+#: opens, backoff expiry half-opens, a probe closes or re-opens, and
+#: ``reset()`` may close from either non-closed state (engine start).
+LEGAL_BREAKER_TRANSITIONS = frozenset([
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "closed"),
+    ("half_open", "open"),
+    ("open", "closed"),
+])
+
+
+class RouterAudit:
+    """Bounded, thread-safe event log of request lifecycle decisions.
+
+    Event tuples (kind first, then rid, then kind-specific fields):
+
+    - ``("submit", rid, network, deadline_abs)``
+    - ``("settle", rid, status, effective, t, deadline_abs)`` —
+      ``effective`` False means the settle hit an already-settled
+      request (idempotence guard absorbed it).
+    - ``("duplicate_response", rid, worker)`` — a response arrived for
+      a rid with no in-flight record (hedge loser, dup fault, or
+      already-failed request).
+    - ``("hedge", rid, replica)`` / ``("redispatch", rid, replica)``
+    """
+
+    def __init__(self, max_events: int = 200_000):
+        self.max_events = int(max_events)
+        self._lock = threading.Lock()
+        self._events: list[tuple] = []
+        self.dropped = 0
+
+    def record(self, *event) -> None:
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    def events(self) -> list[tuple]:
+        with self._lock:
+            return list(self._events)
+
+    def counts(self) -> dict:
+        by_kind: dict[str, int] = {}
+        for event in self.events():
+            by_kind[event[0]] = by_kind.get(event[0], 0) + 1
+        return by_kind
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one checker pass."""
+
+    violations: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "InvariantReport") -> "InvariantReport":
+        merged = InvariantReport(self.violations + other.violations,
+                                 {**self.stats, **other.stats})
+        return merged
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "violations": list(self.violations),
+                "stats": dict(self.stats)}
+
+
+def check_router_invariants(events, stop_t: float | None = None,
+                            dropped: int = 0) -> InvariantReport:
+    """Replay a :class:`RouterAudit` stream against invariants 1 and 2.
+
+    Args:
+        events: audit event tuples in arrival order.
+        stop_t: monotonic time at which cluster stop began; ``None``
+            disables the post-stop deadline check.
+        dropped: audit events dropped at the bound — when nonzero the
+            exactly-once check is reported as a stat, not violations
+            (it could only produce false alarms on a truncated log).
+    """
+    report = InvariantReport()
+    submitted: dict[int, float | None] = {}
+    effective: dict[int, int] = {}
+    duplicates = 0
+    hedges = 0
+    redispatches = 0
+    for event in events:
+        kind = event[0]
+        if kind == "submit":
+            rid, _network, deadline = event[1], event[2], event[3]
+            submitted[rid] = deadline
+        elif kind == "settle":
+            rid, status, was_effective, t, deadline = event[1:6]
+            if was_effective:
+                effective[rid] = effective.get(rid, 0) + 1
+            if rid not in submitted:
+                report.violations.append(
+                    f"settle without submit: rid={rid} status={status}")
+            if (was_effective and stop_t is not None and t is not None
+                    and t >= stop_t and status == RequestStatus.DONE
+                    and deadline is not None and t > deadline):
+                report.violations.append(
+                    f"post-stop DONE past deadline: rid={rid} "
+                    f"t={t:.6f} deadline={deadline:.6f}")
+        elif kind == "duplicate_response":
+            duplicates += 1
+        elif kind == "hedge":
+            hedges += 1
+        elif kind == "redispatch":
+            redispatches += 1
+    never_settled = [rid for rid in submitted if effective.get(rid, 0) == 0]
+    multi_settled = {rid: n for rid, n in effective.items() if n > 1}
+    if dropped == 0:
+        for rid in never_settled:
+            report.violations.append(f"request never settled: rid={rid}")
+        for rid, n in multi_settled.items():
+            report.violations.append(
+                f"request settled {n} times: rid={rid}")
+    report.stats.update({
+        "submitted": len(submitted),
+        "settled_effective": sum(effective.values()),
+        "never_settled": len(never_settled),
+        "multi_settled": len(multi_settled),
+        "duplicate_responses": duplicates,
+        "hedges": hedges,
+        "redispatches": redispatches,
+        "audit_dropped": dropped,
+    })
+    return report
+
+
+def check_breaker_transitions(transitions) -> InvariantReport:
+    """Invariant 3 over ``(network, old, new)``-ish transition records.
+
+    Accepts tuples/lists whose last two entries are ``(old, new)`` or
+    dicts with ``"old"``/``"new"`` (or ``"from"``/``"to"``) keys — the
+    shapes that appear in worker final payloads.
+    """
+    report = InvariantReport()
+    checked = 0
+    for record in transitions:
+        if isinstance(record, dict):
+            old = record.get("old", record.get("from"))
+            new = record.get("new", record.get("to"))
+            label = record.get("network", "?")
+        else:
+            old, new = record[-2], record[-1]
+            label = record[0] if len(record) > 2 else "?"
+        checked += 1
+        if old == new:
+            report.violations.append(
+                f"no-op breaker transition recorded: {label} "
+                f"{old}->{new}")
+        elif (old, new) not in LEGAL_BREAKER_TRANSITIONS:
+            report.violations.append(
+                f"illegal breaker transition: {label} {old}->{new}")
+    report.stats["breaker_transitions_checked"] = checked
+    return report
+
+
+def check_requests(requests, stop_t: float | None = None) -> \
+        InvariantReport:
+    """Single-process variant of invariants 1–2, straight off the
+    settled :class:`repro.serve.engine.Request` objects.
+
+    Requires the engine's settle guard (``settled_at`` timestamps and
+    ``duplicate_settles`` counters) added alongside this module.
+    """
+    report = InvariantReport()
+    requests = list(requests)
+    duplicate_settles = 0
+    unsettled = 0
+    for request in requests:
+        if not request._done.is_set():
+            unsettled += 1
+            report.violations.append(
+                f"request never settled: id={request.id} "
+                f"network={request.network}")
+            continue
+        duplicate_settles += getattr(request, "duplicate_settles", 0)
+        settled_at = getattr(request, "settled_at", None)
+        if (stop_t is not None and settled_at is not None
+                and settled_at >= stop_t
+                and request.status == RequestStatus.DONE
+                and request.deadline is not None
+                and settled_at > request.deadline):
+            report.violations.append(
+                f"post-stop DONE past deadline: id={request.id}")
+    report.stats.update({
+        "requests": len(requests),
+        "unsettled": unsettled,
+        "duplicate_settles_absorbed": duplicate_settles,
+    })
+    return report

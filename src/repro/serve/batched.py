@@ -21,8 +21,8 @@ from ..fixedpoint.qformat import Q3_12
 from ..nn.layers import wrap32
 from ..nn.network import DenseSpec, LstmSpec, Network
 
-__all__ = ["BatchedQuantModel", "dense_fixed_batch", "lstm_step_fixed_batch",
-           "conv2d_fixed_batch"]
+__all__ = ["BatchedQuantModel", "dense_acc_batch", "dense_fixed_batch",
+           "lstm_step_fixed_batch", "conv2d_fixed_batch"]
 
 _FRAC = Q3_12.frac_bits
 
@@ -48,6 +48,21 @@ def _activation_batch(values: np.ndarray, func: str | None) -> np.ndarray:
     raise ValueError(f"unknown activation {func!r}")
 
 
+def dense_acc_batch(w, x, bias):
+    """The batched dense *accumulator*: ``wrap32`` sums before the
+    requantizing shift/saturate.
+
+    This is the value the scalar model holds in its 32-bit accumulator
+    register right before the store — the point where ABFT column
+    checksums (:mod:`repro.resilience.abft`) verify the arithmetic,
+    because the shift/saturate that follows is lossy.
+    """
+    w = np.asarray(w, dtype=np.int64)
+    x = np.asarray(x, dtype=np.int64)
+    bias = np.asarray(bias, dtype=np.int64)
+    return wrap32((bias << _FRAC)[None, :] + x @ w.T)
+
+
 def dense_fixed_batch(w, x, bias):
     """Batched fixed-point dense layer.
 
@@ -59,25 +74,23 @@ def dense_fixed_batch(w, x, bias):
     Returns:
         ``(B, n_out)``: row ``b`` equals ``dense_fixed(w, x[b], bias)``.
     """
-    w = np.asarray(w, dtype=np.int64)
-    x = np.asarray(x, dtype=np.int64)
-    bias = np.asarray(bias, dtype=np.int64)
-    acc = wrap32((bias << _FRAC)[None, :] + x @ w.T)
-    return _sat16(acc >> _FRAC)
+    return _sat16(dense_acc_batch(w, x, bias) >> _FRAC)
 
 
-def lstm_step_fixed_batch(w_cat, bias, x, h, c):
+def lstm_step_fixed_batch(w_cat, bias, x, h, c, dense=dense_fixed_batch):
     """Batched fixed-point LSTM timestep; returns ``(h', c')``.
 
     ``x`` is ``(B, m)``, ``h``/``c`` are ``(B, n)``; layout of ``w_cat``
     matches :func:`repro.nn.layers.lstm_step_fixed` (fused ``(4n, m+n)``,
-    row blocks in GATE_ORDER).
+    row blocks in GATE_ORDER).  ``dense`` is the matvec primitive for
+    the fused gate computation — overridable so an ABFT-checked variant
+    covers the LSTM hot path too.
     """
     w_cat = np.asarray(w_cat, dtype=np.int64)
     n = w_cat.shape[0] // 4
     xh = np.concatenate([np.asarray(x, dtype=np.int64),
                          np.asarray(h, dtype=np.int64)], axis=1)
-    z = dense_fixed_batch(w_cat, xh, bias)
+    z = dense(w_cat, xh, bias)
     i_gate = _activation_batch(z[:, 0:n], "sig")
     f_gate = _activation_batch(z[:, n:2 * n], "sig")
     o_gate = _activation_batch(z[:, 2 * n:3 * n], "sig")
@@ -126,6 +139,38 @@ class BatchedQuantModel:
         self.params = params_raw
         self.batch_size = 0
         self._state: list = []
+        self._sdc_corruptor = None
+
+    def arm_sdc(self, corruptor) -> None:
+        """Arm a one-shot accumulator corruption for fault injection.
+
+        ``corruptor(acc)`` mutates the next dense accumulator in place
+        (a single-bit flip, typically).  The base model applies it
+        *silently* — this is what an undetected SDC looks like; the
+        ABFT subclass applies it and then catches it.  Arming twice
+        before the next dense call chains the corruptors.
+        """
+        prev = self._sdc_corruptor
+        if prev is None:
+            self._sdc_corruptor = corruptor
+        else:
+            def chained(acc, _first=prev, _second=corruptor):
+                _first(acc)
+                _second(acc)
+            self._sdc_corruptor = chained
+
+    def _take_sdc(self):
+        corruptor, self._sdc_corruptor = self._sdc_corruptor, None
+        return corruptor
+
+    def _dense(self, w, x, bias):
+        """Matvec primitive used by every dense/LSTM layer; the ABFT
+        model overrides this with a checksum-verified variant."""
+        acc = dense_acc_batch(w, x, bias)
+        corruptor = self._take_sdc()
+        if corruptor is not None:
+            corruptor(acc)
+        return _sat16(acc >> _FRAC)
 
     def reset(self, batch_size: int) -> None:
         if batch_size < 1:
@@ -156,11 +201,12 @@ class BatchedQuantModel:
                                       self._state):
             if isinstance(spec, DenseSpec):
                 value = _activation_batch(
-                    dense_fixed_batch(layer["w"], value, layer["b"]),
+                    self._dense(layer["w"], value, layer["b"]),
                     spec.activation)
             elif isinstance(spec, LstmSpec):
                 h, c = lstm_step_fixed_batch(layer["w"], layer["b"], value,
-                                             state["h"], state["c"])
+                                             state["h"], state["c"],
+                                             dense=self._dense)
                 state["h"], state["c"] = h, c
                 value = h
             else:

@@ -66,6 +66,11 @@ def default_scenario(networks, n_requests: int, seed: int = 2020) -> FaultPlan:
                   stop=w + max(3, per_network // 8), transient=False),
         FaultSpec(kind="latency", network=pick(3), start=w, stop=w + 3,
                   delay_s=0.02),
+        # Activation-state SDC after the bitflip window on the same
+        # network: the CRC weight guard cannot see these — only the
+        # ABFT column checksums can.
+        FaultSpec(kind="sdc", network=pick(0), start=3 * w,
+                  stop=3 * w + max(2, w // 2)),
     ])
 
 
@@ -109,6 +114,7 @@ def _drive(networks, config: EngineConfig, stream, rate_rps: float,
     requests = run.pop("requests")
     correct = sum(1 for request, want in zip(requests, expected)
                   if request.ok and np.array_equal(request.output, want))
+    run["requests"] = requests
     rejected = (run["rejected_timeout"] + run["rejected_capacity"]
                 + run["rejected_unavailable"])
     accepted = run["submitted"] - rejected
@@ -192,7 +198,7 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
                     scenario: FaultPlan | None = None,
                     out_path: str | None = None,
                     trace_out: str | None = None,
-                    stop_event=None) -> dict:
+                    stop_event=None, abft: bool = True) -> dict:
     """The ``chaos-bench`` experiment: fault-free baseline, then chaos.
 
     Returns the JSON-ready result dict; also writes it to ``out_path``
@@ -208,7 +214,8 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
         rate_rps = max(1.0, n_requests / duration_s)
     config = EngineConfig(level=level, max_batch_size=max_batch_size,
                           max_linger_s=max_linger_s, seed=seed,
-                          integrity_check_every=integrity_check_every)
+                          integrity_check_every=integrity_check_every,
+                          abft=abft)
     stream = make_request_stream(networks, n_requests, seed=seed)
     expected, sequential = golden_outputs(networks, stream, level, seed)
     plan = scenario if scenario is not None \
@@ -224,12 +231,39 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
     chaos = _drive(networks, config, stream, rate_rps, seed, expected,
                    injector=injector, tracer=tracer,
                    stop_event=stop_event)
+    stop_t = time.monotonic()
 
     engine = chaos.pop("engine")
     baseline_engine = baseline.pop("engine")
+    chaos_requests = chaos.pop("requests")
+    baseline.pop("requests")
     metrics = engine.metrics.to_dict()
     breakers = _breaker_report(engine)
     fault_log = injector.canonical_log()
+
+    # Resilience accounting: exactly-once settlement over every chaos
+    # request, plus the measured cost of the ABFT checksum pass.
+    from ..resilience import check_requests, measure_abft_overhead
+    invariants = check_requests(chaos_requests, stop_t=stop_t)
+    overhead_net = min(networks, key=lambda n: n.name)
+    overhead_pct = measure_abft_overhead(
+        overhead_net,
+        engine.registry.get(overhead_net, level).params_raw)
+    resilience = {
+        "abft": abft,
+        "sdc_detections": metrics["total"]["sdc_detections"],
+        "sdc_repairs": metrics["total"]["sdc_repairs"],
+        "sdc_reruns": metrics["total"]["sdc_reruns"],
+        # Hedging/retry budgets live in the cluster router; the
+        # single-process bench reports them as structurally zero so the
+        # two BENCH_chaos variants share one schema.
+        "hedges": 0,
+        "hedge_wins": 0,
+        "retry_budget_denied": 0,
+        "abft_overhead_pct": overhead_pct,
+        "invariants_ok": invariants.ok,
+        "invariants": invariants.to_dict(),
+    }
     result = {
         "bench": "chaos",
         "config": {
@@ -244,6 +278,7 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
             "breaker_failure_threshold": config.breaker_failure_threshold,
             "breaker_backoff_s": config.breaker_backoff_s,
             "seed": seed,
+            "abft": abft,
         },
         "scenario": plan.to_dict(),
         "interrupted": bool(baseline.get("interrupted")
@@ -271,6 +306,7 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
             "log": fault_log,
         },
         "fault_log_sha256": injector.log_digest(),
+        "resilience": resilience,
         "baseline_metrics": baseline_engine.metrics.to_dict(),
         "metrics": metrics,
     }
@@ -333,6 +369,15 @@ def render_chaos_table(result: dict) -> str:
                  f"  all re-closed: {recloses}  recovery_s: {recovery}")
     lines.append(f"incorrect / failed  {chaos['incorrect']:>9d} / "
                  f"{chaos['failed']}")
+    res = result.get("resilience")
+    if res is not None:
+        status = "ok" if res["invariants_ok"] else "VIOLATED"
+        lines.append(f"sdc / abft          {res['sdc_detections']:>9d} "
+                     f"detected  {res['sdc_repairs']} repairs, "
+                     f"{res['sdc_reruns']} reruns, checksum overhead "
+                     f"{res['abft_overhead_pct']:.1f}%")
+        lines.append(f"invariants          {status:>9}"
+                     "  (exactly-once settlement)")
     lines.append(f"fault-log sha256    {result['fault_log_sha256'][:16]}…"
                  "  (identical for identical seeds)")
     return "\n".join(lines)

@@ -95,6 +95,11 @@ class Request:
     latency: float | None = None
     batch_size: int | None = None
     error: str | None = None
+    #: Monotonic timestamp of the (single) effective settle; the
+    #: post-run invariant checker uses it for deadline discipline.
+    settled_at: float | None = None
+    #: Settle calls absorbed by the idempotence guard after the first.
+    duplicate_settles: int = 0
     #: Optional ``callable(request)`` invoked exactly once, after the
     #: request reaches a terminal status (from whichever thread settles
     #: it).  The cluster worker uses this to ship responses back over
@@ -103,6 +108,8 @@ class Request:
     on_settle: object = field(default=None, repr=False)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
+    _settle_lock: threading.Lock = field(default_factory=threading.Lock,
+                                         repr=False)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the request settles; returns False on wait timeout."""
@@ -120,18 +127,30 @@ class Request:
         return self.output
 
     def _settle(self, status: str, output=None, latency=None,
-                batch_size=None, error=None) -> None:
-        self.status = status
-        self.output = output
-        self.latency = latency
-        self.batch_size = batch_size
-        self.error = error
-        self._done.set()
+                batch_size=None, error=None) -> bool:
+        """Settle exactly once; later calls are absorbed and counted.
+
+        Returns True iff this call was the effective settle.  The guard
+        is what makes redispatch/hedge races safe: whichever path wins
+        publishes the result, every loser becomes a counted no-op.
+        """
+        with self._settle_lock:
+            if self._done.is_set():
+                self.duplicate_settles += 1
+                return False
+            self.status = status
+            self.output = output
+            self.latency = latency
+            self.batch_size = batch_size
+            self.error = error
+            self.settled_at = time.monotonic()
+            self._done.set()
         if self.on_settle is not None:
             try:
                 self.on_settle(self)
             except Exception:
                 pass
+        return True
 
 
 @dataclass
@@ -171,10 +190,20 @@ class ModelRegistry:
     the arrays) recover together.
     """
 
-    def __init__(self, seed: int = 2020):
+    def __init__(self, seed: int = 2020, abft: bool = False):
         self.seed = seed
+        #: With ``abft`` the served model is the checksum-verified
+        #: :class:`repro.resilience.abft.AbftBatchedModel`, so silent
+        #: compute corruption raises instead of serving bad outputs.
+        self.abft = abft
         self._lock = threading.Lock()
         self._entries: dict[tuple, ModelEntry] = {}
+
+    def _model_class(self):
+        if self.abft:
+            from ..resilience.abft import AbftBatchedModel
+            return AbftBatchedModel
+        return BatchedQuantModel
 
     def _pristine_params(self, network: Network) -> list:
         return quantize_params(
@@ -189,7 +218,7 @@ class ModelRegistry:
                 entry = ModelEntry(
                     network=network,
                     level=level,
-                    model=BatchedQuantModel(network, params),
+                    model=self._model_class()(network, params),
                     reference=QuantModel(network, params),
                     params_raw=params,
                     cycles_per_request=network_trace(network,
@@ -264,6 +293,13 @@ class EngineConfig:
     #: batch-of-one): a transient fault recovers, a persistent poison
     #: request still fails after the budget.
     failed_single_retries: int = 1
+    #: Serve via the ABFT column-checksum-verified batched model, so
+    #: silent compute corruption is detected (then repaired and rerun)
+    #: instead of served.
+    abft: bool = False
+    #: Full-batch reruns attempted after an ABFT detection before the
+    #: batch settles FAILED.
+    abft_max_reruns: int = 2
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -280,6 +316,8 @@ class EngineConfig:
             raise ValueError("max_worker_restarts cannot be negative")
         if self.failed_single_retries < 0:
             raise ValueError("failed_single_retries cannot be negative")
+        if self.abft_max_reruns < 0:
+            raise ValueError("abft_max_reruns cannot be negative")
         if self.watchdog_interval_s <= 0:
             raise ValueError("watchdog_interval_s must be positive")
         if self.worker_stall_timeout_s <= 0:
@@ -366,7 +404,8 @@ class InferenceEngine:
         #: ``registry`` is injectable so a cluster worker can serve from
         #: the shared quantized-weight store instead of re-quantizing.
         self.registry = registry if registry is not None \
-            else ModelRegistry(seed=self.config.seed)
+            else ModelRegistry(seed=self.config.seed,
+                               abft=self.config.abft)
         self._queues = {net.name: _NetworkQueue(net) for net in self.networks}
         self._ids = itertools.count(1)
         self._running = False
@@ -564,7 +603,8 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Submission.
     def submit(self, network_name: str, x_raw,
-               timeout_s: float | None = None, on_settle=None) -> Request:
+               timeout_s: float | None = None, on_settle=None,
+               tag=None) -> Request:
         """Enqueue one inference; returns immediately with a request handle.
 
         ``x_raw`` is a raw Q3.12 input vector ``(in_size,)`` or a
@@ -576,6 +616,10 @@ class InferenceEngine:
         ``on_settle`` (optional) is called once with the request when it
         reaches a terminal status — including the synchronous rejection
         paths below, which is why it is attached at construction.
+        ``tag`` (optional) is stored as ``request.cluster_rid`` *before*
+        any settle path can run — the cluster worker's ``on_settle``
+        reads it, and the synchronous rejections below would otherwise
+        race a post-submit assignment.
         """
         queue = self._queues.get(network_name)
         if queue is None:
@@ -590,6 +634,8 @@ class InferenceEngine:
             id=next(self._ids),
             on_settle=on_settle,
         )
+        if tag is not None:
+            request.cluster_rid = tag
         request.trace_id = f"{network_name}-{request.id}"
         tracer = self.tracer
         if tracer is not None:
@@ -747,7 +793,8 @@ class InferenceEngine:
 
     def _run_attempt(self, network: Network, entry: ModelEntry,
                      requests: list[Request], inputs: list[np.ndarray],
-                     depth: int, retries: int | None = None) -> int:
+                     depth: int, retries: int | None = None,
+                     sdc_reruns: int | None = None) -> int:
         """One execution attempt; recurses (bisect/retry) on failure.
 
         Returns the number of requests settled DONE.  A failing batch of
@@ -756,11 +803,21 @@ class InferenceEngine:
         every healthy peer still completes.  A failing batch of size 1
         is retried ``failed_single_retries`` times (a transient fault
         recovers; a persistent one fails only itself).
+
+        An ABFT checksum mismatch (``SdcDetected``) takes a different
+        path: the corruption is in *compute*, not in one poison input,
+        so bisecting is pointless — instead the entry is quarantined
+        and repaired (re-quantize + reload, same machinery as the CRC
+        guard) and the whole batch reruns, bounded by
+        ``abft_max_reruns``.
         """
+        from ..resilience.abft import SdcDetected
         name = network.name
         tracer = self.tracer
         if retries is None:
             retries = self.config.failed_single_retries
+        if sdc_reruns is None:
+            sdc_reruns = self.config.abft_max_reruns
         t_start = tracer.now_us() if tracer is not None else 0.0
         try:
             if self.injector is not None:
@@ -769,6 +826,31 @@ class InferenceEngine:
             if depth == 0:
                 self._integrity_tick(network, entry)
             outputs = entry.model.infer(np.stack(inputs))
+        except SdcDetected as exc:
+            if tracer is not None:
+                tracer.complete("execute", name, t_start,
+                                args={"batch": len(requests),
+                                      "depth": depth, "ok": False,
+                                      "sdc": True})
+                tracer.instant("sdc-detected", name,
+                               args={"rows": list(exc.rows),
+                                     "batch": len(requests)})
+            exc.network = name
+            self.metrics.on_sdc_detected(name, max(1, len(exc.rows)))
+            self.metrics.on_batch_failure(name)
+            # Quarantine + repair: reload pristine quantized weights so
+            # a corrupted-parameter cause is cleared; a transient
+            # compute upset is gone on rerun either way.
+            self.registry.repair(entry)
+            self.metrics.on_sdc_repair(name)
+            if sdc_reruns > 0:
+                self.metrics.on_sdc_rerun(name)
+                return self._run_attempt(network, entry, requests, inputs,
+                                         depth, retries=retries,
+                                         sdc_reruns=sdc_reruns - 1)
+            for request in requests:
+                self._settle_failed(request, name, repr(exc))
+            return 0
         except Exception as exc:
             # InjectedWorkerDeath is a BaseException and deliberately
             # escapes this guard (that fault targets the watchdog).

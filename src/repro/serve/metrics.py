@@ -31,7 +31,8 @@ _COUNTER_FIELDS = (
     "submitted", "completed", "rejected_timeout", "rejected_capacity",
     "rejected_unavailable", "failed", "batches", "batch_failures",
     "bisects", "retries", "integrity_checks", "integrity_violations",
-    "integrity_repairs", "worker_restarts", "worker_stalls",
+    "integrity_repairs", "sdc_detections", "sdc_repairs", "sdc_reruns",
+    "worker_restarts", "worker_stalls",
     "faults_injected", "breaker_opens", "breaker_closes", "sim_cycles",
 )
 
@@ -53,6 +54,9 @@ class _NetworkMetrics:
         self.integrity_checks = Counter()
         self.integrity_violations = Counter()
         self.integrity_repairs = Counter()
+        self.sdc_detections = Counter()
+        self.sdc_repairs = Counter()
+        self.sdc_reruns = Counter()
         self.worker_restarts = Counter()
         self.worker_stalls = Counter()
         self.faults_injected = Counter()
@@ -79,6 +83,9 @@ class _NetworkMetrics:
             "integrity_checks": self.integrity_checks.value,
             "integrity_violations": self.integrity_violations.value,
             "integrity_repairs": self.integrity_repairs.value,
+            "sdc_detections": self.sdc_detections.value,
+            "sdc_repairs": self.sdc_repairs.value,
+            "sdc_reruns": self.sdc_reruns.value,
             "worker_restarts": self.worker_restarts.value,
             "worker_stalls": self.worker_stalls.value,
             "faults_injected": self.faults_injected.value,
@@ -154,6 +161,21 @@ class ServeMetrics:
     def on_integrity_repair(self, name: str) -> None:
         self.total.integrity_repairs.inc()
         self.network(name).integrity_repairs.inc()
+
+    def on_sdc_detected(self, name: str, n_rows: int = 1) -> None:
+        """ABFT column checksum caught silent compute corruption."""
+        self.total.sdc_detections.inc(n_rows)
+        self.network(name).sdc_detections.inc(n_rows)
+
+    def on_sdc_repair(self, name: str) -> None:
+        """A quarantined entry was repaired after an SDC detection."""
+        self.total.sdc_repairs.inc()
+        self.network(name).sdc_repairs.inc()
+
+    def on_sdc_rerun(self, name: str) -> None:
+        """A batch was re-executed after SDC repair."""
+        self.total.sdc_reruns.inc()
+        self.network(name).sdc_reruns.inc()
 
     def on_worker_restart(self, name: str) -> None:
         self.total.worker_restarts.inc()

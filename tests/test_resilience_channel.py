@@ -1,0 +1,188 @@
+"""Message-level fault injection: CRC framing, seeded per-rid fault
+decisions, every fault kind's delivery semantics, and the canonical
+log digest."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import ChannelFaultLog, ChannelFaultPlan, FaultyChannel
+from repro.resilience.channel import attach_crc, check_crc, item_crc
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def _item(rid, payload=None):
+    if payload is None:
+        payload = np.arange(6, dtype=np.int64) + rid
+    return attach_crc((rid, "net", payload, None))
+
+
+def _channel(plan, sink, seed=2020, name="w0", direction="tx",
+             clock=None, log=None):
+    return FaultyChannel(name, direction, plan, seed,
+                         deliver=lambda items: sink.extend(items),
+                         clock=clock or FakeClock(), log=log)
+
+
+class TestCrcFraming:
+    def test_roundtrip(self):
+        item = _item(7)
+        assert check_crc(item)
+
+    def test_any_field_change_breaks_crc(self):
+        rid, net, payload, deadline, crc = _item(7)
+        assert not check_crc((rid + 1, net, payload, deadline, crc))
+        assert not check_crc((rid, "other", payload, deadline, crc))
+        mutated = payload.copy()
+        mutated[0] ^= 1
+        assert not check_crc((rid, net, mutated, deadline, crc))
+
+    def test_crc_covers_dtype_and_shape(self):
+        a = np.zeros(4, dtype=np.int64)
+        b = np.zeros(4, dtype=np.int32)
+        assert item_crc((1, a)) != item_crc((1, b))
+        assert item_crc((1, a)) != item_crc((1, a.reshape(2, 2)))
+
+
+class TestFaultKinds:
+    def _one_kind(self, kind):
+        kw = {f"{kind}_p": 1.0}
+        return ChannelFaultPlan(**kw)
+
+    def test_pass_through_without_plan(self):
+        sink = []
+        channel = _channel(None, sink)
+        items = [_item(1), _item(2)]
+        channel.send(items)
+        assert sink == items
+
+    def test_drop_suppresses_delivery(self):
+        sink = []
+        log = ChannelFaultLog()
+        channel = _channel(self._one_kind("drop"), sink, log=log)
+        channel.send([_item(1)])
+        assert sink == []
+        assert log.counts() == {"drop": 1}
+
+    def test_duplicate_delivers_twice(self):
+        sink = []
+        channel = _channel(self._one_kind("duplicate"), sink)
+        channel.send([_item(1)])
+        assert len(sink) == 2
+        assert sink[0][0] == sink[1][0] == 1
+
+    def test_corrupt_breaks_crc_but_keeps_rid(self):
+        sink = []
+        channel = _channel(self._one_kind("corrupt"), sink)
+        channel.send([_item(9)])
+        (delivered,) = sink
+        assert delivered[0] == 9          # rid always salvageable
+        assert not check_crc(delivered)   # receiver detects and NAKs
+
+    def test_reorder_lands_after_next_send(self):
+        sink = []
+        plan = ChannelFaultPlan(reorder_p=1.0, stop=1)  # only rid 1
+        channel = _channel(plan, sink)
+        channel.send([_item(1)])
+        assert sink == []                 # held
+        channel.send([_item(2)])
+        assert [item[0] for item in sink] == [2, 1]
+
+    def test_delay_holds_until_flush_past_due(self):
+        sink = []
+        clock = FakeClock()
+        channel = _channel(ChannelFaultPlan(delay_p=1.0, delay_s=0.5),
+                           sink, clock=clock)
+        channel.send([_item(1)])
+        assert sink == []
+        channel.flush()
+        assert sink == []                 # not due yet
+        clock.t = 0.6
+        channel.flush()
+        assert [item[0] for item in sink] == [1]
+
+    def test_close_flushes_everything_held(self):
+        sink = []
+        clock = FakeClock()
+        plan = ChannelFaultPlan(delay_p=0.5, reorder_p=0.5, delay_s=9.0)
+        channel = _channel(plan, sink, clock=clock)
+        channel.send([_item(rid) for rid in range(6)])
+        held = 6 - len(sink)
+        assert held > 0
+        channel.close()
+        assert len(sink) == 6
+        channel.send([_item(99)])         # closed: refused
+        assert len(sink) == 6
+
+    def test_drop_pending_discards_and_closes(self):
+        sink = []
+        clock = FakeClock()
+        channel = _channel(ChannelFaultPlan(delay_p=1.0, delay_s=9.0),
+                           sink, clock=clock)
+        channel.send([_item(1), _item(2)])
+        assert channel.drop_pending() == 2
+        assert sink == []
+        clock.t = 100.0
+        channel.flush()
+        channel.send([_item(3)])
+        assert sink == []                 # closed for good
+
+
+class TestDeterminism:
+    PLAN = ChannelFaultPlan(drop_p=0.1, duplicate_p=0.1, corrupt_p=0.1,
+                            reorder_p=0.1, delay_p=0.1, delay_s=0.01)
+
+    def test_same_seed_same_decisions_and_digest(self):
+        logs = []
+        for _ in range(2):
+            log = ChannelFaultLog()
+            sink = []
+            channel = _channel(self.PLAN, sink, seed=7, log=log)
+            channel.send([_item(rid) for rid in range(200)])
+            channel.close()
+            logs.append(log)
+        assert logs[0].canonical() == logs[1].canonical()
+        assert logs[0].digest() == logs[1].digest()
+        assert len(logs[0]) > 0
+
+    def test_decision_cached_per_rid(self):
+        """A resend of the same rid on the same channel repeats its
+        fate; that is why the router redispatches NAKed rids to a
+        *different* replica."""
+        sink = []
+        channel = _channel(self.PLAN, sink, seed=7)
+        channel.send([_item(rid) for rid in range(50)])
+        first = channel.decisions()
+        channel.send([_item(rid) for rid in range(50)])
+        assert channel.decisions() == first
+
+    def test_channels_draw_independently(self):
+        decisions = {}
+        for name, direction in (("w0", "tx"), ("w0", "rx"), ("w1", "tx")):
+            sink = []
+            channel = _channel(self.PLAN, sink, seed=7, name=name,
+                               direction=direction)
+            channel.send([_item(rid) for rid in range(100)])
+            decisions[(name, direction)] = channel.decisions()
+        assert decisions[("w0", "tx")] != decisions[("w0", "rx")]
+        assert decisions[("w0", "tx")] != decisions[("w1", "tx")]
+
+    def test_digest_independent_of_record_order(self):
+        a, b = ChannelFaultLog(), ChannelFaultLog()
+        events = [("w0", "tx", 3, "drop", 0), ("w1", "rx", 1, "delay", 4),
+                  ("w0", "rx", 2, "corrupt", 1)]
+        for event in events:
+            a.record(*event)
+        for event in reversed(events):
+            b.record(*event)
+        assert a.digest() == b.digest()
+
+    def test_probability_sum_validated(self):
+        with pytest.raises(ValueError):
+            ChannelFaultPlan(drop_p=0.6, corrupt_p=0.6)

@@ -1,0 +1,106 @@
+"""Phi-accrual failure detector on a fake clock: suspicion tracks each
+replica's *own* heartbeat cadence, not a global timeout."""
+
+import math
+
+from repro.resilience import PhiAccrualDetector
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _detector(**kw):
+    clock = FakeClock()
+    return PhiAccrualDetector(clock=clock, **kw), clock
+
+
+def _feed(detector, clock, name, interval, beats):
+    for _ in range(beats):
+        clock.advance(interval)
+        detector.heartbeat(name)
+
+
+class TestPhi:
+    def test_unknown_replica_is_not_suspect(self):
+        detector, _ = _detector()
+        assert detector.phi("ghost") == 0.0
+        assert not detector.is_suspect("ghost")
+        assert detector.penalty("ghost") == 0.0
+
+    def test_healthy_replica_low_phi(self):
+        detector, clock = _detector()
+        _feed(detector, clock, "w0", 0.05, 40)
+        clock.advance(0.05)  # exactly on cadence
+        assert detector.phi("w0") < 1.0
+        assert not detector.is_suspect("w0")
+        assert detector.penalty("w0") == 0.0
+
+    def test_silence_grows_phi_past_threshold(self):
+        detector, clock = _detector(threshold=8.0)
+        _feed(detector, clock, "w0", 0.05, 40)
+        clock.advance(2.0)  # 40x the cadence
+        assert detector.phi("w0") >= 8.0
+        assert detector.is_suspect("w0")
+        assert detector.penalty("w0") > 0.0
+
+    def test_phi_is_monotone_in_silence(self):
+        detector, clock = _detector()
+        _feed(detector, clock, "w0", 0.05, 40)
+        values = []
+        for _ in range(6):
+            clock.advance(0.25)
+            values.append(detector.phi("w0"))
+        assert values == sorted(values)
+
+    def test_adaptive_per_replica_cadence(self):
+        """The detector's whole point: a slow-but-regular worker is not
+        declared dead by a fast worker's standard, while the same
+        silence damns the fast one."""
+        detector, clock = _detector()
+        # A chatty worker (10ms cadence) and a slow, jittery one
+        # (400-600ms cadence) heartbeat side by side.
+        next_slow, slow_gap = 0.5, 0.4
+        for i in range(500):
+            clock.advance(0.01)
+            detector.heartbeat("fast")
+            if clock.t >= next_slow:
+                detector.heartbeat("slow")
+                slow_gap = 1.0 - slow_gap  # alternate 0.4s / 0.6s
+                next_slow = clock.t + slow_gap
+        detector.heartbeat("slow")  # align both, then go silent
+        detector.heartbeat("fast")
+        clock.advance(0.65)  # both silent for 650ms
+        assert detector.is_suspect("fast")
+        assert not detector.is_suspect("slow")
+
+    def test_forget_clears_state(self):
+        detector, clock = _detector()
+        _feed(detector, clock, "w0", 0.05, 10)
+        clock.advance(10.0)
+        assert detector.is_suspect("w0")
+        detector.forget("w0")
+        assert detector.phi("w0") == 0.0
+        assert "w0" not in detector.snapshot()
+
+    def test_penalty_caps_infinite_phi(self):
+        detector, clock = _detector(min_std_s=1e-9)
+        _feed(detector, clock, "w0", 0.01, 40)
+        clock.advance(1000.0)
+        assert math.isinf(detector.phi("w0"))
+        assert detector.penalty("w0") == 1e6
+
+    def test_snapshot_reports_all_known(self):
+        detector, clock = _detector()
+        _feed(detector, clock, "a", 0.05, 5)
+        _feed(detector, clock, "b", 0.05, 5)
+        snap = detector.snapshot()
+        assert set(snap) == {"a", "b"}
+        assert all(isinstance(v, float) for v in snap.values())

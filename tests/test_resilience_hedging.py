@@ -1,0 +1,71 @@
+"""Hedge policy thresholds and the deterministic submission-refilled
+retry budget."""
+
+import pytest
+
+from repro.resilience import HedgePolicy, RetryBudget
+
+
+class TestHedgePolicy:
+    def test_threshold_floors_on_cold_start(self):
+        policy = HedgePolicy(latency_multiplier=3.0, min_threshold_s=0.05)
+        assert policy.threshold(None) == 0.05
+        assert policy.threshold(0.0) == 0.05
+        assert policy.threshold(0.001) == 0.05  # 3ms < floor
+
+    def test_threshold_scales_with_p95(self):
+        policy = HedgePolicy(latency_multiplier=3.0, min_threshold_s=0.05)
+        assert policy.threshold(0.1) == pytest.approx(0.3)
+        assert policy.threshold(1.0) == pytest.approx(3.0)
+
+    def test_defaults_allow_one_hedge(self):
+        assert HedgePolicy().max_legs == 2
+
+
+class TestRetryBudget:
+    def test_initial_tokens_then_denial(self):
+        budget = RetryBudget(ratio=0.1, cap=32.0, initial=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        snap = budget.snapshot()
+        assert snap["spent"] == 2
+        assert snap["denied"] == 1
+
+    def test_submissions_refill_at_ratio(self):
+        budget = RetryBudget(ratio=0.25, cap=32.0, initial=0.0)
+        assert not budget.try_spend()
+        for _ in range(4):  # 4 submissions x 0.25 = 1 token
+            budget.on_submit()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_cap_bounds_hoarding(self):
+        budget = RetryBudget(ratio=1.0, cap=3.0, initial=0.0)
+        for _ in range(100):
+            budget.on_submit()
+        assert budget.snapshot()["tokens"] == 3.0
+        assert [budget.try_spend() for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refund_returns_token(self):
+        budget = RetryBudget(ratio=0.0, cap=4.0, initial=1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        budget.refund()
+        assert budget.try_spend()
+
+    def test_deterministic_for_identical_sequences(self):
+        """No clock anywhere: replaying the same submit/spend sequence
+        yields the same decisions and the same snapshot."""
+        def drive(budget):
+            out = []
+            for i in range(200):
+                budget.on_submit()
+                if i % 3 == 0:
+                    out.append(budget.try_spend())
+            return out, budget.snapshot()
+
+        first = drive(RetryBudget(ratio=0.1, cap=8.0, initial=1.0))
+        second = drive(RetryBudget(ratio=0.1, cap=8.0, initial=1.0))
+        assert first == second

@@ -1,0 +1,158 @@
+"""The post-run invariant checker: exactly-once settlement, post-stop
+deadline discipline, legal breaker edges — on synthetic audit streams
+and real request objects."""
+
+import time
+
+import numpy as np
+
+from repro.resilience import (RouterAudit, check_breaker_transitions,
+                              check_requests, check_router_invariants)
+from repro.serve.engine import Request, RequestStatus
+
+
+def _clean_stream():
+    return [
+        ("submit", 1, "net", None),
+        ("submit", 2, "net", 10.0),
+        ("settle", 1, RequestStatus.DONE, True, 1.0, None),
+        ("settle", 2, RequestStatus.FAILED, True, 2.0, 10.0),
+    ]
+
+
+class TestRouterInvariants:
+    def test_clean_stream_passes(self):
+        report = check_router_invariants(_clean_stream())
+        assert report.ok
+        assert report.stats["submitted"] == 2
+        assert report.stats["settled_effective"] == 2
+        assert report.stats["never_settled"] == 0
+
+    def test_never_settled_flagged(self):
+        events = _clean_stream()[:3]  # rid 2 never settles
+        report = check_router_invariants(events)
+        assert not report.ok
+        assert any("never settled" in v for v in report.violations)
+
+    def test_double_settle_flagged(self):
+        events = _clean_stream() + [
+            ("settle", 1, RequestStatus.DONE, True, 3.0, None)]
+        report = check_router_invariants(events)
+        assert not report.ok
+        assert any("settled 2 times" in v for v in report.violations)
+
+    def test_absorbed_duplicate_is_not_a_violation(self):
+        """The idempotence guard reports effective=False for the second
+        settle; that is the defense working, not a violation."""
+        events = _clean_stream() + [
+            ("settle", 1, RequestStatus.DONE, False, 3.0, None),
+            ("duplicate_response", 1, "w0"),
+        ]
+        report = check_router_invariants(events)
+        assert report.ok
+        assert report.stats["duplicate_responses"] == 1
+
+    def test_settle_without_submit_flagged(self):
+        report = check_router_invariants(
+            [("settle", 99, RequestStatus.DONE, True, 1.0, None)])
+        assert any("settle without submit" in v
+                   for v in report.violations)
+
+    def test_post_stop_done_past_deadline_flagged(self):
+        events = [
+            ("submit", 1, "net", 5.0),
+            ("settle", 1, RequestStatus.DONE, True, 9.0, 5.0),
+        ]
+        assert check_router_invariants(events, stop_t=None).ok
+        assert check_router_invariants(events, stop_t=8.0).ok is False
+        # Before stop, a late DONE is the deadline policy's business,
+        # not this invariant's.
+        assert check_router_invariants(events, stop_t=9.5).ok
+
+    def test_dropped_audit_degrades_to_stats(self):
+        events = _clean_stream()[:3]
+        report = check_router_invariants(events, dropped=5)
+        assert report.ok  # cannot distinguish loss from violation
+        assert report.stats["never_settled"] == 1
+        assert report.stats["audit_dropped"] == 5
+
+    def test_audit_is_bounded_with_drop_counter(self):
+        audit = RouterAudit(max_events=3)
+        for rid in range(5):
+            audit.record("submit", rid, "net", None)
+        assert len(audit.events()) == 3
+        assert audit.dropped == 2
+        assert audit.counts() == {"submit": 3}
+
+
+class TestBreakerTransitions:
+    def test_legal_cycle_passes(self):
+        report = check_breaker_transitions([
+            ("net", "closed", "open"),
+            ("net", "open", "half_open"),
+            ("net", "half_open", "open"),
+            ("net", "open", "half_open"),
+            ("net", "half_open", "closed"),
+        ])
+        assert report.ok
+        assert report.stats["breaker_transitions_checked"] == 5
+
+    def test_illegal_edge_flagged(self):
+        report = check_breaker_transitions([("net", "closed", "half_open")])
+        assert any("illegal breaker transition" in v
+                   for v in report.violations)
+
+    def test_noop_edge_flagged(self):
+        report = check_breaker_transitions([("net", "open", "open")])
+        assert any("no-op" in v for v in report.violations)
+
+    def test_dict_records_with_from_to_keys(self):
+        """Worker final payloads serialize transitions as dicts with
+        ``from``/``to`` keys; both spellings must be understood."""
+        report = check_breaker_transitions([
+            {"network": "net", "from": "closed", "to": "open"},
+            {"network": "net", "old": "open", "new": "closed"},
+        ])
+        assert report.ok
+
+
+class TestCheckRequests:
+    def _request(self, rid=1, deadline=None):
+        return Request(network="net", x_raw=np.zeros(4, dtype=np.int64),
+                       submit_time=time.monotonic(), deadline=deadline,
+                       id=rid)
+
+    def test_settled_requests_pass(self):
+        request = self._request()
+        request._settle(RequestStatus.DONE)
+        report = check_requests([request])
+        assert report.ok
+        assert report.stats["requests"] == 1
+
+    def test_unsettled_request_flagged(self):
+        report = check_requests([self._request(rid=3)])
+        assert not report.ok
+        assert any("never settled" in v for v in report.violations)
+
+    def test_duplicate_settles_counted_not_flagged(self):
+        request = self._request()
+        assert request._settle(RequestStatus.DONE)
+        assert not request._settle(RequestStatus.FAILED)
+        report = check_requests([request])
+        assert report.ok
+        assert report.stats["duplicate_settles_absorbed"] == 1
+
+    def test_post_stop_done_past_deadline_flagged(self):
+        request = self._request(deadline=time.monotonic() - 10.0)
+        request._settle(RequestStatus.DONE)
+        report = check_requests([request], stop_t=request.settled_at - 1.0)
+        assert not report.ok
+
+    def test_reports_merge(self):
+        good = check_breaker_transitions([("net", "closed", "open")])
+        bad = check_breaker_transitions([("net", "open", "open")])
+        merged = good.merge(bad)
+        assert not merged.ok
+        assert merged.stats["breaker_transitions_checked"] == 1
+        doc = merged.to_dict()
+        assert doc["ok"] is False and doc["violations"]

@@ -67,7 +67,7 @@ class TestChaosBench:
         networks = suite(4)
         plan = default_scenario(networks, 300)
         kinds = [spec.kind for spec in plan.specs]
-        assert kinds == ["bitflip", "crash", "crash", "latency"]
+        assert kinds == ["bitflip", "crash", "crash", "latency", "sdc"]
         # Each process targets its own network, windows are bounded.
         assert len({spec.network for spec in plan.specs}) == 4
         assert all(spec.stop is not None for spec in plan.specs)
