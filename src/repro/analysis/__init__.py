@@ -11,25 +11,39 @@ Layers:
   checks).
 * :mod:`.cycles` — static per-block cycle bounds cross-validated against
   the instruction-set simulator.
+* :mod:`.domains` / :mod:`.footprint` / :mod:`.absint` — strided-interval
+  abstract interpretation: proven register value ranges, memory-safety
+  proofs against declared buffer footprints, proven loop trip counts,
+  and the differential ISS observer that enforces soundness (the
+  ``repro certify`` CLI backend).
 * :mod:`.linter` — drivers for single programs, generated network
   kernels, and the full RRM suite (the ``repro lint`` CLI backend).
 """
 
+from .absint import (Certificate, LoopFact, MemAccess,
+                     SoundnessViolation, analyze, observe_run,
+                     proven_trip_counts)
 from .cfg import BasicBlock, Cfg, HwLoop, build_cfg, find_hw_loops
 from .cycles import (BlockBounds, BlockSummary, CycleMismatch,
                      block_cycle_bounds, instruction_cost,
                      summarize_blocks, validate_block_cycles)
 from .dataflow import ENTRY_DEF, Liveness, ReachingDefs
+from .domains import INT_MAX, INT_MIN, SInt, TOP, wrap_signed
+from .footprint import Footprint, Region
 from .linter import (ALL_LEVEL_KEYS, LintResult, lint_network,
                      lint_program, lint_suite, lint_text, render_results)
-from .rules import Finding, Severity, run_rules
+from .rules import Finding, Severity, rule_catalog, run_rules
 
 __all__ = [
     "BasicBlock", "Cfg", "HwLoop", "build_cfg", "find_hw_loops",
     "Liveness", "ReachingDefs", "ENTRY_DEF",
-    "Finding", "Severity", "run_rules",
+    "Finding", "Severity", "rule_catalog", "run_rules",
     "BlockBounds", "BlockSummary", "CycleMismatch", "block_cycle_bounds",
     "instruction_cost", "summarize_blocks", "validate_block_cycles",
+    "SInt", "TOP", "INT_MIN", "INT_MAX", "wrap_signed",
+    "Footprint", "Region",
+    "Certificate", "MemAccess", "LoopFact", "SoundnessViolation",
+    "analyze", "observe_run", "proven_trip_counts",
     "LintResult", "lint_program", "lint_text", "lint_network",
     "lint_suite", "render_results", "ALL_LEVEL_KEYS",
 ]

@@ -1,0 +1,1267 @@
+"""Sound abstract interpretation over :class:`repro.isa.Program`.
+
+Produces a :class:`Certificate` with three artifacts:
+
+* **value-range certificates** -- a proven :class:`~.domains.SInt`
+  bound for every register at every annotated program point, plus the
+  set of accumulator instructions whose exact-math result can leave the
+  signed-32 range (``saturation``) and the PLA activations whose input
+  can reach the LUT's saturated segment (``pla_boundary``);
+* **memory-safety proofs** -- every load/store/SPR-prefetch address
+  resolved to a strided interval and checked against the declared
+  :class:`~.footprint.Footprint` (single region, in bounds, aligned);
+* **proven trip counts** -- per-loop body-execution intervals, exact
+  constants for the generated kernels' counted hw-loops and affine
+  branch loops, consumed by ``repro.core.turbo`` and
+  ``repro.perfmodel``.
+
+Two analyzers share one transfer function.  The *structured* analyzer
+recognizes the shape every generated kernel has (properly nested
+hw-loops and backward-branch loops, no other control flow) and
+summarizes each loop with a two-pass havoc/annotate scheme that keeps
+pointer bounds exact; anything else falls back to a classic *CFG
+fixpoint* with threshold widening.  Soundness is enforced empirically
+by :func:`observe_run`, an ISS observer that re-checks every claim
+against concrete execution and raises :class:`SoundnessViolation` on
+any escape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+
+from ..core.cpu import (ALU_OPS, _M32, _PLA_FRAC, _PLA_N, _PLA_ONE,
+                        _PLA_SHIFT, _pla_scalar, _signed32)
+from ..fixedpoint.activations import SIG_TABLE, TANH_TABLE
+from ..isa.instructions import writes_mask
+from .cfg import build_cfg
+from .domains import INT_MAX, INT_MIN, SInt, TOP, wrap_signed
+from .footprint import Footprint
+
+__all__ = ["MemAccess", "LoopFact", "Certificate", "SoundnessViolation",
+           "analyze", "proven_trip_counts", "observe_run"]
+
+_ZERO = SInt.const(0)
+_BOOL = SInt.interval(0, 1)
+_H16 = SInt.interval(-32768, 32767)
+
+#: Exact-math bounds of the packed dot products (operand halves/bytes
+#: are unconstrained): 2 x [-2^15, 2^15-1]^2 and 4 x [-2^7, 2^7-1]^2.
+_DOT2H = (2 * (-32768 * 32767), 2 * (32768 * 32768))
+_DOT4B = (4 * (-128 * 127), 4 * (128 * 128))
+
+#: First input magnitude that lands in the PLA's saturated segment.
+_PLA_LIM = _PLA_N << _PLA_SHIFT
+
+
+def _pla_out_bounds(table, is_sig: bool):
+    """Exact output hull of Algorithm 2 over all 32-bit inputs: each
+    segment is affine in the magnitude, so endpoint evaluation plus the
+    saturated segment covers everything."""
+    ys = [_PLA_ONE]
+    for idx in range(_PLA_N):
+        for mag in (idx << _PLA_SHIFT, ((idx + 1) << _PLA_SHIFT) - 1):
+            ys.append(((int(table.slopes[idx]) * mag) >> _PLA_FRAC)
+                      + int(table.offsets[idx]))
+    cands = []
+    for y in ys:
+        cands.append(y)
+        neg = _PLA_ONE - y if is_sig else -y
+        cands.append(neg)
+    cands = [max(-32768, min(32767, c)) for c in cands]
+    return SInt.interval(min(cands), max(cands))
+
+
+_TANH_OUT = _pla_out_bounds(TANH_TABLE, False)
+_SIG_OUT = _pla_out_bounds(SIG_TABLE, True)
+
+_LOAD_RANGES = {1: SInt.interval(-128, 127),
+                2: _H16}
+_ULOAD_RANGES = {1: SInt.interval(0, 255),
+                 2: SInt.interval(0, 65535)}
+
+
+class SoundnessViolation(AssertionError):
+    """An ISS-observed value or address escaped its proven range."""
+
+
+class _Abort(Exception):
+    """Program shape outside the structured fragment."""
+
+
+# ---------------------------------------------------------------------------
+# Certificate artifacts
+
+
+@dataclass
+class MemAccess:
+    """Proven address range of one load/store/SPR-prefetch site."""
+
+    idx: int
+    mnemonic: str
+    kind: str              # "load" | "store"
+    size: int
+    lo: int
+    hi: int
+    stride: int
+    postinc: bool
+    aligned: bool
+    in_bounds: bool
+    region: str            # declared region name, or ""
+    proven: bool
+    reason: str = ""       # why unproven ("" when proven)
+    check: bool = True     # observer can recompute the effective addr
+
+    def merge(self, other: "MemAccess") -> None:
+        lo, hi = min(self.lo, other.lo), max(self.hi, other.hi)
+        self.stride = gcd(gcd(self.stride, other.stride),
+                          abs(self.lo - other.lo))
+        self.lo, self.hi = lo, hi
+        self.aligned &= other.aligned
+        self.in_bounds &= other.in_bounds
+        if self.region != other.region:
+            self.region = ""
+        if not other.proven:
+            self.proven = False
+            self.reason = self.reason or other.reason
+        self.check &= other.check
+
+    def to_dict(self) -> dict:
+        doc = {"idx": self.idx, "mnemonic": self.mnemonic,
+               "kind": self.kind, "size": self.size,
+               "lo": self.lo, "hi": self.hi, "stride": self.stride,
+               "region": self.region, "proven": self.proven}
+        if not self.proven:
+            doc["reason"] = self.reason
+        return doc
+
+
+@dataclass
+class LoopFact:
+    """Body-execution count of one loop, per entry to the loop."""
+
+    head: int              # hw: setup idx; br: branch target idx
+    back: int              # hw: body-end idx; br: branch idx
+    kind: str              # "hw" | "br"
+    trip: tuple = None     # (lo, hi) body executions, or None (unproven)
+
+    def to_dict(self) -> dict:
+        return {"head": self.head, "back": self.back, "kind": self.kind,
+                "trip": list(self.trip) if self.trip else None}
+
+
+class Certificate:
+    """Everything :func:`analyze` proved about one program."""
+
+    def __init__(self, program, footprint: Footprint):
+        self.program = program
+        self.footprint = footprint
+        self.mode = "opaque"
+        n = len(program)
+        #: Per-instruction proven register claims ({reg: SInt}; a reg
+        #: absent from the dict is unconstrained, ``None`` = no claims).
+        self.reg_before: list = [None] * n
+        self.accesses: dict = {}
+        self.loops: list = []
+        #: idx -> exact-math (lo, hi) that exceeded the signed-32 range.
+        self.saturation: dict = {}
+        #: idx -> PLA input may reach the saturated LUT segment.
+        self.pla_boundary: dict = {}
+
+    # ------------------------------------------------------------ sinks
+    def record_regs(self, idx: int, state) -> None:
+        claims = {r: v for r, v in enumerate(state) if r and not v.is_top}
+        prev = self.reg_before[idx]
+        if prev is None:
+            self.reg_before[idx] = claims
+        else:
+            self.reg_before[idx] = {
+                r: prev[r].join(claims[r])
+                for r in prev.keys() & claims.keys()}
+
+    def record_access(self, access: MemAccess) -> None:
+        prev = self.accesses.get(access.idx)
+        if prev is None:
+            self.accesses[access.idx] = access
+        else:
+            prev.merge(access)
+
+    def record_saturation(self, idx: int, lo: int, hi: int) -> None:
+        prev = self.saturation.get(idx)
+        if prev is not None:
+            lo, hi = min(lo, prev[0]), max(hi, prev[1])
+        self.saturation[idx] = (lo, hi)
+
+    def record_pla(self, idx: int, may_reach: bool) -> None:
+        self.pla_boundary[idx] = self.pla_boundary.get(idx, False) \
+            or may_reach
+
+    def reset(self) -> None:
+        self.reg_before = [None] * len(self.program)
+        self.accesses = {}
+        self.loops = []
+        self.saturation = {}
+        self.pla_boundary = {}
+
+    # ---------------------------------------------------------- queries
+    @property
+    def unproven(self) -> list:
+        return [a for a in self.accesses.values() if not a.proven]
+
+    @property
+    def proven(self) -> bool:
+        return not self.unproven
+
+    def trip_of(self, back_idx: int):
+        for fact in self.loops:
+            if fact.back == back_idx:
+                return fact.trip
+        return None
+
+    def bound_at(self, idx: int, reg: int):
+        """Proven SInt for ``reg`` just before ``idx`` (TOP default)."""
+        claims = self.reg_before[idx]
+        if claims is None:
+            return None
+        return claims.get(reg, TOP)
+
+    def to_dict(self, full: bool = False) -> dict:
+        annotated = sum(1 for c in self.reg_before if c is not None)
+        doc = {
+            "mode": self.mode,
+            "instructions": len(self.program),
+            "annotated": annotated,
+            "accesses": len(self.accesses),
+            "proven": self.proven,
+            "unproven": [a.to_dict() for a in self.unproven],
+            "loops": [lf.to_dict() for lf in self.loops],
+            "saturating_accumulators": sorted(self.saturation),
+            "pla_boundary": sorted(
+                i for i, v in self.pla_boundary.items() if v),
+            "footprint": self.footprint.to_dict(),
+        }
+        if full:
+            doc["accesses_detail"] = [
+                self.accesses[i].to_dict() for i in sorted(self.accesses)]
+            doc["reg_before"] = {
+                str(i): {str(r): [v.lo, v.hi, v.stride]
+                         for r, v in sorted(claims.items())}
+                for i, claims in enumerate(self.reg_before)
+                if claims is not None}
+        return doc
+
+
+# ---------------------------------------------------------------------------
+# Shared transfer function
+
+
+class _Interp:
+    """Abstract transfer function shared by both analyzers.
+
+    ``effects`` (when not ``None``) classifies every register write in
+    the current loop body as mod-2**32 *additive* (``("add", lo, hi)``
+    exact-math per-execution delta) or arbitrary (``("set",)``) -- the
+    information loop summarization accelerates on.
+    """
+
+    def __init__(self, program, footprint: Footprint, cert: Certificate):
+        self.p = program
+        self.fp = footprint
+        self.cert = cert
+
+    # ------------------------------------------------------ state utils
+    @staticmethod
+    def _write(state, r, value, effects, eff):
+        if not r:
+            return
+        state[r] = value
+        if effects is None:
+            return
+        cur = effects.get(r)
+        if eff is None or (cur is not None and cur[0] == "set"):
+            effects[r] = ("set",)
+        elif cur is None:
+            effects[r] = eff
+        else:
+            effects[r] = ("add", cur[1] + eff[1], cur[2] + eff[2])
+
+    # -------------------------------------------------------- transfer
+    def step(self, idx, state, record, effects):
+        """Apply ``program[idx]`` to ``state`` in place; ``record``
+        routes proofs into the certificate."""
+        instr = self.p[idx]
+        m = instr.mnemonic
+        spec = instr.spec
+        if record:
+            self.cert.record_regs(idx, state)
+        if spec.is_branch or m in ("lp.setup", "lp.setupi", "fence",
+                                   "ecall", "ebreak"):
+            return     # control flow / no register effect
+        if m == "jal":
+            self._write(state, instr.rd,
+                        SInt.const(instr.addr + 4), effects, None)
+            return
+        if m == "jalr":
+            self._write(state, instr.rd,
+                        SInt.const(instr.addr + 4), effects, None)
+            return
+        if m.startswith("csrr"):
+            self._write(state, instr.rd, TOP, effects, None)
+            return
+        if m == "lui":
+            self._write(state, instr.rd,
+                        SInt.const((instr.imm << 12) & _M32), effects,
+                        None)
+            return
+        if m == "auipc":
+            self._write(state, instr.rd,
+                        SInt.const((instr.addr + (instr.imm << 12))
+                                   & _M32), effects, None)
+            return
+        if m.startswith("pl.sdotsp"):
+            self._sdotsp(idx, instr, state, record, effects)
+            return
+        if spec.is_load or spec.is_store:
+            self._memory(idx, instr, state, record, effects)
+            return
+        if m in ("pl.tanh", "pl.sig"):
+            self._pla(idx, instr, state, record, effects)
+            return
+        self._alu(idx, instr, state, record, effects)
+
+    # ------------------------------------------------------ memory ops
+    def _memory(self, idx, instr, state, record, effects):
+        spec = instr.spec
+        size = spec.size
+        if spec.postinc:
+            addr = state[instr.rs1]
+        else:
+            addr = state[instr.rs1].add_const(instr.imm)
+        if record:
+            self._record_access(idx, instr, addr, size,
+                                "load" if spec.is_load else "store")
+        if spec.is_load:
+            if size == 4:
+                value = TOP
+            elif spec.signed:
+                value = _LOAD_RANGES[size]
+            else:
+                value = _ULOAD_RANGES[size]
+            self._write(state, instr.rd, value, effects, None)
+        if spec.postinc:
+            # Post-increment wins over the loaded value on rd == rs1
+            # (the core writes rd first, then rs1 = addr + imm).
+            self._write(state, instr.rs1, addr.add_const(instr.imm),
+                        effects, ("add", instr.imm, instr.imm))
+
+    def _sdotsp(self, idx, instr, state, record, effects):
+        rd, rs1 = instr.rd, instr.rs1
+        dlo, dhi = _DOT4B if ".b." in instr.mnemonic else _DOT2H
+        if rd:
+            acc = state[rd]
+            value, wrapped = wrap_signed(acc.lo + dlo, acc.hi + dhi, 1)
+            if wrapped and record:
+                self.cert.record_saturation(idx, acc.lo + dlo,
+                                            acc.hi + dhi)
+            self._write(state, rd, value, effects, ("add", dlo, dhi))
+        # SPR prefetch reads the word at rs1 *after* the rd write.
+        addr = state[rs1]
+        if record:
+            self._record_access(idx, instr, addr, 4, "load",
+                                check=rd != rs1)
+        self._write(state, rs1, addr.add_const(4), effects,
+                    ("add", 4, 4))
+
+    def _record_access(self, idx, instr, addr, size, kind, check=True):
+        lo, hi = addr.lo, addr.hi + size - 1
+        in_bounds = addr.lo >= 0 and self.fp.in_bounds(lo, hi)
+        aligned = addr.aligned(size)
+        region = self.fp.region_containing(lo, hi) if in_bounds else None
+        rname = region.name if region else ""
+        proven, reason = True, ""
+        if not in_bounds:
+            proven, reason = False, "address not proven inside memory"
+        elif not aligned:
+            proven, reason = False, f"not proven {size}-byte aligned"
+        elif self.fp.regions and region is None:
+            # A hull over loop iterations may legitimately span several
+            # adjacent buffers (layer loops alternate input/scratch);
+            # coverage by the contiguous region union still proves it.
+            names = self.fp.covering(lo, hi)
+            if names is None:
+                proven, reason = False, \
+                    "not contained in any declared region"
+            else:
+                rname = "+".join(names)
+        if not check:
+            proven = proven and False
+            reason = reason or "address depends on accumulator (rd==rs1)"
+        self.cert.record_access(MemAccess(
+            idx=idx, mnemonic=instr.mnemonic, kind=kind, size=size,
+            lo=lo, hi=max(lo, hi - size + 1), stride=addr.stride,
+            postinc=instr.spec.postinc
+            or instr.mnemonic.startswith("pl.sdotsp"),
+            aligned=aligned, in_bounds=in_bounds, region=rname,
+            proven=proven, reason=reason, check=check))
+
+    # --------------------------------------------------------- PLA ops
+    def _pla(self, idx, instr, state, record, effects):
+        a = state[instr.rs1]
+        is_sig = instr.mnemonic == "pl.sig"
+        table = SIG_TABLE if is_sig else TANH_TABLE
+        if record:
+            self.cert.record_pla(
+                idx, a.hi >= _PLA_LIM or a.lo <= -_PLA_LIM)
+        if a.is_const:
+            value = SInt.const(_pla_scalar(a.lo, table.slopes,
+                                           table.offsets, is_sig))
+        else:
+            value = _SIG_OUT if is_sig else _TANH_OUT
+        self._write(state, instr.rd, value, effects, None)
+
+    # --------------------------------------------------------- ALU ops
+    def _alu(self, idx, instr, state, record, effects):
+        m = instr.mnemonic
+        rd, imm = instr.rd, instr.imm
+        a = state[instr.rs1] if instr.rs1 is not None else _ZERO
+        b = state[instr.rs2] if instr.rs2 is not None else _ZERO
+
+        # Accumulators: exact-math delta + wrap, saturation recorded.
+        if m in ("p.mac", "pv.sdotsp.h", "pv.sdotsp.b"):
+            if m == "p.mac":
+                dlo, dhi = a.prod_bounds(b)
+            elif m == "pv.sdotsp.h":
+                dlo, dhi = self._dot_bounds(a, b, _DOT2H, 2)
+            else:
+                dlo, dhi = self._dot_bounds(a, b, _DOT4B, 4)
+            acc = state[rd] if rd else _ZERO
+            stride = gcd(acc.stride, abs(dlo)) if dlo == dhi else 1
+            value, wrapped = wrap_signed(acc.lo + dlo, acc.hi + dhi,
+                                         stride or 1)
+            if wrapped and record:
+                self.cert.record_saturation(idx, acc.lo + dlo,
+                                            acc.hi + dhi)
+            self._write(state, rd, value, effects, ("add", dlo, dhi))
+            return
+
+        # Constant operands: defer to the ISS's own ALU table (exact by
+        # construction, covers every odd corner of the packed ops).
+        fn = ALU_OPS.get(m)
+        if fn is not None and a.is_const and b.is_const:
+            value = SInt.const(fn(a.lo & _M32, b.lo & _M32, imm))
+            self._write(state, rd, value, effects,
+                        self._const_eff(m, instr, value))
+            return
+
+        value, eff = self._alu_range(m, instr, a, b)
+        self._write(state, rd, value, effects, eff)
+
+    @staticmethod
+    def _dot_bounds(a, b, full, lanes):
+        if a.is_const and b.is_const:
+            fn = ALU_OPS["pv.sdotsp.h" if lanes == 2 else "pv.sdotsp.b"]
+            d = _signed32(fn(a.lo & _M32, b.lo & _M32, 0))
+            return d, d
+        return full
+
+    @staticmethod
+    def _const_eff(m, instr, value):
+        """Effect classification for the constant fast path."""
+        if m == "addi" and instr.rd == instr.rs1:
+            return ("add", instr.imm, instr.imm)
+        return None
+
+    def _alu_range(self, m, instr, a, b):
+        """Interval transfer; returns ``(value, effect)``."""
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        if m == "addi":
+            eff = ("add", imm, imm) if rd == rs1 else None
+            return a.add_const(imm), eff
+        if m == "add":
+            if rd == rs1:
+                eff = ("add", b.lo, b.hi)
+            elif rd == rs2:
+                eff = ("add", a.lo, a.hi)
+            else:
+                eff = None
+            return a.add(b), eff
+        if m == "sub":
+            eff = ("add", -b.hi, -b.lo) if rd == rs1 else None
+            return a.sub(b), eff
+        if m == "slti":
+            return self._cmp_lt(a, SInt.const(imm)), None
+        if m == "slt":
+            return self._cmp_lt(a, b), None
+        if m == "sltiu":
+            return self._cmp_ltu(a, SInt.const(imm)), None
+        if m == "sltu":
+            return self._cmp_ltu(a, b), None
+        if m == "xori":
+            return a.xor_(SInt.const(imm)), None
+        if m == "xor":
+            return a.xor_(b), None
+        if m == "ori":
+            return a.or_(SInt.const(imm)), None
+        if m == "or":
+            return a.or_(b), None
+        if m == "andi":
+            return a.and_(SInt.const(imm)), None
+        if m == "and":
+            return a.and_(b), None
+        if m == "slli":
+            return a.shl_const(imm), None
+        if m == "srli":
+            return a.srl_const(imm), None
+        if m == "srai":
+            return a.sra_const(imm), None
+        if m in ("sll", "srl", "sra"):
+            if b.is_const:
+                n = b.lo & 31
+                if m == "sll":
+                    return a.shl_const(n), None
+                if m == "srl":
+                    return a.srl_const(n), None
+                return a.sra_const(n), None
+            if m == "sra":
+                cands = (a.lo, a.hi, a.lo >> 31, a.hi >> 31)
+                return SInt.interval(min(cands), max(cands)), None
+            if m == "srl" and a.lo >= 0:
+                return SInt.interval(0, a.hi), None
+            return TOP, None
+        if m == "mul":
+            return a.mul(b), None
+        if m == "mulh":
+            plo, phi = a.prod_bounds(b)
+            return SInt.interval(plo >> 32, phi >> 32), None
+        if m in ("mulhu", "mulhsu"):
+            alo, ahi = a.u_bounds() if m == "mulhu" else (a.lo, a.hi)
+            blo, bhi = b.u_bounds()
+            cands = (alo * blo, alo * bhi, ahi * blo, ahi * bhi)
+            return wrap_signed(min(cands) >> 32, max(cands) >> 32)[0], \
+                None
+        if m in ("div", "divu", "rem", "remu"):
+            return TOP, None
+        if m == "p.abs":
+            if a.lo >= 0:
+                return a, None
+            if a.hi <= 0 and a.lo > INT_MIN:
+                return SInt.interval(-a.hi, -a.lo, a.stride or 1), None
+            mag = max(abs(max(a.lo, INT_MIN + 1)), abs(a.hi))
+            lo = INT_MIN if a.lo == INT_MIN else 0
+            return SInt.interval(lo, mag), None
+        if m == "p.min":
+            return a.min_(b), None
+        if m == "p.max":
+            return a.max_(b), None
+        if m in ("p.minu", "p.maxu"):
+            if (a.lo >= 0 and b.lo >= 0) or (a.hi < 0 and b.hi < 0):
+                return (a.min_(b) if m == "p.minu" else a.max_(b)), None
+            return TOP, None
+        if m == "p.clip":
+            if imm == 0:
+                return SInt.interval(min(a.lo, 0), min(a.hi, 0),
+                                     a.stride or 1), None
+            lo_b, hi_b = -(1 << (imm - 1)), (1 << (imm - 1)) - 1
+            lo = min(max(a.lo, lo_b), hi_b)
+            hi = min(max(a.hi, lo_b), hi_b)
+            stride = a.stride if (a.lo >= lo_b and a.hi <= hi_b) else 1
+            return SInt.interval(lo, hi, stride or 1), None
+        if m == "p.exths":
+            if -32768 <= a.lo and a.hi <= 32767:
+                return a, None
+            return _H16, None
+        if m == "pv.extract.h":
+            return _H16, None
+        if m in ("pv.add.h", "pv.sub.h", "pv.mul.h", "pv.sra.h",
+                 "pv.pack.h"):
+            return TOP, None
+        return TOP, None     # unknown op: havoc rd (sound)
+
+    @staticmethod
+    def _cmp_lt(a, b):
+        if a.hi < b.lo:
+            return SInt.const(1)
+        if a.lo >= b.hi:
+            return SInt.const(0)
+        return _BOOL
+
+    @staticmethod
+    def _cmp_ltu(a, b):
+        alo, ahi = a.u_bounds()
+        blo, bhi = b.u_bounds()
+        if ahi < blo:
+            return SInt.const(1)
+        if alo >= bhi:
+            return SInt.const(0)
+        return _BOOL
+
+
+# ---------------------------------------------------------------------------
+# Structured analyzer (the kernel shape)
+
+
+@dataclass
+class _Loop:
+    kind: str              # "hw" | "br"
+    start: int             # hw: setup idx; br: head (branch target)
+    end: int               # hw: body-end idx; br: branch idx
+    children: list = field(default_factory=list)
+    items: list = field(default_factory=list)
+
+
+#: Structured-analysis refinement rounds.  Round 1 havocs loop-written
+#: registers to TOP; later rounds reuse the previous round's proven
+#: head invariants as the havoc baseline, which lets inner-loop trip
+#: counts (unprovable under TOP operands) classify enclosing-loop
+#: pointer writes as bounded deltas.  Each round peels one level of
+#: "invariant needed to prove the invariant".
+_MAX_ROUNDS = 3
+
+
+class _Structured(_Interp):
+    def run(self) -> None:
+        root = self._tree()
+        self.heads_prev = {}
+        for _ in range(_MAX_ROUNDS):
+            self.heads = {}
+            self.sym = {}
+            self.depth = 0
+            self.halted = False
+            self.cert.reset()
+            state = [_ZERO] * 32
+            self._walk(root.items, state, record=True, effects=None)
+            if self.cert.proven and all(f.trip is not None
+                                        for f in self.cert.loops):
+                break
+            if self.heads == self.heads_prev:
+                break       # fixpoint: another round changes nothing
+            self.heads_prev = self.heads
+
+    # ---------------------------------------------------------- shape
+    def _tree(self) -> _Loop:
+        p = self.p
+        cfg = build_cfg(p)
+        if cfg.bad_targets:
+            raise _Abort("branch outside program")
+        regions = [_Loop("hw", lp.setup_idx, lp.body_end)
+                   for lp in cfg.loops]
+        for idx, instr in enumerate(p):
+            m = instr.mnemonic
+            if instr.spec.is_branch:
+                target = (instr.addr + instr.imm) // 4
+                if target > idx:
+                    raise _Abort("forward branch")
+                regions.append(_Loop("br", target, idx))
+            elif m == "jal" and not (instr.rd == 0 and instr.imm == 4):
+                raise _Abort("jump")
+            elif m == "jalr":
+                raise _Abort("indirect jump")
+        root = _Loop("root", 0, len(p) - 1)
+        regions.sort(key=lambda r: (r.start, -r.end))
+        stack = [root]
+        for region in regions:
+            while stack[-1] is not root \
+                    and region.start > stack[-1].end:
+                stack.pop()
+            parent = stack[-1]
+            if region.end > parent.end or (parent.kind == "hw"
+                                           and region.start
+                                           <= parent.start):
+                raise _Abort("overlapping loops")
+            parent.children.append(region)
+            stack.append(region)
+        self._fill(root)
+        return root
+
+    def _fill(self, loop: _Loop) -> None:
+        pos = loop.start if loop.kind == "root" else loop.start + 1 \
+            if loop.kind == "hw" else loop.start
+        for child in loop.children:
+            loop.items.extend(range(pos, child.start))
+            self._fill(child)
+            loop.items.append(child)
+            pos = child.end + 1
+        loop.items.extend(range(pos, loop.end + 1))
+
+    # ----------------------------------------------------------- walk
+    def _walk(self, items, state, record, effects):
+        for item in items:
+            if self.halted:
+                return
+            if isinstance(item, _Loop):
+                self._loop(item, state, record, effects)
+            else:
+                instr = self.p[item]
+                if instr.mnemonic == "ebreak":
+                    if self.depth:
+                        raise _Abort("ebreak inside a loop")
+                    if record:
+                        self.cert.record_regs(item, state)
+                    self.halted = True
+                    return
+                self._sym_step(instr, state)
+                self.step(item, state, record, effects)
+
+    # -------------------------------------------- symbolic offsets
+    # ``self.sym[r] == (b, k)`` is the *exact* relational fact
+    # ``x_r == x_b + k`` (plain integers; only created across provably
+    # non-wrapping ``addi``).  It is what proves trip counts of loops
+    # whose branch operands are both re-derived from one havocked
+    # pointer (``t1 = t0; t6 = t0 + 6``): the interval corners of
+    # correlated operands are wildly loose, their difference is exact.
+    def _sym_step(self, instr, state) -> None:
+        sym = self.sym
+        if instr.mnemonic == "addi" and instr.rd and instr.rs1:
+            rd, rs1, imm = instr.rd, instr.rs1, instr.imm
+            a = state[rs1]
+            if INT_MIN <= a.lo + imm and a.hi + imm <= INT_MAX:
+                if rd == rs1:
+                    # rd advanced by imm: shift every fact through it.
+                    for r, (b, k) in list(sym.items()):
+                        if b == rd:
+                            sym[r] = (b, k - imm)
+                        elif r == rd:
+                            sym[r] = (b, k + imm)
+                    return
+                base, k = sym.get(rs1, (rs1, 0))
+                self._sym_kill(rd)
+                if base != rd:
+                    sym[rd] = (base, k + imm)
+                return
+        mask = writes_mask(instr)
+        if mask:
+            for r in range(1, 32):
+                if (mask >> r) & 1:
+                    self._sym_kill(r)
+
+    def _sym_kill(self, r: int) -> None:
+        sym = self.sym
+        sym.pop(r, None)
+        for q, (b, _) in list(sym.items()):
+            if b == r:
+                del sym[q]
+
+    def _written(self, loop: _Loop):
+        mask = 0
+        for idx in range(loop.start, loop.end + 1):
+            mask |= writes_mask(self.p[idx])
+        return [r for r in range(1, 32) if (mask >> r) & 1]
+
+    def _loop(self, loop, state, record, effects):
+        p = self.p
+        setup = p[loop.start] if loop.kind == "hw" else None
+        trip = None
+        if setup is not None:
+            if record:
+                self.cert.record_regs(loop.start, state)
+            if setup.mnemonic == "lp.setupi":
+                n = max(setup.imm, 1)
+                trip = (n, n)
+            else:
+                cnt = state[setup.rs1] if setup.rs1 else _ZERO
+                ulo, uhi = cnt.u_bounds()
+                trip = (ulo, uhi)
+                if uhi == 0:      # provably skipped
+                    if record:
+                        self.cert.loops.append(LoopFact(
+                            loop.start, loop.end, "hw", (0, 0)))
+                    return
+
+        writes = self._written(loop)
+        havoc = list(state)
+        prev = self.heads_prev.get(id(loop))
+        for r in writes:
+            # The previous round's head invariant already covers every
+            # dynamic iteration-head state (it was recorded on the
+            # covering annotate path), so it is a sound -- and far
+            # tighter -- havoc baseline than TOP.
+            havoc[r] = TOP if prev is None else prev[r].join(state[r])
+
+        # Relational facts valid at the loop entry; only those not
+        # touching a body-written register stay valid at every
+        # iteration head.
+        entry_sym = dict(self.sym)
+        wset = set(writes)
+        inv_sym = {r: bk for r, bk in entry_sym.items()
+                   if r not in wset and bk[0] not in wset}
+
+        # Pass 1 (havoc): classify every write, collect deltas.
+        eff = {}
+        hstate = list(havoc)
+        self.depth += 1
+        self.sym = dict(inv_sym)
+        self._walk(loop.items, hstate, record=False, effects=eff)
+
+        if loop.kind == "br":
+            trip = self._br_trip(p[loop.end], state, eff, entry_sym)
+
+        # Pass 2 (annotate): from the accelerated head invariant.
+        head = self._accel_head(state, hstate, eff, writes, trip)
+        if record:
+            self.heads[id(loop)] = list(head)
+        astate = list(head)
+        self.sym = dict(inv_sym)
+        self._walk(loop.items, astate, record=record, effects=None)
+        self.depth -= 1
+
+        may_skip = trip is not None and trip[0] == 0
+        if may_skip:
+            # Exit may be the entry state: keep only facts that hold
+            # on both the skip and the executed path.
+            self.sym = {r: bk for r, bk in self.sym.items()
+                        if entry_sym.get(r) == bk}
+        out = self._exit_state(state, astate, eff, writes, trip,
+                               may_skip)
+        if record:
+            self.cert.loops.append(LoopFact(
+                loop.start, loop.end, loop.kind, trip))
+        if effects is not None:
+            self._propagate(effects, eff, writes, trip)
+        state[:] = out
+
+    # ---------------------------------------------------- acceleration
+    @staticmethod
+    def _scaled(eff, nlo, nhi):
+        """Net exact-math delta interval over n in [nlo, nhi] trips."""
+        dlo, dhi = eff[1], eff[2]
+        cands = (nlo * dlo, nlo * dhi, nhi * dlo, nhi * dhi)
+        return min(cands), max(cands)
+
+    def _accel_head(self, entry, havoc_out, eff, writes, trip):
+        head = list(entry)
+        for r in writes:
+            e = eff.get(r)
+            if e is None:
+                continue               # never dynamically written
+            if e[0] == "set" or trip is None:
+                if e[0] == "add" and e[1] == e[2] == 0:
+                    continue
+                head[r] = entry[r].join(havoc_out[r])
+                continue
+            nhi = trip[1]
+            dlo, dhi = e[1], e[2]
+            add_lo = min(0, (nhi - 1) * dlo)
+            add_hi = max(0, (nhi - 1) * dhi)
+            stride = gcd(entry[r].stride, abs(dlo)) \
+                if dlo == dhi else 1
+            head[r] = wrap_signed(entry[r].lo + add_lo,
+                                  entry[r].hi + add_hi, stride or 1)[0]
+        return head
+
+    def _exit_state(self, entry, inv_out, eff, writes, trip, may_skip):
+        out = list(inv_out)
+        for r in writes:
+            e = eff.get(r)
+            if e is None:
+                out[r] = entry[r]
+                continue
+            if e[0] == "add" and trip is not None:
+                lo, hi = self._scaled(e, *trip)
+                if trip[0] == trip[1] and e[1] == e[2]:
+                    stride = entry[r].stride
+                else:
+                    stride = gcd(entry[r].stride, abs(e[1])) \
+                        if e[1] == e[2] else 1
+                cand = wrap_signed(entry[r].lo + lo, entry[r].hi + hi,
+                                   stride or 1)[0]
+                met = cand.meet(inv_out[r])
+                out[r] = met if met is not None else cand
+            if may_skip:
+                out[r] = out[r].join(entry[r])
+        return out
+
+    def _propagate(self, effects, eff, writes, trip):
+        for r in writes:
+            e = eff.get(r)
+            if e is None:
+                continue
+            if e[0] == "add" and trip is not None:
+                lo, hi = self._scaled(e, *trip)
+                cur = effects.get(r)
+                if cur is not None and cur[0] == "set":
+                    continue
+                if cur is None:
+                    effects[r] = ("add", lo, hi)
+                else:
+                    effects[r] = ("add", cur[1] + lo, cur[2] + hi)
+            else:
+                effects[r] = ("set",)
+
+    # ----------------------------------------------------- trip counts
+    def _br_trip(self, instr, entry, eff, sym):
+        m = instr.mnemonic
+        deltas = []
+        for reg in (instr.rs1, instr.rs2):
+            e = eff.get(reg or 0)
+            if e is None:
+                deltas.append(0)
+            elif e[0] == "add" and e[1] == e[2]:
+                deltas.append(e[1])
+            else:
+                return None
+        da, db = deltas
+        a = entry[instr.rs1] if instr.rs1 else _ZERO
+        b = entry[instr.rs2] if instr.rs2 else _ZERO
+        d = da - db
+        unsigned = m in ("bltu", "bgeu")
+        if unsigned and (a.lo < 0 or b.lo < 0):
+            return None
+
+        # Exact entry difference when both operands are anchored on
+        # one base register -- independent of the interval widths.
+        rel = None
+        if instr.rs1 and instr.rs2:
+            b1, k1 = sym.get(instr.rs1, (instr.rs1, 0))
+            b2, k2 = sym.get(instr.rs2, (instr.rs2, 0))
+            if b1 == b2:
+                rel = k1 - k2
+
+        if m in ("bne", "beq"):
+            if a.is_const and b.is_const:
+                c0 = a.lo - b.lo
+            elif rel is not None:
+                c0 = rel
+            else:
+                return None
+            if m == "bne":
+                if d == 0:
+                    return (1, 1) if c0 == 0 else None
+                k, rem = divmod(-c0, d)
+                n = k if rem == 0 and k >= 1 else None
+            else:
+                if d == 0:
+                    n = None if c0 == 0 else 1
+                else:
+                    k, rem = divmod(-c0, d)
+                    n = k + 1 if rem == 0 and k >= 1 else 1
+            if n is None or not self._verify(m, c0, d, n):
+                return None
+            trips = (n, n)
+        else:
+            # blt/bge (+unsigned variants restricted to nonnegative
+            # operands): N is monotone in c0 = a0 - b0, so the two
+            # corner differences bound it (exactly one corner when the
+            # relational difference is known).
+            mm = "blt" if m in ("blt", "bltu") else "bge"
+            corners = []
+            cands = (rel,) if rel is not None \
+                else (a.lo - b.hi, a.hi - b.lo)
+            for c0 in cands:
+                n = self._affine_exit(mm, c0, d)
+                if n is None or not self._verify(mm, c0, d, n):
+                    return None
+                corners.append(n)
+            trips = (min(corners), max(corners))
+
+        # The closed form reasons in exact math; make sure the operand
+        # extrapolations never wrap (or go negative under an unsigned
+        # compare) up to the last evaluation.
+        nhi = trips[1]
+        lo_ok = INT_MIN if not unsigned else 0
+        for v, dv in ((a, da), (b, db)):
+            lo = v.lo + nhi * min(dv, 0)
+            hi = v.hi + nhi * max(dv, 0)
+            if lo < lo_ok or hi > INT_MAX:
+                return None
+        return trips
+
+    @staticmethod
+    def _affine_exit(m, c0, d):
+        """Smallest k >= 1 with the branch not taken, operands
+        differing by ``c0 + k*d`` at evaluation k, or None."""
+        if m == "blt":        # taken while c0 + k*d < 0
+            if d <= 0:
+                return 1 if c0 + d >= 0 else None
+            return max(1, -(c0 // d))   # ceil(-c0 / d)
+        # bge: taken while c0 + k*d >= 0
+        if d >= 0:
+            return 1 if c0 + d < 0 else None
+        return max(1, c0 // (-d) + 1)
+
+    @staticmethod
+    def _verify(m, c0, d, n):
+        """Concrete post-check of the closed form: evaluation n exits,
+        evaluation n-1 (if any) stays in the loop."""
+        cond = {"bne": lambda c: c != 0, "beq": lambda c: c == 0,
+                "blt": lambda c: c < 0, "bge": lambda c: c >= 0}[m]
+        if n < 1 or cond(c0 + n * d):
+            return False
+        return n == 1 or cond(c0 + (n - 1) * d)
+
+
+# ---------------------------------------------------------------------------
+# Generic CFG fixpoint (fallback)
+
+_WIDEN_AFTER = 2
+_VISIT_CAP = 60
+
+
+class _CfgFixpoint(_Interp):
+    def run(self) -> None:
+        p = self.p
+        cfg = build_cfg(p)
+        blocks = cfg.blocks
+        n = len(blocks)
+        in_states = [None] * n
+        visits = [0] * n
+        entry = cfg.block_of[0]
+        in_states[entry] = [_ZERO] * 32
+        work = [entry]
+        while work:
+            bid = work.pop()
+            visits[bid] += 1
+            block = blocks[bid]
+            state = list(in_states[bid])
+            if visits[bid] > _VISIT_CAP:
+                state = [TOP] * 32
+                state[0] = _ZERO
+                in_states[bid] = list(state)
+            for idx in range(block.start, block.end + 1):
+                self.step(idx, state, record=False, effects=None)
+            term = p[block.end]
+            for succ in block.succs:
+                sstate = self._edge_state(term, state, blocks[succ])
+                if sstate is None:
+                    continue       # provably infeasible edge
+                old = in_states[succ]
+                if old is None:
+                    in_states[succ] = sstate
+                    work.append(succ)
+                    continue
+                merged = [o.join(s) for o, s in zip(old, sstate)]
+                if blocks[succ].start <= block.start \
+                        and visits[succ] >= _WIDEN_AFTER:
+                    merged = [o.widen(j) for o, j in zip(old, merged)]
+                if any(not o.includes(m)
+                       for o, m in zip(old, merged)):
+                    in_states[succ] = merged
+                    if succ not in work:
+                        work.append(succ)
+
+        # Annotation sweep from the stabilized block entries.
+        for bid, state in enumerate(in_states):
+            if state is None:
+                continue
+            state = list(state)
+            for idx in range(blocks[bid].start, blocks[bid].end + 1):
+                self.step(idx, state, record=True, effects=None)
+                if p[idx].mnemonic == "ebreak":
+                    break
+
+        # Loop facts: nothing is proven beyond the architectural bound
+        # of counted hw-loops (a branch may still leave the body early).
+        for lp in cfg.loops:
+            trip = (0, max(lp.count, 1)) if lp.counted else None
+            self.cert.loops.append(LoopFact(lp.setup_idx, lp.body_end,
+                                            "hw", trip))
+        for bid, block in enumerate(blocks):
+            term = p[block.end]
+            if term.spec.is_branch and in_states[bid] is not None:
+                target = (term.addr + term.imm) // 4
+                if target <= block.end:
+                    self.cert.loops.append(LoopFact(
+                        target, block.end, "br", None))
+
+    def _edge_state(self, term, state, succ_block):
+        """Out-state along one CFG edge, refined by the branch verdict
+        when the edge direction is unambiguous."""
+        if not term.spec.is_branch:
+            return list(state)
+        target = (term.addr + term.imm) // 4
+        fall = (term.addr // 4) + 1
+        if succ_block.start == target and target != fall:
+            taken = True
+        elif succ_block.start == fall:
+            taken = False
+        else:
+            return list(state)
+        return self._refine(term, state, taken)
+
+    def _refine(self, term, state, taken):
+        m = term.mnemonic
+        a = state[term.rs1] if term.rs1 else _ZERO
+        b = state[term.rs2] if term.rs2 else _ZERO
+        if m in ("bltu", "bgeu"):
+            if a.lo < 0 or b.lo < 0:
+                return list(state)
+            m = "blt" if m == "bltu" else "bge"
+        lt = (m == "blt" and taken) or (m == "bge" and not taken)
+        ge = (m == "bge" and taken) or (m == "blt" and not taken)
+        eq = (m == "beq" and taken) or (m == "bne" and not taken)
+        na, nb = a, b
+        if lt:          # a < b
+            if b.hi == INT_MIN:
+                return None
+            na = a.meet(SInt.interval(INT_MIN, b.hi - 1))
+            nb = None if na is None else \
+                b.meet(SInt.interval(a.lo + 1 if a.lo < INT_MAX
+                                     else INT_MAX, INT_MAX))
+        elif ge:        # a >= b
+            na = a.meet(SInt.interval(b.lo, INT_MAX))
+            nb = None if na is None else \
+                b.meet(SInt.interval(INT_MIN, a.hi))
+        elif eq:
+            na = a.meet(b)
+            nb = None if na is None else b.meet(a)
+        if na is None or nb is None:
+            return None
+        out = list(state)
+        if term.rs1:
+            out[term.rs1] = na
+        if term.rs2:
+            out[term.rs2] = nb
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+
+
+def analyze(program, footprint: Footprint = None,
+            mem_size: int = 1 << 20) -> Certificate:
+    """Analyze ``program`` and return its :class:`Certificate`.
+
+    Tries the precise structured analyzer first (every generated kernel
+    fits), falling back to the widening CFG fixpoint; programs with
+    indirect jumps get an *opaque* certificate that claims nothing but
+    flags every memory access unproven.
+    """
+    fp = footprint if footprint is not None else \
+        Footprint.default(mem_size)
+    cert = Certificate(program, fp)
+    if any(instr.mnemonic == "jalr" for instr in program):
+        for idx, instr in enumerate(program):
+            spec = instr.spec
+            if spec.is_load or spec.is_store \
+                    or instr.mnemonic.startswith("pl.sdotsp"):
+                cert.record_access(MemAccess(
+                    idx=idx, mnemonic=instr.mnemonic,
+                    kind="load" if spec.is_load else "store",
+                    size=spec.size or 4, lo=0, hi=fp.mem_size - 1,
+                    stride=1, postinc=bool(spec.postinc),
+                    aligned=False, in_bounds=False, region="",
+                    proven=False, reason="indirect control flow",
+                    check=False))
+        return cert
+    try:
+        _Structured(program, fp, cert).run()
+        cert.mode = "structured"
+    except _Abort:
+        cert.reset()
+        _CfgFixpoint(program, fp, cert).run()
+        cert.mode = "cfg"
+    return cert
+
+
+def proven_trip_counts(program, footprint: Footprint = None) -> dict:
+    """``{branch_idx: N}`` for every branch loop with an absint-proven
+    *constant* trip count (body executions per loop entry).  Cached on
+    the program object; never raises on analyzable input."""
+    cache = getattr(program, "_absint_trips", None)
+    if cache is not None:
+        return cache
+    trips = {}
+    try:
+        cert = analyze(program, footprint)
+        for fact in cert.loops:
+            if fact.kind == "br" and fact.trip \
+                    and fact.trip[0] == fact.trip[1]:
+                trips[fact.back] = fact.trip[0]
+    except Exception:       # pragma: no cover - defensive only
+        trips = {}
+    try:
+        program._absint_trips = trips
+    except AttributeError:  # pragma: no cover - exotic program types
+        pass
+    return trips
+
+
+# ---------------------------------------------------------------------------
+# Differential soundness observer
+
+
+def observe_run(cpu, cert: Certificate, entry: int = 0,
+                max_steps: int = 20_000_000) -> dict:
+    """Drive ``cpu`` like :meth:`Cpu.run` while checking every executed
+    instruction against ``cert``: register claims before execution,
+    effective load/store addresses against their proven ranges.  Raises
+    :class:`SoundnessViolation` on any escape.  Returns observer stats
+    including per-instruction execution counts (used to cross-validate
+    proven trip counts)."""
+    program = cert.program
+    code = cpu._code
+    hw = cpu._hw
+    regs = cpu.regs
+    size = len(code)
+    idx = entry // 4
+    steps = 0
+    reg_checks = 0
+    addr_checks = 0
+    counts = {}
+    opaque = cert.mode == "opaque"
+    cpu.halted = False
+    while 0 <= idx < size:
+        instr = program[idx]
+        claims = cert.reg_before[idx]
+        if claims is None:
+            if not opaque:
+                raise SoundnessViolation(
+                    f"executed unannotated instruction at idx {idx} "
+                    f"({instr})")
+        else:
+            for r, iv in claims.items():
+                v = _signed32(regs[r])
+                if not iv.contains(v):
+                    raise SoundnessViolation(
+                        f"x{r} = {v} outside proven {iv} before idx "
+                        f"{idx} ({instr})")
+            reg_checks += 1
+        spec = instr.spec
+        if spec.is_load or spec.is_store \
+                or instr.mnemonic.startswith("pl.sdotsp"):
+            access = cert.accesses.get(idx)
+            if access is None:
+                if not opaque:
+                    raise SoundnessViolation(
+                        f"unrecorded memory access at idx {idx} "
+                        f"({instr})")
+            elif access.check:
+                if access.postinc:
+                    addr = regs[instr.rs1]
+                else:
+                    addr = (regs[instr.rs1] + instr.imm) & _M32
+                hi = access.hi
+                ok = access.lo <= addr <= hi and (
+                    access.stride == 0 or addr == access.lo
+                    or (addr - access.lo) % max(access.stride, 1) == 0)
+                if not ok:
+                    raise SoundnessViolation(
+                        f"address 0x{addr:x} outside proven "
+                        f"[0x{access.lo:x}, 0x{hi:x}] "
+                        f"stride {access.stride} at idx {idx} "
+                        f"({instr})")
+                addr_checks += 1
+        counts[idx] = counts.get(idx, 0) + 1
+        nxt = code[idx]()
+        steps += 1
+        if steps > max_steps:
+            raise SoundnessViolation("observer step budget exceeded")
+        if hw[0] and idx == hw[2]:
+            hw[3] -= 1
+            if hw[3] > 0:
+                nxt = hw[1]
+            else:
+                hw[0] = 0
+        elif hw[4] and idx == hw[6]:
+            hw[7] -= 1
+            if hw[7] > 0:
+                nxt = hw[5]
+            else:
+                hw[4] = 0
+        if cpu.halted:
+            break
+        idx = nxt
+    cpu.instret += steps
+    return {"steps": steps, "reg_checks": reg_checks,
+            "addr_checks": addr_checks, "counts": counts}

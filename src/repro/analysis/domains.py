@@ -1,0 +1,280 @@
+"""Strided-interval abstract domain for signed 32-bit machine words.
+
+A :class:`SInt` describes a set of signed 32-bit values as the lattice
+``{lo + k * stride | k >= 0} intersect [lo, hi]``: an interval joined
+with a
+congruence (the stride plays the role of a known-bits/alignment domain
+-- a pointer with ``lo % 4 == 0`` and ``stride % 4 == 0`` is proven
+word-aligned).  ``stride == 0`` iff the value is a single constant.
+
+All arithmetic here is *exact* (unbounded python ints) followed by an
+explicit :func:`wrap_signed` step that models the 2**32 truncation the
+core applies; the wrap step reports whether truncation could actually
+occur, which is what the saturation-analysis in
+:mod:`repro.analysis.absint` keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+__all__ = ["INT_MIN", "INT_MAX", "WORD", "SInt", "TOP",
+           "wrap_signed", "WIDEN_THRESHOLDS"]
+
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+WORD = 1 << 32
+
+#: Widening jump targets (sorted): loop bounds land on one of these
+#: instead of diverging one step per fixpoint iteration.
+WIDEN_THRESHOLDS = (INT_MIN, -32768, -4096, -1, 0, 1, 4095, 4096,
+                    32767, 65535, 1 << 20, INT_MAX)
+
+
+@dataclass(frozen=True)
+class SInt:
+    """Strided interval over signed-32 values.  Invariants:
+    ``lo <= hi``; ``stride == 0`` iff ``lo == hi``; ``stride`` divides
+    ``hi - lo``."""
+
+    lo: int
+    hi: int
+    stride: int
+
+    # ------------------------------------------------------ constructors
+    @staticmethod
+    def const(v: int) -> "SInt":
+        v = ((v + (1 << 31)) % WORD) - (1 << 31)
+        return SInt(v, v, 0)
+
+    @staticmethod
+    def interval(lo: int, hi: int, stride: int = 1) -> "SInt":
+        """Normalized interval; ``hi`` is aligned down onto the lattice
+        ``{lo + k * stride}`` so the invariants hold."""
+        if lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        if lo == hi:
+            return SInt(lo, hi, 0)
+        stride = max(int(stride), 1)
+        hi = lo + ((hi - lo) // stride) * stride
+        if lo == hi:
+            return SInt(lo, hi, 0)
+        return SInt(lo, hi, stride)
+
+    # ---------------------------------------------------------- queries
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == INT_MIN and self.hi == INT_MAX
+
+    def contains(self, v: int) -> bool:
+        if not self.lo <= v <= self.hi:
+            return False
+        return self.stride == 0 or (v - self.lo) % self.stride == 0
+
+    def includes(self, other: "SInt") -> bool:
+        """Lattice order: every value of ``other`` is a value of self."""
+        if other.lo < self.lo or other.hi > self.hi:
+            return False
+        if self.stride == 0:
+            return other.lo == self.lo and other.hi == self.hi
+        return ((other.lo - self.lo) % self.stride == 0
+                and other.stride % self.stride == 0)
+
+    def aligned(self, size: int) -> bool:
+        """Every value is a multiple of ``size`` (1, 2 or 4 bytes)."""
+        if size <= 1:
+            return True
+        return self.lo % size == 0 and (self.stride % size == 0
+                                        if self.stride else True)
+
+    def u_bounds(self) -> tuple:
+        """Unsigned hull ``(ulo, uhi)`` of the value set (stride kept
+        only when the set does not straddle the sign boundary)."""
+        if self.lo >= 0:
+            return self.lo, self.hi
+        if self.hi < 0:
+            return self.lo + WORD, self.hi + WORD
+        return 0, WORD - 1
+
+    # ---------------------------------------------------------- lattice
+    def join(self, other: "SInt") -> "SInt":
+        lo = min(self.lo, other.lo)
+        hi = max(self.hi, other.hi)
+        if lo == hi:
+            return SInt(lo, hi, 0)
+        stride = gcd(gcd(self.stride, other.stride),
+                     abs(self.lo - other.lo))
+        return SInt.interval(lo, hi, stride or 1)
+
+    def meet(self, other: "SInt"):
+        """Over-approximated intersection, or ``None`` when provably
+        empty.  The congruence of the larger-stride operand is kept."""
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        src = self if self.stride >= other.stride else other
+        if src.stride:
+            lo = src.lo + -(-(lo - src.lo) // src.stride) * src.stride
+            hi = src.lo + ((hi - src.lo) // src.stride) * src.stride
+            if lo > hi:
+                return None
+        return SInt.interval(lo, hi, src.stride or 1)
+
+    def widen(self, new: "SInt") -> "SInt":
+        """Classic threshold widening of self (old) by ``new``."""
+        if self.includes(new):
+            return self
+        joined = self.join(new)
+        lo, hi = joined.lo, joined.hi
+        if lo < self.lo:
+            lo = max((t for t in WIDEN_THRESHOLDS if t <= lo),
+                     default=INT_MIN)
+        else:
+            lo = self.lo
+        if hi > self.hi:
+            hi = min((t for t in WIDEN_THRESHOLDS if t >= hi),
+                     default=INT_MAX)
+        else:
+            hi = self.hi
+        stride = gcd(joined.stride, abs(lo - joined.lo))
+        return SInt.interval(lo, hi, stride or 1)
+
+    # ------------------------------------------------------- arithmetic
+    def add(self, other: "SInt") -> "SInt":
+        return wrap_signed(self.lo + other.lo, self.hi + other.hi,
+                           gcd(self.stride, other.stride))[0]
+
+    def add_const(self, c: int) -> "SInt":
+        return wrap_signed(self.lo + c, self.hi + c, self.stride)[0]
+
+    def sub(self, other: "SInt") -> "SInt":
+        return wrap_signed(self.lo - other.hi, self.hi - other.lo,
+                           gcd(self.stride, other.stride))[0]
+
+    def neg(self) -> "SInt":
+        return wrap_signed(-self.hi, -self.lo, self.stride)[0]
+
+    def mul(self, other: "SInt") -> "SInt":
+        lo, hi = self.prod_bounds(other)
+        if other.is_const:
+            stride = self.stride * abs(other.lo)
+        elif self.is_const:
+            stride = other.stride * abs(self.lo)
+        else:
+            stride = 1
+        return wrap_signed(lo, hi, stride)[0]
+
+    def prod_bounds(self, other: "SInt") -> tuple:
+        """Exact-math bounds of the pairwise product (no wrap)."""
+        cs = (self.lo * other.lo, self.lo * other.hi,
+              self.hi * other.lo, self.hi * other.hi)
+        return min(cs), max(cs)
+
+    def shl_const(self, n: int) -> "SInt":
+        n &= 31
+        return wrap_signed(self.lo << n, self.hi << n,
+                           self.stride << n)[0]
+
+    def sra_const(self, n: int) -> "SInt":
+        n &= 31
+        stride = (self.stride >> n if self.stride % (1 << n) == 0
+                  else 1)
+        return SInt.interval(self.lo >> n, self.hi >> n, stride or 1)
+
+    def srl_const(self, n: int) -> "SInt":
+        n &= 31
+        if n == 0:
+            return self
+        if self.lo >= 0:
+            return self.sra_const(n)
+        if self.hi < 0:
+            stride = (self.stride >> n if self.stride % (1 << n) == 0
+                      else 1)
+            return SInt.interval((self.lo + WORD) >> n,
+                                 (self.hi + WORD) >> n, stride or 1)
+        return SInt.interval(0, (WORD - 1) >> n, 1)
+
+    # --------------------------------------------------------- bit ops
+    def and_(self, other: "SInt") -> "SInt":
+        if self.lo >= 0 and other.lo >= 0:
+            return SInt.interval(0, min(self.hi, other.hi), 1)
+        if self.lo >= 0:
+            return SInt.interval(0, self.hi, 1)
+        if other.lo >= 0:
+            return SInt.interval(0, other.hi, 1)
+        # Two possibly-negative operands: -5 & -3 == -7 undercuts both
+        # lower bounds, so only the sign/top side is retained.
+        return SInt.interval(INT_MIN, max(self.hi, other.hi), 1)
+
+    def or_(self, other: "SInt") -> "SInt":
+        if self.lo >= 0 and other.lo >= 0:
+            hi = (1 << max(self.hi, other.hi).bit_length()) - 1
+            return SInt.interval(max(self.lo, other.lo),
+                                 min(hi, INT_MAX), 1)
+        if self.hi < 0 or other.hi < 0:
+            return SInt.interval(INT_MIN, -1, 1)
+        return TOP
+
+    def xor_(self, other: "SInt") -> "SInt":
+        if self.lo >= 0 and other.lo >= 0:
+            hi = (1 << max(self.hi, other.hi).bit_length()) - 1
+            return SInt.interval(0, min(hi, INT_MAX), 1)
+        return TOP
+
+    # --------------------------------------------------------- min/max
+    def _minmax_stride(self, other: "SInt") -> int:
+        # The result is drawn from the union of both value sets, so the
+        # congruence must also absorb the anchor offset (as in join);
+        # gcd of the strides alone would exclude reachable values.
+        return gcd(gcd(self.stride, other.stride),
+                   abs(self.lo - other.lo)) or 1
+
+    def min_(self, other: "SInt") -> "SInt":
+        return SInt.interval(min(self.lo, other.lo),
+                             min(self.hi, other.hi),
+                             self._minmax_stride(other))
+
+    def max_(self, other: "SInt") -> "SInt":
+        return SInt.interval(max(self.lo, other.lo),
+                             max(self.hi, other.hi),
+                             self._minmax_stride(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_const:
+            return f"SInt({self.lo})"
+        s = f"%{self.stride}" if self.stride > 1 else ""
+        return f"SInt[{self.lo}, {self.hi}]{s}"
+
+
+TOP = SInt(INT_MIN, INT_MAX, 1)
+
+
+def wrap_signed(lo: int, hi: int, stride: int = 1) -> tuple:
+    """Model the core's 2**32 truncation of an exact-math interval.
+
+    Returns ``(SInt, wrapped)`` where ``wrapped`` says whether any
+    value in ``[lo, hi]`` lies outside the signed-32 range (i.e. the
+    hardware result differs from the exact sum -- the event the
+    saturation rules report).  When the whole interval wraps by the
+    same multiple of 2**32 the result stays exact."""
+    if INT_MIN <= lo and hi <= INT_MAX:
+        if lo == hi:
+            return SInt(lo, hi, 0), False
+        return SInt.interval(lo, hi, stride or 1), False
+    span = hi - lo
+    if span >= WORD:
+        return TOP, True
+    w = ((lo + (1 << 31)) % WORD) - (1 << 31)
+    if w + span <= INT_MAX:
+        # Uniform shift by k * 2**32: congruence survives only for
+        # strides dividing 2**32 (powers of two -- e.g. alignment).
+        stride = gcd(gcd(stride, w - lo) or WORD, WORD)
+        if span == 0:
+            return SInt(w, w, 0), True
+        return SInt.interval(w, w + span, stride or 1), True
+    return TOP, True

@@ -1,0 +1,108 @@
+"""Declared memory footprints for generated kernels.
+
+A :class:`Footprint` is the statement of *where a program is allowed to
+touch memory*: the named buffer regions a :class:`NetworkPlan` placed
+(weights, biases, activations, LUTs, scratch), the callee-save frame
+and spill words the generated prologue uses, and the total memory size.
+The abstract interpreter proves every load/store address against it;
+bare assembly files analyzed without a plan get the permissive
+whole-memory footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Region", "Footprint"]
+
+#: Matches ``repro.kernels.matvec.SPILL_ADDR`` (two spill words).
+_SPILL_LO, _SPILL_HI = 16, 24
+
+
+@dataclass(frozen=True)
+class Region:
+    """Half-open byte extent ``[lo, hi)`` of one declared buffer.  The
+    extent includes the layout's inter-buffer guard pad, which is what
+    licenses ``pl.sdotsp``'s one-word-past-end prefetch."""
+
+    name: str
+    lo: int
+    hi: int
+
+    def contains(self, lo: int, hi: int) -> bool:
+        """Whole byte range ``[lo, hi]`` (inclusive) inside the region."""
+        return self.lo <= lo and hi < self.hi
+
+
+class Footprint:
+    """Set of declared regions plus the memory bound.
+
+    With declared regions (the kernel case) an access is proven only if
+    a *single* region contains its whole resolved address range; with
+    none (bare files) in-bounds-of-memory is the proof obligation.
+    """
+
+    def __init__(self, regions, mem_size: int):
+        self.regions = tuple(sorted(regions, key=lambda r: r.lo))
+        self.mem_size = mem_size
+        # Maximal extents of the region union: adjacent buffers
+        # coalesce, so a pointer hull spanning e.g. the input buffer
+        # and the scratch buffer a layer loop alternates between is
+        # still provably inside the declared footprint.
+        extents = []
+        for r in self.regions:
+            if extents and r.lo <= extents[-1][1]:
+                extents[-1][1] = max(extents[-1][1], r.hi)
+            else:
+                extents.append([r.lo, r.hi])
+        self._extents = [tuple(e) for e in extents]
+
+    @classmethod
+    def default(cls, mem_size: int = 1 << 20) -> "Footprint":
+        return cls((), mem_size)
+
+    @classmethod
+    def from_plan(cls, plan) -> "Footprint":
+        """Footprint of a generated kernel: every ``DataLayout`` region
+        (guard pad included), the register frame, and the spill slots.
+        Mirrors ``NetworkProgram``'s memory sizing exactly."""
+        from ..kernels.common import DataLayout
+        from ..kernels.runner import FRAME_ADDR, FRAME_REGS
+        pad = DataLayout._PAD
+        regions = [Region(name, addr, addr + n_bytes + pad)
+                   for name, (addr, n_bytes)
+                   in plan.layout.regions.items()]
+        frame_bytes = 4 + 4 * FRAME_REGS[plan.level.key]
+        regions.append(Region("frame", FRAME_ADDR,
+                              FRAME_ADDR + frame_bytes))
+        regions.append(Region("spill", _SPILL_LO, _SPILL_HI))
+        size = plan.layout._next + 0x1000
+        return cls(regions, (size + 0xFFF) & ~0xFFF)
+
+    def region_containing(self, lo: int, hi: int):
+        """Smallest declared region containing ``[lo, hi]`` (inclusive
+        byte bounds), or ``None``."""
+        best = None
+        for region in self.regions:
+            if region.contains(lo, hi):
+                if best is None or (region.hi - region.lo
+                                    < best.hi - best.lo):
+                    best = region
+        return best
+
+    def covering(self, lo: int, hi: int):
+        """Names of the declared regions whose contiguous union covers
+        ``[lo, hi]`` (inclusive), or ``None`` when the range leaves the
+        declared footprint."""
+        if not any(elo <= lo and hi < ehi for elo, ehi in self._extents):
+            return None
+        return [r.name for r in self.regions
+                if r.lo <= hi and lo < r.hi]
+
+    def in_bounds(self, lo: int, hi: int) -> bool:
+        return 0 <= lo and hi < self.mem_size
+
+    def to_dict(self) -> dict:
+        return {"mem_size": self.mem_size,
+                "regions": [{"name": r.name, "lo": r.lo, "hi": r.hi}
+                            for r in self.regions]}

@@ -73,25 +73,32 @@ class LintResult:
 
 
 def lint_program(program: Program, name: str = "<program>",
-                 rules: list | None = None) -> LintResult:
+                 rules: list | None = None,
+                 footprint=None) -> LintResult:
     """Run the rule engine over an assembled program."""
     cfg = build_cfg(program)
-    findings = run_rules(program, cfg, rules)
+    findings = run_rules(program, cfg, rules, footprint)
     return LintResult(name=name, findings=findings)
 
 
 def lint_text(text: str, name: str = "<asm>",
-              rules: list | None = None) -> LintResult:
+              rules: list | None = None, footprint=None) -> LintResult:
     """Assemble ``text`` and lint the result."""
-    return lint_program(assemble(text), name, rules)
+    return lint_program(assemble(text), name, rules, footprint)
 
 
 def lint_network(network, level_key: str,
                  rules: list | None = None) -> LintResult:
-    """Lint the generated kernel program for one network and level."""
+    """Lint the generated kernel program for one network and level.
+
+    The kernel's declared memory footprint is threaded through so the
+    abstract-interpretation rules prove accesses against the real
+    buffer layout rather than whole memory."""
     from ..rrm.suite import plan_for
+    from .footprint import Footprint
     plan = plan_for(network, level_key)
-    return lint_text(plan.text, f"{network.name}/{level_key}", rules)
+    return lint_text(plan.text, f"{network.name}/{level_key}", rules,
+                     footprint=Footprint.from_plan(plan))
 
 
 def lint_suite(level_keys=ALL_LEVEL_KEYS, networks=None,
@@ -108,7 +115,9 @@ def render_results(results: list, min_severity: str = Severity.INFO,
                    as_json: bool = False) -> str:
     """Render a list of LintResults as text or a JSON document."""
     if as_json:
+        from .rules import rule_catalog
         doc = {"results": [r.to_dict() for r in results],
+               "rules": rule_catalog(),
                "total_errors": sum(r.errors for r in results),
                "total_warnings": sum(r.warnings for r in results)}
         return json.dumps(doc, indent=2)

@@ -16,9 +16,15 @@ Severity policy:
   stalls, broken SPR alternation with safe distance, a clobbered
   ``lp.setup`` count register (harmless on this core, which latches the
   count, but non-portable), reads of never-written registers,
-  unreachable code.
+  unreachable code, memory accesses the abstract interpreter could not
+  prove in-footprint, loops with no proven trip count.
 * ``info`` — notes: dead register writes (the callee-save/restore idiom
-  produces these legitimately), saves of caller state.
+  produces these legitimately), saves of caller state, accumulators
+  whose exact-math range engages the saturating-MAC semantics.
+
+Every rule has a stable string id (``Finding.rule``) surfaced in the
+JSON output together with :func:`rule_catalog`; downstream tooling
+should key on those ids, never on finding order.
 """
 
 from __future__ import annotations
@@ -30,7 +36,8 @@ from ..isa.registers import reg_name
 from .cfg import Cfg, build_cfg
 from .dataflow import Liveness, ReachingDefs
 
-__all__ = ["Severity", "Finding", "AnalysisContext", "RULES", "run_rules"]
+__all__ = ["Severity", "Finding", "AnalysisContext", "RULES",
+           "rule_catalog", "run_rules"]
 
 
 class Severity:
@@ -64,13 +71,20 @@ class Finding:
 
 
 class AnalysisContext:
-    """Lazily-computed shared analysis state handed to every rule."""
+    """Lazily-computed shared analysis state handed to every rule.
 
-    def __init__(self, program, cfg: Cfg | None = None):
+    ``footprint`` (optional) is the declared memory footprint the
+    abstract-interpretation rules prove loads/stores against; without
+    one the permissive whole-memory footprint is used.
+    """
+
+    def __init__(self, program, cfg: Cfg | None = None, footprint=None):
         self.program = program
         self.cfg = cfg if cfg is not None else build_cfg(program)
+        self.footprint = footprint
         self._liveness = None
         self._reaching = None
+        self._absint = None
 
     @property
     def liveness(self) -> Liveness:
@@ -84,6 +98,14 @@ class AnalysisContext:
             self._reaching = ReachingDefs(self.cfg)
         return self._reaching
 
+    @property
+    def absint(self):
+        """Abstract-interpretation :class:`~.absint.Certificate`."""
+        if self._absint is None:
+            from .absint import analyze
+            self._absint = analyze(self.program, self.footprint)
+        return self._absint
+
     def finding(self, severity, rule, idx, message) -> Finding:
         instr = self.program[idx]
         return Finding(severity=severity, rule=rule, addr=instr.addr,
@@ -93,12 +115,25 @@ class AnalysisContext:
 RULES: dict = {}
 
 
-def rule(rule_id: str):
+def rule(rule_id: str, severity: str = Severity.WARNING):
+    """Register a lint rule under its stable string id.  ``severity``
+    is the rule's nominal severity (individual findings may demote,
+    e.g. ``use-before-def`` on callee-saved registers)."""
     def deco(fn):
         RULES[rule_id] = fn
         fn.rule_id = rule_id
+        fn.severity = severity
+        doc = (fn.__doc__ or "").strip()
+        fn.summary = doc.split("\n")[0].strip() if doc else ""
         return fn
     return deco
+
+
+def rule_catalog() -> dict:
+    """Stable machine-readable catalog ``{id: {severity, summary}}`` —
+    the contract downstream tooling keys findings on."""
+    return {rule_id: {"severity": fn.severity, "summary": fn.summary}
+            for rule_id, fn in sorted(RULES.items())}
 
 
 def _is_plain_load(instr) -> bool:
@@ -109,7 +144,7 @@ def _is_plain_load(instr) -> bool:
 # ----------------------------------------------------------------------
 # Scheduling rules
 # ----------------------------------------------------------------------
-@rule("load-use-stall")
+@rule("load-use-stall", Severity.WARNING)
 def check_load_use(ctx) -> list:
     """Plain load whose next sequential instruction reads the loaded
     register: the core stalls one cycle, charged to the load, on every
@@ -131,7 +166,7 @@ def check_load_use(ctx) -> list:
     return out
 
 
-@rule("spr-reread")
+@rule("spr-reread", Severity.ERROR)
 def check_spr_reread(ctx) -> list:
     """``pl.sdotsp`` SPR double-buffer protocol, hard half: re-reading an
     SPR sooner than 2 cycles after its load stalls.  A same-index
@@ -169,7 +204,7 @@ def check_spr_reread(ctx) -> list:
     return out
 
 
-@rule("spr-alternation")
+@rule("spr-alternation", Severity.ERROR)
 def check_spr_alternation(ctx) -> list:
     """Strict half of the SPR protocol: inside a hardware-loop body that
     uses both SPR buffers, the ``.0``/``.1`` stream must strictly
@@ -204,7 +239,7 @@ def check_spr_alternation(ctx) -> list:
 # ----------------------------------------------------------------------
 # Hardware-loop legality
 # ----------------------------------------------------------------------
-@rule("hwloop-malformed")
+@rule("hwloop-malformed", Severity.ERROR)
 def check_hwloop_malformed(ctx) -> list:
     """Loop end marker outside the program, or a non-positive body."""
     out = []
@@ -218,7 +253,7 @@ def check_hwloop_malformed(ctx) -> list:
     return out
 
 
-@rule("branch-target")
+@rule("branch-target", Severity.ERROR)
 def check_branch_targets(ctx) -> list:
     """Branch or jump whose resolved target lies outside the program."""
     out = []
@@ -232,7 +267,7 @@ def check_branch_targets(ctx) -> list:
     return out
 
 
-@rule("hwloop-boundary")
+@rule("hwloop-boundary", Severity.ERROR)
 def check_hwloop_boundary(ctx) -> list:
     """No branches into or out of a hardware-loop body.  The loop end
     comparator fires on the body-end PC: entering mid-body skips the
@@ -263,7 +298,7 @@ def check_hwloop_boundary(ctx) -> list:
     return out
 
 
-@rule("hwloop-nesting")
+@rule("hwloop-nesting", Severity.ERROR)
 def check_hwloop_nesting(ctx) -> list:
     """Bodies must be disjoint or strictly nested, nesting depth <= 2
     (the core has two loop register sets), and nested loops must use
@@ -298,7 +333,7 @@ def check_hwloop_nesting(ctx) -> list:
     return out
 
 
-@rule("hwloop-count-clobber")
+@rule("hwloop-count-clobber", Severity.WARNING)
 def check_hwloop_count_clobber(ctx) -> list:
     """``lp.setup`` count register redefined inside the body.  This core
     latches the count at setup so execution is unaffected, but cores that
@@ -320,7 +355,7 @@ def check_hwloop_count_clobber(ctx) -> list:
     return out
 
 
-@rule("hwloop-load-end")
+@rule("hwloop-load-end", Severity.ERROR)
 def check_hwloop_load_end(ctx) -> list:
     """A plain load may not end a hardware-loop body: the load-use stall
     across the free back edge is not modeled, and the core refuses to
@@ -344,7 +379,7 @@ def check_hwloop_load_end(ctx) -> list:
 _SAVE_IDIOM_REGS = frozenset([1] + [8, 9] + list(range(18, 28)))
 
 
-@rule("use-before-def")
+@rule("use-before-def", Severity.WARNING)
 def check_use_before_def(ctx) -> list:
     """Register read with no prior write on some path from entry.  The
     core boots from a zeroed register file, so this reads 0 — almost
@@ -371,7 +406,7 @@ def check_use_before_def(ctx) -> list:
     return out
 
 
-@rule("dead-write")
+@rule("dead-write", Severity.INFO)
 def check_dead_write(ctx) -> list:
     """Register write never read before being overwritten (or before
     program exit).  The trailing frame restore legitimately produces
@@ -391,7 +426,7 @@ def check_dead_write(ctx) -> list:
     return out
 
 
-@rule("unreachable")
+@rule("unreachable", Severity.WARNING)
 def check_unreachable(ctx) -> list:
     """Blocks no path from the entry reaches."""
     out = []
@@ -402,10 +437,60 @@ def check_unreachable(ctx) -> list:
     return out
 
 
+# ----------------------------------------------------------------------
+# Abstract-interpretation rules (repro.analysis.absint)
+# ----------------------------------------------------------------------
+@rule("possible-oob", Severity.WARNING)
+def check_possible_oob(ctx) -> list:
+    """Load/store whose address range could not be proven inside the
+    declared memory footprint.  On a certified kernel this is always a
+    real problem; on bare assembly it flags addresses the interval
+    analysis cannot bound."""
+    out = []
+    for access in sorted(ctx.absint.unproven, key=lambda a: a.idx):
+        out.append(ctx.finding(
+            Severity.WARNING, "possible-oob", access.idx,
+            f"{access.kind} of [0x{access.lo:x}, 0x{access.hi:x}] "
+            f"not proven safe: {access.reason}"))
+    return out
+
+
+@rule("unproven-saturation", Severity.INFO)
+def check_unproven_saturation(ctx) -> list:
+    """Accumulator whose exact-math result can leave the signed-32
+    range, engaging the saturating-MAC semantics.  Expected on real
+    kernels (that is what the hardware saturation is for) — the note
+    tells the datapath-sizing study exactly which MACs need it."""
+    out = []
+    cert = ctx.absint
+    for idx in sorted(cert.saturation):
+        lo, hi = cert.saturation[idx]
+        out.append(ctx.finding(
+            Severity.INFO, "unproven-saturation", idx,
+            f"exact-math accumulator range [{lo}, {hi}] exceeds "
+            f"signed-32: saturating semantics engaged"))
+    return out
+
+
+@rule("unbounded-trip", Severity.WARNING)
+def check_unbounded_trip(ctx) -> list:
+    """Loop whose body-execution count could not be statically proven;
+    turbo and the static cycle model fall back to runtime-learned
+    hints for it."""
+    out = []
+    for fact in ctx.absint.loops:
+        if fact.trip is None:
+            out.append(ctx.finding(
+                Severity.WARNING, "unbounded-trip", fact.back,
+                f"no proven trip count for the {fact.kind} loop "
+                f"headed at 0x{fact.head * 4:x}"))
+    return out
+
+
 def run_rules(program, cfg: Cfg | None = None,
-              rules: list | None = None) -> list:
+              rules: list | None = None, footprint=None) -> list:
     """Run ``rules`` (default: all) over ``program``; sorted findings."""
-    ctx = AnalysisContext(program, cfg)
+    ctx = AnalysisContext(program, cfg, footprint)
     selected = RULES.values() if rules is None \
         else [RULES[r] for r in rules]
     findings = []

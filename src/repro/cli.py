@@ -59,8 +59,19 @@ Commands:
 
     lint [FILE.s ...] [--levels XY] [--json]
         run the static analyzer (CFG/dataflow lint) over assembly files
-        or, with no files, over every generated suite kernel; exits
-        nonzero when any error-severity finding is reported
+        or, with no files, over every generated suite kernel; every
+        finding carries a stable string rule id (the --json document
+        lists the full rule catalog under "rules"); exit codes: 0 = no
+        error-severity findings, 1 = at least one error finding,
+        2 = bad usage (unknown network/level)
+
+    certify [FILE.s ...] [--kernels] [--levels XY] [--json] [--full]
+        run the abstract-interpretation certifier: proven register
+        value ranges, memory-safety proofs for every load/store against
+        the declared buffer footprint, and proven loop trip counts;
+        with no files certifies every generated suite kernel; exit
+        codes: 0 = every access proven, 1 = unproven accesses remain,
+        2 = bad usage
 
     run FILE.s
         assemble and execute a RISC-V assembly file on the extended core,
@@ -343,8 +354,33 @@ def _cmd_chaos_bench(args) -> int:
     return 0
 
 
+def _suite_selection(args):
+    """Resolve --networks/--levels for the kernel sweeps; ``None`` on a
+    usage error (after printing it)."""
+    from .analysis.linter import ALL_LEVEL_KEYS
+    from .rrm.networks import FULL_SUITE
+    levels = list(ALL_LEVEL_KEYS)
+    if args.levels:
+        levels = [k for k in args.levels.replace(",", "") if k.strip()]
+        unknown = sorted(set(levels) - set(ALL_LEVEL_KEYS))
+        if unknown:
+            print(f"unknown level(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return None
+    networks = FULL_SUITE
+    if args.networks:
+        wanted = set(args.networks.split(","))
+        networks = [n for n in FULL_SUITE if n.name in wanted]
+        missing = wanted - {n.name for n in networks}
+        if missing:
+            print(f"unknown network(s): {', '.join(sorted(missing))}",
+                  file=sys.stderr)
+            return None
+    return networks, levels
+
+
 def _cmd_lint(args) -> int:
-    from .analysis.linter import (ALL_LEVEL_KEYS, lint_network, lint_text,
+    from .analysis.linter import (lint_network, lint_text,
                                   render_results)
     results = []
     if args.files:
@@ -353,30 +389,66 @@ def _cmd_lint(args) -> int:
                 source = handle.read()
             results.append(lint_text(source, name=path))
     if args.kernels or not args.files:
-        from .rrm.networks import FULL_SUITE
-        levels = list(ALL_LEVEL_KEYS)
-        if args.levels:
-            levels = [k for k in args.levels.replace(",", "") if k.strip()]
-            unknown = sorted(set(levels) - set(ALL_LEVEL_KEYS))
-            if unknown:
-                print(f"unknown level(s): {', '.join(unknown)}",
-                      file=sys.stderr)
-                return 2
-        networks = FULL_SUITE
-        if args.networks:
-            wanted = set(args.networks.split(","))
-            networks = [n for n in FULL_SUITE if n.name in wanted]
-            missing = wanted - {n.name for n in networks}
-            if missing:
-                print(f"unknown network(s): {', '.join(sorted(missing))}",
-                      file=sys.stderr)
-                return 2
+        selection = _suite_selection(args)
+        if selection is None:
+            return 2
+        networks, levels = selection
         for network in networks:
             for level in levels:
                 results.append(lint_network(network, level))
     print(render_results(results, min_severity=args.min_severity,
                          as_json=args.json))
     return 1 if any(not r.ok for r in results) else 0
+
+
+def _cmd_certify(args) -> int:
+    import json
+
+    from .analysis.absint import analyze
+    from .analysis.footprint import Footprint
+    from .isa import assemble
+    reports = []
+    if args.files:
+        for path in args.files:
+            with open(path) as handle:
+                program = assemble(handle.read())
+            reports.append(
+                (path, analyze(program, Footprint.default(args.memory))))
+    if args.kernels or not args.files:
+        from .rrm.suite import plan_for
+        selection = _suite_selection(args)
+        if selection is None:
+            return 2
+        networks, levels = selection
+        for network in networks:
+            for level in levels:
+                plan = plan_for(network, level)
+                cert = analyze(assemble(plan.text),
+                               Footprint.from_plan(plan))
+                reports.append((f"{network.name}/{level}", cert))
+    unproven = sum(len(c.unproven) for _, c in reports)
+    if args.json:
+        doc = {"results": [{"name": name, **cert.to_dict(full=args.full)}
+                           for name, cert in reports],
+               "total_unproven": unproven,
+               "proven": unproven == 0}
+        print(json.dumps(doc, indent=2))
+    else:
+        for name, cert in reports:
+            proven_trips = sum(1 for f in cert.loops
+                               if f.trip is not None)
+            print(f"{name}: mode={cert.mode} "
+                  f"accesses={len(cert.accesses)} "
+                  f"unproven={len(cert.unproven)} "
+                  f"trips={proven_trips}/{len(cert.loops)} "
+                  f"saturating={len(cert.saturation)}")
+            for access in cert.unproven:
+                print(f"  UNPROVEN {access.mnemonic} "
+                      f"@0x{access.idx * 4:x}: {access.reason} "
+                      f"[0x{access.lo:x}, 0x{access.hi:x}]")
+        print(f"== {len(reports)} program(s): "
+              f"{unproven} unproven access(es)")
+    return 1 if unproven else 0
 
 
 def _cmd_run(args) -> int:
@@ -620,6 +692,31 @@ def main(argv=None) -> int:
     p_lint.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
 
+    p_cert = sub.add_parser(
+        "certify",
+        help="abstract-interpretation certificates: value ranges, "
+             "memory safety, proven trip counts")
+    p_cert.add_argument("files", nargs="*",
+                        help=".s files to certify (default: all "
+                             "generated suite kernels)")
+    p_cert.add_argument("--kernels", action="store_true",
+                        help="also certify the generated suite kernels "
+                             "when files are given")
+    p_cert.add_argument("--networks",
+                        help="comma-separated network names "
+                             "(default: all)")
+    p_cert.add_argument("--levels",
+                        help="level keys to certify, e.g. 'adf' "
+                             "(default: abcdef)")
+    p_cert.add_argument("--json", action="store_true",
+                        help="emit machine-readable certificate JSON")
+    p_cert.add_argument("--full", action="store_true",
+                        help="include per-access detail and per-point "
+                             "register bounds in the JSON")
+    p_cert.add_argument("--memory", type=int, default=1 << 20,
+                        help="memory size for bare files (kernels use "
+                             "their declared footprint)")
+
     p_run = sub.add_parser("run", help="assemble + execute a .s file")
     p_run.add_argument("file")
     p_run.add_argument("--memory", type=int, default=1 << 20,
@@ -649,6 +746,8 @@ def main(argv=None) -> int:
         return _cmd_chaos_bench(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "certify":
+        return _cmd_certify(args)
     if args.command == "run":
         return _cmd_run(args)
     return 2

@@ -1134,14 +1134,20 @@ def _make_hw_wrapper(cpu, idx, t):
     return wrapper
 
 
-def _make_br_wrapper(cpu, idx, t):
+def _make_br_wrapper(cpu, idx, t, proven_trip=None):
     code = cpu._code
     hw = cpu._hw
     bs, be, blen = t["bs"], t["be"], t["blen"]
     br_cost = t["costs"][-1]  # not-taken cost of the branch terminator
     xi = cpu._xinstret
     tstats = cpu.turbo_stats
-    state = {"bails": 0, "hint": CHUNK0}
+    # An absint-proven constant trip count seeds the window hint (the
+    # first iteration always runs scalar, so N trips leave N-1 for the
+    # vector path); runtime learning still adapts after every exit, so
+    # execution stays bit- and cycle-exact either way.
+    hint0 = CHUNK0 if proven_trip is None \
+        else max(proven_trip - 1, MIN_VEC)
+    state = {"bails": 0, "hint": hint0}
 
     def wrapper():
         if hw[0] or hw[4]:
@@ -1356,11 +1362,16 @@ def build_turbo_code(cpu):
         _TURBO_EVENTS.inc(event="cache_hit")
     tcode = list(cpu._code)
     nfuse = 0
+    proven = {}
+    if any(plan[0] == "br" for plan in cached[1].values()):
+        from ..analysis.absint import proven_trip_counts
+        proven = proven_trip_counts(program)
     for idx, plan in cached[1].items():
         if plan[0] == "hw":
             tcode[idx] = _make_hw_wrapper(cpu, idx, plan[1])
         elif plan[0] == "br":
-            tcode[idx] = _make_br_wrapper(cpu, idx, plan[1])
+            tcode[idx] = _make_br_wrapper(cpu, idx, plan[1],
+                                          proven.get(plan[1]["be"]))
         else:
             tcode[idx] = _make_fuse_wrapper(cpu, idx, plan[1])
             nfuse += 1

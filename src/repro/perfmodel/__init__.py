@@ -15,10 +15,11 @@ from ..rrm.suite import (network_speedups, network_trace, plan_for,
                          suite_speedups, suite_trace)
 from .formulas import matvec_marginal
 from .static_latency import (PredictedLatency, Unpredictable,
+                             certified_trip_counts,
                              predict_network_cycles,
                              predict_program_cycles)
 
 __all__ = ["plan_for", "network_trace", "suite_trace", "network_speedups",
            "suite_speedups", "matvec_marginal",
            "PredictedLatency", "Unpredictable", "predict_network_cycles",
-           "predict_program_cycles"]
+           "predict_program_cycles", "certified_trip_counts"]

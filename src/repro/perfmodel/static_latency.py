@@ -33,7 +33,7 @@ from ..core.cpu import ACC_ALU_OPS, ALU_OPS, BRANCH_OPS, _M32
 from ..isa.instructions import Fmt, reads_mask
 
 __all__ = ["PredictedLatency", "Unpredictable", "predict_program_cycles",
-           "predict_network_cycles"]
+           "predict_network_cycles", "certified_trip_counts"]
 
 #: Loop-tail events observed before extrapolating (two equal deltas).
 _STEADY = 3
@@ -380,3 +380,21 @@ def predict_network_cycles(network, level_key: str,
     step = predict_program_cycles(program, wait_states)
     return PredictedLatency(step.cycles * network.timesteps,
                             step.instret * network.timesteps)
+
+
+def certified_trip_counts(network, level_key: str) -> dict:
+    """Absint-proven constant trip counts ``{branch_idx: N}`` for the
+    generated kernel of ``(network, level_key)``.
+
+    These are *static facts*, not walker extrapolations: the abstract
+    interpreter proves them sound for every execution, the ISS
+    observer harness cross-validates them against real back-edge
+    execution counts, and ``repro.core.turbo`` seeds its vector-window
+    hints with them."""
+    from ..analysis.absint import proven_trip_counts
+    from ..analysis.footprint import Footprint
+    from ..isa import assemble
+    from ..rrm.suite import plan_for
+    plan = plan_for(network, level_key)
+    return proven_trip_counts(assemble(plan.text),
+                              Footprint.from_plan(plan))

@@ -1,0 +1,160 @@
+"""CLI contract for ``repro certify`` and the lint rule catalog.
+
+Exit codes (documented in :mod:`repro.cli` and asserted here for both
+``certify`` and ``lint``): 0 = everything proven/clean, 1 = unproven
+accesses / findings, 2 = usage error (unknown network or level key).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.rules import Severity, rule_catalog
+from repro.cli import main
+
+CLEAN = """\
+addi a0, x0, 256
+addi t0, x0, 7
+sw t0, 0(a0)
+lw t1, 4(a0)
+ebreak
+"""
+
+# t0 is loaded from memory (TOP), so the second lw cannot be proven.
+UNPROVEN = """\
+lw t0, 0(x0)
+lw t1, 0(t0)
+ebreak
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.s"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def unproven_file(tmp_path):
+    path = tmp_path / "oob.s"
+    path.write_text(UNPROVEN)
+    return str(path)
+
+
+class TestCertifyExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main(["certify", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "unproven=0" in out
+        assert "0 unproven access(es)" in out
+
+    def test_unproven_file_exits_one(self, unproven_file, capsys):
+        assert main(["certify", unproven_file]) == 1
+        out = capsys.readouterr().out
+        assert "UNPROVEN lw" in out
+
+    def test_unknown_network_exits_two(self, capsys):
+        assert main(["certify", "--kernels",
+                     "--networks", "nosuchnet"]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_unknown_level_exits_two(self, capsys):
+        assert main(["certify", "--kernels", "--levels", "z"]) == 2
+        assert "unknown level" in capsys.readouterr().err
+
+
+class TestCertifyJson:
+    def test_document_shape(self, clean_file, unproven_file, capsys):
+        rc = main(["certify", clean_file, unproven_file, "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total_unproven"] == 1
+        assert doc["proven"] is False
+        names = [r["name"] for r in doc["results"]]
+        assert names == [clean_file, unproven_file]
+        clean, bad = doc["results"]
+        assert clean["proven"] and not clean["unproven"]
+        assert clean["mode"] == "structured"
+        assert "footprint" in clean and "loops" in clean
+        [access] = bad["unproven"]
+        assert access["mnemonic"] == "lw" and access["reason"]
+
+    def test_full_dump(self, clean_file, capsys):
+        assert main(["certify", clean_file, "--json", "--full"]) == 0
+        [res] = json.loads(capsys.readouterr().out)["results"]
+        assert res["accesses_detail"]
+        assert res["reg_before"]
+
+    def test_kernels_selection_proven(self, capsys):
+        # Acceptance slice of the suite gate: generated kernels certify
+        # with zero unproven accesses and all trips proven.
+        rc = main(["certify", "--kernels",
+                   "--networks", "challita2017", "--levels", "ad",
+                   "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["proven"] is True
+        assert {r["name"] for r in doc["results"]} == \
+            {"challita2017/a", "challita2017/d"}
+        for res in doc["results"]:
+            assert res["mode"] == "structured"
+            assert all(lf["trip"] is not None for lf in res["loops"])
+
+
+class TestLintContract:
+    def test_clean_file_exits_zero(self, clean_file):
+        assert main(["lint", clean_file]) == 0
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "stall.s"
+        path.write_text("lw t0, 0(x0)\nlw t1, 0(t0)\nebreak\n")
+        assert main(["lint", str(path)]) == 0
+        assert "load-use-stall" in capsys.readouterr().out
+
+    def test_error_findings_exit_one(self, tmp_path, capsys):
+        # A load as the last hardware-loop body instruction is an
+        # error-severity finding (the core refuses to execute it).
+        path = tmp_path / "hwload.s"
+        path.write_text("lp.setupi 0, 2, end\n"
+                        "addi t0, x0, 0\n"
+                        "lw t1, 0(x0)\n"
+                        "end:\n"
+                        "ebreak\n")
+        assert main(["lint", str(path)]) == 1
+        assert "hwloop-load-end" in capsys.readouterr().out
+
+    def test_unknown_network_exits_two(self):
+        assert main(["lint", "--kernels", "--networks", "bogus"]) == 2
+
+    def test_json_carries_rule_catalog(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rules"] == rule_catalog()
+
+    def test_absint_rules_fire(self, unproven_file, capsys):
+        assert main(["lint", unproven_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        rules = {f["rule"] for r in doc["results"]
+                 for f in r["findings"]}
+        assert "possible-oob" in rules
+
+
+class TestRuleCatalog:
+    def test_stable_ids_and_shape(self):
+        catalog = rule_catalog()
+        for rule_id in ("load-use-stall", "hwloop-malformed",
+                        "use-before-def", "possible-oob",
+                        "unproven-saturation", "unbounded-trip"):
+            assert rule_id in catalog
+        for rule_id, info in catalog.items():
+            assert rule_id == rule_id.lower()
+            assert info["severity"] in (Severity.ERROR,
+                                        Severity.WARNING, Severity.INFO)
+            assert info["summary"]
+
+    def test_new_rule_severities(self):
+        catalog = rule_catalog()
+        assert catalog["possible-oob"]["severity"] == Severity.WARNING
+        assert catalog["unproven-saturation"]["severity"] == Severity.INFO
+        assert catalog["unbounded-trip"]["severity"] == Severity.WARNING

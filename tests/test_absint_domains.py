@@ -1,0 +1,189 @@
+"""Unit tests for the strided-interval domain behind repro.analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis.domains import (INT_MAX, INT_MIN, SInt, TOP,
+                                    WIDEN_THRESHOLDS, wrap_signed)
+
+
+def _sample(iv, rng, n=16):
+    """Concrete members of ``iv`` (endpoints plus random lattice hits)."""
+    vals = {iv.lo, iv.hi}
+    if iv.stride:
+        steps = (iv.hi - iv.lo) // iv.stride
+        for _ in range(n):
+            vals.add(iv.lo + rng.randrange(steps + 1) * iv.stride)
+    return vals
+
+
+def _rand_iv(rng):
+    lo = rng.randrange(-(1 << 16), 1 << 16)
+    span = rng.randrange(0, 1 << 12)
+    stride = rng.choice((1, 1, 2, 4, 8, 3))
+    return SInt.interval(lo, lo + span, stride)
+
+
+class TestInvariants:
+    def test_const(self):
+        v = SInt.const(7)
+        assert v.is_const and v.stride == 0 and v.contains(7)
+
+    def test_const_wraps_to_signed(self):
+        assert SInt.const(1 << 31).lo == INT_MIN
+        assert SInt.const(-1 & 0xFFFFFFFF).lo == -1
+
+    def test_interval_aligns_hi_down(self):
+        v = SInt.interval(0, 10, 4)
+        assert (v.lo, v.hi, v.stride) == (0, 8, 4)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SInt.interval(3, 2)
+
+    def test_stride_divides_span(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            v = _rand_iv(rng)
+            assert v.lo <= v.hi
+            assert (v.stride == 0) == (v.lo == v.hi)
+            if v.stride:
+                assert (v.hi - v.lo) % v.stride == 0
+
+    def test_aligned(self):
+        assert SInt.interval(8, 24, 4).aligned(4)
+        assert not SInt.interval(8, 24, 2).aligned(4)
+        assert not SInt.interval(6, 14, 4).aligned(4)
+        assert SInt.const(12).aligned(4)
+
+    def test_u_bounds(self):
+        assert SInt.interval(4, 8).u_bounds() == (4, 8)
+        assert SInt.interval(-8, -4).u_bounds() == ((1 << 32) - 8,
+                                                    (1 << 32) - 4)
+        assert SInt.interval(-1, 1).u_bounds() == (0, (1 << 32) - 1)
+
+
+class TestLattice:
+    def test_join_is_upper_bound(self):
+        rng = random.Random(11)
+        for _ in range(300):
+            a, b = _rand_iv(rng), _rand_iv(rng)
+            j = a.join(b)
+            assert j.includes(a) and j.includes(b)
+
+    def test_join_keeps_congruence(self):
+        j = SInt.interval(0, 8, 4).join(SInt.interval(16, 32, 4))
+        assert j.stride == 4
+
+    def test_meet_soundness(self):
+        rng = random.Random(13)
+        for _ in range(300):
+            a, b = _rand_iv(rng), _rand_iv(rng)
+            m = a.meet(b)
+            common = {v for v in _sample(a, rng) if b.contains(v)}
+            common |= {v for v in _sample(b, rng) if a.contains(v)}
+            if m is None:
+                # Claimed-empty intersections must really be empty at
+                # least on the sampled members.
+                assert not common
+            else:
+                for v in common:
+                    assert m.contains(v)
+
+    def test_widen_reaches_threshold(self):
+        old = SInt.interval(0, 10)
+        new = SInt.interval(0, 11)
+        w = old.widen(new)
+        assert w.hi in WIDEN_THRESHOLDS
+        assert w.includes(old) and w.includes(new)
+
+    def test_widen_stable_when_included(self):
+        old = SInt.interval(0, 100)
+        assert old.widen(SInt.interval(5, 50)) is old
+
+    def test_widen_terminates(self):
+        # Repeated widening must climb the threshold ladder and reach
+        # full signed-32 bounds in a handful of steps, not one per
+        # value.
+        v = SInt.const(0)
+        steps = 0
+        for step in range(1, 60):
+            nxt = v.widen(SInt.interval(-(4 ** step), 4 ** step))
+            if nxt != v:
+                steps += 1
+            v = nxt
+            if v.lo == INT_MIN and v.hi == INT_MAX:
+                break
+        assert v.lo == INT_MIN and v.hi == INT_MAX
+        assert steps <= len(WIDEN_THRESHOLDS)
+
+
+class TestTransfer:
+    def test_add_exact(self):
+        s = SInt.interval(0, 8, 4).add(SInt.const(3))
+        assert (s.lo, s.hi, s.stride) == (3, 11, 4)
+
+    def test_wrap32_uniform_shift_is_exact(self):
+        # Whole interval past INT_MAX by the same 2**32 multiple: the
+        # result is the exact wrapped interval, not TOP.
+        v, wrapped = wrap_signed(INT_MAX + 1, INT_MAX + 9, 4)
+        assert wrapped
+        assert (v.lo, v.hi) == (INT_MIN, INT_MIN + 8)
+
+    def test_wrap32_straddle_is_top(self):
+        v, wrapped = wrap_signed(INT_MAX - 4, INT_MAX + 4, 1)
+        assert wrapped and v == TOP
+
+    def test_wrap32_no_wrap_reports_false(self):
+        v, wrapped = wrap_signed(-10, 10, 2)
+        assert not wrapped and v.lo == -10 and v.hi == 10
+
+    def test_wrap32_huge_span_is_top(self):
+        v, wrapped = wrap_signed(0, 1 << 33, 1)
+        assert wrapped and v == TOP
+
+    def test_shifts(self):
+        v = SInt.interval(0, 32, 8)
+        assert v.shl_const(2).stride == 32
+        assert v.sra_const(2).stride == 2
+        neg = SInt.interval(-8, -4, 4)
+        u = neg.srl_const(1)
+        assert u.lo == ((1 << 32) - 8) >> 1
+
+    def test_and_sound_on_negatives(self):
+        # -5 & -3 == -7 undercuts both lower bounds; the transfer must
+        # cover it.
+        a, b = SInt.const(-5), SInt.const(-3)
+        assert a.and_(b).contains(-7)
+
+    def test_random_soundness(self):
+        # Every binary transfer over-approximates concrete arithmetic.
+        rng = random.Random(2020)
+        m32 = (1 << 32) - 1
+
+        def s32(x):
+            return ((x & m32) ^ (1 << 31)) - (1 << 31)
+
+        ops = [
+            ("add", lambda a, b: a.add(b), lambda x, y: s32(x + y)),
+            ("sub", lambda a, b: a.sub(b), lambda x, y: s32(x - y)),
+            ("mul", lambda a, b: a.mul(b), lambda x, y: s32(x * y)),
+            ("and", lambda a, b: a.and_(b), lambda x, y: x & y),
+            ("or", lambda a, b: a.or_(b), lambda x, y: s32((x & m32)
+                                                           | (y & m32))),
+            ("xor", lambda a, b: a.xor_(b), lambda x, y: s32((x & m32)
+                                                             ^ (y & m32))),
+            ("min", lambda a, b: a.min_(b), min),
+            ("max", lambda a, b: a.max_(b), max),
+        ]
+        for _ in range(400):
+            a, b = _rand_iv(rng), _rand_iv(rng)
+            xs, ys = _sample(a, rng, 4), _sample(b, rng, 4)
+            for name, af, cf in ops:
+                r = af(a, b)
+                for x in xs:
+                    for y in ys:
+                        assert r.contains(cf(x, y)), \
+                            f"{name}: {cf(x, y)} not in {r} " \
+                            f"({a} {name} {b})"

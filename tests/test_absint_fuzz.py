@@ -1,0 +1,236 @@
+"""Seeded fuzz corpus for the abstract-interpretation certifier.
+
+Each case is a random straight-line/loop/branch program over the safe
+subset of the ISA (terminating by construction, concretely in-bounds so
+the ISS itself never traps).  The certifier must analyze every case
+without crashing and every claim it makes — register ranges, access
+footprints, trip counts — must survive a real ISS run under
+:func:`observe_run`, which raises :class:`SoundnessViolation` on any
+escape.  Unproven accesses are allowed (imprecision is fine); wrong
+claims are not (unsoundness is a hard failure).
+"""
+
+import random
+
+from repro.analysis import Footprint, analyze, observe_run
+from repro.core import Cpu, Memory
+from repro.isa import assemble
+
+MEM = 4096
+N_CASES = 200
+
+_DATA = ("t0", "t1", "t2", "t3", "t4", "a2", "a3")
+_ALU2 = ("add", "sub", "and", "or", "xor", "mul", "slt",
+         "p.min", "p.max", "p.mac")
+_ALUI = ("addi", "andi", "ori", "xori", "slti")
+_SHIFT = ("slli", "srli", "srai")
+
+
+class _Gen:
+    """One random program; emits asm text into ``self.lines``."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.lines = []
+        self.labels = 0
+        # a0: fixed base pointer; a1: post-increment cursor.
+        self.base = rng.randrange(64, MEM // 2, 4)
+        self.emit(f"addi a0, x0, {self.base}")
+        for r in _DATA:
+            self.emit(f"addi {r}, x0, {rng.randrange(-2048, 2048)}")
+
+    def emit(self, line):
+        self.lines.append(line)
+
+    def label(self):
+        self.labels += 1
+        return f"L{self.labels}"
+
+    def alu_op(self):
+        rng = self.rng
+        rd = rng.choice(_DATA)
+        a, b = rng.choice(_DATA), rng.choice(_DATA)
+        kind = rng.randrange(6)
+        if kind == 0:
+            self.emit(f"{rng.choice(_ALUI)} {rd}, {a}, "
+                      f"{rng.randrange(-2048, 2048)}")
+        elif kind == 1:
+            self.emit(f"{rng.choice(_SHIFT)} {rd}, {a}, "
+                      f"{rng.randrange(0, 16)}")
+        elif kind == 2:
+            self.emit(f"p.clip {rd}, {a}, {rng.choice((8, 16))}")
+        elif kind == 3:
+            self.emit(f"p.abs {rd}, {a}")
+        elif kind == 4:
+            self.emit(f"{rng.choice(('pl.tanh', 'pl.sig'))} {rd}, {a}")
+        else:
+            self.emit(f"{rng.choice(_ALU2)} {rd}, {a}, {b}")
+
+    def mem_op(self):
+        # Offsets keep a0 accesses inside [base, base + 256).
+        rng = self.rng
+        rd = rng.choice(_DATA)
+        op, size = rng.choice((("lw", 4), ("sw", 4), ("lh", 2),
+                               ("sh", 2), ("lhu", 2), ("lb", 1),
+                               ("lbu", 1), ("sb", 1)))
+        off = rng.randrange(0, 256 // size) * size
+        self.emit(f"{op} {rd}, {off}(a0)")
+
+    def straight(self):
+        for _ in range(self.rng.randrange(2, 7)):
+            self.alu_op() if self.rng.random() < 0.7 else self.mem_op()
+
+    def forward_branch(self):
+        rng = self.rng
+        skip = self.label()
+        op = rng.choice(("beq", "bne", "blt", "bge"))
+        self.emit(f"{op} {rng.choice(_DATA)}, {rng.choice(_DATA)}, "
+                  f"{skip}")
+        self.straight()
+        self.emit(f"{skip}:")
+
+    def br_loop(self):
+        # s0 counts 0..trips against the constant bound in s1; a1 is
+        # re-anchored so the post-increment loads stay in bounds.
+        rng = self.rng
+        trips = rng.randrange(1, 9)
+        cursor = rng.randrange(MEM // 2, MEM - 4 * trips - 4, 4)
+        head = self.label()
+        self.emit("addi s0, x0, 0")
+        self.emit(f"addi s1, x0, {trips}")
+        self.emit(f"addi a1, x0, {cursor}")
+        self.emit(f"{head}:")
+        for _ in range(rng.randrange(1, 4)):
+            self.alu_op()
+        if rng.random() < 0.5:
+            self.mem_op()
+        if rng.random() < 0.5:
+            self.emit(f"p.lw {rng.choice(_DATA)}, 4(a1!)")
+        self.emit("addi s0, s0, 1")
+        op = rng.choice(("blt", "bne", "bltu"))
+        self.emit(f"{op} s0, s1, {head}")
+
+    def hw_loop(self):
+        rng = self.rng
+        end = self.label()
+        self.emit(f"lp.setupi 0, {rng.randrange(1, 9)}, {end}")
+        for _ in range(rng.randrange(2, 5)):
+            self.alu_op()
+        self.emit(f"{end}:")
+
+    def build(self):
+        rng = self.rng
+        for _ in range(rng.randrange(1, 5)):
+            block = rng.random()
+            if block < 0.35:
+                self.straight()
+            elif block < 0.55:
+                self.forward_branch()
+            elif block < 0.8:
+                self.br_loop()
+            else:
+                self.hw_loop()
+        self.emit("ebreak")
+        return "\n".join(self.lines)
+
+
+def _check_case(text):
+    program = assemble(text)
+    cert = analyze(program, Footprint.default(MEM))
+    cpu = Cpu(program, Memory(MEM))
+    stats = observe_run(cpu, cert, 0)
+    assert stats["steps"] > 0
+    for fact in cert.loops:
+        if fact.trip and fact.trip[0] == fact.trip[1]:
+            assert stats["counts"].get(fact.back, 0) % fact.trip[0] == 0
+    return cert
+
+
+def test_fuzz_corpus():
+    modes = set()
+    for seed in range(N_CASES):
+        text = _Gen(random.Random(seed)).build()
+        try:
+            cert = _check_case(text)
+        except AssertionError:
+            raise AssertionError(f"soundness escape at seed {seed}:\n"
+                                 f"{text}") from None
+        modes.add(cert.mode)
+    # The corpus must exercise the precise analyzer; the CFG-fixpoint
+    # fallback may or may not trigger depending on shapes.
+    assert "structured" in modes
+
+
+# ---------------------------------------------------------------------------
+# Hand-written zero/one-trip hardware-loop edges
+
+
+def _run_and_certify(text):
+    program = assemble(text)
+    cert = analyze(program, Footprint.default(MEM))
+    cpu = Cpu(program, Memory(MEM))
+    stats = observe_run(cpu, cert, 0)
+    return cert, stats
+
+
+def test_hw_loop_zero_count_register_skips_body():
+    cert, stats = _run_and_certify(
+        "addi t0, x0, 0\n"
+        "addi t1, x0, 7\n"
+        "lp.setup 0, t0, end\n"
+        "addi t1, t1, 1\n"
+        "end:\n"
+        "ebreak\n")
+    assert stats["counts"].get(3, 0) == 0      # body never ran
+    [fact] = [f for f in cert.loops if f.kind == "hw"]
+    assert fact.trip == (0, 0)
+
+
+def test_hw_loop_setupi_runs_exactly_imm_times():
+    cert, stats = _run_and_certify(
+        "addi t1, x0, 0\n"
+        "lp.setupi 0, 5, end\n"
+        "addi t1, t1, 1\n"
+        "end:\n"
+        "ebreak\n")
+    assert stats["counts"][2] == 5
+    [fact] = [f for f in cert.loops if f.kind == "hw"]
+    assert fact.trip == (5, 5)
+
+
+def test_hw_loop_setupi_one_runs_once():
+    cert, stats = _run_and_certify(
+        "addi t1, x0, 0\n"
+        "lp.setupi 0, 1, end\n"
+        "addi t1, t1, 1\n"
+        "end:\n"
+        "ebreak\n")
+    assert stats["counts"][2] == 1
+    [fact] = [f for f in cert.loops if f.kind == "hw"]
+    assert fact.trip == (1, 1)
+
+
+def test_br_loop_zero_trip_when_bound_zero():
+    # bge exits immediately: the body must be provably skippable.
+    cert, stats = _run_and_certify(
+        "addi s0, x0, 0\n"
+        "addi s1, x0, 0\n"
+        "head:\n"
+        "bge s0, s1, done\n"
+        "addi s0, s0, 1\n"
+        "jal x0, head\n"
+        "done:\n"
+        "ebreak\n")
+    assert stats["counts"].get(3, 0) == 0
+
+
+def test_unproven_access_reported_not_crashed():
+    # A pointer loaded from memory is TOP: the lw through it must be
+    # flagged unproven (possible-oob feed), never claimed safe.
+    program = assemble("lw t0, 0(x0)\nlw t1, 0(t0)\nebreak\n")
+    cert = analyze(program, Footprint.default(MEM))
+    assert not cert.proven
+    [bad] = cert.unproven
+    assert bad.idx == 1 and bad.kind == "load"
+    cpu = Cpu(program, Memory(MEM))
+    observe_run(cpu, cert, 0)      # claims it *does* make still hold

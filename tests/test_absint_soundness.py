@@ -1,0 +1,107 @@
+"""Differential soundness harness: abstract certificates vs. the ISS.
+
+:func:`repro.analysis.analyze` claims register ranges, memory-access
+footprints and loop trip counts for every generated kernel;
+:func:`repro.analysis.observe_run` replays real executions on the
+instruction-set simulator and raises on any escape.  This is the
+acceptance gate for the certifier: all suite networks at every
+optimization level a-f must analyze in the precise structured mode with
+zero unproven accesses, every register/address claim must hold on real
+runs, and every proven constant trip count must divide the real
+back-edge execution count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (Footprint, analyze, observe_run,
+                            proven_trip_counts)
+from repro.analysis.linter import ALL_LEVEL_KEYS
+from repro.kernels.runner import NetworkProgram
+from repro.nn.network import init_params, quantize_params
+from repro.rrm.networks import suite
+
+_NETWORKS = {net.name: net for net in suite()}
+_TIMESTEPS = 2          # per level; enough to cover recurrent paths
+
+
+def _program(net, level_key):
+    params = quantize_params(
+        init_params(net, np.random.default_rng(2020)))
+    return NetworkProgram(net, params, level_key, engine="interp")
+
+
+def _inputs(net, rng, steps):
+    floats = rng.uniform(-1.0, 1.0, (steps, net.input_size))
+    return np.asarray(floats * 4096, dtype=np.int64)
+
+
+@pytest.mark.parametrize("name", sorted(_NETWORKS))
+def test_certificates_sound_on_iss(name):
+    net = _NETWORKS[name]
+    rng = np.random.default_rng([2020, net.input_size])
+    for level_key in ALL_LEVEL_KEYS:
+        prog = _program(net, level_key)
+        cert = analyze(prog.program, Footprint.from_plan(prog.plan))
+
+        # Acceptance gate: precise mode, zero unproven loads/stores,
+        # every loop's trip count proven.
+        assert cert.mode == "structured", (name, level_key)
+        assert cert.proven, \
+            (name, level_key, [a.to_dict() for a in cert.unproven])
+        assert all(f.trip is not None for f in cert.loops), \
+            (name, level_key,
+             [f.to_dict() for f in cert.loops if f.trip is None])
+
+        for x in _inputs(net, rng, min(_TIMESTEPS, net.timesteps)):
+            prog.memory.store_halfwords(prog.plan.input_addr, x)
+            stats = observe_run(prog.cpu, cert, 0)
+            assert stats["reg_checks"] > 0
+            counts = stats["counts"]
+            # Constant proven trips divide the observed back-edge
+            # execution count (N body runs per loop entry).
+            for fact in cert.loops:
+                lo, hi = fact.trip
+                if lo == hi:
+                    assert counts.get(fact.back, 0) % lo == 0, \
+                        (name, level_key, fact.to_dict())
+
+
+def test_memory_kernels_touch_memory():
+    # Guard against the harness passing vacuously: real kernels must
+    # exercise address checks.
+    prog = _program(_NETWORKS["lee2018"], "a")
+    cert = analyze(prog.program, Footprint.from_plan(prog.plan))
+    x = _inputs(_NETWORKS["lee2018"], np.random.default_rng(7), 1)[0]
+    prog.memory.store_halfwords(prog.plan.input_addr, x)
+    stats = observe_run(prog.cpu, cert, 0)
+    assert stats["addr_checks"] > 0
+    assert cert.accesses
+
+
+def test_certified_trip_counts_match_certificate():
+    # The perfmodel-facing export agrees with the underlying
+    # certificate facts and survives the lru-cached plan path.
+    from repro.perfmodel import certified_trip_counts
+
+    net = _NETWORKS["challita2017"]
+    found_any = False
+    for level_key in ALL_LEVEL_KEYS:
+        trips = certified_trip_counts(net, level_key)
+        prog = _program(net, level_key)
+        cert = analyze(prog.program, Footprint.from_plan(prog.plan))
+        facts = {f.back: f.trip for f in cert.loops if f.kind == "br"}
+        for back, n in trips.items():
+            assert facts[back] == (n, n)
+        for back, trip in facts.items():
+            if trip and trip[0] == trip[1]:
+                assert trips[back] == trip[0]
+        found_any = found_any or bool(trips)
+    assert found_any
+
+
+def test_proven_trip_counts_cached_on_program():
+    prog = _program(_NETWORKS["sun2017"], "c")
+    first = proven_trip_counts(prog.program,
+                               Footprint.from_plan(prog.plan))
+    assert proven_trip_counts(prog.program) is first

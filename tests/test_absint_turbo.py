@@ -1,0 +1,48 @@
+"""Turbo trip-count hint equivalence (the certifier integration).
+
+``build_turbo_code`` seeds its vector-window hints with absint-proven
+trip counts when available, and falls back to the learned-hint ramp
+otherwise.  Hints are a pure performance heuristic: architectural
+results, cycle counts and execution histograms must be bit-identical
+with and without the proven seed.
+"""
+
+import numpy as np
+
+import repro.analysis.absint as absint
+from repro.kernels.runner import NetworkProgram
+from repro.nn.network import init_params, quantize_params
+from repro.rrm.networks import suite
+
+_NET = next(n for n in suite() if n.name == "lee2018")
+
+
+def _forward(monkeypatch, empty_hints):
+    if empty_hints:
+        monkeypatch.setattr(absint, "proven_trip_counts",
+                            lambda program, footprint=None: {})
+    params = quantize_params(
+        init_params(_NET, np.random.default_rng(2020)))
+    prog = NetworkProgram(_NET, params, "a", engine="turbo")
+    rng = np.random.default_rng(7)
+    outs = []
+    for _ in range(2):
+        x = np.asarray(rng.uniform(-1, 1, _NET.input_size) * 4096,
+                       dtype=np.int64)
+        outs.append(prog.step(x))
+    monkeypatch.undo()
+    return outs, prog
+
+
+def test_proven_hints_are_architecturally_invisible(monkeypatch):
+    outs_hint, prog_hint = _forward(monkeypatch, empty_hints=False)
+    outs_cold, prog_cold = _forward(monkeypatch, empty_hints=True)
+
+    # The hinted run really consumed certifier facts...
+    assert getattr(prog_hint.program, "_absint_trips", {})
+    # ...and both runs are indistinguishable in every observable way.
+    for a, b in zip(outs_hint, outs_cold):
+        assert np.array_equal(a, b)
+    assert prog_hint.cpu.instret == prog_cold.cpu.instret
+    assert prog_hint.cpu.cycles == prog_cold.cpu.cycles
+    assert prog_hint.trace == prog_cold.trace
