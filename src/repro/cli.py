@@ -253,6 +253,7 @@ def _cmd_serve_bench(args) -> int:
             out_path=args.out,
             traffic=_traffic_model(args),
             n_tenants=args.tenants,
+            backend=args.backend,
             stop_event=stop.event,
         )
     print(render_table(result))
@@ -284,6 +285,7 @@ def _cmd_cluster_bench(args) -> int:
             n_tenants=args.tenants,
             out_path=args.out,
             trace_out=args.trace_out,
+            backend=args.backend,
             stop_event=stop.event,
         )
     print(render_cluster_table(result))
@@ -296,6 +298,22 @@ def _cmd_cluster_bench(args) -> int:
               "https://ui.perfetto.dev]")
     _interrupt_note(stop)
     return 0
+
+
+def _cmd_aot_bench(args) -> int:
+    from .serve.aot import render_aot_table, run_aot_bench
+    result = run_aot_bench(
+        scale=args.scale,
+        level=args.level,
+        batch_size=args.batch,
+        repeats=args.repeats,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(render_aot_table(result))
+    if args.out:
+        print(f"\n[written {args.out}]")
+    return 0 if result["bit_exact"] else 1
 
 
 def _cmd_chaos_bench(args) -> int:
@@ -579,8 +597,28 @@ def main(argv=None) -> int:
     p_serve.add_argument("--workers", default=None,
                          help="with --cluster: comma-separated worker "
                               "counts (default: 1,2,4,8)")
+    p_serve.add_argument("--backend", choices=["aot", "batched"],
+                         default="aot",
+                         help="serving backend: compiled AOT plans or "
+                              "the batched interpreter (default: aot)")
     p_serve.add_argument("--out", default="BENCH_serve.json",
                          help="JSON results path ('' to skip writing)")
+
+    p_aot = sub.add_parser(
+        "aot-bench",
+        help="model-level AOT-vs-batched throughput and bit-exactness "
+             "sweep with roofline report")
+    p_aot.add_argument("--level", choices=list("abcdef"), default="e")
+    p_aot.add_argument("--scale", type=int, default=None,
+                       help="suite down-scale factor (default: "
+                            "REPRO_SCALE or 4)")
+    p_aot.add_argument("--batch", type=int, default=16,
+                       help="batch size per timed infer call")
+    p_aot.add_argument("--repeats", type=int, default=5,
+                       help="best-of-N timing repeats")
+    p_aot.add_argument("--seed", type=int, default=2020)
+    p_aot.add_argument("--out", default="BENCH_aot.json",
+                       help="JSON results path ('' to skip writing)")
 
     p_cluster = sub.add_parser(
         "cluster-bench",
@@ -618,6 +656,10 @@ def main(argv=None) -> int:
     p_cluster.add_argument("--tenants", type=int, default=0,
                            help="multi-tenant mode: number of tenants "
                                 "(0 = uniform)")
+    p_cluster.add_argument("--backend", choices=["aot", "batched"],
+                           default="aot",
+                           help="serving backend inside every worker "
+                                "(default: aot)")
     p_cluster.add_argument("--seed", type=int, default=2020)
     p_cluster.add_argument("--out", default="BENCH_serve.json",
                            help="JSON results path ('' to skip writing)")
@@ -742,6 +784,8 @@ def main(argv=None) -> int:
         return _cmd_serve_bench(args)
     if args.command == "cluster-bench":
         return _cmd_cluster_bench(args)
+    if args.command == "aot-bench":
+        return _cmd_aot_bench(args)
     if args.command == "chaos-bench":
         return _cmd_chaos_bench(args)
     if args.command == "lint":

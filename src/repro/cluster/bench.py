@@ -146,6 +146,20 @@ def _single_process_pass(networks, config: EngineConfig, stream,
     return out
 
 
+def _cluster_roofline(networks, best_entry) -> dict:
+    """Per-network roofline with achieved req/s from the best pass."""
+    from ..perfmodel.roofline import roofline_report
+    achieved = {}
+    if best_entry is not None:
+        elapsed = best_entry.get("elapsed_s") or 0.0
+        per_net = best_entry.get("cluster_metrics", {}).get(
+            "per_network", {})
+        if elapsed > 0:
+            achieved = {name: counters.get("completed", 0) / elapsed
+                        for name, counters in per_net.items()}
+    return roofline_report(networks, achieved_rps=achieved)
+
+
 def run_cluster_bench(scale: int | None = None, level: str = "e",
                       n_requests: int = 400,
                       rate_rps: float | None = None,
@@ -160,7 +174,7 @@ def run_cluster_bench(scale: int | None = None, level: str = "e",
                       n_tenants: int = 0,
                       out_path: str | None = None,
                       trace_out: str | None = None,
-                      stop_event=None) -> dict:
+                      stop_event=None, backend: str = "aot") -> dict:
     """The ``cluster-bench`` experiment: a worker-count scaling curve.
 
     Every pass (sequential, single-process, and each cluster size)
@@ -173,7 +187,8 @@ def run_cluster_bench(scale: int | None = None, level: str = "e",
     networks = suite(scale)
     engine_config = EngineConfig(level=level,
                                  max_batch_size=max_batch_size,
-                                 max_linger_s=max_linger_s, seed=seed)
+                                 max_linger_s=max_linger_s, seed=seed,
+                                 backend=backend)
     tenant_info = None
     if n_tenants > 0:
         stream, tenant_info = make_tenant_stream(networks, n_requests,
@@ -258,7 +273,13 @@ def run_cluster_bench(scale: int | None = None, level: str = "e",
             "autoscale": autoscale,
             "traffic": (traffic or TrafficModel()).to_dict(),
             "n_tenants": n_tenants,
+            "backend": backend,
         },
+        "backend": backend,
+        # Fleet capacity vs the host roofline: achieved per-network
+        # req/s from the best cluster pass against the calibrated
+        # single-host ceiling at each network's intensity.
+        "roofline": _cluster_roofline(networks, best),
         #: Scaling context: N workers cannot beat 1 worker on a
         #: single-core host, and readers of this JSON need to know
         #: which kind of host produced it.

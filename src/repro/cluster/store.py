@@ -28,9 +28,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn.network import QuantModel, init_params, quantize_params
-from ..rrm.suite import network_trace, plan_for
-from ..serve.engine import ModelEntry, ModelRegistry, _param_checksums
+from ..nn.network import init_params, quantize_params
+from ..serve.engine import ModelRegistry
 
 __all__ = ["SharedWeightStore", "StoreBackedRegistry"]
 
@@ -192,28 +191,11 @@ class StoreBackedRegistry(ModelRegistry):
     """
 
     def __init__(self, store: SharedWeightStore, seed: int = 2020,
-                 mutable: bool = False, abft: bool = False):
-        super().__init__(seed=seed, abft=abft)
+                 mutable: bool = False, abft: bool = False,
+                 backend: str = "aot"):
+        super().__init__(seed=seed, abft=abft, backend=backend)
         self._store = store
         self._mutable = mutable
 
-    def get(self, network, level: str) -> ModelEntry:
-        key = (network, level)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                params = self._store.params_for(network.name,
-                                                copy=self._mutable)
-                entry = ModelEntry(
-                    network=network,
-                    level=level,
-                    model=self._model_class()(network, params),
-                    reference=QuantModel(network, params),
-                    params_raw=params,
-                    cycles_per_request=network_trace(
-                        network, level).total_cycles,
-                    plan=plan_for(network, level),
-                    checksums=_param_checksums(params),
-                )
-                self._entries[key] = entry
-        return entry
+    def _params_for(self, network) -> list:
+        return self._store.params_for(network.name, copy=self._mutable)

@@ -46,7 +46,7 @@ from ..obs.metrics import REGISTRY
 from .cpu import (
     ALU_OPS, _DIV_OPS, _M32, _PLA_FRAC, _PLA_N, _PLA_ONE, _PLA_SHIFT,
     _SIG_M, _SIG_Q, _TANH_M, _TANH_Q, _dot2h, _dot4b, _pla_scalar,
-    _signed32,
+    _signed32, DIV_CYCLES,
 )
 from .exceptions import ExecutionLimitExceeded, MemoryError32
 
@@ -158,6 +158,44 @@ def _v_clip(a, b, i):
     return _vmask_i64(np.clip(v, lo, hi))
 
 
+# RISC-V M division semantics, vectorized.  Divide-by-zero is handled
+# by substituting a safe divisor and patching the result with np.where
+# (numpy would warn and produce 0 otherwise); both operands fit in
+# int64 with room to spare, so truncating division is ``abs // abs``
+# with the sign reapplied — floor and truncation agree on non-negative
+# values.  The signed-overflow case (-2**31 / -1) needs no special
+# path: the exact int64 quotient 2**31 masks to 0x80000000 and the
+# exact remainder 0 is already correct.
+def _v_div(a, b, i):
+    sa, sb = _vs(a), _vs(b)
+    safe = np.where(sb == 0, np.int64(1), sb)
+    q = np.abs(sa) // np.abs(safe)
+    q = np.where((sa < 0) != (sb < 0), -q, q)
+    q = np.where(sb == 0, np.int64(-1), q)  # -1 masks to 0xFFFFFFFF
+    return _vmask_i64(q)
+
+
+def _v_divu(a, b, i):
+    au, bu = a & _MASK, b & _MASK
+    safe = np.where(bu == 0, _U64(1), bu)
+    return np.where(bu == 0, _MASK, au // safe)
+
+
+def _v_rem(a, b, i):
+    sa, sb = _vs(a), _vs(b)
+    safe = np.where(sb == 0, np.int64(1), sb)
+    r = np.abs(sa) % np.abs(safe)
+    r = np.where(sa < 0, -r, r)
+    r = np.where(sb == 0, sa, r)  # rem by zero returns the dividend
+    return _vmask_i64(r)
+
+
+def _v_remu(a, b, i):
+    au, bu = a & _MASK, b & _MASK
+    safe = np.where(bu == 0, _U64(1), bu)
+    return np.where(bu == 0, au, au % safe)
+
+
 _VOPS = {
     "addi": lambda a, b, i: (a + _vu(i)) & _MASK,
     "slti": lambda a, b, i: (_vs(a) < np.int64(i)).astype(_U64),
@@ -202,6 +240,10 @@ _VOPS = {
     "p.exths": lambda a, b, i: ((a & _U64(0xFFFF))
                                 | np.where((a & _U64(0x8000)) != 0,
                                            _U64(0xFFFF0000), _U64(0))),
+    "div": _v_div,
+    "divu": _v_divu,
+    "rem": _v_rem,
+    "remu": _v_remu,
 }
 
 #: Scalar semantics for the pseudo-mnemonics above (real mnemonics reuse
@@ -421,7 +463,7 @@ class _Walk:
             self.costs.append(2)
             return
 
-        if m in _DIV_OPS or m in ("mulh", "mulhu", "mulhsu") or \
+        if m in ("mulh", "mulhu", "mulhsu") or \
                 spec.fmt == Fmt.CSR or spec.is_jump or spec.is_branch or \
                 m in ("ebreak", "fence", "ecall", "lp.setup", "lp.setupi"):
             raise _Unsupported(m)
@@ -456,7 +498,8 @@ class _Walk:
                               imm))
         else:
             raise _Unsupported(m)
-        self.costs.append(self._cost(i))
+        self.costs.append(self._cost(
+            i, DIV_CYCLES if m in _DIV_OPS else 1))
 
     def _load(self, instr, pos):
         spec = instr.spec

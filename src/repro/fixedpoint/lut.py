@@ -165,7 +165,10 @@ def pla_apply(table: PlaTable, x_raw):
     golden network models call it on arrays.
     """
     scalar = np.isscalar(x_raw) or np.ndim(x_raw) == 0
-    x = np.asarray(x_raw, dtype=np.int64).reshape(-1)
+    # Shape-preserving: every op below broadcasts over any rank, so
+    # batched (B, n) callers keep their shape without a flatten /
+    # reshape round-trip (and scalars flow through as 0-d arrays).
+    x = np.asarray(x_raw, dtype=np.int64)
     one = table.fmt.from_float(1.0)  # 4096 in Q3.12
 
     negative = x < 0
@@ -184,7 +187,7 @@ def pla_apply(table: PlaTable, x_raw):
         y = np.where(negative, one + y, y)  # sig(-x) = 1 - sig(x)
     y = table.fmt.saturate(y)
     if scalar:
-        return int(y[0])
+        return int(y)
     return y
 
 

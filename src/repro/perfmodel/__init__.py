@@ -14,6 +14,9 @@ simulation.
 from ..rrm.suite import (network_speedups, network_trace, plan_for,
                          suite_speedups, suite_trace)
 from .formulas import matvec_marginal
+from .roofline import (calibrate_host, network_bytes, network_ops,
+                       operational_intensity, roofline_point,
+                       roofline_report)
 from .static_latency import (PredictedLatency, Unpredictable,
                              certified_trip_counts,
                              predict_network_cycles,
@@ -22,4 +25,6 @@ from .static_latency import (PredictedLatency, Unpredictable,
 __all__ = ["plan_for", "network_trace", "suite_trace", "network_speedups",
            "suite_speedups", "matvec_marginal",
            "PredictedLatency", "Unpredictable", "predict_network_cycles",
-           "predict_program_cycles", "certified_trip_counts"]
+           "predict_program_cycles", "certified_trip_counts",
+           "network_ops", "network_bytes", "operational_intensity",
+           "calibrate_host", "roofline_point", "roofline_report"]

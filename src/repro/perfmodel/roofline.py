@@ -1,0 +1,199 @@
+"""Roofline capacity model for the serving host.
+
+The classic roofline (Williams et al.) bounds attainable throughput by
+``min(peak_compute, bandwidth * operational_intensity)``.  Here the
+"kernel" is one whole network inference as the AOT backend executes it
+(:mod:`repro.serve.aot`): the op count is the network's exact MAC count
+(2 ops per MAC), and the bytes moved are the int16 Q3.12 footprint the
+paper's datapath streams — weights + biases once per inference, input /
+output / recurrent state once per timestep.  Operational intensity is
+their ratio, so each suite network lands at a fixed x-position on the
+roofline and the model converts straight into a per-network request/s
+ceiling for capacity planning.
+
+Ceilings come from :func:`calibrate_host`, a two-point microbenchmark of
+the same primitives the fused plans actually use (float64 GEMM for the
+compute roof, large-array copy for the bandwidth roof), so
+achieved-vs-ceiling percentages in ``serve-bench``/``cluster-bench``
+output are honest: an 80%-of-roof network is truly compute-bound on this
+host, not on a spec sheet.  Pass explicit ``peak_flops``/``bandwidth``
+to pin the ceilings (tests do, for determinism).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..nn.network import ConvSpec, DenseSpec, LstmSpec, Network
+
+__all__ = ["network_ops", "network_bytes", "operational_intensity",
+           "calibrate_host", "roofline_point", "roofline_report"]
+
+#: Bytes per element of the Q3.12 datapath (int16 weights/activations).
+_ELEM_BYTES = 2
+
+
+def network_ops(network: Network) -> int:
+    """Arithmetic ops per inference: 2 per MAC (multiply + accumulate).
+
+    Exact, from the layer specs — the same count the paper uses for its
+    MAC/cycle efficiency figures.
+    """
+    return 2 * network.macs_per_inference
+
+
+def _layer_param_elems(spec) -> int:
+    if isinstance(spec, DenseSpec):
+        return spec.n_out * spec.n_in + spec.n_out
+    if isinstance(spec, LstmSpec):
+        return 4 * spec.n * (spec.m + spec.n) + 4 * spec.n
+    if isinstance(spec, ConvSpec):
+        return spec.cout * spec.cin * spec.k ** 2 + spec.cout
+    raise TypeError(f"unknown layer spec {spec!r}")
+
+
+def _layer_stream_elems(spec) -> int:
+    """Activation traffic per timestep: input read + output write, plus
+    recurrent state read+write for LSTM layers."""
+    elems = spec.in_size + spec.out_size
+    if isinstance(spec, LstmSpec):
+        elems += 4 * spec.n  # h read, c read, h write, c write
+    return elems
+
+
+def network_bytes(network: Network) -> int:
+    """Bytes moved per inference on the int16 datapath.
+
+    Weights and biases stream once per inference (no weight reuse
+    across requests is assumed — the conservative, paper-faithful
+    choice for small-batch serving); activations and recurrent state
+    move once per timestep.
+    """
+    params = sum(_layer_param_elems(s) for s in network.layers)
+    stream = sum(_layer_stream_elems(s) for s in network.layers)
+    return _ELEM_BYTES * (params + stream * network.timesteps)
+
+
+def operational_intensity(network: Network) -> float:
+    """Ops per byte moved — the network's x-position on the roofline."""
+    return network_ops(network) / network_bytes(network)
+
+
+_CALIBRATION: dict | None = None
+
+
+def calibrate_host(size: int = 384, repeats: int = 3,
+                   copy_mb: int = 32) -> dict:
+    """Measure this host's compute and bandwidth roofs (cached).
+
+    * ``peak_flops`` — float64 GEMM on a ``size x size`` problem, the
+      exact primitive the AOT backend's hot loop is built from.
+    * ``bandwidth`` — bytes/s of a large out-of-cache array copy.
+
+    Returns ``{"peak_flops", "bandwidth_bytes_s", "ridge_oi"}`` where
+    ``ridge_oi`` is the intensity at which the two roofs intersect.
+    """
+    global _CALIBRATION
+    if _CALIBRATION is not None:
+        return _CALIBRATION
+    rng = np.random.default_rng(2020)
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+    out = np.empty((size, size))
+    np.matmul(a, b, out=out)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.matmul(a, b, out=out)
+        best = min(best, time.perf_counter() - t0)
+    peak = 2 * size ** 3 / best if best > 0 else 0.0
+
+    n = copy_mb * (1 << 20) // 8
+    src = rng.standard_normal(n)
+    dst = np.empty(n)
+    np.copyto(dst, src)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.copyto(dst, src)
+        best = min(best, time.perf_counter() - t0)
+    # One read + one write stream.
+    bandwidth = 2 * n * 8 / best if best > 0 else 0.0
+
+    _CALIBRATION = {
+        "peak_flops": peak,
+        "bandwidth_bytes_s": bandwidth,
+        "ridge_oi": peak / bandwidth if bandwidth > 0 else 0.0,
+    }
+    return _CALIBRATION
+
+
+def roofline_point(network: Network, peak_flops: float | None = None,
+                   bandwidth: float | None = None,
+                   achieved_rps: float | None = None) -> dict:
+    """One network's roofline row.
+
+    ``ceiling_rps`` converts the attainable ops/s at the network's
+    intensity into whole inferences per second; ``bound`` names the
+    binding roof.  With ``achieved_rps`` the row also carries the
+    achieved ops/s and percent-of-ceiling.
+    """
+    if peak_flops is None or bandwidth is None:
+        cal = calibrate_host()
+        peak_flops = peak_flops if peak_flops is not None \
+            else cal["peak_flops"]
+        bandwidth = bandwidth if bandwidth is not None \
+            else cal["bandwidth_bytes_s"]
+    ops = network_ops(network)
+    nbytes = network_bytes(network)
+    oi = ops / nbytes
+    attainable = min(peak_flops, bandwidth * oi)
+    point = {
+        "ops": ops,
+        "bytes": nbytes,
+        "oi": oi,
+        "bound": "compute" if peak_flops <= bandwidth * oi
+        else "memory",
+        "attainable_ops_s": attainable,
+        "ceiling_rps": attainable / ops if ops else 0.0,
+    }
+    if achieved_rps is not None:
+        point["achieved_rps"] = achieved_rps
+        point["achieved_ops_s"] = achieved_rps * ops
+        point["pct_of_ceiling"] = (100.0 * achieved_rps
+                                   / point["ceiling_rps"]
+                                   if point["ceiling_rps"] > 0 else 0.0)
+    return point
+
+
+def roofline_report(networks, achieved_rps: dict | None = None,
+                    peak_flops: float | None = None,
+                    bandwidth: float | None = None) -> dict:
+    """Per-network roofline table for a bench report.
+
+    ``achieved_rps`` maps network name to measured request/s (missing
+    networks get ceiling-only rows).
+    """
+    if peak_flops is None or bandwidth is None:
+        cal = calibrate_host()
+        peak_flops = peak_flops if peak_flops is not None \
+            else cal["peak_flops"]
+        bandwidth = bandwidth if bandwidth is not None \
+            else cal["bandwidth_bytes_s"]
+    achieved_rps = achieved_rps or {}
+    return {
+        "host": {
+            "peak_flops": peak_flops,
+            "bandwidth_bytes_s": bandwidth,
+            "ridge_oi": peak_flops / bandwidth if bandwidth > 0
+            else 0.0,
+        },
+        "per_network": {
+            network.name: roofline_point(
+                network, peak_flops=peak_flops, bandwidth=bandwidth,
+                achieved_rps=achieved_rps.get(network.name))
+            for network in networks
+        },
+    }

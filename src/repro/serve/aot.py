@@ -1,0 +1,615 @@
+"""Ahead-of-time plan compiler: one fused batched callable per network.
+
+:class:`~repro.serve.batched.BatchedQuantModel` re-dispatches on layer
+specs, re-derives shifted biases and walks the segment-evaluated PLA
+(:func:`repro.fixedpoint.lut.pla_apply`) on every step.  This module
+lowers a ``(network, level)`` plan **once**, at registry-build time,
+into a single generated Python function with no per-layer dispatch:
+
+* weights are preloaded as contiguous arrays — the matvec operand as a
+  transposed *float64* copy (see the exactness argument below), the
+  requantizing bias pre-shifted into the accumulator domain;
+* the dense / LSTM / conv steps of every timestep are emitted inline,
+  so one call executes the whole inference;
+* ``tanh``/``sig`` are evaluated by a single vectorized ``np.take``
+  into precomputed full-domain Q3.12 tables (65536 entries — every
+  activation input is post-saturation int16 by construction, so the
+  table covers the entire reachable domain);
+* every intermediate buffer is preallocated per batch size and reused
+  across batches (`out=` forms throughout; the only per-call
+  allocation is the returned output copy).
+
+Exactness of the float64 matmul
+-------------------------------
+The scalar model accumulates ``acc = sum(w_ij * x_j) + (b_i << 12)`` in
+exact integer arithmetic before ``wrap32``.  With ``|x| <= 32767``
+(enforced: wider inputs take the bit-exact batched fallback) and
+``|w| <= 32767`` (guaranteed by Q3.12 quantization), every product is
+below ``2**30`` and every partial sum is bounded by
+``n_in * 32767**2 < 2**53`` for any realistic layer width — so each is
+an integer exactly representable in IEEE float64, *regardless of the
+summation order BLAS picks*.  The float64 GEMM therefore returns the
+exact integer sum, the cast back to int64 is exact, and ``wrap32`` /
+shift / saturate proceed bit-identically to the integer path — the
+same prove-exact-then-vectorize contract as the turbo ISS engine,
+asserted by the differential and fuzz tests in
+``tests/test_serve_aot.py``.
+
+ABFT interop: the compiled variant used when the registry serves with
+``abft=True`` emits the integer column-checksum verification of
+:mod:`repro.resilience.abft` against the fused accumulator of every
+dense/LSTM matvec and raises the same :class:`SdcDetected`, so the
+engine's quarantine → repair → rerun path is backend-agnostic.  The
+``arm_sdc`` fault-injection hook is honoured by both variants at the
+same point of the datapath (the wrapped 32-bit accumulator, before the
+lossy shift).
+
+Anything the compiler cannot prove it can lower (an unknown layer spec
+or activation) raises :class:`AotUnsupported`, and
+:func:`build_serving_model` falls back to the batched interpreter —
+callers never see a half-compiled model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fixedpoint.activations import SIG_TABLE, TANH_TABLE
+from ..fixedpoint.lut import pla_apply
+from ..nn.network import ConvSpec, DenseSpec, LstmSpec, Network
+from ..obs.metrics import REGISTRY
+from .batched import BatchedQuantModel
+
+__all__ = ["AotUnsupported", "AotPlan", "compile_plan",
+           "AotBatchedModel", "AotAbftModel", "build_serving_model",
+           "TANH_LUT", "SIG_LUT", "run_aot_bench", "render_aot_table"]
+
+_FRAC = 12
+
+#: Compile / plan-cache / fallback events on the unified ``repro.obs``
+#: registry, mirroring ``iss_turbo_events_total``.
+_AOT_EVENTS = REGISTRY.counter(
+    "serve_aot_events_total",
+    "AOT plan-compiler compile, plan-cache and fallback events.",
+    ("event",))
+
+
+def _full_domain_lut(table) -> np.ndarray:
+    """The PLA evaluated at every int16 point: ``lut[x + 32768]``."""
+    lut = pla_apply(table, np.arange(-32768, 32768, dtype=np.int64))
+    return np.ascontiguousarray(lut, dtype=np.int64)
+
+
+TANH_LUT = _full_domain_lut(TANH_TABLE)
+SIG_LUT = _full_domain_lut(SIG_TABLE)
+
+
+class AotUnsupported(Exception):
+    """The plan contains a construct the AOT compiler cannot lower."""
+
+
+def _sdc_hook(model, acc) -> None:
+    """Apply a pending injected accumulator corruption (rare path)."""
+    model._take_sdc()(acc)
+
+
+def _abft_check(model, acc, x, colsum, bias_sum) -> None:
+    """Column-checksum verification of one fused accumulator.
+
+    Same integer identity as :func:`repro.resilience.abft.
+    verify_dense_acc`, against weights frozen at compile time (compile
+    happens on pristine parameters, and ``reload_params`` re-derives
+    them whenever the registry repairs an entry, so the reference never
+    drifts from what the GEMM actually used).
+    """
+    from ..nn.layers import wrap32
+    from ..resilience.abft import SdcDetected
+    got = wrap32(acc.sum(axis=1))
+    want = wrap32(bias_sum + x @ colsum)
+    bad = got != want
+    if bad.any():
+        rows = np.flatnonzero(bad)
+        model.sdc_detections += len(rows)
+        raise SdcDetected(
+            f"ABFT column-checksum mismatch in {len(rows)} batch "
+            f"row(s): {rows.tolist()}", rows=rows)
+
+
+@dataclass(frozen=True)
+class AotPlan:
+    """A compiled plan: generated source, callable and operand recipes."""
+
+    network: Network
+    abft: bool
+    #: The generated Python source (kept for inspection and docs).
+    source: str
+    #: ``fn(X, T, W, BUF, model) -> np.ndarray`` — the fused pass.
+    fn: object
+    #: ``[(name, builder(params_raw) -> ndarray), ...]``.
+    weight_builders: tuple
+    #: ``[(name, shape_fn(B), dtype), ...]`` preallocated per batch size.
+    buffer_specs: tuple
+
+
+class _Compiler:
+    """Lowers one network's layer list into fused numpy source."""
+
+    def __init__(self, network: Network, abft: bool):
+        self.network = network
+        self.abft = abft
+        self.lines: list[str] = []
+        self.weights: list = []
+        self.buffers: list = []
+
+    # -- helpers -------------------------------------------------------
+    def emit(self, line: str, indent: int = 2) -> None:
+        self.lines.append("    " * indent + line)
+
+    def weight(self, name: str, builder) -> None:
+        self.weights.append((name, builder))
+
+    def buffer(self, name: str, shape_fn, dtype=np.int64) -> None:
+        self.buffers.append((name, shape_fn, dtype))
+
+    def _wrap32(self, acc: str, tmp: str) -> None:
+        """In-place 32-bit two's-complement wrap of ``acc``."""
+        self.emit(f"np.bitwise_and({acc}, 0xFFFFFFFF, out={acc})")
+        self.emit(f"np.bitwise_and({acc}, 0x80000000, out={tmp})")
+        self.emit(f"np.left_shift({tmp}, 1, out={tmp})")
+        self.emit(f"np.subtract({acc}, {tmp}, out={acc})")
+
+    def _acc_hooks(self, acc: str, x_int: str, k: int) -> None:
+        """SDC injection point + (ABFT variant) checksum verification."""
+        self.emit(f"if model._sdc_corruptor is not None: "
+                  f"_sdc_hook(model, {acc})")
+        if self.abft:
+            self.emit(f"_abft_check(model, {acc}, {x_int}, "
+                      f"CS{k}, BSUM{k})")
+
+    def _activation(self, acc: str, out: str, func) -> str:
+        """Emit the activation; returns the live value variable."""
+        if func is None:
+            return acc
+        if func == "relu":
+            self.emit(f"np.maximum({acc}, 0, out={acc})")
+            return acc
+        lut = "LTANH" if func == "tanh" else "LSIG"
+        self.emit(f"{acc} += 32768")
+        self.emit(f"np.take({lut}, {acc}, out={out})")
+        return out
+
+    # -- layers --------------------------------------------------------
+    def dense(self, k: int, spec: DenseSpec) -> None:
+        if spec.activation not in (None, "relu", "tanh", "sig"):
+            raise AotUnsupported(
+                f"dense activation {spec.activation!r}")
+        m, n = spec.n_in, spec.n_out
+        self.weight(f"WF{k}", lambda p, i=k: np.ascontiguousarray(
+            np.asarray(p[i]["w"], dtype=np.int64).T, dtype=np.float64))
+        self.weight(f"BS{k}", lambda p, i=k: np.ascontiguousarray(
+            np.asarray(p[i]["b"], dtype=np.int64) << _FRAC))
+        self.buffer(f"XF{k}", lambda B, m=m: (B, m), np.float64)
+        self.buffer(f"CF{k}", lambda B, n=n: (B, n), np.float64)
+        self.buffer(f"A{k}", lambda B, n=n: (B, n))
+        self.buffer(f"T{k}", lambda B, n=n: (B, n))
+        if self.abft:
+            self.weight(f"CS{k}", lambda p, i=k: np.ascontiguousarray(
+                np.asarray(p[i]["w"], dtype=np.int64).sum(axis=0)))
+            self.weight(f"BSUM{k}", lambda p, i=k: np.int64(
+                int(np.asarray(p[i]["b"], dtype=np.int64).sum())
+                << _FRAC))
+        self.emit(f"np.copyto(XF{k}, V)")
+        self.emit(f"np.matmul(XF{k}, WF{k}, out=CF{k})")
+        self.emit(f"np.copyto(A{k}, CF{k}, casting='unsafe')")
+        self.emit(f"A{k} += BS{k}")
+        self._wrap32(f"A{k}", f"T{k}")
+        self._acc_hooks(f"A{k}", "V", k)
+        self.emit(f"np.right_shift(A{k}, 12, out=A{k})")
+        self.emit(f"np.clip(A{k}, -32768, 32767, out=A{k})")
+        if spec.activation in ("tanh", "sig"):
+            self.buffer(f"O{k}", lambda B, n=n: (B, n))
+        value = self._activation(f"A{k}", f"O{k}", spec.activation)
+        self.emit(f"V = {value}")
+
+    def lstm(self, k: int, spec: LstmSpec) -> None:
+        m, n = spec.m, spec.n
+        self.weight(f"WF{k}", lambda p, i=k: np.ascontiguousarray(
+            np.asarray(p[i]["w"], dtype=np.int64).T, dtype=np.float64))
+        self.weight(f"BS{k}", lambda p, i=k: np.ascontiguousarray(
+            np.asarray(p[i]["b"], dtype=np.int64) << _FRAC))
+        self.buffer(f"XHF{k}", lambda B, w=m + n: (B, w), np.float64)
+        self.buffer(f"CF{k}", lambda B, w=4 * n: (B, w), np.float64)
+        self.buffer(f"Z{k}", lambda B, w=4 * n: (B, w))
+        self.buffer(f"T4{k}", lambda B, w=4 * n: (B, w))
+        for gate in ("IG", "FG", "OG", "GG", "TN", "H", "C"):
+            self.buffer(f"{gate}{k}", lambda B, n=n: (B, n))
+        if self.abft:
+            self.buffer(f"XH{k}", lambda B, w=m + n: (B, w))
+            self.weight(f"CS{k}", lambda p, i=k: np.ascontiguousarray(
+                np.asarray(p[i]["w"], dtype=np.int64).sum(axis=0)))
+            self.weight(f"BSUM{k}", lambda p, i=k: np.int64(
+                int(np.asarray(p[i]["b"], dtype=np.int64).sum())
+                << _FRAC))
+            self.emit(f"np.copyto(XH{k}[:, :{m}], V)")
+            self.emit(f"np.copyto(XH{k}[:, {m}:], H{k})")
+            self.emit(f"np.copyto(XHF{k}, XH{k})")
+        else:
+            self.emit(f"np.copyto(XHF{k}[:, :{m}], V)")
+            self.emit(f"np.copyto(XHF{k}[:, {m}:], H{k})")
+        self.emit(f"np.matmul(XHF{k}, WF{k}, out=CF{k})")
+        self.emit(f"np.copyto(Z{k}, CF{k}, casting='unsafe')")
+        self.emit(f"Z{k} += BS{k}")
+        self._wrap32(f"Z{k}", f"T4{k}")
+        self._acc_hooks(f"Z{k}", f"XH{k}", k)
+        self.emit(f"np.right_shift(Z{k}, 12, out=Z{k})")
+        self.emit(f"np.clip(Z{k}, -32768, 32767, out=Z{k})")
+        self.emit(f"Z{k} += 32768")
+        self.emit(f"np.take(LSIG, Z{k}[:, :{n}], out=IG{k})")
+        self.emit(f"np.take(LSIG, Z{k}[:, {n}:{2 * n}], out=FG{k})")
+        self.emit(f"np.take(LSIG, Z{k}[:, {2 * n}:{3 * n}], out=OG{k})")
+        self.emit(f"np.take(LTANH, Z{k}[:, {3 * n}:], out=GG{k})")
+        self.emit(f"np.multiply(IG{k}, GG{k}, out=IG{k})")
+        self.emit(f"np.right_shift(IG{k}, 12, out=IG{k})")
+        self.emit(f"np.multiply(FG{k}, C{k}, out=FG{k})")
+        self.emit(f"np.right_shift(FG{k}, 12, out=FG{k})")
+        self.emit(f"np.add(IG{k}, FG{k}, out=IG{k})")
+        self.emit(f"np.clip(IG{k}, -32768, 32767, out=C{k})")
+        self.emit(f"np.add(C{k}, 32768, out=TN{k})")
+        self.emit(f"np.take(LTANH, TN{k}, out=IG{k})")
+        self.emit(f"np.multiply(OG{k}, IG{k}, out=H{k})")
+        self.emit(f"np.right_shift(H{k}, 12, out=H{k})")
+        self.emit(f"V = H{k}")
+
+    def conv(self, k: int, spec: ConvSpec) -> None:
+        # Exact int64 einsum (conv nets sit outside the suite hot path;
+        # the accumulator identity to the batched model is immediate).
+        ho, wo = spec.h_out, spec.w_out
+        kk, pix, win = spec.k, ho * wo, spec.cin * spec.k ** 2
+        self.weight(f"WCF{k}", lambda p, i=k, c=spec.cout:
+                    np.ascontiguousarray(
+                        np.asarray(p[i]["w"], dtype=np.int64)
+                        .reshape(c, -1).T, dtype=np.float64))
+        self.weight(f"BSC{k}", lambda p, i=k: np.ascontiguousarray(
+            np.asarray(p[i]["b"], dtype=np.int64) << _FRAC))
+        self.buffer(f"XCF{k}", lambda B, s=(pix, win): (B,) + s,
+                    np.float64)
+        self.buffer(f"CFC{k}", lambda B, s=(pix, spec.cout): (B,) + s,
+                    np.float64)
+        self.buffer(f"AC{k}", lambda B, s=(pix, spec.cout): (B,) + s)
+        self.buffer(f"TC{k}", lambda B, s=(pix, spec.cout): (B,) + s)
+        self.buffer(f"OC{k}", lambda B, s=(spec.cout, pix): (B,) + s)
+        self.emit(f"PV{k} = V.reshape(B, {spec.cin}, {spec.h}, "
+                  f"{spec.w})")
+        self.emit(f"PW{k} = _windows(PV{k}, ({kk}, {kk}), "
+                  f"axis=(2, 3))")
+        # im2col: gather (B, ho, wo, cin, k, k) patches into the
+        # float64 GEMM operand, then one batched matmul per layer.
+        self.emit(f"np.copyto(XCF{k}.reshape(B, {ho}, {wo}, "
+                  f"{spec.cin}, {kk}, {kk}), "
+                  f"PW{k}.transpose(0, 2, 3, 1, 4, 5))")
+        self.emit(f"np.matmul(XCF{k}, WCF{k}, out=CFC{k})")
+        self.emit(f"np.copyto(AC{k}, CFC{k}, casting='unsafe')")
+        self.emit(f"AC{k} += BSC{k}")
+        self._wrap32(f"AC{k}", f"TC{k}")
+        self.emit(f"np.right_shift(AC{k}, 12, out=AC{k})")
+        self.emit(f"np.clip(AC{k}, -32768, 32767, out=AC{k})")
+        # back to the batched model's channel-major (B, cout*ho*wo).
+        self.emit(f"np.copyto(OC{k}, AC{k}.transpose(0, 2, 1))")
+        self.emit(f"V = OC{k}.reshape(B, -1)")
+
+    # -- driver --------------------------------------------------------
+    def compile(self) -> AotPlan:
+        head = ["def _aot_pass(X, T, W, BUF, model):",
+                "    B = X.shape[0]"]
+        self.emit("V = X if X.ndim == 2 else X[:, _t]")
+        for k, spec in enumerate(self.network.layers):
+            if isinstance(spec, DenseSpec):
+                self.dense(k, spec)
+            elif isinstance(spec, LstmSpec):
+                self.lstm(k, spec)
+            elif isinstance(spec, ConvSpec):
+                self.conv(k, spec)
+            else:
+                raise AotUnsupported(f"layer spec {type(spec).__name__}")
+        body = self.lines
+        self.lines = []
+        # Prologue: bind operands/buffers to locals, zero LSTM state.
+        for name, _ in self.weights:
+            self.emit(f"{name} = W['{name}']", indent=1)
+        for name, _, _ in self.buffers:
+            self.emit(f"{name} = BUF['{name}']", indent=1)
+        for k, spec in enumerate(self.network.layers):
+            if isinstance(spec, LstmSpec):
+                self.emit(f"H{k}.fill(0)", indent=1)
+                self.emit(f"C{k}.fill(0)", indent=1)
+        self.emit("for _t in range(T):", indent=1)
+        source = "\n".join(head + self.lines + body
+                           + ["    return V.copy()"])
+        namespace = {"np": np, "LTANH": TANH_LUT, "LSIG": SIG_LUT,
+                     "_windows": np.lib.stride_tricks.sliding_window_view,
+                     "_sdc_hook": _sdc_hook, "_abft_check": _abft_check}
+        exec(compile(source, f"<aot:{self.network.name}>", "exec"),
+             namespace)
+        return AotPlan(network=self.network, abft=self.abft,
+                       source=source, fn=namespace["_aot_pass"],
+                       weight_builders=tuple(self.weights),
+                       buffer_specs=tuple(self.buffers))
+
+
+_PLAN_CACHE: dict = {}
+
+
+def compile_plan(network: Network, abft: bool = False) -> AotPlan:
+    """Compile (or fetch the cached) fused plan for one network.
+
+    Plans are cached on ``(network, abft)`` — the generated code
+    depends only on the layer structure, never on parameter values, so
+    every registry (and every batch size) shares one compilation.
+    """
+    key = (network, bool(abft))
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _AOT_EVENTS.inc(event="plan_cache_hit")
+        return plan
+    plan = _Compiler(network, abft).compile()
+    _PLAN_CACHE[key] = plan
+    _AOT_EVENTS.inc(event="compile")
+    return plan
+
+
+class AotBatchedModel(BatchedQuantModel):
+    """Drop-in :class:`BatchedQuantModel` running the compiled plan.
+
+    ``infer`` executes the fused pass; ``step``/``forward``/``reset``
+    are inherited (interpreted) for the rare callers that step
+    manually.  The static per-inference cycle estimate is carried as
+    :attr:`cycles_per_request` and is cycle-exact vs
+    :func:`repro.perfmodel.predict_network_cycles` (asserted by
+    ``tests/test_serve_aot.py``).
+    """
+
+    backend_name = "aot"
+    _abft = False
+
+    def __init__(self, network: Network, params_raw: list,
+                 level: str = "e"):
+        super().__init__(network, params_raw)
+        self.level = level
+        self._plan = compile_plan(network, abft=self._abft)
+        self._weights: dict = {}
+        self.reload_params()
+        self._buffers: dict[int, dict] = {}
+        self._wide_model = None
+        from ..rrm.suite import network_trace
+        #: Static whole-inference cycle count of the generated kernel
+        #: (== ``predict_network_cycles(network, level).cycles``).
+        self.cycles_per_request = int(
+            network_trace(network, level).total_cycles)
+
+    def reload_params(self) -> None:
+        """Re-derive every preloaded operand from ``self.params``.
+
+        Called by :meth:`repro.serve.engine.ModelRegistry.repair` after
+        restoring pristine parameters, so the compiled operands can
+        never drift from the registry's ground truth.
+        """
+        for name, builder in self._plan.weight_builders:
+            self._weights[name] = builder(self.params)
+
+    def _buffers_for(self, batch: int) -> dict:
+        buf = self._buffers.get(batch)
+        if buf is None:
+            buf = {name: np.zeros(shape_fn(batch), dtype=dtype)
+                   for name, shape_fn, dtype in self._plan.buffer_specs}
+            self._buffers[batch] = buf
+        return buf
+
+    def _wide_fallback(self) -> BatchedQuantModel:
+        """Bit-exact escape hatch for inputs outside int16 range,
+        where the float64-GEMM exactness argument does not hold."""
+        if self._wide_model is None:
+            if self._abft:
+                from ..resilience.abft import AbftBatchedModel
+                self._wide_model = AbftBatchedModel(self.network,
+                                                    self.params)
+            else:
+                self._wide_model = BatchedQuantModel(self.network,
+                                                     self.params)
+        if self._sdc_corruptor is not None:
+            self._wide_model.arm_sdc(self._take_sdc())
+        return self._wide_model
+
+    def infer(self, x_batch) -> np.ndarray:
+        x = np.asarray(x_batch, dtype=np.int64)
+        timesteps = self.network.timesteps
+        if x.ndim == 3 and x.shape[1] != timesteps:
+            raise ValueError(
+                f"expected (B, {timesteps}, "
+                f"{self.network.input_size}) inputs, got {x.shape}")
+        if x.ndim not in (2, 3):
+            raise ValueError(
+                f"expected (B, {timesteps}, "
+                f"{self.network.input_size}) inputs, got {x.shape}")
+        if x.size and int(np.abs(x).max()) > 32767:
+            return self._wide_fallback().infer(x)
+        return self._plan.fn(x, timesteps, self._weights,
+                             self._buffers_for(x.shape[0]), self)
+
+
+class AotAbftModel(AotBatchedModel):
+    """AOT model with the column-checksum hook fused into every dense
+    and LSTM accumulator (raises :class:`repro.resilience.abft.
+    SdcDetected` exactly like :class:`AbftBatchedModel`)."""
+
+    backend_name = "aot"
+    _abft = True
+
+    def __init__(self, network: Network, params_raw: list,
+                 level: str = "e"):
+        super().__init__(network, params_raw, level=level)
+        #: Detections observed by this instance (metrics/tests parity
+        #: with :class:`repro.resilience.abft.AbftBatchedModel`).
+        self.sdc_detections = 0
+
+
+def build_serving_model(network: Network, params_raw: list,
+                        level: str = "e", abft: bool = False,
+                        backend: str = "aot"):
+    """Build the serving model for one registry entry.
+
+    ``backend="aot"`` compiles the fused plan, falling back to the
+    batched interpreter on :class:`AotUnsupported` (counted on the
+    ``serve_aot_events_total{event="fallback"}`` metric);
+    ``backend="batched"`` always builds the interpreter.
+    """
+    if backend not in ("aot", "batched"):
+        raise ValueError(f"unknown serving backend {backend!r}")
+    if backend == "aot":
+        cls = AotAbftModel if abft else AotBatchedModel
+        try:
+            return cls(network, params_raw, level=level)
+        except AotUnsupported:
+            _AOT_EVENTS.inc(event="fallback")
+    if abft:
+        from ..resilience.abft import AbftBatchedModel
+        return AbftBatchedModel(network, params_raw)
+    return BatchedQuantModel(network, params_raw)
+
+
+# ----------------------------------------------------------------------
+# aot-bench: direct model-level throughput, AOT vs batched interpreter.
+# ----------------------------------------------------------------------
+def _bench_model(model, x, repeats: int) -> float:
+    """Best-of-``repeats`` wall time for one ``infer`` call."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        model.infer(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_aot_bench(scale: int | None = None, level: str = "e",
+                  batch_size: int = 16, repeats: int = 5,
+                  fuzz_batches: int = 3, seed: int = 2020,
+                  out_path: str | None = None) -> dict:
+    """Model-level AOT vs batched comparison over the whole suite.
+
+    The open-loop serve bench measures the *system* under an offered
+    load; this bench isolates the backend itself: identical parameters,
+    identical input batches, best-of-N timing, plus a randomized
+    bit-exactness sweep per network.  Results feed the roofline's
+    achieved-vs-ceiling column.
+    """
+    import json
+    import os
+
+    from ..nn.network import init_params, quantize_params
+    from ..perfmodel.roofline import roofline_report
+    from ..rrm.networks import suite
+
+    networks = suite(scale)
+    rng = np.random.default_rng(seed)
+    per_network = {}
+    bit_exact = True
+    total_aot = total_batched = 0.0
+    for network in networks:
+        params = quantize_params(
+            init_params(network, np.random.default_rng(seed)))
+        batched = BatchedQuantModel(network, params)
+        aot = build_serving_model(network, params, level=level)
+        x = rng.integers(-4096, 4096,
+                         size=(batch_size, network.timesteps,
+                               network.input_size), dtype=np.int64)
+        exact = True
+        for _ in range(fuzz_batches):
+            xf = rng.integers(-32768, 32768,
+                              size=(batch_size, network.timesteps,
+                                    network.input_size), dtype=np.int64)
+            if not np.array_equal(aot.infer(xf), batched.infer(xf)):
+                exact = False
+        bit_exact = bit_exact and exact
+        t_aot = _bench_model(aot, x, repeats)
+        t_batched = _bench_model(batched, x, repeats)
+        total_aot += t_aot
+        total_batched += t_batched
+        per_network[network.name] = {
+            "backend": getattr(aot, "backend_name", "batched"),
+            "bit_exact": exact,
+            "batch_size": batch_size,
+            "aot_s_per_batch": t_aot,
+            "batched_s_per_batch": t_batched,
+            "aot_rps": batch_size / t_aot if t_aot > 0 else 0.0,
+            "batched_rps": batch_size / t_batched
+            if t_batched > 0 else 0.0,
+            "speedup_vs_batched": t_batched / t_aot
+            if t_aot > 0 else 0.0,
+        }
+    achieved = {name: row["aot_rps"] for name, row in per_network.items()}
+    result = {
+        "bench": "aot",
+        "config": {"scale": scale, "level": level,
+                   "batch_size": batch_size, "repeats": repeats,
+                   "fuzz_batches": fuzz_batches, "seed": seed},
+        "backend": "aot",
+        "bit_exact": bit_exact,
+        "per_network": per_network,
+        "total": {
+            "aot_rps": (len(networks) * batch_size / total_aot
+                        if total_aot > 0 else 0.0),
+            "batched_rps": (len(networks) * batch_size / total_batched
+                            if total_batched > 0 else 0.0),
+            "speedup_vs_batched": (total_batched / total_aot
+                                   if total_aot > 0 else 0.0),
+        },
+        "roofline": roofline_report(networks, achieved_rps=achieved),
+    }
+    if out_path:
+        directory = os.path.dirname(os.path.abspath(out_path))
+        os.makedirs(directory, exist_ok=True)
+        with open(out_path, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def render_aot_table(result: dict) -> str:
+    """Human-readable table for one :func:`run_aot_bench` result."""
+    config = result["config"]
+    lines = [
+        "aot-bench: compiled plans vs batched interpreter "
+        f"(level {config['level']}, batch {config['batch_size']}, "
+        f"best of {config['repeats']})",
+        "",
+    ]
+    header = (f"{'network':<15}{'exact':>6}{'aot rps':>12}"
+              f"{'batched rps':>13}{'speedup':>9}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in result["per_network"].items():
+        lines.append(
+            f"{name:<15}{'yes' if row['bit_exact'] else 'NO':>6}"
+            f"{row['aot_rps']:>12.0f}{row['batched_rps']:>13.0f}"
+            f"{row['speedup_vs_batched']:>8.1f}x")
+    lines.append("-" * len(header))
+    total = result["total"]
+    lines.append(
+        f"{'TOTAL':<15}{'yes' if result['bit_exact'] else 'NO':>6}"
+        f"{total['aot_rps']:>12.0f}{total['batched_rps']:>13.0f}"
+        f"{total['speedup_vs_batched']:>8.1f}x")
+    host = result["roofline"]["host"]
+    lines.append("")
+    lines.append(
+        f"roofline: host peak {host['peak_flops'] / 1e9:.1f} Gop/s, "
+        f"bandwidth {host['bandwidth_bytes_s'] / 1e9:.1f} GB/s, "
+        f"ridge {host['ridge_oi']:.0f} op/B")
+    for name, pt in result["roofline"]["per_network"].items():
+        pct = pt.get("pct_of_ceiling")
+        lines.append(
+            f"  {name:<13}{pt['oi']:>6.1f} op/B  {pt['bound']:>7}-bound"
+            f"  ceiling {pt['ceiling_rps']:>10.0f} rps"
+            + (f"  achieved {pct:.2f}%" if pct is not None else ""))
+    return "\n".join(lines)

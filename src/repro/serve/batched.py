@@ -34,17 +34,19 @@ def _sat16(values):
 def _activation_batch(values: np.ndarray, func: str | None) -> np.ndarray:
     """Activation on a (B, n) block of raw Q3.12 values.
 
-    ``tanh_q``/``sig_q`` flatten their input (the scalar ISS calls them on
-    1-D vectors), so restore the batch shape afterwards.
+    ``tanh_q``/``sig_q`` (:func:`repro.fixedpoint.lut.pla_apply`) are
+    shape-preserving, so the block passes straight through — no
+    flatten/reshape round-trip and no defensive copies on the hot path
+    (callers hand in freshly-computed int64 arrays).
     """
     if func is None:
-        return np.asarray(values, dtype=np.int64)
+        return values
     if func == "relu":
-        return np.maximum(np.asarray(values, dtype=np.int64), 0)
+        return np.maximum(values, 0)
     if func == "tanh":
-        return np.asarray(tanh_q(values)).reshape(values.shape)
+        return tanh_q(values)
     if func == "sig":
-        return np.asarray(sig_q(values)).reshape(values.shape)
+        return sig_q(values)
     raise ValueError(f"unknown activation {func!r}")
 
 
@@ -238,7 +240,10 @@ class BatchedQuantModel:
         """
         x = np.asarray(x_batch, dtype=np.int64)
         if x.ndim == 2:
-            x = np.repeat(x[:, None, :], self.network.timesteps, axis=1)
+            # Same input every timestep: iterate the one block instead
+            # of materializing a (B, T, n) repeat.
+            self.reset(x.shape[0])
+            return self.forward(x for _ in range(self.network.timesteps))
         if x.ndim != 3 or x.shape[1] != self.network.timesteps:
             raise ValueError(
                 f"expected (B, {self.network.timesteps}, "

@@ -167,6 +167,10 @@ class ModelEntry:
     #: CRC32 per parameter array, frozen at registry build — the ground
     #: truth the integrity guard re-verifies against.
     checksums: list = field(default_factory=list)
+    #: Serving backend actually built for this entry ("aot" or
+    #: "batched" — an AOT request that hit an unsupported construct
+    #: records the fallback honestly).
+    backend: str = "batched"
 
 
 def _param_checksums(params_raw: list) -> list:
@@ -190,41 +194,53 @@ class ModelRegistry:
     the arrays) recover together.
     """
 
-    def __init__(self, seed: int = 2020, abft: bool = False):
+    def __init__(self, seed: int = 2020, abft: bool = False,
+                 backend: str = "aot"):
         self.seed = seed
-        #: With ``abft`` the served model is the checksum-verified
-        #: :class:`repro.resilience.abft.AbftBatchedModel`, so silent
+        #: With ``abft`` the served model is checksum-verified (the AOT
+        #: fused-accumulator hook or
+        #: :class:`repro.resilience.abft.AbftBatchedModel`), so silent
         #: compute corruption raises instead of serving bad outputs.
         self.abft = abft
+        #: Serving backend: ``"aot"`` compiles fused plans
+        #: (:mod:`repro.serve.aot`), ``"batched"`` keeps the
+        #: interpreted :class:`BatchedQuantModel`.
+        self.backend = backend
         self._lock = threading.Lock()
         self._entries: dict[tuple, ModelEntry] = {}
 
-    def _model_class(self):
-        if self.abft:
-            from ..resilience.abft import AbftBatchedModel
-            return AbftBatchedModel
-        return BatchedQuantModel
+    def _build_model(self, network: Network, params: list, level: str):
+        from .aot import build_serving_model
+        return build_serving_model(network, params, level=level,
+                                   abft=self.abft, backend=self.backend)
 
     def _pristine_params(self, network: Network) -> list:
         return quantize_params(
             init_params(network, np.random.default_rng(self.seed)))
+
+    def _params_for(self, network: Network) -> list:
+        """Parameter source for new entries (overridden by the
+        store-backed cluster registry)."""
+        return self._pristine_params(network)
 
     def get(self, network: Network, level: str) -> ModelEntry:
         key = (network, level)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                params = self._pristine_params(network)
+                params = self._params_for(network)
+                model = self._build_model(network, params, level)
                 entry = ModelEntry(
                     network=network,
                     level=level,
-                    model=self._model_class()(network, params),
+                    model=model,
                     reference=QuantModel(network, params),
                     params_raw=params,
                     cycles_per_request=network_trace(network,
                                                      level).total_cycles,
                     plan=plan_for(network, level),
                     checksums=_param_checksums(params),
+                    backend=getattr(model, "backend_name", "batched"),
                 )
                 self._entries[key] = entry
         return entry
@@ -253,6 +269,12 @@ class ModelRegistry:
             for key in layer:
                 np.copyto(layer[key], good[key])
                 restored += 1
+        # AOT models hold derived operands (transposed float64 weights,
+        # pre-shifted biases, checksum references); re-derive them from
+        # the repaired arrays so they cannot drift.
+        reload = getattr(entry.model, "reload_params", None)
+        if reload is not None:
+            reload()
         return restored
 
     def __len__(self) -> int:
@@ -264,6 +286,11 @@ class EngineConfig:
     """Batching, overload and fault-tolerance policy knobs."""
 
     level: str = "e"
+    #: Serving backend: ``"aot"`` (default) compiles each network's
+    #: plan into a fused batched callable (:mod:`repro.serve.aot`,
+    #: bit-exact, falls back per network on unsupported constructs);
+    #: ``"batched"`` forces the interpreted :class:`BatchedQuantModel`.
+    backend: str = "aot"
     max_batch_size: int = 16
     #: Max time the oldest queued request waits for the batch to fill.
     max_linger_s: float = 0.002
@@ -302,6 +329,9 @@ class EngineConfig:
     abft_max_reruns: int = 2
 
     def __post_init__(self):
+        if self.backend not in ("aot", "batched"):
+            raise ValueError(
+                f"unknown serving backend {self.backend!r}")
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_linger_s < 0:
@@ -405,7 +435,8 @@ class InferenceEngine:
         #: the shared quantized-weight store instead of re-quantizing.
         self.registry = registry if registry is not None \
             else ModelRegistry(seed=self.config.seed,
-                               abft=self.config.abft)
+                               abft=self.config.abft,
+                               backend=self.config.backend)
         self._queues = {net.name: _NetworkQueue(net) for net in self.networks}
         self._ids = itertools.count(1)
         self._running = False

@@ -284,6 +284,63 @@ class LoadGenerator:
         }
 
 
+def _compare_backends(engine, networks, level: str, batch_size: int,
+                      seed: int, repeats: int = 3) -> dict:
+    """Model-level AOT vs interpreter throughput on identical inputs.
+
+    The open-loop bench measures the whole system (queueing, linger,
+    batch formation); under an unsaturated offered load both backends
+    complete the same req/s by construction.  This helper isolates the
+    backend itself: each network's registry entry model vs a fresh
+    :class:`BatchedQuantModel` on the same parameters and input batch,
+    best-of-``repeats`` timing — the honest apples-to-apples speedup
+    recorded in BENCH_serve.json.
+    """
+    from .batched import BatchedQuantModel
+
+    rng = np.random.default_rng(seed)
+    per_network = {}
+    total_model = total_interp = 0.0
+    for network in networks:
+        entry = engine.registry.get(network, level)
+        interp = BatchedQuantModel(network, entry.params_raw)
+        x = rng.integers(-4096, 4096,
+                         size=(batch_size, network.timesteps,
+                               network.input_size), dtype=np.int64)
+
+        def _best(model):
+            model.infer(x)  # warm buffers outside the timed region
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                model.infer(x)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_model = _best(entry.model)
+        t_interp = _best(interp)
+        total_model += t_model
+        total_interp += t_interp
+        per_network[network.name] = {
+            "backend": entry.backend,
+            "model_rps": batch_size / t_model if t_model > 0 else 0.0,
+            "batched_rps": batch_size / t_interp
+            if t_interp > 0 else 0.0,
+            "speedup": t_interp / t_model if t_model > 0 else 0.0,
+        }
+    n = len(networks) * batch_size
+    return {
+        "batch_size": batch_size,
+        "per_network": per_network,
+        "total": {
+            "model_rps": n / total_model if total_model > 0 else 0.0,
+            "batched_rps": n / total_interp if total_interp > 0 else 0.0,
+            "speedup": total_interp / total_model
+            if total_model > 0 else 0.0,
+        },
+    }
+
+
 def run_serve_bench(scale: int | None = None, level: str = "e",
                     n_requests: int = 400, rate_rps: float | None = None,
                     rate_multiplier: float = 8.0, max_batch_size: int = 16,
@@ -291,7 +348,8 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
                     timeout_s: float | None = 10.0, seed: int = 2020,
                     out_path: str | None = None, tracer=None,
                     traffic: TrafficModel | None = None,
-                    n_tenants: int = 0, stop_event=None) -> dict:
+                    n_tenants: int = 0, stop_event=None,
+                    backend: str = "aot") -> dict:
     """The ``serve-bench`` experiment: baseline, then batched serving.
 
     Returns the JSON-ready result dict; also writes it to ``out_path``
@@ -301,11 +359,16 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
     ``traffic`` selects the arrival process; ``n_tenants > 0`` swaps
     the uniform network mix for per-tenant Dirichlet mixes.
     ``stop_event`` makes the run interruptible (partial results are
-    still written — see :class:`LoadGenerator`).
+    still written — see :class:`LoadGenerator`).  ``backend`` picks the
+    serving model (``"aot"`` fused plans or the ``"batched"``
+    interpreter); with the AOT backend the result also carries a
+    direct model-level backend comparison and the per-network roofline
+    placement (:mod:`repro.perfmodel.roofline`).
     """
     networks = suite(scale)
     config = EngineConfig(level=level, max_batch_size=max_batch_size,
-                          max_linger_s=max_linger_s, seed=seed)
+                          max_linger_s=max_linger_s, seed=seed,
+                          backend=backend)
     engine = InferenceEngine(networks=networks, config=config,
                              metrics=ServeMetrics(), tracer=tracer)
     tenant_info = None
@@ -332,6 +395,26 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
 
     metrics = engine.metrics.to_dict()
     completed = run["completed"]
+
+    # Roofline placement: achieved per-network req/s from this run vs
+    # the calibrated host ceiling at each network's intensity.
+    from ..perfmodel.roofline import roofline_report
+    elapsed = run.get("elapsed_s") or 0.0
+    achieved = {
+        name: net["completed"] / elapsed if elapsed > 0 else 0.0
+        for name, net in metrics["per_network"].items()
+    }
+    roofline = roofline_report(networks, achieved_rps=achieved)
+
+    # Direct model-level backend comparison at the serving batch size
+    # (the open-loop run above measures the *system*; this isolates
+    # the compiled plan vs the interpreter on identical inputs).
+    aot_vs_batched = None
+    if backend == "aot":
+        aot_vs_batched = _compare_backends(engine, networks, level,
+                                           batch_size=max_batch_size,
+                                           seed=seed)
+
     result = {
         "bench": "serve",
         "config": {
@@ -343,7 +426,16 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
             "timeout_s": timeout_s,
             "seed": seed,
             "n_tenants": n_tenants,
+            "backend": backend,
         },
+        "backend": backend,
+        "backends_used": {
+            name: engine.registry.get(net, level).backend
+            for name, net in ((n.name, n) for n in networks)
+        },
+        "roofline": roofline,
+        **({"aot_vs_batched": aot_vs_batched}
+           if aot_vs_batched is not None else {}),
         **run,
         **({"tenants": {k: v for k, v in tenant_info.items()
                         if k != "tenant_of"}}
@@ -416,4 +508,36 @@ def render_table(result: dict) -> str:
                  f"{result['achieved_throughput_rps']:>10.1f} req/s "
                  f"({result['speedup_vs_sequential']:.2f}x sequential, "
                  f"mean batch {result['mean_batch_size']:.1f})")
+    backend = result.get("backend")
+    if backend is not None:
+        comparison = result.get("aot_vs_batched")
+        suffix = ""
+        if comparison is not None:
+            total = comparison["total"]
+            suffix = (f" ({total['speedup']:.1f}x batched interpreter "
+                      f"at batch {comparison['batch_size']})")
+        lines.append(f"serving backend     {backend:>10}{suffix}")
+    roofline = result.get("roofline")
+    if roofline:
+        host = roofline["host"]
+        lines.append("")
+        lines.append(
+            f"roofline: host peak {host['peak_flops'] / 1e9:.1f} Gop/s, "
+            f"bandwidth {host['bandwidth_bytes_s'] / 1e9:.1f} GB/s, "
+            f"ridge {host['ridge_oi']:.0f} op/B")
+        header = (f"{'network':<15}{'ops/req':>10}{'bytes':>10}"
+                  f"{'op/B':>7}{'bound':>9}{'ceil rps':>12}"
+                  f"{'ach rps':>10}{'% ceil':>8}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, pt in roofline["per_network"].items():
+            achieved = pt.get("achieved_rps")
+            pct = pt.get("pct_of_ceiling")
+            lines.append(
+                f"{name:<15}{pt['ops']:>10}{pt['bytes']:>10}"
+                f"{pt['oi']:>7.1f}{pt['bound']:>9}"
+                f"{pt['ceiling_rps']:>12.0f}"
+                + (f"{achieved:>10.1f}" if achieved is not None
+                   else f"{'-':>10}")
+                + (f"{pct:>8.2f}" if pct is not None else f"{'-':>8}"))
     return "\n".join(lines)

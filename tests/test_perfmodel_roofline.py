@@ -1,0 +1,100 @@
+"""Roofline capacity model: exact traffic counts and ceiling math.
+
+All assertions pin explicit ``peak_flops``/``bandwidth`` so the tests
+are deterministic — :func:`calibrate_host` is only checked for shape
+and positivity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import ConvSpec, DenseSpec, LstmSpec, Network
+from repro.perfmodel import (calibrate_host, network_bytes, network_ops,
+                             operational_intensity, roofline_point,
+                             roofline_report)
+from repro.rrm.networks import FULL_SUITE
+
+_DENSE = Network("d", (DenseSpec(8, 4, "relu"),), timesteps=1)
+_LSTM = Network("l", (LstmSpec(6, 5),), timesteps=3)
+_CONV = Network("c", (ConvSpec(2, 3, 6, 6, 3),), timesteps=1)
+
+
+class TestTrafficCounts:
+    def test_dense_ops(self):
+        # 8*4 MACs, 2 ops each.
+        assert network_ops(_DENSE) == 2 * 8 * 4
+
+    def test_dense_bytes(self):
+        # params: 8*4 weights + 4 biases; stream: 8 in + 4 out.
+        assert network_bytes(_DENSE) == 2 * ((8 * 4 + 4) + (8 + 4))
+
+    def test_lstm_bytes(self):
+        params = 4 * 5 * (6 + 5) + 4 * 5
+        stream = _LSTM.layers[0].in_size + _LSTM.layers[0].out_size \
+            + 4 * 5  # h/c read + write
+        assert network_bytes(_LSTM) == 2 * (params + stream * 3)
+
+    def test_conv_bytes(self):
+        params = 3 * 2 * 9 + 3
+        spec = _CONV.layers[0]
+        stream = spec.in_size + spec.out_size
+        assert network_bytes(_CONV) == 2 * (params + stream)
+
+    def test_intensity_is_ratio(self):
+        for net in (_DENSE, _LSTM, _CONV):
+            assert operational_intensity(net) == pytest.approx(
+                network_ops(net) / network_bytes(net))
+
+    def test_suite_counts_positive(self):
+        for net in FULL_SUITE:
+            assert network_ops(net) > 0
+            assert network_bytes(net) > 0
+
+
+class TestCeilingMath:
+    def test_memory_bound(self):
+        # Huge compute roof: the bandwidth roof binds.
+        p = roofline_point(_DENSE, peak_flops=1e15, bandwidth=1e9)
+        oi = operational_intensity(_DENSE)
+        assert p["bound"] == "memory"
+        assert p["attainable_ops_s"] == pytest.approx(1e9 * oi)
+        assert p["ceiling_rps"] == pytest.approx(
+            1e9 * oi / network_ops(_DENSE))
+
+    def test_compute_bound(self):
+        p = roofline_point(_DENSE, peak_flops=1e6, bandwidth=1e12)
+        assert p["bound"] == "compute"
+        assert p["attainable_ops_s"] == pytest.approx(1e6)
+
+    def test_achieved_fields(self):
+        p = roofline_point(_DENSE, peak_flops=1e9, bandwidth=1e9,
+                           achieved_rps=100.0)
+        assert p["achieved_ops_s"] == pytest.approx(
+            100.0 * network_ops(_DENSE))
+        assert p["pct_of_ceiling"] == pytest.approx(
+            100.0 * 100.0 / p["ceiling_rps"])
+
+    def test_ceiling_only_row_has_no_achieved(self):
+        p = roofline_point(_DENSE, peak_flops=1e9, bandwidth=1e9)
+        assert "achieved_rps" not in p
+        assert "pct_of_ceiling" not in p
+
+
+class TestReport:
+    def test_report_shape(self):
+        rep = roofline_report(FULL_SUITE, peak_flops=2e9, bandwidth=1e9,
+                              achieved_rps={FULL_SUITE[0].name: 50.0})
+        assert rep["host"]["ridge_oi"] == pytest.approx(2.0)
+        assert set(rep["per_network"]) == {n.name for n in FULL_SUITE}
+        first = rep["per_network"][FULL_SUITE[0].name]
+        assert first["achieved_rps"] == 50.0
+        other = rep["per_network"][FULL_SUITE[1].name]
+        assert "achieved_rps" not in other
+
+    def test_calibration_shape_and_cache(self):
+        cal = calibrate_host()
+        assert cal["peak_flops"] > 0
+        assert cal["bandwidth_bytes_s"] > 0
+        assert cal["ridge_oi"] == pytest.approx(
+            cal["peak_flops"] / cal["bandwidth_bytes_s"])
+        assert calibrate_host() is cal

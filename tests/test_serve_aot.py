@@ -1,0 +1,237 @@
+"""AOT serving plans: bit-exactness, cycle-exactness, ABFT, fallback.
+
+The compiled plan must be indistinguishable from the batched
+interpreter — which is itself certified row-for-row against the scalar
+``QuantModel`` — on every suite network, at every optimisation level,
+over the full Q3.12 input range, with and without the ABFT checksum
+hook.  Cycle estimates must equal the static performance model
+exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.common import LEVELS
+from repro.nn.network import QuantModel, init_params, quantize_params
+from repro.perfmodel import predict_network_cycles
+from repro.resilience.abft import AbftBatchedModel, SdcDetected
+from repro.rrm.networks import FULL_SUITE, suite
+from repro.serve.aot import (AotAbftModel, AotBatchedModel, _PLAN_CACHE,
+                             build_serving_model, compile_plan)
+from repro.serve.batched import BatchedQuantModel
+
+_IDS = [n.name for n in FULL_SUITE]
+
+
+def _params(network, seed=7, scale=1.0):
+    return quantize_params(
+        init_params(network, np.random.default_rng(seed), scale=scale))
+
+
+def _inputs(rng, shape, spread=1.0):
+    return np.asarray(rng.uniform(-spread, spread, shape) * 4096,
+                      dtype=np.int64)
+
+
+def _batch(network, rng, batch_size, spread=1.0):
+    return _inputs(rng, (batch_size, network.timesteps,
+                         network.input_size), spread=spread)
+
+
+class TestBitExactness:
+    """AOT ≡ batched interpreter ≡ scalar QuantModel."""
+
+    @pytest.mark.parametrize("batch_size", (1, 3, 16))
+    @pytest.mark.parametrize("network", FULL_SUITE, ids=_IDS)
+    def test_triple_equivalence(self, network, batch_size):
+        rng = np.random.default_rng(
+            hash(("aot", network.name, batch_size)) % 2**32)
+        params = _params(network)
+        xs = _batch(network, rng, batch_size)
+        aot = AotBatchedModel(network, params)
+        batched = BatchedQuantModel(network, params)
+        out = aot.infer(xs)
+        assert np.array_equal(out, batched.infer(xs))
+        for row in range(batch_size):
+            scalar = QuantModel(network, params)
+            assert np.array_equal(out[row], scalar.forward(xs[row])), (
+                f"{network.name}: AOT row {row} diverges from scalar")
+
+    @pytest.mark.parametrize("network", suite(4),
+                             ids=[n.name for n in suite(4)])
+    def test_saturation_stress(self, network):
+        # Oversized params + full-range inputs exercise saturation and
+        # 32-bit wraparound through the float64-GEMM datapath.
+        rng = np.random.default_rng(hash(("sat", network.name)) % 2**32)
+        params = _params(network, scale=8.0)
+        xs = np.asarray(
+            rng.integers(-32768, 32768,
+                         (8, network.timesteps, network.input_size)),
+            dtype=np.int64)
+        aot = AotBatchedModel(network, params)
+        assert np.array_equal(aot.infer(xs),
+                              BatchedQuantModel(network, params).infer(xs))
+
+    @pytest.mark.parametrize("network", FULL_SUITE, ids=_IDS)
+    def test_fuzz_randomized(self, network):
+        params = _params(network, seed=31, scale=2.0)
+        aot = AotBatchedModel(network, params)
+        batched = BatchedQuantModel(network, params)
+        for trial in range(5):
+            rng = np.random.default_rng(9000 + trial)
+            xs = _batch(network, rng, int(rng.integers(1, 9)),
+                        spread=float(rng.uniform(0.1, 8.0)))
+            assert np.array_equal(aot.infer(xs), batched.infer(xs))
+
+    def test_2d_input_path(self):
+        network = FULL_SUITE[0]
+        params = _params(network)
+        rng = np.random.default_rng(3)
+        x2 = _inputs(rng, (5, network.input_size))
+        aot = AotBatchedModel(network, params)
+        assert np.array_equal(aot.infer(x2),
+                              BatchedQuantModel(network, params).infer(x2))
+
+    def test_wide_input_fallback_is_bit_exact(self):
+        # Inputs beyond int16 void the float64 exactness proof; the
+        # model must route through the interpreter and still agree.
+        network = FULL_SUITE[0]
+        params = _params(network)
+        rng = np.random.default_rng(4)
+        xs = np.asarray(
+            rng.integers(-(1 << 20), 1 << 20,
+                         (4, network.timesteps, network.input_size)),
+            dtype=np.int64)
+        aot = AotBatchedModel(network, params)
+        assert np.array_equal(aot.infer(xs),
+                              BatchedQuantModel(network, params).infer(xs))
+
+
+class TestCycleExactness:
+    @pytest.mark.parametrize("level", LEVELS)
+    @pytest.mark.parametrize("network", FULL_SUITE, ids=_IDS)
+    def test_matches_static_model(self, network, level):
+        model = AotBatchedModel(network, _params(network), level=level)
+        assert model.cycles_per_request == \
+            predict_network_cycles(network, level).cycles
+
+
+class TestAbft:
+    @pytest.mark.parametrize("network", FULL_SUITE, ids=_IDS)
+    def test_clean_run_matches_plain(self, network):
+        params = _params(network)
+        rng = np.random.default_rng(hash(("abft", network.name)) % 2**32)
+        xs = _batch(network, rng, 4)
+        abft = AotAbftModel(network, params)
+        assert np.array_equal(abft.infer(xs),
+                              AotBatchedModel(network, params).infer(xs))
+        assert abft.sdc_detections == 0
+
+    def test_detects_injected_sdc(self):
+        network = FULL_SUITE[0]
+        params = _params(network)
+        xs = _batch(network, np.random.default_rng(5), 4)
+        abft = AotAbftModel(network, params)
+        # Flip a bit above the requantization shift so the corruption
+        # would be output-visible if it went undetected.
+        abft.arm_sdc(lambda acc: acc.__setitem__(
+            (0, 0), acc[0, 0] ^ (1 << 20)))
+        with pytest.raises(SdcDetected) as exc:
+            abft.infer(xs)
+        assert 0 in exc.value.rows
+        assert abft.sdc_detections >= 1
+
+    def test_detection_parity_with_batched_abft(self):
+        # Same corruption, same verdict as the interpreter's ABFT.
+        network = FULL_SUITE[0]
+        params = _params(network)
+        xs = _batch(network, np.random.default_rng(6), 4)
+
+        def corrupt(acc):
+            acc[1, 0] ^= 1 << 16
+
+        for model in (AotAbftModel(network, params),
+                      AbftBatchedModel(network, params)):
+            model.arm_sdc(corrupt)
+            with pytest.raises(SdcDetected) as exc:
+                model.infer(xs)
+            assert exc.value.rows == (1,)
+
+    def test_silent_sdc_parity_with_batched(self):
+        # The plain AOT model must corrupt *identically* to the plain
+        # interpreter: same one-shot hook point, same visible damage.
+        network = FULL_SUITE[0]
+        params = _params(network)
+        xs = _batch(network, np.random.default_rng(7), 4)
+
+        def corrupt(acc):
+            acc[0, 0] ^= 1 << 20
+
+        aot = AotBatchedModel(network, params)
+        batched = BatchedQuantModel(network, params)
+        aot.arm_sdc(corrupt)
+        batched.arm_sdc(corrupt)
+        out_a, out_b = aot.infer(xs), batched.infer(xs)
+        assert np.array_equal(out_a, out_b)
+        clean = BatchedQuantModel(network, params).infer(xs)
+        assert not np.array_equal(out_a, clean)
+
+
+class TestPlanCacheAndFallback:
+    def test_plan_cache_reuses_compiled_plans(self):
+        network = FULL_SUITE[0]
+        assert compile_plan(network) is compile_plan(network)
+        assert compile_plan(network, abft=True) is not compile_plan(network)
+        assert (network, False) in _PLAN_CACHE
+        assert (network, True) in _PLAN_CACHE
+
+    def test_build_serving_model_backends(self):
+        network = FULL_SUITE[0]
+        params = _params(network)
+        assert isinstance(build_serving_model(network, params),
+                          AotBatchedModel)
+        assert isinstance(build_serving_model(network, params, abft=True),
+                          AotAbftModel)
+        batched = build_serving_model(network, params, backend="batched")
+        assert type(batched) is BatchedQuantModel
+        abft = build_serving_model(network, params, backend="batched",
+                                   abft=True)
+        assert type(abft) is AbftBatchedModel
+        with pytest.raises(ValueError):
+            build_serving_model(network, params, backend="jit")
+
+    def test_shape_validation(self):
+        network = FULL_SUITE[0]
+        model = AotBatchedModel(network, _params(network))
+        with pytest.raises(ValueError):
+            model.infer(np.zeros((2, 99, network.input_size),
+                                 dtype=np.int64))
+        with pytest.raises(ValueError):
+            model.infer(np.zeros(network.input_size, dtype=np.int64))
+
+
+class TestRegistryIntegration:
+    def test_registry_serves_aot_by_default(self):
+        from repro.serve.engine import ModelRegistry
+        registry = ModelRegistry(seed=2020)
+        network = FULL_SUITE[0]
+        entry = registry.get(network, "e")
+        assert entry.backend == "aot"
+        assert isinstance(entry.model, AotBatchedModel)
+
+    def test_repair_reloads_compiled_weights(self):
+        from repro.serve.engine import ModelRegistry
+        registry = ModelRegistry(seed=2020)
+        network = FULL_SUITE[0]
+        entry = registry.get(network, "e")
+        rng = np.random.default_rng(8)
+        xs = _batch(network, rng, 3)
+        golden = entry.model.infer(xs)
+        # Corrupt a live parameter tensor, then repair: the compiled
+        # operands must be rebuilt from the restored params.
+        layer = entry.params_raw[0]
+        key = next(iter(layer))
+        layer[key] ^= 1
+        entry.model.reload_params()
+        registry.repair(entry)
+        assert np.array_equal(entry.model.infer(xs), golden)

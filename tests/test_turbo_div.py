@@ -1,0 +1,172 @@
+"""Turbo vectorization of div/rem-bearing loop bodies.
+
+Until this change ``div``/``divu``/``rem``/``remu`` forced the turbo
+compiler to reject the whole loop (scalar closures, DIV_CYCLES each).
+Now they compile like any ALU op — numpy truncating division with the
+RISC-V M edge cases (divide-by-zero, signed overflow) patched in — so
+these tests assert *total* equivalence (registers, memory, SPRs,
+instret, cycles) against the interpreter AND that the loops really
+took the vector path (``vector_loops >= 1``, zero bails).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu, Memory
+from repro.core.cpu import DIV_CYCLES, _DIV_OPS
+from repro.core.turbo import _VOPS, _v_div, _v_divu, _v_rem, _v_remu
+from repro.isa import assemble
+
+_U = np.uint64
+
+
+def _execute(text, image, engine):
+    program = assemble(text)
+    memory = Memory(1 << 16)
+    memory.store_halfwords(0x1000, image)
+    cpu = Cpu(program, memory, engine=engine)
+    cpu.run()
+    return cpu, memory
+
+
+def _assert_equal(text, image):
+    ref_cpu, ref_mem = _execute(text, image, "interp")
+    tur_cpu, tur_mem = _execute(text, image, "turbo")
+    assert tur_cpu.instret == ref_cpu.instret
+    assert tur_cpu.cycles == ref_cpu.cycles
+    for r in range(32):
+        assert tur_cpu.reg(r) == ref_cpu.reg(r), f"x{r}"
+    assert list(tur_cpu.sprs) == list(ref_cpu.sprs)
+    assert tur_mem.words == ref_mem.words
+    return tur_cpu
+
+
+def _edge_image():
+    """Halfword image whose word stream includes 0, -1 and 0x80000000."""
+    rng = np.random.default_rng(11)
+    image = rng.integers(0, 1 << 16, 2048)
+    # words are little-endian halfword pairs at 0x1000 + 4k
+    image[0], image[1] = 0, 0            # word 0x00000000
+    image[2], image[3] = 0xFFFF, 0xFFFF  # word 0xFFFFFFFF (-1)
+    image[4], image[5] = 0, 0x8000       # word 0x80000000 (INT_MIN)
+    image[6], image[7] = 3, 0            # word 3
+    return image
+
+
+@pytest.mark.parametrize("op", sorted(_DIV_OPS))
+def test_branch_loop_div_vectorized(op):
+    """A 96-iteration counted loop streaming loaded operands through
+    one division per iteration: bit/cycle-exact and vectorized."""
+    text = f"""
+        li a1, 0x1000
+        li a2, 0x2000
+        li s4, 0
+        li s5, 96
+    top:
+        p.lw t1, 4(a1!)
+        p.lw t2, 4(a1!)
+        {op} t3, t1, t2
+        p.sw t3, 4(a2!)
+        addi s4, s4, 1
+        bltu s4, s5, top
+        ebreak
+    """
+    cpu = _assert_equal(text, _edge_image())
+    assert cpu.turbo_stats["vector_loops"] >= 1
+    assert cpu.turbo_stats["bails"] == 0
+
+
+def test_hardware_loop_all_div_ops_vectorized():
+    """All four M-division ops inside one hardware loop body."""
+    text = """
+        li a1, 0x1000
+        li a2, 0x3000
+        lp.setupi 0, 80, end
+        p.lw t1, 4(a1!)
+        p.lw t2, 4(a1!)
+        div t3, t1, t2
+        divu t4, t1, t2
+        rem t5, t1, t2
+        remu t6, t1, t2
+        xor t3, t3, t4
+        xor t5, t5, t6
+        p.sw t3, 4(a2!)
+        p.sw t5, 4(a2!)
+    end:
+        ebreak
+    """
+    cpu = _assert_equal(text, _edge_image())
+    assert cpu.turbo_stats["vector_loops"] >= 1
+    assert cpu.turbo_stats["bails"] == 0
+
+
+def test_div_costs_div_cycles_in_vector_path():
+    """The compiled loop must charge DIV_CYCLES per division, exactly
+    like the interpreter's serial divider model."""
+    n = 192  # n * blen must clear VEC_MIN_WORK for the vector path
+    body = f"""
+        li a1, 0x1000
+        li s4, 0
+        li s5, {n}
+        li t0, 12345
+        li t1, 7
+    top:
+        {{op}}
+        addi t0, t0, 13
+        addi s4, s4, 1
+        bltu s4, s5, top
+        ebreak
+    """
+    image = _edge_image()
+    with_div = body.format(op="div t2, t0, t1")
+    without = body.format(op="add t2, t0, t1")
+    cpu_div, _ = _execute(with_div, image, "turbo")
+    cpu_add, _ = _execute(without, image, "turbo")
+    assert cpu_div.turbo_stats["vector_loops"] >= 1
+    assert cpu_div.cycles - cpu_add.cycles == n * (DIV_CYCLES - 1)
+
+
+@pytest.mark.parametrize("op", sorted(_DIV_OPS))
+def test_vector_semantics_exhaustive_edges(op):
+    """The numpy lambdas match the scalar ALU semantics over a dense
+    edge-case cross product (zeros, +/-1, INT_MIN/MAX, random)."""
+    from repro.core.cpu import ALU_OPS
+    scalar = ALU_OPS[op]
+    vec = {"div": _v_div, "divu": _v_divu,
+           "rem": _v_rem, "remu": _v_remu}[op]
+    assert _VOPS[op] is vec
+    edges = [0, 1, 2, 3, 0xFFFFFFFF, 0xFFFFFFFE, 0x80000000,
+             0x80000001, 0x7FFFFFFF, 5, 100, 0x12345678]
+    rng = np.random.default_rng(2020)
+    edges += [int(v) for v in rng.integers(0, 1 << 32, 20)]
+    pairs = [(a, b) for a in edges for b in edges]
+    av = np.array([a for a, _ in pairs], dtype=np.uint64)
+    bv = np.array([b for _, b in pairs], dtype=np.uint64)
+    got = vec(av, bv, 0)
+    want = np.array([scalar(a, b, 0) for a, b in pairs],
+                    dtype=np.uint64)
+    mismatch = np.nonzero(got != want)[0]
+    assert mismatch.size == 0, \
+        [(pairs[i], int(got[i]), int(want[i])) for i in mismatch[:5]]
+
+
+def test_fuzz_div_loops():
+    """Randomized div/rem loop bodies, interp vs turbo, 40 cases."""
+    ops = sorted(_DIV_OPS)
+    for case in range(40):
+        rng = np.random.default_rng(5000 + case)
+        n = int(rng.integers(50, 120))
+        lines = ["li a1, 0x1000", "li a2, 0x4000",
+                 "li s4, 0", f"li s5, {n}",
+                 f"li t0, {int(rng.integers(0, 1 << 15))}", "top:"]
+        for _ in range(int(rng.integers(1, 4))):
+            op = ops[int(rng.integers(0, 4))]
+            lines.append("p.lw t1, 4(a1!)")
+            lines.append(f"{op} t2, t1, t0")
+            lines.append("p.sw t2, 4(a2!)")
+        lines += ["addi s4, s4, 1",
+                  "bltu s4, s5, top", "ebreak"]
+        text = "\n".join(lines) + "\n"
+        image = rng.integers(0, 1 << 16, 2048)
+        image[:8] = _edge_image()[:8]
+        _assert_equal(text, image)

@@ -23,7 +23,8 @@ N_CASES = 220
 _DATA = ["t0", "t1", "t2", "t3", "a0", "a3", "a4", "a5"]
 _PTRS = ["a1", "a2", "s2", "s3"]
 _CNTS = [("s4", "s5"), ("s6", "s7")]
-_ALU = ["add", "sub", "xor", "and", "or"]
+_ALU = ["add", "sub", "xor", "and", "or",
+        "div", "divu", "rem", "remu"]
 
 
 class _Gen:
