@@ -56,6 +56,16 @@ Commands:
     The three bench commands drain gracefully on SIGINT/SIGTERM:
     submission stops, in-flight requests settle and the partial
     benchmark JSON is still written (with "interrupted": true).
+    All three also accept --dashboard PORT to serve the live web
+    control plane (metrics, flamegraphs, traces, operator actions)
+    for the duration of the run.
+
+    dashboard [--port P] [--cluster] [--workers N] [--load RPS]
+            [--duration S] [--token TOKEN]
+        run the live web control plane standalone against a fresh
+        engine (or, with --cluster, a process-sharded cluster) with a
+        steady background load so the charts move; stops on
+        SIGINT/SIGTERM or after --duration seconds (0 = run forever)
 
     lint [FILE.s ...] [--levels XY] [--json]
         run the static analyzer (CFG/dataflow lint) over assembly files
@@ -203,6 +213,18 @@ def _cmd_overhead_bench(args) -> int:
     print(f"  serve p99       off {off_p99 * 1e3:>12.2f}ms"
           f"   with tracer  {on_p99 * 1e3:>12.2f}ms"
           f"   ({serve['trace_events']} span events)")
+    dash = result["dashboard"]
+    on_path = dash["on_path"]
+    print(f"  serve p99       off {off_p99 * 1e3:>12.2f}ms"
+          f"   with dashboard {dash['attached']['p99_s'] * 1e3:>10.2f}ms"
+          f"   ({dash['attached']['scrapes']} scrapes)")
+    print(f"  dashboard on-path overhead: "
+          f"{on_path['overhead_pct']:.4f}% "
+          f"({on_path['records_per_request']:.2f} stage records x "
+          f"{on_path['stage_record_cost_ns']:.0f}ns over "
+          f"{on_path['service_time_us']:.0f}us/request; budget "
+          f"{dash['budget_pct']:.0f}%"
+          f"{' OK' if dash['within_budget'] else ' EXCEEDED'})")
     off_path = result["off_path"]
     print(f"  instrumentation-off overhead: "
           f"{result['overhead_off_pct']:.4f}% "
@@ -255,6 +277,7 @@ def _cmd_serve_bench(args) -> int:
             n_tenants=args.tenants,
             backend=args.backend,
             stop_event=stop.event,
+            dashboard_port=args.dashboard,
         )
     print(render_table(result))
     if args.out:
@@ -287,6 +310,7 @@ def _cmd_cluster_bench(args) -> int:
             trace_out=args.trace_out,
             backend=args.backend,
             stop_event=stop.event,
+            dashboard_port=args.dashboard,
         )
     print(render_cluster_table(result))
     if args.out:
@@ -338,6 +362,7 @@ def _cmd_chaos_bench(args) -> int:
                 abft=not args.no_abft,
                 hedge=not args.no_hedge,
                 ipc_faults=not args.no_ipc_faults,
+                dashboard_port=args.dashboard,
             )
         print(render_cluster_chaos_table(result))
         if args.out:
@@ -360,6 +385,7 @@ def _cmd_chaos_bench(args) -> int:
             trace_out=args.trace_out,
             stop_event=stop.event,
             abft=not args.no_abft,
+            dashboard_port=args.dashboard,
         )
     print(render_chaos_table(result))
     if args.out:
@@ -368,6 +394,94 @@ def _cmd_chaos_bench(args) -> int:
         trace = result.get("trace", {})
         print(f"[written {args.trace_out}: {trace.get('events', 0)} span "
               "events — load at https://ui.perfetto.dev]")
+    _interrupt_note(stop)
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    import itertools
+    import threading
+    import time
+
+    from .obs.metrics import set_build_info
+    from .obs.web import DashboardServer
+    from .rrm.networks import suite
+    from .serve.engine import EngineConfig, InferenceEngine
+    from .serve.loadgen import make_request_stream
+    from .serve.shutdown import GracefulShutdown
+
+    networks = suite(args.scale)
+    engine_config = EngineConfig(level=args.level, seed=args.seed,
+                                 backend=args.backend)
+    engine = None
+    cluster = None
+    if args.cluster:
+        from .cluster.bench import worker_layout
+        from .cluster.cluster import ClusterConfig, ServingCluster
+        n_shards, replicas = worker_layout(args.workers, len(networks))
+        cluster = ServingCluster(
+            networks,
+            ClusterConfig(n_shards=n_shards,
+                          replicas_per_shard=replicas,
+                          engine=engine_config))
+        cluster.start()
+        target = cluster
+        mode = f"cluster ({n_shards}x{replicas} workers)"
+    else:
+        engine = InferenceEngine(networks=networks,
+                                 config=engine_config)
+        engine.start()
+        target = engine
+        mode = "engine"
+    set_build_info(engine="dashboard", backend=args.backend)
+    dash = DashboardServer(engine=engine, cluster=cluster,
+                           host=args.host, port=args.port,
+                           auth_token=args.token)
+    dash.start()
+    # A small reproducible request stream, cycled at --load req/s so
+    # the charts move.  Overload is shed by the engine/router (settled
+    # rejected, never raised), so the loop needs no error handling.
+    stream = make_request_stream(networks, 256, seed=args.seed)
+    done = threading.Event()
+
+    def _load() -> None:
+        interval = 1.0 / args.load
+        for network, x_raw in itertools.cycle(stream):
+            if done.is_set():
+                return
+            target.submit(network.name, x_raw, timeout_s=5.0)
+            done.wait(interval)
+
+    loader = None
+    if args.load > 0:
+        loader = threading.Thread(target=_load, name="dash-load",
+                                  daemon=True)
+        loader.start()
+    until = (f"stopping after {args.duration:g}s" if args.duration
+             else "ctrl-c to stop")
+    print(f"[dashboard live at {dash.url} -- {mode}, "
+          f"{args.load:g} req/s background load, {until}]")
+    with GracefulShutdown() as stop:
+        try:
+            deadline = (time.monotonic() + args.duration
+                        if args.duration else None)
+            while not stop.event.is_set():
+                if (deadline is not None
+                        and time.monotonic() >= deadline):
+                    break
+                stop.event.wait(0.2)
+        finally:
+            done.set()
+            if loader is not None:
+                loader.join(timeout=5.0)
+            dash.stop()
+            if cluster is not None:
+                cluster.stop()
+            if engine is not None:
+                engine.stop()
+    actions = len(dash.audit_entries())
+    print(f"[dashboard stopped -- {dash.events.seq} events streamed, "
+          f"{actions} operator action(s) audited]")
     _interrupt_note(stop)
     return 0
 
@@ -601,6 +715,10 @@ def main(argv=None) -> int:
                          default="aot",
                          help="serving backend: compiled AOT plans or "
                               "the batched interpreter (default: aot)")
+    p_serve.add_argument("--dashboard", type=int, default=None,
+                         metavar="PORT",
+                         help="serve the live web control plane on "
+                              "this port for the duration of the run")
     p_serve.add_argument("--out", default="BENCH_serve.json",
                          help="JSON results path ('' to skip writing)")
 
@@ -667,6 +785,10 @@ def main(argv=None) -> int:
                            help="write one merged Perfetto trace spanning "
                                 "the router and every worker (largest "
                                 "worker count)")
+    p_cluster.add_argument("--dashboard", type=int, default=None,
+                           metavar="PORT",
+                           help="serve the live web control plane on "
+                                "this port for the duration of the run")
 
     p_chaos = sub.add_parser(
         "chaos-bench",
@@ -711,6 +833,42 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--trace-out", default=None,
                          help="write a Perfetto-loadable span trace of "
                               "the chaos pass (Chrome trace-event JSON)")
+    p_chaos.add_argument("--dashboard", type=int, default=None,
+                         metavar="PORT",
+                         help="serve the live web control plane on "
+                              "this port for the duration of the run")
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="run the live web control plane standalone against a "
+             "fresh engine or cluster with background load")
+    p_dash.add_argument("--port", type=int, default=8321,
+                        help="HTTP port (default: 8321; 0 = ephemeral)")
+    p_dash.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    p_dash.add_argument("--level", choices=list("abcde"), default="e")
+    p_dash.add_argument("--scale", type=int, default=None,
+                        help="suite down-scale factor (default: "
+                             "REPRO_SCALE or 4)")
+    p_dash.add_argument("--backend", choices=["aot", "batched"],
+                        default="aot",
+                        help="serving backend (default: aot)")
+    p_dash.add_argument("--cluster", action="store_true",
+                        help="serve a process-sharded cluster instead "
+                             "of a single in-process engine")
+    p_dash.add_argument("--workers", type=int, default=4,
+                        help="total cluster worker processes with "
+                             "--cluster (default: 4)")
+    p_dash.add_argument("--load", type=float, default=20.0,
+                        help="background request rate in req/s so the "
+                             "charts move (0 = no load)")
+    p_dash.add_argument("--duration", type=float, default=0.0,
+                        help="stop after this many seconds (default: "
+                             "0 = run until SIGINT/SIGTERM)")
+    p_dash.add_argument("--token", default=None,
+                        help="bearer token required for operator POST "
+                             "actions (default: none, actions open)")
+    p_dash.add_argument("--seed", type=int, default=2020)
 
     p_lint = sub.add_parser(
         "lint",
@@ -788,6 +946,8 @@ def main(argv=None) -> int:
         return _cmd_aot_bench(args)
     if args.command == "chaos-bench":
         return _cmd_chaos_bench(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "certify":

@@ -174,7 +174,8 @@ def run_cluster_bench(scale: int | None = None, level: str = "e",
                       n_tenants: int = 0,
                       out_path: str | None = None,
                       trace_out: str | None = None,
-                      stop_event=None, backend: str = "aot") -> dict:
+                      stop_event=None, backend: str = "aot",
+                      dashboard_port: int | None = None) -> dict:
     """The ``cluster-bench`` experiment: a worker-count scaling curve.
 
     Every pass (sequential, single-process, and each cluster size)
@@ -208,52 +209,59 @@ def run_cluster_bench(scale: int | None = None, level: str = "e",
     merged_trace_info = None
     store_nbytes = None
     trace_at = max(worker_counts) if trace_out else None
-    for workers in worker_counts:
-        if stop_event is not None and stop_event.is_set():
-            break
-        n_shards, replicas = worker_layout(workers, len(networks))
-        cluster_config = ClusterConfig(
-            n_shards=n_shards, replicas_per_shard=replicas,
-            capacity=capacity, engine=engine_config,
-            autoscale=autoscale, trace=(workers == trace_at))
-        metrics = ClusterMetrics()
-        cluster = ServingCluster(networks, cluster_config,
-                                 metrics=metrics)
-        with cluster:
-            run = _drive_cluster(cluster, stream, rate_rps, seed,
-                                 expected, timeout_s, traffic,
-                                 stop_event=stop_event)
-        store_nbytes = cluster.store.nbytes
-        cluster_metrics = metrics.to_dict()
-        entry = {
-            "workers": workers,
-            "n_shards": n_shards,
-            "replicas_per_shard": replicas,
-            **run,
-            "speedup_vs_sequential":
-                run["achieved_throughput_rps"]
-                / sequential["throughput_rps"]
-                if sequential["throughput_rps"] > 0 else 0.0,
-            "speedup_vs_single_process":
-                run["achieved_throughput_rps"]
-                / single["achieved_throughput_rps"]
-                if single["achieved_throughput_rps"] > 0 else 0.0,
-            "latency": cluster_metrics["latency"],
-            "cluster_metrics": cluster_metrics,
-            "shard_plan": cluster.plan.to_dict(),
-        }
-        if workers == trace_at:
-            trace = cluster.merged_trace()
-            if trace is not None:
-                directory = os.path.dirname(os.path.abspath(trace_out))
-                os.makedirs(directory, exist_ok=True)
-                dump_merged_trace(trace, trace_out)
-                merged_trace_info = {
-                    "path": trace_out,
-                    "events": len(trace["traceEvents"]),
-                    "processes": trace["otherData"]["processes"],
-                }
-        curve.append(entry)
+    from ..obs.web import bench_dashboard
+    dashboard_ctx = bench_dashboard(dashboard_port, label="cluster-bench",
+                                    backend=backend, scale=scale)
+    with dashboard_ctx as dashboard:
+        for workers in worker_counts:
+            if stop_event is not None and stop_event.is_set():
+                break
+            n_shards, replicas = worker_layout(workers, len(networks))
+            cluster_config = ClusterConfig(
+                n_shards=n_shards, replicas_per_shard=replicas,
+                capacity=capacity, engine=engine_config,
+                autoscale=autoscale, trace=(workers == trace_at))
+            metrics = ClusterMetrics()
+            cluster = ServingCluster(networks, cluster_config,
+                                     metrics=metrics)
+            if dashboard is not None:
+                dashboard.attach(cluster=cluster)
+            with cluster:
+                run = _drive_cluster(cluster, stream, rate_rps, seed,
+                                     expected, timeout_s, traffic,
+                                     stop_event=stop_event)
+            store_nbytes = cluster.store.nbytes
+            cluster_metrics = metrics.to_dict()
+            entry = {
+                "workers": workers,
+                "n_shards": n_shards,
+                "replicas_per_shard": replicas,
+                **run,
+                "speedup_vs_sequential":
+                    run["achieved_throughput_rps"]
+                    / sequential["throughput_rps"]
+                    if sequential["throughput_rps"] > 0 else 0.0,
+                "speedup_vs_single_process":
+                    run["achieved_throughput_rps"]
+                    / single["achieved_throughput_rps"]
+                    if single["achieved_throughput_rps"] > 0 else 0.0,
+                "latency": cluster_metrics["latency"],
+                "cluster_metrics": cluster_metrics,
+                "shard_plan": cluster.plan.to_dict(),
+            }
+            if workers == trace_at:
+                trace = cluster.merged_trace()
+                if trace is not None:
+                    directory = os.path.dirname(
+                        os.path.abspath(trace_out))
+                    os.makedirs(directory, exist_ok=True)
+                    dump_merged_trace(trace, trace_out)
+                    merged_trace_info = {
+                        "path": trace_out,
+                        "events": len(trace["traceEvents"]),
+                        "processes": trace["otherData"]["processes"],
+                    }
+            curve.append(entry)
 
     best = max(curve, key=lambda e: e["achieved_throughput_rps"]) \
         if curve else None
@@ -392,7 +400,8 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
                             stop_event=None, abft: bool = True,
                             hedge: bool = True,
                             ipc_faults: bool = True,
-                            timeout_s: float | None = 5.0) -> dict:
+                            timeout_s: float | None = 5.0,
+                            dashboard_port: int | None = None) -> dict:
     """``chaos-bench --cluster``: scripted faults + worker-process kills.
 
     Every worker runs the standard in-process fault scenario (now
@@ -454,11 +463,16 @@ def run_cluster_chaos_bench(scale: int | None = None, level: str = "e",
                           else _default_kill_schedule(cluster,
                                                       n_requests))
     probes = 0
-    with cluster:
-        run = _drive_cluster(cluster, stream, rate_rps, seed, expected,
-                             timeout_s, None, stop_event=stop_event)
-        probes = _probe_cluster_breakers(cluster, stream,
-                                         recovery_budget_s)
+    from ..obs.web import bench_dashboard
+    with bench_dashboard(dashboard_port, cluster=cluster,
+                         label="chaos-bench --cluster",
+                         backend=engine_config.backend, scale=scale):
+        with cluster:
+            run = _drive_cluster(cluster, stream, rate_rps, seed,
+                                 expected, timeout_s, None,
+                                 stop_event=stop_event)
+            probes = _probe_cluster_breakers(cluster, stream,
+                                             recovery_budget_s)
     cluster_metrics = metrics.to_dict()
     finals = cluster.worker_finals()
 

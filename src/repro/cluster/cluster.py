@@ -555,25 +555,51 @@ class ServingCluster:
                 self._retire_one(decision)
 
     def _retire_one(self, decision) -> None:
-        candidates = [r for r in self.router.replicas(decision.shard)
+        self.retire_replica(decision.shard, reason=decision.reason,
+                            utilization=decision.utilization)
+
+    def retire_replica(self, shard: int, reason: str = "operator",
+                       utilization: float | None = None) -> str | None:
+        """Drain and retire one replica of ``shard``.
+
+        The autoscaler's scale-down path and the dashboard's drain
+        action both land here.  Returns the retired worker's name, or
+        ``None`` when the shard has at most one accepting replica (a
+        shard is never drained empty).  Outstanding requests finish
+        (the worker drains before exit); nothing new is routed to it
+        once accepting is off.
+        """
+        candidates = [r for r in self.router.replicas(shard)
                       if r.accepting]
         if len(candidates) <= 1:
-            return
+            return None
         replica = max(candidates, key=lambda r: r.index)
         replica.accepting = False
         replica.expected_exit = True
-        # Outstanding requests finish (the replica drains before exit);
-        # nothing new is routed to it once accepting is off.
         try:
             replica.in_q.put(("stop",))
         except (ValueError, OSError):
             pass
         self.router.detach_replica(replica)
         self.metrics.on_replica_retired(replica.name)
-        self._log_event("scale_down", shard=decision.shard,
-                        worker=replica.name,
-                        utilization=decision.utilization,
-                        reason=decision.reason)
+        self._log_event("scale_down", shard=shard, worker=replica.name,
+                        utilization=utilization, reason=reason)
+        return replica.name
+
+    def flush_plan_caches(self) -> int:
+        """Ask every live worker to drop its ``(network, level)`` plan
+        cache (rebuilt lazily on the next request).  Returns the number
+        of workers messaged — the flush itself is asynchronous."""
+        flushed = 0
+        for replica in self.replicas():
+            if replica.accepting and replica.process.is_alive():
+                try:
+                    replica.in_q.put(("flush",))
+                    flushed += 1
+                except (ValueError, OSError):
+                    pass
+        self._log_event("plan_cache_flush", workers=flushed)
+        return flushed
 
     # ------------------------------------------------------------------
     # Chaos hooks.

@@ -145,6 +145,10 @@ def _settle_payload(request) -> tuple:
 def worker_main(spec: WorkerSpec, in_q, out_q) -> None:
     """Spawn entry point: serve ``spec.networks`` until ``("stop",)``.
 
+    Inbox kinds besides requests and stop: ``("snapshot",)`` asks for a
+    load-stats control message back, ``("flush",)`` drops the plan/model
+    cache (rebuilt lazily — the operator flush action).
+
     Lifecycle on the outbox: ``("ready", name, pid)`` once the engine
     is warm, ``("res", name, [...])`` batches while serving, and a
     final ``("final", name, payload)`` carrying the metrics snapshot,
@@ -213,6 +217,8 @@ def worker_main(spec: WorkerSpec, in_q, out_q) -> None:
                               on_settle=on_settle, tag=rid)
             if corrupted:
                 outbox.send_control(("nak", spec.name, corrupted))
+        elif kind == "flush":
+            engine.registry.flush()
         elif kind == "snapshot":
             outbox.send_control(
                 ("stats", spec.name, {

@@ -73,6 +73,11 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._seen: dict = {}   # (spec_idx, network) -> set of seqs
         self._log: list = []    # append-only event dicts
+        #: Operator kill switch (dashboard toggle-injector action):
+        #: while ``False``, :meth:`before_execute` is a no-op.  Seq
+        #: windows keep advancing on the engine side, so disabling
+        #: *skips* scheduled faults rather than deferring them.
+        self.enabled = True
         #: Injectable for tests (latency faults sleep through this).
         self.sleep = time.sleep
 
@@ -108,6 +113,8 @@ class FaultInjector:
         -> :class:`InjectedCrash`, ``kill`` ->
         :class:`InjectedWorkerDeath`).
         """
+        if not self.enabled:
+            return
         raise_crash = None
         raise_death = False
         delay = 0.0

@@ -12,13 +12,17 @@ paths:
   *exactly* to ``Trace.total_cycles()`` on both execution engines.
 * :mod:`repro.obs.spans` — structured span tracing across the serving
   pipeline, exported as Chrome trace-event JSON (Perfetto-loadable).
+* :mod:`repro.obs.web` — the live control plane: a stdlib HTTP server
+  plus single-page app serving all of the above (and operator actions)
+  from a running engine or cluster.
 
 See ``docs/OBSERVABILITY.md``.
 """
 
 from .metrics import (Counter, CounterFamily, Gauge, GaugeFamily,
                       HistogramFamily, LatencyHistogram, MetricsRegistry,
-                      REGISTRY, escape_label_value, unescape_label_value)
+                      REGISTRY, build_info, escape_label_value,
+                      set_build_info, unescape_label_value, uptime_s)
 from .profiler import (Profile, ProfileNode, profile_cpu, profile_network,
                        region_paths_from_labels)
 from .spans import SpanTracer
@@ -27,6 +31,7 @@ __all__ = [
     "Counter", "CounterFamily", "Gauge", "GaugeFamily", "HistogramFamily",
     "LatencyHistogram", "MetricsRegistry", "REGISTRY",
     "escape_label_value", "unescape_label_value",
+    "build_info", "set_build_info", "uptime_s",
     "Profile", "ProfileNode", "profile_cpu", "profile_network",
     "region_paths_from_labels", "SpanTracer",
 ]

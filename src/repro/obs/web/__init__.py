@@ -1,0 +1,14 @@
+"""repro.obs.web — the live control plane.
+
+A zero-dependency ``ThreadingHTTPServer`` plus embedded single-page
+app serving live metrics, flamegraphs, span traces, worker/breaker
+state and operator actions from a running engine or cluster.  Entry
+points: ``repro dashboard`` (standalone) and ``--dashboard PORT`` on
+the serve/cluster/chaos benches.  See docs/OBSERVABILITY.md.
+"""
+
+from .server import (ACTIONS, API_VERSION, DashboardServer, EventLog,
+                     PROMETHEUS_CONTENT_TYPE, bench_dashboard)
+
+__all__ = ["ACTIONS", "API_VERSION", "DashboardServer", "EventLog",
+           "PROMETHEUS_CONTENT_TYPE", "bench_dashboard"]

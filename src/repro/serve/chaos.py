@@ -99,11 +99,13 @@ def golden_outputs(networks, stream, level: str, seed: int) -> tuple:
 def _drive(networks, config: EngineConfig, stream, rate_rps: float,
            seed: int, expected, injector=None,
            recovery_budget_s: float = 3.0, tracer=None,
-           stop_event=None) -> dict:
+           stop_event=None, dashboard=None) -> dict:
     """One load-generator pass; returns accounting incl. correctness."""
     engine = InferenceEngine(networks=networks, config=config,
                              metrics=ServeMetrics(),
                              fault_injector=injector, tracer=tracer)
+    if dashboard is not None:
+        dashboard.attach(engine=engine)
     for network in networks:  # warm the registry outside the timed region
         engine.registry.get(network, config.level)
     generator = LoadGenerator(engine, rate_rps, seed=seed, timeout_s=None,
@@ -198,7 +200,8 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
                     scenario: FaultPlan | None = None,
                     out_path: str | None = None,
                     trace_out: str | None = None,
-                    stop_event=None, abft: bool = True) -> dict:
+                    stop_event=None, abft: bool = True,
+                    dashboard_port: int | None = None) -> dict:
     """The ``chaos-bench`` experiment: fault-free baseline, then chaos.
 
     Returns the JSON-ready result dict; also writes it to ``out_path``
@@ -221,17 +224,22 @@ def run_chaos_bench(scale: int | None = None, level: str = "e",
     plan = scenario if scenario is not None \
         else default_scenario(networks, n_requests, seed=seed)
 
-    baseline = _drive(networks, config, stream, rate_rps, seed, expected,
-                      stop_event=stop_event)
-    injector = FaultInjector(plan, seed=seed)
-    tracer = None
-    if trace_out:
-        from ..obs import SpanTracer
-        tracer = SpanTracer(process_name="repro.serve chaos-bench")
-    chaos = _drive(networks, config, stream, rate_rps, seed, expected,
-                   injector=injector, tracer=tracer,
-                   stop_event=stop_event)
-    stop_t = time.monotonic()
+    from ..obs.web import bench_dashboard
+    with bench_dashboard(dashboard_port, label="chaos-bench",
+                         backend=config.backend,
+                         scale=scale) as dashboard:
+        baseline = _drive(networks, config, stream, rate_rps, seed,
+                          expected, stop_event=stop_event,
+                          dashboard=dashboard)
+        injector = FaultInjector(plan, seed=seed)
+        tracer = None
+        if trace_out:
+            from ..obs import SpanTracer
+            tracer = SpanTracer(process_name="repro.serve chaos-bench")
+        chaos = _drive(networks, config, stream, rate_rps, seed, expected,
+                       injector=injector, tracer=tracer,
+                       stop_event=stop_event, dashboard=dashboard)
+        stop_t = time.monotonic()
 
     engine = chaos.pop("engine")
     baseline_engine = baseline.pop("engine")

@@ -277,6 +277,19 @@ class ModelRegistry:
             reload()
         return restored
 
+    def flush(self) -> int:
+        """Drop every cached ``(network, level)`` entry.
+
+        Returns the number of entries dropped.  The next request per
+        key rebuilds plan, model and reference from pristine parameters
+        — the operator's big hammer when a cached entry is suspected
+        bad (the dashboard's flush-plan-cache action lands here).
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -755,7 +768,8 @@ class InferenceEngine:
                     self._trace_dispatch(queue.network.name, batch)
                 self._report_depth(queue.network.name, len(queue.pending))
                 queue.inflight = batch
-                self._execute(queue.network, batch)
+                self._execute(queue.network, batch,
+                              dispatch_t=self.clock())
                 queue.inflight = []
         except InjectedWorkerDeath:
             # Simulated hard death: exit silently with ``inflight`` still
@@ -776,9 +790,12 @@ class InferenceEngine:
         tracer.complete("batch-assembly", name, first, now,
                         args={"batch_size": len(batch)})
 
-    def _execute(self, network: Network, batch: list[Request]) -> None:
+    def _execute(self, network: Network, batch: list[Request],
+                 dispatch_t: float | None = None) -> None:
         name = network.name
         now = self.clock()
+        if dispatch_t is None:
+            dispatch_t = now
         live: list[Request] = []
         for request in batch:
             if request.deadline is not None and now > request.deadline:
@@ -816,7 +833,8 @@ class InferenceEngine:
         live = valid
         if not live:
             return
-        successes = self._run_attempt(network, entry, live, inputs, depth=0)
+        successes = self._run_attempt(network, entry, live, inputs, depth=0,
+                                      dispatch_t=dispatch_t)
         if successes > 0:
             self.breakers[name].record_success()
         else:
@@ -825,7 +843,8 @@ class InferenceEngine:
     def _run_attempt(self, network: Network, entry: ModelEntry,
                      requests: list[Request], inputs: list[np.ndarray],
                      depth: int, retries: int | None = None,
-                     sdc_reruns: int | None = None) -> int:
+                     sdc_reruns: int | None = None,
+                     dispatch_t: float | None = None) -> int:
         """One execution attempt; recurses (bisect/retry) on failure.
 
         Returns the number of requests settled DONE.  A failing batch of
@@ -850,6 +869,7 @@ class InferenceEngine:
         if sdc_reruns is None:
             sdc_reruns = self.config.abft_max_reruns
         t_start = tracer.now_us() if tracer is not None else 0.0
+        attempt_t = self.clock()
         try:
             if self.injector is not None:
                 self.injector.before_execute(name, entry, requests, inputs,
@@ -878,7 +898,8 @@ class InferenceEngine:
                 self.metrics.on_sdc_rerun(name)
                 return self._run_attempt(network, entry, requests, inputs,
                                          depth, retries=retries,
-                                         sdc_reruns=sdc_reruns - 1)
+                                         sdc_reruns=sdc_reruns - 1,
+                                         dispatch_t=dispatch_t)
             for request in requests:
                 self._settle_failed(request, name, repr(exc))
             return 0
@@ -902,7 +923,8 @@ class InferenceEngine:
                             "retry", name,
                             args={"trace_id": requests[0].trace_id})
                     return self._run_attempt(network, entry, requests,
-                                             inputs, depth + 1, retries - 1)
+                                             inputs, depth + 1, retries - 1,
+                                             dispatch_t=dispatch_t)
                 self._settle_failed(requests[0], name, repr(exc))
                 if tracer is not None:
                     tracer.instant("respond", name,
@@ -915,9 +937,11 @@ class InferenceEngine:
                                args={"batch": len(requests), "depth": depth})
             mid = len(requests) // 2
             return (self._run_attempt(network, entry, requests[:mid],
-                                      inputs[:mid], depth + 1)
+                                      inputs[:mid], depth + 1,
+                                      dispatch_t=dispatch_t)
                     + self._run_attempt(network, entry, requests[mid:],
-                                        inputs[mid:], depth + 1))
+                                        inputs[mid:], depth + 1,
+                                        dispatch_t=dispatch_t))
         done = self.clock()
         latencies = []
         for row, request in enumerate(requests):
@@ -927,6 +951,17 @@ class InferenceEngine:
             latencies.append(latency)
         self.metrics.on_batch(name, len(requests), latencies,
                               entry.cycles_per_request)
+        # Stage decomposition: queue wait is per request; assembly and
+        # execute are attempt-wide.  Retries/bisects charge only the
+        # winning attempt's execute window.  Clamped at zero because
+        # the histogram rejects negatives and a fake bench clock may
+        # not be strictly monotonic across threads.
+        if dispatch_t is not None:
+            self.metrics.on_stages(
+                name,
+                [max(0.0, dispatch_t - r.submit_time) for r in requests],
+                max(0.0, attempt_t - dispatch_t),
+                max(0.0, done - attempt_t))
         if tracer is not None:
             tracer.complete("execute", name, t_start,
                             args={"batch": len(requests), "depth": depth,

@@ -349,7 +349,8 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
                     out_path: str | None = None, tracer=None,
                     traffic: TrafficModel | None = None,
                     n_tenants: int = 0, stop_event=None,
-                    backend: str = "aot") -> dict:
+                    backend: str = "aot",
+                    dashboard_port: int | None = None) -> dict:
     """The ``serve-bench`` experiment: baseline, then batched serving.
 
     Returns the JSON-ready result dict; also writes it to ``out_path``
@@ -363,7 +364,9 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
     serving model (``"aot"`` fused plans or the ``"batched"``
     interpreter); with the AOT backend the result also carries a
     direct model-level backend comparison and the per-network roofline
-    placement (:mod:`repro.perfmodel.roofline`).
+    placement (:mod:`repro.perfmodel.roofline`).  ``dashboard_port``
+    attaches a live :class:`repro.obs.web.DashboardServer` to the
+    serving engine for the duration of the run.
     """
     networks = suite(scale)
     config = EngineConfig(level=level, max_batch_size=max_batch_size,
@@ -382,15 +385,20 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
     for network in networks:
         engine.registry.get(network, level)
 
-    baseline = sequential_baseline(engine, stream)
-    if rate_rps is None:
-        rate_rps = max(1.0, baseline["throughput_rps"] * rate_multiplier)
+    from ..obs.web import bench_dashboard
+    with bench_dashboard(dashboard_port, engine=engine,
+                         label="serve-bench", backend=backend,
+                         scale=scale):
+        baseline = sequential_baseline(engine, stream)
+        if rate_rps is None:
+            rate_rps = max(1.0,
+                           baseline["throughput_rps"] * rate_multiplier)
 
-    generator = LoadGenerator(engine, rate_rps, seed=seed,
-                              timeout_s=timeout_s, traffic=traffic,
-                              stop_event=stop_event)
-    with engine:
-        run = generator.run(stream)
+        generator = LoadGenerator(engine, rate_rps, seed=seed,
+                                  timeout_s=timeout_s, traffic=traffic,
+                                  stop_event=stop_event)
+        with engine:
+            run = generator.run(stream)
     run.pop("requests")  # handles are not JSON; chaos-bench uses them
 
     metrics = engine.metrics.to_dict()
@@ -445,6 +453,7 @@ def run_serve_bench(scale: int | None = None, level: str = "e",
             run["achieved_throughput_rps"] / baseline["throughput_rps"]
             if baseline["throughput_rps"] > 0 else 0.0,
         "latency": metrics["total"]["latency"],
+        "latency_stages": metrics["total"]["stages"],
         "mean_batch_size": metrics["mean_batch_size"],
         "batch_size_distribution": metrics["batch_size_distribution"],
         "sim_cycles_total": metrics["total"]["sim_cycles"],

@@ -24,7 +24,7 @@ import threading
 
 from ..obs.metrics import Counter, Gauge, LatencyHistogram
 
-__all__ = ["Counter", "Gauge", "LatencyHistogram", "ServeMetrics"]
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "ServeMetrics", "STAGES"]
 
 #: Monotonic per-network counters exposed through the registry.
 _COUNTER_FIELDS = (
@@ -35,6 +35,12 @@ _COUNTER_FIELDS = (
     "worker_restarts", "worker_stalls",
     "faults_injected", "breaker_opens", "breaker_closes", "sim_cycles",
 )
+
+#: Per-request latency decomposition stages (histogram per stage).
+#: ``queue_wait`` is submit -> batch dispatch, ``batch_assembly`` is
+#: dispatch -> execution start (deadline checks, input normalization,
+#: plan-cache lookup), ``execute`` is the model inference itself.
+STAGES = ("queue_wait", "batch_assembly", "execute")
 
 
 class _NetworkMetrics:
@@ -66,6 +72,9 @@ class _NetworkMetrics:
         self.breaker_state = "closed"
         self.queue_depth = Gauge()
         self.latency = LatencyHistogram()
+        #: Written per network only; ``ServeMetrics.total``'s copy
+        #: stays empty (totals merge at read time, see stage_totals).
+        self.stages = {stage: LatencyHistogram() for stage in STAGES}
         self.sim_cycles = Counter()
 
     def to_dict(self) -> dict:
@@ -98,6 +107,8 @@ class _NetworkMetrics:
             "queue_depth_max": self.queue_depth.max,
             "sim_cycles": self.sim_cycles.value,
             "latency": self.latency.summary(),
+            "stages": {stage: hist.summary()
+                       for stage, hist in self.stages.items()},
         }
 
 
@@ -220,6 +231,38 @@ class ServeMetrics:
         self.total.sim_cycles.inc(cycles)
         net.sim_cycles.inc(cycles)
 
+    def on_stages(self, name: str, queue_waits, assembly_s: float,
+                  execute_s: float) -> None:
+        """Latency decomposition for one settled batch.
+
+        ``queue_waits`` is per-request (each request queued at its own
+        submit time); assembly and execute are batch-wide, recorded once
+        per request so stage counts line up with ``completed``.
+
+        Only the per-network histograms are written here — one
+        ``queue_wait`` record per request plus two batch-wide
+        ``record_n`` calls, so the hot-path cost amortizes to
+        ``1 + 2/batch_size`` histogram updates per request.  The
+        engine-wide view is merged from them at read time
+        (:meth:`stage_totals`), not double-recorded.
+        """
+        stages = self.network(name).stages
+        queue_hist = stages["queue_wait"]
+        for queue_wait in queue_waits:
+            queue_hist.record(queue_wait)
+        n = len(queue_waits)
+        stages["batch_assembly"].record_n(assembly_s, n)
+        stages["execute"].record_n(execute_s, n)
+
+    def stage_totals(self) -> dict:
+        """Engine-wide stage decomposition summaries, merged bucket-
+        exactly from the per-network histograms at read time."""
+        with self._lock:
+            nets = list(self.per_network.values())
+        return {stage: LatencyHistogram.merged(
+                    [net.stages[stage] for net in nets]).summary()
+                for stage in STAGES}
+
     def on_queue_depth(self, name: str, depth: int, total_depth: int) -> None:
         self.network(name).queue_depth.set(depth)
         self.total.queue_depth.set(total_depth)
@@ -237,8 +280,12 @@ class ServeMetrics:
             batch_sizes = {str(k): v
                            for k, v in sorted(self.batch_sizes.items())}
             fault_counts = dict(sorted(self.fault_counts.items()))
+        total = self.total.to_dict()
+        # total's own stage histograms are never written (on_stages is
+        # per-network only); present the read-time merge instead.
+        total["stages"] = self.stage_totals()
         return {
-            "total": self.total.to_dict(),
+            "total": total,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_distribution": batch_sizes,
             "faults_by_kind": fault_counts,
@@ -286,6 +333,21 @@ class ServeMetrics:
                                     "_count"))
         rows.append(("serve_request_latency_seconds", "summary",
                      "End-to-end request latency.", latency_samples))
+        stage_samples = []
+        for name, net in nets:
+            for stage in STAGES:
+                hist = net.stages[stage]
+                base = {"network": name, "stage": stage}
+                for q in (0.5, 0.95, 0.99):
+                    value = hist.percentile(q)
+                    if value is not None:
+                        stage_samples.append(
+                            ({**base, "quantile": str(q)}, value))
+                stage_samples.append((base, hist.sum, "_sum"))
+                stage_samples.append((base, hist.count, "_count"))
+        rows.append(("serve_stage_latency_seconds", "summary",
+                     "Request latency decomposition: queue_wait vs "
+                     "batch_assembly vs execute.", stage_samples))
         rows.append(("serve_faults_injected_by_kind_total", "counter",
                      "Injected fault events by kind (engine-wide).",
                      [({"kind": kind}, count)
